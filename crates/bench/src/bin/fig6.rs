@@ -1,0 +1,51 @@
+//! Figure 6 — misprediction ratios of seven indirect-branch predictors at
+//! the 2K-entry budget, across the full benchmark suite.
+//!
+//! Paper reference points (means across the suite): PPM-hyb 9.47%,
+//! Cascade 11.48%, TC-PIB 13.0%; BTB/BTB2b far behind; TC-PIB is the only
+//! scheme beating PPM on photon (0.95% vs 1.35%).
+//!
+//! Usage: `cargo run --release -p ibp-bench --bin fig6 [scale] [--csv]`
+//! (scale defaults to 1.0 = the full trace size; `--csv` emits the grid
+//! as CSV on stdout instead of the formatted tables).
+
+use ibp_sim::report::{grid_to_csv, paper_vs_measured, render_grid};
+use ibp_sim::{compare_grid, PredictorKind};
+use ibp_workloads::paper_suite;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(1.0);
+    let csv = std::env::args().any(|a| a == "--csv");
+    let runs = paper_suite();
+    let kinds = PredictorKind::figure6();
+    let grid = compare_grid(&kinds, &runs, scale);
+    if csv {
+        print!("{}", grid_to_csv(&grid));
+        return;
+    }
+
+    println!("=== Figure 6: misprediction ratios (2K-entry budget, scale {scale}) ===\n");
+    print!("{}", render_grid(&grid));
+
+    println!("\n--- predictor means, ranked (lower is better) ---");
+    for (name, ratio) in grid.ranking() {
+        println!("{name:<14} {:.2}%", ratio * 100.0);
+    }
+
+    println!("\n--- paper vs measured (means) ---");
+    for (name, paper) in [("PPM-hyb", 0.0947), ("Cascade", 0.1148), ("TC-PIB", 0.1300)] {
+        if let Some(m) = grid.mean_ratio(name) {
+            println!("{}", paper_vs_measured(name, paper, m));
+        }
+    }
+
+    println!("\n--- photon check (paper: TC-PIB 0.95%, PPM-hyb 1.35%) ---");
+    for p in ["TC-PIB", "PPM-hyb"] {
+        if let Some(r) = grid.ratio("photon.dia", p) {
+            println!("photon.dia {p:<10} {:.2}%", r * 100.0);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 7 — misprediction ratios of the three PPM variants across the
+//! benchmark suite.
+//!
+//! Paper reference points: PPM-PIB (single table access) improves on
+//! PPM-hyb only where branches are efficiently predicted from PIB history
+//! alone — eon, perl and both ixx runs; PPM-hyb-biased eliminates the
+//! weak-state oscillation on those same runs and wins there, while the
+//! plain hybrid stays ahead on the PB-correlated rest.
+//!
+//! Usage: `cargo run --release -p ibp-bench --bin fig7 [scale]`
+
+use ibp_sim::report::{grid_to_csv, render_grid};
+use ibp_sim::{compare_grid, PredictorKind};
+use ibp_workloads::paper_suite;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(1.0);
+    let runs = paper_suite();
+    let grid = compare_grid(&PredictorKind::figure7(), &runs, scale);
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", grid_to_csv(&grid));
+        return;
+    }
+
+    println!("=== Figure 7: PPM variant misprediction ratios (scale {scale}) ===\n");
+    print!("{}", render_grid(&grid));
+
+    println!("\n--- paper shape checks ---");
+    let pib_better_runs = ["eon.chair", "perl.std", "ixx.lay", "ixx.wid"];
+    for run in &pib_better_runs {
+        let hyb = grid.ratio(run, "PPM-hyb").unwrap_or(f64::NAN);
+        let pib = grid.ratio(run, "PPM-PIB").unwrap_or(f64::NAN);
+        let biased = grid.ratio(run, "PPM-hyb-biased").unwrap_or(f64::NAN);
+        println!(
+            "{run:<12} hyb {:.2}%  pib {:.2}%  biased {:.2}%   (paper: pib <= hyb, biased best-ish)",
+            hyb * 100.0,
+            pib * 100.0,
+            biased * 100.0
+        );
+    }
+    let pib_wins = pib_better_runs
+        .iter()
+        .filter(|r| {
+            grid.ratio(r, "PPM-PIB").unwrap_or(1.0) <= grid.ratio(r, "PPM-hyb").unwrap_or(0.0)
+        })
+        .count();
+    println!("\nPIB-or-biased favored runs where PPM-PIB <= PPM-hyb: {pib_wins}/4");
+    let hyb_better_elsewhere = grid
+        .runs()
+        .iter()
+        .filter(|r| !pib_better_runs.contains(&r.as_str()))
+        .filter(|r| {
+            grid.ratio(r, "PPM-hyb").unwrap_or(1.0) <= grid.ratio(r, "PPM-PIB").unwrap_or(0.0)
+        })
+        .count();
+    println!(
+        "runs outside that set where PPM-hyb <= PPM-PIB: {hyb_better_elsewhere}/{}",
+        grid.runs().len() - pib_better_runs.len()
+    );
+}

@@ -1,0 +1,82 @@
+//! A6 — speculative-update delay sweep (the §4 pipelining concern).
+//!
+//! The paper's trace-driven methodology updates every structure in trace
+//! order — an idealization it shares with its baselines' papers. In a real
+//! front end the resolution (and thus history shifts and table writes)
+//! lags the prediction by several fetched branches. This sweep delays all
+//! training by 0..16 branch events for the main contenders and shows who
+//! depends most on fresh history.
+//!
+//! Usage: `cargo run --release -p ibp-bench --bin sweep_delay [scale]`
+
+use ibp_sim::report::pct;
+use ibp_sim::{simulate, DelayedPredictor, PredictorKind};
+use ibp_trace::Trace;
+use ibp_workloads::paper_suite;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.15);
+    let traces: Vec<Trace> = paper_suite()
+        .iter()
+        .map(|r| r.generate_scaled(scale))
+        .collect();
+    let delays = [0usize, 1, 2, 4, 8, 16];
+    let kinds = [
+        PredictorKind::Btb2b,
+        PredictorKind::TcPib,
+        PredictorKind::Dpath,
+        PredictorKind::Cascade,
+        PredictorKind::PpmHyb,
+        PredictorKind::IttageLite,
+    ];
+    println!("=== A6: mean misprediction vs update delay, in branch events (scale {scale}) ===\n");
+    print!("{:<16}", "predictor");
+    for d in delays {
+        print!("{:>9}", format!("d={d}"));
+    }
+    println!();
+    for kind in kinds {
+        print!("{:<16}", kind.label());
+        for &d in &delays {
+            let mut sum = 0.0;
+            for trace in &traces {
+                let mut p = DelayedPredictor::new(kind.build(), d);
+                sum += simulate(&mut p, trace).misprediction_ratio();
+            }
+            print!("{:>9}", pct(sum / traces.len() as f64));
+        }
+        println!();
+    }
+    println!("\n--- same sweep with speculative history (only table writes delayed) ---");
+    print!("{:<16}", "predictor");
+    for d in delays {
+        print!("{:>9}", format!("sd={d}"));
+    }
+    println!();
+    for kind in [PredictorKind::TcPib, PredictorKind::PpmHyb, PredictorKind::IttageLite] {
+        print!("{:<16}", kind.label());
+        for &d in &delays {
+            let mut sum = 0.0;
+            for trace in &traces {
+                let mut p = DelayedPredictor::with_speculative_history(kind.build(), d);
+                sum += simulate(&mut p, trace).misprediction_ratio();
+            }
+            print!("{:>9}", pct(sum / traces.len() as f64));
+        }
+        println!();
+    }
+    println!(
+        "\ntwo lessons: (1) without speculative history maintenance even a\n\
+         1-branch update lag destroys every path-based predictor — the\n\
+         trained window no longer matches the predicted one; (2) keeping\n\
+         history fresh but letting the delayed update recompute its table\n\
+         index from *current* history is no better: the write lands on the\n\
+         wrong entry. Real front ends therefore carry the fetch-time table\n\
+         indices with each branch to retirement and write exactly those —\n\
+         which is what the d=0 column (and every trace-driven study,\n\
+         this paper's included) models."
+    );
+}

@@ -1,0 +1,100 @@
+//! A4 — path-length sensitivity of the two-level baselines.
+//!
+//! §5: "the sensitivity of the TC, GAp, Dpath and Cascade predictors on
+//! the path length was not addressed." This ablation sweeps the history
+//! depth of GAp and the Target Cache and the (short,long) path lengths of
+//! the dual-path hybrid.
+//!
+//! Usage: `cargo run --release -p ibp-bench --bin sweep_pathlen [scale]`
+
+use ibp_predictors::{
+    DualPath, DualPathConfig, GApConfig, GApPredictor, HistoryGroup, IndirectPredictor,
+    TargetCache, TargetCacheConfig,
+};
+use ibp_sim::report::pct;
+use ibp_sim::simulate;
+use ibp_trace::Trace;
+use ibp_workloads::paper_suite;
+
+fn mean_ratio(build: impl Fn() -> Box<dyn IndirectPredictor>, traces: &[Trace]) -> f64 {
+    let mut sum = 0.0;
+    for trace in traces {
+        let mut p = build();
+        sum += simulate(p.as_mut(), trace).misprediction_ratio();
+    }
+    sum / traces.len() as f64
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.25);
+    let traces: Vec<Trace> = paper_suite()
+        .iter()
+        .map(|r| r.generate_scaled(scale))
+        .collect();
+
+    println!("=== A4: path-length sensitivity (means over the suite, scale {scale}) ===\n");
+
+    println!("GAp: path length (2 bits per target)");
+    for p in [1usize, 2, 3, 5, 8, 10] {
+        let r = mean_ratio(
+            || {
+                Box::new(GApPredictor::new(GApConfig {
+                    path_length: p,
+                    ..GApConfig::paper()
+                }))
+            },
+            &traces,
+        );
+        println!("  p={p:<3} {}", pct(r));
+    }
+
+    println!("\nTarget Cache (PIB): history bits");
+    for bits in [5u32, 8, 11, 14, 18] {
+        let r = mean_ratio(
+            || {
+                Box::new(TargetCache::new(TargetCacheConfig {
+                    history_bits: bits,
+                    ..TargetCacheConfig::paper_pib()
+                }))
+            },
+            &traces,
+        );
+        println!("  h={bits:<3} {}", pct(r));
+    }
+
+    println!("\nDual-path: (short, long) path lengths");
+    for (ps, pl) in [(1usize, 2usize), (1, 3), (2, 4), (3, 6), (4, 8), (6, 12)] {
+        let r = mean_ratio(
+            || {
+                Box::new(DualPath::new(DualPathConfig {
+                    path_lengths: (ps, pl),
+                    ..DualPathConfig::paper()
+                }))
+            },
+            &traces,
+        );
+        println!("  ({ps},{pl})  {}", pct(r));
+    }
+
+    println!("\nTarget Cache history group (Chang et al.'s dimension):");
+    for group in [
+        HistoryGroup::AllIndirect,
+        HistoryGroup::AllBranches,
+        HistoryGroup::MtIndirect,
+        HistoryGroup::CallsReturns,
+    ] {
+        let r = mean_ratio(
+            || {
+                Box::new(TargetCache::new(TargetCacheConfig {
+                    group,
+                    ..TargetCacheConfig::paper_pib()
+                }))
+            },
+            &traces,
+        );
+        println!("  {group:<4} {}", pct(r));
+    }
+}

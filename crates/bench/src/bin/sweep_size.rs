@@ -1,0 +1,44 @@
+//! A1 — table-size sweep.
+//!
+//! The paper fixes every predictor at 2K entries and flags varying table
+//! sizes as future work ("We also did not consider the effects of varying
+//! table sizes"). This ablation sweeps the total entry budget from 512 to
+//! 8K for every predictor and reports mean misprediction ratios, showing
+//! where each scheme is capacity-limited versus resolution-limited.
+//!
+//! Usage: `cargo run --release -p ibp-bench --bin sweep_size [scale]`
+
+use ibp_sim::report::pct;
+use ibp_sim::{simulate, PredictorKind};
+use ibp_workloads::paper_suite;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.25);
+    let budgets = [512usize, 1024, 2048, 4096, 8192];
+    let kinds = PredictorKind::figure6();
+    let runs = paper_suite();
+    let traces: Vec<_> = runs.iter().map(|r| r.generate_scaled(scale)).collect();
+
+    println!("=== A1: mean misprediction ratio vs total table budget (scale {scale}) ===\n");
+    print!("{:<14}", "predictor");
+    for b in budgets {
+        print!("{b:>9}");
+    }
+    println!();
+    for kind in kinds {
+        print!("{:<14}", kind.label());
+        for &budget in &budgets {
+            let mut sum = 0.0;
+            for trace in &traces {
+                let mut p = kind.build_with_entries(budget);
+                sum += simulate(p.as_mut(), trace).misprediction_ratio();
+            }
+            print!("{:>9}", pct(sum / traces.len() as f64));
+        }
+        println!();
+    }
+    println!("\n(2048 is the paper's design point; the paper left the sweep as future work)");
+}

@@ -1,0 +1,251 @@
+//! Binary arithmetic coding (CACM-87 style, 32-bit registers).
+//!
+//! The coder encodes a sequence of symbols, each described by a cumulative
+//! frequency interval `[cum_low, cum_high)` out of `total`. Totals must
+//! stay below [`MAX_TOTAL`] so the range arithmetic cannot underflow.
+
+use crate::bitio::{BitReader, BitWriter};
+
+const BITS: u32 = 32;
+const TOP: u64 = 1 << BITS;
+const HALF: u64 = TOP / 2;
+const QUARTER: u64 = TOP / 4;
+const THREE_QUARTER: u64 = 3 * (TOP / 4);
+
+/// Upper bound (exclusive) on model totals: `2^(BITS-2)` guarantees the
+/// coding range never collapses.
+pub const MAX_TOTAL: u64 = QUARTER;
+
+/// The arithmetic encoder.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    low: u64,
+    high: u64,
+    pending: u64,
+    out: BitWriter,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Encoder {
+    /// Creates an encoder with an empty output buffer.
+    pub fn new() -> Self {
+        Self {
+            low: 0,
+            high: TOP - 1,
+            pending: 0,
+            out: BitWriter::new(),
+        }
+    }
+
+    fn emit(&mut self, bit: bool) {
+        self.out.push(bit);
+        for _ in 0..self.pending {
+            self.out.push(!bit);
+        }
+        self.pending = 0;
+    }
+
+    /// Encodes one symbol occupying `[cum_low, cum_high)` of `total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty, exceeds `total`, or `total` is not
+    /// in `1..MAX_TOTAL`.
+    pub fn encode(&mut self, cum_low: u64, cum_high: u64, total: u64) {
+        assert!(total > 0 && total < MAX_TOTAL, "total out of range");
+        assert!(cum_low < cum_high && cum_high <= total, "bad interval");
+        let range = self.high - self.low + 1;
+        self.high = self.low + range * cum_high / total - 1;
+        self.low += range * cum_low / total;
+        loop {
+            if self.high < HALF {
+                self.emit(false);
+            } else if self.low >= HALF {
+                self.emit(true);
+                self.low -= HALF;
+                self.high -= HALF;
+            } else if self.low >= QUARTER && self.high < THREE_QUARTER {
+                self.pending += 1;
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+        }
+    }
+
+    /// Flushes the final interval and returns the encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.pending += 1;
+        let bit = self.low >= QUARTER;
+        self.emit(bit);
+        self.out.into_bytes()
+    }
+}
+
+/// The arithmetic decoder.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    low: u64,
+    high: u64,
+    value: u64,
+    input: BitReader<'a>,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over encoded bytes, priming the value register.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        let mut input = BitReader::new(bytes);
+        let mut value = 0u64;
+        for _ in 0..BITS {
+            value = (value << 1) | input.next_bit() as u64;
+        }
+        Self {
+            low: 0,
+            high: TOP - 1,
+            value,
+            input,
+        }
+    }
+
+    /// Returns the cumulative-frequency position of the next symbol, in
+    /// `0..total`. The model maps this back to a symbol, then calls
+    /// [`consume`](Self::consume) with the symbol's interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is not in `1..MAX_TOTAL`.
+    pub fn decode_target(&self, total: u64) -> u64 {
+        assert!(total > 0 && total < MAX_TOTAL, "total out of range");
+        let range = self.high - self.low + 1;
+        (((self.value - self.low + 1) * total - 1) / range).min(total - 1)
+    }
+
+    /// Consumes the symbol whose interval is `[cum_low, cum_high)` of
+    /// `total`, renormalizing like the encoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or out-of-range interval.
+    pub fn consume(&mut self, cum_low: u64, cum_high: u64, total: u64) {
+        assert!(total > 0 && total < MAX_TOTAL, "total out of range");
+        assert!(cum_low < cum_high && cum_high <= total, "bad interval");
+        let range = self.high - self.low + 1;
+        self.high = self.low + range * cum_high / total - 1;
+        self.low += range * cum_low / total;
+        loop {
+            if self.high < HALF {
+                // nothing
+            } else if self.low >= HALF {
+                self.low -= HALF;
+                self.high -= HALF;
+                self.value -= HALF;
+            } else if self.low >= QUARTER && self.high < THREE_QUARTER {
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+                self.value -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+            self.value = (self.value << 1) | self.input.next_bit() as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Encodes and decodes a symbol stream under a fixed (static) model.
+    fn round_trip(symbols: &[usize], freqs: &[u64]) {
+        let total: u64 = freqs.iter().sum();
+        let cum = |s: usize| -> (u64, u64) {
+            let lo: u64 = freqs[..s].iter().sum();
+            (lo, lo + freqs[s])
+        };
+        let mut enc = Encoder::new();
+        for &s in symbols {
+            let (lo, hi) = cum(s);
+            enc.encode(lo, hi, total);
+        }
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        for &expect in symbols {
+            let target = dec.decode_target(total);
+            // Map target back to a symbol.
+            let mut acc = 0u64;
+            let mut sym = 0usize;
+            for (i, &f) in freqs.iter().enumerate() {
+                if target < acc + f {
+                    sym = i;
+                    break;
+                }
+                acc += f;
+            }
+            assert_eq!(sym, expect);
+            let (lo, hi) = cum(sym);
+            dec.consume(lo, hi, total);
+        }
+    }
+
+    #[test]
+    fn uniform_model_round_trip() {
+        round_trip(&[0, 1, 2, 3, 2, 1, 0, 3, 3, 0], &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn skewed_model_round_trip() {
+        round_trip(&[0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0], &[97, 2, 1]);
+    }
+
+    #[test]
+    fn skewed_model_compresses_skewed_data() {
+        // 1000 highly likely symbols should take close to -log2(0.99)
+        // bits each, far below 1 bit per symbol.
+        let total = 100u64;
+        let mut enc = Encoder::new();
+        for _ in 0..1000 {
+            enc.encode(0, 99, total);
+        }
+        let bytes = enc.finish();
+        assert!(
+            bytes.len() < 10,
+            "1000 p=0.99 symbols took {} bytes",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn single_symbol_stream() {
+        round_trip(&[0], &[1, 1]);
+    }
+
+    #[test]
+    fn long_mixed_stream() {
+        let symbols: Vec<usize> = (0..5000).map(|i| (i * 7 + i / 3) % 5).collect();
+        round_trip(&symbols, &[10, 1, 30, 5, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad interval")]
+    fn empty_interval_panics() {
+        let mut enc = Encoder::new();
+        enc.encode(3, 3, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "total out of range")]
+    fn oversized_total_panics() {
+        let mut enc = Encoder::new();
+        enc.encode(0, 1, MAX_TOTAL);
+    }
+}

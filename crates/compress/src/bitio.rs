@@ -1,0 +1,118 @@
+//! Bit-granular I/O buffers for the arithmetic coder.
+
+/// A growable bit sink (MSB-first within each byte).
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the last byte (0..8). 0 means byte-aligned.
+    used: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+            self.used = 8;
+        }
+        self.used -= 1;
+        if bit {
+            *self.bytes.last_mut().expect("just pushed") |= 1 << self.used;
+        }
+    }
+
+    /// Total bits written.
+    pub fn len_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.used as usize
+    }
+
+    /// Finishes, returning the padded byte buffer (padding bits are zero).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// A bit source over a byte slice (MSB-first). Reads beyond the end yield
+/// zeros, which is what the arithmetic decoder's drain phase expects.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads the next bit (zero past the end).
+    pub fn next_bit(&mut self) -> bool {
+        let byte = self.pos / 8;
+        let bit = 7 - (self.pos % 8) as u32;
+        self.pos += 1;
+        self.bytes
+            .get(byte)
+            .map(|b| (b >> bit) & 1 == 1)
+            .unwrap_or(false)
+    }
+
+    /// Bits consumed so far (including virtual zero padding).
+    pub fn bits_read(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let pattern = [
+            true, false, true, true, false, false, true, false, true, true,
+        ];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.push(b);
+        }
+        assert_eq!(w.len_bits(), 10);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.next_bit(), b);
+        }
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.push(true);
+        assert_eq!(w.into_bytes(), vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn reader_pads_with_zeros() {
+        let mut r = BitReader::new(&[0xFF]);
+        for _ in 0..8 {
+            assert!(r.next_bit());
+        }
+        for _ in 0..16 {
+            assert!(!r.next_bit());
+        }
+        assert_eq!(r.bits_read(), 24);
+    }
+
+    #[test]
+    fn empty_writer() {
+        let w = BitWriter::new();
+        assert_eq!(w.len_bits(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! PPM data compression — the algorithm's home field.
+//!
+//! The paper adapts **Prediction by Partial Matching** from data
+//! compression (Cleary & Witten 1984, Moffat's PPMC 1990) to branch
+//! prediction. This crate implements the original: an order-`m` adaptive
+//! byte model with escape symbols, driving an arithmetic coder. It serves
+//! three purposes in the reproduction:
+//!
+//! 1. it grounds the "via data compression" lineage with a working
+//!    compressor whose *predictor* is structurally the same
+//!    highest-order-first, escape-to-lower-order machine as the branch
+//!    predictor in `ibp-ppm`;
+//! 2. its compression ratio is an entropy yardstick for branch traces
+//!    (highly predictable target streams compress well);
+//! 3. it exercises the PPM update-exclusion policy in its original form.
+//!
+//! # Example
+//!
+//! ```
+//! use ibp_compress::Ppm;
+//!
+//! let data = b"abracadabra abracadabra abracadabra";
+//! let compressed = Ppm::new(3).compress(data);
+//! assert!(compressed.len() < data.len());
+//! let back = Ppm::new(3).decompress(&compressed).unwrap();
+//! assert_eq!(back, data);
+//! ```
+
+pub mod arith;
+pub mod bitio;
+pub mod model;
+pub mod ppm;
+
+pub use ppm::{DecompressError, Ppm};

@@ -1,0 +1,283 @@
+//! The adaptive PPM context model (PPMC escape estimation).
+//!
+//! A context of order `j` is the last `j` bytes; each context keeps
+//! frequency counts of the symbols seen after it. The escape symbol's
+//! count is the number of *distinct* symbols in the context (Moffat's
+//! method C). Symbol intervals are laid out in ascending symbol order with
+//! escape last, so encoder and decoder enumerate identically.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Number of byte symbols plus the end-of-stream marker.
+pub const EOF: u16 = 256;
+/// Alphabet size for the order(-1) uniform model.
+pub const ALPHABET: u64 = 257;
+
+/// Rescale threshold: when a context's grand total exceeds this, counts
+/// are halved (keeping them ≥ 1) so coder totals stay bounded.
+const RESCALE_LIMIT: u64 = 1 << 14;
+
+/// What a context lookup says about a symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coding {
+    /// The symbol is present: encode `[lo, hi)` of `total`.
+    Symbol { lo: u64, hi: u64, total: u64 },
+    /// The symbol is absent: encode the escape interval of `total`.
+    Escape { lo: u64, hi: u64, total: u64 },
+}
+
+/// One context's frequency table.
+#[derive(Debug, Clone, Default)]
+pub struct Context {
+    counts: BTreeMap<u16, u64>,
+    symbol_total: u64,
+}
+
+impl Context {
+    /// Distinct symbols — the PPMC escape count.
+    pub fn distinct(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Grand total including the escape mass.
+    pub fn grand_total(&self) -> u64 {
+        self.symbol_total + self.distinct()
+    }
+
+    /// True when the context has never seen a symbol (the PPM lookup
+    /// skips such contexts entirely — no escape needs coding).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The coding interval for `symbol` in this context.
+    pub fn coding_for(&self, symbol: u16) -> Coding {
+        let total = self.grand_total();
+        let mut acc = 0u64;
+        for (&s, &c) in &self.counts {
+            if s == symbol {
+                return Coding::Symbol {
+                    lo: acc,
+                    hi: acc + c,
+                    total,
+                };
+            }
+            acc += c;
+        }
+        Coding::Escape {
+            lo: self.symbol_total,
+            hi: total,
+            total,
+        }
+    }
+
+    /// Maps a decoded cumulative position back to a symbol (`None` =
+    /// escape) and its interval.
+    pub fn symbol_at(&self, target: u64) -> (Option<u16>, u64, u64) {
+        let mut acc = 0u64;
+        for (&s, &c) in &self.counts {
+            if target < acc + c {
+                return (Some(s), acc, acc + c);
+            }
+            acc += c;
+        }
+        (None, self.symbol_total, self.grand_total())
+    }
+
+    /// Records one occurrence of `symbol`, rescaling if needed.
+    pub fn bump(&mut self, symbol: u16) {
+        *self.counts.entry(symbol).or_insert(0) += 1;
+        self.symbol_total += 1;
+        if self.grand_total() >= RESCALE_LIMIT {
+            self.rescale();
+        }
+    }
+
+    fn rescale(&mut self) {
+        self.symbol_total = 0;
+        for c in self.counts.values_mut() {
+            *c = (*c / 2).max(1);
+            self.symbol_total += *c;
+        }
+    }
+}
+
+/// The full order-`m` model: per-order context maps plus the sliding
+/// history window.
+#[derive(Debug, Clone)]
+pub struct Model {
+    max_order: usize,
+    /// contexts[j] maps the last-j-bytes key to its frequency table.
+    contexts: Vec<HashMap<Vec<u8>, Context>>,
+    history: Vec<u8>,
+}
+
+impl Model {
+    /// Creates an order-`max_order` model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_order > 16` (context keys are materialized vectors;
+    /// higher orders explode memory without compression benefit).
+    pub fn new(max_order: usize) -> Self {
+        assert!(max_order <= 16, "model order capped at 16");
+        Self {
+            max_order,
+            contexts: (0..=max_order).map(|_| HashMap::new()).collect(),
+            history: Vec::new(),
+        }
+    }
+
+    /// The model order.
+    pub fn max_order(&self) -> usize {
+        self.max_order
+    }
+
+    /// The context key of order `j` for the current history.
+    fn key(&self, order: usize) -> Vec<u8> {
+        let len = self.history.len();
+        self.history[len - order..].to_vec()
+    }
+
+    /// Orders to probe, highest first.
+    pub fn usable_orders(&self) -> impl Iterator<Item = usize> {
+        (0..=self.max_order).rev()
+    }
+
+    /// Returns the context of order `j` if it exists and is non-empty,
+    /// along with its key. Orders deeper than the current history are
+    /// unusable.
+    pub fn context(&self, order: usize) -> Option<&Context> {
+        if order > self.history.len() {
+            return None;
+        }
+        let key = self.key(order);
+        self.contexts[order].get(&key).filter(|c| !c.is_empty())
+    }
+
+    /// Records `symbol` into every context of order `from_order..=m`
+    /// (update exclusion: lower orders are untouched), then shifts the
+    /// byte into the history window. `symbol` must be a byte here (EOF is
+    /// never recorded).
+    pub fn update(&mut self, symbol: u16, from_order: usize) {
+        debug_assert!(symbol < 256, "EOF is never recorded in contexts");
+        let deepest = self.max_order.min(self.history.len());
+        for order in from_order..=deepest {
+            let key = self.key(order);
+            self.contexts[order].entry(key).or_default().bump(symbol);
+        }
+        self.history.push(symbol as u8);
+        // The window only ever needs max_order bytes of tail.
+        if self.history.len() > 4 * self.max_order.max(1) {
+            let cut = self.history.len() - self.max_order;
+            self.history.drain(..cut);
+        }
+    }
+
+    /// Total live contexts across all orders (model footprint metric).
+    pub fn context_count(&self) -> usize {
+        self.contexts.iter().map(|m| m.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_counts_and_escape() {
+        let mut c = Context::default();
+        c.bump(b'a' as u16);
+        c.bump(b'a' as u16);
+        c.bump(b'b' as u16);
+        assert_eq!(c.distinct(), 2);
+        assert_eq!(c.grand_total(), 5); // 3 symbols + 2 escape mass
+        match c.coding_for(b'a' as u16) {
+            Coding::Symbol { lo, hi, total } => {
+                assert_eq!((lo, hi, total), (0, 2, 5));
+            }
+            _ => panic!("expected symbol"),
+        }
+        match c.coding_for(b'z' as u16) {
+            Coding::Escape { lo, hi, total } => {
+                assert_eq!((lo, hi, total), (3, 5, 5));
+            }
+            _ => panic!("expected escape"),
+        }
+    }
+
+    #[test]
+    fn symbol_at_inverts_coding_for() {
+        let mut c = Context::default();
+        for s in [b'x', b'y', b'y', b'z'] {
+            c.bump(s as u16);
+        }
+        for s in [b'x', b'y', b'z'] {
+            if let Coding::Symbol { lo, hi, .. } = c.coding_for(s as u16) {
+                for t in lo..hi {
+                    let (sym, l2, h2) = c.symbol_at(t);
+                    assert_eq!(sym, Some(s as u16));
+                    assert_eq!((l2, h2), (lo, hi));
+                }
+            } else {
+                panic!("symbol {s} missing");
+            }
+        }
+        // Escape region maps to None.
+        let (sym, _, _) = c.symbol_at(c.grand_total() - 1);
+        assert_eq!(sym, None);
+    }
+
+    #[test]
+    fn rescale_preserves_symbols() {
+        let mut c = Context::default();
+        for i in 0..20_000u64 {
+            c.bump((i % 3) as u16);
+        }
+        assert!(c.grand_total() < RESCALE_LIMIT);
+        assert_eq!(c.distinct(), 3);
+        for s in 0..3u16 {
+            assert!(matches!(c.coding_for(s), Coding::Symbol { .. }));
+        }
+    }
+
+    #[test]
+    fn model_contexts_appear_after_updates() {
+        let mut m = Model::new(2);
+        assert!(m.context(0).is_none());
+        m.update(b'a' as u16, 0);
+        assert!(m.context(0).is_some());
+        assert!(m.context(1).is_none(), "order-1 context of 'a' not yet fed");
+        // After "abab" the current order-1 context ("b") and order-2
+        // context ("ab") have both been fed.
+        for s in [b'b', b'a', b'b'] {
+            m.update(s as u16, 0);
+        }
+        assert!(m.context(1).is_some());
+        assert!(m.context(2).is_some());
+    }
+
+    #[test]
+    fn model_update_exclusion_starts_at_from_order() {
+        let mut m = Model::new(2);
+        m.update(b'a' as u16, 0);
+        m.update(b'b' as u16, 0);
+        m.update(b'c' as u16, 2); // only the order-2 context "ab" learns 'c'
+        assert!(m.context(0).is_some());
+        // The order-1 context keyed "c" was never fed.
+        assert!(m.context(1).is_none());
+        // The order-2 context keyed "bc" was never fed either (only "ab"
+        // learned 'c'), so a lookup now misses.
+        assert!(m.context(2).is_none());
+    }
+
+    #[test]
+    fn history_window_stays_bounded() {
+        let mut m = Model::new(3);
+        for i in 0..10_000 {
+            m.update((i % 256) as u16, 0);
+        }
+        assert!(m.history.len() <= 12);
+        assert!(m.context(3).is_some());
+    }
+}

@@ -1,0 +1,288 @@
+//! The PPM compressor: context model + arithmetic coder.
+
+use crate::arith::{Decoder, Encoder};
+use crate::model::{Coding, Model, ALPHABET, EOF};
+use std::error::Error;
+use std::fmt;
+
+/// Error decoding a PPM stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The stream ended without an EOF symbol, or decoded garbage.
+    CorruptStream,
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompressError::CorruptStream => write!(f, "corrupt PPM stream"),
+        }
+    }
+}
+
+impl Error for DecompressError {}
+
+/// An order-`m` PPM compressor.
+///
+/// Both directions build the identical adaptive model symbol by symbol, so
+/// no model state is stored in the stream. The escape estimator is PPMC
+/// (escape count = distinct symbols); symbol exclusion is not applied
+/// (matching the paper's simple rendition of the algorithm, which also
+/// omits it).
+///
+/// # Examples
+///
+/// ```
+/// use ibp_compress::Ppm;
+///
+/// let compressed = Ppm::new(2).compress(b"mississippi mississippi");
+/// let back = Ppm::new(2).decompress(&compressed)?;
+/// assert_eq!(back, b"mississippi mississippi");
+/// # Ok::<(), ibp_compress::DecompressError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ppm {
+    max_order: usize,
+}
+
+impl Ppm {
+    /// Creates a compressor of the given maximum order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_order > 16`.
+    pub fn new(max_order: usize) -> Self {
+        let _ = Model::new(max_order); // validate
+        Self { max_order }
+    }
+
+    /// The model order.
+    pub fn max_order(&self) -> usize {
+        self.max_order
+    }
+
+    /// Compresses `data`, returning the encoded bytes.
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut model = Model::new(self.max_order);
+        let mut enc = Encoder::new();
+        for &byte in data {
+            self.encode_symbol(&mut model, &mut enc, byte as u16);
+            // encode_symbol updates the model itself.
+        }
+        self.encode_eof(&mut model, &mut enc);
+        enc.finish()
+    }
+
+    /// Decompresses an encoded stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompressError::CorruptStream`] when the stream decodes
+    /// to an impossible symbol sequence.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+        let mut model = Model::new(self.max_order);
+        let mut dec = Decoder::new(data);
+        let mut out = Vec::new();
+        // A hard cap guards against corrupt streams that never produce
+        // EOF: a valid stream of n input bytes decodes at most n symbols
+        // before EOF, and each coded symbol consumes at least one coder
+        // step, so 16x the bit length is a generous bound.
+        let budget = data.len().saturating_mul(128).max(1024);
+        for _ in 0..budget {
+            match self.decode_symbol(&mut model, &mut dec) {
+                Some(sym) if sym == EOF => return Ok(out),
+                Some(sym) => out.push(sym as u8),
+                None => return Err(DecompressError::CorruptStream),
+            }
+        }
+        Err(DecompressError::CorruptStream)
+    }
+
+    /// Encodes one byte: walk orders high→low, coding escapes until the
+    /// symbol is found, falling back to the uniform order(-1) model; then
+    /// update under update exclusion.
+    fn encode_symbol(&self, model: &mut Model, enc: &mut Encoder, symbol: u16) {
+        let mut coded_order = None;
+        for order in model.usable_orders() {
+            let Some(ctx) = model.context(order) else {
+                continue; // empty context: both sides skip silently
+            };
+            match ctx.coding_for(symbol) {
+                Coding::Symbol { lo, hi, total } => {
+                    enc.encode(lo, hi, total);
+                    coded_order = Some(order);
+                    break;
+                }
+                Coding::Escape { lo, hi, total } => {
+                    enc.encode(lo, hi, total);
+                }
+            }
+        }
+        let from_order = match coded_order {
+            Some(order) => order,
+            None => {
+                // Order -1: uniform over the full alphabet.
+                enc.encode(symbol as u64, symbol as u64 + 1, ALPHABET);
+                0
+            }
+        };
+        model.update(symbol, from_order);
+    }
+
+    /// Encodes the EOF marker (escapes all the way down to order -1,
+    /// since EOF is never recorded in any context).
+    fn encode_eof(&self, model: &mut Model, enc: &mut Encoder) {
+        for order in model.usable_orders() {
+            if let Some(ctx) = model.context(order) {
+                if let Coding::Escape { lo, hi, total } = ctx.coding_for(EOF) {
+                    enc.encode(lo, hi, total);
+                } else {
+                    unreachable!("EOF is never present in a context");
+                }
+            }
+        }
+        enc.encode(EOF as u64, EOF as u64 + 1, ALPHABET);
+    }
+
+    /// Decodes one symbol, mirroring `encode_symbol` exactly.
+    fn decode_symbol(&self, model: &mut Model, dec: &mut Decoder) -> Option<u16> {
+        let mut coded_order = None;
+        let mut symbol = None;
+        for order in model.usable_orders() {
+            let Some(ctx) = model.context(order) else {
+                continue;
+            };
+            let target = dec.decode_target(ctx.grand_total());
+            let (sym, lo, hi) = ctx.symbol_at(target);
+            dec.consume(lo, hi, ctx.grand_total());
+            if let Some(s) = sym {
+                symbol = Some(s);
+                coded_order = Some(order);
+                break;
+            }
+            // escape: fall through to the next lower order
+        }
+        let (symbol, from_order) = match (symbol, coded_order) {
+            (Some(s), Some(order)) => (s, order),
+            _ => {
+                let target = dec.decode_target(ALPHABET);
+                dec.consume(target, target + 1, ALPHABET);
+                (target as u16, 0)
+            }
+        };
+        if symbol == EOF {
+            return Some(EOF);
+        }
+        if symbol > EOF {
+            return None;
+        }
+        model.update(symbol, from_order);
+        Some(symbol)
+    }
+
+    /// Convenience: the compressed size of `data` in bits per input byte —
+    /// an upper bound on the source's entropy rate under this model.
+    pub fn bits_per_byte(&self, data: &[u8]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let compressed = self.compress(data);
+        compressed.len() as f64 * 8.0 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(order: usize, data: &[u8]) {
+        let c = Ppm::new(order).compress(data);
+        let back = Ppm::new(order).decompress(&c).unwrap();
+        assert_eq!(back, data, "order {order}, len {}", data.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        round_trip(3, b"");
+    }
+
+    #[test]
+    fn single_byte() {
+        round_trip(3, b"x");
+    }
+
+    #[test]
+    fn repeated_byte() {
+        round_trip(3, &[b'a'; 1000]);
+    }
+
+    #[test]
+    fn all_orders_round_trip() {
+        let data = b"the quick brown fox jumps over the lazy dog; \
+                     the quick brown fox jumps over the lazy dog";
+        for order in 0..=5 {
+            round_trip(order, data);
+        }
+    }
+
+    #[test]
+    fn binary_data_round_trip() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+        round_trip(3, &data);
+    }
+
+    #[test]
+    fn repetitive_text_compresses_well() {
+        let data = b"abracadabra ".repeat(100);
+        let bpb = Ppm::new(3).bits_per_byte(&data);
+        assert!(bpb < 2.0, "bits per byte {bpb}");
+    }
+
+    #[test]
+    fn higher_order_beats_order_zero_on_structured_text() {
+        let data = b"the cat sat on the mat and the cat sat on the hat ".repeat(20);
+        let bpb0 = Ppm::new(0).bits_per_byte(&data);
+        let bpb3 = Ppm::new(3).bits_per_byte(&data);
+        assert!(
+            bpb3 < bpb0,
+            "order-3 ({bpb3:.2}) should beat order-0 ({bpb0:.2})"
+        );
+    }
+
+    #[test]
+    fn random_bytes_do_not_compress() {
+        // A simple LCG as a deterministic pseudo-random source.
+        let mut x = 0x1234_5678u64;
+        let data: Vec<u8> = (0..4000)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let bpb = Ppm::new(2).bits_per_byte(&data);
+        assert!(bpb > 7.0, "incompressible data at {bpb:.2} bpb");
+        round_trip(2, &data);
+    }
+
+    #[test]
+    fn truncated_stream_errors_or_differs() {
+        let data = b"hello hello hello hello".to_vec();
+        let c = Ppm::new(2).compress(&data);
+        let cut = &c[..c.len() / 2];
+        // Truncation may decode garbage or error, but must not hang and
+        // must not silently return the original.
+        match Ppm::new(2).decompress(cut) {
+            Ok(out) => assert_ne!(out, data),
+            Err(DecompressError::CorruptStream) => {}
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecompressError::CorruptStream
+            .to_string()
+            .contains("corrupt"));
+    }
+}

@@ -1,0 +1,232 @@
+//! The Branch Identification Unit (BIU).
+//!
+//! The BIU is indexed with the branch address at fetch and identifies
+//! indirect branches (one bit per branch, fed by the compiler/linker ST/MT
+//! annotation of `ibp-isa::instr`). For the hybrid PPM predictor it also
+//! holds the per-branch 2-bit correlation-selection counter, which is why
+//! the hybrid is a *2-level* predictor (BIU access, then Markov access).
+//!
+//! The paper assumes an infinite BIU ("we assumed that the BIU module was
+//! of infinite size", §5) and flags its finite-size behaviour as future
+//! work. Both are modelled here: [`Biu::unbounded`] reproduces the paper,
+//! [`Biu::bounded`] evicts least-recently-used branches so the sensitivity
+//! can be measured.
+
+use crate::selector::{CorrelationSelector, SelectorKind};
+use ibp_hw::HardwareCost;
+use ibp_isa::{Addr, TargetArity};
+use std::collections::HashMap;
+
+/// Per-branch BIU state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BiuEntry {
+    arity: TargetArity,
+    selector: CorrelationSelector,
+    last_use: u64,
+}
+
+impl BiuEntry {
+    /// The recorded ST/MT annotation.
+    pub fn arity(&self) -> TargetArity {
+        self.arity
+    }
+
+    /// The correlation-selection counter.
+    pub fn selector(&self) -> &CorrelationSelector {
+        &self.selector
+    }
+
+    /// Mutable access to the correlation-selection counter.
+    pub fn selector_mut(&mut self) -> &mut CorrelationSelector {
+        &mut self.selector
+    }
+}
+
+/// The Branch Identification Unit.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_isa::{Addr, TargetArity};
+/// use ibp_ppm::{Biu, CorrelationMode, SelectorKind};
+///
+/// let mut biu = Biu::unbounded(SelectorKind::Normal);
+/// let e = biu.entry(Addr::new(0x40), TargetArity::Multiple);
+/// assert_eq!(e.selector().mode(), CorrelationMode::Pib);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Biu {
+    entries: HashMap<u64, BiuEntry>,
+    capacity: Option<usize>,
+    kind: SelectorKind,
+    clock: u64,
+}
+
+impl Biu {
+    /// An infinite BIU, as assumed by the paper's evaluation.
+    pub fn unbounded(kind: SelectorKind) -> Self {
+        Self {
+            entries: HashMap::new(),
+            capacity: None,
+            kind,
+            clock: 0,
+        }
+    }
+
+    /// A finite BIU of `capacity` branches with LRU eviction, for the
+    /// finite-size sensitivity study the paper leaves open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize, kind: SelectorKind) -> Self {
+        assert!(capacity > 0, "BIU capacity must be non-zero");
+        Self {
+            entries: HashMap::with_capacity(capacity),
+            capacity: Some(capacity),
+            kind,
+            clock: 0,
+        }
+    }
+
+    /// The selector machine variant used for new entries.
+    pub fn kind(&self) -> SelectorKind {
+        self.kind
+    }
+
+    /// Number of branches currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no branch is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up (or allocates) the entry for the branch at `pc`,
+    /// refreshing its LRU position.
+    ///
+    /// New entries start in the Strongly-PIB selector state, per §4. A
+    /// bounded BIU evicts its least-recently-used branch when full — a
+    /// re-allocated branch therefore loses its learned correlation type,
+    /// which is exactly the sensitivity the paper flags.
+    pub fn entry(&mut self, pc: Addr, arity: TargetArity) -> &mut BiuEntry {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(cap) = self.capacity {
+            if !self.entries.contains_key(&pc.raw()) && self.entries.len() >= cap {
+                if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_use) {
+                    self.entries.remove(&victim);
+                }
+            }
+        }
+        let kind = self.kind;
+        let e = self.entries.entry(pc.raw()).or_insert_with(|| BiuEntry {
+            arity,
+            selector: CorrelationSelector::new(kind),
+            last_use: clock,
+        });
+        e.last_use = clock;
+        e
+    }
+
+    /// Reads the entry for `pc` without allocating.
+    pub fn get(&self, pc: Addr) -> Option<&BiuEntry> {
+        self.entries.get(&pc.raw())
+    }
+
+    /// Hardware cost. An unbounded BIU reports its current footprint; a
+    /// bounded one its configured capacity. Each entry: indirect bit +
+    /// MT bit + 2-bit selector (the BTB-like tag/valid machinery is shared
+    /// with the front-end and not charged here, matching the paper, which
+    /// charges no BIU cost against the 2K-entry budget).
+    pub fn cost(&self) -> HardwareCost {
+        let n = self.capacity.unwrap_or(self.entries.len()) as u64;
+        HardwareCost::new(0, n * 4)
+    }
+
+    /// Forgets all branches.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::CorrelationMode;
+
+    #[test]
+    fn allocates_strongly_pib() {
+        let mut biu = Biu::unbounded(SelectorKind::Normal);
+        let e = biu.entry(Addr::new(0x40), TargetArity::Multiple);
+        assert_eq!(e.selector().state(), 3);
+        assert_eq!(e.arity(), TargetArity::Multiple);
+        assert_eq!(biu.len(), 1);
+    }
+
+    #[test]
+    fn selector_state_persists_across_lookups() {
+        let mut biu = Biu::unbounded(SelectorKind::Normal);
+        biu.entry(Addr::new(0x40), TargetArity::Multiple)
+            .selector_mut()
+            .record(false);
+        let e = biu.get(Addr::new(0x40)).unwrap();
+        assert_eq!(e.selector().state(), 2);
+    }
+
+    #[test]
+    fn bounded_biu_evicts_lru() {
+        let mut biu = Biu::bounded(2, SelectorKind::Normal);
+        biu.entry(Addr::new(0x10), TargetArity::Multiple);
+        biu.entry(Addr::new(0x20), TargetArity::Multiple);
+        // Touch 0x10 so 0x20 becomes LRU.
+        biu.entry(Addr::new(0x10), TargetArity::Multiple);
+        biu.entry(Addr::new(0x30), TargetArity::Multiple);
+        assert_eq!(biu.len(), 2);
+        assert!(biu.get(Addr::new(0x10)).is_some());
+        assert!(biu.get(Addr::new(0x20)).is_none(), "LRU entry evicted");
+        assert!(biu.get(Addr::new(0x30)).is_some());
+    }
+
+    #[test]
+    fn eviction_loses_learned_state() {
+        let mut biu = Biu::bounded(1, SelectorKind::Normal);
+        // Train 0x10 to the PB side.
+        for _ in 0..4 {
+            biu.entry(Addr::new(0x10), TargetArity::Multiple)
+                .selector_mut()
+                .record(false);
+        }
+        assert_eq!(
+            biu.get(Addr::new(0x10)).unwrap().selector().mode(),
+            CorrelationMode::Pb
+        );
+        biu.entry(Addr::new(0x20), TargetArity::Multiple); // evicts 0x10
+        let e = biu.entry(Addr::new(0x10), TargetArity::Multiple);
+        assert_eq!(e.selector().mode(), CorrelationMode::Pib, "state lost");
+    }
+
+    #[test]
+    fn biased_kind_propagates_to_entries() {
+        let mut biu = Biu::unbounded(SelectorKind::PibBiased);
+        let e = biu.entry(Addr::new(0x40), TargetArity::Multiple);
+        assert_eq!(e.selector().kind(), SelectorKind::PibBiased);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut biu = Biu::unbounded(SelectorKind::Normal);
+        biu.entry(Addr::new(0x40), TargetArity::Multiple);
+        biu.reset();
+        assert!(biu.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = Biu::bounded(0, SelectorKind::Normal);
+    }
+}

@@ -1,0 +1,406 @@
+//! Conditional-branch PPM (paper §3, Figure 1).
+//!
+//! Before adapting PPM to indirect targets, the paper walks through PPM as
+//! used for *conditional* branch prediction (after Chen, Coffey & Mudge).
+//! Two renditions are provided:
+//!
+//! * [`BitMarkovModel`] / [`GraphPpm`] — the literal graph-based Markov
+//!   chain of Figure 1: states are `j`-bit patterns, edges carry frequency
+//!   counts, prediction picks the highest-count outgoing edge, and the PPM
+//!   wrapper escapes to the next lower order when a state has no outgoing
+//!   edges;
+//! * [`TablePpm`] — Chen et al.'s hardware emulation: each order-`j` model
+//!   becomes a `2^j`-entry PHT of 2-bit saturating counters indexed by the
+//!   low `j` bits of a global history register, with valid bits and update
+//!   exclusion.
+
+use ibp_hw::counter::Saturating2Bit;
+use std::collections::HashMap;
+
+/// A graph-based Markov predictor of order `m` over a bit stream.
+///
+/// # Examples
+///
+/// The worked example of Figure 1 — after `01010110101`, state `101` has
+/// been followed by `0` twice and `1` once, so the model predicts `0`:
+///
+/// ```
+/// use ibp_ppm::conditional::BitMarkovModel;
+///
+/// let mut m = BitMarkovModel::new(3);
+/// for b in [0, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1] {
+///     m.train(b != 0);
+/// }
+/// assert_eq!(m.predict(), Some(false));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitMarkovModel {
+    order: u32,
+    /// pattern -> [count of next==0, count of next==1]
+    transitions: HashMap<u64, [u64; 2]>,
+    history: u64,
+    seen: u32,
+}
+
+impl BitMarkovModel {
+    /// Creates an order-`order` model (order 0 is the frequency model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order > 63`.
+    pub fn new(order: u32) -> Self {
+        assert!(order <= 63, "order must fit in a u64 pattern");
+        Self {
+            order,
+            transitions: HashMap::new(),
+            history: 0,
+            seen: 0,
+        }
+    }
+
+    /// The model order.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    fn mask(&self) -> u64 {
+        if self.order == 0 {
+            0
+        } else {
+            (1u64 << self.order) - 1
+        }
+    }
+
+    /// The current state (the last `order` bits), if enough bits were seen.
+    pub fn state(&self) -> Option<u64> {
+        (self.seen >= self.order).then_some(self.history & self.mask())
+    }
+
+    /// Frequency counts `[zeros, ones]` out of the current state.
+    pub fn edge_counts(&self) -> Option<[u64; 2]> {
+        self.transitions.get(&self.state()?).copied()
+    }
+
+    /// Predicts the next bit from the current state, or `None` when the
+    /// state has no outgoing edges (the PPM escape condition). Ties break
+    /// toward taken (`true`).
+    pub fn predict(&self) -> Option<bool> {
+        let [zeros, ones] = self.edge_counts()?;
+        debug_assert!(zeros + ones > 0);
+        Some(ones >= zeros)
+    }
+
+    /// Trains on the next bit: bumps the frequency count out of the
+    /// current state, then shifts the bit into the history.
+    pub fn train(&mut self, bit: bool) {
+        if let Some(state) = self.state() {
+            let e = self.transitions.entry(state).or_insert([0, 0]);
+            e[bit as usize] += 1;
+        }
+        self.shift(bit);
+    }
+
+    /// Shifts a bit into the history *without* recording a transition
+    /// (used by update exclusion).
+    pub fn shift(&mut self, bit: bool) {
+        self.history = (self.history << 1) | bit as u64;
+        self.seen = self.seen.saturating_add(1);
+    }
+
+    /// Number of states with at least one outgoing edge.
+    pub fn populated_states(&self) -> usize {
+        self.transitions.len()
+    }
+}
+
+/// The order-`m` PPM predictor for conditional branches: `m + 1` graph
+/// Markov models with escape to lower orders and update exclusion.
+#[derive(Debug, Clone)]
+pub struct GraphPpm {
+    models: Vec<BitMarkovModel>,
+}
+
+impl GraphPpm {
+    /// Creates a PPM of order `m` (models of orders `0..=m`).
+    pub fn new(max_order: u32) -> Self {
+        Self {
+            models: (0..=max_order).map(BitMarkovModel::new).collect(),
+        }
+    }
+
+    /// The maximum order.
+    pub fn max_order(&self) -> u32 {
+        (self.models.len() - 1) as u32
+    }
+
+    /// Predicts the next bit and reports which order provided it. The
+    /// 0th-order model always predicts once it has seen one bit; a fully
+    /// cold predictor returns `None`.
+    pub fn predict(&self) -> Option<(u32, bool)> {
+        for model in self.models.iter().rev() {
+            if let Some(bit) = model.predict() {
+                return Some((model.order(), bit));
+            }
+        }
+        None
+    }
+
+    /// Trains on the next bit under update exclusion: the providing order
+    /// and all higher orders record the transition; lower orders only
+    /// shift their history.
+    pub fn train(&mut self, bit: bool) {
+        let provider = self.predict().map(|(order, _)| order).unwrap_or(0);
+        for model in self.models.iter_mut() {
+            if model.order() >= provider {
+                model.train(bit);
+            } else {
+                model.shift(bit);
+            }
+        }
+    }
+
+    /// The model of a given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order > max_order`.
+    pub fn model(&self, order: u32) -> &BitMarkovModel {
+        &self.models[order as usize]
+    }
+}
+
+/// One order of the table-based conditional PPM: a `2^j`-entry PHT of
+/// 2-bit counters with valid bits, indexed by the low `j` bits of the
+/// global history register (Chen et al.'s emulation of the Markov model).
+#[derive(Debug, Clone)]
+struct TableOrder {
+    order: u32,
+    entries: Vec<Option<Saturating2Bit>>,
+}
+
+impl TableOrder {
+    fn new(order: u32) -> Self {
+        Self {
+            order,
+            entries: vec![None; 1usize << order],
+        }
+    }
+
+    fn index(&self, history: u64) -> usize {
+        let mask = (self.entries.len() - 1) as u64;
+        (history & mask) as usize
+    }
+
+    fn predict(&self, history: u64) -> Option<bool> {
+        self.entries[self.index(history)].map(|c| c.is_high_half())
+    }
+
+    fn train(&mut self, history: u64, taken: bool) {
+        let idx = self.index(history);
+        let c = self.entries[idx].get_or_insert(Saturating2Bit::new(if taken { 2 } else { 1 }));
+        if taken {
+            c.increment();
+        } else {
+            c.decrement();
+        }
+    }
+}
+
+/// The hardware rendition of conditional PPM: `m + 1` PHT banks of 2-bit
+/// counters with valid bits, a global history register, highest-valid-order
+/// selection and update exclusion.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_ppm::conditional::TablePpm;
+///
+/// let mut p = TablePpm::new(8);
+/// for i in 0..200 {
+///     p.train(i % 2 == 0);
+/// }
+/// // An alternating stream is perfectly predictable from history:
+/// // outcome 200 would be taken.
+/// assert_eq!(p.predict(), Some(true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TablePpm {
+    orders: Vec<TableOrder>,
+    history: u64,
+}
+
+impl TablePpm {
+    /// Creates a table-based PPM of order `max_order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_order > 20` (tables are `2^j` entries; keep it sane).
+    pub fn new(max_order: u32) -> Self {
+        assert!(max_order <= 20, "table PPM order capped at 20");
+        Self {
+            orders: (0..=max_order).map(TableOrder::new).collect(),
+            history: 0,
+        }
+    }
+
+    /// Predicts the next outcome from the highest valid order.
+    pub fn predict(&self) -> Option<bool> {
+        self.orders
+            .iter()
+            .rev()
+            .find_map(|o| o.predict(self.history))
+    }
+
+    /// The order that would provide the next prediction.
+    pub fn provider(&self) -> Option<u32> {
+        self.orders
+            .iter()
+            .rev()
+            .find(|o| o.predict(self.history).is_some())
+            .map(|o| o.order)
+    }
+
+    /// Trains on an outcome under update exclusion, then shifts history.
+    pub fn train(&mut self, taken: bool) {
+        let provider = self.provider().unwrap_or(0);
+        for o in self.orders.iter_mut() {
+            if o.order >= provider {
+                o.train(self.history, taken);
+            }
+        }
+        self.history = (self.history << 1) | taken as u64;
+    }
+
+    /// Measures accuracy over an outcome stream (predict-then-train).
+    pub fn accuracy<I: IntoIterator<Item = bool>>(&mut self, stream: I) -> f64 {
+        let mut total = 0u64;
+        let mut hits = 0u64;
+        for taken in stream {
+            if self.predict() == Some(taken) {
+                hits += 1;
+            }
+            self.train(taken);
+            total += 1;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE1: [u8; 11] = [0, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1];
+
+    fn trained_model(order: u32) -> BitMarkovModel {
+        let mut m = BitMarkovModel::new(order);
+        for b in FIGURE1 {
+            m.train(b != 0);
+        }
+        m
+    }
+
+    #[test]
+    fn figure1_state_and_counts() {
+        // After 01010110101 the 3rd-order model sits in state 101 with
+        // edge counts {next 0: 2, next 1: 1} — exactly Figure 1.
+        let m = trained_model(3);
+        assert_eq!(m.state(), Some(0b101));
+        assert_eq!(m.edge_counts(), Some([2, 1]));
+        assert_eq!(m.predict(), Some(false));
+    }
+
+    #[test]
+    fn figure1_four_of_eight_states_populated() {
+        // "the model has recorded transitions to 4 out of the possible 8
+        // states" — i.e. 4 distinct 3-bit patterns have outgoing edges.
+        let m = trained_model(3);
+        assert_eq!(m.populated_states(), 4);
+    }
+
+    #[test]
+    fn cold_model_escapes() {
+        let m = BitMarkovModel::new(3);
+        assert_eq!(m.predict(), None);
+        assert_eq!(m.state(), None);
+    }
+
+    #[test]
+    fn order_zero_predicts_relative_frequency() {
+        let mut m = BitMarkovModel::new(0);
+        for b in [1, 1, 1, 0] {
+            m.train(b != 0);
+        }
+        assert_eq!(m.predict(), Some(true));
+        assert_eq!(m.edge_counts(), Some([1, 3]));
+    }
+
+    #[test]
+    fn graph_ppm_escapes_to_lower_orders() {
+        let mut p = GraphPpm::new(3);
+        assert_eq!(p.predict(), None); // totally cold
+        p.train(true);
+        // Only the 0th order has an edge after one bit.
+        let (order, bit) = p.predict().unwrap();
+        assert_eq!(order, 0);
+        assert!(bit);
+    }
+
+    #[test]
+    fn graph_ppm_figure1_prediction() {
+        let mut p = GraphPpm::new(3);
+        for b in FIGURE1 {
+            p.train(b != 0);
+        }
+        let (order, bit) = p.predict().unwrap();
+        assert_eq!(order, 3, "3rd-order state 101 has edges; no escape");
+        assert!(!bit, "Figure 1 predicts 0");
+    }
+
+    #[test]
+    fn update_exclusion_keeps_lower_orders_sparse() {
+        let mut p = GraphPpm::new(2);
+        // Repeating pattern long enough for order 2 to dominate.
+        for i in 0..40 {
+            p.train(i % 2 == 0);
+        }
+        // Once order 2 provides, orders 0 and 1 stop accumulating counts.
+        let counts0: u64 = p.model(0).edge_counts().map(|[a, b]| a + b).unwrap_or(0);
+        assert!(counts0 < 40, "0th order kept training: {counts0}");
+    }
+
+    #[test]
+    fn table_ppm_learns_alternation() {
+        let mut p = TablePpm::new(6);
+        let stream: Vec<bool> = (0..500).map(|i| i % 2 == 0).collect();
+        let acc = p.accuracy(stream);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn table_ppm_learns_long_period_pattern() {
+        // Period-7 pattern: needs >2 bits of history.
+        let pattern = [true, true, false, true, false, false, false];
+        let mut p = TablePpm::new(10);
+        let stream: Vec<bool> = (0..2100).map(|i| pattern[i % 7]).collect();
+        let acc = p.accuracy(stream);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn table_ppm_cold_returns_none() {
+        let p = TablePpm::new(4);
+        assert_eq!(p.predict(), None);
+        assert_eq!(p.provider(), None);
+    }
+
+    #[test]
+    fn empty_stream_accuracy_zero() {
+        let mut p = TablePpm::new(2);
+        assert_eq!(p.accuracy(Vec::new()), 0.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! PPM-hyb: PPM with dynamic per-branch correlation selection.
+//!
+//! The paper's headline design (§4, Figure 4): two path history registers
+//! — **PB** (fed by every branch) and **PIB** (fed by indirect branches) —
+//! share one Markov stack. The BIU's per-branch 2-bit selection counter
+//! picks which PHR generates the indices for each prediction; the counter
+//! is trained by prediction outcomes through either the normal or the
+//! PIB-biased state machine of Figure 5. Because the BIU must be consulted
+//! before the Markov tables, this is a *2-level* predictor.
+
+use crate::biu::Biu;
+use crate::selector::{CorrelationMode, SelectorKind};
+use crate::stack::{MarkovStack, StackConfig, StackLookup};
+use crate::stats::OrderStats;
+use ibp_hw::{HardwareCost, PathHistory};
+use ibp_isa::{Addr, TargetArity};
+use ibp_predictors::{HistoryGroup, IndirectPredictor};
+use ibp_trace::BranchEvent;
+
+/// The PPM hybrid predictor (`PPM-hyb` / `PPM-hyb-biased`).
+///
+/// # Examples
+///
+/// ```
+/// use ibp_isa::Addr;
+/// use ibp_ppm::PpmHybrid;
+/// use ibp_predictors::IndirectPredictor;
+///
+/// let mut ppm = PpmHybrid::paper_biased();
+/// ppm.update(Addr::new(0x40), Addr::new(0x900));
+/// assert_eq!(ppm.predict(Addr::new(0x40)), Some(Addr::new(0x900)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PpmHybrid {
+    stack: MarkovStack,
+    pb_phr: PathHistory,
+    pib_phr: PathHistory,
+    biu: Biu,
+    stats: OrderStats,
+    selector_kind: SelectorKind,
+    /// Lookup state captured at fetch: (pc, mode used, stack lookup).
+    last: Option<(Addr, CorrelationMode, StackLookup)>,
+    /// Count of predictions made in each mode, for analysis.
+    pb_predictions: u64,
+    pib_predictions: u64,
+}
+
+impl PpmHybrid {
+    /// Creates a hybrid PPM from a stack configuration and selector kind.
+    pub fn new(config: StackConfig, selector_kind: SelectorKind) -> Self {
+        let pb_phr = PathHistory::new(config.phr_depth(), config.select_bits as u8);
+        let pib_phr = PathHistory::new(config.phr_depth(), config.select_bits as u8);
+        let max_order = config.max_order;
+        Self {
+            stack: MarkovStack::new(config),
+            pb_phr,
+            pib_phr,
+            biu: Biu::unbounded(selector_kind),
+            stats: OrderStats::new(max_order),
+            selector_kind,
+            last: None,
+            pb_predictions: 0,
+            pib_predictions: 0,
+        }
+    }
+
+    /// The paper's `PPM-hyb`: order 10, 2 × 100-bit PHRs, normal selector.
+    pub fn paper() -> Self {
+        Self::new(StackConfig::paper(), SelectorKind::Normal)
+    }
+
+    /// The paper's `PPM-hyb-biased`: same, with the PIB-biased selector.
+    pub fn paper_biased() -> Self {
+        Self::new(StackConfig::paper(), SelectorKind::PibBiased)
+    }
+
+    /// Uses a bounded BIU of `capacity` branches (the finite-size
+    /// sensitivity the paper leaves as future work).
+    pub fn with_bounded_biu(mut self, capacity: usize) -> Self {
+        self.biu = Biu::bounded(capacity, self.selector_kind);
+        self
+    }
+
+    /// Per-order access/miss statistics.
+    pub fn order_stats(&self) -> &OrderStats {
+        &self.stats
+    }
+
+    /// The underlying Markov stack.
+    pub fn stack(&self) -> &MarkovStack {
+        &self.stack
+    }
+
+    /// The Branch Identification Unit.
+    pub fn biu(&self) -> &Biu {
+        &self.biu
+    }
+
+    /// How many predictions used the PB vs PIB history.
+    pub fn mode_usage(&self) -> (u64, u64) {
+        (self.pb_predictions, self.pib_predictions)
+    }
+
+    fn phr_for(&self, mode: CorrelationMode) -> &PathHistory {
+        match mode {
+            CorrelationMode::Pb => &self.pb_phr,
+            CorrelationMode::Pib => &self.pib_phr,
+        }
+    }
+}
+
+impl IndirectPredictor for PpmHybrid {
+    fn name(&self) -> String {
+        match self.selector_kind {
+            SelectorKind::Normal => "PPM-hyb".into(),
+            SelectorKind::PibBiased => "PPM-hyb-biased".into(),
+        }
+    }
+
+    fn predict(&mut self, pc: Addr) -> Option<Addr> {
+        let mode = self.biu.entry(pc, TargetArity::Multiple).selector().mode();
+        match mode {
+            CorrelationMode::Pb => self.pb_predictions += 1,
+            CorrelationMode::Pib => self.pib_predictions += 1,
+        }
+        let lookup = self.stack.lookup(self.phr_for(mode), pc);
+        let prediction = lookup.prediction();
+        self.last = Some((pc, mode, lookup));
+        prediction
+    }
+
+    fn update(&mut self, pc: Addr, actual: Addr) {
+        let (mode, lookup) = match self.last.take() {
+            Some((last_pc, mode, lookup)) if last_pc == pc => (mode, lookup),
+            _ => {
+                let mode = self.biu.entry(pc, TargetArity::Multiple).selector().mode();
+                (mode, self.stack.lookup(self.phr_for(mode), pc))
+            }
+        };
+        let correct = lookup.prediction() == Some(actual);
+        self.stats.record(lookup.provider(), correct);
+        self.stack.update(&lookup, pc, actual);
+        // "The PHRs and the correlation selection counters are always
+        // updated" (§4): the counter sees every outcome.
+        self.biu
+            .entry(pc, TargetArity::Multiple)
+            .selector_mut()
+            .record(correct);
+        let _ = mode;
+    }
+
+    fn observe(&mut self, event: &BranchEvent) {
+        // PB records the targets of every committed branch; PIB those of
+        // indirect branches only.
+        if HistoryGroup::AllBranches.accepts(event) {
+            self.pb_phr.push(event.target().path_bits());
+        }
+        if HistoryGroup::AllIndirect.accepts(event) {
+            self.pib_phr.push(event.target().path_bits());
+        }
+    }
+
+    fn cost(&self) -> HardwareCost {
+        self.stack.cost()
+            + HardwareCost::register(self.pb_phr.total_bits() as u64)
+            + HardwareCost::register(self.pib_phr.total_bits() as u64)
+            + self.biu.cost()
+    }
+
+    fn reset(&mut self) {
+        self.stack.clear();
+        self.pb_phr.clear();
+        self.pib_phr.clear();
+        self.biu.reset();
+        self.stats.reset();
+        self.last = None;
+        self.pb_predictions = 0;
+        self.pib_predictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut PpmHybrid, pc: Addr, target: Addr) -> bool {
+        let hit = p.predict(pc) == Some(target);
+        p.update(pc, target);
+        p.observe(&BranchEvent::indirect_jmp(pc, target));
+        hit
+    }
+
+    #[test]
+    fn starts_in_pib_mode() {
+        let mut p = PpmHybrid::paper();
+        let _ = p.predict(Addr::new(0x40));
+        assert_eq!(p.mode_usage(), (0, 1));
+    }
+
+    #[test]
+    fn learns_pib_correlated_sequences() {
+        let mut p = PpmHybrid::paper();
+        let pc = Addr::new(0x100);
+        let targets = [Addr::new(0xA04), Addr::new(0xB08), Addr::new(0xC0C)];
+        let mut late_misses = 0;
+        for i in 0..600 {
+            let t = targets[i % 3];
+            if !drive(&mut p, pc, t) && i > 100 {
+                late_misses += 1;
+            }
+        }
+        assert!(late_misses < 20, "hybrid failed PIB cycle: {late_misses}");
+    }
+
+    #[test]
+    fn switches_to_pb_for_pb_correlated_branch() {
+        // The branch's target is determined by the taken/not-taken path of
+        // preceding conditional branches — invisible to PIB history. After
+        // enough PIB failures, the selector must flip to PB and accuracy
+        // must recover.
+        let mut p = PpmHybrid::paper();
+        let site = Addr::new(0x500);
+        let cond = Addr::new(0x100);
+        let outs = [Addr::new(0xA04), Addr::new(0xB08)];
+        let mut late_misses = 0;
+        for i in 0..2000usize {
+            let k = (i / 7) % 2; // slow phase alternation
+                                 // Conditional with direction-dependent target shapes PB path.
+            let cond_target = if k == 0 {
+                Addr::new(0x204)
+            } else {
+                Addr::new(0x308)
+            };
+            p.observe(&BranchEvent::cond_taken(cond, cond_target));
+            let hit = p.predict(site) == Some(outs[k]);
+            p.update(site, outs[k]);
+            p.observe(&BranchEvent::indirect_jsr(site, outs[k]));
+            if i > 1000 && !hit {
+                late_misses += 1;
+            }
+        }
+        assert!(
+            late_misses < 150,
+            "hybrid failed to exploit PB correlation: {late_misses}"
+        );
+        let entry = p.biu().get(site).unwrap();
+        assert_eq!(entry.selector().mode(), CorrelationMode::Pb);
+        assert!(p.mode_usage().0 > 0, "PB history never used");
+    }
+
+    #[test]
+    fn biased_variant_name_and_kind() {
+        assert_eq!(PpmHybrid::paper().name(), "PPM-hyb");
+        assert_eq!(PpmHybrid::paper_biased().name(), "PPM-hyb-biased");
+    }
+
+    #[test]
+    fn pb_history_records_everything() {
+        let mut p = PpmHybrid::paper();
+        p.observe(&BranchEvent::cond_taken(Addr::new(0x10), Addr::new(0x24)));
+        assert_ne!(p.pb_phr.packed(), 0);
+        assert_eq!(p.pib_phr.packed(), 0);
+        p.observe(&BranchEvent::st_jsr(Addr::new(0x30), Addr::new(0x904)));
+        assert_ne!(p.pib_phr.packed(), 0);
+    }
+
+    #[test]
+    fn paper_budget_is_2k_entries() {
+        let p = PpmHybrid::paper();
+        assert_eq!(p.cost().entries(), 2046);
+        // Two 100-bit PHRs are charged.
+        assert!(p.cost().bits() >= 200);
+    }
+
+    #[test]
+    fn bounded_biu_variant_works() {
+        let mut p = PpmHybrid::paper().with_bounded_biu(4);
+        for i in 0..8u64 {
+            drive(&mut p, Addr::new(0x100 + i * 4), Addr::new(0x900 + i * 4));
+        }
+        assert!(p.biu().len() <= 4);
+    }
+
+    #[test]
+    fn reset_restores_cold() {
+        let mut p = PpmHybrid::paper();
+        drive(&mut p, Addr::new(0x40), Addr::new(0x900));
+        p.reset();
+        assert_eq!(p.predict(Addr::new(0x40)), None);
+        assert!(p.biu().len() <= 1); // only the re-probed entry
+    }
+}

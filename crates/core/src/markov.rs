@@ -1,0 +1,238 @@
+//! Hardware Markov predictors.
+//!
+//! A Markov predictor of order `j` is, in the paper's implementation, a
+//! BTB-like structure "where every entry includes the most recently
+//! accessed target, a 2-bit up/down saturating counter and a valid bit"
+//! (§4). Every entry ideally represents one state of the order-`j` Markov
+//! model; the valid bit indicates a non-zero frequency count for that
+//! state, and the counter delays target replacement until two consecutive
+//! misses, exactly like the BTB2b.
+//!
+//! The simulated tables are tagless (the paper's design point); the tagged
+//! variant the authors list as future work is provided for the ablation
+//! bench.
+
+use ibp_hw::HardwareCost;
+use ibp_isa::Addr;
+use ibp_predictors::entry::HysteresisEntry;
+
+/// One Markov-table entry: `{target, 2-bit counter}` plus an optional tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkovEntry {
+    entry: HysteresisEntry,
+    tag: u64,
+}
+
+impl MarkovEntry {
+    /// The stored target.
+    pub fn target(&self) -> Addr {
+        self.entry.target()
+    }
+
+    /// The 2-bit counter value.
+    pub fn counter(&self) -> u32 {
+        self.entry.counter()
+    }
+
+    /// The stored tag (meaningful only in tagged tables).
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+}
+
+/// One order of the PPM predictor: a table of [`MarkovEntry`]s.
+///
+/// In the paper's configuration the order-`j` table has `2^j` entries,
+/// indexed by the `j` high-order bits of the SFSXS signature; any size is
+/// accepted here (indexing wraps modulo the table length) so budget sweeps
+/// can scale the stack.
+#[derive(Debug, Clone)]
+pub struct MarkovTable {
+    order: u32,
+    entries: Vec<Option<MarkovEntry>>,
+    tagged: bool,
+}
+
+impl MarkovTable {
+    /// Creates a table for `order` with `len` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` or `len` is zero.
+    pub fn new(order: u32, len: usize, tagged: bool) -> Self {
+        assert!(order > 0, "Markov order must be non-zero");
+        assert!(len > 0, "Markov table must have entries");
+        Self {
+            order,
+            entries: vec![None; len],
+            tagged,
+        }
+    }
+
+    /// Creates the paper-sized table for `order`: `2^order` entries,
+    /// tagless.
+    pub fn paper(order: u32) -> Self {
+        Self::new(order, 1usize << order, false)
+    }
+
+    /// The Markov order of this table.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is valid.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|e| e.is_none())
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether entries carry tags.
+    pub fn is_tagged(&self) -> bool {
+        self.tagged
+    }
+
+    fn slot(&self, index: u64) -> usize {
+        (index % self.entries.len() as u64) as usize
+    }
+
+    /// Looks up `index`; returns the stored target if the entry is valid
+    /// (and, in a tagged table, the tag matches).
+    pub fn lookup(&self, index: u64, tag: u64) -> Option<Addr> {
+        self.lookup_entry(index, tag).map(|e| e.target())
+    }
+
+    /// Looks up `index`, returning the whole entry (target, counter, tag)
+    /// if valid and tag-matching — used by the confidence extension to
+    /// inspect the 2-bit counter.
+    pub fn lookup_entry(&self, index: u64, tag: u64) -> Option<&MarkovEntry> {
+        let e = self.entries[self.slot(index)].as_ref()?;
+        if self.tagged && e.tag != tag {
+            return None;
+        }
+        Some(e)
+    }
+
+    /// Applies the resolved target to the selected entry (allocating it if
+    /// invalid), per the paper's update rule: set the valid bit, update the
+    /// target under 2-bit hysteresis, adjust the counter. In a tagged
+    /// table a tag mismatch reallocates the entry for the new branch.
+    pub fn update(&mut self, index: u64, tag: u64, actual: Addr) {
+        let slot = self.slot(index);
+        match &mut self.entries[slot] {
+            Some(e) if !self.tagged || e.tag == tag => {
+                e.entry.apply(actual);
+            }
+            other => {
+                *other = Some(MarkovEntry {
+                    entry: HysteresisEntry::new(actual),
+                    tag,
+                });
+            }
+        }
+    }
+
+    /// Hardware cost of this table.
+    pub fn cost(&self) -> HardwareCost {
+        let tag_bits = if self.tagged { 10 } else { 0 };
+        HardwareCost::table(self.entries.len() as u64, 64 + 2 + 1 + tag_bits)
+    }
+
+    /// Invalidates every entry.
+    pub fn clear(&mut self) {
+        for e in self.entries.iter_mut() {
+            *e = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizing_is_two_to_the_order() {
+        for j in 1..=10 {
+            assert_eq!(MarkovTable::paper(j).len(), 1 << j);
+        }
+        // Orders 1..=10 total 2046 entries — the paper's "2K total".
+        let total: usize = (1..=10).map(|j| MarkovTable::paper(j).len()).sum();
+        assert_eq!(total, 2046);
+    }
+
+    #[test]
+    fn invalid_entries_do_not_predict() {
+        let t = MarkovTable::paper(3);
+        assert_eq!(t.lookup(0, 0), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn update_allocates_and_lookup_hits() {
+        let mut t = MarkovTable::paper(3);
+        t.update(5, 0, Addr::new(0x900));
+        assert_eq!(t.lookup(5, 0), Some(Addr::new(0x900)));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn two_consecutive_misses_replace_target() {
+        let mut t = MarkovTable::paper(3);
+        t.update(5, 0, Addr::new(0x900));
+        t.update(5, 0, Addr::new(0xA00)); // miss 1
+        assert_eq!(t.lookup(5, 0), Some(Addr::new(0x900)));
+        t.update(5, 0, Addr::new(0xA00)); // miss 2
+        assert_eq!(t.lookup(5, 0), Some(Addr::new(0xA00)));
+    }
+
+    #[test]
+    fn tagless_table_aliases() {
+        let mut t = MarkovTable::new(2, 4, false);
+        t.update(1, 111, Addr::new(0x900));
+        // Same slot, different "tag": tagless tables don't care.
+        assert_eq!(t.lookup(5, 222), Some(Addr::new(0x900)));
+    }
+
+    #[test]
+    fn tagged_table_rejects_foreign_tags() {
+        let mut t = MarkovTable::new(2, 4, true);
+        t.update(1, 111, Addr::new(0x900));
+        assert_eq!(t.lookup(1, 111), Some(Addr::new(0x900)));
+        assert_eq!(t.lookup(1, 222), None);
+        // A mismatching update reallocates the slot.
+        t.update(1, 222, Addr::new(0xA00));
+        assert_eq!(t.lookup(1, 222), Some(Addr::new(0xA00)));
+        assert_eq!(t.lookup(1, 111), None);
+    }
+
+    #[test]
+    fn cost_charges_tags() {
+        let tagless = MarkovTable::new(3, 8, false).cost();
+        let tagged = MarkovTable::new(3, 8, true).cost();
+        assert_eq!(tagless.entries(), 8);
+        assert!(tagged.bits() > tagless.bits());
+    }
+
+    #[test]
+    fn clear_invalidates() {
+        let mut t = MarkovTable::paper(2);
+        t.update(0, 0, Addr::new(0x900));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(0, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be non-zero")]
+    fn zero_order_panics() {
+        let _ = MarkovTable::new(0, 4, false);
+    }
+}

@@ -1,0 +1,566 @@
+//! The order-`m` PPM stack: Markov tables + SFSXS indexing + update
+//! exclusion.
+//!
+//! A PPM predictor of order `m` is a set of Markov predictors of orders
+//! `1..=m` (the paper's hardware drops the degenerate 0th order). All
+//! tables are accessed in parallel with indices derived from one SFSXS
+//! signature of the path history; *the highest-order table with a valid
+//! selected entry provides the prediction*. The update step follows the
+//! **update exclusion** policy of PPMC: only the providing order and all
+//! higher orders are updated; lower orders are untouched.
+
+use crate::markov::MarkovTable;
+use crate::stats::OrderStats;
+use ibp_hw::hash::Sfsxs;
+use ibp_hw::{HardwareCost, PathHistory};
+use ibp_isa::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`MarkovStack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StackConfig {
+    /// Highest Markov order `m`. Paper: 10.
+    pub max_order: u32,
+    /// Bits selected from each partial target by SFSXS. Paper: 10.
+    pub select_bits: u32,
+    /// Bits each selection folds to. Paper: 5.
+    pub fold_bits: u32,
+    /// Total entries across all orders; `None` uses the paper sizing
+    /// (order `j` gets `2^j` entries, totalling `2^(m+1) - 2`).
+    pub total_entries: Option<usize>,
+    /// Tagged Markov entries (the paper's future-work variant).
+    pub tagged: bool,
+    /// Use the low-order signature bits instead of the high-order ones
+    /// (the alternative §4 mentions and dismisses; kept for the ablation).
+    pub low_bit_select: bool,
+    /// Confidence threshold (0..=3) — the §6 future-work item "assign
+    /// confidence on the prediction of different Markov components". With
+    /// threshold `c > 0`, a valid entry whose 2-bit counter is below `c`
+    /// no longer *provides*: the lookup falls through to lower orders
+    /// looking for a confident entry, falling back to the highest-order
+    /// valid entry when none is confident. 0 (the paper) disables this.
+    pub confidence_threshold: u32,
+    /// Update protocol (the §6 future-work item "modify the update
+    /// protocol"). The paper uses update exclusion.
+    pub update_protocol: UpdateProtocol,
+    /// Index generation scheme. The paper replaces the gshare indexing of
+    /// its predecessors with SFSXS (§4: "The hashing function proposed in
+    /// [4, 8] uses a gshare indexing scheme ... In our case, we use a
+    /// modified version of the Select-Fold-Shift-XOR"); the gshare variant
+    /// is kept so the replacement can be measured.
+    pub index_scheme: IndexScheme,
+}
+
+/// How the order-`j` Markov table index is generated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndexScheme {
+    /// The paper's Select-Fold-Shift-XOR-Select hash over the PHR.
+    #[default]
+    Sfsxs,
+    /// The predecessors' scheme: XOR the branch PC with the packed
+    /// youngest `j` partial targets, keeping `j` bits. Unlike SFSXS this
+    /// mixes branch identity into the index.
+    GsharePerOrder,
+}
+
+/// Which Markov orders learn the resolved target (§5 of Chen et al.; the
+/// paper adopts update exclusion and §6 proposes modifying it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateProtocol {
+    /// PPMC's update exclusion: the providing order and all higher orders
+    /// learn; lower orders do not (the paper, §3/§4).
+    #[default]
+    Exclusion,
+    /// Every order learns on every update — maximal training of the lower
+    /// orders at the cost of redundant writes and churn.
+    AllOrders,
+    /// Only the providing order learns (no promotion of longer contexts
+    /// beyond first allocation).
+    ProviderOnly,
+}
+
+impl StackConfig {
+    /// The paper's order-10 configuration (2046 entries, tagless,
+    /// high-order bit select).
+    pub fn paper() -> Self {
+        Self {
+            max_order: 10,
+            select_bits: 10,
+            fold_bits: 5,
+            total_entries: None,
+            tagged: false,
+            low_bit_select: false,
+            confidence_threshold: 0,
+            update_protocol: UpdateProtocol::default(),
+            index_scheme: IndexScheme::default(),
+        }
+    }
+
+    /// A scaled configuration with approximately `total` entries,
+    /// distributed across orders proportionally to the paper's `2^j`
+    /// geometric sizing.
+    pub fn with_total_entries(total: usize) -> Self {
+        Self {
+            total_entries: Some(total),
+            ..Self::paper()
+        }
+    }
+
+    /// The per-order table sizes this configuration produces.
+    pub fn table_sizes(&self) -> Vec<usize> {
+        match self.total_entries {
+            None => (1..=self.max_order).map(|j| 1usize << j).collect(),
+            Some(total) => {
+                let weight_sum = (1u128 << (self.max_order + 1)) - 2;
+                (1..=self.max_order)
+                    .map(|j| {
+                        let w = 1u128 << j;
+                        ((total as u128 * w / weight_sum).max(1)) as usize
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The number of targets the path history register must hold.
+    pub fn phr_depth(&self) -> usize {
+        self.max_order as usize
+    }
+}
+
+/// The outcome of probing all Markov orders for one prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackLookup {
+    /// Per-order table indices (index 0 = order 1).
+    indices: Vec<u64>,
+    /// The order that provided the prediction, if any.
+    provider: Option<u32>,
+    /// The predicted target, if any.
+    prediction: Option<Addr>,
+}
+
+impl StackLookup {
+    /// The order that provided the prediction (1..=m), or `None` when no
+    /// table had a valid selected entry.
+    pub fn provider(&self) -> Option<u32> {
+        self.provider
+    }
+
+    /// The predicted target.
+    pub fn prediction(&self) -> Option<Addr> {
+        self.prediction
+    }
+
+    /// The index probed in the order-`j` table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is out of range.
+    pub fn index(&self, order: u32) -> u64 {
+        self.indices[(order - 1) as usize]
+    }
+}
+
+/// The set of `m` Markov predictors plus their shared index generator.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_hw::PathHistory;
+/// use ibp_isa::Addr;
+/// use ibp_ppm::{MarkovStack, StackConfig};
+///
+/// let mut stack = MarkovStack::new(StackConfig::paper());
+/// let phr = PathHistory::new(10, 10);
+/// let lookup = stack.lookup(&phr, Addr::new(0x40));
+/// assert_eq!(lookup.prediction(), None); // cold
+/// stack.update(&lookup, Addr::new(0x40), Addr::new(0x900));
+/// let lookup = stack.lookup(&phr, Addr::new(0x40));
+/// assert_eq!(lookup.prediction(), Some(Addr::new(0x900)));
+/// assert_eq!(lookup.provider(), Some(10)); // highest order answers
+/// ```
+#[derive(Debug, Clone)]
+pub struct MarkovStack {
+    config: StackConfig,
+    tables: Vec<MarkovTable>,
+    sfsxs: Sfsxs,
+}
+
+impl MarkovStack {
+    /// Builds the stack from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_order` is zero or exceeds the SFSXS signature width
+    /// (`fold_bits + max_order - 1` must stay within 64 bits and the
+    /// signature must supply `max_order` index bits).
+    pub fn new(config: StackConfig) -> Self {
+        assert!(config.max_order > 0, "stack needs at least order 1");
+        let sfsxs = Sfsxs::new(config.select_bits, config.fold_bits, config.max_order);
+        assert!(
+            config.max_order <= sfsxs.signature_bits(),
+            "signature too narrow for max order"
+        );
+        let tables = config
+            .table_sizes()
+            .into_iter()
+            .zip(1..=config.max_order)
+            .map(|(len, order)| MarkovTable::new(order, len, config.tagged))
+            .collect();
+        Self {
+            config,
+            tables,
+            sfsxs,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StackConfig {
+        &self.config
+    }
+
+    /// The Markov table for `order` (1..=m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is out of range.
+    pub fn table(&self, order: u32) -> &MarkovTable {
+        &self.tables[(order - 1) as usize]
+    }
+
+    /// Total entries across all orders.
+    pub fn total_entries(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    fn tag_of(pc: Addr) -> u64 {
+        (pc.raw() >> 2) & 0x3FF
+    }
+
+    /// Probes every order for the current path history and branch.
+    pub fn lookup(&self, phr: &PathHistory, pc: Addr) -> StackLookup {
+        let tag = Self::tag_of(pc);
+        let indices: Vec<u64> = match self.config.index_scheme {
+            IndexScheme::Sfsxs => {
+                let signature = self.sfsxs.signature(phr);
+                (1..=self.config.max_order)
+                    .map(|j| {
+                        if self.config.low_bit_select {
+                            self.sfsxs.index_low(signature, j)
+                        } else {
+                            self.sfsxs.index(signature, j)
+                        }
+                    })
+                    .collect()
+            }
+            IndexScheme::GsharePerOrder => (1..=self.config.max_order)
+                .map(|j| {
+                    // Pack the youngest j partial targets, XOR-fold the
+                    // whole window down to j bits (so every recorded
+                    // target influences the index, as the baselines'
+                    // dimension-matched gshare registers do), then XOR
+                    // the PC in.
+                    let bits = (j * phr.bits_per_target() as u32).min(128);
+                    let history = phr.packed_bits(bits);
+                    let folded64 = (history as u64) ^ ((history >> 64) as u64);
+                    let folded = ibp_hw::fold_xor(folded64, 64, j);
+                    ibp_hw::gshare(pc.raw() >> 2, folded as u128, j)
+                })
+                .collect(),
+        };
+        // Highest order with a valid (tag-matching) entry provides. With
+        // a confidence threshold, weak entries are skipped and the highest
+        // valid entry only serves as a fallback.
+        let mut fallback: Option<(u32, Addr)> = None;
+        for order in (1..=self.config.max_order).rev() {
+            let idx = indices[(order - 1) as usize];
+            if let Some(entry) = self.table(order).lookup_entry(idx, tag) {
+                if entry.counter() >= self.config.confidence_threshold {
+                    return StackLookup {
+                        indices,
+                        provider: Some(order),
+                        prediction: Some(entry.target()),
+                    };
+                }
+                if fallback.is_none() {
+                    fallback = Some((order, entry.target()));
+                }
+            }
+        }
+        match fallback {
+            Some((order, target)) => StackLookup {
+                indices,
+                provider: Some(order),
+                prediction: Some(target),
+            },
+            None => StackLookup {
+                indices,
+                provider: None,
+                prediction: None,
+            },
+        }
+    }
+
+    /// Applies the resolved target under the configured update protocol.
+    /// The paper's update exclusion updates the providing order and every
+    /// higher order, leaving lower orders untouched; when no order
+    /// provided (all invalid), every order allocates.
+    pub fn update(&mut self, lookup: &StackLookup, pc: Addr, actual: Addr) {
+        let tag = Self::tag_of(pc);
+        let provider = lookup.provider.unwrap_or(1);
+        let (start, end) = match self.config.update_protocol {
+            UpdateProtocol::Exclusion => (provider, self.config.max_order),
+            UpdateProtocol::AllOrders => (1, self.config.max_order),
+            UpdateProtocol::ProviderOnly => {
+                if lookup.provider.is_some() {
+                    (provider, provider)
+                } else {
+                    // Cold: allocate everywhere, as in the other modes.
+                    (1, self.config.max_order)
+                }
+            }
+        };
+        for order in start..=end {
+            let idx = lookup.indices[(order - 1) as usize];
+            self.tables[(order - 1) as usize].update(idx, tag, actual);
+        }
+    }
+
+    /// Records a lookup outcome into per-order statistics.
+    pub fn record_stats(&self, stats: &mut OrderStats, lookup: &StackLookup, actual: Addr) {
+        stats.record(lookup.provider(), lookup.prediction() == Some(actual));
+    }
+
+    /// Hardware cost of all tables (history registers are owned and
+    /// charged by the enclosing predictor).
+    pub fn cost(&self) -> HardwareCost {
+        self.tables.iter().map(|t| t.cost()).sum()
+    }
+
+    /// Invalidates every table.
+    pub fn clear(&mut self) {
+        for t in self.tables.iter_mut() {
+            t.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warm_phr(vals: &[u64]) -> PathHistory {
+        let mut phr = PathHistory::new(10, 10);
+        for &v in vals {
+            phr.push(v);
+        }
+        phr
+    }
+
+    #[test]
+    fn paper_stack_totals_2046_entries() {
+        let stack = MarkovStack::new(StackConfig::paper());
+        assert_eq!(stack.total_entries(), 2046);
+        assert_eq!(stack.cost().entries(), 2046);
+        for j in 1..=10 {
+            assert_eq!(stack.table(j).len(), 1 << j);
+        }
+    }
+
+    #[test]
+    fn scaled_sizing_tracks_geometric_weights() {
+        let cfg = StackConfig::with_total_entries(1023);
+        let sizes = cfg.table_sizes();
+        assert_eq!(sizes.len(), 10);
+        // Roughly half the paper sizes, preserving the geometric shape.
+        assert!(sizes[9] > sizes[8] && sizes[8] > sizes[7]);
+        let total: usize = sizes.iter().sum();
+        assert!((900..=1023).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn cold_stack_has_no_provider() {
+        let stack = MarkovStack::new(StackConfig::paper());
+        let lookup = stack.lookup(&warm_phr(&[]), Addr::new(0x40));
+        assert_eq!(lookup.provider(), None);
+        assert_eq!(lookup.prediction(), None);
+    }
+
+    #[test]
+    fn first_update_allocates_every_order() {
+        let mut stack = MarkovStack::new(StackConfig::paper());
+        let phr = warm_phr(&[0x123, 0x2F1]);
+        let lookup = stack.lookup(&phr, Addr::new(0x40));
+        stack.update(&lookup, Addr::new(0x40), Addr::new(0x900));
+        for j in 1..=10 {
+            assert_eq!(stack.table(j).occupancy(), 1, "order {j}");
+        }
+        // Next lookup with the same history answers from order 10.
+        let l2 = stack.lookup(&phr, Addr::new(0x40));
+        assert_eq!(l2.provider(), Some(10));
+        assert_eq!(l2.prediction(), Some(Addr::new(0x900)));
+    }
+
+    #[test]
+    fn update_exclusion_skips_lower_orders() {
+        let mut stack = MarkovStack::new(StackConfig::paper());
+        let phr = warm_phr(&[0x111, 0x222, 0x333]);
+        // Warm all orders once.
+        let l1 = stack.lookup(&phr, Addr::new(0x40));
+        stack.update(&l1, Addr::new(0x40), Addr::new(0x900));
+        // Snapshot low-order state, then update again: the provider is now
+        // order 10, so orders 1..=9 must not change.
+        let before: Vec<usize> = (1..=9).map(|j| stack.table(j).occupancy()).collect();
+        let l2 = stack.lookup(&phr, Addr::new(0x40));
+        assert_eq!(l2.provider(), Some(10));
+        stack.update(&l2, Addr::new(0x40), Addr::new(0xA00));
+        let after: Vec<usize> = (1..=9).map(|j| stack.table(j).occupancy()).collect();
+        assert_eq!(before, after, "update exclusion violated");
+        // And the order-9 entry still holds the ORIGINAL target: it was
+        // not shown 0xA00.
+        let idx9 = l2.index(9);
+        assert_eq!(
+            stack.table(9).lookup(idx9, (0x40u64 >> 2) & 0x3FF),
+            Some(Addr::new(0x900))
+        );
+    }
+
+    #[test]
+    fn fallback_to_lower_order_when_higher_is_invalid() {
+        let mut stack = MarkovStack::new(StackConfig::paper());
+        let phr_a = warm_phr(&[0x1, 0x2, 0x3]);
+        let lookup_a = stack.lookup(&phr_a, Addr::new(0x40));
+        stack.update(&lookup_a, Addr::new(0x40), Addr::new(0x900));
+        // A history differing only in the OLDEST recorded target changes
+        // the order-10 index but preserves all lower-order indices (low
+        // orders depend only on recent targets).
+        let mut phr_b = PathHistory::new(10, 10);
+        phr_b.push(0x77); // will age into slot 9
+        for _ in 0..6 {
+            phr_b.push(0);
+        }
+        for &v in &[0x1u64, 0x2, 0x3] {
+            phr_b.push(v);
+        }
+        // phr_b differs from phr_a in slot 9 only (0x77 vs 0).
+        let la = stack.lookup(&phr_a, Addr::new(0x40));
+        let lb = stack.lookup(&phr_b, Addr::new(0x40));
+        assert_eq!(la.index(1), lb.index(1), "order-1 index must match");
+        assert_ne!(la.index(10), lb.index(10), "order-10 index must differ");
+        // The order-10 entry for phr_b's signature is invalid, so the
+        // stack falls back to a lower order and still predicts 0x900.
+        assert!(lb.provider().is_some());
+        assert!(lb.provider().unwrap() < 10);
+        assert_eq!(lb.prediction(), Some(Addr::new(0x900)));
+    }
+
+    #[test]
+    fn tagged_stack_rejects_other_branches() {
+        let mut stack = MarkovStack::new(StackConfig {
+            tagged: true,
+            ..StackConfig::paper()
+        });
+        let phr = warm_phr(&[0x5]);
+        let l = stack.lookup(&phr, Addr::new(0x40));
+        stack.update(&l, Addr::new(0x40), Addr::new(0x900));
+        assert_eq!(
+            stack.lookup(&phr, Addr::new(0x40)).prediction(),
+            Some(Addr::new(0x900))
+        );
+        assert_eq!(stack.lookup(&phr, Addr::new(0x44)).prediction(), None);
+    }
+
+    #[test]
+    fn low_bit_select_changes_indices() {
+        let hi = MarkovStack::new(StackConfig::paper());
+        let lo = MarkovStack::new(StackConfig {
+            low_bit_select: true,
+            ..StackConfig::paper()
+        });
+        let phr = warm_phr(&[0x3FF, 0x155, 0x2AA]);
+        let lh = hi.lookup(&phr, Addr::new(0x40));
+        let ll = lo.lookup(&phr, Addr::new(0x40));
+        assert_ne!(
+            (1..=10).map(|j| lh.index(j)).collect::<Vec<_>>(),
+            (1..=10).map(|j| ll.index(j)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gshare_scheme_mixes_pc_into_the_index() {
+        let stack = MarkovStack::new(StackConfig {
+            index_scheme: IndexScheme::GsharePerOrder,
+            ..StackConfig::paper()
+        });
+        let phr = warm_phr(&[0x155, 0x2AA]);
+        let a = stack.lookup(&phr, Addr::new(0x40));
+        let b = stack.lookup(&phr, Addr::new(0x44));
+        // Same history, different PC: gshare indices must differ at some
+        // order (SFSXS's would be identical).
+        assert!(
+            (1..=10).any(|j| a.index(j) != b.index(j)),
+            "gshare must depend on the PC"
+        );
+        let sfsxs = MarkovStack::new(StackConfig::paper());
+        let c = sfsxs.lookup(&phr, Addr::new(0x40));
+        let d = sfsxs.lookup(&phr, Addr::new(0x44));
+        assert!(
+            (1..=10).all(|j| c.index(j) == d.index(j)),
+            "SFSXS must not depend on the PC"
+        );
+    }
+
+    #[test]
+    fn all_orders_protocol_trains_low_orders() {
+        let mut stack = MarkovStack::new(StackConfig {
+            update_protocol: UpdateProtocol::AllOrders,
+            ..StackConfig::paper()
+        });
+        let phr = warm_phr(&[0x111, 0x222, 0x333]);
+        let l1 = stack.lookup(&phr, Addr::new(0x40));
+        stack.update(&l1, Addr::new(0x40), Addr::new(0x900));
+        let l2 = stack.lookup(&phr, Addr::new(0x40));
+        stack.update(&l2, Addr::new(0x40), Addr::new(0xA00));
+        // Order 1 saw BOTH updates: its entry decayed from 0x900 toward
+        // 0xA00 (one miss under hysteresis, target kept), unlike update
+        // exclusion where it would never have seen 0xA00 at all.
+        let idx1 = l2.index(1);
+        let e = stack.table(1).lookup_entry(idx1, (0x40u64 >> 2) & 0x3FF).unwrap();
+        assert_eq!(e.counter(), 0, "order 1 must have been decremented");
+    }
+
+    #[test]
+    fn provider_only_protocol_freezes_other_orders() {
+        let mut stack = MarkovStack::new(StackConfig {
+            update_protocol: UpdateProtocol::ProviderOnly,
+            ..StackConfig::paper()
+        });
+        let phr = warm_phr(&[0x111, 0x222, 0x333]);
+        let l1 = stack.lookup(&phr, Addr::new(0x40));
+        stack.update(&l1, Addr::new(0x40), Addr::new(0x900)); // cold: all alloc
+        // Provider is now order 10; repeated new targets must only ever
+        // touch order 10.
+        for t in [0xA00u64, 0xA00, 0xB00, 0xB00] {
+            let l = stack.lookup(&phr, Addr::new(0x40));
+            assert_eq!(l.provider(), Some(10));
+            stack.update(&l, Addr::new(0x40), Addr::new(t));
+        }
+        let l = stack.lookup(&phr, Addr::new(0x40));
+        // Order 9 still holds the original cold allocation.
+        let idx9 = l.index(9);
+        assert_eq!(
+            stack.table(9).lookup(idx9, (0x40u64 >> 2) & 0x3FF),
+            Some(Addr::new(0x900))
+        );
+    }
+
+    #[test]
+    fn clear_invalidates_all_orders() {
+        let mut stack = MarkovStack::new(StackConfig::paper());
+        let phr = warm_phr(&[0x5]);
+        let l = stack.lookup(&phr, Addr::new(0x40));
+        stack.update(&l, Addr::new(0x40), Addr::new(0x900));
+        stack.clear();
+        assert_eq!(stack.lookup(&phr, Addr::new(0x40)).prediction(), None);
+    }
+}

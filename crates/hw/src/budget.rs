@@ -1,0 +1,154 @@
+//! Hardware cost accounting.
+//!
+//! The paper compares predictors "for approximately the same hardware
+//! budget" — every simulated configuration totals 2K table entries. Each
+//! predictor in this workspace reports its cost through [`HardwareCost`] so
+//! the experiment harness can verify the budget invariant and the sweep
+//! benches can scale configurations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Cost of a predictor structure: table entries and storage bits.
+///
+/// `entries` counts prediction-table entries (the paper's budget unit);
+/// `bits` is a finer-grained estimate including targets, counters, valid
+/// bits, tags and history registers.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_hw::budget::HardwareCost;
+///
+/// let btb = HardwareCost::new(2048, 2048 * 64);
+/// let counters = HardwareCost::new(0, 2048 * 2);
+/// let total = btb + counters;
+/// assert_eq!(total.entries(), 2048);
+/// assert_eq!(total.bits(), 2048 * 66);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct HardwareCost {
+    entries: u64,
+    bits: u64,
+}
+
+impl HardwareCost {
+    /// A zero cost.
+    pub fn new(entries: u64, bits: u64) -> Self {
+        Self { entries, bits }
+    }
+
+    /// Cost of a table of `entries` entries of `bits_per_entry` bits each.
+    pub fn table(entries: u64, bits_per_entry: u64) -> Self {
+        Self {
+            entries,
+            bits: entries * bits_per_entry,
+        }
+    }
+
+    /// Cost of a register of `bits` bits (no table entries).
+    pub fn register(bits: u64) -> Self {
+        Self { entries: 0, bits }
+    }
+
+    /// Table entries counted against the paper's 2K-entry budget.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Total storage bits.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Storage in bytes, rounded up.
+    pub fn bytes(&self) -> u64 {
+        self.bits.div_ceil(8)
+    }
+}
+
+impl Add for HardwareCost {
+    type Output = HardwareCost;
+
+    fn add(self, rhs: HardwareCost) -> HardwareCost {
+        HardwareCost {
+            entries: self.entries + rhs.entries,
+            bits: self.bits + rhs.bits,
+        }
+    }
+}
+
+impl AddAssign for HardwareCost {
+    fn add_assign(&mut self, rhs: HardwareCost) {
+        self.entries += rhs.entries;
+        self.bits += rhs.bits;
+    }
+}
+
+impl std::iter::Sum for HardwareCost {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), Add::add)
+    }
+}
+
+impl fmt::Display for HardwareCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} entries / {} bits ({} KiB)",
+            self.entries,
+            self.bits,
+            self.bits as f64 / 8192.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_cost_multiplies() {
+        let c = HardwareCost::table(2048, 66);
+        assert_eq!(c.entries(), 2048);
+        assert_eq!(c.bits(), 2048 * 66);
+    }
+
+    #[test]
+    fn register_has_no_entries() {
+        let c = HardwareCost::register(100);
+        assert_eq!(c.entries(), 0);
+        assert_eq!(c.bits(), 100);
+    }
+
+    #[test]
+    fn add_and_sum_accumulate() {
+        let parts = [
+            HardwareCost::table(1024, 32),
+            HardwareCost::table(1022, 32),
+            HardwareCost::register(200),
+        ];
+        let total: HardwareCost = parts.into_iter().sum();
+        assert_eq!(total.entries(), 2046);
+        assert_eq!(total.bits(), 1024 * 32 + 1022 * 32 + 200);
+        let mut t = HardwareCost::default();
+        t += HardwareCost::new(1, 8);
+        assert_eq!(t.bytes(), 1);
+    }
+
+    #[test]
+    fn bytes_round_up() {
+        assert_eq!(HardwareCost::register(1).bytes(), 1);
+        assert_eq!(HardwareCost::register(9).bytes(), 2);
+        assert_eq!(HardwareCost::register(16).bytes(), 2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = format!("{}", HardwareCost::table(2048, 66));
+        assert!(s.contains("2048 entries"));
+    }
+}

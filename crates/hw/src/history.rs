@@ -1,0 +1,263 @@
+//! Path history registers.
+//!
+//! A *path history register* (PHR) is a shift register that records a few
+//! low-order bits of each of the last `depth` branch targets. It is the
+//! first level of every two-level indirect-branch predictor in the paper:
+//!
+//! * the GAp baseline records 2 bits from each of the last 5 targets
+//!   (a 10-bit PHR);
+//! * the Target Cache records 2 bits from previous *indirect* targets
+//!   (an 11-bit PHR — the paper truncates the oldest target to one bit);
+//! * the PPM predictor records 10 bits from each of the last 10 targets
+//!   (two 100-bit PHRs: one fed by all branches, one by indirect branches
+//!   only).
+//!
+//! The PHR is always updated with the *actual* (resolved) target, whether or
+//! not the prediction was correct (paper §4).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A shift register of partial branch targets.
+///
+/// Each recorded slot keeps the low-order `bits_per_target` bits of a target
+/// address; the register holds the `depth` most recent targets. Slot 0 is
+/// always the most recent target.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_hw::history::PathHistory;
+///
+/// let mut phr = PathHistory::new(3, 4); // last 3 targets, 4 bits each
+/// phr.push(0xABCD);
+/// phr.push(0x1234);
+/// assert_eq!(phr.slot(0), 0x4); // most recent
+/// assert_eq!(phr.slot(1), 0xD);
+/// assert_eq!(phr.slot(2), 0x0); // not yet filled
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathHistory {
+    depth: usize,
+    bits_per_target: u8,
+    /// Front = most recent. Always holds exactly `depth` entries.
+    slots: VecDeque<u64>,
+}
+
+impl PathHistory {
+    /// Creates an all-zero history of `depth` targets with
+    /// `bits_per_target` low-order bits recorded per target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or `bits_per_target` is zero or above 64.
+    pub fn new(depth: usize, bits_per_target: u8) -> Self {
+        assert!(depth > 0, "path history depth must be non-zero");
+        assert!(
+            (1..=64).contains(&bits_per_target),
+            "bits per target must be in 1..=64"
+        );
+        Self {
+            depth,
+            bits_per_target,
+            slots: std::iter::repeat_n(0, depth).collect(),
+        }
+    }
+
+    /// Number of targets recorded.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Bits recorded per target.
+    pub fn bits_per_target(&self) -> u8 {
+        self.bits_per_target
+    }
+
+    /// Total register width in bits (`depth * bits_per_target`).
+    pub fn total_bits(&self) -> u32 {
+        self.depth as u32 * self.bits_per_target as u32
+    }
+
+    /// Shifts a new target in, discarding the oldest one.
+    ///
+    /// Only the low-order `bits_per_target` bits of `target` are kept.
+    pub fn push(&mut self, target: u64) {
+        self.slots.pop_back();
+        self.slots.push_front(target & self.slot_mask());
+    }
+
+    /// Returns the partial target at `age` (0 = most recent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `age >= depth`.
+    pub fn slot(&self, age: usize) -> u64 {
+        self.slots[age]
+    }
+
+    /// Iterates over the partial targets from most recent to oldest.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().copied()
+    }
+
+    /// Packs the register into a single integer: the most recent target
+    /// occupies the least-significant `bits_per_target` bits, the next most
+    /// recent the bits above it, and so on.
+    ///
+    /// This is the conventional "concatenated history" view used for gshare
+    /// indexing. If the register is wider than 128 bits the oldest targets
+    /// that do not fit are dropped (the predictors in this workspace never
+    /// pack the 100-bit PPM PHRs; they use per-slot access via the SFSXS
+    /// hash instead).
+    pub fn packed(&self) -> u128 {
+        let b = self.bits_per_target as u32;
+        let mut out: u128 = 0;
+        for (age, slot) in self.slots.iter().enumerate() {
+            let shift = age as u32 * b;
+            if shift >= 128 {
+                break;
+            }
+            out |= (*slot as u128) << shift;
+        }
+        out
+    }
+
+    /// Packs the newest `n_bits` bits of history, truncating the *oldest*
+    /// target if `n_bits` is not a multiple of `bits_per_target`.
+    ///
+    /// The Target Cache configuration in the paper records an 11-bit PIB
+    /// history out of 2-bit partial targets: five full targets plus one bit
+    /// of the sixth. This method reproduces that trick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits` is zero or exceeds 128.
+    pub fn packed_bits(&self, n_bits: u32) -> u128 {
+        assert!(n_bits > 0 && n_bits <= 128, "n_bits must be in 1..=128");
+        let full = self.packed();
+        if n_bits == 128 {
+            full
+        } else {
+            full & ((1u128 << n_bits) - 1)
+        }
+    }
+
+    /// Clears the register back to all zeros.
+    pub fn clear(&mut self) {
+        for slot in self.slots.iter_mut() {
+            *slot = 0;
+        }
+    }
+
+    fn slot_mask(&self) -> u64 {
+        if self.bits_per_target == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits_per_target) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_history_is_zero() {
+        let phr = PathHistory::new(4, 8);
+        assert_eq!(phr.depth(), 4);
+        assert_eq!(phr.bits_per_target(), 8);
+        assert_eq!(phr.total_bits(), 32);
+        assert!(phr.iter().all(|s| s == 0));
+        assert_eq!(phr.packed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be non-zero")]
+    fn zero_depth_panics() {
+        let _ = PathHistory::new(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits per target")]
+    fn zero_bits_panics() {
+        let _ = PathHistory::new(4, 0);
+    }
+
+    #[test]
+    fn push_keeps_low_bits_and_shifts() {
+        let mut phr = PathHistory::new(3, 4);
+        phr.push(0xABCD);
+        phr.push(0x1234);
+        phr.push(0xFFFF);
+        assert_eq!(phr.slot(0), 0xF);
+        assert_eq!(phr.slot(1), 0x4);
+        assert_eq!(phr.slot(2), 0xD);
+        phr.push(0x1);
+        assert_eq!(phr.slot(0), 0x1);
+        assert_eq!(phr.slot(1), 0xF);
+        assert_eq!(phr.slot(2), 0x4); // 0xD fell off
+    }
+
+    #[test]
+    fn packed_concatenates_most_recent_low() {
+        let mut phr = PathHistory::new(3, 4);
+        phr.push(0x1);
+        phr.push(0x2);
+        phr.push(0x3);
+        // most recent (3) in the low nibble, then 2, then 1
+        assert_eq!(phr.packed(), 0x123);
+    }
+
+    #[test]
+    fn packed_bits_truncates_oldest() {
+        let mut phr = PathHistory::new(6, 2);
+        for t in [0b11u64, 0b11, 0b11, 0b11, 0b11, 0b11] {
+            phr.push(t);
+        }
+        // 6 targets x 2 bits = 12 bits of ones; keep 11 (TC-PIB config).
+        assert_eq!(phr.packed_bits(11), 0x7FF);
+        assert_eq!(phr.packed_bits(11).count_ones(), 11);
+    }
+
+    #[test]
+    fn sixty_four_bit_slots_do_not_mask() {
+        let mut phr = PathHistory::new(1, 64);
+        phr.push(u64::MAX);
+        assert_eq!(phr.slot(0), u64::MAX);
+    }
+
+    #[test]
+    fn clear_resets_history() {
+        let mut phr = PathHistory::new(2, 8);
+        phr.push(0xFF);
+        phr.clear();
+        assert_eq!(phr.packed(), 0);
+    }
+
+    #[test]
+    fn wide_register_packed_saturates_at_128_bits() {
+        // 10 targets x 10 bits = 100 bits: fits in u128.
+        let mut phr = PathHistory::new(10, 10);
+        for i in 0..10u64 {
+            phr.push(i + 1);
+        }
+        let p = phr.packed();
+        // most recent push was 10 -> low 10 bits
+        assert_eq!(p & 0x3FF, 10);
+        // oldest (1) sits at bits 90..100
+        assert_eq!((p >> 90) & 0x3FF, 1);
+    }
+
+    #[test]
+    fn over_128_bit_register_drops_oldest_in_packed() {
+        let mut phr = PathHistory::new(20, 10); // 200 bits
+        for _ in 0..20 {
+            phr.push(u64::MAX);
+        }
+        // packed() keeps only what fits in a u128: twelve full slots
+        // (120 bits) plus the 8 low bits of the thirteenth.
+        assert_eq!(phr.packed().count_ones(), 128);
+    }
+}

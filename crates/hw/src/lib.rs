@@ -1,0 +1,46 @@
+//! Hardware primitives for branch-predictor modelling.
+//!
+//! This crate provides the small, reusable building blocks out of which the
+//! predictors in `ibp-predictors` and the PPM predictor in `ibp-ppm`
+//! (the reproduction of Kalamatianos & Kaeli, *Predicting Indirect Branches
+//! via Data Compression*, MICRO 1998) are assembled:
+//!
+//! * [`counter`] — up/down saturating counters of arbitrary width, the
+//!   universal hysteresis element of dynamic predictors;
+//! * [`history`] — path history registers (shift registers of partial branch
+//!   targets), the first level of two-level predictors;
+//! * [`hash`] — the indexing functions used by the paper and its baselines:
+//!   gshare, Select-Fold-Shift-XOR (SFSX), Select-Fold-Shift-XOR-Select
+//!   (SFSXS) and reverse interleaving;
+//! * [`folded`] — the TAGE-style incrementally folded history (used by
+//!   the ITTAGE epilogue in `ibp-predictors`);
+//! * [`table`] — tagless direct-mapped and tagged set-associative prediction
+//!   tables with true-LRU replacement;
+//! * [`budget`] — hardware cost accounting (entries and bits) so that
+//!   predictors can be compared at a fixed budget, as the paper does at its
+//!   2K-entry design point.
+//!
+//! # Example
+//!
+//! ```
+//! use ibp_hw::counter::Saturating2Bit;
+//!
+//! let mut confidence = Saturating2Bit::new(0);
+//! confidence.increment();
+//! confidence.increment();
+//! assert!(confidence.is_high_half());
+//! ```
+
+pub mod budget;
+pub mod counter;
+pub mod folded;
+pub mod hash;
+pub mod history;
+pub mod table;
+
+pub use budget::HardwareCost;
+pub use counter::{Saturating2Bit, SaturatingCounter};
+pub use folded::FoldedHistory;
+pub use hash::{fold_xor, gshare, ReverseInterleave, Sfsxs};
+pub use history::PathHistory;
+pub use table::{DirectMapped, SetAssociative};

@@ -1,0 +1,426 @@
+//! Prediction tables.
+//!
+//! Two table organizations cover every predictor in the paper:
+//!
+//! * [`DirectMapped`] — a *tagless* table. The paper deliberately explores
+//!   tagless designs (cheaper in area); a lookup always lands somewhere and
+//!   aliasing between branches is part of the modelled behaviour. A `valid`
+//!   notion is kept per entry because the PPM predictor's fallback chain is
+//!   driven by valid bits.
+//! * [`SetAssociative`] — a *tagged*, set-associative table with true-LRU
+//!   replacement, required by the Cascade predictor (its PHTs are 4-way
+//!   associative with true LRU) and by the tagged-PPM ablation.
+
+use serde::{Deserialize, Serialize};
+
+/// A tagless direct-mapped table of `len` entries.
+///
+/// Indexing is by `index % len`, so non-power-of-two sizes are allowed (the
+/// PPM Markov stack totals 2046 entries). An entry is either vacant
+/// (`valid == false`) or holds a `T`.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_hw::table::DirectMapped;
+///
+/// let mut t: DirectMapped<u64> = DirectMapped::new(4);
+/// assert!(t.get(9).is_none());
+/// t.insert(9, 0xBEEF); // lands in slot 1
+/// assert_eq!(t.get(5), Some(&0xBEEF)); // 5 % 4 == 1: aliasing is real
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectMapped<T> {
+    entries: Vec<Option<T>>,
+}
+
+impl<T> DirectMapped<T> {
+    /// Creates an empty table with `len` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "table must have at least one entry");
+        Self {
+            entries: (0..len).map(|_| None).collect(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is valid.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|e| e.is_none())
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Maps an arbitrary index onto a slot number.
+    pub fn slot_of(&self, index: u64) -> usize {
+        (index % self.entries.len() as u64) as usize
+    }
+
+    /// Returns the entry selected by `index`, if valid.
+    pub fn get(&self, index: u64) -> Option<&T> {
+        self.entries[self.slot_of(index)].as_ref()
+    }
+
+    /// Returns the entry selected by `index` mutably, if valid.
+    pub fn get_mut(&mut self, index: u64) -> Option<&mut T> {
+        let slot = self.slot_of(index);
+        self.entries[slot].as_mut()
+    }
+
+    /// True when the selected entry is valid.
+    pub fn is_valid(&self, index: u64) -> bool {
+        self.entries[self.slot_of(index)].is_some()
+    }
+
+    /// Writes `value` into the selected slot, returning the displaced entry.
+    pub fn insert(&mut self, index: u64, value: T) -> Option<T> {
+        let slot = self.slot_of(index);
+        self.entries[slot].replace(value)
+    }
+
+    /// Returns the selected entry, inserting `default()` first if vacant.
+    pub fn get_or_insert_with(&mut self, index: u64, default: impl FnOnce() -> T) -> &mut T {
+        let slot = self.slot_of(index);
+        self.entries[slot].get_or_insert_with(default)
+    }
+
+    /// Invalidates the selected entry, returning it.
+    pub fn invalidate(&mut self, index: u64) -> Option<T> {
+        let slot = self.slot_of(index);
+        self.entries[slot].take()
+    }
+
+    /// Invalidates every entry.
+    pub fn clear(&mut self) {
+        for e in self.entries.iter_mut() {
+            *e = None;
+        }
+    }
+
+    /// Iterates over `(slot, entry)` pairs for valid entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|v| (i, v)))
+    }
+}
+
+/// One way of a set-associative table: tag plus payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Way<T> {
+    tag: u64,
+    value: T,
+    /// Monotonic timestamp of last touch; larger = more recent.
+    last_use: u64,
+}
+
+/// A tagged set-associative table with true-LRU replacement.
+///
+/// Lookups compare full tags within the selected set; on insertion into a
+/// full set the least-recently-used way is evicted. Timestamps are
+/// maintained per table, giving *true* LRU as the Cascade configuration
+/// requires (not pseudo-LRU).
+///
+/// # Examples
+///
+/// ```
+/// use ibp_hw::table::SetAssociative;
+///
+/// let mut t: SetAssociative<u32> = SetAssociative::new(2, 2);
+/// t.insert(0, 100, 1);
+/// t.insert(0, 200, 2);
+/// t.insert(0, 300, 3); // evicts tag 100 (LRU)
+/// assert!(t.get(0, 100).is_none());
+/// assert_eq!(t.get(0, 300), Some(&3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetAssociative<T> {
+    sets: Vec<Vec<Way<T>>>,
+    ways: usize,
+    clock: u64,
+}
+
+impl<T> SetAssociative<T> {
+    /// Creates a table with `sets` sets of `ways` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "sets and ways must be non-zero");
+        Self {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            clock: 0,
+        }
+    }
+
+    /// Total capacity in entries (`sets * ways`).
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn num_ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of occupied ways across all sets.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    fn set_of(&self, index: u64) -> usize {
+        (index % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `(index, tag)` and refreshes its LRU position on a hit.
+    pub fn get(&mut self, index: u64, tag: u64) -> Option<&T> {
+        let set = self.set_of(index);
+        self.clock += 1;
+        let clock = self.clock;
+        self.sets[set].iter_mut().find(|w| w.tag == tag).map(|w| {
+            w.last_use = clock;
+            &w.value
+        })
+    }
+
+    /// Looks up `(index, tag)` mutably and refreshes its LRU position.
+    pub fn get_mut(&mut self, index: u64, tag: u64) -> Option<&mut T> {
+        let set = self.set_of(index);
+        self.clock += 1;
+        let clock = self.clock;
+        self.sets[set].iter_mut().find(|w| w.tag == tag).map(|w| {
+            w.last_use = clock;
+            &mut w.value
+        })
+    }
+
+    /// Looks up without disturbing LRU state (probe).
+    pub fn peek(&self, index: u64, tag: u64) -> Option<&T> {
+        let set = self.set_of(index);
+        self.sets[set]
+            .iter()
+            .find(|w| w.tag == tag)
+            .map(|w| &w.value)
+    }
+
+    /// Inserts (or overwrites) `(index, tag) -> value`, evicting the LRU way
+    /// of a full set. Returns the evicted `(tag, value)` if any.
+    pub fn insert(&mut self, index: u64, tag: u64, value: T) -> Option<(u64, T)> {
+        let set = self.set_of(index);
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.tag == tag) {
+            w.value = value;
+            w.last_use = clock;
+            return None;
+        }
+        if self.sets[set].len() < self.ways {
+            self.sets[set].push(Way {
+                tag,
+                value,
+                last_use: clock,
+            });
+            return None;
+        }
+        let victim = self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.last_use)
+            .map(|(i, _)| i)
+            .expect("full set is non-empty");
+        let old = std::mem::replace(
+            &mut self.sets[set][victim],
+            Way {
+                tag,
+                value,
+                last_use: clock,
+            },
+        );
+        Some((old.tag, old.value))
+    }
+
+    /// Removes `(index, tag)` and returns its value.
+    pub fn invalidate(&mut self, index: u64, tag: u64) -> Option<T> {
+        let set = self.set_of(index);
+        let pos = self.sets[set].iter().position(|w| w.tag == tag)?;
+        Some(self.sets[set].swap_remove(pos).value)
+    }
+
+    /// Invalidates every entry.
+    pub fn clear(&mut self) {
+        for set in self.sets.iter_mut() {
+            set.clear();
+        }
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_basic_insert_get() {
+        let mut t: DirectMapped<u32> = DirectMapped::new(8);
+        assert_eq!(t.len(), 8);
+        assert!(t.is_empty());
+        assert!(t.insert(3, 30).is_none());
+        assert_eq!(t.get(3), Some(&30));
+        assert!(t.is_valid(3));
+        assert!(!t.is_valid(4));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_aliases_via_modulo() {
+        let mut t: DirectMapped<u32> = DirectMapped::new(4);
+        t.insert(1, 10);
+        assert_eq!(t.get(5), Some(&10));
+        assert_eq!(t.insert(9, 90), Some(10)); // displaces the alias
+        assert_eq!(t.get(1), Some(&90));
+    }
+
+    #[test]
+    fn direct_mapped_non_power_of_two() {
+        // The PPM Markov stack totals 2046 entries; modulo indexing must
+        // work for any length.
+        let mut t: DirectMapped<u8> = DirectMapped::new(2046);
+        t.insert(2046, 1);
+        assert_eq!(t.get(0), Some(&1));
+        assert_eq!(t.slot_of(4093), 4093 % 2046);
+    }
+
+    #[test]
+    fn direct_mapped_invalidate_and_clear() {
+        let mut t: DirectMapped<u32> = DirectMapped::new(2);
+        t.insert(0, 1);
+        t.insert(1, 2);
+        assert_eq!(t.invalidate(0), Some(1));
+        assert!(t.get(0).is_none());
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn direct_mapped_get_or_insert_with() {
+        let mut t: DirectMapped<u32> = DirectMapped::new(2);
+        *t.get_or_insert_with(0, || 5) += 1;
+        assert_eq!(t.get(0), Some(&6));
+        *t.get_or_insert_with(0, || 100) += 1;
+        assert_eq!(t.get(0), Some(&7));
+    }
+
+    #[test]
+    fn direct_mapped_iter_lists_valid_only() {
+        let mut t: DirectMapped<u32> = DirectMapped::new(4);
+        t.insert(1, 10);
+        t.insert(3, 30);
+        let got: Vec<(usize, u32)> = t.iter().map(|(i, v)| (i, *v)).collect();
+        assert_eq!(got, vec![(1, 10), (3, 30)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn direct_mapped_zero_len_panics() {
+        let _: DirectMapped<u8> = DirectMapped::new(0);
+    }
+
+    #[test]
+    fn set_assoc_hit_and_miss() {
+        let mut t: SetAssociative<u32> = SetAssociative::new(4, 2);
+        assert!(t.get(0, 0xA).is_none());
+        t.insert(0, 0xA, 1);
+        assert_eq!(t.get(0, 0xA), Some(&1));
+        assert!(t.get(0, 0xB).is_none());
+        assert_eq!(t.capacity(), 8);
+    }
+
+    #[test]
+    fn set_assoc_true_lru_eviction() {
+        let mut t: SetAssociative<u32> = SetAssociative::new(1, 2);
+        t.insert(0, 1, 10);
+        t.insert(0, 2, 20);
+        // Touch tag 1 so tag 2 becomes LRU.
+        assert_eq!(t.get(0, 1), Some(&10));
+        let evicted = t.insert(0, 3, 30);
+        assert_eq!(evicted, Some((2, 20)));
+        assert_eq!(t.get(0, 1), Some(&10));
+        assert_eq!(t.get(0, 3), Some(&30));
+    }
+
+    #[test]
+    fn set_assoc_overwrite_same_tag_does_not_evict() {
+        let mut t: SetAssociative<u32> = SetAssociative::new(1, 2);
+        t.insert(0, 1, 10);
+        t.insert(0, 2, 20);
+        assert!(t.insert(0, 1, 11).is_none());
+        assert_eq!(t.get(0, 1), Some(&11));
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    #[test]
+    fn set_assoc_peek_does_not_touch_lru() {
+        let mut t: SetAssociative<u32> = SetAssociative::new(1, 2);
+        t.insert(0, 1, 10);
+        t.insert(0, 2, 20);
+        // Peek at 1; it stays LRU and is evicted next.
+        assert_eq!(t.peek(0, 1), Some(&10));
+        let evicted = t.insert(0, 3, 30);
+        assert_eq!(evicted, Some((1, 10)));
+    }
+
+    #[test]
+    fn set_assoc_sets_are_independent() {
+        let mut t: SetAssociative<u32> = SetAssociative::new(2, 1);
+        t.insert(0, 7, 70);
+        t.insert(1, 7, 71);
+        assert_eq!(t.get(0, 7), Some(&70));
+        assert_eq!(t.get(1, 7), Some(&71));
+        assert_eq!(t.get(2, 7), Some(&70)); // 2 % 2 == 0
+    }
+
+    #[test]
+    fn set_assoc_invalidate() {
+        let mut t: SetAssociative<u32> = SetAssociative::new(1, 2);
+        t.insert(0, 1, 10);
+        assert_eq!(t.invalidate(0, 1), Some(10));
+        assert!(t.get(0, 1).is_none());
+        assert!(t.invalidate(0, 1).is_none());
+    }
+
+    #[test]
+    fn set_assoc_get_mut_updates_value() {
+        let mut t: SetAssociative<u32> = SetAssociative::new(1, 1);
+        t.insert(0, 1, 10);
+        *t.get_mut(0, 1).unwrap() = 99;
+        assert_eq!(t.peek(0, 1), Some(&99));
+    }
+
+    #[test]
+    fn set_assoc_clear() {
+        let mut t: SetAssociative<u32> = SetAssociative::new(2, 2);
+        t.insert(0, 1, 1);
+        t.insert(1, 2, 2);
+        t.clear();
+        assert_eq!(t.occupancy(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Instruction and target addresses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A 64-bit instruction or branch-target address.
+///
+/// Alpha is a 64-bit architecture and the paper's §1 calls out 64-bit
+/// address spaces as one driver of indirect branching, so addresses are
+/// modelled as full 64-bit values. The newtype keeps PCs and targets from
+/// being confused with table indices or histories.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_isa::Addr;
+///
+/// let pc = Addr::new(0x1_2000_4A30);
+/// assert_eq!(pc.low_bits(10), 0x230);
+/// assert_eq!(format!("{pc}"), "0x120004a30");
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address, used as the "no target yet" sentinel in traces.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The low-order `bits` bits of the address — what a path history
+    /// register records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or above 64.
+    pub fn low_bits(self, bits: u32) -> u64 {
+        assert!(bits > 0 && bits <= 64, "bits must be in 1..=64");
+        if bits == 64 {
+            self.0
+        } else {
+            self.0 & ((1u64 << bits) - 1)
+        }
+    }
+
+    /// True for the null address.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The address with its 4-byte instruction-alignment bits dropped —
+    /// the form in which targets enter path history registers (the low two
+    /// bits of an aligned target carry no information).
+    pub const fn path_bits(self) -> u64 {
+        self.0 >> 2
+    }
+
+    /// The address `words` 4-byte instruction slots later (Alpha
+    /// instructions are 4 bytes).
+    pub const fn offset_words(self, words: i64) -> Addr {
+        Addr(self.0.wrapping_add_signed(words * 4))
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0.wrapping_add(rhs))
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = i64;
+
+    fn sub(self, rhs: Addr) -> i64 {
+        self.0.wrapping_sub(rhs.0) as i64
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip() {
+        let a = Addr::new(0xDEADBEEF);
+        assert_eq!(a.raw(), 0xDEADBEEF);
+        assert_eq!(u64::from(a), 0xDEADBEEF);
+        assert_eq!(Addr::from(0xDEADBEEFu64), a);
+    }
+
+    #[test]
+    fn low_bits_masks() {
+        let a = Addr::new(0xFFFF);
+        assert_eq!(a.low_bits(4), 0xF);
+        assert_eq!(a.low_bits(10), 0x3FF);
+        assert_eq!(a.low_bits(64), 0xFFFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn low_bits_zero_panics() {
+        let _ = Addr::new(1).low_bits(0);
+    }
+
+    #[test]
+    fn null_sentinel() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr::new(4).is_null());
+        assert_eq!(Addr::default(), Addr::NULL);
+    }
+
+    #[test]
+    fn word_offsets_are_four_bytes() {
+        let a = Addr::new(0x1000);
+        assert_eq!(a.offset_words(1), Addr::new(0x1004));
+        assert_eq!(a.offset_words(-2), Addr::new(0xFF8));
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Addr::new(0x100);
+        assert_eq!(a + 8, Addr::new(0x108));
+        assert_eq!(Addr::new(0x110) - a, 0x10);
+    }
+
+    #[test]
+    fn display_and_hex() {
+        let a = Addr::new(0xAB);
+        assert_eq!(format!("{a}"), "0xab");
+        assert_eq!(format!("{a:x}"), "ab");
+        assert_eq!(format!("{a:X}"), "AB");
+    }
+}

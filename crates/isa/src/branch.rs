@@ -1,0 +1,242 @@
+//! Branch taxonomy.
+//!
+//! The paper classifies branches along two axes (§1): transfer type
+//! (conditional / unconditional) and target-address generation (direct /
+//! indirect). Conditional indirect branches are "typically not implemented",
+//! leaving three classes; unconditional indirect branches further split by
+//! Alpha opcode (`jmp`, `jsr`, `ret`, `jsr_coroutine`) and by target arity
+//! (Single-Target vs Multiple-Target, §5).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The unconditional indirect branch opcodes of the Alpha AXP ISA.
+///
+/// All four compute the target from a source register with no displacement.
+/// `jsr_coroutine` never appeared in the paper's traces; it is modelled for
+/// ISA completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IndirectOp {
+    /// Indirect jump — e.g. a compiled `switch` statement.
+    Jmp,
+    /// Indirect call — e.g. a virtual function or function-pointer call.
+    Jsr,
+    /// Subroutine return; predicted by a return-address stack, not by the
+    /// indirect predictors under study.
+    Ret,
+    /// Coroutine linkage; present in the ISA, absent from real traces.
+    JsrCoroutine,
+}
+
+impl IndirectOp {
+    /// True for `jsr` and `jsr_coroutine` — the opcodes that push a return
+    /// address.
+    pub fn is_call(self) -> bool {
+        matches!(self, IndirectOp::Jsr | IndirectOp::JsrCoroutine)
+    }
+
+    /// The instruction mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IndirectOp::Jmp => "jmp",
+            IndirectOp::Jsr => "jsr",
+            IndirectOp::Ret => "ret",
+            IndirectOp::JsrCoroutine => "jsr_coroutine",
+        }
+    }
+}
+
+impl fmt::Display for IndirectOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Target arity of an indirect branch (paper §5).
+///
+/// * `Single` (ST): only one possible target — DLL stubs and GOT-based
+///   calls. The paper excludes these from prediction accounting because
+///   link-time optimization resolves them.
+/// * `Multiple` (MT): more than one possible target — `switch` jumps and
+///   polymorphic calls. These are what the predictors fight over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetArity {
+    /// Single-target (ST) indirect branch.
+    Single,
+    /// Multiple-target (MT) indirect branch.
+    Multiple,
+}
+
+impl fmt::Display for TargetArity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TargetArity::Single => "ST",
+            TargetArity::Multiple => "MT",
+        })
+    }
+}
+
+/// The complete branch classification used by traces and predictors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchClass {
+    /// Conditional direct branch: taken/not-taken to a compile-time target.
+    ConditionalDirect,
+    /// Unconditional direct branch or call (`br`, `bsr`): always taken to a
+    /// single compile-time target.
+    UnconditionalDirect {
+        /// True for `bsr`-style calls that push a return address.
+        is_call: bool,
+    },
+    /// Unconditional indirect branch: always taken, register-computed
+    /// target.
+    Indirect {
+        /// Alpha opcode.
+        op: IndirectOp,
+        /// ST/MT classification.
+        arity: TargetArity,
+    },
+}
+
+impl BranchClass {
+    /// Convenience constructor for an MT indirect jump (`switch`-style).
+    pub fn mt_jmp() -> Self {
+        BranchClass::Indirect {
+            op: IndirectOp::Jmp,
+            arity: TargetArity::Multiple,
+        }
+    }
+
+    /// Convenience constructor for an MT indirect call (polymorphic call).
+    pub fn mt_jsr() -> Self {
+        BranchClass::Indirect {
+            op: IndirectOp::Jsr,
+            arity: TargetArity::Multiple,
+        }
+    }
+
+    /// Convenience constructor for an ST indirect call (GOT/DLL-style).
+    pub fn st_jsr() -> Self {
+        BranchClass::Indirect {
+            op: IndirectOp::Jsr,
+            arity: TargetArity::Single,
+        }
+    }
+
+    /// Convenience constructor for a subroutine return.
+    pub fn ret() -> Self {
+        BranchClass::Indirect {
+            op: IndirectOp::Ret,
+            arity: TargetArity::Multiple,
+        }
+    }
+
+    /// True for any indirect branch (including returns).
+    pub fn is_indirect(self) -> bool {
+        matches!(self, BranchClass::Indirect { .. })
+    }
+
+    /// True for the branches the paper's predictors are measured on:
+    /// multiple-target `jmp`/`jsr` (returns and ST branches excluded).
+    pub fn is_predicted_indirect(self) -> bool {
+        matches!(
+            self,
+            BranchClass::Indirect {
+                op: IndirectOp::Jmp | IndirectOp::Jsr,
+                arity: TargetArity::Multiple,
+            }
+        )
+    }
+
+    /// True for a subroutine return.
+    pub fn is_return(self) -> bool {
+        matches!(
+            self,
+            BranchClass::Indirect {
+                op: IndirectOp::Ret,
+                ..
+            }
+        )
+    }
+
+    /// True for any call (direct `bsr` or indirect `jsr`/`jsr_coroutine`).
+    pub fn is_call(self) -> bool {
+        match self {
+            BranchClass::ConditionalDirect => false,
+            BranchClass::UnconditionalDirect { is_call } => is_call,
+            BranchClass::Indirect { op, .. } => op.is_call(),
+        }
+    }
+
+    /// True for a conditional branch.
+    pub fn is_conditional(self) -> bool {
+        matches!(self, BranchClass::ConditionalDirect)
+    }
+}
+
+impl fmt::Display for BranchClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BranchClass::ConditionalDirect => f.write_str("cond"),
+            BranchClass::UnconditionalDirect { is_call: false } => f.write_str("br"),
+            BranchClass::UnconditionalDirect { is_call: true } => f.write_str("bsr"),
+            BranchClass::Indirect { op, arity } => write!(f, "{op}/{arity}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indirect_op_calls() {
+        assert!(IndirectOp::Jsr.is_call());
+        assert!(IndirectOp::JsrCoroutine.is_call());
+        assert!(!IndirectOp::Jmp.is_call());
+        assert!(!IndirectOp::Ret.is_call());
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(IndirectOp::Jmp.to_string(), "jmp");
+        assert_eq!(IndirectOp::JsrCoroutine.to_string(), "jsr_coroutine");
+    }
+
+    #[test]
+    fn predicted_indirect_excludes_returns_and_st() {
+        assert!(BranchClass::mt_jmp().is_predicted_indirect());
+        assert!(BranchClass::mt_jsr().is_predicted_indirect());
+        assert!(!BranchClass::st_jsr().is_predicted_indirect());
+        assert!(!BranchClass::ret().is_predicted_indirect());
+        assert!(!BranchClass::ConditionalDirect.is_predicted_indirect());
+        assert!(!BranchClass::UnconditionalDirect { is_call: true }.is_predicted_indirect());
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(BranchClass::ret().is_return());
+        assert!(BranchClass::ret().is_indirect());
+        assert!(BranchClass::mt_jsr().is_call());
+        assert!(BranchClass::UnconditionalDirect { is_call: true }.is_call());
+        assert!(!BranchClass::UnconditionalDirect { is_call: false }.is_call());
+        assert!(BranchClass::ConditionalDirect.is_conditional());
+        assert!(!BranchClass::mt_jmp().is_conditional());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BranchClass::ConditionalDirect.to_string(), "cond");
+        assert_eq!(BranchClass::mt_jmp().to_string(), "jmp/MT");
+        assert_eq!(BranchClass::st_jsr().to_string(), "jsr/ST");
+        assert_eq!(
+            BranchClass::UnconditionalDirect { is_call: false }.to_string(),
+            "br"
+        );
+    }
+
+    #[test]
+    fn arity_display() {
+        assert_eq!(TargetArity::Single.to_string(), "ST");
+        assert_eq!(TargetArity::Multiple.to_string(), "MT");
+    }
+}

@@ -1,0 +1,188 @@
+//! Static instruction descriptors and the ST/MT annotation scheme.
+//!
+//! §5 of the paper proposes that the compiler/linker annotate each indirect
+//! branch as Single-Target or Multiple-Target by setting one bit of the
+//! otherwise-unused 16-bit displacement field of Alpha indirect branches —
+//! an ISA-compatible hint the Branch Identification Unit records. This
+//! module models the static side of that contract: a descriptor per branch
+//! instruction, and the encode/decode of the annotation bit.
+
+use crate::addr::Addr;
+use crate::branch::{BranchClass, IndirectOp, TargetArity};
+use serde::{Deserialize, Serialize};
+
+/// Bit position of the MT hint inside the 16-bit displacement field.
+const MT_HINT_BIT: u16 = 1 << 15;
+
+/// The compiler/linker ST/MT annotation carried by an indirect branch.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_isa::{StMtAnnotation, TargetArity};
+///
+/// let disp = StMtAnnotation::new(TargetArity::Multiple).encode(0x1234);
+/// let (ann, rest) = StMtAnnotation::decode(disp);
+/// assert_eq!(ann.arity(), TargetArity::Multiple);
+/// assert_eq!(rest, 0x1234);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StMtAnnotation {
+    arity: TargetArity,
+}
+
+impl StMtAnnotation {
+    /// Creates the annotation for the given arity.
+    pub fn new(arity: TargetArity) -> Self {
+        Self { arity }
+    }
+
+    /// The annotated arity.
+    pub fn arity(self) -> TargetArity {
+        self.arity
+    }
+
+    /// Encodes the annotation into a displacement field, preserving the low
+    /// 15 bits of `displacement`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `displacement` already uses the hint bit.
+    pub fn encode(self, displacement: u16) -> u16 {
+        assert_eq!(
+            displacement & MT_HINT_BIT,
+            0,
+            "displacement already uses the hint bit"
+        );
+        match self.arity {
+            TargetArity::Multiple => displacement | MT_HINT_BIT,
+            TargetArity::Single => displacement,
+        }
+    }
+
+    /// Decodes an annotated displacement into the annotation and the
+    /// remaining 15 payload bits.
+    pub fn decode(displacement: u16) -> (Self, u16) {
+        let arity = if displacement & MT_HINT_BIT != 0 {
+            TargetArity::Multiple
+        } else {
+            TargetArity::Single
+        };
+        (Self { arity }, displacement & !MT_HINT_BIT)
+    }
+}
+
+/// A static descriptor of one branch instruction in a program image.
+///
+/// Workload generators build programs out of these; the trace layer attaches
+/// dynamic information (actual target, taken/not-taken) per execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InstrDesc {
+    pc: Addr,
+    class: BranchClass,
+}
+
+impl InstrDesc {
+    /// Creates a descriptor.
+    pub fn new(pc: Addr, class: BranchClass) -> Self {
+        Self { pc, class }
+    }
+
+    /// A conditional direct branch at `pc`.
+    pub fn conditional(pc: Addr) -> Self {
+        Self::new(pc, BranchClass::ConditionalDirect)
+    }
+
+    /// A multiple-target indirect jump at `pc` (`switch`-style).
+    pub fn mt_jmp(pc: Addr) -> Self {
+        Self::new(pc, BranchClass::mt_jmp())
+    }
+
+    /// A multiple-target indirect call at `pc` (polymorphic call).
+    pub fn mt_jsr(pc: Addr) -> Self {
+        Self::new(pc, BranchClass::mt_jsr())
+    }
+
+    /// A return instruction at `pc`.
+    pub fn ret(pc: Addr) -> Self {
+        Self::new(pc, BranchClass::ret())
+    }
+
+    /// The instruction address.
+    pub fn pc(self) -> Addr {
+        self.pc
+    }
+
+    /// The branch classification.
+    pub fn class(self) -> BranchClass {
+        self.class
+    }
+
+    /// The ST/MT annotation, for indirect `jmp`/`jsr` instructions.
+    ///
+    /// Returns `None` for direct branches and returns (which carry no
+    /// annotation).
+    pub fn annotation(self) -> Option<StMtAnnotation> {
+        match self.class {
+            BranchClass::Indirect {
+                op: IndirectOp::Jmp | IndirectOp::Jsr,
+                arity,
+            } => Some(StMtAnnotation::new(arity)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotation_round_trip() {
+        for arity in [TargetArity::Single, TargetArity::Multiple] {
+            let enc = StMtAnnotation::new(arity).encode(0x7ABC);
+            let (ann, rest) = StMtAnnotation::decode(enc);
+            assert_eq!(ann.arity(), arity);
+            assert_eq!(rest, 0x7ABC);
+        }
+    }
+
+    #[test]
+    fn st_encoding_is_identity() {
+        assert_eq!(
+            StMtAnnotation::new(TargetArity::Single).encode(0x0123),
+            0x0123
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hint bit")]
+    fn encode_rejects_used_hint_bit() {
+        let _ = StMtAnnotation::new(TargetArity::Single).encode(0x8000);
+    }
+
+    #[test]
+    fn descriptor_constructors() {
+        let pc = Addr::new(0x400);
+        assert_eq!(
+            InstrDesc::conditional(pc).class(),
+            BranchClass::ConditionalDirect
+        );
+        assert_eq!(InstrDesc::mt_jmp(pc).class(), BranchClass::mt_jmp());
+        assert_eq!(InstrDesc::mt_jsr(pc).pc(), pc);
+        assert!(InstrDesc::ret(pc).class().is_return());
+    }
+
+    #[test]
+    fn annotation_only_on_predicted_indirects() {
+        let pc = Addr::new(0x10);
+        assert!(InstrDesc::conditional(pc).annotation().is_none());
+        assert!(InstrDesc::ret(pc).annotation().is_none());
+        let ann = InstrDesc::mt_jsr(pc).annotation().unwrap();
+        assert_eq!(ann.arity(), TargetArity::Multiple);
+        let st = InstrDesc::new(pc, BranchClass::st_jsr())
+            .annotation()
+            .unwrap();
+        assert_eq!(st.arity(), TargetArity::Single);
+    }
+}

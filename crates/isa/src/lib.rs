@@ -1,0 +1,30 @@
+//! An Alpha-AXP-like control-flow ISA model.
+//!
+//! The paper traces DEC Alpha binaries, where four *unconditional indirect*
+//! branch instructions exist: `jmp`, `jsr`, `ret` and `jsr_coroutine`, all
+//! computing their target from a source register. This crate models exactly
+//! the control-flow-relevant slice of such an ISA:
+//!
+//! * [`addr::Addr`] — instruction/target addresses as a newtype;
+//! * [`branch`] — the branch taxonomy of the paper's §1 (transfer type ×
+//!   target-generation type) plus the Alpha indirect opcodes and the
+//!   Single-Target / Multiple-Target (ST/MT) classification of §5;
+//! * [`instr`] — static instruction descriptors, including the paper's
+//!   proposed compiler/linker ST/MT annotation bit carried in the unused
+//!   16-bit displacement field of indirect branches;
+//! * [`encode`](mod@encode) — the 32-bit instruction-word layout showing that the
+//!   annotation changes only displacement bits (the paper's ISA
+//!   compatibility claim, §5).
+//!
+//! Everything downstream (traces, workloads, predictors, the simulator)
+//! speaks these types.
+
+pub mod addr;
+pub mod branch;
+pub mod encode;
+pub mod instr;
+
+pub use addr::Addr;
+pub use branch::{BranchClass, IndirectOp, TargetArity};
+pub use encode::{decode, encode, DecodedInstr, Opcode};
+pub use instr::{InstrDesc, StMtAnnotation};

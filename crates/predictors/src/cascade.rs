@@ -1,0 +1,307 @@
+//! The Cascade predictor (Driesen & Hölzle, MICRO 1998).
+//!
+//! Cascading couples a cheap first-stage *filter* with an expensive
+//! second-stage path-based predictor. Monomorphic and low-entropy branches
+//! — the majority of indirect branch sites — are fully absorbed by the
+//! filter and never enter the main predictor's tables, which removes their
+//! aliasing pressure. A **leaky** filter lets a branch's updates through to
+//! the main predictor only once the filter itself has mispredicted it,
+//! i.e. once the branch has *proven* polymorphic.
+//!
+//! The paper's §5 configuration: a 128-entry leaky filter in front of a
+//! dual-path core with tagged 4-way set-associative PHTs (true LRU) and
+//! path lengths 6 and 4.
+
+use crate::dual_path::{DualPath, DualPathConfig};
+use crate::entry::HysteresisEntry;
+use crate::traits::IndirectPredictor;
+use ibp_hw::{HardwareCost, SetAssociative};
+use ibp_isa::Addr;
+use ibp_trace::BranchEvent;
+use serde::{Deserialize, Serialize};
+
+/// A small tagged BTB-like filter with 2-bit replacement hysteresis.
+///
+/// The filter predicts the most recent (hysteresis-protected) target per
+/// branch. Its role in the cascade is to absorb branches a BTB could
+/// already predict.
+#[derive(Debug, Clone)]
+pub struct LeakyFilter {
+    table: SetAssociative<HysteresisEntry>,
+}
+
+impl LeakyFilter {
+    /// Creates a filter with `entries` entries, `ways`-way associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `ways` does not divide it.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(entries > 0 && ways > 0 && entries.is_multiple_of(ways));
+        Self {
+            table: SetAssociative::new(entries / ways, ways),
+        }
+    }
+
+    fn key(pc: Addr) -> (u64, u64) {
+        let word = pc.raw() >> 2;
+        (word, word)
+    }
+
+    /// The filter's prediction for `pc`, if present.
+    pub fn predict(&mut self, pc: Addr) -> Option<Addr> {
+        let (idx, tag) = Self::key(pc);
+        self.table.get(idx, tag).map(|e| e.target())
+    }
+
+    /// Applies the resolved target; allocates on first sight.
+    pub fn update(&mut self, pc: Addr, actual: Addr) {
+        let (idx, tag) = Self::key(pc);
+        match self.table.get_mut(idx, tag) {
+            Some(e) => {
+                e.apply(actual);
+            }
+            None => {
+                self.table.insert(idx, tag, HysteresisEntry::new(actual));
+            }
+        }
+    }
+
+    /// Total entries.
+    pub fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Clears all entries.
+    pub fn reset(&mut self) {
+        self.table.clear();
+    }
+}
+
+/// Configuration of a [`Cascade`] predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CascadeConfig {
+    /// Filter entries. Paper: 128.
+    pub filter_entries: usize,
+    /// Filter associativity. The paper's filter is a small tagged
+    /// BTB-like structure; we model it 4-way set-associative.
+    pub filter_ways: usize,
+    /// The dual-path main stage.
+    pub core: DualPathConfig,
+}
+
+impl CascadeConfig {
+    /// The paper's §5 Cascade configuration.
+    pub fn paper() -> Self {
+        Self {
+            filter_entries: 128,
+            filter_ways: 4,
+            core: DualPathConfig::cascade_core(),
+        }
+    }
+}
+
+/// The cascaded predictor: leaky filter + tagged dual-path core.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_isa::Addr;
+/// use ibp_predictors::{Cascade, CascadeConfig, IndirectPredictor};
+///
+/// let mut c = Cascade::new(CascadeConfig::paper());
+/// c.update(Addr::new(0x40), Addr::new(0x900));
+/// assert_eq!(c.predict(Addr::new(0x40)), Some(Addr::new(0x900)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cascade {
+    config: CascadeConfig,
+    filter: LeakyFilter,
+    core: DualPath,
+    /// Component predictions captured at fetch, consumed at update:
+    /// `(pc, short path, long path, filter)`.
+    last: Option<CascadeLookup>,
+}
+
+/// Predictions captured at fetch: `(pc, short path, long path, filter)`.
+type CascadeLookup = (Addr, Option<Addr>, Option<Addr>, Option<Addr>);
+
+impl Cascade {
+    /// Creates a Cascade predictor from a configuration.
+    pub fn new(config: CascadeConfig) -> Self {
+        Self {
+            filter: LeakyFilter::new(config.filter_entries, config.filter_ways),
+            core: DualPath::new(config.core),
+            config,
+            last: None,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CascadeConfig {
+        &self.config
+    }
+}
+
+impl IndirectPredictor for Cascade {
+    fn name(&self) -> String {
+        "Cascade".into()
+    }
+
+    fn predict(&mut self, pc: Addr) -> Option<Addr> {
+        let (sp, lp) = self.core.component_predictions(pc);
+        let fp = self.filter.predict(pc);
+        self.last = Some((pc, sp, lp, fp));
+        // Tagged core takes priority when it holds the branch; otherwise
+        // fall back to the filter (covers monomorphic/low-entropy sites).
+        lp.or(sp).or(fp)
+    }
+
+    fn update(&mut self, pc: Addr, actual: Addr) {
+        let (sp, lp, fp) = match self.last.take() {
+            Some((last_pc, sp, lp, fp)) if last_pc == pc => (sp, lp, fp),
+            _ => {
+                let (sp, lp) = self.core.component_predictions(pc);
+                let fp = self.filter.predict(pc);
+                (sp, lp, fp)
+            }
+        };
+        self.filter.update(pc, actual);
+        // The leak: the main predictor learns this branch only when the
+        // filter failed to predict it (wrong target, or not present —
+        // e.g. conflict-evicted), or when the branch already lives in the
+        // core's tagged tables. A steadily-predicted monomorphic branch
+        // never leaks.
+        let filter_failed = fp != Some(actual);
+        let in_core = sp.is_some() || lp.is_some();
+        if filter_failed || in_core {
+            self.core.apply(pc, actual, sp, lp);
+        }
+    }
+
+    fn observe(&mut self, event: &BranchEvent) {
+        self.core.observe(event);
+    }
+
+    fn cost(&self) -> HardwareCost {
+        // filter entry: target + tag(30) + 2-bit counter + valid
+        self.core.cost() + HardwareCost::table(self.config.filter_entries as u64, 64 + 30 + 2 + 1)
+    }
+
+    fn reset(&mut self) {
+        self.filter.reset();
+        self.core.reset();
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(c: &mut Cascade, pc: Addr, target: Addr) -> bool {
+        let hit = c.predict(pc) == Some(target);
+        c.update(pc, target);
+        c.observe(&BranchEvent::indirect_jmp(pc, target));
+        hit
+    }
+
+    #[test]
+    fn filter_two_miss_replacement() {
+        let mut f = LeakyFilter::new(8, 2);
+        f.update(Addr::new(0x40), Addr::new(0x100));
+        f.update(Addr::new(0x40), Addr::new(0x200));
+        assert_eq!(f.predict(Addr::new(0x40)), Some(Addr::new(0x100)));
+        f.update(Addr::new(0x40), Addr::new(0x200));
+        assert_eq!(f.predict(Addr::new(0x40)), Some(Addr::new(0x200)));
+    }
+
+    #[test]
+    fn filter_is_tagged() {
+        let mut f = LeakyFilter::new(8, 2);
+        f.update(Addr::new(0x40), Addr::new(0x100));
+        assert_eq!(f.predict(Addr::new(0x60)), None);
+    }
+
+    #[test]
+    fn monomorphic_branch_is_absorbed_by_the_filter() {
+        let mut c = Cascade::new(CascadeConfig {
+            filter_entries: 16,
+            filter_ways: 4,
+            core: DualPathConfig {
+                entries_per_component: 64,
+                selector_entries: 64,
+                ..DualPathConfig::cascade_core()
+            },
+        });
+        let pc = Addr::new(0x40);
+        let t = Addr::new(0x900);
+        let mut misses = 0;
+        for i in 0..50 {
+            if !drive(&mut c, pc, t) && i > 0 {
+                misses += 1;
+            }
+        }
+        // After the cold start the filter carries the branch perfectly;
+        // only the very first occurrence may leak into the core.
+        assert_eq!(misses, 0);
+        assert_eq!(c.filter.predict(pc), Some(t));
+    }
+
+    #[test]
+    fn polymorphic_branch_leaks_into_core() {
+        let mut c = Cascade::new(CascadeConfig {
+            filter_entries: 16,
+            filter_ways: 4,
+            core: DualPathConfig {
+                entries_per_component: 64,
+                selector_entries: 64,
+                ..DualPathConfig::cascade_core()
+            },
+        });
+        let pc = Addr::new(0x80);
+        // Alternate targets so the filter keeps missing.
+        for i in 0..60u64 {
+            let t = Addr::new(0xA00 + (i % 2) * 0x100);
+            drive(&mut c, pc, t);
+        }
+        let (sp, lp) = c.core.component_predictions(pc);
+        assert!(
+            sp.is_some() || lp.is_some(),
+            "polymorphic branch should have leaked into the core"
+        );
+    }
+
+    #[test]
+    fn cascade_learns_path_correlation_after_leak() {
+        let mut c = Cascade::new(CascadeConfig::paper());
+        let pc = Addr::new(0x100);
+        let targets = [Addr::new(0xA04), Addr::new(0xB08), Addr::new(0xC0C)];
+        let mut late_misses = 0;
+        for i in 0..600 {
+            let t = targets[i % 3];
+            let hit = drive(&mut c, pc, t);
+            if i > 300 && !hit {
+                late_misses += 1;
+            }
+        }
+        assert!(
+            late_misses < 30,
+            "cascade failed to converge: {late_misses}"
+        );
+    }
+
+    #[test]
+    fn paper_cost_includes_filter() {
+        let c = Cascade::new(CascadeConfig::paper());
+        assert_eq!(c.cost().entries(), 2048 + 128);
+    }
+
+    #[test]
+    fn reset_restores_cold() {
+        let mut c = Cascade::new(CascadeConfig::paper());
+        drive(&mut c, Addr::new(0x40), Addr::new(0x900));
+        c.reset();
+        assert_eq!(c.predict(Addr::new(0x40)), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! The shared table-entry type with 2-bit replacement hysteresis.
+
+use ibp_hw::counter::Saturating2Bit;
+use ibp_isa::Addr;
+use serde::{Deserialize, Serialize};
+
+/// A prediction-table entry holding a target plus a 2-bit up/down counter
+/// that gates replacement.
+///
+/// This is the entry format shared by BTB2b, the GAp/Dpath PHTs, and the
+/// PPM Markov tables: "the counter is used to control the update step of
+/// the target; the target is updated on two consecutive misses" (paper §4).
+/// Concretely:
+///
+/// * a correct target increments the counter;
+/// * a wrong target decrements it, and only replaces the stored target when
+///   the counter is already at zero (the counter is then reset to the weak
+///   state 1, so a fresh target is not immediately displaced).
+///
+/// Entries are allocated in the weak state (counter = 1): the first miss
+/// drops to 0, the second consecutive miss replaces — exactly "two
+/// consecutive mispredictions".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HysteresisEntry {
+    target: Addr,
+    counter: Saturating2Bit,
+}
+
+impl HysteresisEntry {
+    /// Allocates a fresh entry for `target` in the weak state.
+    pub fn new(target: Addr) -> Self {
+        Self {
+            target,
+            counter: Saturating2Bit::new(1),
+        }
+    }
+
+    /// The stored (predicted) target.
+    pub fn target(&self) -> Addr {
+        self.target
+    }
+
+    /// The counter value, for introspection in tests and stats.
+    pub fn counter(&self) -> u32 {
+        self.counter.value()
+    }
+
+    /// Applies the resolved target: reinforce on match, otherwise decay and
+    /// (at zero) replace. Returns `true` if the stored target was replaced.
+    pub fn apply(&mut self, actual: Addr) -> bool {
+        if self.target == actual {
+            self.counter.increment();
+            false
+        } else if self.counter.value() == 0 {
+            self.target = actual;
+            self.counter = Saturating2Bit::new(1);
+            true
+        } else {
+            self.counter.decrement();
+            false
+        }
+    }
+
+    /// Applies the resolved target with *no* hysteresis (plain BTB
+    /// behaviour): always replace on mismatch. Returns `true` on replace.
+    pub fn apply_always_replace(&mut self, actual: Addr) -> bool {
+        if self.target == actual {
+            false
+        } else {
+            self.target = actual;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_weak() {
+        let e = HysteresisEntry::new(Addr::new(0x10));
+        assert_eq!(e.target(), Addr::new(0x10));
+        assert_eq!(e.counter(), 1);
+    }
+
+    #[test]
+    fn two_consecutive_misses_replace() {
+        let mut e = HysteresisEntry::new(Addr::new(0x10));
+        assert!(!e.apply(Addr::new(0x20))); // 1 -> 0, kept
+        assert_eq!(e.target(), Addr::new(0x10));
+        assert!(e.apply(Addr::new(0x20))); // replaced
+        assert_eq!(e.target(), Addr::new(0x20));
+        assert_eq!(e.counter(), 1);
+    }
+
+    #[test]
+    fn hit_between_misses_protects_target() {
+        let mut e = HysteresisEntry::new(Addr::new(0x10));
+        e.apply(Addr::new(0x20)); // 1 -> 0
+        e.apply(Addr::new(0x10)); // hit: 0 -> 1
+        assert!(!e.apply(Addr::new(0x20))); // 1 -> 0 again, still kept
+        assert_eq!(e.target(), Addr::new(0x10));
+    }
+
+    #[test]
+    fn strongly_reinforced_target_survives_three_misses() {
+        let mut e = HysteresisEntry::new(Addr::new(0x10));
+        for _ in 0..5 {
+            e.apply(Addr::new(0x10));
+        }
+        assert_eq!(e.counter(), 3);
+        for _ in 0..3 {
+            assert!(!e.apply(Addr::new(0x20)));
+        }
+        assert!(e.apply(Addr::new(0x20)));
+    }
+
+    #[test]
+    fn always_replace_mode() {
+        let mut e = HysteresisEntry::new(Addr::new(0x10));
+        assert!(e.apply_always_replace(Addr::new(0x20)));
+        assert_eq!(e.target(), Addr::new(0x20));
+        assert!(!e.apply_always_replace(Addr::new(0x20)));
+    }
+}

@@ -1,0 +1,194 @@
+//! The return address stack (Kaeli & Emma, ISCA 1991).
+//!
+//! Returns are indirect branches, but they carry perfect structure: each
+//! pairs with the call that produced it. A small hardware stack predicts
+//! them almost perfectly, which is why the paper (and this reproduction)
+//! excludes `ret` from indirect-predictor accounting. The RAS is still a
+//! substrate the overall fetch engine needs, so it is implemented and
+//! measured here.
+
+use ibp_hw::HardwareCost;
+use ibp_isa::Addr;
+use ibp_trace::BranchEvent;
+
+/// A fixed-depth return address stack.
+///
+/// Calls push their return address (`pc + 4`); returns pop. On overflow the
+/// *oldest* entry is dropped (circular behaviour, like real RAS designs),
+/// so deep recursion degrades gracefully instead of corrupting the top of
+/// stack.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_isa::Addr;
+/// use ibp_predictors::ReturnAddressStack;
+///
+/// let mut ras = ReturnAddressStack::new(16);
+/// ras.push_call(Addr::new(0x100));
+/// assert_eq!(ras.predict_return(), Some(Addr::new(0x104)));
+/// assert_eq!(ras.pop(), Some(Addr::new(0x104)));
+/// assert_eq!(ras.predict_return(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    entries: Vec<Addr>,
+    depth: usize,
+    overflows: u64,
+    underflows: u64,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS of the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "RAS depth must be non-zero");
+        Self {
+            entries: Vec::with_capacity(depth),
+            depth,
+            overflows: 0,
+            underflows: 0,
+        }
+    }
+
+    /// Pushes the return address of a call at `pc`.
+    pub fn push_call(&mut self, pc: Addr) {
+        if self.entries.len() == self.depth {
+            self.entries.remove(0);
+            self.overflows += 1;
+        }
+        self.entries.push(pc.offset_words(1));
+    }
+
+    /// The predicted target of the next return (top of stack).
+    pub fn predict_return(&self) -> Option<Addr> {
+        self.entries.last().copied()
+    }
+
+    /// Pops the top of stack (the return committed).
+    pub fn pop(&mut self) -> Option<Addr> {
+        let top = self.entries.pop();
+        if top.is_none() {
+            self.underflows += 1;
+        }
+        top
+    }
+
+    /// Feeds any branch event through the stack: calls push, returns pop.
+    /// Returns the RAS prediction for return events (before popping).
+    pub fn observe(&mut self, event: &BranchEvent) -> Option<Addr> {
+        if event.class().is_return() {
+            let predicted = self.predict_return();
+            self.pop();
+            predicted
+        } else {
+            if event.class().is_call() {
+                self.push_call(event.pc());
+            }
+            None
+        }
+    }
+
+    /// Current stack depth.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of pushes that dropped the oldest entry.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Number of pops from an empty stack.
+    pub fn underflows(&self) -> u64 {
+        self.underflows
+    }
+
+    /// Hardware cost: `depth` 64-bit address slots.
+    pub fn cost(&self) -> HardwareCost {
+        HardwareCost::register(self.depth as u64 * 64)
+    }
+
+    /// Empties the stack and clears statistics.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.overflows = 0;
+        self.underflows = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_calls_return_in_order() {
+        let mut ras = ReturnAddressStack::new(8);
+        ras.push_call(Addr::new(0x100));
+        ras.push_call(Addr::new(0x200));
+        assert_eq!(ras.pop(), Some(Addr::new(0x204)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x104)));
+        assert!(ras.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push_call(Addr::new(0x100));
+        ras.push_call(Addr::new(0x200));
+        ras.push_call(Addr::new(0x300));
+        assert_eq!(ras.overflows(), 1);
+        assert_eq!(ras.pop(), Some(Addr::new(0x304)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x204)));
+        assert_eq!(ras.pop(), None);
+        assert_eq!(ras.underflows(), 1);
+    }
+
+    #[test]
+    fn observe_predicts_returns_perfectly_for_balanced_code() {
+        let mut ras = ReturnAddressStack::new(32);
+        let calls = [
+            BranchEvent::direct_call(Addr::new(0x100), Addr::new(0x1000)),
+            BranchEvent::indirect_jsr(Addr::new(0x1008), Addr::new(0x2000)),
+        ];
+        for c in &calls {
+            assert_eq!(ras.observe(c), None);
+        }
+        let r1 = BranchEvent::ret(Addr::new(0x2010), Addr::new(0x100C));
+        assert_eq!(ras.observe(&r1), Some(r1.target()));
+        let r2 = BranchEvent::ret(Addr::new(0x1010), Addr::new(0x104));
+        assert_eq!(ras.observe(&r2), Some(r2.target()));
+    }
+
+    #[test]
+    fn non_call_events_do_not_push() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.observe(&BranchEvent::cond_taken(Addr::new(0x10), Addr::new(0x20)));
+        ras.observe(&BranchEvent::indirect_jmp(Addr::new(0x20), Addr::new(0x30)));
+        assert!(ras.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push_call(Addr::new(0x100));
+        ras.pop();
+        ras.pop();
+        ras.reset();
+        assert!(ras.is_empty());
+        assert_eq!(ras.underflows(), 0);
+    }
+
+    #[test]
+    fn cost_scales_with_depth() {
+        assert_eq!(ReturnAddressStack::new(16).cost().bits(), 1024);
+    }
+}

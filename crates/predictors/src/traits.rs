@@ -1,0 +1,126 @@
+//! The common predictor contract.
+
+use ibp_hw::HardwareCost;
+use ibp_isa::Addr;
+use ibp_trace::BranchEvent;
+
+/// A dynamic predictor for multiple-target indirect branches.
+///
+/// The simulator drives implementations through a three-phase protocol per
+/// trace event, mirroring a pipeline:
+///
+/// 1. **fetch** — for an MT indirect branch, [`predict`](Self::predict) is
+///    called with the branch PC and returns the predicted target (or `None`
+///    when the predictor has nothing, which counts as a misprediction
+///    unless the actual target happens to equal a null prediction — it
+///    never does);
+/// 2. **resolve** — [`update`](Self::update) is called with the actual
+///    target of that same branch. Implementations may cache lookup state
+///    between `predict` and `update`; the simulator guarantees strict
+///    pairing with no interleaving;
+/// 3. **commit** — [`observe`](Self::observe) is called for *every* branch
+///    event (conditional, direct, ST, returns, and the MT indirect itself,
+///    after `update`). Path history registers are maintained here, so the
+///    state used by `update` is the state that `predict` saw.
+///
+/// Implementations must be deterministic: the same call sequence produces
+/// the same predictions.
+pub trait IndirectPredictor {
+    /// A short human-readable name, e.g. `"BTB2b"` or `"PPM-hyb"`.
+    fn name(&self) -> String;
+
+    /// Predicts the target of the MT indirect branch at `pc`.
+    ///
+    /// Returns `None` when no prediction can be made (counted as a
+    /// misprediction by the simulator, matching the paper's accounting for
+    /// cold structures).
+    fn predict(&mut self, pc: Addr) -> Option<Addr>;
+
+    /// Learns the resolved target of the MT indirect branch at `pc` that
+    /// was just predicted.
+    fn update(&mut self, pc: Addr, actual: Addr);
+
+    /// Observes a committed branch event of any class, for path-history
+    /// maintenance. Called after `update` for predicted branches.
+    fn observe(&mut self, event: &BranchEvent);
+
+    /// The hardware cost of this configuration.
+    fn cost(&self) -> HardwareCost;
+
+    /// Clears all dynamic state, returning the predictor to power-on.
+    fn reset(&mut self);
+}
+
+impl<P: IndirectPredictor + ?Sized> IndirectPredictor for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn predict(&mut self, pc: Addr) -> Option<Addr> {
+        (**self).predict(pc)
+    }
+
+    fn update(&mut self, pc: Addr, actual: Addr) {
+        (**self).update(pc, actual)
+    }
+
+    fn observe(&mut self, event: &BranchEvent) {
+        (**self).observe(event)
+    }
+
+    fn cost(&self) -> HardwareCost {
+        (**self).cost()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial last-target predictor used to check object safety and the
+    /// boxed blanket impl.
+    #[derive(Default)]
+    struct LastTarget {
+        last: Option<(Addr, Addr)>,
+    }
+
+    impl IndirectPredictor for LastTarget {
+        fn name(&self) -> String {
+            "last-target".into()
+        }
+
+        fn predict(&mut self, pc: Addr) -> Option<Addr> {
+            self.last.filter(|(p, _)| *p == pc).map(|(_, t)| t)
+        }
+
+        fn update(&mut self, pc: Addr, actual: Addr) {
+            self.last = Some((pc, actual));
+        }
+
+        fn observe(&mut self, _event: &BranchEvent) {}
+
+        fn cost(&self) -> HardwareCost {
+            HardwareCost::table(1, 128)
+        }
+
+        fn reset(&mut self) {
+            self.last = None;
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_boxable() {
+        let mut p: Box<dyn IndirectPredictor> = Box::new(LastTarget::default());
+        assert_eq!(p.predict(Addr::new(0x10)), None);
+        p.update(Addr::new(0x10), Addr::new(0x99));
+        assert_eq!(p.predict(Addr::new(0x10)), Some(Addr::new(0x99)));
+        assert_eq!(p.name(), "last-target");
+        assert_eq!(p.cost().entries(), 1);
+        p.reset();
+        assert_eq!(p.predict(Addr::new(0x10)), None);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the baseline predictors: reference-model
+//! equivalence for the RAS, and general predictor-contract invariants.
+
+use ibp_isa::Addr;
+use ibp_predictors::{
+    Btb, Btb2b, Cascade, CascadeConfig, DualPath, DualPathConfig, GApConfig, GApPredictor,
+    IndirectPredictor, Ittage, IttageConfig, PathOracle, ReturnAddressStack, TargetCache,
+    TargetCacheConfig,
+};
+use ibp_trace::BranchEvent;
+use proptest::prelude::*;
+
+/// RAS operations for the reference-model test.
+#[derive(Debug, Clone)]
+enum RasOp {
+    Call(u64),
+    Ret,
+}
+
+fn ras_ops() -> impl Strategy<Value = Vec<RasOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..1 << 30).prop_map(|pc| RasOp::Call(pc * 4)),
+            Just(RasOp::Ret),
+        ],
+        0..100,
+    )
+}
+
+fn predictors() -> Vec<Box<dyn IndirectPredictor>> {
+    vec![
+        Box::new(Btb::new(256)),
+        Box::new(Btb2b::new(256)),
+        Box::new(GApPredictor::new(GApConfig {
+            entries_per_bank: 128,
+            ..GApConfig::paper()
+        })),
+        Box::new(TargetCache::new(TargetCacheConfig {
+            entries: 256,
+            ..TargetCacheConfig::paper_pib()
+        })),
+        Box::new(DualPath::new(DualPathConfig {
+            entries_per_component: 128,
+            selector_entries: 64,
+            ..DualPathConfig::paper()
+        })),
+        Box::new(Cascade::new(CascadeConfig {
+            filter_entries: 32,
+            filter_ways: 4,
+            core: DualPathConfig {
+                entries_per_component: 128,
+                selector_entries: 64,
+                ..DualPathConfig::cascade_core()
+            },
+        })),
+        Box::new(PathOracle::pib(4)),
+        Box::new(Ittage::new(IttageConfig {
+            base_entries: 64,
+            table_entries: 48,
+            ..IttageConfig::budget_2k()
+        })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A deep-enough RAS behaves exactly like an unbounded stack.
+    #[test]
+    fn ras_matches_reference_stack(ops in ras_ops()) {
+        let mut ras = ReturnAddressStack::new(256);
+        let mut reference: Vec<Addr> = Vec::new();
+        for op in ops {
+            match op {
+                RasOp::Call(pc) => {
+                    ras.push_call(Addr::new(pc));
+                    reference.push(Addr::new(pc).offset_words(1));
+                }
+                RasOp::Ret => {
+                    prop_assert_eq!(ras.predict_return(), reference.last().copied());
+                    prop_assert_eq!(ras.pop(), reference.pop());
+                }
+            }
+            prop_assert_eq!(ras.len(), reference.len());
+        }
+    }
+
+    /// Contract: after `update(pc, t)` with no intervening events, every
+    /// predictor either predicts `t` or nothing it was never taught —
+    /// and `reset` always returns it to a no-prediction state for a
+    /// fresh pc.
+    #[test]
+    fn teach_then_ask_is_consistent(
+        pc_raw in 1u64..1 << 20,
+        t_raw in 1u64..1 << 20,
+    ) {
+        let pc = Addr::new(pc_raw * 4);
+        let t = Addr::new(t_raw * 4);
+        for mut p in predictors() {
+            p.update(pc, t);
+            let predicted = p.predict(pc);
+            prop_assert!(
+                predicted == Some(t) || predicted.is_none(),
+                "{} invented target {:?}",
+                p.name(),
+                predicted
+            );
+            p.reset();
+            prop_assert_eq!(p.predict(Addr::new(0x77 * 4)), None, "{} after reset", p.name());
+        }
+    }
+
+    /// Determinism: the same event stream drives every predictor to the
+    /// same prediction sequence twice.
+    #[test]
+    fn predictors_are_deterministic(
+        stream in proptest::collection::vec((1u64..1 << 16, 1u64..1 << 16), 0..60),
+    ) {
+        for make in 0..predictors().len() {
+            let run = |mut p: Box<dyn IndirectPredictor>| -> Vec<Option<Addr>> {
+                let mut out = Vec::new();
+                for &(pc_raw, t_raw) in &stream {
+                    let pc = Addr::new(pc_raw * 4);
+                    let t = Addr::new(t_raw * 4);
+                    out.push(p.predict(pc));
+                    p.update(pc, t);
+                    p.observe(&BranchEvent::indirect_jmp(pc, t));
+                }
+                out
+            };
+            let a = run(predictors().remove(make));
+            let b = run(predictors().remove(make));
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Cost reporting is stable (does not change as tables fill).
+    #[test]
+    fn costs_are_static(
+        stream in proptest::collection::vec((1u64..1 << 16, 1u64..1 << 16), 0..40),
+    ) {
+        for mut p in predictors() {
+            if p.name().starts_with("Oracle") {
+                continue; // oracles report live footprint by design
+            }
+            let cold = p.cost();
+            for &(pc_raw, t_raw) in &stream {
+                let pc = Addr::new(pc_raw * 4);
+                p.update(pc, Addr::new(t_raw * 4));
+            }
+            prop_assert_eq!(cold, p.cost(), "{}", p.name());
+        }
+    }
+}

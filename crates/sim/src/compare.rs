@@ -1,0 +1,170 @@
+//! Predictor × benchmark comparison grids (Figures 6 and 7).
+
+use crate::runner::{simulate, RunResult};
+use crate::zoo::PredictorKind;
+use ibp_workloads::BenchmarkRun;
+use serde::{Deserialize, Serialize};
+
+/// One cell of a comparison grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Benchmark run label.
+    pub run: String,
+    /// Predictor label.
+    pub predictor: String,
+    /// Misprediction ratio in 0..=1.
+    pub ratio: f64,
+    /// Predicted branches.
+    pub predictions: u64,
+}
+
+/// A full (benchmark × predictor) grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridResult {
+    predictors: Vec<String>,
+    runs: Vec<String>,
+    cells: Vec<GridCell>,
+}
+
+impl GridResult {
+    /// Predictor labels, in lineup order.
+    pub fn predictors(&self) -> &[String] {
+        &self.predictors
+    }
+
+    /// Benchmark run labels, in suite order.
+    pub fn runs(&self) -> &[String] {
+        &self.runs
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[GridCell] {
+        &self.cells
+    }
+
+    /// The ratio for (run, predictor), if present.
+    pub fn ratio(&self, run: &str, predictor: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.run == run && c.predictor == predictor)
+            .map(|c| c.ratio)
+    }
+
+    /// The arithmetic-mean misprediction ratio of a predictor across all
+    /// runs (the paper reports per-predictor averages this way).
+    pub fn mean_ratio(&self, predictor: &str) -> Option<f64> {
+        let ratios: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.predictor == predictor)
+            .map(|c| c.ratio)
+            .collect();
+        if ratios.is_empty() {
+            return None;
+        }
+        Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+    }
+
+    /// Predictors ranked by mean ratio, best (lowest) first.
+    pub fn ranking(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .predictors
+            .iter()
+            .filter_map(|p| self.mean_ratio(p).map(|r| (p.clone(), r)))
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("ratios are finite"));
+        v
+    }
+}
+
+/// Runs every predictor kind over every benchmark run at `scale` of the
+/// full trace size. `scale = 1.0` reproduces the figures; tests use small
+/// scales.
+///
+/// Work is spread across one thread per benchmark run (the runs are
+/// independent simulations); results are deterministic and identical to a
+/// serial evaluation.
+pub fn compare_grid(kinds: &[PredictorKind], runs: &[BenchmarkRun], scale: f64) -> GridResult {
+    let predictors: Vec<String> = kinds.iter().map(|k| k.label()).collect();
+    let run_labels: Vec<String> = runs.iter().map(|r| r.label()).collect();
+    let per_run: Vec<Vec<GridCell>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = runs
+            .iter()
+            .map(|run| scope.spawn(move || grid_row(kinds, run, scale)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation threads do not panic"))
+            .collect()
+    });
+    GridResult {
+        predictors,
+        runs: run_labels,
+        cells: per_run.into_iter().flatten().collect(),
+    }
+}
+
+/// One grid row: every predictor over one benchmark run.
+fn grid_row(kinds: &[PredictorKind], run: &BenchmarkRun, scale: f64) -> Vec<GridCell> {
+    let trace = if (scale - 1.0).abs() < f64::EPSILON {
+        run.generate()
+    } else {
+        run.generate_scaled(scale)
+    };
+    kinds
+        .iter()
+        .map(|&kind| {
+            let mut predictor = kind.build();
+            let result: RunResult = simulate(predictor.as_mut(), &trace);
+            GridCell {
+                run: run.label(),
+                predictor: predictor.name(),
+                ratio: result.misprediction_ratio(),
+                predictions: result.predictions(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_workloads::paper_suite;
+
+    #[test]
+    fn grid_covers_all_cells() {
+        let runs = &paper_suite()[..2];
+        let kinds = [PredictorKind::Btb, PredictorKind::TcPib];
+        let grid = compare_grid(&kinds, runs, 0.01);
+        assert_eq!(grid.cells().len(), 4);
+        assert_eq!(grid.predictors().len(), 2);
+        assert_eq!(grid.runs().len(), 2);
+        for cell in grid.cells() {
+            assert!(cell.predictions > 0);
+            assert!((0.0..=1.0).contains(&cell.ratio));
+        }
+    }
+
+    #[test]
+    fn mean_and_ranking() {
+        let runs = &paper_suite()[..2];
+        let kinds = [PredictorKind::Btb, PredictorKind::TcPib];
+        let grid = compare_grid(&kinds, runs, 0.01);
+        let mean_btb = grid.mean_ratio("BTB").unwrap();
+        let mean_tc = grid.mean_ratio("TC-PIB").unwrap();
+        assert!(mean_btb > 0.0 && mean_tc > 0.0);
+        let ranking = grid.ranking();
+        assert_eq!(ranking.len(), 2);
+        assert!(ranking[0].1 <= ranking[1].1);
+        assert!(grid.mean_ratio("nope").is_none());
+    }
+
+    #[test]
+    fn ratio_lookup() {
+        let runs = &paper_suite()[..1];
+        let grid = compare_grid(&[PredictorKind::Btb], runs, 0.01);
+        let label = runs[0].label();
+        assert!(grid.ratio(&label, "BTB").is_some());
+        assert!(grid.ratio(&label, "PPM-hyb").is_none());
+    }
+}

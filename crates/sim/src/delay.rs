@@ -1,0 +1,282 @@
+//! Delayed-update modeling — the §4 pipelining concern, measurable.
+//!
+//! The paper places the predictor "at the I-fetch stage of a processor
+//! employing speculative execution" and notes the 2-level hybrid "may have
+//! to be pipelined into two phases" (§4, citing Yeh & Patt). In a real
+//! front end the *resolution* of a branch — and therefore every table
+//! update and history shift — arrives several fetched branches after the
+//! prediction was consumed. Trace-driven studies (the paper's included)
+//! usually idealize this away by updating in trace order.
+//!
+//! [`DelayedPredictor`] makes the gap explicit: it wraps any
+//! [`IndirectPredictor`] and holds back all `update` and `observe` calls
+//! by a configurable number of branch events, modeling a front end that
+//! runs `delay` branches ahead of resolution. At `delay == 0` it is
+//! exactly the wrapped predictor.
+//!
+//! Two variants bracket the design space: [`DelayedPredictor::new`] delays
+//! history shifts too (no speculative history), while
+//! [`DelayedPredictor::with_speculative_history`] shifts history at fetch
+//! but lets the delayed table write recompute its index from the *newer*
+//! history — the `sweep_delay` experiment shows both fail, which is the
+//! argument for carrying fetch-time indices with the branch (the `d = 0`
+//! idealization every trace-driven study uses).
+
+use ibp_hw::HardwareCost;
+use ibp_isa::Addr;
+use ibp_predictors::IndirectPredictor;
+use ibp_trace::BranchEvent;
+use std::collections::VecDeque;
+
+/// A pending state change, released `delay` events after it was produced.
+#[derive(Debug, Clone)]
+enum Pending {
+    Update { pc: Addr, actual: Addr },
+    Observe(BranchEvent),
+}
+
+/// Wraps a predictor, delaying its training by a fixed number of events.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_isa::Addr;
+/// use ibp_predictors::{Btb, IndirectPredictor};
+/// use ibp_sim::DelayedPredictor;
+///
+/// let mut p = DelayedPredictor::new(Btb::new(64), 2);
+/// p.update(Addr::new(0x40), Addr::new(0x900));
+/// // The update is still in flight...
+/// assert_eq!(p.predict(Addr::new(0x40)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayedPredictor<P> {
+    inner: P,
+    delay: usize,
+    /// Speculative history: `observe` passes through immediately (as a
+    /// front end that updates its history registers at fetch and repairs
+    /// them on a squash would); only table training (`update`) is delayed.
+    immediate_history: bool,
+    queue: VecDeque<Pending>,
+    /// Events seen since each queue entry was pushed are tracked by queue
+    /// position: entries drain once more than `delay` events passed.
+    events_behind: VecDeque<usize>,
+}
+
+impl<P: IndirectPredictor> DelayedPredictor<P> {
+    /// Wraps `inner`, delaying all training (table updates *and* history
+    /// shifts) by `delay` branch events — a front end with no speculative
+    /// history maintenance.
+    pub fn new(inner: P, delay: usize) -> Self {
+        Self {
+            inner,
+            delay,
+            immediate_history: false,
+            queue: VecDeque::new(),
+            events_behind: VecDeque::new(),
+        }
+    }
+
+    /// Wraps `inner`, delaying only table updates while history shifts
+    /// apply immediately — a front end that *speculatively* updates its
+    /// path history registers at fetch (with idealized repair).
+    pub fn with_speculative_history(inner: P, delay: usize) -> Self {
+        Self {
+            immediate_history: true,
+            ..Self::new(inner, delay)
+        }
+    }
+
+    /// The configured delay in branch events.
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+
+    /// The wrapped predictor.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    fn push(&mut self, p: Pending) {
+        self.queue.push_back(p);
+        self.events_behind.push_back(0);
+    }
+
+    fn tick(&mut self) {
+        for n in self.events_behind.iter_mut() {
+            *n += 1;
+        }
+        while let Some(&age) = self.events_behind.front() {
+            if age <= self.delay {
+                break;
+            }
+            self.events_behind.pop_front();
+            match self.queue.pop_front().expect("queues stay in sync") {
+                Pending::Update { pc, actual } => self.inner.update(pc, actual),
+                Pending::Observe(e) => self.inner.observe(&e),
+            }
+        }
+    }
+
+    /// Flushes all pending training immediately (end of trace).
+    pub fn drain(&mut self) {
+        self.events_behind.clear();
+        while let Some(p) = self.queue.pop_front() {
+            match p {
+                Pending::Update { pc, actual } => self.inner.update(pc, actual),
+                Pending::Observe(e) => self.inner.observe(&e),
+            }
+        }
+    }
+}
+
+impl<P: IndirectPredictor> IndirectPredictor for DelayedPredictor<P> {
+    fn name(&self) -> String {
+        if self.delay == 0 {
+            self.inner.name()
+        } else if self.immediate_history {
+            format!("{}+sd{}", self.inner.name(), self.delay)
+        } else {
+            format!("{}+d{}", self.inner.name(), self.delay)
+        }
+    }
+
+    fn predict(&mut self, pc: Addr) -> Option<Addr> {
+        self.inner.predict(pc)
+    }
+
+    fn update(&mut self, pc: Addr, actual: Addr) {
+        if self.delay == 0 {
+            self.inner.update(pc, actual);
+        } else {
+            self.push(Pending::Update { pc, actual });
+        }
+    }
+
+    fn observe(&mut self, event: &BranchEvent) {
+        if self.delay == 0 {
+            self.inner.observe(event);
+        } else if self.immediate_history {
+            self.inner.observe(event);
+            self.tick();
+        } else {
+            self.push(Pending::Observe(*event));
+            self.tick();
+        }
+    }
+
+    fn cost(&self) -> HardwareCost {
+        // The wrapped structures plus the in-flight buffer (one target +
+        // pc + class metadata per slot, generously 160 bits).
+        self.inner.cost() + HardwareCost::register(self.delay as u64 * 160)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.queue.clear();
+        self.events_behind.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::simulate;
+    use ibp_predictors::Btb;
+    use ibp_trace::Trace;
+
+    fn cyclic_trace(n: usize) -> Trace {
+        let targets = [Addr::new(0xA04), Addr::new(0xB08)];
+        (0..n)
+            .map(|i| BranchEvent::indirect_jmp(Addr::new(0x40), targets[i % 2]))
+            .collect()
+    }
+
+    #[test]
+    fn zero_delay_is_transparent() {
+        let trace = cyclic_trace(50);
+        let mut plain = Btb::new(64);
+        let mut wrapped = DelayedPredictor::new(Btb::new(64), 0);
+        let a = simulate(&mut plain, &trace);
+        let b = simulate(&mut wrapped, &trace);
+        assert_eq!(a.mispredictions(), b.mispredictions());
+        assert_eq!(wrapped.name(), "BTB");
+    }
+
+    #[test]
+    fn update_is_held_back_by_the_delay() {
+        let mut p = DelayedPredictor::new(Btb::new(64), 2);
+        let pc = Addr::new(0x40);
+        p.update(pc, Addr::new(0x900));
+        assert_eq!(p.predict(pc), None, "update must still be in flight");
+        // Two observed events age the pending update past the delay.
+        p.observe(&BranchEvent::direct(Addr::new(0x10), Addr::new(0x20)));
+        p.observe(&BranchEvent::direct(Addr::new(0x20), Addr::new(0x30)));
+        p.observe(&BranchEvent::direct(Addr::new(0x30), Addr::new(0x40)));
+        assert_eq!(p.predict(pc), Some(Addr::new(0x900)));
+    }
+
+    #[test]
+    fn drain_flushes_everything() {
+        let mut p = DelayedPredictor::new(Btb::new(64), 8);
+        p.update(Addr::new(0x40), Addr::new(0x900));
+        p.drain();
+        assert_eq!(p.predict(Addr::new(0x40)), Some(Addr::new(0x900)));
+    }
+
+    #[test]
+    fn delay_costs_accuracy_on_tight_alternation() {
+        // A strict alternation is perfectly learnable with immediate
+        // updates (BTB2b-like flip behaviour aside, the *history*-free BTB
+        // just alternates misses) — here we check the delayed wrapper is
+        // never *better*, and strictly worse for a history predictor.
+        use ibp_ppm::PpmPib;
+        let trace = cyclic_trace(400);
+        let mut immediate = PpmPib::paper();
+        let base = simulate(&mut immediate, &trace).mispredictions();
+        let mut delayed = DelayedPredictor::new(PpmPib::paper(), 4);
+        let worse = simulate(&mut delayed, &trace).mispredictions();
+        assert!(
+            worse > base,
+            "delay should hurt the history predictor: {base} vs {worse}"
+        );
+    }
+
+    #[test]
+    fn speculative_history_differs_from_fully_delayed() {
+        // On a single-site cyclic micro-trace fresh history helps; on the
+        // full suite recomputing the table index from newer history makes
+        // it *worse* (see the `sweep_delay` bin) — either way the variant
+        // must behave differently from the fully-delayed one and never
+        // beat immediate training.
+        use ibp_ppm::PpmPib;
+        let trace = cyclic_trace(400);
+        let mut base = PpmPib::paper();
+        let b = simulate(&mut base, &trace).mispredictions();
+        let mut full = DelayedPredictor::new(PpmPib::paper(), 4);
+        let f = simulate(&mut full, &trace).mispredictions();
+        let mut spec = DelayedPredictor::with_speculative_history(PpmPib::paper(), 4);
+        let s = simulate(&mut spec, &trace).mispredictions();
+        assert_ne!(s, f, "variants must not coincide");
+        assert!(s >= b, "cannot beat immediate training: {s} vs {b}");
+        assert_eq!(spec.name(), "PPM-PIB+sd4");
+    }
+
+    #[test]
+    fn reset_clears_in_flight_state() {
+        let mut p = DelayedPredictor::new(Btb::new(64), 4);
+        p.update(Addr::new(0x40), Addr::new(0x900));
+        p.reset();
+        p.drain();
+        assert_eq!(p.predict(Addr::new(0x40)), None);
+    }
+
+    #[test]
+    fn name_and_cost_reflect_delay() {
+        let p = DelayedPredictor::new(Btb::new(64), 3);
+        assert_eq!(p.name(), "BTB+d3");
+        assert!(p.cost().bits() > Btb::new(64).cost().bits());
+        assert_eq!(p.delay(), 3);
+        assert_eq!(p.inner().name(), "BTB");
+    }
+}

@@ -1,0 +1,31 @@
+//! Trace-driven simulation engine and experiment runner.
+//!
+//! This crate drives branch traces through any `IndirectPredictor`
+//! implementation using the paper's methodology:
+//!
+//! * only **multiple-target indirect `jmp`/`jsr`** branches are predicted
+//!   and counted (returns go to a RAS, single-target branches are
+//!   link-time-resolvable — §5);
+//! * every branch event is *observed* by the predictor so path histories
+//!   include the streams each scheme selects;
+//! * predictors are compared at the same hardware budget.
+//!
+//! Modules:
+//!
+//! * [`runner`] — the per-trace simulation loop and its results;
+//! * [`zoo`] — a name-addressable factory over every predictor in the
+//!   workspace, scalable by table budget (for the sweep ablations);
+//! * [`compare`] — grids of (predictor × benchmark run), i.e. Figures 6
+//!   and 7;
+//! * [`report`] — plain-text table rendering for the experiment binaries.
+
+pub mod compare;
+pub mod delay;
+pub mod report;
+pub mod runner;
+pub mod zoo;
+
+pub use compare::{compare_grid, GridResult};
+pub use delay::DelayedPredictor;
+pub use runner::{ras_accuracy, simulate, simulate_stream, RunResult};
+pub use zoo::PredictorKind;

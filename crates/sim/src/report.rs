@@ -1,0 +1,150 @@
+//! Plain-text rendering of experiment results, in the spirit of the
+//! paper's tables and bar charts.
+
+use crate::compare::GridResult;
+use std::fmt::Write as _;
+
+/// Formats a ratio as a percentage with two decimals (`9.47%`).
+pub fn pct(ratio: f64) -> String {
+    format!("{:.2}%", ratio * 100.0)
+}
+
+/// Renders a grid as a misprediction-ratio table: one row per benchmark
+/// run, one column per predictor, plus a mean row — the tabular form of
+/// Figures 6/7.
+pub fn render_grid(grid: &GridResult) -> String {
+    let mut out = String::new();
+    let col = 14usize;
+    let name_col = 12usize;
+    let _ = write!(out, "{:<name_col$}", "run");
+    for p in grid.predictors() {
+        let _ = write!(out, "{p:>col$}");
+    }
+    out.push('\n');
+    for run in grid.runs() {
+        let _ = write!(out, "{run:<name_col$}");
+        for p in grid.predictors() {
+            match grid.ratio(run, p) {
+                Some(r) => {
+                    let _ = write!(out, "{:>col$}", pct(r));
+                }
+                None => {
+                    let _ = write!(out, "{:>col$}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "{:<name_col$}", "MEAN");
+    for p in grid.predictors() {
+        match grid.mean_ratio(p) {
+            Some(r) => {
+                let _ = write!(out, "{:>col$}", pct(r));
+            }
+            None => {
+                let _ = write!(out, "{:>col$}", "-");
+            }
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders a grid as CSV (`run,predictor,ratio,predictions` rows), for
+/// spreadsheet or plotting pipelines.
+pub fn grid_to_csv(grid: &GridResult) -> String {
+    let mut out = String::from("run,predictor,misprediction_ratio,predictions\n");
+    for cell in grid.cells() {
+        let _ = writeln!(
+            out,
+            "{},{},{:.6},{}",
+            cell.run, cell.predictor, cell.ratio, cell.predictions
+        );
+    }
+    out
+}
+
+/// Renders a `paper vs measured` comparison line for EXPERIMENTS.md-style
+/// reporting.
+pub fn paper_vs_measured(label: &str, paper: f64, measured: f64) -> String {
+    format!(
+        "{label:<28} paper {paper:>7} measured {measured:>7}",
+        paper = pct(paper),
+        measured = pct(measured)
+    )
+}
+
+/// Renders a horizontal bar chart of (label, ratio) rows, the textual
+/// analogue of the paper's Figure 6/7 bars.
+pub fn bar_chart(rows: &[(String, f64)], max_width: usize) -> String {
+    let max = rows.iter().map(|(_, r)| *r).fold(f64::EPSILON, f64::max);
+    let mut out = String::new();
+    for (label, ratio) in rows {
+        let width = ((ratio / max) * max_width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "{label:<16} {bar:<max_width$} {pct}",
+            bar = "#".repeat(width),
+            pct = pct(*ratio)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::compare_grid;
+    use crate::zoo::PredictorKind;
+    use ibp_workloads::paper_suite;
+
+    #[test]
+    fn pct_matches_paper_style() {
+        assert_eq!(pct(0.0947), "9.47%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+
+    #[test]
+    fn render_grid_contains_all_labels() {
+        let runs = &paper_suite()[..2];
+        let grid = compare_grid(&[PredictorKind::Btb, PredictorKind::TcPib], runs, 0.01);
+        let text = render_grid(&grid);
+        assert!(text.contains("BTB"));
+        assert!(text.contains("TC-PIB"));
+        assert!(text.contains("MEAN"));
+        for run in grid.runs() {
+            assert!(text.contains(run.as_str()));
+        }
+        // One header + one line per run + the mean line.
+        assert_eq!(text.lines().count(), 2 + grid.runs().len());
+    }
+
+    #[test]
+    fn csv_has_header_and_all_cells() {
+        let runs = &paper_suite()[..2];
+        let grid = compare_grid(&[PredictorKind::Btb], runs, 0.01);
+        let csv = grid_to_csv(&grid);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "run,predictor,misprediction_ratio,predictions");
+        assert_eq!(lines.len(), 1 + grid.cells().len());
+        assert!(lines[1].starts_with(&format!("{},BTB,", grid.runs()[0])));
+    }
+
+    #[test]
+    fn paper_vs_measured_format() {
+        let line = paper_vs_measured("PPM-hyb mean", 0.0947, 0.1012);
+        assert!(line.contains("9.47%"));
+        assert!(line.contains("10.12%"));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("a".to_string(), 0.5), ("b".to_string(), 0.25)];
+        let chart = bar_chart(&rows, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let hashes = |s: &str| s.matches('#').count();
+        assert_eq!(hashes(lines[0]), 20);
+        assert_eq!(hashes(lines[1]), 10);
+    }
+}

@@ -1,0 +1,183 @@
+//! ATOM-like trace capture.
+//!
+//! The paper captured traces with DEC's ATOM instrumentation toolkit. Our
+//! workload generators play the role of the instrumented program, and
+//! [`ProgramTracer`] plays the role of the instrumentation runtime: it
+//! receives control-flow callbacks, maintains a shadow call stack so that
+//! return targets are *derived* rather than supplied (returns must match
+//! calls, as on real hardware), and accumulates the event stream.
+
+use crate::event::BranchEvent;
+use crate::source::Trace;
+use ibp_isa::Addr;
+
+/// An ATOM-style capture session producing a [`Trace`].
+///
+/// # Examples
+///
+/// ```
+/// use ibp_isa::Addr;
+/// use ibp_trace::ProgramTracer;
+///
+/// let mut t = ProgramTracer::new();
+/// t.straight_line(10);
+/// t.direct_call(Addr::new(0x100), Addr::new(0x800));
+/// t.straight_line(3);
+/// t.ret(Addr::new(0x810)); // returns to 0x104 automatically
+/// let trace = t.finish();
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.events()[1].target(), Addr::new(0x104));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramTracer {
+    events: Vec<BranchEvent>,
+    call_stack: Vec<Addr>,
+    pending_instrs: u32,
+}
+
+impl ProgramTracer {
+    /// Creates an empty capture session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` non-branch instructions executed before the next branch.
+    pub fn straight_line(&mut self, n: u32) {
+        self.pending_instrs = self.pending_instrs.saturating_add(n);
+    }
+
+    /// Records a conditional branch.
+    pub fn conditional(&mut self, pc: Addr, taken: bool, target: Addr) {
+        let e = if taken {
+            BranchEvent::cond_taken(pc, target)
+        } else {
+            BranchEvent::cond_not_taken(pc)
+        };
+        self.push(e);
+    }
+
+    /// Records an unconditional direct branch.
+    pub fn direct(&mut self, pc: Addr, target: Addr) {
+        self.push(BranchEvent::direct(pc, target));
+    }
+
+    /// Records a direct call (`bsr`), pushing `pc + 4` on the shadow stack.
+    pub fn direct_call(&mut self, pc: Addr, target: Addr) {
+        self.call_stack.push(pc.offset_words(1));
+        self.push(BranchEvent::direct_call(pc, target));
+    }
+
+    /// Records a multiple-target indirect jump.
+    pub fn indirect_jmp(&mut self, pc: Addr, target: Addr) {
+        self.push(BranchEvent::indirect_jmp(pc, target));
+    }
+
+    /// Records a multiple-target indirect call, pushing the return address.
+    pub fn indirect_jsr(&mut self, pc: Addr, target: Addr) {
+        self.call_stack.push(pc.offset_words(1));
+        self.push(BranchEvent::indirect_jsr(pc, target));
+    }
+
+    /// Records a single-target indirect call, pushing the return address.
+    pub fn st_jsr(&mut self, pc: Addr, target: Addr) {
+        self.call_stack.push(pc.offset_words(1));
+        self.push(BranchEvent::st_jsr(pc, target));
+    }
+
+    /// Records a return; the target is popped from the shadow call stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the call stack is empty (a return without a matching call
+    /// means the workload model is buggy — fail loudly).
+    pub fn ret(&mut self, pc: Addr) {
+        let target = self
+            .call_stack
+            .pop()
+            .expect("return without a matching call in workload model");
+        self.push(BranchEvent::ret(pc, target));
+    }
+
+    /// Current shadow call-stack depth.
+    pub fn call_depth(&self) -> usize {
+        self.call_stack.len()
+    }
+
+    /// Number of events captured so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Ends the session and returns the captured trace.
+    pub fn finish(self) -> Trace {
+        Trace::from_events(self.events)
+    }
+
+    fn push(&mut self, e: BranchEvent) {
+        let n = std::mem::take(&mut self.pending_instrs);
+        self.events.push(e.with_inline_instrs(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calls_and_returns_pair_up() {
+        let mut t = ProgramTracer::new();
+        t.direct_call(Addr::new(0x100), Addr::new(0x1000));
+        t.indirect_jsr(Addr::new(0x1008), Addr::new(0x2000));
+        t.ret(Addr::new(0x2010)); // -> 0x100C
+        t.ret(Addr::new(0x1010)); // -> 0x104
+        let trace = t.finish();
+        assert_eq!(trace.events()[2].target(), Addr::new(0x100C));
+        assert_eq!(trace.events()[3].target(), Addr::new(0x104));
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching call")]
+    fn unmatched_return_panics() {
+        let mut t = ProgramTracer::new();
+        t.ret(Addr::new(0x10));
+    }
+
+    #[test]
+    fn straight_line_instructions_attach_to_next_branch() {
+        let mut t = ProgramTracer::new();
+        t.straight_line(7);
+        t.straight_line(3);
+        t.direct(Addr::new(0x100), Addr::new(0x200));
+        t.direct(Addr::new(0x200), Addr::new(0x300));
+        let trace = t.finish();
+        assert_eq!(trace.events()[0].inline_instrs(), 10);
+        assert_eq!(trace.events()[1].inline_instrs(), 0);
+    }
+
+    #[test]
+    fn call_depth_tracks_stack() {
+        let mut t = ProgramTracer::new();
+        assert_eq!(t.call_depth(), 0);
+        t.direct_call(Addr::new(0x100), Addr::new(0x1000));
+        t.st_jsr(Addr::new(0x1000), Addr::new(0x3000));
+        assert_eq!(t.call_depth(), 2);
+        t.ret(Addr::new(0x3004));
+        assert_eq!(t.call_depth(), 1);
+    }
+
+    #[test]
+    fn conditional_capture() {
+        let mut t = ProgramTracer::new();
+        t.conditional(Addr::new(0x100), true, Addr::new(0x80));
+        t.conditional(Addr::new(0x80), false, Addr::NULL);
+        let trace = t.finish();
+        assert!(trace.events()[0].taken());
+        assert!(!trace.events()[1].taken());
+        assert_eq!(trace.events()[1].target(), Addr::new(0x84));
+    }
+}

@@ -1,0 +1,379 @@
+//! Trace serialization: a compact binary format and a line-oriented text
+//! format.
+//!
+//! The binary format is what a real tracing run would store on disk (the
+//! paper's ATOM traces were files replayed by the simulator); the text
+//! format is for human inspection and small golden tests. Both round-trip
+//! exactly.
+
+use crate::event::BranchEvent;
+use crate::source::Trace;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ibp_isa::{Addr, BranchClass, IndirectOp, TargetArity};
+use std::error::Error;
+use std::fmt;
+
+/// Magic bytes opening every binary trace.
+const MAGIC: &[u8; 4] = b"IBPT";
+/// Current binary format version.
+const VERSION: u16 = 1;
+
+/// Error decoding a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeTraceError {
+    /// The buffer does not start with the `IBPT` magic.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u16),
+    /// The buffer ended before the declared number of events.
+    Truncated,
+    /// An unknown branch-class code was found.
+    BadClass(u8),
+    /// A line of the text format could not be parsed.
+    BadTextLine(usize),
+}
+
+impl fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeTraceError::BadMagic => write!(f, "missing IBPT magic"),
+            DecodeTraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeTraceError::Truncated => write!(f, "trace buffer truncated"),
+            DecodeTraceError::BadClass(c) => write!(f, "unknown branch class code {c}"),
+            DecodeTraceError::BadTextLine(n) => write!(f, "unparsable trace text at line {n}"),
+        }
+    }
+}
+
+impl Error for DecodeTraceError {}
+
+fn class_code(class: BranchClass) -> u8 {
+    match class {
+        BranchClass::ConditionalDirect => 0,
+        BranchClass::UnconditionalDirect { is_call: false } => 1,
+        BranchClass::UnconditionalDirect { is_call: true } => 2,
+        BranchClass::Indirect { op, arity } => {
+            let base = match op {
+                IndirectOp::Jmp => 3,
+                IndirectOp::Jsr => 5,
+                IndirectOp::Ret => 7,
+                IndirectOp::JsrCoroutine => 8,
+            };
+            match (op, arity) {
+                (IndirectOp::Ret, _) => base,
+                (_, TargetArity::Multiple) => base,
+                (_, TargetArity::Single) => base + 1,
+            }
+        }
+    }
+}
+
+fn class_from_code(code: u8) -> Result<BranchClass, DecodeTraceError> {
+    Ok(match code {
+        0 => BranchClass::ConditionalDirect,
+        1 => BranchClass::UnconditionalDirect { is_call: false },
+        2 => BranchClass::UnconditionalDirect { is_call: true },
+        3 => BranchClass::mt_jmp(),
+        4 => BranchClass::Indirect {
+            op: IndirectOp::Jmp,
+            arity: TargetArity::Single,
+        },
+        5 => BranchClass::mt_jsr(),
+        6 => BranchClass::st_jsr(),
+        7 => BranchClass::ret(),
+        8 => BranchClass::Indirect {
+            op: IndirectOp::JsrCoroutine,
+            arity: TargetArity::Multiple,
+        },
+        9 => BranchClass::Indirect {
+            op: IndirectOp::JsrCoroutine,
+            arity: TargetArity::Single,
+        },
+        other => return Err(DecodeTraceError::BadClass(other)),
+    })
+}
+
+/// Encodes a trace into the binary format.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_isa::Addr;
+/// use ibp_trace::{codec, BranchEvent, Trace};
+///
+/// let trace: Trace =
+///     std::iter::once(BranchEvent::indirect_jmp(Addr::new(0x10), Addr::new(0x20))).collect();
+/// let bytes = codec::encode(&trace);
+/// let back = codec::decode(&bytes)?;
+/// assert_eq!(trace, back);
+/// # Ok::<(), ibp_trace::codec::DecodeTraceError>(())
+/// ```
+pub fn encode(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(14 + trace.len() * 22);
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u64(trace.len() as u64);
+    for e in trace.iter() {
+        buf.put_u64(e.pc().raw());
+        buf.put_u8(class_code(e.class()));
+        buf.put_u8(e.taken() as u8);
+        buf.put_u64(e.target().raw());
+        buf.put_u32(e.inline_instrs());
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary trace.
+///
+/// # Errors
+///
+/// Returns a [`DecodeTraceError`] for bad magic, unsupported version,
+/// truncation or unknown class codes.
+pub fn decode(mut buf: &[u8]) -> Result<Trace, DecodeTraceError> {
+    if buf.remaining() < 14 {
+        return Err(DecodeTraceError::BadMagic);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeTraceError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(DecodeTraceError::BadVersion(version));
+    }
+    let count = buf.get_u64() as usize;
+    let mut events = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        if buf.remaining() < 22 {
+            return Err(DecodeTraceError::Truncated);
+        }
+        let pc = Addr::new(buf.get_u64());
+        let class = class_from_code(buf.get_u8())?;
+        let taken = buf.get_u8() != 0;
+        let target = Addr::new(buf.get_u64());
+        let inline = buf.get_u32();
+        events.push(BranchEvent::new(pc, class, taken, target, inline));
+    }
+    Ok(Trace::from_events(events))
+}
+
+/// Formats a trace as one event per line:
+/// `pc class_code taken target inline_instrs`, all numeric fields in hex
+/// except the instruction count.
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in trace.iter() {
+        out.push_str(&format!(
+            "{:x} {} {} {:x} {}\n",
+            e.pc().raw(),
+            class_code(e.class()),
+            e.taken() as u8,
+            e.target().raw(),
+            e.inline_instrs()
+        ));
+    }
+    out
+}
+
+/// Parses the text format produced by [`to_text`].
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError::BadTextLine`] with the 1-based line number of
+/// the first unparsable line, or [`DecodeTraceError::BadClass`] for unknown
+/// class codes.
+pub fn from_text(text: &str) -> Result<Trace, DecodeTraceError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let parse = |f: Option<&str>, radix| {
+            f.and_then(|s| u64::from_str_radix(s, radix).ok())
+                .ok_or(DecodeTraceError::BadTextLine(i + 1))
+        };
+        let pc = parse(fields.next(), 16)?;
+        let code = parse(fields.next(), 10)? as u8;
+        let taken = parse(fields.next(), 10)? != 0;
+        let target = parse(fields.next(), 16)?;
+        let inline = parse(fields.next(), 10)? as u32;
+        if fields.next().is_some() {
+            return Err(DecodeTraceError::BadTextLine(i + 1));
+        }
+        events.push(BranchEvent::new(
+            Addr::new(pc),
+            class_from_code(code)?,
+            taken,
+            Addr::new(target),
+            inline,
+        ));
+    }
+    Ok(Trace::from_events(events))
+}
+
+/// Writes a trace to a file in the binary format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_file<P: AsRef<std::path::Path>>(trace: &Trace, path: P) -> std::io::Result<()> {
+    std::fs::write(path, encode(trace))
+}
+
+/// Reads a binary trace file.
+///
+/// # Errors
+///
+/// Returns an I/O error for filesystem failures, mapped to
+/// `InvalidData` for undecodable contents.
+pub fn read_file<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<Trace> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        vec![
+            BranchEvent::cond_taken(Addr::new(0x10), Addr::new(0x30)).with_inline_instrs(7),
+            BranchEvent::cond_not_taken(Addr::new(0x30)),
+            BranchEvent::direct(Addr::new(0x34), Addr::new(0x50)),
+            BranchEvent::direct_call(Addr::new(0x50), Addr::new(0x800)),
+            BranchEvent::st_jsr(Addr::new(0x804), Addr::new(0x2000)),
+            BranchEvent::ret(Addr::new(0x2004), Addr::new(0x808)),
+            BranchEvent::indirect_jmp(Addr::new(0x808), Addr::new(0x900)),
+            BranchEvent::indirect_jsr(Addr::new(0x904), Addr::new(0xA00)).with_inline_instrs(3),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample();
+        let bytes = encode(&t);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(DecodeTraceError::BadMagic));
+    }
+
+    #[test]
+    fn binary_rejects_bad_version() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[5] = 99;
+        assert_eq!(decode(&bytes), Err(DecodeTraceError::BadVersion(99)));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let bytes = encode(&sample());
+        let cut = &bytes[..bytes.len() - 5];
+        assert_eq!(decode(cut), Err(DecodeTraceError::Truncated));
+    }
+
+    #[test]
+    fn binary_rejects_empty() {
+        assert_eq!(decode(&[]), Err(DecodeTraceError::BadMagic));
+    }
+
+    #[test]
+    fn binary_rejects_bad_class() {
+        let t: Trace = std::iter::once(BranchEvent::direct(Addr::new(4), Addr::new(8))).collect();
+        let mut bytes = encode(&t).to_vec();
+        bytes[14 + 8] = 42; // class byte of the first event
+        assert_eq!(decode(&bytes), Err(DecodeTraceError::BadClass(42)));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = sample();
+        let text = to_text(&t);
+        let back = from_text(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let text = "# header\n\n10 3 1 20 0\n";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.events()[0].pc(), Addr::new(0x10));
+    }
+
+    #[test]
+    fn text_reports_line_numbers() {
+        let text = "10 3 1 20 0\nnot a line\n";
+        assert_eq!(from_text(text), Err(DecodeTraceError::BadTextLine(2)));
+        let extra = "10 3 1 20 0 99\n";
+        assert_eq!(from_text(extra), Err(DecodeTraceError::BadTextLine(1)));
+    }
+
+    #[test]
+    fn class_codes_are_stable_and_total() {
+        // Every constructible class must survive the code round-trip.
+        let classes = [
+            BranchClass::ConditionalDirect,
+            BranchClass::UnconditionalDirect { is_call: false },
+            BranchClass::UnconditionalDirect { is_call: true },
+            BranchClass::mt_jmp(),
+            BranchClass::Indirect {
+                op: IndirectOp::Jmp,
+                arity: TargetArity::Single,
+            },
+            BranchClass::mt_jsr(),
+            BranchClass::st_jsr(),
+            BranchClass::ret(),
+            BranchClass::Indirect {
+                op: IndirectOp::JsrCoroutine,
+                arity: TargetArity::Multiple,
+            },
+            BranchClass::Indirect {
+                op: IndirectOp::JsrCoroutine,
+                arity: TargetArity::Single,
+            },
+        ];
+        for (i, &c) in classes.iter().enumerate() {
+            assert_eq!(class_code(c), i as u8);
+            assert_eq!(class_from_code(i as u8).unwrap(), c);
+        }
+        assert!(class_from_code(10).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = sample();
+        let path = std::env::temp_dir().join("ibp_trace_codec_test.trace");
+        write_file(&t, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn read_file_maps_decode_errors() {
+        let path = std::env::temp_dir().join("ibp_trace_codec_garbage.trace");
+        std::fs::write(&path, b"not a trace").unwrap();
+        let err = read_file(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(DecodeTraceError::BadMagic.to_string().contains("magic"));
+        assert!(DecodeTraceError::Truncated
+            .to_string()
+            .contains("truncated"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Branch traces: representation, statistics, codecs and capture.
+//!
+//! The paper's methodology is trace-driven simulation: DEC Alpha binaries
+//! were instrumented with ATOM and their branch streams replayed through
+//! predictor models. This crate is the equivalent substrate:
+//!
+//! * [`event::BranchEvent`] — one dynamic branch execution (PC, class,
+//!   direction, resolved target) plus the count of non-branch instructions
+//!   since the previous branch, so traces carry instruction totals without
+//!   storing every instruction;
+//! * [`capture::ProgramTracer`] — an ATOM-like capture API with a shadow
+//!   call stack (return targets are derived, not supplied);
+//! * [`stats::TraceStats`] — the dynamic characteristics of Table 1 plus
+//!   per-branch target profiles (entropy, monomorphism) used in §5's
+//!   analysis;
+//! * [`codec`] — a compact binary trace format and a human-readable text
+//!   format, both round-trip tested;
+//! * [`source`] — trace containers and filtering adapters (e.g. dropping
+//!   returns, which a RAS predicts).
+
+pub mod capture;
+pub mod codec;
+pub mod event;
+pub mod source;
+pub mod stats;
+
+pub use capture::ProgramTracer;
+pub use event::BranchEvent;
+pub use source::Trace;
+pub use stats::{BranchProfile, TraceStats};

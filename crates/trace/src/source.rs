@@ -1,0 +1,200 @@
+//! Trace containers and filtering adapters.
+
+use crate::event::BranchEvent;
+use crate::stats::TraceStats;
+use serde::{Deserialize, Serialize};
+
+/// An in-memory branch trace.
+///
+/// A `Trace` is an ordered sequence of [`BranchEvent`]s. Traces are built by
+/// [`ProgramTracer`](crate::capture::ProgramTracer) or decoded by
+/// [`codec`](crate::codec), and consumed by the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_isa::Addr;
+/// use ibp_trace::{BranchEvent, Trace};
+///
+/// let trace: Trace = vec![
+///     BranchEvent::indirect_jmp(Addr::new(0x10), Addr::new(0x20)),
+///     BranchEvent::ret(Addr::new(0x24), Addr::new(0x14)),
+/// ]
+/// .into_iter()
+/// .collect();
+/// assert_eq!(trace.predicted_indirect().count(), 1); // the ret is excluded
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<BranchEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a vector of events.
+    pub fn from_events(events: Vec<BranchEvent>) -> Self {
+        Self { events }
+    }
+
+    /// The events in execution order.
+    pub fn events(&self) -> &[BranchEvent] {
+        &self.events
+    }
+
+    /// Number of branch events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: BranchEvent) {
+        self.events.push(e);
+    }
+
+    /// Iterates over all events.
+    pub fn iter(&self) -> std::slice::Iter<'_, BranchEvent> {
+        self.events.iter()
+    }
+
+    /// Iterates over only the branches the paper's predictors are measured
+    /// on: multiple-target indirect `jmp`/`jsr` (no returns, no ST calls).
+    pub fn predicted_indirect(&self) -> impl Iterator<Item = &BranchEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.class().is_predicted_indirect())
+    }
+
+    /// Iterates over return instructions (handled by a RAS, not the
+    /// indirect predictors).
+    pub fn returns(&self) -> impl Iterator<Item = &BranchEvent> {
+        self.events.iter().filter(|e| e.class().is_return())
+    }
+
+    /// Total instructions this trace accounts for (branches plus recorded
+    /// straight-line instructions) — the paper's Table 1 "instructions"
+    /// column.
+    pub fn instruction_count(&self) -> u64 {
+        self.events.iter().map(|e| e.instruction_count()).sum()
+    }
+
+    /// Computes the dynamic characteristics of the trace.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_events(&self.events)
+    }
+
+    /// Concatenates another trace onto this one.
+    pub fn extend_from(&mut self, other: &Trace) {
+        self.events.extend_from_slice(&other.events);
+    }
+
+    /// Consumes the trace, returning the underlying events.
+    pub fn into_events(self) -> Vec<BranchEvent> {
+        self.events
+    }
+}
+
+impl FromIterator<BranchEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = BranchEvent>>(iter: I) -> Self {
+        Self {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<BranchEvent> for Trace {
+    fn extend<I: IntoIterator<Item = BranchEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a BranchEvent;
+    type IntoIter = std::slice::Iter<'a, BranchEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = BranchEvent;
+    type IntoIter = std::vec::IntoIter<BranchEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_isa::Addr;
+
+    fn sample() -> Trace {
+        vec![
+            BranchEvent::cond_taken(Addr::new(0x10), Addr::new(0x30)).with_inline_instrs(5),
+            BranchEvent::indirect_jsr(Addr::new(0x30), Addr::new(0x100)),
+            BranchEvent::st_jsr(Addr::new(0x108), Addr::new(0x500)),
+            BranchEvent::ret(Addr::new(0x504), Addr::new(0x10C)),
+            BranchEvent::indirect_jmp(Addr::new(0x10C), Addr::new(0x40)).with_inline_instrs(2),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn collect_and_len() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert!(Trace::new().is_empty());
+    }
+
+    #[test]
+    fn predicted_indirect_excludes_st_and_ret() {
+        let t = sample();
+        let pcs: Vec<u64> = t.predicted_indirect().map(|e| e.pc().raw()).collect();
+        assert_eq!(pcs, vec![0x30, 0x10C]);
+    }
+
+    #[test]
+    fn returns_filter() {
+        let t = sample();
+        assert_eq!(t.returns().count(), 1);
+    }
+
+    #[test]
+    fn instruction_count_sums_inline() {
+        let t = sample();
+        // 5 branches + 5 + 2 inline = 12
+        assert_eq!(t.instruction_count(), 12);
+    }
+
+    #[test]
+    fn extend_and_into_iter() {
+        let mut t = sample();
+        let other = sample();
+        t.extend_from(&other);
+        assert_eq!(t.len(), 10);
+        let count = (&t).into_iter().count();
+        assert_eq!(count, 10);
+        assert_eq!(t.into_events().len(), 10);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut t = Trace::new();
+        t.push(BranchEvent::direct(Addr::new(0x4), Addr::new(0x8)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.iter().next().unwrap().pc(), Addr::new(0x4));
+    }
+}

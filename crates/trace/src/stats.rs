@@ -1,0 +1,367 @@
+//! Trace statistics: Table 1 dynamic characteristics and the per-branch
+//! target profiles behind the paper's §5 analysis.
+
+use crate::event::BranchEvent;
+use ibp_isa::{Addr, BranchClass, IndirectOp, TargetArity};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-static-branch dynamic target profile.
+///
+/// The paper's footnotes define the two properties that drive filtering
+/// (Cascade) and BTB accuracy: a branch is *monomorphic* when it mostly
+/// accesses one target, and has *low entropy* when its target changes
+/// infrequently. Both are computable from this profile.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchProfile {
+    executions: u64,
+    target_counts: HashMap<u64, u64>,
+    target_changes: u64,
+    last_target: Option<u64>,
+}
+
+impl BranchProfile {
+    /// Records one execution resolving to `target`.
+    pub fn record(&mut self, target: Addr) {
+        self.executions += 1;
+        *self.target_counts.entry(target.raw()).or_insert(0) += 1;
+        if let Some(last) = self.last_target {
+            if last != target.raw() {
+                self.target_changes += 1;
+            }
+        }
+        self.last_target = Some(target.raw());
+    }
+
+    /// Total executions of this branch.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Number of distinct dynamic targets observed.
+    pub fn distinct_targets(&self) -> usize {
+        self.target_counts.len()
+    }
+
+    /// Fraction of executions going to the most frequent target, in 0..=1.
+    /// 1.0 means strictly monomorphic behaviour.
+    pub fn dominant_target_ratio(&self) -> f64 {
+        if self.executions == 0 {
+            return 0.0;
+        }
+        let max = self.target_counts.values().copied().max().unwrap_or(0);
+        max as f64 / self.executions as f64
+    }
+
+    /// The paper's monomorphism notion: "mostly accesses one target".
+    /// We use a 90% dominance threshold.
+    pub fn is_monomorphic(&self) -> bool {
+        self.dominant_target_ratio() >= 0.9
+    }
+
+    /// Fraction of executions whose target differed from the previous one
+    /// ("its target changes infrequently" = low value here).
+    pub fn change_rate(&self) -> f64 {
+        if self.executions <= 1 {
+            return 0.0;
+        }
+        self.target_changes as f64 / (self.executions - 1) as f64
+    }
+
+    /// Shannon entropy of the target distribution, in bits.
+    pub fn target_entropy(&self) -> f64 {
+        if self.executions == 0 {
+            return 0.0;
+        }
+        let n = self.executions as f64;
+        -self
+            .target_counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    }
+
+    /// The most frequently observed target, if any.
+    pub fn dominant_target(&self) -> Option<Addr> {
+        self.target_counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&t, _)| Addr::new(t))
+    }
+}
+
+/// Dynamic characteristics of a whole trace (the paper's Table 1, plus the
+/// breakdowns used in §5).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    total_instructions: u64,
+    total_branches: u64,
+    conditional: u64,
+    unconditional_direct: u64,
+    returns: u64,
+    st_indirect: u64,
+    mt_jmp: u64,
+    mt_jsr: u64,
+    profiles: HashMap<u64, BranchProfile>,
+}
+
+impl TraceStats {
+    /// Computes statistics over a slice of events.
+    pub fn from_events(events: &[BranchEvent]) -> Self {
+        let mut s = Self::default();
+        for e in events {
+            s.observe(e);
+        }
+        s
+    }
+
+    /// Folds one event into the statistics.
+    pub fn observe(&mut self, e: &BranchEvent) {
+        self.total_instructions += e.instruction_count();
+        self.total_branches += 1;
+        match e.class() {
+            BranchClass::ConditionalDirect => self.conditional += 1,
+            BranchClass::UnconditionalDirect { .. } => self.unconditional_direct += 1,
+            BranchClass::Indirect { op, arity } => match (op, arity) {
+                (IndirectOp::Ret, _) => self.returns += 1,
+                (_, TargetArity::Single) => self.st_indirect += 1,
+                (IndirectOp::Jmp, TargetArity::Multiple) => self.mt_jmp += 1,
+                (IndirectOp::Jsr | IndirectOp::JsrCoroutine, TargetArity::Multiple) => {
+                    self.mt_jsr += 1
+                }
+            },
+        }
+        if e.class().is_predicted_indirect() {
+            self.profiles
+                .entry(e.pc().raw())
+                .or_default()
+                .record(e.target());
+        }
+    }
+
+    /// Total instructions (Table 1, third column — the paper reports it in
+    /// millions).
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// Total branch events of any kind.
+    pub fn total_branches(&self) -> u64 {
+        self.total_branches
+    }
+
+    /// Executed conditional branches.
+    pub fn conditional(&self) -> u64 {
+        self.conditional
+    }
+
+    /// Executed unconditional direct branches and calls.
+    pub fn unconditional_direct(&self) -> u64 {
+        self.unconditional_direct
+    }
+
+    /// Executed returns.
+    pub fn returns(&self) -> u64 {
+        self.returns
+    }
+
+    /// Executed single-target indirect branches (excluded from prediction
+    /// accounting, like the paper's GOT calls).
+    pub fn st_indirect(&self) -> u64 {
+        self.st_indirect
+    }
+
+    /// Executed multiple-target indirect jumps (Table 1 `jmp` column).
+    pub fn mt_jmp(&self) -> u64 {
+        self.mt_jmp
+    }
+
+    /// Executed multiple-target indirect calls (Table 1 `jsr` column).
+    pub fn mt_jsr(&self) -> u64 {
+        self.mt_jsr
+    }
+
+    /// All measured indirect branches (`mt_jmp + mt_jsr`).
+    pub fn mt_indirect(&self) -> u64 {
+        self.mt_jmp + self.mt_jsr
+    }
+
+    /// MT indirect branches as a fraction of all instructions.
+    pub fn mt_indirect_fraction(&self) -> f64 {
+        if self.total_instructions == 0 {
+            return 0.0;
+        }
+        self.mt_indirect() as f64 / self.total_instructions as f64
+    }
+
+    /// Number of distinct static MT indirect branch sites.
+    pub fn static_mt_sites(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// The profile of the MT indirect branch at `pc`, if executed.
+    pub fn profile(&self, pc: Addr) -> Option<&BranchProfile> {
+        self.profiles.get(&pc.raw())
+    }
+
+    /// Iterates over `(pc, profile)` for every measured static branch.
+    pub fn profiles(&self) -> impl Iterator<Item = (Addr, &BranchProfile)> {
+        self.profiles.iter().map(|(&pc, p)| (Addr::new(pc), p))
+    }
+
+    /// Fraction of static MT sites that behave monomorphically.
+    pub fn monomorphic_site_fraction(&self) -> f64 {
+        if self.profiles.is_empty() {
+            return 0.0;
+        }
+        let mono = self
+            .profiles
+            .values()
+            .filter(|p| p.is_monomorphic())
+            .count();
+        mono as f64 / self.profiles.len() as f64
+    }
+
+    /// Execution-weighted mean target entropy across MT sites, in bits.
+    pub fn mean_target_entropy(&self) -> f64 {
+        let total: u64 = self.profiles.values().map(|p| p.executions()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.profiles
+            .values()
+            .map(|p| p.target_entropy() * p.executions() as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jsr(pc: u64, target: u64) -> BranchEvent {
+        BranchEvent::indirect_jsr(Addr::new(pc), Addr::new(target))
+    }
+
+    #[test]
+    fn profile_counts_and_dominance() {
+        let mut p = BranchProfile::default();
+        for t in [0x10u64, 0x10, 0x10, 0x20] {
+            p.record(Addr::new(t));
+        }
+        assert_eq!(p.executions(), 4);
+        assert_eq!(p.distinct_targets(), 2);
+        assert_eq!(p.dominant_target(), Some(Addr::new(0x10)));
+        assert!((p.dominant_target_ratio() - 0.75).abs() < 1e-12);
+        assert!(!p.is_monomorphic());
+    }
+
+    #[test]
+    fn profile_monomorphic_threshold() {
+        let mut p = BranchProfile::default();
+        for _ in 0..19 {
+            p.record(Addr::new(1));
+        }
+        p.record(Addr::new(2));
+        assert!(p.is_monomorphic()); // 95% dominance
+    }
+
+    #[test]
+    fn profile_change_rate() {
+        let mut p = BranchProfile::default();
+        for t in [1u64, 1, 2, 2, 1] {
+            p.record(Addr::new(t));
+        }
+        // changes at positions 2 and 4 -> 2 changes over 4 transitions
+        assert!((p.change_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_entropy() {
+        let mut p = BranchProfile::default();
+        p.record(Addr::new(1));
+        p.record(Addr::new(2));
+        assert!((p.target_entropy() - 1.0).abs() < 1e-12);
+        let mut q = BranchProfile::default();
+        for _ in 0..8 {
+            q.record(Addr::new(7));
+        }
+        assert_eq!(q.target_entropy(), 0.0);
+    }
+
+    #[test]
+    fn empty_profile_is_inert() {
+        let p = BranchProfile::default();
+        assert_eq!(p.dominant_target_ratio(), 0.0);
+        assert_eq!(p.change_rate(), 0.0);
+        assert_eq!(p.target_entropy(), 0.0);
+        assert!(p.dominant_target().is_none());
+    }
+
+    #[test]
+    fn stats_classify_all_branch_kinds() {
+        let events = vec![
+            BranchEvent::cond_taken(Addr::new(0x10), Addr::new(0x20)),
+            BranchEvent::cond_not_taken(Addr::new(0x20)),
+            BranchEvent::direct(Addr::new(0x24), Addr::new(0x40)),
+            BranchEvent::direct_call(Addr::new(0x40), Addr::new(0x100)),
+            BranchEvent::st_jsr(Addr::new(0x104), Addr::new(0x900)),
+            BranchEvent::ret(Addr::new(0x904), Addr::new(0x108)),
+            jsr(0x108, 0x200),
+            BranchEvent::indirect_jmp(Addr::new(0x204), Addr::new(0x300)),
+        ];
+        let s = TraceStats::from_events(&events);
+        assert_eq!(s.total_branches(), 8);
+        assert_eq!(s.conditional(), 2);
+        assert_eq!(s.unconditional_direct(), 2);
+        assert_eq!(s.st_indirect(), 1);
+        assert_eq!(s.returns(), 1);
+        assert_eq!(s.mt_jsr(), 1);
+        assert_eq!(s.mt_jmp(), 1);
+        assert_eq!(s.mt_indirect(), 2);
+        assert_eq!(s.static_mt_sites(), 2);
+    }
+
+    #[test]
+    fn stats_instruction_totals() {
+        let events = vec![
+            jsr(0x10, 0x100).with_inline_instrs(9),
+            jsr(0x10, 0x100).with_inline_instrs(4),
+        ];
+        let s = TraceStats::from_events(&events);
+        assert_eq!(s.total_instructions(), 15);
+        assert!((s.mt_indirect_fraction() - 2.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_profiles_only_cover_mt_indirect() {
+        let events = vec![
+            BranchEvent::cond_taken(Addr::new(0x10), Addr::new(0x20)),
+            jsr(0x30, 0x100),
+            jsr(0x30, 0x200),
+        ];
+        let s = TraceStats::from_events(&events);
+        assert!(s.profile(Addr::new(0x10)).is_none());
+        let p = s.profile(Addr::new(0x30)).unwrap();
+        assert_eq!(p.distinct_targets(), 2);
+        assert_eq!(s.profiles().count(), 1);
+    }
+
+    #[test]
+    fn monomorphic_fraction_and_entropy_aggregate() {
+        let mut events = Vec::new();
+        for _ in 0..20 {
+            events.push(jsr(0x1, 0x100)); // monomorphic site
+        }
+        for i in 0..20u64 {
+            events.push(jsr(0x2, 0x200 + (i % 4) * 8)); // 4-target site
+        }
+        let s = TraceStats::from_events(&events);
+        assert!((s.monomorphic_site_fraction() - 0.5).abs() < 1e-12);
+        assert!(s.mean_target_entropy() > 0.9); // ~ (0 + 2.0)/2
+    }
+}

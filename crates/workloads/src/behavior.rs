@@ -1,0 +1,413 @@
+//! Site behaviours: how an indirect branch chooses its next target, and
+//! how conditional branches choose their direction.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How a multiple-target indirect site selects its next target.
+///
+/// Each variant models a source-code idiom the paper's benchmarks contain
+/// and maps onto a correlation type a predictor family can (or cannot)
+/// exploit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteBehavior {
+    /// The site walks its target list cyclically — an interpreter loop
+    /// over a fixed program, or iteration over a heterogeneous container.
+    /// Predictable from short PIB history.
+    Cyclic,
+    /// The target is a function of the last `depth` global
+    /// indirect-branch targets — virtual calls whose receiver depends on
+    /// where control came from — perturbed by input data: with
+    /// probability `noise_pct`% the target is drawn fresh. The noise is
+    /// the *irreducible* miss floor of the site (every predictor pays
+    /// it); the history-determined part is predictable only from indirect
+    /// path history of at least `depth` events and sufficient partial-
+    /// target resolution.
+    PathPib {
+        /// Number of previous indirect targets that determine the next.
+        depth: usize,
+        /// Percentage of executions whose target is data-driven noise.
+        noise_pct: u8,
+    },
+    /// The target is a deterministic function of the directions of the
+    /// last `depth` conditional branches — switch variables computed from
+    /// branching logic. Predictable from PB (all-branch) path history,
+    /// invisible to PIB history.
+    PathPb {
+        /// Number of previous conditional outcomes that determine the
+        /// target.
+        depth: usize,
+    },
+    /// Mostly one target, switching rarely (and then sticking) — virtual
+    /// calls that are de-facto monomorphic, the paper's "low entropy"
+    /// branches. A BTB2b or the Cascade filter absorbs these; in a big
+    /// path-indexed table they only spray aliases.
+    Monomorphic {
+        /// Average executions between target switches.
+        switch_period: u32,
+    },
+    /// Uniformly random target — data-dependent dispatch with no path
+    /// correlation. Noise for every predictor.
+    Uniform,
+    /// The site replays a fixed pseudo-random token sequence of length
+    /// `period` — an interpreter dispatching over its input program. The
+    /// *deep* n-grams of such a sequence are unique (position, and hence
+    /// the next token, is pinned by a long-enough window at sufficient
+    /// partial-target resolution) while shallow or coarsely-truncated
+    /// windows see ambiguous repeats. This is the structure on which the
+    /// order-10, 10-bit-per-target PPM separates itself from 2-bit
+    /// histories (TC/GAp) and short paths (Dpath).
+    TokenSeq {
+        /// Length of the replayed token sequence.
+        period: u16,
+    },
+}
+
+/// Generator-side dynamic context shared by all sites of a program model.
+#[derive(Debug, Clone, Default)]
+pub struct GenContext {
+    /// Full targets of recent indirect branches — MT, single-target and
+    /// returns alike, mirroring the stream a PIB path history register
+    /// observes (most recent last).
+    pib_history: VecDeque<u64>,
+    /// Direction bits of recent conditional branches (bit 0 = most
+    /// recent).
+    cond_bits: u64,
+}
+
+/// Maximum PIB history the generator retains.
+const PIB_DEPTH: usize = 16;
+
+impl GenContext {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the target of any executed indirect branch (MT, ST or
+    /// return).
+    pub fn record_indirect(&mut self, target: u64) {
+        if self.pib_history.len() == PIB_DEPTH {
+            self.pib_history.pop_front();
+        }
+        self.pib_history.push_back(target);
+    }
+
+    /// Records a conditional outcome.
+    pub fn record_cond(&mut self, taken: bool) {
+        self.cond_bits = (self.cond_bits << 1) | taken as u64;
+    }
+
+    /// FNV-style hash of the last `depth` indirect targets.
+    pub fn pib_key(&self, depth: usize) -> u64 {
+        let take = depth.min(self.pib_history.len());
+        let start = self.pib_history.len() - take;
+        let mut h = 0xcbf29ce484222325u64;
+        for &t in self.pib_history.iter().skip(start) {
+            h = (h ^ t).wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// The last `depth` conditional direction bits.
+    pub fn cond_key(&self, depth: usize) -> u64 {
+        self.cond_bits & ((1u64 << depth.min(63)) - 1)
+    }
+}
+
+/// Mutable per-site state driven by a [`SiteBehavior`].
+#[derive(Debug, Clone)]
+pub struct SiteState {
+    behavior: SiteBehavior,
+    fanout: usize,
+    cursor: usize,
+    since_switch: u32,
+    /// Per-site salt so two sites with the same behaviour differ.
+    salt: u64,
+    /// The replayed sequence for [`SiteBehavior::TokenSeq`] sites.
+    token_seq: Vec<u16>,
+}
+
+impl SiteState {
+    /// Creates state for a site with `fanout` possible targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero, or below 2 for multi-target behaviours.
+    pub fn new(behavior: SiteBehavior, fanout: usize, salt: u64) -> Self {
+        assert!(fanout >= 2, "an MT site needs at least two targets");
+        let token_seq = match behavior {
+            SiteBehavior::TokenSeq { period } => {
+                assert!(period > 0, "token sequence needs a period");
+                // Deterministic xorshift keyed by the site salt.
+                let mut x = salt | 1;
+                (0..period)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        (x % fanout as u64) as u16
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        Self {
+            behavior,
+            fanout,
+            cursor: 0,
+            since_switch: 0,
+            salt,
+            token_seq,
+        }
+    }
+
+    /// The behaviour driving this site.
+    pub fn behavior(&self) -> SiteBehavior {
+        self.behavior
+    }
+
+    /// Chooses the index of the next target (0..fanout).
+    pub fn next_index(&mut self, ctx: &GenContext, rng: &mut StdRng) -> usize {
+        match self.behavior {
+            SiteBehavior::Cyclic => {
+                self.cursor = (self.cursor + 1) % self.fanout;
+                self.cursor
+            }
+            SiteBehavior::PathPib { depth, noise_pct } => {
+                if noise_pct > 0 && rng.gen_range(0..100) < noise_pct as u32 {
+                    rng.gen_range(0..self.fanout)
+                } else {
+                    let key = ctx.pib_key(depth) ^ self.salt;
+                    (key % self.fanout as u64) as usize
+                }
+            }
+            SiteBehavior::PathPb { depth } => {
+                let key = ctx.cond_key(depth) ^ self.salt;
+                // Mix so different bit patterns spread across targets.
+                let mixed = key.wrapping_mul(0x9E3779B97F4A7C15);
+                (mixed % self.fanout as u64) as usize
+            }
+            SiteBehavior::Monomorphic { switch_period } => {
+                self.since_switch += 1;
+                if switch_period > 0 && rng.gen_ratio(1, switch_period) {
+                    self.cursor =
+                        (self.cursor + 1 + rng.gen_range(0..self.fanout - 1)) % self.fanout;
+                    self.since_switch = 0;
+                }
+                self.cursor
+            }
+            SiteBehavior::Uniform => rng.gen_range(0..self.fanout),
+            SiteBehavior::TokenSeq { .. } => {
+                let tok = self.token_seq[self.cursor] as usize;
+                self.cursor = (self.cursor + 1) % self.token_seq.len();
+                tok
+            }
+        }
+    }
+}
+
+/// How a conditional branch site chooses its direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CondPattern {
+    /// `taken_run` taken outcomes, then one not-taken — a counted loop.
+    Loop {
+        /// Consecutive taken outcomes per not-taken.
+        taken_run: u32,
+    },
+    /// Strict alternation.
+    Alternating,
+    /// Taken with probability `percent`/100, i.i.d.
+    Biased {
+        /// Probability of taken, in percent.
+        percent: u32,
+    },
+    /// Periodic pattern of the low bits of a seed word.
+    Periodic {
+        /// Bit pattern, consumed LSB-first.
+        pattern: u32,
+        /// Period length in bits (1..=32).
+        len: u32,
+    },
+}
+
+/// Mutable state of one conditional site.
+#[derive(Debug, Clone)]
+pub struct CondState {
+    pattern: CondPattern,
+    step: u32,
+}
+
+impl CondState {
+    /// Creates state for a conditional site.
+    pub fn new(pattern: CondPattern) -> Self {
+        Self { pattern, step: 0 }
+    }
+
+    /// The next direction.
+    pub fn next_taken(&mut self, rng: &mut StdRng) -> bool {
+        let step = self.step;
+        self.step = self.step.wrapping_add(1);
+        match self.pattern {
+            CondPattern::Loop { taken_run } => step % (taken_run + 1) != taken_run,
+            CondPattern::Alternating => step.is_multiple_of(2),
+            CondPattern::Biased { percent } => rng.gen_range(0..100) < percent,
+            CondPattern::Periodic { pattern, len } => (pattern >> (step % len.max(1))) & 1 == 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn cyclic_walks_in_order() {
+        let mut s = SiteState::new(SiteBehavior::Cyclic, 3, 0);
+        let ctx = GenContext::new();
+        let mut r = rng();
+        let seq: Vec<usize> = (0..7).map(|_| s.next_index(&ctx, &mut r)).collect();
+        assert_eq!(seq, vec![1, 2, 0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn path_pib_is_deterministic_in_history() {
+        let mut s1 = SiteState::new(
+            SiteBehavior::PathPib {
+                depth: 3,
+                noise_pct: 0,
+            },
+            8,
+            7,
+        );
+        let mut s2 = SiteState::new(
+            SiteBehavior::PathPib {
+                depth: 3,
+                noise_pct: 0,
+            },
+            8,
+            7,
+        );
+        let mut ctx = GenContext::new();
+        for t in [0x100u64, 0x200, 0x300] {
+            ctx.record_indirect(t);
+        }
+        let mut r1 = rng();
+        let mut r2 = rng();
+        assert_eq!(s1.next_index(&ctx, &mut r1), s2.next_index(&ctx, &mut r2));
+        // Changing the history changes the choice (for some history).
+        let base = s1.next_index(&ctx, &mut r1);
+        let mut changed = false;
+        for t in [0x400u64, 0x500, 0x640, 0x777] {
+            ctx.record_indirect(t);
+            if s1.next_index(&ctx, &mut r1) != base {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "PIB-dependent site ignored its history");
+    }
+
+    #[test]
+    fn path_pb_depends_on_cond_bits() {
+        let mut s = SiteState::new(SiteBehavior::PathPb { depth: 4 }, 16, 3);
+        let mut ctx = GenContext::new();
+        let mut r = rng();
+        ctx.record_cond(true);
+        ctx.record_cond(false);
+        let a = s.next_index(&ctx, &mut r);
+        let mut ctx2 = GenContext::new();
+        ctx2.record_cond(false);
+        ctx2.record_cond(true);
+        let b = s.next_index(&ctx2, &mut r);
+        assert_ne!(a, b, "different cond paths should map to different targets");
+    }
+
+    #[test]
+    fn monomorphic_mostly_sticks() {
+        let mut s = SiteState::new(SiteBehavior::Monomorphic { switch_period: 50 }, 4, 0);
+        let ctx = GenContext::new();
+        let mut r = rng();
+        let seq: Vec<usize> = (0..200).map(|_| s.next_index(&ctx, &mut r)).collect();
+        let dominant = seq.iter().filter(|&&i| i == seq[0]).count();
+        // The first target should dominate a while; overall changes rare.
+        let changes = seq.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(changes < 12, "too many switches: {changes}");
+        assert!(dominant > 20);
+    }
+
+    #[test]
+    fn uniform_covers_targets() {
+        let mut s = SiteState::new(SiteBehavior::Uniform, 4, 0);
+        let ctx = GenContext::new();
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.next_index(&ctx, &mut r)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn gen_context_keys() {
+        let mut ctx = GenContext::new();
+        assert_eq!(ctx.pib_key(4), ctx.pib_key(4));
+        ctx.record_indirect(0x100);
+        let k1 = ctx.pib_key(1);
+        ctx.record_indirect(0x200);
+        assert_ne!(ctx.pib_key(1), k1);
+        ctx.record_cond(true);
+        ctx.record_cond(true);
+        ctx.record_cond(false);
+        assert_eq!(ctx.cond_key(3), 0b110);
+        assert_eq!(ctx.cond_key(2), 0b10);
+    }
+
+    #[test]
+    fn pib_history_is_bounded() {
+        let mut ctx = GenContext::new();
+        for t in 0..100u64 {
+            ctx.record_indirect(t);
+        }
+        // Only the last PIB_DEPTH targets matter.
+        let deep = ctx.pib_key(64);
+        let shallow = ctx.pib_key(PIB_DEPTH);
+        assert_eq!(deep, shallow);
+    }
+
+    #[test]
+    fn cond_patterns() {
+        let mut r = rng();
+        let mut lp = CondState::new(CondPattern::Loop { taken_run: 3 });
+        let seq: Vec<bool> = (0..8).map(|_| lp.next_taken(&mut r)).collect();
+        assert_eq!(seq, vec![true, true, true, false, true, true, true, false]);
+
+        let mut alt = CondState::new(CondPattern::Alternating);
+        let seq: Vec<bool> = (0..4).map(|_| alt.next_taken(&mut r)).collect();
+        assert_eq!(seq, vec![true, false, true, false]);
+
+        let mut per = CondState::new(CondPattern::Periodic {
+            pattern: 0b101,
+            len: 3,
+        });
+        let seq: Vec<bool> = (0..6).map(|_| per.next_taken(&mut r)).collect();
+        assert_eq!(seq, vec![true, false, true, true, false, true]);
+
+        let mut biased = CondState::new(CondPattern::Biased { percent: 90 });
+        let taken = (0..1000).filter(|_| biased.next_taken(&mut r)).count();
+        assert!((850..=950).contains(&taken), "taken {taken}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two targets")]
+    fn single_target_site_panics() {
+        let _ = SiteState::new(SiteBehavior::Cyclic, 1, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Synthetic benchmark program models.
+//!
+//! The paper traces nine C/C++ applications (perl, gcc, edg, gs, troff,
+//! eqn, eon, photon, ixx — fifteen benchmark/input runs in total) with
+//! DEC's ATOM toolkit. Those binaries and inputs are not reproducible, so
+//! this crate builds *program models*: small synthetic programs whose
+//! branch streams have the statistical structure the paper attributes to
+//! each benchmark — the properties that actually drive predictor ranking:
+//!
+//! * the **correlation type** of each indirect-branch site (PIB-path
+//!   correlated, PB-path correlated, cyclic, monomorphic/low-entropy, or
+//!   noise),
+//! * the **correlation depth** (how many previous targets disambiguate
+//!   the next one),
+//! * the **working set** of hot sites versus the 2K-entry table budget
+//!   (aliasing pressure), and
+//! * the **mix** of conditional branches, direct/ST calls and returns
+//!   surrounding the measured MT branches.
+//!
+//! See `DESIGN.md` §2 for the substitution argument and [`suite`] for the
+//! per-benchmark personalities.
+//!
+//! # Example
+//!
+//! ```
+//! use ibp_workloads::suite;
+//!
+//! let runs = suite::paper_suite();
+//! assert_eq!(runs.len(), 15);
+//! let trace = runs[0].generate_scaled(0.01); // 1% of full size, for tests
+//! assert!(trace.stats().mt_indirect() > 0);
+//! ```
+
+pub mod behavior;
+pub mod program;
+pub mod suite;
+
+pub use behavior::{CondPattern, SiteBehavior};
+pub use program::{BenchmarkSpec, MtSiteSpec, ProgramModel};
+pub use suite::{paper_suite, BenchmarkRun};

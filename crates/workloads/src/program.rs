@@ -1,0 +1,508 @@
+//! The program model: a synthetic program that executes its sites and
+//! captures the resulting branch trace.
+//!
+//! A [`ProgramModel`] plays the role of one traced benchmark run. Its
+//! static shape is a set of conditional sites, MT indirect sites (with
+//! per-site behaviour and fanout), ST call stubs and helper functions;
+//! its dynamic shape is a main loop that, each iteration, executes a
+//! structured schedule of those sites through an ATOM-like
+//! [`ProgramTracer`]. All randomness is drawn from a seeded PRNG, so a
+//! given spec always generates the identical trace.
+
+use crate::behavior::{CondPattern, CondState, GenContext, SiteBehavior, SiteState};
+use ibp_isa::Addr;
+use ibp_trace::{ProgramTracer, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Base address of the synthetic text segment.
+const TEXT_BASE: u64 = 0x1_2000_0000;
+/// Byte distance between consecutive functions.
+const FUNC_STRIDE: u64 = 0x400;
+
+/// Specification of one MT indirect site population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MtSiteSpec {
+    /// Number of sites with this shape.
+    pub count: usize,
+    /// Targets per site.
+    pub fanout: usize,
+    /// Behaviour of each site.
+    pub behavior: SiteBehavior,
+    /// True for `jsr` (call) sites — they return; false for `jmp`
+    /// (switch) sites.
+    pub is_call: bool,
+    /// Relative execution weight of each site per iteration.
+    pub weight: u32,
+    /// When true, every site of this population dispatches into one
+    /// shared target table — the C++ situation where many call sites
+    /// invoke the same set of virtual methods. With shared targets the
+    /// MT-target stream alone cannot identify the *call site*; the
+    /// returns in the all-indirect (PIB) stream can, which is the
+    /// paper's explanation for TC-PIB beating the MT-history Dpath.
+    pub shared_targets: bool,
+    /// When true, *which site of the population executes next* is itself
+    /// a deterministic function of recent indirect history (an object
+    /// graph traversed in data-dependent order), instead of a fixed
+    /// schedule position. Combined with `shared_targets` this is what
+    /// makes call-site identity dynamic information that only the
+    /// all-indirect (PIB) stream carries.
+    pub dynamic_order: bool,
+}
+
+/// Full specification of a benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (e.g. `"gs"`).
+    pub name: String,
+    /// Input name (e.g. `"tiger"`), matching the paper's per-input runs.
+    pub input: String,
+    /// PRNG seed — two specs with the same seed generate identical
+    /// traces.
+    pub seed: u64,
+    /// Main-loop iterations at full scale.
+    pub iterations: usize,
+    /// MT site populations.
+    pub mt_sites: Vec<MtSiteSpec>,
+    /// Conditional site patterns (each becomes one static site, executed
+    /// every iteration).
+    pub cond_sites: Vec<CondPattern>,
+    /// ST (GOT/DLL-style) call sites executed per iteration.
+    pub st_calls: usize,
+    /// Mean non-branch instructions between branches.
+    pub straight_line_mean: u32,
+}
+
+impl BenchmarkSpec {
+    /// The run label, `name.input`.
+    pub fn label(&self) -> String {
+        format!("{}.{}", self.name, self.input)
+    }
+
+    /// Builds the executable model for this spec.
+    pub fn build(&self) -> ProgramModel {
+        ProgramModel::new(self.clone())
+    }
+
+    /// Generates the full-scale trace.
+    pub fn generate(&self) -> Trace {
+        self.build().run(self.iterations)
+    }
+
+    /// Generates a scaled-down trace (`scale` of the full iteration
+    /// count, at least one iteration) — used by tests to stay fast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn generate_scaled(&self, scale: f64) -> Trace {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        let iters = ((self.iterations as f64 * scale).ceil() as usize).max(1);
+        self.build().run(iters)
+    }
+}
+
+/// One step of the per-iteration operation schedule.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Execute conditional site `i`.
+    Cond(usize),
+    /// Execute single-target call stub `i` (call + return).
+    St(usize),
+    /// Execute MT site `idx`.
+    Mt(usize),
+    /// Execute one site of the population spanning sites
+    /// `[start, start+len)`, chosen from recent indirect history.
+    MtDyn {
+        /// First site index of the population.
+        start: usize,
+        /// Number of sites in the population.
+        len: usize,
+    },
+}
+
+/// One instantiated MT site.
+#[derive(Debug, Clone)]
+struct MtSite {
+    pc: Addr,
+    targets: Vec<Addr>,
+    state: SiteState,
+    is_call: bool,
+}
+
+/// The executable program model.
+#[derive(Debug, Clone)]
+pub struct ProgramModel {
+    spec: BenchmarkSpec,
+    mt_sites: Vec<MtSite>,
+    cond_sites: Vec<(Addr, Addr, CondState)>,
+    st_sites: Vec<(Addr, Addr)>,
+    rng: StdRng,
+}
+
+impl ProgramModel {
+    /// Instantiates the static program layout from a spec.
+    ///
+    /// Addresses are jittered inside each function slot: real binaries do
+    /// not place branch sites and branch targets at one regular stride,
+    /// and a regular stride would alias every PC-indexed table into a
+    /// handful of slots and collapse partial-target histories to a
+    /// constant. The jitter is drawn from a seed-derived PRNG, so layout
+    /// stays deterministic per spec.
+    pub fn new(spec: BenchmarkSpec) -> Self {
+        let mut layout_rng = StdRng::seed_from_u64(spec.seed ^ 0x4C41_594F_5554);
+        let mut next_func = TEXT_BASE;
+        let mut alloc_func = |n: usize| -> Vec<Addr> {
+            let out = (0..n)
+                .map(|i| {
+                    let base = next_func + i as u64 * FUNC_STRIDE;
+                    let jitter = layout_rng.gen_range(0..(FUNC_STRIDE / 4)) * 4;
+                    Addr::new(base + jitter)
+                })
+                .collect();
+            next_func += n as u64 * FUNC_STRIDE;
+            out
+        };
+        let mut mt_sites = Vec::new();
+        let mut salt = spec.seed | 1;
+        for (pop_idx, pop) in spec.mt_sites.iter().enumerate() {
+            let shared = pop.shared_targets.then(|| alloc_func(pop.fanout));
+            for site_idx in 0..pop.count {
+                let pcs = alloc_func(1);
+                let targets = match &shared {
+                    Some(t) => t.clone(),
+                    None => alloc_func(pop.fanout),
+                };
+                salt = salt
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((pop_idx * 1000 + site_idx) as u64);
+                mt_sites.push(MtSite {
+                    pc: pcs[0],
+                    targets,
+                    state: SiteState::new(pop.behavior, pop.fanout, salt),
+                    is_call: pop.is_call,
+                });
+            }
+        }
+        let cond_sites = spec
+            .cond_sites
+            .iter()
+            .map(|&p| {
+                let pcs = alloc_func(2);
+                (pcs[0], pcs[1], CondState::new(p))
+            })
+            .collect();
+        let st_sites = (0..spec.st_calls)
+            .map(|_| {
+                let pcs = alloc_func(2);
+                (pcs[0], pcs[1])
+            })
+            .collect();
+        let rng = StdRng::seed_from_u64(spec.seed);
+        Self {
+            spec,
+            mt_sites,
+            cond_sites,
+            st_sites,
+            rng,
+        }
+    }
+
+    /// The spec this model was built from.
+    pub fn spec(&self) -> &BenchmarkSpec {
+        &self.spec
+    }
+
+    /// Number of static MT sites.
+    pub fn mt_site_count(&self) -> usize {
+        self.mt_sites.len()
+    }
+
+    /// Describes every MT site as `(pc, behaviour label)` — used by the
+    /// diagnostic tooling to attribute mispredictions to behaviours.
+    pub fn site_descriptions(&self) -> Vec<(Addr, String)> {
+        self.mt_sites
+            .iter()
+            .map(|s| {
+                let kind = if s.is_call { "jsr" } else { "jmp" };
+                let behavior = match s.state.behavior() {
+                    SiteBehavior::Cyclic => "cyclic".to_string(),
+                    SiteBehavior::PathPib { depth, noise_pct } => {
+                        format!("pib({depth},n{noise_pct})")
+                    }
+                    SiteBehavior::PathPb { depth } => format!("pb({depth})"),
+                    SiteBehavior::Monomorphic { switch_period } => {
+                        format!("mono({switch_period})")
+                    }
+                    SiteBehavior::Uniform => "uniform".to_string(),
+                    SiteBehavior::TokenSeq { period } => format!("tok({period})"),
+                };
+                (s.pc, format!("{kind}/{behavior}/f{}", s.targets.len()))
+            })
+            .collect()
+    }
+
+    /// Builds the per-iteration operation schedule: MT sites in weighted
+    /// population order, with conditional sites woven in. PB-correlated
+    /// sites get their controlling conditionals *immediately before* them
+    /// (a switch variable is computed by the compare logic just executed);
+    /// remaining conditionals and the ST stubs are spread through the
+    /// body. The schedule is program structure: fixed per model.
+    fn build_schedule(&self) -> Vec<Op> {
+        // Pre-ops per population: a fixed-position op per weighted
+        // occurrence, or a dynamic-dispatch op for `dynamic_order`
+        // populations (one op per site occurrence, but the executing
+        // site is chosen at run time).
+        let mut mt_schedule: Vec<Op> = Vec::new();
+        let mut site_idx = 0usize;
+        for pop in &self.spec.mt_sites {
+            let occurrences = pop.count * pop.weight.max(1) as usize;
+            if pop.dynamic_order {
+                for _ in 0..occurrences {
+                    mt_schedule.push(Op::MtDyn {
+                        start: site_idx,
+                        len: pop.count,
+                    });
+                }
+            } else {
+                for i in 0..pop.count {
+                    for _ in 0..pop.weight.max(1) {
+                        mt_schedule.push(Op::Mt(site_idx + i));
+                    }
+                }
+            }
+            site_idx += pop.count;
+        }
+        let n_conds = self.cond_sites.len();
+        let mut ops = Vec::new();
+        let mut cond_rr = 0usize;
+        let push_cond = |ops: &mut Vec<Op>, rr: &mut usize| {
+            if n_conds > 0 {
+                ops.push(Op::Cond(*rr % n_conds));
+                *rr += 1;
+            }
+        };
+        // Loop-control conditionals at the head of the body.
+        push_cond(&mut ops, &mut cond_rr);
+        push_cond(&mut ops, &mut cond_rr);
+        let st_stride = if self.st_sites.is_empty() {
+            usize::MAX
+        } else {
+            (mt_schedule.len() / self.st_sites.len()).max(1)
+        };
+        let mut st_next = 0usize;
+        for (k, &op) in mt_schedule.iter().enumerate() {
+            let pb_depth = match op {
+                Op::Mt(idx) => match self.mt_sites[idx].state.behavior() {
+                    SiteBehavior::PathPb { depth } => Some(depth),
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(depth) = pb_depth {
+                // The conditionals this site's switch variable depends on.
+                for _ in 0..depth {
+                    push_cond(&mut ops, &mut cond_rr);
+                }
+            } else if k % 5 == 4 {
+                push_cond(&mut ops, &mut cond_rr);
+            }
+            ops.push(op);
+            if k % st_stride == st_stride - 1 && st_next < self.st_sites.len() {
+                ops.push(Op::St(st_next));
+                st_next += 1;
+            }
+        }
+        ops
+    }
+
+    /// Executes `iterations` of the main loop and returns the trace.
+    pub fn run(&mut self, iterations: usize) -> Trace {
+        let mut tracer = ProgramTracer::new();
+        let mut ctx = GenContext::new();
+        let schedule = self.build_schedule();
+        for _ in 0..iterations {
+            self.run_iteration(&mut tracer, &mut ctx, &schedule);
+        }
+        tracer.finish()
+    }
+
+    fn straight(&mut self, tracer: &mut ProgramTracer) {
+        let mean = self.spec.straight_line_mean.max(1);
+        let n = self.rng.gen_range(mean / 2..=mean + mean / 2);
+        tracer.straight_line(n);
+    }
+
+    fn run_iteration(&mut self, tracer: &mut ProgramTracer, ctx: &mut GenContext, schedule: &[Op]) {
+        for op in schedule {
+            self.straight(tracer);
+            match *op {
+                Op::Cond(i) => {
+                    let taken = {
+                        let (_, _, state) = &mut self.cond_sites[i];
+                        state.next_taken(&mut self.rng)
+                    };
+                    let (pc, target, _) = &self.cond_sites[i];
+                    tracer.conditional(*pc, taken, *target);
+                    ctx.record_cond(taken);
+                }
+                Op::St(i) => {
+                    let (pc, callee) = self.st_sites[i];
+                    tracer.st_jsr(pc, callee);
+                    ctx.record_indirect(callee.raw());
+                    self.straight(tracer);
+                    tracer.ret(callee.offset_words(4));
+                    ctx.record_indirect(pc.offset_words(1).raw());
+                }
+                Op::MtDyn { start, len } => {
+                    // The executing site is a deterministic function of
+                    // recent indirect history (traversal order).
+                    let pick = start + (ctx.pib_key(2) % len as u64) as usize;
+                    self.execute_mt(tracer, ctx, pick);
+                }
+                Op::Mt(idx) => {
+                    self.execute_mt(tracer, ctx, idx);
+                }
+            }
+        }
+    }
+
+    /// Executes one MT site occurrence: choose the target, emit the
+    /// branch (and return, for calls), and feed the generator context.
+    fn execute_mt(&mut self, tracer: &mut ProgramTracer, ctx: &mut GenContext, idx: usize) {
+        let target = {
+            let site = &mut self.mt_sites[idx];
+            site.targets[site.state.next_index(ctx, &mut self.rng)]
+        };
+        let site_pc = self.mt_sites[idx].pc;
+        if self.mt_sites[idx].is_call {
+            tracer.indirect_jsr(site_pc, target);
+            ctx.record_indirect(target.raw());
+            self.straight(tracer);
+            tracer.ret(target.offset_words(8));
+            // The return target (site pc + 4) is part of the indirect
+            // stream and identifies the call site.
+            ctx.record_indirect(site_pc.offset_words(1).raw());
+        } else {
+            tracer.indirect_jmp(site_pc, target);
+            ctx.record_indirect(target.raw());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> BenchmarkSpec {
+        BenchmarkSpec {
+            name: "tiny".into(),
+            input: "t".into(),
+            seed: 7,
+            iterations: 50,
+            mt_sites: vec![
+                MtSiteSpec {
+                    count: 2,
+                    fanout: 4,
+                    behavior: SiteBehavior::Cyclic,
+                    is_call: false,
+                    weight: 1,
+                    shared_targets: false,
+                    dynamic_order: false,
+                },
+                MtSiteSpec {
+                    count: 1,
+                    fanout: 3,
+                    behavior: SiteBehavior::Monomorphic { switch_period: 40 },
+                    is_call: true,
+                    weight: 2,
+                    shared_targets: false,
+                    dynamic_order: false,
+                },
+            ],
+            cond_sites: vec![CondPattern::Loop { taken_run: 3 }, CondPattern::Alternating],
+            st_calls: 1,
+            straight_line_mean: 10,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny_spec().generate();
+        let b = tiny_spec().generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut s2 = tiny_spec();
+        s2.seed = 8;
+        assert_ne!(tiny_spec().generate(), s2.generate());
+    }
+
+    #[test]
+    fn event_mix_matches_spec() {
+        let trace = tiny_spec().generate();
+        let stats = trace.stats();
+        // Per iteration: 2 conds, 1 ST call + ret, 2 jmp sites (w=1) +
+        // 1 jsr site (w=2) + 2 rets for the jsr executions.
+        assert_eq!(stats.conditional(), 100);
+        assert_eq!(stats.st_indirect(), 50);
+        assert_eq!(stats.mt_jmp(), 100);
+        assert_eq!(stats.mt_jsr(), 100);
+        assert_eq!(stats.returns(), 150);
+        assert_eq!(stats.static_mt_sites(), 3);
+    }
+
+    #[test]
+    fn calls_and_returns_balance() {
+        let trace = tiny_spec().generate();
+        // The trace must end with an empty shadow stack-equivalent: count
+        // calls == count returns.
+        let calls = trace.iter().filter(|e| e.class().is_call()).count();
+        let rets = trace.returns().count();
+        assert_eq!(calls, rets);
+    }
+
+    #[test]
+    fn label_and_scaling() {
+        let spec = tiny_spec();
+        assert_eq!(spec.label(), "tiny.t");
+        let small = spec.generate_scaled(0.1);
+        let full = spec.generate();
+        assert!(small.len() < full.len());
+        assert!(small.len() >= full.len() / 20);
+    }
+
+    #[test]
+    fn straight_line_instructions_present() {
+        let trace = tiny_spec().generate();
+        assert!(trace.instruction_count() > trace.len() as u64 * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn bad_scale_panics() {
+        let _ = tiny_spec().generate_scaled(0.0);
+    }
+
+    #[test]
+    fn site_descriptions_cover_every_site() {
+        let model = tiny_spec().build();
+        let descs = model.site_descriptions();
+        assert_eq!(descs.len(), model.mt_site_count());
+        let labels: Vec<&str> = descs.iter().map(|(_, d)| d.as_str()).collect();
+        assert_eq!(labels[0], "jmp/cyclic/f4");
+        assert_eq!(labels[2], "jsr/mono(40)/f3");
+    }
+
+    #[test]
+    fn site_pcs_are_distinct() {
+        let model = tiny_spec().build();
+        let mut pcs: Vec<u64> = model.mt_sites.iter().map(|s| s.pc.raw()).collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        assert_eq!(pcs.len(), model.mt_site_count());
+    }
+}

@@ -1,0 +1,28 @@
+//! Miniature Figure 6: the full predictor lineup over a few benchmark
+//! runs at reduced scale, with a bar chart of the means.
+//!
+//! Run with: `cargo run --release --example compare_all [scale]`
+
+use ibp::sim::report::{bar_chart, render_grid};
+use ibp::sim::{compare_grid, PredictorKind};
+use ibp::workloads::paper_suite;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.05);
+    // A few representative runs: an interpreter, a C++ app, the easy one
+    // and the PB-correlated one.
+    let picked = ["perl.std", "edg.inp", "photon.dia", "troff.ped"];
+    let runs: Vec<_> = paper_suite()
+        .into_iter()
+        .filter(|r| picked.contains(&r.label().as_str()))
+        .collect();
+    let grid = compare_grid(&PredictorKind::figure6(), &runs, scale);
+    println!("misprediction ratios at scale {scale}:\n");
+    print!("{}", render_grid(&grid));
+    println!("\nmeans:");
+    print!("{}", bar_chart(&grid.ranking(), 40));
+    println!("\n(run `cargo run --release -p ibp-bench --bin fig6` for the full figure)");
+}

@@ -1,0 +1,56 @@
+//! Figure 1, executable: the 3rd-order Markov predictor over the paper's
+//! example input sequence `01010110101`, and the PPM escape chain.
+//!
+//! Run with: `cargo run --example conditional_ppm`
+
+use ibp::ppm::conditional::{BitMarkovModel, GraphPpm};
+
+fn main() {
+    let input = [0u8, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1];
+    println!(
+        "input sequence: {}?",
+        input.iter().map(|b| b.to_string()).collect::<String>()
+    );
+
+    // The 3rd-order Markov predictor at the top of Figure 1.
+    let mut model = BitMarkovModel::new(3);
+    for &b in &input {
+        model.train(b != 0);
+    }
+    let state = model.state().expect("11 bits seen");
+    let [zeros, ones] = model.edge_counts().expect("state 101 has edges");
+    println!("\n3rd-order Markov predictor:");
+    println!("  populated states: {} of 8", model.populated_states());
+    println!("  current state: {state:03b}");
+    println!("  outgoing edges: to ...0 seen {zeros}x, to ...1 seen {ones}x");
+    println!(
+        "  prediction: {} (the paper: \"the next state should be 010 and \
+         the predicted bit will be 0\")",
+        model.predict().map(u8::from).expect("prediction exists")
+    );
+
+    // The full PPM escape chain: orders 3, 2, 1, 0.
+    let mut ppm = GraphPpm::new(3);
+    for &b in &input {
+        ppm.train(b != 0);
+    }
+    let (order, bit) = ppm.predict().expect("trained PPM predicts");
+    println!("\nPPM of order 3:");
+    println!("  providing order: {order} (no escape needed — 101 is populated)");
+    println!("  predicted next bit: {}", u8::from(bit));
+
+    for j in (0..=3u32).rev() {
+        let m = ppm.model(j);
+        match (m.state(), m.edge_counts()) {
+            (Some(s), Some([z, o])) => println!(
+                "  order {j}: state {s:0width$b} -> counts [0:{z}, 1:{o}]",
+                width = j as usize
+            ),
+            (Some(s), None) => println!(
+                "  order {j}: state {s:0width$b} -> no edges (escape)",
+                width = j as usize
+            ),
+            _ => println!("  order {j}: state not yet formed"),
+        }
+    }
+}

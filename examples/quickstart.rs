@@ -1,0 +1,66 @@
+//! Quickstart: capture a small program, run the paper's predictors over
+//! it, and print their misprediction ratios.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ibp::isa::Addr;
+use ibp::ppm::{PpmHybrid, PpmPib};
+use ibp::predictors::{Btb, Btb2b, IndirectPredictor, TargetCache, TargetCacheConfig};
+use ibp::sim::simulate;
+use ibp::trace::ProgramTracer;
+
+fn main() {
+    // Capture a miniature interpreter: one indirect jump dispatching over
+    // a short repeating "program" of opcode handlers, plus a helper call
+    // that returns — the control-flow idioms the paper's §1 motivates.
+    let dispatch = Addr::new(0x12000040);
+    let helper_call = Addr::new(0x12000400);
+    // Handler entry points at irregular offsets, as a real binary lays
+    // them out (a regular stride would alias partial-target histories).
+    let handlers: Vec<Addr> = (0..4).map(|i| Addr::new(0x12002000 + i * 0x434)).collect();
+    let opcode_program = [0usize, 1, 2, 1, 3, 0, 2, 2, 1, 0, 3, 3];
+
+    let mut tracer = ProgramTracer::new();
+    for round in 0..200 {
+        for &op in &opcode_program {
+            tracer.straight_line(12);
+            tracer.indirect_jmp(dispatch, handlers[op]);
+            if round % 4 == 0 && op == 0 {
+                tracer.straight_line(3);
+                tracer.st_jsr(helper_call, Addr::new(0x12008000));
+                tracer.ret(Addr::new(0x12008010));
+            }
+        }
+    }
+    let trace = tracer.finish();
+    let stats = trace.stats();
+    println!(
+        "captured {} branch events / {} instructions ({} MT indirect)",
+        trace.len(),
+        stats.total_instructions(),
+        stats.mt_indirect()
+    );
+
+    // Run the lineup. The dispatch target depends on the opcode position,
+    // which only path history can see — watch the BTBs fail.
+    let mut predictors: Vec<Box<dyn IndirectPredictor>> = vec![
+        Box::new(Btb::new(2048)),
+        Box::new(Btb2b::new(2048)),
+        Box::new(TargetCache::new(TargetCacheConfig::paper_pib())),
+        Box::new(PpmPib::paper()),
+        Box::new(PpmHybrid::paper()),
+    ];
+    println!(
+        "\n{:<12} {:>14} {:>8}",
+        "predictor", "mispredictions", "ratio"
+    );
+    for p in predictors.iter_mut() {
+        let r = simulate(p.as_mut(), &trace);
+        println!(
+            "{:<12} {:>14} {:>7.2}%",
+            r.predictor(),
+            r.mispredictions(),
+            r.misprediction_ratio() * 100.0
+        );
+    }
+}

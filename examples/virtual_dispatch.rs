@@ -1,0 +1,86 @@
+//! Virtual dispatch: the object-oriented motivation of the paper's §1.
+//!
+//! C++ virtual calls compile to indirect `jsr` through a vtable; which
+//! method runs depends on the receiver's dynamic type. This example
+//! builds a scene of shapes traversed in a data-dependent order and shows
+//! that (a) a BTB only captures the monomorphic call sites, (b) path
+//! history captures traversal order, and (c) the PPM hybrid tracks both.
+//!
+//! Run with: `cargo run --release --example virtual_dispatch`
+
+use ibp::isa::Addr;
+use ibp::ppm::PpmHybrid;
+use ibp::predictors::{Btb2b, Cascade, CascadeConfig, IndirectPredictor};
+use ibp::sim::simulate;
+use ibp::trace::ProgramTracer;
+
+/// A "class" with a draw method address.
+#[derive(Clone, Copy)]
+struct Class {
+    draw: Addr,
+}
+
+fn main() {
+    let classes = [
+        Class {
+            draw: Addr::new(0x12010004),
+        }, // Circle::draw
+        Class {
+            draw: Addr::new(0x12010428),
+        }, // Square::draw
+        Class {
+            draw: Addr::new(0x1201086c),
+        }, // Triangle::draw
+    ];
+    // Two call sites: a hot polymorphic one in the render loop and a
+    // de-facto monomorphic one in the UI layer (always draws the cursor,
+    // a Circle).
+    let render_site = Addr::new(0x12000100);
+    let ui_site = Addr::new(0x12000200);
+
+    // The scene: a repeating list of shapes (heterogeneous container).
+    let scene: Vec<usize> = vec![0, 1, 1, 2, 0, 2, 1, 0, 0, 2];
+
+    let mut tracer = ProgramTracer::new();
+    for _frame in 0..300 {
+        for &class_idx in &scene {
+            tracer.straight_line(20);
+            let method = classes[class_idx].draw;
+            tracer.indirect_jsr(render_site, method);
+            tracer.straight_line(15);
+            tracer.ret(method.offset_words(8));
+        }
+        // The monomorphic UI call, once per frame.
+        tracer.straight_line(8);
+        tracer.indirect_jsr(ui_site, classes[0].draw);
+        tracer.ret(classes[0].draw.offset_words(8));
+    }
+    let trace = tracer.finish();
+
+    println!("virtual-dispatch trace: {} events", trace.len());
+    let mut predictors: Vec<Box<dyn IndirectPredictor>> = vec![
+        Box::new(Btb2b::new(2048)),
+        Box::new(Cascade::new(CascadeConfig::paper())),
+        Box::new(PpmHybrid::paper()),
+    ];
+    println!(
+        "\n{:<10} {:>10} {:>18} {:>18}",
+        "predictor", "overall", "render (poly)", "ui (mono)"
+    );
+    for p in predictors.iter_mut() {
+        let r = simulate(p.as_mut(), &trace);
+        let (rp, rm) = r.branch(render_site).expect("render site was predicted");
+        let (up, um) = r.branch(ui_site).expect("ui site was predicted");
+        println!(
+            "{:<10} {:>9.2}% {:>17.2}% {:>17.2}%",
+            r.predictor(),
+            r.misprediction_ratio() * 100.0,
+            rm as f64 / rp as f64 * 100.0,
+            um as f64 / up as f64 * 100.0
+        );
+    }
+    println!(
+        "\nThe BTB2b nails the monomorphic UI site but not the traversal;\n\
+         path-based predictors learn the scene order itself."
+    );
+}

@@ -1,0 +1,58 @@
+//! # ibp — indirect branch prediction via data compression
+//!
+//! A from-scratch Rust reproduction of Kalamatianos & Kaeli, *Predicting
+//! Indirect Branches via Data Compression* (MICRO-31, 1998): the PPM
+//! indirect-branch predictor with dynamic per-branch correlation
+//! selection, every baseline it was evaluated against, the trace-driven
+//! simulation methodology, and synthetic workload models standing in for
+//! the paper's ATOM traces.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`hw`] | `ibp-hw` | counters, tables, history registers, hashes |
+//! | [`isa`] | `ibp-isa` | Alpha-like branch taxonomy and addresses |
+//! | [`trace`] | `ibp-trace` | branch events, capture, codecs, statistics |
+//! | [`predictors`] | `ibp-predictors` | BTB/BTB2b/GAp/TC/Dpath/Cascade/RAS/oracles |
+//! | [`ppm`] | `ibp-ppm` | the paper's PPM predictors (core contribution) |
+//! | [`compress`] | `ibp-compress` | the original PPM byte compressor |
+//! | [`workloads`] | `ibp-workloads` | the synthetic benchmark suite |
+//! | [`sim`] | `ibp-sim` | the simulation engine and experiment grids |
+//!
+//! # Quickstart
+//!
+//! Predict the indirect branches of a small captured program:
+//!
+//! ```
+//! use ibp::isa::Addr;
+//! use ibp::ppm::PpmHybrid;
+//! use ibp::predictors::IndirectPredictor;
+//! use ibp::sim::simulate;
+//! use ibp::trace::ProgramTracer;
+//!
+//! // Capture a tiny program: a virtual call that alternates targets.
+//! let mut tracer = ProgramTracer::new();
+//! for i in 0..100u64 {
+//!     let target = Addr::new(0x9000 + (i % 2) * 0x400);
+//!     tracer.indirect_jsr(Addr::new(0x4000), target);
+//!     tracer.ret(target.offset_words(4));
+//! }
+//! let trace = tracer.finish();
+//!
+//! let mut ppm = PpmHybrid::paper();
+//! let result = simulate(&mut ppm, &trace);
+//! assert!(result.misprediction_ratio() < 0.1);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the binaries regenerating each table and figure of the paper.
+
+pub use ibp_compress as compress;
+pub use ibp_hw as hw;
+pub use ibp_isa as isa;
+pub use ibp_ppm as ppm;
+pub use ibp_predictors as predictors;
+pub use ibp_sim as sim;
+pub use ibp_trace as trace;
+pub use ibp_workloads as workloads;

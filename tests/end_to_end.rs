@@ -1,0 +1,95 @@
+//! Cross-crate integration: workloads → traces → codecs → simulator →
+//! predictors, end to end.
+
+use ibp::predictors::IndirectPredictor;
+use ibp::sim::{compare_grid, ras_accuracy, simulate, PredictorKind};
+use ibp::trace::codec;
+use ibp::workloads::paper_suite;
+
+/// Small scale keeps the whole file under a few seconds.
+const SCALE: f64 = 0.02;
+
+#[test]
+fn every_run_simulates_under_every_predictor() {
+    let runs = paper_suite();
+    let mut kinds = PredictorKind::figure6();
+    kinds.extend(PredictorKind::figure7().into_iter().skip(1));
+    for run in &runs {
+        let trace = run.generate_scaled(SCALE);
+        let mt = trace.stats().mt_indirect();
+        assert!(mt > 0, "{} has no measured branches", run.label());
+        for &kind in &kinds {
+            let mut p = kind.build();
+            let r = simulate(p.as_mut(), &trace);
+            assert_eq!(r.predictions(), mt, "{} {:?}", run.label(), kind);
+            assert!(
+                (0.0..=1.0).contains(&r.misprediction_ratio()),
+                "{} {:?} ratio {}",
+                run.label(),
+                kind,
+                r.misprediction_ratio()
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_traces_round_trip_through_the_binary_codec() {
+    for run in &paper_suite()[..3] {
+        let trace = run.generate_scaled(SCALE);
+        let bytes = codec::encode(&trace);
+        let back = codec::decode(&bytes).expect("decode");
+        assert_eq!(trace, back, "{}", run.label());
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_across_repeats() {
+    let run = &paper_suite()[0];
+    let t1 = run.generate_scaled(SCALE);
+    let t2 = run.generate_scaled(SCALE);
+    assert_eq!(t1, t2, "workload generation must be reproducible");
+    let mut a = PredictorKind::PpmHyb.build();
+    let mut b = PredictorKind::PpmHyb.build();
+    let ra = simulate(a.as_mut(), &t1);
+    let rb = simulate(b.as_mut(), &t2);
+    assert_eq!(ra.mispredictions(), rb.mispredictions());
+}
+
+#[test]
+fn ras_predicts_suite_returns_almost_perfectly() {
+    // The justification for excluding returns from indirect accounting.
+    for run in &paper_suite()[..4] {
+        let trace = run.generate_scaled(SCALE);
+        let acc = ras_accuracy(&trace, 64);
+        assert!(
+            acc > 0.999,
+            "{}: RAS accuracy {:.4} on balanced call/return streams",
+            run.label(),
+            acc
+        );
+    }
+}
+
+#[test]
+fn grid_runner_matches_direct_simulation() {
+    let runs: Vec<_> = paper_suite().into_iter().take(2).collect();
+    let grid = compare_grid(&[PredictorKind::Btb2b], &runs, SCALE);
+    for run in &runs {
+        let trace = run.generate_scaled(SCALE);
+        let mut p = PredictorKind::Btb2b.build();
+        let direct = simulate(p.as_mut(), &trace).misprediction_ratio();
+        let via_grid = grid.ratio(&run.label(), "BTB2b").expect("cell exists");
+        assert!((direct - via_grid).abs() < 1e-12, "{}", run.label());
+    }
+}
+
+#[test]
+fn predictor_reset_reproduces_cold_results() {
+    let trace = paper_suite()[0].generate_scaled(SCALE);
+    let mut p = PredictorKind::PpmHybBiased.build();
+    let first = simulate(p.as_mut(), &trace);
+    p.reset();
+    let second = simulate(p.as_mut(), &trace);
+    assert_eq!(first.mispredictions(), second.mispredictions());
+}

@@ -1,0 +1,130 @@
+//! Integration tests for the beyond-the-paper extensions: §6 designs,
+//! the delayed-update model and the ITTAGE epilogue, at suite level.
+
+use ibp::ppm::{FilteredPpm, PpmHybrid, SelectorKind, StackConfig, UpdateProtocol};
+use ibp::predictors::IndirectPredictor;
+use ibp::sim::{simulate, DelayedPredictor, PredictorKind};
+use ibp::workloads::paper_suite;
+
+const SCALE: f64 = 0.05;
+
+fn suite_mean(mut build: impl FnMut() -> Box<dyn IndirectPredictor>) -> f64 {
+    let runs = paper_suite();
+    let mut sum = 0.0;
+    for run in &runs {
+        let trace = run.generate_scaled(SCALE);
+        let mut p = build();
+        sum += simulate(p.as_mut(), &trace).misprediction_ratio();
+    }
+    sum / runs.len() as f64
+}
+
+/// §6: the tagged PPM beats the tagless paper configuration, and adding
+/// the Cascade-style filter on top of the *tagged* variant is a large
+/// further win (the two §6 ideas compose; see EXPERIMENTS.md E8).
+#[test]
+fn tagged_plus_filter_halves_the_misprediction() {
+    let base = suite_mean(|| Box::new(PpmHybrid::paper()));
+    let tagged_cfg = StackConfig {
+        tagged: true,
+        ..StackConfig::paper()
+    };
+    let tagged = suite_mean(|| Box::new(PpmHybrid::new(tagged_cfg, SelectorKind::Normal)));
+    let combined = suite_mean(|| {
+        Box::new(FilteredPpm::new(128, tagged_cfg, SelectorKind::Normal))
+    });
+    assert!(tagged < base, "tags must help: {tagged} vs {base}");
+    assert!(
+        combined < 0.7 * base,
+        "tagged+filter should be a large win: {combined} vs {base}"
+    );
+}
+
+/// §6: training all orders is within noise of update exclusion, but
+/// dropping the promotion of higher orders is catastrophic (see
+/// EXPERIMENTS.md E8 for the mechanism).
+#[test]
+fn update_protocol_sensitivity() {
+    let exclusion = suite_mean(|| Box::new(PpmHybrid::paper()));
+    let all = suite_mean(|| {
+        Box::new(PpmHybrid::new(
+            StackConfig {
+                update_protocol: UpdateProtocol::AllOrders,
+                ..StackConfig::paper()
+            },
+            SelectorKind::Normal,
+        ))
+    });
+    let provider_only = suite_mean(|| {
+        Box::new(PpmHybrid::new(
+            StackConfig {
+                update_protocol: UpdateProtocol::ProviderOnly,
+                ..StackConfig::paper()
+            },
+            SelectorKind::Normal,
+        ))
+    });
+    assert!((all - exclusion).abs() < 0.02, "{all} vs {exclusion}");
+    assert!(
+        provider_only > 3.0 * exclusion,
+        "provider-only must collapse: {provider_only} vs {exclusion}"
+    );
+}
+
+/// The ITTAGE epilogue beats its 1998 ancestor at the same entry budget.
+#[test]
+fn ittage_beats_the_ancestor() {
+    let ppm = suite_mean(|| PredictorKind::PpmHyb.build());
+    let ittage = suite_mean(|| PredictorKind::IttageLite.build());
+    assert!(ittage < ppm, "ITTAGE {ittage} should beat PPM {ppm}");
+    assert_eq!(PredictorKind::IttageLite.build().cost().entries(), 2048);
+}
+
+/// A6: one branch of update delay collapses path predictors while the
+/// PC-indexed BTB2b barely moves.
+#[test]
+fn update_delay_hits_path_predictors_hardest() {
+    let run = &paper_suite()[0];
+    let trace = run.generate_scaled(SCALE);
+
+    let mut tc0 = PredictorKind::TcPib.build();
+    let tc_base = simulate(tc0.as_mut(), &trace).misprediction_ratio();
+    let mut tc1 = DelayedPredictor::new(PredictorKind::TcPib.build(), 1);
+    let tc_delayed = simulate(&mut tc1, &trace).misprediction_ratio();
+
+    let mut b0 = PredictorKind::Btb2b.build();
+    let btb_base = simulate(b0.as_mut(), &trace).misprediction_ratio();
+    let mut b1 = DelayedPredictor::new(PredictorKind::Btb2b.build(), 1);
+    let btb_delayed = simulate(&mut b1, &trace).misprediction_ratio();
+
+    assert!(
+        tc_delayed > 2.0 * tc_base,
+        "TC must collapse under delay: {tc_base} -> {tc_delayed}"
+    );
+    assert!(
+        btb_delayed < btb_base + 0.05,
+        "BTB2b must be nearly unaffected: {btb_base} -> {btb_delayed}"
+    );
+}
+
+/// The confidence extension never makes things dramatically worse at any
+/// threshold (it reshuffles which order answers, bounded by the fallback).
+#[test]
+fn confidence_thresholds_stay_in_family() {
+    let base = suite_mean(|| Box::new(PpmHybrid::paper()));
+    for threshold in 1u32..=3 {
+        let r = suite_mean(|| {
+            Box::new(PpmHybrid::new(
+                StackConfig {
+                    confidence_threshold: threshold,
+                    ..StackConfig::paper()
+                },
+                SelectorKind::Normal,
+            ))
+        });
+        assert!(
+            (r - base).abs() < 0.03,
+            "threshold {threshold}: {r} vs {base}"
+        );
+    }
+}

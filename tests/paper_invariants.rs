@@ -1,0 +1,144 @@
+//! Integration tests for the paper's stated claims and design invariants,
+//! at reduced scale (the full-scale numbers live in EXPERIMENTS.md).
+
+use ibp::ppm::{PpmHybrid, StackConfig};
+use ibp::predictors::IndirectPredictor;
+use ibp::sim::{compare_grid, simulate, PredictorKind};
+use ibp::workloads::paper_suite;
+
+const SCALE: f64 = 0.05;
+
+/// §5: every simulated predictor runs at approximately the 2K-entry
+/// budget (Cascade adds its 128-entry filter, as in the paper).
+#[test]
+fn all_figure6_predictors_sit_at_the_2k_budget() {
+    for kind in PredictorKind::figure6() {
+        let entries = kind.build().cost().entries();
+        assert!(
+            (2046..=2176).contains(&entries),
+            "{:?}: {} entries",
+            kind,
+            entries
+        );
+    }
+}
+
+/// §4: the PPM stack's paper sizing is order-j = 2^j entries, 2046 total.
+#[test]
+fn ppm_paper_sizing() {
+    let sizes = StackConfig::paper().table_sizes();
+    assert_eq!(sizes, (1..=10).map(|j| 1usize << j).collect::<Vec<_>>());
+    assert_eq!(sizes.iter().sum::<usize>(), 2046);
+}
+
+/// Figure 6 headline: PPM-hyb beats every baseline on the suite mean,
+/// and the BTB family is far behind every path-based scheme.
+#[test]
+fn ppm_wins_the_suite_mean() {
+    let runs = paper_suite();
+    let grid = compare_grid(&PredictorKind::figure6(), &runs, SCALE);
+    let ranking = grid.ranking();
+    assert_eq!(ranking[0].0, "PPM-hyb", "ranking: {ranking:?}");
+    let ppm = grid.mean_ratio("PPM-hyb").unwrap();
+    let btb = grid.mean_ratio("BTB").unwrap();
+    let btb2b = grid.mean_ratio("BTB2b").unwrap();
+    assert!(btb > 2.0 * ppm, "BTB {btb} vs PPM {ppm}");
+    assert!(btb2b > 2.0 * ppm);
+}
+
+/// §5: photon is easy — every path-based predictor is near-perfect.
+#[test]
+fn photon_is_easy_for_path_predictors() {
+    let photon: Vec<_> = paper_suite()
+        .into_iter()
+        .filter(|r| r.spec().name == "photon")
+        .collect();
+    let grid = compare_grid(&PredictorKind::figure6(), &photon, 0.2);
+    for p in ["GAp(p=5)", "TC-PIB", "Dpath(p=1,3)", "Cascade", "PPM-hyb"] {
+        let r = grid.ratio("photon.dia", p).unwrap();
+        assert!(r < 0.02, "{p} on photon: {:.2}%", r * 100.0);
+    }
+}
+
+/// §5 (E4): at least 98% of PPM accesses land in the highest-order
+/// Markov component, on every run.
+#[test]
+fn markov_accesses_concentrate_in_the_top_order() {
+    for run in paper_suite() {
+        // The bound is asymptotic: early in a run, lower orders still
+        // provide while the top order warms up. At this reduced scale we
+        // check a conservative 95%; at full scale every run exceeds 99%
+        // (see the `markov_dist` binary output in EXPERIMENTS.md, which
+        // verifies the paper's 98% bound verbatim).
+        let trace = run.generate_scaled(0.2);
+        let mut ppm = PpmHybrid::paper();
+        let _ = simulate(&mut ppm, &trace);
+        let frac = ppm.order_stats().highest_order_access_fraction();
+        assert!(
+            frac >= 0.95,
+            "{}: top-order access fraction {:.4}",
+            run.label(),
+            frac
+        );
+    }
+}
+
+/// §5 (E5): the complete-PIB-path oracle at path length 8 is ~99%
+/// accurate on photon.
+#[test]
+fn oracle_is_near_perfect_on_photon() {
+    let photon = paper_suite()
+        .into_iter()
+        .find(|r| r.spec().name == "photon")
+        .unwrap();
+    let trace = photon.generate_scaled(0.2);
+    let mut oracle = PredictorKind::OraclePib(8).build();
+    let r = simulate(oracle.as_mut(), &trace);
+    assert!(
+        r.misprediction_ratio() < 0.02,
+        "oracle misprediction {:.2}%",
+        r.misprediction_ratio() * 100.0
+    );
+}
+
+/// Figure 7: the PIB-biased selection machine beats the normal hybrid on
+/// the strongly PIB-correlated runs the paper names (perl, ixx).
+#[test]
+fn biased_selector_wins_on_pib_correlated_runs() {
+    let runs: Vec<_> = paper_suite()
+        .into_iter()
+        .filter(|r| ["perl.std", "ixx.lay", "ixx.wid"].contains(&r.label().as_str()))
+        .collect();
+    let grid = compare_grid(&PredictorKind::figure7(), &runs, 0.15);
+    let mut wins = 0;
+    for run in &runs {
+        let hyb = grid.ratio(&run.label(), "PPM-hyb").unwrap();
+        let biased = grid.ratio(&run.label(), "PPM-hyb-biased").unwrap();
+        if biased <= hyb {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "biased won only {wins}/3 PIB-correlated runs");
+}
+
+/// Figure 7: the hybrid beats PPM-PIB on the PB-correlated runs (troff),
+/// because only it can exploit all-branch path history.
+#[test]
+fn hybrid_beats_pib_on_pb_correlated_runs() {
+    let runs: Vec<_> = paper_suite()
+        .into_iter()
+        .filter(|r| r.spec().name == "troff")
+        .collect();
+    let grid = compare_grid(&PredictorKind::figure7(), &runs, 0.1);
+    for run in &runs {
+        let hyb = grid.ratio(&run.label(), "PPM-hyb").unwrap();
+        let pib = grid.ratio(&run.label(), "PPM-PIB").unwrap();
+        assert!(
+            hyb < pib,
+            "{}: hyb {:.2}% !< pib {:.2}%",
+            run.label(),
+            hyb * 100.0,
+            pib * 100.0
+        );
+    }
+}

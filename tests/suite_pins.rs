@@ -1,0 +1,54 @@
+//! Determinism pins for the calibrated benchmark suite.
+//!
+//! The fifteen workload personalities were calibrated against the
+//! predictors until the paper's Figure 6/7 shape reproduced; every number
+//! in EXPERIMENTS.md depends on these exact streams. This test pins a
+//! fingerprint of each run (at 2% scale) so that any accidental change to
+//! the generators — a reordered RNG draw, a layout tweak, a behaviour
+//! refactor — fails loudly here instead of silently shifting the measured
+//! results. If a change to the suite is *intentional*, re-derive the pins
+//! and re-run the full experiment grid (see EXPERIMENTS.md).
+
+use ibp_workloads::paper_suite;
+
+/// (label, events, MT indirect, FNV-1a over (pc, target, inline)).
+const PINS: &[(&str, usize, u64, u64)] = &[
+    ("perl.std", 10240, 6000, 0xa37b99ecccb2a980),
+    ("gcc.cc1", 7980, 4830, 0xe845724f95b78b86),
+    ("edg.exp", 8470, 3570, 0xa681a2ab0fbc48b9),
+    ("edg.inp", 6440, 2730, 0xb58f45dc1d9729b3),
+    ("edg.pic", 8400, 3570, 0x2570c3f9e74371bd),
+    ("eqn.std", 5600, 2720, 0x4d051db8494a6b35),
+    ("eon.chair", 12480, 6560, 0x266055d3b164a325),
+    ("gs.pht", 7350, 4410, 0x15a06333e6157df5),
+    ("gs.tig", 8330, 5110, 0xfa9e6687b7ca9a6b),
+    ("photon.dia", 2800, 1280, 0x08dafbdbb49c0344),
+    ("ixx.lay", 7910, 4620, 0x82947c8072c04583),
+    ("ixx.wid", 8260, 4900, 0xa14c7c196f7f7d30),
+    ("troff.lle", 5840, 2320, 0x8901c5ac013e53ad),
+    ("troff.gcc", 6320, 2640, 0x8898a98f31d2d9cd),
+    ("troff.ped", 5200, 2000, 0x8c8614c63f93f29c),
+];
+
+#[test]
+fn suite_traces_match_their_pins() {
+    let runs = paper_suite();
+    assert_eq!(runs.len(), PINS.len(), "suite size changed");
+    for (run, &(label, events, mt, fnv)) in runs.iter().zip(PINS) {
+        assert_eq!(run.label(), label, "suite order changed");
+        let trace = run.generate_scaled(0.02);
+        assert_eq!(trace.len(), events, "{label}: event count drifted");
+        assert_eq!(
+            trace.stats().mt_indirect(),
+            mt,
+            "{label}: MT branch count drifted"
+        );
+        let mut h = 0xcbf29ce484222325u64;
+        for e in trace.iter() {
+            for v in [e.pc().raw(), e.target().raw(), e.inline_instrs() as u64] {
+                h = (h ^ v).wrapping_mul(0x100000001b3);
+            }
+        }
+        assert_eq!(h, fnv, "{label}: trace content drifted");
+    }
+}
