@@ -1,39 +1,31 @@
-//! Criterion bench: the PPM data compressor (the algorithm's original
-//! habitat) compressing branch-trace bytes — PPM predicting PPM fodder.
+//! Bench: the PPM data compressor (the algorithm's original habitat)
+//! compressing branch-trace bytes — PPM predicting PPM fodder.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ibp_bench::{Harness, Throughput};
 use ibp_compress::Ppm;
 use ibp_trace::codec;
 use ibp_workloads::paper_suite;
 use std::hint::black_box;
 
-fn compression(c: &mut Criterion) {
+fn main() {
     let trace = paper_suite()[0].generate_scaled(0.005);
     let bytes = codec::encode(&trace);
     let data = &bytes[..bytes.len().min(16 * 1024)];
-    let mut group = c.benchmark_group("ppm_compression");
-    group.throughput(Throughput::Bytes(data.len() as u64));
+    let mut h = Harness::new("compression");
     for order in [0usize, 1, 2, 3] {
-        group.bench_with_input(
-            BenchmarkId::new("compress_order", order),
-            &order,
-            |b, &order| {
-                let ppm = Ppm::new(order);
-                b.iter(|| ppm.compress(black_box(data)))
-            },
+        let ppm = Ppm::new(order);
+        h.bench_throughput(
+            &format!("compress_order_{order}"),
+            Throughput::Bytes(data.len() as u64),
+            || ppm.compress(black_box(data)),
         );
     }
     let compressed = Ppm::new(2).compress(data);
-    group.bench_function("decompress_order_2", |b| {
-        let ppm = Ppm::new(2);
-        b.iter(|| ppm.decompress(black_box(&compressed)).expect("valid"))
-    });
-    group.finish();
+    let ppm = Ppm::new(2);
+    h.bench_throughput(
+        "decompress_order_2",
+        Throughput::Bytes(data.len() as u64),
+        || ppm.decompress(black_box(&compressed)).expect("valid"),
+    );
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = compression
-}
-criterion_main!(benches);

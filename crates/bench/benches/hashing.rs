@@ -1,13 +1,13 @@
-//! Criterion bench: the indexing functions (gshare, SFSXS signature and
-//! per-order select, reverse interleaving). These sit on the predictor's
-//! critical path; the paper argues SFSXS is implementable at fetch.
+//! Bench: the indexing functions (gshare, SFSXS signature and per-order
+//! select, reverse interleaving). These sit on the predictor's critical
+//! path; the paper argues SFSXS is implementable at fetch.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ibp_bench::Harness;
 use ibp_hw::hash::{fold_xor, gshare, ReverseInterleave, Sfsxs};
 use ibp_hw::PathHistory;
 use std::hint::black_box;
 
-fn hashing(c: &mut Criterion) {
+fn main() {
     let mut phr10 = PathHistory::new(10, 10);
     for i in 0..10u64 {
         phr10.push(i.wrapping_mul(0x9E3779B9));
@@ -19,25 +19,18 @@ fn hashing(c: &mut Criterion) {
     let sfsxs = Sfsxs::paper();
     let ri = ReverseInterleave::new(5, 8, 10);
 
-    c.bench_function("gshare", |b| {
-        b.iter(|| gshare(black_box(0x12000A30), black_box(0x3FF5), 11))
+    let mut h = Harness::new("hashing");
+    h.bench("gshare", || {
+        gshare(black_box(0x12000A30), black_box(0x3FF5), 11)
     });
-    c.bench_function("fold_xor_10_to_5", |b| {
-        b.iter(|| fold_xor(black_box(0x2F5), 10, 5))
+    h.bench("fold_xor_10_to_5", || fold_xor(black_box(0x2F5), 10, 5));
+    h.bench("sfsxs_signature", || sfsxs.signature(black_box(&phr10)));
+    h.bench("sfsxs_all_order_indices", || {
+        let sig = sfsxs.signature(black_box(&phr10));
+        (1..=10u32).map(|j| sfsxs.index(sig, j)).sum::<u64>()
     });
-    c.bench_function("sfsxs_signature", |b| {
-        b.iter(|| sfsxs.signature(black_box(&phr10)))
+    h.bench("reverse_interleave", || {
+        ri.index(black_box(0x12000A30), black_box(&phr5))
     });
-    c.bench_function("sfsxs_all_order_indices", |b| {
-        b.iter(|| {
-            let sig = sfsxs.signature(black_box(&phr10));
-            (1..=10u32).map(|j| sfsxs.index(sig, j)).sum::<u64>()
-        })
-    });
-    c.bench_function("reverse_interleave", |b| {
-        b.iter(|| ri.index(black_box(0x12000A30), black_box(&phr5)))
-    });
+    h.finish();
 }
-
-criterion_group!(benches, hashing);
-criterion_main!(benches);

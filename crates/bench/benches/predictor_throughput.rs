@@ -1,38 +1,24 @@
-//! Criterion bench: simulation throughput of every predictor on a
-//! representative workload slice (the cost side of Figures 6/7 — the
-//! paper compares accuracy at a fixed budget; this measures the model's
-//! lookup+update cost in software).
+//! Bench: simulation throughput of every predictor on a representative
+//! workload slice (the cost side of Figures 6/7 — the paper compares
+//! accuracy at a fixed budget; this measures the model's lookup+update
+//! cost in software).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ibp_bench::{Harness, Throughput};
 use ibp_sim::{simulate, PredictorKind};
 use ibp_workloads::paper_suite;
 use std::hint::black_box;
 
-fn predictor_throughput(c: &mut Criterion) {
+fn main() {
     let trace = paper_suite()[0].generate_scaled(0.02);
-    let events = trace.len() as u64;
-    let mut group = c.benchmark_group("predictor_throughput");
-    group.throughput(Throughput::Elements(events));
+    let events = Throughput::Elements(trace.len() as u64);
+    let mut h = Harness::new("predictor_throughput");
     let mut kinds = PredictorKind::figure6();
     kinds.extend([PredictorKind::PpmPib, PredictorKind::PpmHybBiased]);
     for kind in kinds {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.label()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let mut p = kind.build();
-                    black_box(simulate(p.as_mut(), &trace))
-                })
-            },
-        );
+        h.bench_throughput(&kind.label(), events, || {
+            let mut p = kind.build();
+            black_box(simulate(p.as_mut(), &trace))
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = predictor_throughput
-}
-criterion_main!(benches);

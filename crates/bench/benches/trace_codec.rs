@@ -1,31 +1,22 @@
-//! Criterion bench: trace encode/decode throughput (the I/O side of
-//! trace-driven simulation — the paper replays ATOM trace files).
+//! Bench: trace encode/decode throughput (the I/O side of trace-driven
+//! simulation — the paper replays ATOM trace files).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ibp_bench::{Harness, Throughput};
 use ibp_trace::codec;
 use ibp_workloads::paper_suite;
 use std::hint::black_box;
 
-fn trace_codec(c: &mut Criterion) {
+fn main() {
     let trace = paper_suite()[0].generate_scaled(0.02);
     let encoded = codec::encode(&trace);
-    let mut group = c.benchmark_group("trace_codec");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("encode_binary", |b| {
-        b.iter(|| codec::encode(black_box(&trace)))
+    let events = Throughput::Elements(trace.len() as u64);
+    let mut h = Harness::new("trace_codec");
+    h.bench_throughput("encode_binary", events, || {
+        codec::encode(black_box(&trace))
     });
-    group.bench_function("decode_binary", |b| {
-        b.iter(|| codec::decode(black_box(&encoded)).expect("valid trace"))
+    h.bench_throughput("decode_binary", events, || {
+        codec::decode(black_box(&encoded)).expect("valid trace")
     });
-    group.bench_function("encode_text", |b| {
-        b.iter(|| codec::to_text(black_box(&trace)))
-    });
-    group.finish();
+    h.bench_throughput("encode_text", events, || codec::to_text(black_box(&trace)));
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = trace_codec
-}
-criterion_main!(benches);

@@ -1,0 +1,340 @@
+//! A std-`Instant` micro-bench harness for the `harness = false` bench
+//! targets (the workspace builds offline, with no criterion).
+//!
+//! Protocol per benchmark: calibrate an iteration count so one rep takes
+//! at least [`Harness::min_rep_time`], run warmup reps, then time the
+//! measured reps and report the **median** per-iteration time (median is
+//! robust to the occasional scheduler hiccup that wrecks a mean).
+//!
+//! Output: one human-readable line per benchmark on stdout, then a
+//! compact JSON report. When `IBP_BENCH_DIR` is set, the same JSON is
+//! also written to `<dir>/BENCH_<name>.json` so successive runs can be
+//! tracked as a trajectory. Env knobs for quick smoke runs:
+//! `IBP_BENCH_REPS` (measured reps) and `IBP_BENCH_MIN_MS` (minimum
+//! rep time in milliseconds).
+
+use ibp_sim::Json;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark id within the target, e.g. `encode_binary`.
+    pub id: String,
+    /// Iterations timed per rep (from calibration).
+    pub iters_per_rep: u64,
+    /// Measured reps (median taken over these).
+    pub reps: u32,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest rep's per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Optional work-per-iteration, for derived throughput.
+    pub throughput: Option<Throughput>,
+}
+
+/// Work done by one iteration, for ops/sec style reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn label(self) -> &'static str {
+        match self {
+            Throughput::Elements(_) => "elements",
+            Throughput::Bytes(_) => "bytes",
+        }
+    }
+
+    fn count(self) -> u64 {
+        match self {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        }
+    }
+}
+
+/// Collects measurements for one bench target and renders the report.
+pub struct Harness {
+    name: String,
+    reps: u32,
+    warmup_reps: u32,
+    min_rep_time: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// A harness named after the bench target (`trace_codec`, ...).
+    ///
+    /// Defaults: 9 measured reps, 3 warmup reps, ≥5 ms per rep —
+    /// overridable via `IBP_BENCH_REPS` / `IBP_BENCH_MIN_MS`.
+    pub fn new(name: &str) -> Self {
+        let reps = env_u64("IBP_BENCH_REPS", 9).max(1) as u32;
+        let min_ms = env_u64("IBP_BENCH_MIN_MS", 5);
+        Self {
+            name: name.to_string(),
+            reps,
+            warmup_reps: 3,
+            min_rep_time: Duration::from_millis(min_ms),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the measured rep count.
+    pub fn reps(mut self, reps: u32) -> Self {
+        self.reps = reps.max(1);
+        self
+    }
+
+    /// Overrides the minimum time one rep must cover.
+    pub fn min_rep_time(mut self, d: Duration) -> Self {
+        self.min_rep_time = d;
+        self
+    }
+
+    /// Times `f` (the returned value is black-boxed) and records the
+    /// measurement under `id`.
+    pub fn bench<T>(&mut self, id: &str, f: impl FnMut() -> T) -> &Measurement {
+        self.bench_inner(id, None, f)
+    }
+
+    /// Like [`Harness::bench`], with a declared per-iteration workload so
+    /// the report includes derived throughput.
+    pub fn bench_throughput<T>(
+        &mut self,
+        id: &str,
+        throughput: Throughput,
+        f: impl FnMut() -> T,
+    ) -> &Measurement {
+        self.bench_inner(id, Some(throughput), f)
+    }
+
+    fn bench_inner<T>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut() -> T,
+    ) -> &Measurement {
+        let iters = calibrate(self.min_rep_time, &mut f);
+        for _ in 0..self.warmup_reps {
+            time_rep(iters, &mut f);
+        }
+        let mut per_iter_ns: Vec<f64> = (0..self.reps)
+            .map(|_| time_rep(iters, &mut f).as_nanos() as f64 / iters as f64)
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = median_of_sorted(&per_iter_ns);
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let m = Measurement {
+            id: id.to_string(),
+            iters_per_rep: iters,
+            reps: self.reps,
+            median_ns: median,
+            min_ns: per_iter_ns[0],
+            mean_ns: mean,
+            throughput,
+        };
+        println!("{}", render_line(&self.name, &m));
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements so far, in run order.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// The JSON report for the measurements so far.
+    pub fn to_json(&self) -> String {
+        let results = self
+            .results
+            .iter()
+            .map(|m| {
+                let mut fields = vec![
+                    ("id", Json::Str(m.id.clone())),
+                    ("iters_per_rep", Json::UInt(m.iters_per_rep)),
+                    ("reps", Json::UInt(u64::from(m.reps))),
+                    ("median_ns", Json::Num(m.median_ns)),
+                    ("min_ns", Json::Num(m.min_ns)),
+                    ("mean_ns", Json::Num(m.mean_ns)),
+                ];
+                if let Some(t) = m.throughput {
+                    fields.push((t.label(), Json::UInt(t.count())));
+                    fields.push((
+                        "per_sec",
+                        Json::Num(t.count() as f64 * 1e9 / m.median_ns),
+                    ));
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        Json::obj([
+            ("bench", Json::Str(self.name.clone())),
+            ("results", Json::Arr(results)),
+        ])
+        .emit()
+    }
+
+    /// Prints the JSON report and, when `IBP_BENCH_DIR` is set, writes it
+    /// to `<dir>/BENCH_<name>.json` for trajectory tracking.
+    pub fn finish(self) {
+        let json = self.to_json();
+        println!("{json}");
+        if let Ok(dir) = std::env::var("IBP_BENCH_DIR") {
+            let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Finds an iteration count whose rep covers at least `min_rep_time`,
+/// doubling from 1 (so calibration itself stays cheap).
+fn calibrate<T>(min_rep_time: Duration, f: &mut impl FnMut() -> T) -> u64 {
+    let mut iters = 1u64;
+    loop {
+        let elapsed = time_rep(iters, f);
+        if elapsed >= min_rep_time || iters >= 1 << 30 {
+            return iters;
+        }
+        // Jump straight to the estimated count once we have signal,
+        // otherwise keep doubling through the timer's noise floor.
+        iters = if elapsed > Duration::from_micros(50) {
+            let scale = min_rep_time.as_secs_f64() / elapsed.as_secs_f64();
+            ((iters as f64 * scale * 1.2).ceil() as u64).max(iters * 2)
+        } else {
+            iters * 2
+        };
+    }
+}
+
+fn time_rep<T>(iters: u64, f: &mut impl FnMut() -> T) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed()
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn env_u64(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn render_line(bench: &str, m: &Measurement) -> String {
+    let mut line = format!(
+        "{bench}/{id:<28} median {median} (min {min}, {reps} reps × {iters} iters)",
+        id = m.id,
+        median = fmt_ns(m.median_ns),
+        min = fmt_ns(m.min_ns),
+        reps = m.reps,
+        iters = m.iters_per_rep,
+    );
+    if let Some(t) = m.throughput {
+        let per_sec = t.count() as f64 * 1e9 / m.median_ns;
+        line.push_str(&format!("  {} {}/s", fmt_count(per_sec), t.label()));
+    }
+    line
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}K", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Harness {
+        Harness::new("selftest")
+            .reps(3)
+            .min_rep_time(Duration::from_micros(200))
+    }
+
+    #[test]
+    fn measures_and_orders_results() {
+        let mut h = quick();
+        h.bench("a", || 1u64 + 1);
+        h.bench_throughput("b", Throughput::Bytes(64), || [0u8; 64]);
+        assert_eq!(h.results().len(), 2);
+        assert_eq!(h.results()[0].id, "a");
+        assert_eq!(h.results()[1].throughput, Some(Throughput::Bytes(64)));
+        for m in h.results() {
+            assert!(m.median_ns > 0.0);
+            assert!(m.min_ns <= m.median_ns);
+            assert!(m.iters_per_rep >= 1);
+        }
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let mut h = quick();
+        h.bench_throughput("x", Throughput::Elements(10), || 0u8);
+        let json = h.to_json();
+        let value = Json::parse(&json).expect("harness emits valid JSON");
+        assert_eq!(
+            value.get("bench").and_then(Json::as_str),
+            Some("selftest")
+        );
+        let results = value.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.get("id").and_then(Json::as_str), Some("x"));
+        assert_eq!(r.get("elements").and_then(Json::as_u64), Some(10));
+        assert!(r.get("per_sec").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn median_of_sorted_handles_both_parities() {
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 9.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0, 9.0]), 2.5);
+    }
+
+    #[test]
+    fn slower_work_measures_slower() {
+        let mut h = quick();
+        let fast = h.bench("fast", || 0u64).median_ns;
+        let slow = h
+            .bench("slow", || (0..512u64).fold(0u64, |a, b| a ^ b.wrapping_mul(31)))
+            .median_ns;
+        assert!(slow > fast, "slow {slow} vs fast {fast}");
+    }
+}

@@ -19,11 +19,10 @@
 //! Strongly-PIB.
 
 use ibp_hw::counter::Saturating2Bit;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which path history register a branch currently selects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CorrelationMode {
     /// Per-Branch correlation: the PHR fed by all branches.
     Pb,
@@ -41,7 +40,7 @@ impl fmt::Display for CorrelationMode {
 }
 
 /// Which of Figure 5's two state machines drives the counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SelectorKind {
     /// The normal 2-bit machine (correlation flips after two consecutive
     /// mispredictions from a strong state).
@@ -64,7 +63,7 @@ pub enum SelectorKind {
 /// s.record(false);
 /// assert_eq!(s.mode(), CorrelationMode::Pb); // flipped after two misses
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CorrelationSelector {
     counter: Saturating2Bit,
     kind: SelectorKind,

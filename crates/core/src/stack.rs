@@ -14,10 +14,9 @@ use crate::stats::OrderStats;
 use ibp_hw::hash::Sfsxs;
 use ibp_hw::{HardwareCost, PathHistory};
 use ibp_isa::Addr;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a [`MarkovStack`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StackConfig {
     /// Highest Markov order `m`. Paper: 10.
     pub max_order: u32,
@@ -52,7 +51,7 @@ pub struct StackConfig {
 }
 
 /// How the order-`j` Markov table index is generated.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum IndexScheme {
     /// The paper's Select-Fold-Shift-XOR-Select hash over the PHR.
     #[default]
@@ -65,7 +64,7 @@ pub enum IndexScheme {
 
 /// Which Markov orders learn the resolved target (§5 of Chen et al.; the
 /// paper adopts update exclusion and §6 proposes modifying it).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum UpdateProtocol {
     /// PPMC's update exclusion: the providing order and all higher orders
     /// learn; lower orders do not (the paper, §3/§4).

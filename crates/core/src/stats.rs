@@ -6,10 +6,9 @@
 //! highest-valid-order selection rule plus update exclusion. [`OrderStats`]
 //! reproduces that measurement.
 
-use serde::{Deserialize, Serialize};
 
 /// Access and miss counts per Markov order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OrderStats {
     max_order: u32,
     /// accesses[j-1] = predictions provided by order j.

@@ -6,7 +6,6 @@
 //! the experiment harness can verify the budget invariant and the sweep
 //! benches can scale configurations.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
@@ -28,7 +27,7 @@ use std::ops::{Add, AddAssign};
 /// assert_eq!(total.bits(), 2048 * 66);
 /// ```
 #[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct HardwareCost {
     entries: u64,

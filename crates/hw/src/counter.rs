@@ -7,7 +7,6 @@
 //! Grunwald's BTB2b), inside every Markov-table entry, and as the per-branch
 //! *correlation selection* counter in the BIU (see `ibp-ppm::selector`).
 
-use serde::{Deserialize, Serialize};
 
 /// An up/down saturating counter with a configurable number of bits.
 ///
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// c.decrement();
 /// assert_eq!(c.value(), 0); // saturated at the bottom
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SaturatingCounter {
     bits: u8,
     value: u32,
@@ -130,7 +129,7 @@ impl SaturatingCounter {
 /// c.decrement();
 /// assert!(c.is_high_half());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Saturating2Bit(SaturatingCounter);
 
 impl Saturating2Bit {

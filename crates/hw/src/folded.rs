@@ -12,7 +12,6 @@
 //! `rotl(fold(value), (a * rot) % out_bits)`, and the register tracks the
 //! XOR of the contributions of the last `len` elements.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// An O(1)-update folded history of the last `len` recorded values.
@@ -27,7 +26,7 @@ use std::collections::VecDeque;
 /// f.push(0x2B3);
 /// assert_eq!(f.folded(), f.recompute()); // incremental == from scratch
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FoldedHistory {
     out_bits: u32,
     in_bits: u32,

@@ -18,7 +18,6 @@
 //!   Driesen & Hölzle's dual-path components.
 
 use crate::history::PathHistory;
-use serde::{Deserialize, Serialize};
 
 /// Classic gshare: XOR the PC with the packed history and keep `index_bits`.
 ///
@@ -108,7 +107,7 @@ pub fn fold_xor(value: u64, in_bits: u32, out_bits: u32) -> u64 {
 /// let sig = sfsxs.signature(&phr);
 /// assert_eq!(sfsxs.index(sig, 10) >> 10, 0); // 10-bit index
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sfsxs {
     select_bits: u32,
     fold_bits: u32,
@@ -201,7 +200,7 @@ impl Sfsxs {
 /// low-order (fast-changing) bits of *recent* targets land in the low-order
 /// bits of the index. The result is XORed with the branch PC and truncated
 /// to `index_bits`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReverseInterleave {
     path_length: u32,
     bits_per_target: u32,

@@ -15,7 +15,6 @@
 //! The PHR is always updated with the *actual* (resolved) target, whether or
 //! not the prediction was correct (paper §4).
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A shift register of partial branch targets.
@@ -36,7 +35,7 @@ use std::collections::VecDeque;
 /// assert_eq!(phr.slot(1), 0xD);
 /// assert_eq!(phr.slot(2), 0x0); // not yet filled
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PathHistory {
     depth: usize,
     bits_per_target: u8,

@@ -11,7 +11,6 @@
 //!   replacement, required by the Cascade predictor (its PHTs are 4-way
 //!   associative with true LRU) and by the tagged-PPM ablation.
 
-use serde::{Deserialize, Serialize};
 
 /// A tagless direct-mapped table of `len` entries.
 ///
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// t.insert(9, 0xBEEF); // lands in slot 1
 /// assert_eq!(t.get(5), Some(&0xBEEF)); // 5 % 4 == 1: aliasing is real
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirectMapped<T> {
     entries: Vec<Option<T>>,
 }
@@ -118,7 +117,7 @@ impl<T> DirectMapped<T> {
 }
 
 /// One way of a set-associative table: tag plus payload.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Way<T> {
     tag: u64,
     value: T,
@@ -145,7 +144,7 @@ struct Way<T> {
 /// assert!(t.get(0, 100).is_none());
 /// assert_eq!(t.get(0, 300), Some(&3));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SetAssociative<T> {
     sets: Vec<Vec<Way<T>>>,
     ways: usize,

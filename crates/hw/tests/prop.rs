@@ -4,127 +4,192 @@ use ibp_hw::counter::SaturatingCounter;
 use ibp_hw::hash::{fold_xor, gshare, Sfsxs};
 use ibp_hw::table::{DirectMapped, SetAssociative};
 use ibp_hw::PathHistory;
-use proptest::prelude::*;
+use ibp_testkit::{prop_assert, prop_assert_eq, Prop};
 use std::collections::HashMap;
 
-proptest! {
-    /// A saturating counter never leaves its range under any op sequence.
-    #[test]
-    fn counter_stays_in_range(
-        bits in 1u8..=8,
-        initial in 0u32..=255,
-        ops in proptest::collection::vec(any::<bool>(), 0..200),
-    ) {
-        let max = (1u32 << bits) - 1;
-        let mut c = SaturatingCounter::new(bits, initial.min(max));
-        for up in ops {
-            if up {
+/// A saturating counter never leaves its range under any op sequence.
+#[test]
+fn counter_stays_in_range() {
+    Prop::new("counter_stays_in_range").run(
+        |rng| {
+            (
+                rng.gen_range(1u8..=8),
+                rng.gen_range(0u32..=255),
+                rng.vec_with(0..200, |r| r.gen_bool(0.5)),
+            )
+        },
+        |(bits, initial, ops)| {
+            let max = (1u32 << bits) - 1;
+            let mut c = SaturatingCounter::new(*bits, (*initial).min(max));
+            for &up in ops {
+                if up {
+                    c.increment();
+                } else {
+                    c.decrement();
+                }
+                prop_assert!(c.value() <= max);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Incrementing n times from zero then decrementing n times returns to
+/// zero (within saturation).
+#[test]
+fn counter_round_trip() {
+    Prop::new("counter_round_trip").run(
+        |rng| (rng.gen_range(1u8..=8), rng.gen_range(0u32..100)),
+        |&(bits, n)| {
+            let mut c = SaturatingCounter::new(bits, 0);
+            for _ in 0..n {
                 c.increment();
-            } else {
+            }
+            for _ in 0..n {
                 c.decrement();
             }
-            prop_assert!(c.value() <= max);
-        }
-    }
+            prop_assert_eq!(c.value(), 0);
+            Ok(())
+        },
+    );
+}
 
-    /// Incrementing n times from zero then decrementing n times returns
-    /// to zero (within saturation).
-    #[test]
-    fn counter_round_trip(bits in 1u8..=8, n in 0u32..100) {
-        let mut c = SaturatingCounter::new(bits, 0);
-        for _ in 0..n {
-            c.increment();
-        }
-        for _ in 0..n {
-            c.decrement();
-        }
-        prop_assert_eq!(c.value(), 0);
-    }
+/// fold_xor output always fits in the requested width and is
+/// deterministic.
+#[test]
+fn fold_xor_bounded() {
+    Prop::new("fold_xor_bounded").run(
+        |rng| (rng.next_u64(), rng.gen_range(1u32..=16)),
+        |&(v, out_bits)| {
+            let folded = fold_xor(v, 64, out_bits);
+            prop_assert!(folded < (1u64 << out_bits));
+            prop_assert_eq!(folded, fold_xor(v, 64, out_bits));
+            Ok(())
+        },
+    );
+}
 
-    /// fold_xor output always fits in the requested width and is
-    /// deterministic.
-    #[test]
-    fn fold_xor_bounded(v in any::<u64>(), out_bits in 1u32..=16) {
-        let folded = fold_xor(v, 64, out_bits);
-        prop_assert!(folded < (1u64 << out_bits));
-        prop_assert_eq!(folded, fold_xor(v, 64, out_bits));
-    }
+/// gshare masks to the requested index width.
+#[test]
+fn gshare_bounded() {
+    Prop::new("gshare_bounded").run(
+        |rng| (rng.next_u64(), rng.next_u64(), rng.gen_range(1u32..=20)),
+        |&(pc, hist, bits)| {
+            prop_assert!(gshare(pc, hist as u128, bits) < (1u64 << bits));
+            Ok(())
+        },
+    );
+}
 
-    /// gshare masks to the requested index width.
-    #[test]
-    fn gshare_bounded(pc in any::<u64>(), hist in any::<u64>(), bits in 1u32..=20) {
-        prop_assert!(gshare(pc, hist as u128, bits) < (1u64 << bits));
-    }
+/// The SFSXS index for order j always fits in j bits, for every order.
+#[test]
+fn sfsxs_indices_bounded() {
+    Prop::new("sfsxs_indices_bounded").run(
+        |rng| rng.vec_with(0..30, |r| r.next_u64()),
+        |targets| {
+            let s = Sfsxs::paper();
+            let mut phr = PathHistory::new(10, 10);
+            for &t in targets {
+                phr.push(t);
+            }
+            let sig = s.signature(&phr);
+            for j in 1..=10u32 {
+                prop_assert!(s.index(sig, j) < (1u64 << j), "order {}", j);
+                prop_assert!(s.index_low(sig, j) < (1u64 << j));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The SFSXS index for order j always fits in j bits, for every order.
-    #[test]
-    fn sfsxs_indices_bounded(targets in proptest::collection::vec(any::<u64>(), 0..30)) {
-        let s = Sfsxs::paper();
-        let mut phr = PathHistory::new(10, 10);
-        for t in targets {
-            phr.push(t);
-        }
-        let sig = s.signature(&phr);
-        for j in 1..=10u32 {
-            prop_assert!(s.index(sig, j) < (1u64 << j), "order {}", j);
-            prop_assert!(s.index_low(sig, j) < (1u64 << j));
-        }
-    }
+/// Path history always reports the last `depth` pushes, masked.
+#[test]
+fn path_history_matches_reference() {
+    Prop::new("path_history_matches_reference").run(
+        |rng| {
+            (
+                rng.gen_range(1usize..12),
+                rng.gen_range(1u8..=16),
+                rng.vec_with(0..50, |r| r.next_u64()),
+            )
+        },
+        |(depth, bits, pushes)| {
+            let (depth, bits) = (*depth, *bits);
+            let mut phr = PathHistory::new(depth, bits);
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
+            for &t in pushes {
+                phr.push(t);
+            }
+            for age in 0..depth {
+                let expect = pushes
+                    .len()
+                    .checked_sub(age + 1)
+                    .and_then(|i| pushes.get(i))
+                    .map(|t| t & mask)
+                    .unwrap_or(0);
+                prop_assert_eq!(phr.slot(age), expect, "age {}", age);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Path history always reports the last `depth` pushes, masked.
-    #[test]
-    fn path_history_matches_reference(
-        depth in 1usize..12,
-        bits in 1u8..=16,
-        pushes in proptest::collection::vec(any::<u64>(), 0..50),
-    ) {
-        let mut phr = PathHistory::new(depth, bits);
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
-        for &t in &pushes {
-            phr.push(t);
-        }
-        for age in 0..depth {
-            let expect = pushes
-                .len()
-                .checked_sub(age + 1)
-                .and_then(|i| pushes.get(i))
-                .map(|t| t & mask)
-                .unwrap_or(0);
-            prop_assert_eq!(phr.slot(age), expect, "age {}", age);
-        }
-    }
+/// A direct-mapped table agrees with a modulo-indexed reference map
+/// (last write to a slot wins).
+#[test]
+fn direct_mapped_matches_reference() {
+    Prop::new("direct_mapped_matches_reference").run(
+        |rng| {
+            (
+                rng.gen_range(1usize..64),
+                rng.vec_with(0..100, |r| (r.next_u64(), r.next_u32())),
+            )
+        },
+        |(len, writes)| {
+            let len = *len;
+            let mut table: DirectMapped<u32> = DirectMapped::new(len);
+            let mut reference: HashMap<usize, u32> = HashMap::new();
+            for &(idx, val) in writes {
+                table.insert(idx, val);
+                reference.insert((idx % len as u64) as usize, val);
+            }
+            for slot in 0..len as u64 {
+                prop_assert_eq!(
+                    table.get(slot).copied(),
+                    reference.get(&(slot as usize)).copied()
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// A direct-mapped table agrees with a modulo-indexed reference map
-    /// (last write to a slot wins).
-    #[test]
-    fn direct_mapped_matches_reference(
-        len in 1usize..64,
-        writes in proptest::collection::vec((any::<u64>(), any::<u32>()), 0..100),
-    ) {
-        let mut table: DirectMapped<u32> = DirectMapped::new(len);
-        let mut reference: HashMap<usize, u32> = HashMap::new();
-        for (idx, val) in writes {
-            table.insert(idx, val);
-            reference.insert((idx % len as u64) as usize, val);
-        }
-        for slot in 0..len as u64 {
-            prop_assert_eq!(table.get(slot).copied(), reference.get(&(slot as usize)).copied());
-        }
-    }
-
-    /// A set-associative table never exceeds its capacity and a fresh
-    /// insert is always immediately readable.
-    #[test]
-    fn set_assoc_capacity_and_presence(
-        sets in 1usize..8,
-        ways in 1usize..4,
-        ops in proptest::collection::vec((any::<u64>(), 0u64..16, any::<u32>()), 0..100),
-    ) {
-        let mut t: SetAssociative<u32> = SetAssociative::new(sets, ways);
-        for (idx, tag, val) in ops {
-            t.insert(idx, tag, val);
-            prop_assert_eq!(t.get(idx, tag), Some(&val));
-            prop_assert!(t.occupancy() <= t.capacity());
-        }
-    }
+/// A set-associative table never exceeds its capacity and a fresh insert
+/// is always immediately readable.
+#[test]
+fn set_assoc_capacity_and_presence() {
+    Prop::new("set_assoc_capacity_and_presence").run(
+        |rng| {
+            (
+                rng.gen_range(1usize..8),
+                rng.gen_range(1usize..4),
+                rng.vec_with(0..100, |r| {
+                    (r.next_u64(), r.gen_range(0u64..16), r.next_u32())
+                }),
+            )
+        },
+        |(sets, ways, ops)| {
+            let mut t: SetAssociative<u32> = SetAssociative::new(*sets, *ways);
+            for &(idx, tag, val) in ops {
+                t.insert(idx, tag, val);
+                prop_assert_eq!(t.get(idx, tag), Some(&val));
+                prop_assert!(t.occupancy() <= t.capacity());
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,6 +1,5 @@
 //! Instruction and target addresses.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Sub};
 
@@ -21,7 +20,7 @@ use std::ops::{Add, Sub};
 /// assert_eq!(format!("{pc}"), "0x120004a30");
 /// ```
 #[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct Addr(u64);
 

@@ -7,7 +7,6 @@
 //! Alpha opcode (`jmp`, `jsr`, `ret`, `jsr_coroutine`) and by target arity
 //! (Single-Target vs Multiple-Target, §5).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The unconditional indirect branch opcodes of the Alpha AXP ISA.
@@ -15,7 +14,7 @@ use std::fmt;
 /// All four compute the target from a source register with no displacement.
 /// `jsr_coroutine` never appeared in the paper's traces; it is modelled for
 /// ISA completeness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IndirectOp {
     /// Indirect jump — e.g. a compiled `switch` statement.
     Jmp,
@@ -59,7 +58,7 @@ impl fmt::Display for IndirectOp {
 ///   link-time optimization resolves them.
 /// * `Multiple` (MT): more than one possible target — `switch` jumps and
 ///   polymorphic calls. These are what the predictors fight over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TargetArity {
     /// Single-target (ST) indirect branch.
     Single,
@@ -77,7 +76,7 @@ impl fmt::Display for TargetArity {
 }
 
 /// The complete branch classification used by traces and predictors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchClass {
     /// Conditional direct branch: taken/not-taken to a compile-time target.
     ConditionalDirect,

@@ -20,11 +20,10 @@
 
 use crate::branch::{BranchClass, IndirectOp, TargetArity};
 use crate::instr::StMtAnnotation;
-use serde::{Deserialize, Serialize};
 
 /// Opcode values for the modelled control-flow instructions (six bits).
 /// Values follow the Alpha AXP opcode map where one exists.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum Opcode {
     /// Memory-format jump group (`jmp`/`jsr`/`ret`/`jsr_coroutine`,
@@ -51,7 +50,7 @@ const HINT_JSR_CO: u16 = 0b11;
 const MT_BIT: u16 = 1 << 13;
 
 /// A decoded control-flow instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodedInstr {
     /// A branch with its classification and raw displacement payload.
     Branch {

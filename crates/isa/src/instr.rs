@@ -9,7 +9,6 @@
 
 use crate::addr::Addr;
 use crate::branch::{BranchClass, IndirectOp, TargetArity};
-use serde::{Deserialize, Serialize};
 
 /// Bit position of the MT hint inside the 16-bit displacement field.
 const MT_HINT_BIT: u16 = 1 << 15;
@@ -26,7 +25,7 @@ const MT_HINT_BIT: u16 = 1 << 15;
 /// assert_eq!(ann.arity(), TargetArity::Multiple);
 /// assert_eq!(rest, 0x1234);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StMtAnnotation {
     arity: TargetArity,
 }
@@ -76,7 +75,7 @@ impl StMtAnnotation {
 ///
 /// Workload generators build programs out of these; the trace layer attaches
 /// dynamic information (actual target, taken/not-taken) per execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstrDesc {
     pc: Addr,
     class: BranchClass,

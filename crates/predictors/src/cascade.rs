@@ -18,7 +18,6 @@ use crate::traits::IndirectPredictor;
 use ibp_hw::{HardwareCost, SetAssociative};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
-use serde::{Deserialize, Serialize};
 
 /// A small tagged BTB-like filter with 2-bit replacement hysteresis.
 ///
@@ -79,7 +78,7 @@ impl LeakyFilter {
 }
 
 /// Configuration of a [`Cascade`] predictor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CascadeConfig {
     /// Filter entries. Paper: 128.
     pub filter_entries: usize,

@@ -16,7 +16,6 @@ use ibp_hw::counter::Saturating2Bit;
 use ibp_hw::{DirectMapped, HardwareCost, PathHistory, ReverseInterleave, SetAssociative};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
-use serde::{Deserialize, Serialize};
 
 /// Table organization of one dual-path component.
 #[derive(Debug, Clone)]
@@ -110,7 +109,7 @@ impl PathComponent {
 }
 
 /// Configuration of a [`DualPath`] predictor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DualPathConfig {
     /// Entries per component table. Paper: 1024.
     pub entries_per_component: usize,

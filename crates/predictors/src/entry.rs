@@ -2,7 +2,6 @@
 
 use ibp_hw::counter::Saturating2Bit;
 use ibp_isa::Addr;
-use serde::{Deserialize, Serialize};
 
 /// A prediction-table entry holding a target plus a 2-bit up/down counter
 /// that gates replacement.
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// Entries are allocated in the weak state (counter = 1): the first miss
 /// drops to 0, the second consecutive miss replaces — exactly "two
 /// consecutive mispredictions".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HysteresisEntry {
     target: Addr,
     counter: Saturating2Bit,

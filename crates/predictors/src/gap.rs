@@ -13,10 +13,9 @@ use crate::traits::IndirectPredictor;
 use ibp_hw::{gshare, DirectMapped, HardwareCost, PathHistory};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a [`GApPredictor`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GApConfig {
     /// Number of PHT banks (selected by low PC bits). Paper: 2.
     pub banks: usize,

@@ -10,12 +10,11 @@
 
 use ibp_isa::BranchClass;
 use ibp_trace::BranchEvent;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which committed branches shift their target into a path history
 /// register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HistoryGroup {
     /// Every branch (the paper's **PB** — Per-Branch correlation). Taken
     /// conditional branches contribute their target; not-taken ones their

@@ -27,7 +27,6 @@ use ibp_hw::counter::Saturating2Bit;
 use ibp_hw::{FoldedHistory, HardwareCost};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
-use serde::{Deserialize, Serialize};
 
 /// One tagged-table entry.
 #[derive(Debug, Clone, Copy)]
@@ -46,7 +45,7 @@ struct TageTable {
 }
 
 /// Configuration of [`Ittage`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IttageConfig {
     /// Entries in the base BTB.
     pub base_entries: usize,

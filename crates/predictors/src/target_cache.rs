@@ -13,10 +13,9 @@ use crate::traits::IndirectPredictor;
 use ibp_hw::{DirectMapped, HardwareCost, PathHistory};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a [`TargetCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TargetCacheConfig {
     /// Table entries. Paper: 2048.
     pub entries: usize,

@@ -7,8 +7,8 @@ use ibp_predictors::{
     IndirectPredictor, Ittage, IttageConfig, PathOracle, ReturnAddressStack, TargetCache,
     TargetCacheConfig,
 };
+use ibp_testkit::{prop_assert, prop_assert_eq, Prop, TestRng};
 use ibp_trace::BranchEvent;
-use proptest::prelude::*;
 
 /// RAS operations for the reference-model test.
 #[derive(Debug, Clone)]
@@ -17,14 +17,14 @@ enum RasOp {
     Ret,
 }
 
-fn ras_ops() -> impl Strategy<Value = Vec<RasOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (1u64..1 << 30).prop_map(|pc| RasOp::Call(pc * 4)),
-            Just(RasOp::Ret),
-        ],
-        0..100,
-    )
+fn gen_ras_ops(rng: &mut TestRng) -> Vec<RasOp> {
+    rng.vec_with(0..100, |r| {
+        if r.gen_bool(0.5) {
+            RasOp::Call(r.gen_range(1u64..1 << 30) * 4)
+        } else {
+            RasOp::Ret
+        }
+    })
 }
 
 fn predictors() -> Vec<Box<dyn IndirectPredictor>> {
@@ -62,93 +62,113 @@ fn predictors() -> Vec<Box<dyn IndirectPredictor>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// A deep-enough RAS behaves exactly like an unbounded stack.
-    #[test]
-    fn ras_matches_reference_stack(ops in ras_ops()) {
-        let mut ras = ReturnAddressStack::new(256);
-        let mut reference: Vec<Addr> = Vec::new();
-        for op in ops {
-            match op {
-                RasOp::Call(pc) => {
-                    ras.push_call(Addr::new(pc));
-                    reference.push(Addr::new(pc).offset_words(1));
+/// A deep-enough RAS behaves exactly like an unbounded stack.
+#[test]
+fn ras_matches_reference_stack() {
+    Prop::new("ras_matches_reference_stack").cases(48).run(
+        gen_ras_ops,
+        |ops| {
+            let mut ras = ReturnAddressStack::new(256);
+            let mut reference: Vec<Addr> = Vec::new();
+            for op in ops {
+                match op {
+                    RasOp::Call(pc) => {
+                        ras.push_call(Addr::new(*pc));
+                        reference.push(Addr::new(*pc).offset_words(1));
+                    }
+                    RasOp::Ret => {
+                        prop_assert_eq!(ras.predict_return(), reference.last().copied());
+                        prop_assert_eq!(ras.pop(), reference.pop());
+                    }
                 }
-                RasOp::Ret => {
-                    prop_assert_eq!(ras.predict_return(), reference.last().copied());
-                    prop_assert_eq!(ras.pop(), reference.pop());
-                }
+                prop_assert_eq!(ras.len(), reference.len());
             }
-            prop_assert_eq!(ras.len(), reference.len());
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Contract: after `update(pc, t)` with no intervening events, every
-    /// predictor either predicts `t` or nothing it was never taught —
-    /// and `reset` always returns it to a no-prediction state for a
-    /// fresh pc.
-    #[test]
-    fn teach_then_ask_is_consistent(
-        pc_raw in 1u64..1 << 20,
-        t_raw in 1u64..1 << 20,
-    ) {
-        let pc = Addr::new(pc_raw * 4);
-        let t = Addr::new(t_raw * 4);
-        for mut p in predictors() {
-            p.update(pc, t);
-            let predicted = p.predict(pc);
-            prop_assert!(
-                predicted == Some(t) || predicted.is_none(),
-                "{} invented target {:?}",
-                p.name(),
-                predicted
-            );
-            p.reset();
-            prop_assert_eq!(p.predict(Addr::new(0x77 * 4)), None, "{} after reset", p.name());
-        }
-    }
+/// Contract: after `update(pc, t)` with no intervening events, every
+/// predictor either predicts `t` or nothing it was never taught — and
+/// `reset` always returns it to a no-prediction state for a fresh pc.
+#[test]
+fn teach_then_ask_is_consistent() {
+    Prop::new("teach_then_ask_is_consistent").cases(48).run(
+        |rng| (rng.gen_range(1u64..1 << 20), rng.gen_range(1u64..1 << 20)),
+        |&(pc_raw, t_raw)| {
+            let pc = Addr::new(pc_raw * 4);
+            let t = Addr::new(t_raw * 4);
+            for mut p in predictors() {
+                p.update(pc, t);
+                let predicted = p.predict(pc);
+                prop_assert!(
+                    predicted == Some(t) || predicted.is_none(),
+                    "{} invented target {:?}",
+                    p.name(),
+                    predicted
+                );
+                p.reset();
+                prop_assert_eq!(p.predict(Addr::new(0x77 * 4)), None, "{} after reset", p.name());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Determinism: the same event stream drives every predictor to the
-    /// same prediction sequence twice.
-    #[test]
-    fn predictors_are_deterministic(
-        stream in proptest::collection::vec((1u64..1 << 16, 1u64..1 << 16), 0..60),
-    ) {
-        for make in 0..predictors().len() {
-            let run = |mut p: Box<dyn IndirectPredictor>| -> Vec<Option<Addr>> {
-                let mut out = Vec::new();
-                for &(pc_raw, t_raw) in &stream {
+/// Determinism: the same event stream drives every predictor to the same
+/// prediction sequence twice.
+#[test]
+fn predictors_are_deterministic() {
+    Prop::new("predictors_are_deterministic").cases(48).run(
+        |rng| {
+            rng.vec_with(0..60, |r| {
+                (r.gen_range(1u64..1 << 16), r.gen_range(1u64..1 << 16))
+            })
+        },
+        |stream| {
+            for make in 0..predictors().len() {
+                let run = |mut p: Box<dyn IndirectPredictor>| -> Vec<Option<Addr>> {
+                    let mut out = Vec::new();
+                    for &(pc_raw, t_raw) in stream {
+                        let pc = Addr::new(pc_raw * 4);
+                        let t = Addr::new(t_raw * 4);
+                        out.push(p.predict(pc));
+                        p.update(pc, t);
+                        p.observe(&BranchEvent::indirect_jmp(pc, t));
+                    }
+                    out
+                };
+                let a = run(predictors().remove(make));
+                let b = run(predictors().remove(make));
+                prop_assert_eq!(a, b);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Cost reporting is stable (does not change as tables fill).
+#[test]
+fn costs_are_static() {
+    Prop::new("costs_are_static").cases(48).run(
+        |rng| {
+            rng.vec_with(0..40, |r| {
+                (r.gen_range(1u64..1 << 16), r.gen_range(1u64..1 << 16))
+            })
+        },
+        |stream| {
+            for mut p in predictors() {
+                if p.name().starts_with("Oracle") {
+                    continue; // oracles report live footprint by design
+                }
+                let cold = p.cost();
+                for &(pc_raw, t_raw) in stream {
                     let pc = Addr::new(pc_raw * 4);
-                    let t = Addr::new(t_raw * 4);
-                    out.push(p.predict(pc));
-                    p.update(pc, t);
-                    p.observe(&BranchEvent::indirect_jmp(pc, t));
+                    p.update(pc, Addr::new(t_raw * 4));
                 }
-                out
-            };
-            let a = run(predictors().remove(make));
-            let b = run(predictors().remove(make));
-            prop_assert_eq!(a, b);
-        }
-    }
-
-    /// Cost reporting is stable (does not change as tables fill).
-    #[test]
-    fn costs_are_static(
-        stream in proptest::collection::vec((1u64..1 << 16, 1u64..1 << 16), 0..40),
-    ) {
-        for mut p in predictors() {
-            if p.name().starts_with("Oracle") {
-                continue; // oracles report live footprint by design
+                prop_assert_eq!(cold, p.cost(), "{}", p.name());
             }
-            let cold = p.cost();
-            for &(pc_raw, t_raw) in &stream {
-                let pc = Addr::new(pc_raw * 4);
-                p.update(pc, Addr::new(t_raw * 4));
-            }
-            prop_assert_eq!(cold, p.cost(), "{}", p.name());
-        }
-    }
+            Ok(())
+        },
+    );
 }

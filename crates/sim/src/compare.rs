@@ -3,10 +3,9 @@
 use crate::runner::{simulate, RunResult};
 use crate::zoo::PredictorKind;
 use ibp_workloads::BenchmarkRun;
-use serde::{Deserialize, Serialize};
 
 /// One cell of a comparison grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridCell {
     /// Benchmark run label.
     pub run: String,
@@ -19,7 +18,7 @@ pub struct GridCell {
 }
 
 /// A full (benchmark × predictor) grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridResult {
     predictors: Vec<String>,
     runs: Vec<String>,
@@ -27,6 +26,16 @@ pub struct GridResult {
 }
 
 impl GridResult {
+    /// Reassembles a grid from its parts — the inverse of the accessors,
+    /// used by the JSON report codec.
+    pub fn from_parts(predictors: Vec<String>, runs: Vec<String>, cells: Vec<GridCell>) -> Self {
+        Self {
+            predictors,
+            runs,
+            cells,
+        }
+    }
+
     /// Predictor labels, in lineup order.
     pub fn predictors(&self) -> &[String] {
         &self.predictors

@@ -17,15 +17,20 @@
 //!   workspace, scalable by table budget (for the sweep ablations);
 //! * [`compare`] — grids of (predictor × benchmark run), i.e. Figures 6
 //!   and 7;
-//! * [`report`] — plain-text table rendering for the experiment binaries.
+//! * [`report`] — plain-text table rendering and the JSON report codec
+//!   for the experiment binaries;
+//! * [`json`] — the hand-rolled JSON value type behind [`report`] (the
+//!   workspace builds offline with no serde).
 
 pub mod compare;
 pub mod delay;
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod zoo;
 
 pub use compare::{compare_grid, GridResult};
 pub use delay::DelayedPredictor;
+pub use json::{Json, JsonError};
 pub use runner::{ras_accuracy, simulate, simulate_stream, RunResult};
 pub use zoo::PredictorKind;

@@ -3,11 +3,10 @@
 use ibp_isa::Addr;
 use ibp_predictors::{IndirectPredictor, ReturnAddressStack};
 use ibp_trace::Trace;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The outcome of one predictor × trace simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     predictor: String,
     predictions: u64,
@@ -17,6 +16,23 @@ pub struct RunResult {
 }
 
 impl RunResult {
+    /// Reassembles a result from its parts — the inverse of the
+    /// accessors, used by the JSON report codec and by tools replaying
+    /// saved results.
+    pub fn from_parts(
+        predictor: String,
+        predictions: u64,
+        mispredictions: u64,
+        per_branch: impl IntoIterator<Item = (u64, (u64, u64))>,
+    ) -> Self {
+        Self {
+            predictor,
+            predictions,
+            mispredictions,
+            per_branch: per_branch.into_iter().collect(),
+        }
+    }
+
     /// The predictor's name.
     pub fn predictor(&self) -> &str {
         &self.predictor

@@ -11,11 +11,10 @@ use ibp_predictors::{
     HistoryGroup, IndirectPredictor, Ittage, IttageConfig, PathOracle, TargetCache,
     TargetCacheConfig,
 };
-use serde::{Deserialize, Serialize};
 
 /// Every predictor configuration used by the paper's figures and this
 /// reproduction's ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PredictorKind {
     /// Tagless BTB (Lee & Smith).
     Btb,

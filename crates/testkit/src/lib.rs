@@ -1,0 +1,34 @@
+//! # ibp-testkit — zero-dependency test support
+//!
+//! The workspace builds fully offline; this crate supplies the two
+//! pieces of test infrastructure that used to come from crates.io:
+//!
+//! * [`rng::TestRng`] — a seeded SplitMix64/xorshift PRNG with a stream
+//!   that is pinned forever (replaces `rand` for tests and the synthetic
+//!   workload generators);
+//! * [`prop::Prop`] — a deterministic property-test runner with case
+//!   counts, bisection shrinking for collections, and failure-seed
+//!   reporting (replaces `proptest`).
+//!
+//! Properties run from a fixed master seed by default so failures
+//! reproduce exactly; set `IBP_TEST_SEED` to explore fuzz-style (see
+//! `tests/README.md` at the workspace root).
+//!
+//! ```
+//! use ibp_testkit::{prop_assert, Prop, TestRng};
+//!
+//! Prop::new("reverse_is_involutive").cases(32).run(
+//!     |rng: &mut TestRng| rng.vec_with(0..50, |r| r.next_u64()),
+//!     |v| {
+//!         let twice: Vec<u64> = v.iter().rev().rev().copied().collect();
+//!         prop_assert!(twice == *v, "double reverse changed the vector");
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+pub mod prop;
+pub mod rng;
+
+pub use prop::{master_seed, Prop, Shrink, DEFAULT_SEED, SEED_ENV_VAR};
+pub use rng::{splitmix64, SampleRange, TestRng};

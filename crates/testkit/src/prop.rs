@@ -1,0 +1,348 @@
+//! A minimal deterministic property-test runner.
+//!
+//! Replaces `proptest` for this workspace: each property draws its input
+//! from a seeded [`TestRng`], runs a configurable number of cases, and on
+//! failure shrinks collection-valued inputs by bisection (delta
+//! debugging) before reporting the minimal counterexample together with
+//! the seed that reproduces it.
+//!
+//! Determinism: the default master seed is a workspace constant, so CI
+//! failures reproduce exactly on any machine. Set the `IBP_TEST_SEED`
+//! environment variable (decimal or `0x`-prefixed hex) to explore other
+//! regions of the input space fuzz-style; a failure report always prints
+//! the seed to rerun with.
+
+use crate::rng::{splitmix64, TestRng};
+use std::fmt::Debug;
+
+/// Master seed used when `IBP_TEST_SEED` is not set.
+pub const DEFAULT_SEED: u64 = 0x4942_5054_4B49_5431; // "IBPTKIT1"
+
+/// Environment variable overriding the master seed.
+pub const SEED_ENV_VAR: &str = "IBP_TEST_SEED";
+
+/// The master seed for this process: `IBP_TEST_SEED` if set and
+/// parsable, [`DEFAULT_SEED`] otherwise.
+///
+/// # Panics
+///
+/// Panics if the variable is set but not a decimal or `0x`-hex u64 —
+/// silently falling back would defeat the point of setting it.
+pub fn master_seed() -> u64 {
+    match std::env::var(SEED_ENV_VAR) {
+        Err(_) => DEFAULT_SEED,
+        Ok(raw) => {
+            let parsed = raw
+                .strip_prefix("0x")
+                .or_else(|| raw.strip_prefix("0X"))
+                .map(|hex| u64::from_str_radix(hex, 16))
+                .unwrap_or_else(|| raw.parse());
+            parsed.unwrap_or_else(|_| panic!("{SEED_ENV_VAR}={raw} is not a u64"))
+        }
+    }
+}
+
+/// Types the runner knows how to shrink toward a minimal counterexample.
+///
+/// The default is "atomic" (no candidates). Collections shrink by
+/// bisection: first dropping large chunks, then smaller ones. Shrinking
+/// never invents values, so generator invariants on the *elements* are
+/// preserved; only lengths change.
+pub trait Shrink: Sized {
+    /// Strictly simpler variants of `self`, most aggressive first.
+    fn shrink_candidates(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_atomic_shrink {
+    ($($t:ty),*) => {$(impl Shrink for $t {})*};
+}
+impl_atomic_shrink!(u8, u16, u32, u64, usize, i32, i64, bool, f64, char, String);
+
+impl<T: Clone> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        // Bisection: drop progressively smaller chunks at every offset.
+        let mut chunk = n.div_ceil(2);
+        loop {
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                let mut candidate = Vec::with_capacity(n - (end - start));
+                candidate.extend_from_slice(&self[..start]);
+                candidate.extend_from_slice(&self[end..]);
+                out.push(candidate);
+                start += chunk;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_shrink {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink_candidates() {
+                        let mut tuple = self.clone();
+                        tuple.$idx = candidate;
+                        out.push(tuple);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+impl_tuple_shrink!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// One property: a named, seeded, case-counted check.
+pub struct Prop {
+    name: &'static str,
+    cases: u32,
+    seed: u64,
+}
+
+impl Prop {
+    /// A property with the default case count (64) and the process
+    /// master seed (see [`master_seed`]).
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cases: 64,
+            seed: master_seed(),
+        }
+    }
+
+    /// Overrides the number of cases.
+    pub fn cases(mut self, cases: u32) -> Self {
+        assert!(cases > 0, "a property needs at least one case");
+        self.cases = cases;
+        self
+    }
+
+    /// Overrides the seed (rarely needed; prefer `IBP_TEST_SEED`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the property: `gen` draws an input per case, `prop` checks
+    /// it, returning `Err(reason)` on falsification (see the
+    /// [`prop_assert!`](crate::prop_assert) family).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the minimal (shrunk) counterexample, the failing case
+    /// index and the reproduction seed if any case fails.
+    pub fn run<T, G, P>(&self, gen: G, prop: P)
+    where
+        T: Shrink + Debug + Clone,
+        G: Fn(&mut TestRng) -> T,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        for case in 0..self.cases {
+            // Per-case seed derived from the master seed, so case k is
+            // reproducible in isolation and inserting cases earlier in
+            // the run does not shift later inputs.
+            let mut sub = self.seed ^ u64::from(case).wrapping_mul(0xA076_1D64_78BD_642F);
+            let case_seed = splitmix64(&mut sub);
+            let input = gen(&mut TestRng::new(case_seed));
+            if let Err(first_error) = prop(&input) {
+                let (minimal, error) = shrink_to_minimal(input, first_error, &prop);
+                panic!(
+                    "property '{}' falsified at case {}/{} \
+                     (master seed {:#x})\n  minimal input: {:?}\n  error: {}\n  \
+                     rerun with {}={:#x}",
+                    self.name, case, self.cases, self.seed, minimal, error, SEED_ENV_VAR, self.seed,
+                );
+            }
+        }
+    }
+}
+
+/// Greedy shrink loop: repeatedly take the first still-failing candidate
+/// until no candidate fails. Bounded so a pathological `Shrink` cannot
+/// hang the suite.
+fn shrink_to_minimal<T, P>(mut input: T, mut error: String, prop: &P) -> (T, String)
+where
+    T: Shrink + Clone,
+    P: Fn(&T) -> Result<(), String>,
+{
+    const MAX_SHRINK_STEPS: usize = 10_000;
+    let mut steps = 0;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for candidate in input.shrink_candidates() {
+            steps += 1;
+            if let Err(e) = prop(&candidate) {
+                input = candidate;
+                error = e;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (input, error)
+}
+
+/// Asserts a condition inside a property, returning `Err` (not
+/// panicking) so the runner can shrink the input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            #[allow(unused_mut)]
+            let mut context = String::new();
+            $(context = format!(" ({})", format!($($fmt)+));)?
+            return Err(format!("{l:?} != {r:?}{context}"));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            #[allow(unused_mut)]
+            let mut context = String::new();
+            $(context = format!(" ({})", format!($($fmt)+));)?
+            return Err(format!("{l:?} == {r:?} but should differ{context}"));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0u32);
+        Prop::new("trivial").cases(10).run(
+            |rng| rng.gen_range(0u32..100),
+            |_| {
+                count.set(count.get() + 1);
+                Ok(())
+            },
+        );
+        assert_eq!(count.get(), 10);
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed() {
+        let result = std::panic::catch_unwind(|| {
+            Prop::new("always_false")
+                .cases(3)
+                .run(|rng| rng.next_u64(), |_| Err("nope".to_string()));
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_false"), "{msg}");
+        assert!(msg.contains(SEED_ENV_VAR), "{msg}");
+        assert!(msg.contains("nope"), "{msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_finds_a_minimal_counterexample() {
+        // Property: no vector contains a value >= 900. The generator
+        // plants plenty; shrinking must cut the witness down to one
+        // element.
+        let result = std::panic::catch_unwind(|| {
+            Prop::new("shrinks").cases(20).run(
+                |rng| rng.vec_with(50..100, |r| r.gen_range(0u32..1000)),
+                |v: &Vec<u32>| {
+                    prop_assert!(v.iter().all(|&x| x < 900), "big value present");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        // "minimal input: [x]" — exactly one element survives.
+        let list = msg.split("minimal input: ").nth(1).unwrap();
+        let list = list.split(']').next().unwrap();
+        assert_eq!(list.matches(',').count(), 0, "not minimal: {msg}");
+    }
+
+    #[test]
+    fn tuple_components_shrink_independently() {
+        let result = std::panic::catch_unwind(|| {
+            Prop::new("tuple").cases(5).run(
+                |rng| {
+                    (
+                        rng.gen_range(0u32..10),
+                        rng.vec_with(20..30, |r| r.next_u64()),
+                    )
+                },
+                |(_, v)| {
+                    prop_assert!(v.is_empty(), "vec non-empty");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        // The minimal vec still falsifying "must be empty" has exactly
+        // one element.
+        let list = msg.split('[').nth(1).unwrap().split(']').next().unwrap();
+        assert_eq!(list.matches(',').count(), 0, "not minimal: {msg}");
+    }
+
+    #[test]
+    fn default_seed_is_deterministic() {
+        // Two runs of the same generator sequence agree (no env var set
+        // in CI by default; if one is set, determinism per-seed still
+        // holds, which is what we check).
+        let seed = master_seed();
+        let a: Vec<u64> = {
+            let mut r = TestRng::new(seed);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::new(seed);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shrink_candidates_for_small_vecs() {
+        let v = vec![1, 2, 3, 4];
+        let cands = v.shrink_candidates();
+        assert!(cands.contains(&vec![3, 4])); // first half dropped
+        assert!(cands.contains(&vec![1, 2])); // second half dropped
+        assert!(cands.contains(&vec![2, 3, 4])); // single element dropped
+        assert!(Vec::<u32>::new().shrink_candidates().is_empty());
+    }
+}

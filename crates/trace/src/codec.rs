@@ -8,7 +8,6 @@
 
 use crate::event::BranchEvent;
 use crate::source::Trace;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ibp_isa::{Addr, BranchClass, IndirectOp, TargetArity};
 use std::error::Error;
 use std::fmt;
@@ -108,19 +107,53 @@ fn class_from_code(code: u8) -> Result<BranchClass, DecodeTraceError> {
 /// assert_eq!(trace, back);
 /// # Ok::<(), ibp_trace::codec::DecodeTraceError>(())
 /// ```
-pub fn encode(trace: &Trace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(14 + trace.len() * 22);
-    buf.put_slice(MAGIC);
-    buf.put_u16(VERSION);
-    buf.put_u64(trace.len() as u64);
+pub fn encode(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(14 + trace.len() * 22);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_be_bytes());
+    buf.extend_from_slice(&(trace.len() as u64).to_be_bytes());
     for e in trace.iter() {
-        buf.put_u64(e.pc().raw());
-        buf.put_u8(class_code(e.class()));
-        buf.put_u8(e.taken() as u8);
-        buf.put_u64(e.target().raw());
-        buf.put_u32(e.inline_instrs());
+        buf.extend_from_slice(&e.pc().raw().to_be_bytes());
+        buf.push(class_code(e.class()));
+        buf.push(e.taken() as u8);
+        buf.extend_from_slice(&e.target().raw().to_be_bytes());
+        buf.extend_from_slice(&e.inline_instrs().to_be_bytes());
     }
-    buf.freeze()
+    buf
+}
+
+/// Big-endian cursor over an input slice (the byte order `bytes` used,
+/// kept so existing trace files stay readable).
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let (head, rest) = self.buf.split_at(N);
+        self.buf = rest;
+        head.try_into().expect("split_at returned N bytes")
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take::<1>()[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take())
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take())
+    }
 }
 
 /// Decodes a binary trace.
@@ -129,12 +162,12 @@ pub fn encode(trace: &Trace) -> Bytes {
 ///
 /// Returns a [`DecodeTraceError`] for bad magic, unsupported version,
 /// truncation or unknown class codes.
-pub fn decode(mut buf: &[u8]) -> Result<Trace, DecodeTraceError> {
+pub fn decode(buf: &[u8]) -> Result<Trace, DecodeTraceError> {
+    let mut buf = Reader { buf };
     if buf.remaining() < 14 {
         return Err(DecodeTraceError::BadMagic);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
+    let magic: [u8; 4] = buf.take();
     if &magic != MAGIC {
         return Err(DecodeTraceError::BadMagic);
     }

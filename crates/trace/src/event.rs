@@ -1,7 +1,6 @@
 //! Dynamic branch events.
 
 use ibp_isa::{Addr, BranchClass};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One executed branch in a trace.
@@ -23,7 +22,7 @@ use std::fmt;
 /// assert!(e.class().is_predicted_indirect());
 /// assert!(e.taken());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BranchEvent {
     pc: Addr,
     class: BranchClass,

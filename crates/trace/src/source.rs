@@ -2,7 +2,6 @@
 
 use crate::event::BranchEvent;
 use crate::stats::TraceStats;
-use serde::{Deserialize, Serialize};
 
 /// An in-memory branch trace.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// .collect();
 /// assert_eq!(trace.predicted_indirect().count(), 1); // the ret is excluded
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<BranchEvent>,
 }

@@ -3,7 +3,6 @@
 
 use crate::event::BranchEvent;
 use ibp_isa::{Addr, BranchClass, IndirectOp, TargetArity};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Per-static-branch dynamic target profile.
@@ -12,7 +11,7 @@ use std::collections::HashMap;
 /// (Cascade) and BTB accuracy: a branch is *monomorphic* when it mostly
 /// accesses one target, and has *low entropy* when its target changes
 /// infrequently. Both are computable from this profile.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BranchProfile {
     executions: u64,
     target_counts: HashMap<u64, u64>,
@@ -95,7 +94,7 @@ impl BranchProfile {
 
 /// Dynamic characteristics of a whole trace (the paper's Table 1, plus the
 /// breakdowns used in §5).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceStats {
     total_instructions: u64,
     total_branches: u64,

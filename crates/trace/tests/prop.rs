@@ -2,101 +2,126 @@
 //! and statistics agree with naive recomputation.
 
 use ibp_isa::{Addr, BranchClass};
+use ibp_testkit::{prop_assert_eq, prop_assert_ne, Prop, TestRng};
 use ibp_trace::{codec, BranchEvent, Trace, TraceStats};
-use proptest::prelude::*;
 
-/// Strategy producing one well-formed branch event.
-fn event_strategy() -> impl Strategy<Value = BranchEvent> {
-    let class = prop_oneof![
-        Just(BranchClass::ConditionalDirect),
-        Just(BranchClass::UnconditionalDirect { is_call: false }),
-        Just(BranchClass::UnconditionalDirect { is_call: true }),
-        Just(BranchClass::mt_jmp()),
-        Just(BranchClass::mt_jsr()),
-        Just(BranchClass::st_jsr()),
-        Just(BranchClass::ret()),
-    ];
-    (
+/// Draws one well-formed branch event.
+fn gen_event(rng: &mut TestRng) -> BranchEvent {
+    let class = match rng.gen_range(0u32..7) {
+        0 => BranchClass::ConditionalDirect,
+        1 => BranchClass::UnconditionalDirect { is_call: false },
+        2 => BranchClass::UnconditionalDirect { is_call: true },
+        3 => BranchClass::mt_jmp(),
+        4 => BranchClass::mt_jsr(),
+        5 => BranchClass::st_jsr(),
+        _ => BranchClass::ret(),
+    };
+    let pc = rng.gen_range(1u64..u64::MAX / 8);
+    let target = rng.gen_range(1u64..u64::MAX / 8);
+    let taken = if class.is_conditional() {
+        rng.gen_bool(0.5)
+    } else {
+        true
+    };
+    let inline = rng.gen_range(0u32..1000);
+    BranchEvent::new(
+        Addr::new(pc * 4),
         class,
-        1u64..u64::MAX / 8,
-        1u64..u64::MAX / 8,
-        any::<bool>(),
-        0u32..1000,
+        taken,
+        Addr::new(target * 4),
+        inline,
     )
-        .prop_map(|(class, pc, target, taken_raw, inline)| {
-            let taken = if class.is_conditional() {
-                taken_raw
-            } else {
-                true
-            };
-            BranchEvent::new(
-                Addr::new(pc * 4),
-                class,
-                taken,
-                Addr::new(target * 4),
-                inline,
-            )
-        })
 }
 
-proptest! {
-    /// Binary codec round-trips any well-formed trace exactly.
-    #[test]
-    fn binary_codec_round_trips(events in proptest::collection::vec(event_strategy(), 0..200)) {
-        let trace = Trace::from_events(events);
-        let bytes = codec::encode(&trace);
-        let back = codec::decode(&bytes).expect("decode our own encoding");
-        prop_assert_eq!(trace, back);
-    }
+/// Binary codec round-trips any well-formed trace exactly.
+#[test]
+fn binary_codec_round_trips() {
+    Prop::new("binary_codec_round_trips").run(
+        |rng| rng.vec_with(0..200, gen_event),
+        |events| {
+            let trace = Trace::from_events(events.clone());
+            let bytes = codec::encode(&trace);
+            let back = codec::decode(&bytes).expect("decode our own encoding");
+            prop_assert_eq!(&trace, &back);
+            Ok(())
+        },
+    );
+}
 
-    /// Text codec round-trips any well-formed trace exactly.
-    #[test]
-    fn text_codec_round_trips(events in proptest::collection::vec(event_strategy(), 0..100)) {
-        let trace = Trace::from_events(events);
-        let text = codec::to_text(&trace);
-        let back = codec::from_text(&text).expect("parse our own text");
-        prop_assert_eq!(trace, back);
-    }
+/// Text codec round-trips any well-formed trace exactly.
+#[test]
+fn text_codec_round_trips() {
+    Prop::new("text_codec_round_trips").run(
+        |rng| rng.vec_with(0..100, gen_event),
+        |events| {
+            let trace = Trace::from_events(events.clone());
+            let text = codec::to_text(&trace);
+            let back = codec::from_text(&text).expect("parse our own text");
+            prop_assert_eq!(&trace, &back);
+            Ok(())
+        },
+    );
+}
 
-    /// Truncating an encoded trace never round-trips to the original and
-    /// never panics.
-    #[test]
-    fn truncation_is_detected(
-        events in proptest::collection::vec(event_strategy(), 1..50),
-        cut in 1usize..21,
-    ) {
-        let trace = Trace::from_events(events);
-        let bytes = codec::encode(&trace);
-        let cut = cut.min(bytes.len());
-        if let Ok(t) = codec::decode(&bytes[..bytes.len() - cut]) {
-            prop_assert_ne!(t, trace);
-        } // an Err means the truncation was detected, which is also good
-    }
+/// Truncating an encoded trace never round-trips to the original and
+/// never panics.
+#[test]
+fn truncation_is_detected() {
+    Prop::new("truncation_is_detected").run(
+        |rng| (rng.vec_with(1..50, gen_event), rng.gen_range(1usize..21)),
+        |(events, cut)| {
+            if events.is_empty() {
+                return Ok(()); // shrinking can empty the trace
+            }
+            let trace = Trace::from_events(events.clone());
+            let bytes = codec::encode(&trace);
+            let cut = (*cut).min(bytes.len());
+            if let Ok(t) = codec::decode(&bytes[..bytes.len() - cut]) {
+                prop_assert_ne!(&t, &trace);
+            } // an Err means the truncation was detected, which is also good
+            Ok(())
+        },
+    );
+}
 
-    /// Statistics class counts always sum to the trace length, and the
-    /// instruction total matches a naive sum.
-    #[test]
-    fn stats_totals_consistent(events in proptest::collection::vec(event_strategy(), 0..200)) {
-        let stats = TraceStats::from_events(&events);
-        let class_sum = stats.conditional()
-            + stats.unconditional_direct()
-            + stats.returns()
-            + stats.st_indirect()
-            + stats.mt_jmp()
-            + stats.mt_jsr();
-        prop_assert_eq!(class_sum, events.len() as u64);
-        prop_assert_eq!(stats.total_branches(), events.len() as u64);
-        let naive: u64 = events.iter().map(|e| e.instruction_count()).sum();
-        prop_assert_eq!(stats.total_instructions(), naive);
-    }
+/// Statistics class counts always sum to the trace length, and the
+/// instruction total matches a naive sum.
+#[test]
+fn stats_totals_consistent() {
+    Prop::new("stats_totals_consistent").run(
+        |rng| rng.vec_with(0..200, gen_event),
+        |events| {
+            let stats = TraceStats::from_events(events);
+            let class_sum = stats.conditional()
+                + stats.unconditional_direct()
+                + stats.returns()
+                + stats.st_indirect()
+                + stats.mt_jmp()
+                + stats.mt_jsr();
+            prop_assert_eq!(class_sum, events.len() as u64);
+            prop_assert_eq!(stats.total_branches(), events.len() as u64);
+            let naive: u64 = events.iter().map(|e| e.instruction_count()).sum();
+            prop_assert_eq!(stats.total_instructions(), naive);
+            Ok(())
+        },
+    );
+}
 
-    /// Per-branch profiles cover exactly the MT indirect events.
-    #[test]
-    fn profiles_cover_mt_events(events in proptest::collection::vec(event_strategy(), 0..200)) {
-        let trace = Trace::from_events(events);
-        let stats = trace.stats();
-        let profile_execs: u64 = stats.profiles().map(|(_, p)| p.executions()).sum();
-        prop_assert_eq!(profile_execs, stats.mt_indirect());
-        prop_assert_eq!(stats.mt_indirect(), trace.predicted_indirect().count() as u64);
-    }
+/// Per-branch profiles cover exactly the MT indirect events.
+#[test]
+fn profiles_cover_mt_events() {
+    Prop::new("profiles_cover_mt_events").run(
+        |rng| rng.vec_with(0..200, gen_event),
+        |events| {
+            let trace = Trace::from_events(events.clone());
+            let stats = trace.stats();
+            let profile_execs: u64 = stats.profiles().map(|(_, p)| p.executions()).sum();
+            prop_assert_eq!(profile_execs, stats.mt_indirect());
+            prop_assert_eq!(
+                stats.mt_indirect(),
+                trace.predicted_indirect().count() as u64
+            );
+            Ok(())
+        },
+    );
 }

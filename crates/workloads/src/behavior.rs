@@ -1,9 +1,7 @@
 //! Site behaviours: how an indirect branch chooses its next target, and
 //! how conditional branches choose their direction.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use ibp_testkit::TestRng;
 use std::collections::VecDeque;
 
 /// How a multiple-target indirect site selects its next target.
@@ -11,7 +9,7 @@ use std::collections::VecDeque;
 /// Each variant models a source-code idiom the paper's benchmarks contain
 /// and maps onto a correlation type a predictor family can (or cannot)
 /// exploit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SiteBehavior {
     /// The site walks its target list cyclically — an interpreter loop
     /// over a fixed program, or iteration over a heterogeneous container.
@@ -170,14 +168,14 @@ impl SiteState {
     }
 
     /// Chooses the index of the next target (0..fanout).
-    pub fn next_index(&mut self, ctx: &GenContext, rng: &mut StdRng) -> usize {
+    pub fn next_index(&mut self, ctx: &GenContext, rng: &mut TestRng) -> usize {
         match self.behavior {
             SiteBehavior::Cyclic => {
                 self.cursor = (self.cursor + 1) % self.fanout;
                 self.cursor
             }
             SiteBehavior::PathPib { depth, noise_pct } => {
-                if noise_pct > 0 && rng.gen_range(0..100) < noise_pct as u32 {
+                if noise_pct > 0 && rng.gen_range(0u32..100) < noise_pct as u32 {
                     rng.gen_range(0..self.fanout)
                 } else {
                     let key = ctx.pib_key(depth) ^ self.salt;
@@ -210,7 +208,7 @@ impl SiteState {
 }
 
 /// How a conditional branch site chooses its direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CondPattern {
     /// `taken_run` taken outcomes, then one not-taken — a counted loop.
     Loop {
@@ -247,13 +245,13 @@ impl CondState {
     }
 
     /// The next direction.
-    pub fn next_taken(&mut self, rng: &mut StdRng) -> bool {
+    pub fn next_taken(&mut self, rng: &mut TestRng) -> bool {
         let step = self.step;
         self.step = self.step.wrapping_add(1);
         match self.pattern {
             CondPattern::Loop { taken_run } => step % (taken_run + 1) != taken_run,
             CondPattern::Alternating => step.is_multiple_of(2),
-            CondPattern::Biased { percent } => rng.gen_range(0..100) < percent,
+            CondPattern::Biased { percent } => rng.gen_range(0u32..100) < percent,
             CondPattern::Periodic { pattern, len } => (pattern >> (step % len.max(1))) & 1 == 1,
         }
     }
@@ -262,10 +260,8 @@ impl CondState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> TestRng {
+        TestRng::new(42)
     }
 
     #[test]

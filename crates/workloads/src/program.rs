@@ -12,9 +12,7 @@
 use crate::behavior::{CondPattern, CondState, GenContext, SiteBehavior, SiteState};
 use ibp_isa::Addr;
 use ibp_trace::{ProgramTracer, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ibp_testkit::TestRng;
 
 /// Base address of the synthetic text segment.
 const TEXT_BASE: u64 = 0x1_2000_0000;
@@ -22,7 +20,7 @@ const TEXT_BASE: u64 = 0x1_2000_0000;
 const FUNC_STRIDE: u64 = 0x400;
 
 /// Specification of one MT indirect site population.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MtSiteSpec {
     /// Number of sites with this shape.
     pub count: usize,
@@ -52,7 +50,7 @@ pub struct MtSiteSpec {
 }
 
 /// Full specification of a benchmark run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkSpec {
     /// Benchmark name (e.g. `"gs"`).
     pub name: String,
@@ -138,7 +136,7 @@ pub struct ProgramModel {
     mt_sites: Vec<MtSite>,
     cond_sites: Vec<(Addr, Addr, CondState)>,
     st_sites: Vec<(Addr, Addr)>,
-    rng: StdRng,
+    rng: TestRng,
 }
 
 impl ProgramModel {
@@ -151,7 +149,7 @@ impl ProgramModel {
     /// constant. The jitter is drawn from a seed-derived PRNG, so layout
     /// stays deterministic per spec.
     pub fn new(spec: BenchmarkSpec) -> Self {
-        let mut layout_rng = StdRng::seed_from_u64(spec.seed ^ 0x4C41_594F_5554);
+        let mut layout_rng = TestRng::new(spec.seed ^ 0x4C41_594F_5554);
         let mut next_func = TEXT_BASE;
         let mut alloc_func = |n: usize| -> Vec<Addr> {
             let out = (0..n)
@@ -199,7 +197,7 @@ impl ProgramModel {
                 (pcs[0], pcs[1])
             })
             .collect();
-        let rng = StdRng::seed_from_u64(spec.seed);
+        let rng = TestRng::new(spec.seed);
         Self {
             spec,
             mt_sites,

@@ -32,10 +32,9 @@
 use crate::behavior::{CondPattern, SiteBehavior};
 use crate::program::{BenchmarkSpec, MtSiteSpec};
 use ibp_trace::Trace;
-use serde::{Deserialize, Serialize};
 
 /// One run of the evaluation suite (a benchmark + input pair).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkRun {
     spec: BenchmarkSpec,
 }

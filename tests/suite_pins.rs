@@ -13,21 +13,21 @@ use ibp_workloads::paper_suite;
 
 /// (label, events, MT indirect, FNV-1a over (pc, target, inline)).
 const PINS: &[(&str, usize, u64, u64)] = &[
-    ("perl.std", 10240, 6000, 0xa37b99ecccb2a980),
-    ("gcc.cc1", 7980, 4830, 0xe845724f95b78b86),
-    ("edg.exp", 8470, 3570, 0xa681a2ab0fbc48b9),
-    ("edg.inp", 6440, 2730, 0xb58f45dc1d9729b3),
-    ("edg.pic", 8400, 3570, 0x2570c3f9e74371bd),
-    ("eqn.std", 5600, 2720, 0x4d051db8494a6b35),
-    ("eon.chair", 12480, 6560, 0x266055d3b164a325),
-    ("gs.pht", 7350, 4410, 0x15a06333e6157df5),
-    ("gs.tig", 8330, 5110, 0xfa9e6687b7ca9a6b),
-    ("photon.dia", 2800, 1280, 0x08dafbdbb49c0344),
-    ("ixx.lay", 7910, 4620, 0x82947c8072c04583),
-    ("ixx.wid", 8260, 4900, 0xa14c7c196f7f7d30),
-    ("troff.lle", 5840, 2320, 0x8901c5ac013e53ad),
-    ("troff.gcc", 6320, 2640, 0x8898a98f31d2d9cd),
-    ("troff.ped", 5200, 2000, 0x8c8614c63f93f29c),
+    ("perl.std", 10240, 6000, 0x1c537a77572f6c2e),
+    ("gcc.cc1", 7980, 4830, 0x312f1d48df22b8f1),
+    ("edg.exp", 8470, 3570, 0xb806facb43fcb77a),
+    ("edg.inp", 6440, 2730, 0xb0e6ef90068c2f18),
+    ("edg.pic", 8400, 3570, 0xda5659e165c275a9),
+    ("eqn.std", 5600, 2720, 0xb5e3319b1ebad83c),
+    ("eon.chair", 12480, 6560, 0xfd5937e7b747fa35),
+    ("gs.pht", 7350, 4410, 0x06ee6417f079c1c9),
+    ("gs.tig", 8330, 5110, 0x19386903b9ab5147),
+    ("photon.dia", 2800, 1280, 0x7b455d6b27a32302),
+    ("ixx.lay", 7910, 4620, 0x970c3955d65cdaad),
+    ("ixx.wid", 8260, 4900, 0xaff33575b355fb33),
+    ("troff.lle", 5840, 2320, 0xe2bacb36185b4ddc),
+    ("troff.gcc", 6320, 2640, 0x3a196fec7137ce86),
+    ("troff.ped", 5200, 2000, 0x78385368b631462d),
 ];
 
 #[test]
