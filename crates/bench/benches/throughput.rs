@@ -1,0 +1,195 @@
+//! Bench: end-to-end sweep-engine throughput on the Figure 6 grid, in
+//! branch events per second — the regression gate for the hot loop.
+//!
+//! Two grid evaluations are compared on identical work:
+//!
+//! * `grid_fig6_legacy` — a faithful replica of the pre-engine runner:
+//!   one thread per benchmark run, `Box<dyn IndirectPredictor>` dispatch
+//!   on every predict/update/observe, and `std::collections::HashMap`
+//!   (SipHash) per-branch accounting;
+//! * `grid_fig6_engine` — the current path: the `ibp-exec` work-stealing
+//!   pool over the (run × predictor) product with the monomorphized,
+//!   FxHash-backed simulation loop.
+//!
+//! Both include trace generation, exactly as their production
+//! counterparts do, and process the same event count, so the two
+//! `per_sec` figures are directly comparable on any machine. Two
+//! single-trace measurements (`simulate_dyn`, `simulate_mono`) isolate
+//! the per-event loop from scheduling.
+//!
+//! Env knobs: `IBP_BENCH_SCALE` (trace scale, default 0.02) on top of the
+//! harness's `IBP_BENCH_REPS` / `IBP_BENCH_MIN_MS` / `IBP_BENCH_DIR`.
+//!
+//! `--check <path>` validates an emitted `BENCH_throughput.json` (well-
+//! formed, every result carries a positive throughput) and exits without
+//! benchmarking — the `scripts/verify.sh` gate.
+
+use ibp_bench::{Harness, Throughput};
+use ibp_exec::Executor;
+use ibp_sim::{compare_grid_with, simulate, Json, PredictorKind};
+use ibp_workloads::{paper_suite, BenchmarkRun};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+/// The pre-engine per-trace loop: identical protocol to
+/// `ibp_sim::simulate`, but accounting in a SipHash `HashMap` as the seed
+/// runner did. Returns the totals so the work cannot be optimized away.
+fn simulate_legacy(
+    predictor: &mut dyn ibp_predictors::IndirectPredictor,
+    trace: &ibp_trace::Trace,
+) -> (u64, u64) {
+    let mut predictions = 0u64;
+    let mut mispredictions = 0u64;
+    let mut per_branch: HashMap<u64, (u64, u64)> = HashMap::new();
+    for event in trace.iter() {
+        if event.class().is_predicted_indirect() {
+            let predicted = predictor.predict(event.pc());
+            let actual = event.target();
+            predictions += 1;
+            let entry = per_branch.entry(event.pc().raw()).or_insert((0, 0));
+            entry.0 += 1;
+            if predicted != Some(actual) {
+                mispredictions += 1;
+                entry.1 += 1;
+            }
+            predictor.update(event.pc(), actual);
+        }
+        predictor.observe(event);
+    }
+    black_box(per_branch);
+    (predictions, mispredictions)
+}
+
+/// The pre-engine grid: one thread per benchmark run, dyn dispatch.
+fn grid_legacy(kinds: &[PredictorKind], runs: &[BenchmarkRun], scale: f64) -> (u64, u64) {
+    let totals: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = runs
+            .iter()
+            .map(|run| {
+                scope.spawn(move || {
+                    let trace = run.generate_scaled(scale);
+                    let mut p = 0u64;
+                    let mut m = 0u64;
+                    for &kind in kinds {
+                        let (dp, dm) = simulate_legacy(kind.build().as_mut(), &trace);
+                        p += dp;
+                        m += dm;
+                    }
+                    (p, m)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation threads do not panic"))
+            .collect()
+    });
+    totals.into_iter().fold((0, 0), |(p, m), (dp, dm)| (p + dp, m + dm))
+}
+
+/// Validates an emitted report: parses, checks the bench name, and
+/// requires every result to carry a positive derived throughput.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = Json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e:?}"))?;
+    if value.get("bench").and_then(Json::as_str) != Some("throughput") {
+        return Err(format!("{path}: `bench` field is not \"throughput\""));
+    }
+    let results = value
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing `results` array"))?;
+    if results.is_empty() {
+        return Err(format!("{path}: empty `results` array"));
+    }
+    for r in results {
+        let id = r
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: result without an `id`"))?;
+        let per_sec = r
+            .get("per_sec")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: `{id}` has no `per_sec`"))?;
+        if !(per_sec > 0.0 && per_sec.is_finite()) {
+            return Err(format!("{path}: `{id}` per_sec = {per_sec} is not positive"));
+        }
+    }
+    println!("{path}: OK ({} results)", results.len());
+    Ok(())
+}
+
+fn main() {
+    // Cargo invokes bench targets with a trailing `--bench`; drop it.
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--bench").collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("usage: throughput --check <BENCH_throughput.json>");
+            std::process::exit(2);
+        });
+        if let Err(msg) = check(path) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let scale: f64 = std::env::var("IBP_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+    let kinds = PredictorKind::figure6();
+    let runs = paper_suite();
+    let exec = Executor::from_env();
+    let suite_events: u64 = runs
+        .iter()
+        .map(|r| r.generate_scaled(scale).len() as u64)
+        .sum();
+    let grid_events = Throughput::Elements(suite_events * kinds.len() as u64);
+
+    let mut h = Harness::new("throughput");
+    h.bench_throughput("grid_fig6_legacy", grid_events, || {
+        black_box(grid_legacy(&kinds, &runs, scale))
+    });
+    h.bench_throughput("grid_fig6_engine", grid_events, || {
+        black_box(compare_grid_with(&exec, &kinds, &runs, scale))
+    });
+
+    // Per-kind split over the whole suite (opt-in: IBP_BENCH_PER_KIND=1) —
+    // shows which predictor family dominates the grid time.
+    if std::env::var("IBP_BENCH_PER_KIND").is_ok() {
+        let traces: Vec<_> = runs.iter().map(|r| r.generate_scaled(scale)).collect();
+        let trace_refs: Vec<&ibp_trace::Trace> = traces.iter().collect();
+        for &kind in &kinds {
+            let id = format!("kind_{}", kind.label());
+            h.bench_throughput(&id, Throughput::Elements(suite_events), || {
+                black_box(kind.simulate_batch(2048, &trace_refs))
+            });
+        }
+    }
+
+    // Workload generation alone, to separate it from simulation time.
+    h.bench_throughput("trace_gen", Throughput::Elements(suite_events), || {
+        runs.iter()
+            .map(|r| black_box(r.generate_scaled(scale)).len())
+            .sum::<usize>()
+    });
+
+    // Hot-loop isolation: one predictor, one trace, no scheduling.
+    let trace = runs[0].generate_scaled(scale);
+    let events = Throughput::Elements(trace.len() as u64);
+    h.bench_throughput("simulate_dyn", events, || {
+        let mut p = PredictorKind::PpmHyb.build();
+        black_box(simulate(p.as_mut(), &trace))
+    });
+    h.bench_throughput("simulate_mono", events, || {
+        black_box(PredictorKind::PpmHyb.simulate_trace(&trace))
+    });
+
+    let speedup = {
+        let r = h.results();
+        r[0].median_ns / r[1].median_ns
+    };
+    println!("grid speedup engine/legacy: {speedup:.2}x");
+    h.finish();
+}

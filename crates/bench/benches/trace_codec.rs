@@ -11,9 +11,7 @@ fn main() {
     let encoded = codec::encode(&trace);
     let events = Throughput::Elements(trace.len() as u64);
     let mut h = Harness::new("trace_codec");
-    h.bench_throughput("encode_binary", events, || {
-        codec::encode(black_box(&trace))
-    });
+    h.bench_throughput("encode_binary", events, || codec::encode(black_box(&trace)));
     h.bench_throughput("decode_binary", events, || {
         codec::decode(black_box(&encoded)).expect("valid trace")
     });

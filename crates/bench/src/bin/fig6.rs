@@ -7,7 +7,9 @@
 //!
 //! Usage: `cargo run --release -p ibp-bench --bin fig6 [scale] [--csv]`
 //! (scale defaults to 1.0 = the full trace size; `--csv` emits the grid
-//! as CSV on stdout instead of the formatted tables).
+//! as CSV on stdout instead of the formatted tables). The grid runs on
+//! the work-stealing pool; `IBP_THREADS=n` pins the pool size, and the
+//! output is bit-identical for every `n`.
 
 use ibp_sim::report::{grid_to_csv, paper_vs_measured, render_grid};
 use ibp_sim::{compare_grid, PredictorKind};

@@ -8,21 +8,64 @@
 //! depends most on fresh history.
 //!
 //! Usage: `cargo run --release -p ibp-bench --bin sweep_delay [scale]`
+//! (`IBP_THREADS=n` pins the pool size.)
 
+use ibp_exec::Executor;
 use ibp_sim::report::pct;
 use ibp_sim::{simulate, DelayedPredictor, PredictorKind};
 use ibp_trace::Trace;
 use ibp_workloads::paper_suite;
+
+/// Mean ratio per (kind, delay) cell, the whole (kind × delay × trace)
+/// product scheduled on the pool as one task per simulation. Product-order
+/// commit keeps the means deterministic for any worker count.
+fn sweep(
+    exec: &Executor,
+    kinds: &[PredictorKind],
+    delays: &[usize],
+    traces: &[Trace],
+    speculative: bool,
+) -> Vec<f64> {
+    let ratios = exec.run(kinds.len() * delays.len() * traces.len(), |i| {
+        let kind = kinds[i / (delays.len() * traces.len())];
+        let d = delays[(i / traces.len()) % delays.len()];
+        let trace = &traces[i % traces.len()];
+        let mut p = if speculative {
+            DelayedPredictor::with_speculative_history(kind.build(), d)
+        } else {
+            DelayedPredictor::new(kind.build(), d)
+        };
+        simulate(&mut p, trace).misprediction_ratio()
+    });
+    ratios
+        .chunks(traces.len())
+        .map(|chunk| chunk.iter().sum::<f64>() / traces.len() as f64)
+        .collect()
+}
+
+fn print_table(kinds: &[PredictorKind], delays: &[usize], prefix: &str, means: &[f64]) {
+    print!("{:<16}", "predictor");
+    for d in delays {
+        print!("{:>9}", format!("{prefix}={d}"));
+    }
+    println!();
+    for (row, kind) in kinds.iter().enumerate() {
+        print!("{:<16}", kind.label());
+        for col in 0..delays.len() {
+            print!("{:>9}", pct(means[row * delays.len() + col]));
+        }
+        println!();
+    }
+}
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .map(|s| s.parse().expect("scale must be a number"))
         .unwrap_or(0.15);
-    let traces: Vec<Trace> = paper_suite()
-        .iter()
-        .map(|r| r.generate_scaled(scale))
-        .collect();
+    let exec = Executor::from_env();
+    let suite = paper_suite();
+    let traces: Vec<Trace> = exec.map(&suite, |_, r| r.generate_scaled(scale));
     let delays = [0usize, 1, 2, 4, 8, 16];
     let kinds = [
         PredictorKind::Btb2b,
@@ -33,41 +76,17 @@ fn main() {
         PredictorKind::IttageLite,
     ];
     println!("=== A6: mean misprediction vs update delay, in branch events (scale {scale}) ===\n");
-    print!("{:<16}", "predictor");
-    for d in delays {
-        print!("{:>9}", format!("d={d}"));
-    }
-    println!();
-    for kind in kinds {
-        print!("{:<16}", kind.label());
-        for &d in &delays {
-            let mut sum = 0.0;
-            for trace in &traces {
-                let mut p = DelayedPredictor::new(kind.build(), d);
-                sum += simulate(&mut p, trace).misprediction_ratio();
-            }
-            print!("{:>9}", pct(sum / traces.len() as f64));
-        }
-        println!();
-    }
+    let means = sweep(&exec, &kinds, &delays, &traces, false);
+    print_table(&kinds, &delays, "d", &means);
+
     println!("\n--- same sweep with speculative history (only table writes delayed) ---");
-    print!("{:<16}", "predictor");
-    for d in delays {
-        print!("{:>9}", format!("sd={d}"));
-    }
-    println!();
-    for kind in [PredictorKind::TcPib, PredictorKind::PpmHyb, PredictorKind::IttageLite] {
-        print!("{:<16}", kind.label());
-        for &d in &delays {
-            let mut sum = 0.0;
-            for trace in &traces {
-                let mut p = DelayedPredictor::with_speculative_history(kind.build(), d);
-                sum += simulate(&mut p, trace).misprediction_ratio();
-            }
-            print!("{:>9}", pct(sum / traces.len() as f64));
-        }
-        println!();
-    }
+    let spec_kinds = [
+        PredictorKind::TcPib,
+        PredictorKind::PpmHyb,
+        PredictorKind::IttageLite,
+    ];
+    let means = sweep(&exec, &spec_kinds, &delays, &traces, true);
+    print_table(&spec_kinds, &delays, "sd", &means);
     println!(
         "\ntwo lessons: (1) without speculative history maintenance even a\n\
          1-branch update lag destroys every path-based predictor — the\n\

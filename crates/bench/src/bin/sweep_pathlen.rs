@@ -6,7 +6,9 @@
 //! the dual-path hybrid.
 //!
 //! Usage: `cargo run --release -p ibp-bench --bin sweep_pathlen [scale]`
+//! (`IBP_THREADS=n` pins the pool size.)
 
+use ibp_exec::Executor;
 use ibp_predictors::{
     DualPath, DualPathConfig, GApConfig, GApPredictor, HistoryGroup, IndirectPredictor,
     TargetCache, TargetCacheConfig,
@@ -16,13 +18,16 @@ use ibp_sim::simulate;
 use ibp_trace::Trace;
 use ibp_workloads::paper_suite;
 
-fn mean_ratio(build: impl Fn() -> Box<dyn IndirectPredictor>, traces: &[Trace]) -> f64 {
-    let mut sum = 0.0;
-    for trace in traces {
+fn mean_ratio(
+    exec: &Executor,
+    build: impl Fn() -> Box<dyn IndirectPredictor> + Sync,
+    traces: &[Trace],
+) -> f64 {
+    let ratios = exec.map(traces, |_, trace| {
         let mut p = build();
-        sum += simulate(p.as_mut(), trace).misprediction_ratio();
-    }
-    sum / traces.len() as f64
+        simulate(p.as_mut(), trace).misprediction_ratio()
+    });
+    ratios.iter().sum::<f64>() / traces.len() as f64
 }
 
 fn main() {
@@ -30,16 +35,16 @@ fn main() {
         .nth(1)
         .map(|s| s.parse().expect("scale must be a number"))
         .unwrap_or(0.25);
-    let traces: Vec<Trace> = paper_suite()
-        .iter()
-        .map(|r| r.generate_scaled(scale))
-        .collect();
+    let exec = Executor::from_env();
+    let suite = paper_suite();
+    let traces: Vec<Trace> = exec.map(&suite, |_, r| r.generate_scaled(scale));
 
     println!("=== A4: path-length sensitivity (means over the suite, scale {scale}) ===\n");
 
     println!("GAp: path length (2 bits per target)");
     for p in [1usize, 2, 3, 5, 8, 10] {
         let r = mean_ratio(
+            &exec,
             || {
                 Box::new(GApPredictor::new(GApConfig {
                     path_length: p,
@@ -54,6 +59,7 @@ fn main() {
     println!("\nTarget Cache (PIB): history bits");
     for bits in [5u32, 8, 11, 14, 18] {
         let r = mean_ratio(
+            &exec,
             || {
                 Box::new(TargetCache::new(TargetCacheConfig {
                     history_bits: bits,
@@ -68,6 +74,7 @@ fn main() {
     println!("\nDual-path: (short, long) path lengths");
     for (ps, pl) in [(1usize, 2usize), (1, 3), (2, 4), (3, 6), (4, 8), (6, 12)] {
         let r = mean_ratio(
+            &exec,
             || {
                 Box::new(DualPath::new(DualPathConfig {
                     path_lengths: (ps, pl),
@@ -87,6 +94,7 @@ fn main() {
         HistoryGroup::CallsReturns,
     ] {
         let r = mean_ratio(
+            &exec,
             || {
                 Box::new(TargetCache::new(TargetCacheConfig {
                     group,

@@ -7,9 +7,11 @@
 //! where each scheme is capacity-limited versus resolution-limited.
 //!
 //! Usage: `cargo run --release -p ibp-bench --bin sweep_size [scale]`
+//! (`IBP_THREADS=n` pins the pool size.)
 
+use ibp_exec::Executor;
 use ibp_sim::report::pct;
-use ibp_sim::{simulate, PredictorKind};
+use ibp_sim::PredictorKind;
 use ibp_workloads::paper_suite;
 
 fn main() {
@@ -20,7 +22,19 @@ fn main() {
     let budgets = [512usize, 1024, 2048, 4096, 8192];
     let kinds = PredictorKind::figure6();
     let runs = paper_suite();
-    let traces: Vec<_> = runs.iter().map(|r| r.generate_scaled(scale)).collect();
+    let exec = Executor::from_env();
+    let traces = exec.map(&runs, |_, r| r.generate_scaled(scale));
+
+    // The whole (kind × budget × trace) product goes on the pool as
+    // fine-grained tasks; results come back in product order, so the
+    // aggregation below is deterministic for any worker count.
+    let ratios = exec.run(kinds.len() * budgets.len() * traces.len(), |i| {
+        let kind = kinds[i / (budgets.len() * traces.len())];
+        let budget = budgets[(i / traces.len()) % budgets.len()];
+        let trace = &traces[i % traces.len()];
+        kind.simulate_with_entries(budget, trace)
+            .misprediction_ratio()
+    });
 
     println!("=== A1: mean misprediction ratio vs total table budget (scale {scale}) ===\n");
     print!("{:<14}", "predictor");
@@ -28,14 +42,11 @@ fn main() {
         print!("{b:>9}");
     }
     println!();
-    for kind in kinds {
+    let mut next = ratios.iter();
+    for kind in &kinds {
         print!("{:<14}", kind.label());
-        for &budget in &budgets {
-            let mut sum = 0.0;
-            for trace in &traces {
-                let mut p = kind.build_with_entries(budget);
-                sum += simulate(p.as_mut(), trace).misprediction_ratio();
-            }
+        for _ in &budgets {
+            let sum: f64 = next.by_ref().take(traces.len()).sum();
             print!("{:>9}", pct(sum / traces.len() as f64));
         }
         println!();

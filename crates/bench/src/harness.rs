@@ -166,10 +166,7 @@ impl Harness {
                 ];
                 if let Some(t) = m.throughput {
                     fields.push((t.label(), Json::UInt(t.count())));
-                    fields.push((
-                        "per_sec",
-                        Json::Num(t.count() as f64 * 1e9 / m.median_ns),
-                    ));
+                    fields.push(("per_sec", Json::Num(t.count() as f64 * 1e9 / m.median_ns)));
                 }
                 Json::obj(fields)
             })
@@ -310,10 +307,7 @@ mod tests {
         h.bench_throughput("x", Throughput::Elements(10), || 0u8);
         let json = h.to_json();
         let value = Json::parse(&json).expect("harness emits valid JSON");
-        assert_eq!(
-            value.get("bench").and_then(Json::as_str),
-            Some("selftest")
-        );
+        assert_eq!(value.get("bench").and_then(Json::as_str), Some("selftest"));
         let results = value.get("results").and_then(Json::as_arr).unwrap();
         assert_eq!(results.len(), 1);
         let r = &results[0];
@@ -333,7 +327,9 @@ mod tests {
         let mut h = quick();
         let fast = h.bench("fast", || 0u64).median_ns;
         let slow = h
-            .bench("slow", || (0..512u64).fold(0u64, |a, b| a ^ b.wrapping_mul(31)))
+            .bench("slow", || {
+                (0..512u64).fold(0u64, |a, b| a ^ b.wrapping_mul(31))
+            })
             .median_ns;
         assert!(slow > fast, "slow {slow} vs fast {fast}");
     }

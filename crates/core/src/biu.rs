@@ -13,9 +13,9 @@
 //! can be measured.
 
 use crate::selector::{CorrelationSelector, SelectorKind};
+use ibp_exec::FastMap;
 use ibp_hw::HardwareCost;
 use ibp_isa::{Addr, TargetArity};
-use std::collections::HashMap;
 
 /// Per-branch BIU state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +24,23 @@ pub struct BiuEntry {
     selector: CorrelationSelector,
     last_use: u64,
 }
+
+/// One storage slot: the entry plus the branch it currently belongs to,
+/// so a caller holding a stale [`BiuId`] (its branch was evicted and the
+/// slot reused) can be detected.
+#[derive(Debug, Clone, Copy)]
+struct BiuSlot {
+    pc: u64,
+    entry: BiuEntry,
+}
+
+/// A stable handle to a BIU entry, valid until the branch is evicted.
+///
+/// Returned by [`Biu::entry_id`] so the predict→update window of one
+/// event needs a single hash probe: predict resolves the id, update
+/// revalidates it with [`Biu::entry_at`] in O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BiuId(u32);
 
 impl BiuEntry {
     /// The recorded ST/MT annotation.
@@ -56,7 +73,13 @@ impl BiuEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Biu {
-    entries: HashMap<u64, BiuEntry>,
+    /// pc → slot id. The separate id layer gives callers a stable handle
+    /// so one event costs one probe, not one per predict and one per
+    /// update.
+    index: FastMap<u64, u32>,
+    slots: Vec<BiuSlot>,
+    /// Slot ids freed by eviction, reused before growing `slots`.
+    free: Vec<u32>,
     capacity: Option<usize>,
     kind: SelectorKind,
     clock: u64,
@@ -66,7 +89,9 @@ impl Biu {
     /// An infinite BIU, as assumed by the paper's evaluation.
     pub fn unbounded(kind: SelectorKind) -> Self {
         Self {
-            entries: HashMap::new(),
+            index: FastMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             capacity: None,
             kind,
             clock: 0,
@@ -82,7 +107,9 @@ impl Biu {
     pub fn bounded(capacity: usize, kind: SelectorKind) -> Self {
         assert!(capacity > 0, "BIU capacity must be non-zero");
         Self {
-            entries: HashMap::with_capacity(capacity),
+            index: FastMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
             capacity: Some(capacity),
             kind,
             clock: 0,
@@ -96,12 +123,12 @@ impl Biu {
 
     /// Number of branches currently tracked.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// True when no branch is tracked.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Looks up (or allocates) the entry for the branch at `pc`,
@@ -112,28 +139,82 @@ impl Biu {
     /// re-allocated branch therefore loses its learned correlation type,
     /// which is exactly the sensitivity the paper flags.
     pub fn entry(&mut self, pc: Addr, arity: TargetArity) -> &mut BiuEntry {
+        let id = self.entry_id(pc, arity);
+        &mut self.slots[id.0 as usize].entry
+    }
+
+    /// Like [`Biu::entry`], but returns a stable handle instead of the
+    /// entry itself. The handle stays valid until the branch is evicted;
+    /// [`Biu::entry_at`] revalidates it without a hash probe.
+    pub fn entry_id(&mut self, pc: Addr, arity: TargetArity) -> BiuId {
         self.clock += 1;
         let clock = self.clock;
+        if let Some(&id) = self.index.get(&pc.raw()) {
+            self.slots[id as usize].entry.last_use = clock;
+            return BiuId(id);
+        }
         if let Some(cap) = self.capacity {
-            if !self.entries.contains_key(&pc.raw()) && self.entries.len() >= cap {
-                if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_use) {
-                    self.entries.remove(&victim);
+            if self.index.len() >= cap {
+                // Clock values are unique, so the LRU victim is unique and
+                // eviction is deterministic whatever the map's slot order.
+                if let Some((&victim, &vid)) = self
+                    .index
+                    .iter()
+                    .min_by_key(|(_, &id)| self.slots[id as usize].entry.last_use)
+                {
+                    self.index.remove(&victim);
+                    self.free.push(vid);
                 }
             }
         }
-        let kind = self.kind;
-        let e = self.entries.entry(pc.raw()).or_insert_with(|| BiuEntry {
-            arity,
-            selector: CorrelationSelector::new(kind),
-            last_use: clock,
-        });
-        e.last_use = clock;
-        e
+        let slot = BiuSlot {
+            pc: pc.raw(),
+            entry: BiuEntry {
+                arity,
+                selector: CorrelationSelector::new(self.kind),
+                last_use: clock,
+            },
+        };
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = slot;
+                id
+            }
+            None => {
+                self.slots.push(slot);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.insert(pc.raw(), id);
+        BiuId(id)
+    }
+
+    /// Reads the entry behind a handle that is known to be current (i.e.
+    /// just returned by [`Biu::entry_id`]). For handles held across other
+    /// BIU operations use [`Biu::entry_at`], which revalidates.
+    pub fn entry_ref(&self, id: BiuId) -> &BiuEntry {
+        &self.slots[id.0 as usize].entry
+    }
+
+    /// Resolves a handle from [`Biu::entry_id`], refreshing the entry's
+    /// LRU position. Returns `None` when the slot no longer belongs to
+    /// `pc` (the branch was evicted and the slot reused) — the caller
+    /// falls back to a fresh [`Biu::entry`] probe.
+    pub fn entry_at(&mut self, id: BiuId, pc: Addr) -> Option<&mut BiuEntry> {
+        let slot = self.slots.get_mut(id.0 as usize)?;
+        if slot.pc != pc.raw() {
+            return None;
+        }
+        self.clock += 1;
+        slot.entry.last_use = self.clock;
+        Some(&mut slot.entry)
     }
 
     /// Reads the entry for `pc` without allocating.
     pub fn get(&self, pc: Addr) -> Option<&BiuEntry> {
-        self.entries.get(&pc.raw())
+        self.index
+            .get(&pc.raw())
+            .map(|&id| &self.slots[id as usize].entry)
     }
 
     /// Hardware cost. An unbounded BIU reports its current footprint; a
@@ -142,13 +223,15 @@ impl Biu {
     /// with the front-end and not charged here, matching the paper, which
     /// charges no BIU cost against the 2K-entry budget).
     pub fn cost(&self) -> HardwareCost {
-        let n = self.capacity.unwrap_or(self.entries.len()) as u64;
+        let n = self.capacity.unwrap_or(self.index.len()) as u64;
         HardwareCost::new(0, n * 4)
     }
 
     /// Forgets all branches.
     pub fn reset(&mut self) {
-        self.entries.clear();
+        self.index.clear();
+        self.slots.clear();
+        self.free.clear();
         self.clock = 0;
     }
 }

@@ -14,8 +14,8 @@
 //!   low `j` bits of a global history register, with valid bits and update
 //!   exclusion.
 
+use ibp_exec::FastMap;
 use ibp_hw::counter::Saturating2Bit;
-use std::collections::HashMap;
 
 /// A graph-based Markov predictor of order `m` over a bit stream.
 ///
@@ -37,7 +37,7 @@ use std::collections::HashMap;
 pub struct BitMarkovModel {
     order: u32,
     /// pattern -> [count of next==0, count of next==1]
-    transitions: HashMap<u64, [u64; 2]>,
+    transitions: FastMap<u64, [u64; 2]>,
     history: u64,
     seen: u32,
 }
@@ -52,7 +52,7 @@ impl BitMarkovModel {
         assert!(order <= 63, "order must fit in a u64 pattern");
         Self {
             order,
-            transitions: HashMap::new(),
+            transitions: FastMap::new(),
             history: 0,
             seen: 0,
         }
@@ -94,7 +94,7 @@ impl BitMarkovModel {
     /// current state, then shifts the bit into the history.
     pub fn train(&mut self, bit: bool) {
         if let Some(state) = self.state() {
-            let e = self.transitions.entry(state).or_insert([0, 0]);
+            let e = self.transitions.or_insert_with(state, || [0, 0]);
             e[bit as usize] += 1;
         }
         self.shift(bit);

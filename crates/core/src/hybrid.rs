@@ -8,9 +8,9 @@
 //! PIB-biased state machine of Figure 5. Because the BIU must be consulted
 //! before the Markov tables, this is a *2-level* predictor.
 
-use crate::biu::Biu;
+use crate::biu::{Biu, BiuId};
 use crate::selector::{CorrelationMode, SelectorKind};
-use crate::stack::{MarkovStack, StackConfig, StackLookup};
+use crate::stack::{IndexScheme, MarkovStack, StackConfig, StackLookup};
 use crate::stats::OrderStats;
 use ibp_hw::{HardwareCost, PathHistory};
 use ibp_isa::{Addr, TargetArity};
@@ -35,11 +35,19 @@ pub struct PpmHybrid {
     stack: MarkovStack,
     pb_phr: PathHistory,
     pib_phr: PathHistory,
+    /// Incrementally-maintained SFSXS signatures of the two PHRs
+    /// (invariant: `pb_sig == sfsxs.signature(&pb_phr)`, same for PIB).
+    /// Advancing them O(1) per recorded target replaces the O(depth)
+    /// signature scan on every prediction.
+    pb_sig: u64,
+    pib_sig: u64,
     biu: Biu,
     stats: OrderStats,
     selector_kind: SelectorKind,
-    /// Lookup state captured at fetch: (pc, mode used, stack lookup).
-    last: Option<(Addr, CorrelationMode, StackLookup)>,
+    /// Lookup state captured at fetch: (pc, BIU handle, stack lookup).
+    /// Carrying the handle lets `update` reach the selector without a
+    /// second hash probe; `Biu::entry_at` revalidates it.
+    last: Option<(Addr, BiuId, StackLookup)>,
     /// Count of predictions made in each mode, for analysis.
     pb_predictions: u64,
     pib_predictions: u64,
@@ -55,6 +63,8 @@ impl PpmHybrid {
             stack: MarkovStack::new(config),
             pb_phr,
             pib_phr,
+            pb_sig: 0,
+            pib_sig: 0,
             biu: Biu::unbounded(selector_kind),
             stats: OrderStats::new(max_order),
             selector_kind,
@@ -107,6 +117,18 @@ impl PpmHybrid {
             CorrelationMode::Pib => &self.pib_phr,
         }
     }
+
+    fn lookup_for(&self, mode: CorrelationMode, pc: Addr) -> StackLookup {
+        if self.stack.config().index_scheme == IndexScheme::Sfsxs {
+            let sig = match mode {
+                CorrelationMode::Pb => self.pb_sig,
+                CorrelationMode::Pib => self.pib_sig,
+            };
+            self.stack.lookup_with_signature(sig, pc)
+        } else {
+            self.stack.lookup(self.phr_for(mode), pc)
+        }
+    }
 }
 
 impl IndirectPredictor for PpmHybrid {
@@ -118,23 +140,27 @@ impl IndirectPredictor for PpmHybrid {
     }
 
     fn predict(&mut self, pc: Addr) -> Option<Addr> {
-        let mode = self.biu.entry(pc, TargetArity::Multiple).selector().mode();
+        // Single BIU probe per event: resolve the entry to a stable
+        // handle here and hand the handle to `update`, which revalidates
+        // it in O(1) instead of hashing the pc again.
+        let id = self.biu.entry_id(pc, TargetArity::Multiple);
+        let mode = self.biu.entry_ref(id).selector().mode();
         match mode {
             CorrelationMode::Pb => self.pb_predictions += 1,
             CorrelationMode::Pib => self.pib_predictions += 1,
         }
-        let lookup = self.stack.lookup(self.phr_for(mode), pc);
+        let lookup = self.lookup_for(mode, pc);
         let prediction = lookup.prediction();
-        self.last = Some((pc, mode, lookup));
+        self.last = Some((pc, id, lookup));
         prediction
     }
 
     fn update(&mut self, pc: Addr, actual: Addr) {
-        let (mode, lookup) = match self.last.take() {
-            Some((last_pc, mode, lookup)) if last_pc == pc => (mode, lookup),
+        let (id, lookup) = match self.last.take() {
+            Some((last_pc, id, lookup)) if last_pc == pc => (Some(id), lookup),
             _ => {
                 let mode = self.biu.entry(pc, TargetArity::Multiple).selector().mode();
-                (mode, self.stack.lookup(self.phr_for(mode), pc))
+                (None, self.lookup_for(mode, pc))
             }
         };
         let correct = lookup.prediction() == Some(actual);
@@ -142,21 +168,32 @@ impl IndirectPredictor for PpmHybrid {
         self.stack.update(&lookup, pc, actual);
         // "The PHRs and the correlation selection counters are always
         // updated" (§4): the counter sees every outcome.
-        self.biu
-            .entry(pc, TargetArity::Multiple)
-            .selector_mut()
-            .record(correct);
-        let _ = mode;
+        match id.and_then(|id| self.biu.entry_at(id, pc)) {
+            Some(e) => e.selector_mut().record(correct),
+            None => self
+                .biu
+                .entry(pc, TargetArity::Multiple)
+                .selector_mut()
+                .record(correct),
+        }
     }
 
     fn observe(&mut self, event: &BranchEvent) {
         // PB records the targets of every committed branch; PIB those of
-        // indirect branches only.
+        // indirect branches only. Each push also advances the cached
+        // SFSXS signature of the register it touches.
+        let sfsxs = *self.stack.sfsxs();
         if HistoryGroup::AllBranches.accepts(event) {
-            self.pb_phr.push(event.target().path_bits());
+            let target = event.target().path_bits();
+            let expired = self.pb_phr.slot(self.pb_phr.depth() - 1);
+            self.pb_sig = sfsxs.advance(self.pb_sig, expired, target);
+            self.pb_phr.push(target);
         }
         if HistoryGroup::AllIndirect.accepts(event) {
-            self.pib_phr.push(event.target().path_bits());
+            let target = event.target().path_bits();
+            let expired = self.pib_phr.slot(self.pib_phr.depth() - 1);
+            self.pib_sig = sfsxs.advance(self.pib_sig, expired, target);
+            self.pib_phr.push(target);
         }
     }
 
@@ -171,6 +208,8 @@ impl IndirectPredictor for PpmHybrid {
         self.stack.clear();
         self.pb_phr.clear();
         self.pib_phr.clear();
+        self.pb_sig = 0;
+        self.pib_sig = 0;
         self.biu.reset();
         self.stats.reset();
         self.last = None;
@@ -246,6 +285,31 @@ mod tests {
         let entry = p.biu().get(site).unwrap();
         assert_eq!(entry.selector().mode(), CorrelationMode::Pb);
         assert!(p.mode_usage().0 > 0, "PB history never used");
+    }
+
+    #[test]
+    fn incremental_signatures_track_the_history_registers() {
+        // The cached signatures must equal a full SFSXS recomputation of
+        // the PHRs after any mix of conditional and indirect events —
+        // otherwise the signature-based lookup diverges from the paper's.
+        let mut p = PpmHybrid::paper();
+        let mut x = 0x853C49E6748FEA9Bu64;
+        for i in 0..500u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = Addr::new((x >> 40) << 2);
+            let target = Addr::new((x >> 20) & 0xFFFFC);
+            match i % 3 {
+                0 => p.observe(&BranchEvent::cond_taken(pc, target)),
+                _ => {
+                    let _ = p.predict(pc);
+                    p.update(pc, target);
+                    p.observe(&BranchEvent::indirect_jmp(pc, target));
+                }
+            }
+            let sfsxs = p.stack.sfsxs();
+            assert_eq!(p.pb_sig, sfsxs.signature(&p.pb_phr), "PB at event {i}");
+            assert_eq!(p.pib_sig, sfsxs.signature(&p.pib_phr), "PIB at event {i}");
+        }
     }
 
     #[test]

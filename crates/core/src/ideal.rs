@@ -10,17 +10,18 @@
 //! orders, and update exclusion. The ablation bench compares it against
 //! the hardware PPM to quantify what the approximations cost.
 
+use ibp_exec::FastMap;
 use ibp_hw::HardwareCost;
 use ibp_isa::Addr;
 use ibp_predictors::{HistoryGroup, IndirectPredictor};
 use ibp_trace::BranchEvent;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One PPM order: exact contexts mapped to target frequency counts.
 #[derive(Debug, Clone, Default)]
 struct IdealOrder {
     /// (pc, exact last-j targets) -> target -> count
-    contexts: HashMap<(u64, Vec<u64>), HashMap<u64, u64>>,
+    contexts: FastMap<(u64, Vec<u64>), FastMap<u64, u64>>,
 }
 
 impl IdealOrder {
@@ -33,12 +34,7 @@ impl IdealOrder {
     }
 
     fn train(&mut self, key: (u64, Vec<u64>), actual: Addr) {
-        *self
-            .contexts
-            .entry(key)
-            .or_default()
-            .entry(actual.raw())
-            .or_insert(0) += 1;
+        *self.contexts.or_default(key).or_default(actual.raw()) += 1;
     }
 }
 

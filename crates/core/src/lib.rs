@@ -47,7 +47,7 @@ pub mod selector;
 pub mod stack;
 pub mod stats;
 
-pub use biu::{Biu, BiuEntry};
+pub use biu::{Biu, BiuEntry, BiuId};
 pub use filtered::FilteredPpm;
 pub use hybrid::PpmHybrid;
 pub use ideal::IdealPpm;

@@ -51,6 +51,7 @@ pub struct MarkovTable {
     order: u32,
     entries: Vec<Option<MarkovEntry>>,
     tagged: bool,
+    index_mod: ibp_hw::FastMod,
 }
 
 impl MarkovTable {
@@ -66,6 +67,7 @@ impl MarkovTable {
             order,
             entries: vec![None; len],
             tagged,
+            index_mod: ibp_hw::FastMod::new(len as u64),
         }
     }
 
@@ -100,8 +102,9 @@ impl MarkovTable {
         self.tagged
     }
 
+    #[inline]
     fn slot(&self, index: u64) -> usize {
-        (index % self.entries.len() as u64) as usize
+        self.index_mod.rem(index) as usize
     }
 
     /// Looks up `index`; returns the stored target if the entry is valid
@@ -113,6 +116,7 @@ impl MarkovTable {
     /// Looks up `index`, returning the whole entry (target, counter, tag)
     /// if valid and tag-matching — used by the confidence extension to
     /// inspect the 2-bit counter.
+    #[inline]
     pub fn lookup_entry(&self, index: u64, tag: u64) -> Option<&MarkovEntry> {
         let e = self.entries[self.slot(index)].as_ref()?;
         if self.tagged && e.tag != tag {

@@ -127,11 +127,23 @@ impl StackConfig {
     }
 }
 
+/// Upper bound on `max_order` — lets [`StackLookup`] keep its per-order
+/// indices inline instead of heap-allocating a `Vec` on every lookup
+/// (one lookup per predicted branch event: this is the hot loop).
+pub const MAX_STACK_ORDER: usize = 16;
+
 /// The outcome of probing all Markov orders for one prediction.
+///
+/// Kept small deliberately: one lookup is produced per predicted branch
+/// event and stored across the predict→update window, so its size shows
+/// up as copy traffic in the hot loop. An order-`j` index has at most `j`
+/// bits under every scheme (`j <= MAX_STACK_ORDER <= 16`), so `u16`
+/// slots are exact.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StackLookup {
-    /// Per-order table indices (index 0 = order 1).
-    indices: Vec<u64>,
+    /// Per-order table indices (index 0 = order 1); slots at and beyond
+    /// the stack's `max_order` stay zero.
+    indices: [u16; MAX_STACK_ORDER],
     /// The order that provided the prediction, if any.
     provider: Option<u32>,
     /// The predicted target, if any.
@@ -156,7 +168,7 @@ impl StackLookup {
     ///
     /// Panics if `order` is out of range.
     pub fn index(&self, order: u32) -> u64 {
-        self.indices[(order - 1) as usize]
+        self.indices[(order - 1) as usize] as u64
     }
 }
 
@@ -195,6 +207,10 @@ impl MarkovStack {
     /// signature must supply `max_order` index bits).
     pub fn new(config: StackConfig) -> Self {
         assert!(config.max_order > 0, "stack needs at least order 1");
+        assert!(
+            config.max_order as usize <= MAX_STACK_ORDER,
+            "max order exceeds MAX_STACK_ORDER"
+        );
         let sfsxs = Sfsxs::new(config.select_bits, config.fold_bits, config.max_order);
         assert!(
             config.max_order <= sfsxs.signature_bits(),
@@ -238,22 +254,11 @@ impl MarkovStack {
 
     /// Probes every order for the current path history and branch.
     pub fn lookup(&self, phr: &PathHistory, pc: Addr) -> StackLookup {
-        let tag = Self::tag_of(pc);
-        let indices: Vec<u64> = match self.config.index_scheme {
-            IndexScheme::Sfsxs => {
-                let signature = self.sfsxs.signature(phr);
-                (1..=self.config.max_order)
-                    .map(|j| {
-                        if self.config.low_bit_select {
-                            self.sfsxs.index_low(signature, j)
-                        } else {
-                            self.sfsxs.index(signature, j)
-                        }
-                    })
-                    .collect()
-            }
-            IndexScheme::GsharePerOrder => (1..=self.config.max_order)
-                .map(|j| {
+        match self.config.index_scheme {
+            IndexScheme::Sfsxs => self.lookup_with_signature(self.sfsxs.signature(phr), pc),
+            IndexScheme::GsharePerOrder => {
+                let mut indices = [0u16; MAX_STACK_ORDER];
+                for j in 1..=self.config.max_order {
                     // Pack the youngest j partial targets, XOR-fold the
                     // whole window down to j bits (so every recorded
                     // target influences the index, as the baselines'
@@ -263,17 +268,49 @@ impl MarkovStack {
                     let history = phr.packed_bits(bits);
                     let folded64 = (history as u64) ^ ((history >> 64) as u64);
                     let folded = ibp_hw::fold_xor(folded64, 64, j);
-                    ibp_hw::gshare(pc.raw() >> 2, folded as u128, j)
-                })
-                .collect(),
-        };
-        // Highest order with a valid (tag-matching) entry provides. With
-        // a confidence threshold, weak entries are skipped and the highest
-        // valid entry only serves as a fallback.
+                    indices[(j - 1) as usize] =
+                        ibp_hw::gshare(pc.raw() >> 2, folded as u128, j) as u16;
+                }
+                self.select(indices, pc)
+            }
+        }
+    }
+
+    /// Probes every order from a precomputed SFSXS signature.
+    ///
+    /// This is the hot-loop entry point: a caller that maintains the
+    /// signature incrementally (see [`ibp_hw::hash::Sfsxs::advance`])
+    /// skips the per-prediction history scan entirely. Only meaningful
+    /// under [`IndexScheme::Sfsxs`]; the signature must equal
+    /// `sfsxs().signature(phr)` for the history the caller tracks.
+    pub fn lookup_with_signature(&self, signature: u64, pc: Addr) -> StackLookup {
+        let mut indices = [0u16; MAX_STACK_ORDER];
+        for j in 1..=self.config.max_order {
+            indices[(j - 1) as usize] = if self.config.low_bit_select {
+                self.sfsxs.index_low(signature, j) as u16
+            } else {
+                self.sfsxs.index(signature, j) as u16
+            };
+        }
+        self.select(indices, pc)
+    }
+
+    /// The shared index generator.
+    pub fn sfsxs(&self) -> &Sfsxs {
+        &self.sfsxs
+    }
+
+    /// Resolves a set of per-order indices to the providing entry.
+    /// Highest order with a valid (tag-matching) entry provides. With
+    /// a confidence threshold, weak entries are skipped and the highest
+    /// valid entry only serves as a fallback.
+    fn select(&self, indices: [u16; MAX_STACK_ORDER], pc: Addr) -> StackLookup {
+        let tag = Self::tag_of(pc);
         let mut fallback: Option<(u32, Addr)> = None;
-        for order in (1..=self.config.max_order).rev() {
-            let idx = indices[(order - 1) as usize];
-            if let Some(entry) = self.table(order).lookup_entry(idx, tag) {
+        for (i, table) in self.tables.iter().enumerate().rev() {
+            let order = i as u32 + 1;
+            let idx = indices[i] as u64;
+            if let Some(entry) = table.lookup_entry(idx, tag) {
                 if entry.counter() >= self.config.confidence_threshold {
                     return StackLookup {
                         indices,
@@ -319,9 +356,12 @@ impl MarkovStack {
                 }
             }
         };
-        for order in start..=end {
-            let idx = lookup.indices[(order - 1) as usize];
-            self.tables[(order - 1) as usize].update(idx, tag, actual);
+        let lo = (start - 1) as usize;
+        for (table, &idx) in self.tables[lo..end as usize]
+            .iter_mut()
+            .zip(&lookup.indices[lo..end as usize])
+        {
+            table.update(idx as u64, tag, actual);
         }
     }
 

@@ -1,0 +1,481 @@
+//! An open-addressing, FxHash-style hash map for simulation hot loops.
+//!
+//! `std::collections::HashMap` pays SipHash on every operation — a
+//! defensible default for adversarial inputs, but pure overhead for a
+//! simulator hashing its own branch addresses millions of times per run.
+//! [`FastMap`] replaces it on the per-event paths: multiply-rotate word
+//! mixing ([`FastHash`]), linear probing over a power-of-two slot array,
+//! and backward-shift deletion (no tombstones).
+//!
+//! Semantics match `HashMap` for every operation the workspace uses;
+//! `crates/exec/tests/prop.rs` pins the equivalence under randomized
+//! insert/lookup/remove interleavings. Iteration order is *unspecified*
+//! (it follows the probe layout) — exactly like `HashMap`, all consumers
+//! either sort or reduce order-insensitively.
+
+use std::fmt;
+
+/// The Fx multiply constant (the 64-bit extension of Firefox's hash).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Folds one word into a running Fx hash state.
+#[inline]
+pub fn fx_step(state: u64, word: u64) -> u64 {
+    (state.rotate_left(5) ^ word).wrapping_mul(FX_SEED)
+}
+
+/// Finalizes a hash state (SplitMix64 finalizer — full avalanche, so the
+/// low bits used for power-of-two masking depend on every input bit).
+#[inline]
+fn finalize(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Cheap, deterministic, per-process-stable hashing for [`FastMap`] keys.
+///
+/// Implementations must satisfy the usual contract: equal values hash
+/// equally. Determinism across processes is load-bearing here — pinned
+/// fingerprints and golden reports must not depend on a per-process seed.
+pub trait FastHash {
+    /// The 64-bit hash of `self`.
+    fn fast_hash(&self) -> u64;
+}
+
+impl FastHash for u64 {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        finalize(*self)
+    }
+}
+
+impl FastHash for u32 {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        finalize(u64::from(*self))
+    }
+}
+
+impl FastHash for usize {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        finalize(*self as u64)
+    }
+}
+
+impl<A: FastHash, B: FastHash> FastHash for (A, B) {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        finalize(fx_step(self.0.fast_hash(), self.1.fast_hash()))
+    }
+}
+
+impl FastHash for Vec<u64> {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        // Length participates so [0] and [0, 0] differ.
+        let mut h = fx_step(FX_SEED, self.len() as u64);
+        for &w in self {
+            h = fx_step(h, w);
+        }
+        finalize(h)
+    }
+}
+
+/// An open-addressing hash map keyed by [`FastHash`].
+///
+/// # Examples
+///
+/// ```
+/// use ibp_exec::FastMap;
+///
+/// let mut counts: FastMap<u64, u64> = FastMap::new();
+/// *counts.or_insert_with(0x40, || 0) += 1;
+/// assert_eq!(counts.get(&0x40), Some(&1));
+/// ```
+#[derive(Clone)]
+pub struct FastMap<K, V> {
+    /// Power-of-two slot array (empty maps own no allocation).
+    slots: Vec<Option<(K, V)>>,
+    len: usize,
+}
+
+impl<K, V> Default for FastMap<K, V> {
+    fn default() -> Self {
+        Self {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<K: FastHash + Eq, V> FastMap<K, V> {
+    /// An empty map (no allocation until the first insert).
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty map pre-sized for `capacity` entries without rehashing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut m = Self::new();
+        if capacity > 0 {
+            m.slots = new_slots(slots_for(capacity));
+        }
+        m
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entry is present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.find(key)
+            .map(|i| &self.slots[i].as_ref().expect("found slot is occupied").1)
+    }
+
+    /// Mutable access to the value for `key`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.find(key)
+            .map(|i| &mut self.slots[i].as_mut().expect("found slot is occupied").1)
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.reserve_one();
+        match self.probe(&key) {
+            Probe::Occupied(i) => {
+                let slot = self.slots[i].as_mut().expect("occupied probe");
+                Some(std::mem::replace(&mut slot.1, value))
+            }
+            Probe::Vacant(i) => {
+                self.slots[i] = Some((key, value));
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// The `HashMap::entry(k).or_insert_with(default)` idiom: returns a
+    /// mutable reference to the value for `key`, inserting
+    /// `default()` first if the key is absent.
+    #[inline]
+    pub fn or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        self.reserve_one();
+        let i = match self.probe(&key) {
+            Probe::Occupied(i) => i,
+            Probe::Vacant(i) => {
+                self.slots[i] = Some((key, default()));
+                self.len += 1;
+                i
+            }
+        };
+        &mut self.slots[i].as_mut().expect("occupied slot").1
+    }
+
+    /// Like [`FastMap::or_insert_with`] with `V::default()`.
+    pub fn or_default(&mut self, key: K) -> &mut V
+    where
+        V: Default,
+    {
+        self.or_insert_with(key, V::default)
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    ///
+    /// Uses backward-shift deletion, so lookups never traverse tombstones.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let mut hole = self.find(key)?;
+        let (_, value) = self.slots[hole].take().expect("found slot is occupied");
+        self.len -= 1;
+        // Backward shift: slide every displaced follower of the probe
+        // chain into the hole until an empty slot (or a slot already at
+        // its ideal position) ends the chain.
+        let mask = self.slots.len() - 1;
+        let mut i = (hole + 1) & mask;
+        while let Some((k, _)) = &self.slots[i] {
+            let ideal = (k.fast_hash() as usize) & mask;
+            // `i` may shift into `hole` only if its ideal slot does not
+            // sit strictly between the hole and i (cyclically).
+            let between = ((i.wrapping_sub(ideal)) & mask) < ((i.wrapping_sub(hole)) & mask);
+            if !between {
+                self.slots[hole] = self.slots[i].take();
+                hole = i;
+            }
+            i = (i + 1) & mask;
+        }
+        Some(value)
+    }
+
+    /// Removes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        for s in self.slots.iter_mut() {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    /// Iterates over `(&key, &value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|(k, v)| (k, v)))
+    }
+
+    /// Iterates over values in unspecified order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Iterates over keys in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Index of the slot holding `key`, if present.
+    #[inline]
+    fn find(&self, key: &K) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (key.fast_hash() as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((k, _)) if k == key => return Some(i),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Probes for `key`, yielding its slot or the first vacant slot of
+    /// its chain. Requires at least one vacant slot (guaranteed by
+    /// [`FastMap::reserve_one`]'s load-factor bound).
+    #[inline]
+    fn probe(&self, key: &K) -> Probe {
+        let mask = self.slots.len() - 1;
+        let mut i = (key.fast_hash() as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                None => return Probe::Vacant(i),
+                Some((k, _)) if k == key => return Probe::Occupied(i),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Grows the slot array if inserting one more entry would push the
+    /// load factor past 7/8.
+    fn reserve_one(&mut self) {
+        if self.slots.is_empty() {
+            self.slots = new_slots(8);
+            return;
+        }
+        if (self.len + 1) * 8 > self.slots.len() * 7 {
+            let bigger = new_slots(self.slots.len() * 2);
+            let old = std::mem::replace(&mut self.slots, bigger);
+            let mask = self.slots.len() - 1;
+            for (k, v) in old.into_iter().flatten() {
+                let mut i = (k.fast_hash() as usize) & mask;
+                while self.slots[i].is_some() {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = Some((k, v));
+            }
+        }
+    }
+}
+
+enum Probe {
+    Occupied(usize),
+    Vacant(usize),
+}
+
+fn slots_for(capacity: usize) -> usize {
+    // Smallest power of two keeping `capacity` entries under 7/8 load.
+    (capacity * 8 / 7 + 1).next_power_of_two().max(8)
+}
+
+fn new_slots<K, V>(n: usize) -> Vec<Option<(K, V)>> {
+    (0..n).map(|_| None).collect()
+}
+
+impl<K: FastHash + Eq, V: PartialEq> PartialEq for FastMap<K, V> {
+    /// Order-insensitive equality, matching `HashMap` semantics.
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self.iter().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+impl<K: FastHash + Eq, V: Eq> Eq for FastMap<K, V> {}
+
+impl<K: FastHash + Eq + fmt::Debug, V: fmt::Debug> fmt::Debug for FastMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: FastHash + Eq, V> FromIterator<(K, V)> for FastMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut m = Self::with_capacity(iter.size_hint().0);
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<K: FastHash + Eq, V> Extend<(K, V)> for FastMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m: FastMap<u64, &str> = FastMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, "a"), None);
+        assert_eq!(m.insert(1, "b"), Some("a"));
+        assert_eq!(m.get(&1), Some(&"b"));
+        assert_eq!(m.get(&2), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m: FastMap<u64, u64> = FastMap::new();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(m.get(&i), Some(&(i * 2)), "key {i}");
+        }
+    }
+
+    #[test]
+    fn or_insert_with_inserts_once() {
+        let mut m: FastMap<u64, Vec<u32>> = FastMap::new();
+        m.or_insert_with(9, Vec::new).push(1);
+        m.or_insert_with(9, Vec::new).push(2);
+        assert_eq!(m.get(&9), Some(&vec![1, 2]));
+        m.or_default(10).push(3); // V: Default path inserts an empty vec
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn remove_with_backward_shift_keeps_chains_reachable() {
+        // Force collisions by filling a small map densely, then remove
+        // from the middle of chains and verify every survivor resolves.
+        let mut m: FastMap<u64, u64> = FastMap::with_capacity(4);
+        for i in 0..64 {
+            m.insert(i, i);
+        }
+        for i in (0..64).step_by(3) {
+            assert_eq!(m.remove(&i), Some(i));
+            assert_eq!(m.remove(&i), None);
+        }
+        for i in 0..64 {
+            let expect = if i % 3 == 0 { None } else { Some(&i) };
+            assert_eq!(m.get(&i), expect, "key {i}");
+        }
+        assert_eq!(m.len(), 64 - 22);
+    }
+
+    #[test]
+    fn clear_keeps_working() {
+        let mut m: FastMap<u64, u64> = FastMap::new();
+        m.insert(1, 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&1), None);
+        m.insert(2, 2);
+        assert_eq!(m.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn composite_keys_hash_and_compare() {
+        let mut m: FastMap<(u64, Vec<u64>), u64> = FastMap::new();
+        m.insert((1, vec![2, 3]), 10);
+        m.insert((1, vec![2]), 20);
+        m.insert((1, vec![]), 30);
+        assert_eq!(m.get(&(1, vec![2, 3])), Some(&10));
+        assert_eq!(m.get(&(1, vec![2])), Some(&20));
+        assert_eq!(m.get(&(1, vec![])), Some(&30));
+        assert_eq!(m.get(&(2, vec![2, 3])), None);
+    }
+
+    #[test]
+    fn vec_hash_distinguishes_length() {
+        assert_ne!(vec![0u64].fast_hash(), vec![0u64, 0].fast_hash());
+        assert_ne!(Vec::<u64>::new().fast_hash(), vec![0u64].fast_hash());
+    }
+
+    #[test]
+    fn equality_is_order_insensitive() {
+        let mut a: FastMap<u64, u64> = FastMap::new();
+        let mut b: FastMap<u64, u64> = FastMap::with_capacity(64);
+        for i in 0..20 {
+            a.insert(i, i);
+            b.insert(19 - i, 19 - i);
+        }
+        assert_eq!(a, b);
+        b.insert(99, 99);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn from_iter_and_extend() {
+        let m: FastMap<u64, u64> = (0..10u64).map(|i| (i, i + 1)).collect();
+        assert_eq!(m.len(), 10);
+        let mut n = FastMap::new();
+        n.extend(m.iter().map(|(&k, &v)| (k, v)));
+        assert_eq!(m, n);
+    }
+
+    #[test]
+    fn debug_formats_as_a_map() {
+        let mut m: FastMap<u64, u64> = FastMap::new();
+        m.insert(1, 2);
+        assert_eq!(format!("{m:?}"), "{1: 2}");
+    }
+
+    #[test]
+    fn iter_visits_every_entry_once() {
+        let mut m: FastMap<u64, u64> = FastMap::new();
+        for i in 0..50 {
+            m.insert(i, i);
+        }
+        let mut seen: Vec<u64> = m.keys().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+        assert_eq!(m.values().sum::<u64>(), (0..50).sum::<u64>());
+    }
+}

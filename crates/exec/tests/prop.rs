@@ -1,0 +1,163 @@
+//! Property tests for the execution engine: FastMap ≡ HashMap under
+//! randomized operation interleavings, and pool output ≡ serial output
+//! for any worker count.
+
+use ibp_exec::{Executor, FastMap};
+use ibp_testkit::{prop_assert, prop_assert_eq, Prop, TestRng};
+use std::collections::HashMap;
+
+/// One randomized map operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Lookup(u64),
+    BumpOrInit(u64),
+    Clear,
+}
+
+fn gen_ops(rng: &mut TestRng) -> Vec<Op> {
+    // A small key universe forces collisions, overwrites and removes of
+    // present keys; clear is rare so maps get dense between wipes.
+    rng.vec_with(0..400, |r| {
+        let key = r.gen_range(0u64..64);
+        match r.gen_range(0u32..100) {
+            0..=39 => Op::Insert(key, r.next_u64()),
+            40..=59 => Op::Remove(key),
+            60..=79 => Op::Lookup(key),
+            80..=97 => Op::BumpOrInit(key),
+            _ => Op::Clear,
+        }
+    })
+}
+
+impl ibp_testkit::Shrink for Op {}
+
+#[test]
+fn fastmap_matches_hashmap_under_random_ops() {
+    Prop::new("fastmap_vs_hashmap").cases(64).run(gen_ops, |ops| {
+        let mut fast: FastMap<u64, u64> = FastMap::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(
+                        fast.insert(k, v),
+                        reference.insert(k, v),
+                        "insert at step {step}"
+                    );
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(fast.remove(&k), reference.remove(&k), "remove at step {step}");
+                }
+                Op::Lookup(k) => {
+                    prop_assert_eq!(fast.get(&k), reference.get(&k), "lookup at step {step}");
+                    prop_assert_eq!(
+                        fast.contains_key(&k),
+                        reference.contains_key(&k),
+                        "contains at step {step}"
+                    );
+                }
+                Op::BumpOrInit(k) => {
+                    let a = fast.or_insert_with(k, || 100);
+                    *a += 1;
+                    let b = reference.entry(k).or_insert(100);
+                    *b += 1;
+                    prop_assert_eq!(*a, *b, "bump at step {step}");
+                }
+                Op::Clear => {
+                    fast.clear();
+                    reference.clear();
+                }
+            }
+            prop_assert_eq!(fast.len(), reference.len(), "len at step {step}");
+        }
+        // Final states agree as full maps, both ways.
+        for (k, v) in reference.iter() {
+            prop_assert_eq!(fast.get(k), Some(v));
+        }
+        for (k, v) in fast.iter() {
+            prop_assert_eq!(reference.get(k), Some(v));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn fastmap_with_composite_keys_matches_hashmap() {
+    Prop::new("fastmap_composite_keys").cases(32).run(
+        |rng| {
+            rng.vec_with(0..120, |r| {
+                let pc = r.gen_range(0u64..8);
+                let path = (0..r.gen_range(0usize..4))
+                    .map(|_| r.gen_range(0u64..4))
+                    .collect::<Vec<u64>>();
+                (pc, path, r.next_u64())
+            })
+        },
+        |entries| {
+            let mut fast: FastMap<(u64, Vec<u64>), u64> = FastMap::new();
+            let mut reference: HashMap<(u64, Vec<u64>), u64> = HashMap::new();
+            for (pc, path, v) in entries.iter().cloned() {
+                let prev_fast = fast.insert((pc, path.clone()), v);
+                let prev_ref = reference.insert((pc, path), v);
+                prop_assert_eq!(prev_fast, prev_ref);
+            }
+            prop_assert_eq!(fast.len(), reference.len());
+            for (k, v) in reference.iter() {
+                prop_assert_eq!(fast.get(k), Some(v));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn pool_output_is_bit_identical_to_serial_for_any_worker_count() {
+    Prop::new("pool_matches_serial").cases(24).run(
+        |rng| {
+            (
+                rng.gen_range(0usize..200),
+                rng.next_u64(),
+                rng.gen_range(2usize..9),
+            )
+        },
+        |&(tasks, salt, threads)| {
+            // A non-trivial pure function of the index.
+            let f = |i: usize| {
+                let mut h = salt ^ (i as u64);
+                for _ in 0..(i % 7) {
+                    h = h.rotate_left(13).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                }
+                h
+            };
+            let serial: Vec<u64> = (0..tasks).map(f).collect();
+            for pool in [1, 2, threads, 8] {
+                let parallel = Executor::new(pool).run(tasks, f);
+                prop_assert_eq!(&serial, &parallel, "pool size {pool}");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn pool_runs_every_task_exactly_once_under_contention() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    Prop::new("pool_exactly_once").cases(16).run(
+        |rng| (rng.gen_range(1usize..300), rng.gen_range(2usize..9)),
+        |&(tasks, threads)| {
+            let counters: Vec<AtomicU32> = (0..tasks).map(|_| AtomicU32::new(0)).collect();
+            Executor::new(threads).run(tasks, |i| {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            });
+            prop_assert!(
+                counters
+                    .iter()
+                    .all(|c| c.load(Ordering::Relaxed) == 1),
+                "some task ran zero or multiple times"
+            );
+            Ok(())
+        },
+    );
+}

@@ -167,6 +167,33 @@ impl Sfsxs {
         sig
     }
 
+    /// Advances a signature by one pushed target without rescanning the
+    /// history: removes the expired (oldest) target's contribution, ages
+    /// every remaining fold by one shift position, and deposits the new
+    /// target's fold at the top.
+    ///
+    /// Algebraically: `signature = Σ_age fold(slot_age) << (depth-1-age)`.
+    /// The expired slot sits at shift 0, so XORing its fold out and
+    /// shifting right by one re-ages all survivors; the fresh fold enters
+    /// at shift `depth-1`. Callers must pass the slot that is about to
+    /// leave the register (`phr.slot(depth-1)` *before* the push) and the
+    /// raw new target; the result equals `signature(&phr)` *after* the
+    /// push. This turns the O(depth) per-prediction signature scan into
+    /// O(1) work per recorded target — the PPM hot loop's dominant hash.
+    pub fn advance(&self, signature: u64, expired_slot: u64, new_target: u64) -> u64 {
+        let expired = fold_xor(
+            expired_slot & mask(self.select_bits),
+            self.select_bits,
+            self.fold_bits,
+        );
+        let fresh = fold_xor(
+            new_target & mask(self.select_bits),
+            self.select_bits,
+            self.fold_bits,
+        );
+        ((signature ^ expired) >> 1) ^ (fresh << (self.depth - 1))
+    }
+
     /// Selects the index for the order-`j` Markov predictor: the `j`
     /// high-order bits of the signature.
     ///
@@ -205,6 +232,12 @@ pub struct ReverseInterleave {
     path_length: u32,
     bits_per_target: u32,
     index_bits: u32,
+    /// `spread[b]` deposits the 8 bits of `b` at stride `path_length`
+    /// (bit `i` of `b` lands at position `i * path_length`), so one table
+    /// lookup interleaves a whole byte of a partial target. Indexing runs
+    /// once per predict *and* update of every dual-path component — the
+    /// bit-by-bit loop it replaces dominated those predictors' hot loop.
+    spread: [u64; 256],
 }
 
 impl ReverseInterleave {
@@ -222,11 +255,38 @@ impl ReverseInterleave {
             "interleaved width exceeds 64 bits"
         );
         assert!(index_bits <= 64);
+        let mut spread = [0u64; 256];
+        for (b, out) in spread.iter_mut().enumerate() {
+            for bit in 0..8 {
+                if (b >> bit) & 1 == 1 {
+                    *out |= 1u64 << (bit as u32 * path_length);
+                }
+            }
+        }
         Self {
             path_length,
             bits_per_target,
             index_bits,
+            spread,
         }
+    }
+
+    /// Spreads one partial target's bits at stride `path_length`, one byte
+    /// chunk per table lookup. Exactly `Σ_bit ((slot >> bit) & 1) <<
+    /// (bit * path_length)`; chunk shifts stay below 64 because
+    /// `path_length * bits_per_target <= 64` and slots are masked to
+    /// `bits_per_target` bits.
+    #[inline]
+    fn spread_bits(&self, slot: u64) -> u64 {
+        let mut out = self.spread[(slot & 0xFF) as usize];
+        let mut rest = slot >> 8;
+        let mut chunk_shift = 8 * self.path_length;
+        while rest != 0 {
+            out |= self.spread[(rest & 0xFF) as usize] << chunk_shift;
+            rest >>= 8;
+            chunk_shift += 8 * self.path_length;
+        }
+        out
     }
 
     /// Computes the index from the PC and a path history register.
@@ -241,11 +301,7 @@ impl ReverseInterleave {
         );
         let mut interleaved = 0u64;
         for (age, slot) in phr.iter().take(self.path_length as usize).enumerate() {
-            for bit in 0..self.bits_per_target {
-                let b = (slot >> bit) & 1;
-                let pos = bit * self.path_length + age as u32;
-                interleaved |= b << pos;
-            }
+            interleaved |= self.spread_bits(slot) << age;
         }
         (interleaved ^ pc) & mask(self.index_bits)
     }
@@ -372,6 +428,31 @@ mod tests {
     }
 
     #[test]
+    fn sfsxs_advance_matches_full_recomputation() {
+        // The incremental signature must track the scan-based one exactly,
+        // across configurations including the degenerate depth-1 case.
+        let configs = [(10u32, 5u32, 10u32), (10, 5, 1), (4, 2, 3), (8, 8, 7)];
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for &(select, fold, depth) in &configs {
+            let s = Sfsxs::new(select, fold, depth);
+            let mut phr = PathHistory::new(depth as usize, select as u8);
+            let mut sig = s.signature(&phr);
+            for _ in 0..300 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let target = x >> 11;
+                let expired = phr.slot(depth as usize - 1);
+                sig = s.advance(sig, expired, target);
+                phr.push(target);
+                assert_eq!(
+                    sig,
+                    s.signature(&phr),
+                    "cfg ({select}, {fold}, {depth})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn sfsxs_index_selects_high_bits() {
         let s = Sfsxs::paper(); // 14-bit signature
         let sig = 0b10_1100_0000_0001u64;
@@ -426,5 +507,32 @@ mod tests {
             phr.push(t);
         }
         assert!(ri.index(0xDEADBEEF, &phr) < (1 << 10));
+    }
+
+    #[test]
+    fn reverse_interleave_spread_matches_bit_by_bit_definition() {
+        // The byte-spread table must reproduce the definitional loop
+        // (`pos = bit * path_length + age`) for every paper configuration
+        // and then some: Dpath uses (1, 24) and (3, 8), Cascade (4, 6) and
+        // (6, 4).
+        let configs = [(1u32, 24u32), (3, 8), (4, 6), (6, 4), (2, 32), (8, 8)];
+        let mut x = 0x243F6A8885A308D3u64;
+        for &(path_length, bits) in &configs {
+            let ri = ReverseInterleave::new(path_length, bits, 64);
+            let mut phr = PathHistory::new(path_length as usize, bits as u8);
+            for _ in 0..200 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                phr.push(x >> 7);
+                let pc = x >> 23;
+                let mut expect = 0u64;
+                for (age, slot) in phr.iter().take(path_length as usize).enumerate() {
+                    for bit in 0..bits {
+                        let b = (slot >> bit) & 1;
+                        expect |= b << (bit * path_length + age as u32);
+                    }
+                }
+                assert_eq!(ri.index(pc, &phr), (expect ^ pc), "cfg ({path_length}, {bits})");
+            }
+        }
     }
 }

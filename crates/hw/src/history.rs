@@ -15,13 +15,15 @@
 //! The PHR is always updated with the *actual* (resolved) target, whether or
 //! not the prediction was correct (paper §4).
 
-use std::collections::VecDeque;
-
 /// A shift register of partial branch targets.
 ///
 /// Each recorded slot keeps the low-order `bits_per_target` bits of a target
 /// address; the register holds the `depth` most recent targets. Slot 0 is
 /// always the most recent target.
+///
+/// Storage is a fixed ring buffer: a push writes one slot and moves the
+/// head instead of shifting — every predictor pushes on every observed
+/// event, so this sits on the simulation hot path.
 ///
 /// # Examples
 ///
@@ -35,12 +37,18 @@ use std::collections::VecDeque;
 /// assert_eq!(phr.slot(1), 0xD);
 /// assert_eq!(phr.slot(2), 0x0); // not yet filled
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct PathHistory {
     depth: usize,
     bits_per_target: u8,
-    /// Front = most recent. Always holds exactly `depth` entries.
-    slots: VecDeque<u64>,
+    /// Ring of exactly `depth` slots; `head` is the most recent target.
+    slots: Vec<u64>,
+    head: usize,
+    /// Concatenated-history view, maintained on every push so `packed()`
+    /// is O(1) — gshare-indexed predictors read it per prediction.
+    packed: u128,
+    /// Mask of the low `min(total_bits, 128)` bits.
+    packed_mask: u128,
 }
 
 impl PathHistory {
@@ -56,10 +64,29 @@ impl PathHistory {
             (1..=64).contains(&bits_per_target),
             "bits per target must be in 1..=64"
         );
+        let total_bits = depth as u32 * bits_per_target as u32;
         Self {
             depth,
             bits_per_target,
-            slots: std::iter::repeat_n(0, depth).collect(),
+            slots: vec![0; depth],
+            head: 0,
+            packed: 0,
+            packed_mask: if total_bits >= 128 {
+                u128::MAX
+            } else {
+                (1u128 << total_bits) - 1
+            },
+        }
+    }
+
+    /// The ring position of the slot `age` targets old.
+    #[inline]
+    fn pos(&self, age: usize) -> usize {
+        let i = self.head + age;
+        if i >= self.depth {
+            i - self.depth
+        } else {
+            i
         }
     }
 
@@ -81,9 +108,20 @@ impl PathHistory {
     /// Shifts a new target in, discarding the oldest one.
     ///
     /// Only the low-order `bits_per_target` bits of `target` are kept.
+    #[inline]
     pub fn push(&mut self, target: u64) {
-        self.slots.pop_back();
-        self.slots.push_front(target & self.slot_mask());
+        self.head = if self.head == 0 {
+            self.depth - 1
+        } else {
+            self.head - 1
+        };
+        let masked = target & self.slot_mask();
+        self.slots[self.head] = masked;
+        // The new target enters the low bits; everything else ages upward.
+        // A register wider than 128 bits sheds its oldest bits here, which
+        // matches the documented truncation of `packed()`.
+        self.packed =
+            ((self.packed << self.bits_per_target) | masked as u128) & self.packed_mask;
     }
 
     /// Returns the partial target at `age` (0 = most recent).
@@ -91,13 +129,16 @@ impl PathHistory {
     /// # Panics
     ///
     /// Panics if `age >= depth`.
+    #[inline]
     pub fn slot(&self, age: usize) -> u64 {
-        self.slots[age]
+        assert!(age < self.depth, "slot age out of range");
+        self.slots[self.pos(age)]
     }
 
     /// Iterates over the partial targets from most recent to oldest.
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
-        self.slots.iter().copied()
+        let (newer, older) = self.slots.split_at(self.head);
+        older.iter().chain(newer.iter()).copied()
     }
 
     /// Packs the register into a single integer: the most recent target
@@ -109,17 +150,9 @@ impl PathHistory {
     /// that do not fit are dropped (the predictors in this workspace never
     /// pack the 100-bit PPM PHRs; they use per-slot access via the SFSXS
     /// hash instead).
+    #[inline]
     pub fn packed(&self) -> u128 {
-        let b = self.bits_per_target as u32;
-        let mut out: u128 = 0;
-        for (age, slot) in self.slots.iter().enumerate() {
-            let shift = age as u32 * b;
-            if shift >= 128 {
-                break;
-            }
-            out |= (*slot as u128) << shift;
-        }
-        out
+        self.packed
     }
 
     /// Packs the newest `n_bits` bits of history, truncating the *oldest*
@@ -147,6 +180,7 @@ impl PathHistory {
         for slot in self.slots.iter_mut() {
             *slot = 0;
         }
+        self.packed = 0;
     }
 
     fn slot_mask(&self) -> u64 {
@@ -154,6 +188,29 @@ impl PathHistory {
             u64::MAX
         } else {
             (1u64 << self.bits_per_target) - 1
+        }
+    }
+}
+
+// Equality and hashing compare the *logical* register contents (most recent
+// to oldest), not the ring representation: two histories holding the same
+// targets must compare equal even when their heads differ.
+impl PartialEq for PathHistory {
+    fn eq(&self, other: &Self) -> bool {
+        self.depth == other.depth
+            && self.bits_per_target == other.bits_per_target
+            && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for PathHistory {}
+
+impl std::hash::Hash for PathHistory {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.depth.hash(state);
+        self.bits_per_target.hash(state);
+        for slot in self.iter() {
+            slot.hash(state);
         }
     }
 }
@@ -247,6 +304,69 @@ mod tests {
         assert_eq!(p & 0x3FF, 10);
         // oldest (1) sits at bits 90..100
         assert_eq!((p >> 90) & 0x3FF, 1);
+    }
+
+    #[test]
+    fn cached_packed_matches_definitional_scan() {
+        // packed() is maintained incrementally on push; it must equal the
+        // definitional per-slot concatenation at all times, including for
+        // registers wider than 128 bits.
+        let configs = [(3usize, 4u8), (5, 2), (10, 10), (20, 10), (2, 64)];
+        let mut x = 0xD1B54A32D192ED03u64;
+        for &(depth, bits) in &configs {
+            let mut phr = PathHistory::new(depth, bits);
+            for _ in 0..100 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                phr.push(x);
+                let mut expect: u128 = 0;
+                for (age, slot) in phr.iter().enumerate() {
+                    let shift = age as u32 * bits as u32;
+                    if shift >= 128 {
+                        break;
+                    }
+                    expect |= (slot as u128) << shift;
+                }
+                assert_eq!(phr.packed(), expect, "cfg ({depth}, {bits})");
+            }
+            phr.clear();
+            assert_eq!(phr.packed(), 0);
+        }
+    }
+
+    #[test]
+    fn iter_matches_slot_order_after_wrap() {
+        let mut phr = PathHistory::new(4, 8);
+        for t in 0..11u64 {
+            phr.push(t);
+        }
+        let via_iter: Vec<u64> = phr.iter().collect();
+        let via_slot: Vec<u64> = (0..4).map(|age| phr.slot(age)).collect();
+        assert_eq!(via_iter, via_slot);
+        assert_eq!(via_iter, vec![10, 9, 8, 7]);
+    }
+
+    #[test]
+    fn equality_and_hash_are_logical_not_representational() {
+        use std::hash::{Hash, Hasher};
+        // Same logical contents reached via different push counts, so the
+        // internal ring heads differ.
+        let mut a = PathHistory::new(3, 8);
+        let mut b = PathHistory::new(3, 8);
+        for t in [1u64, 2, 3] {
+            a.push(t);
+        }
+        for t in [9u64, 9, 9, 1, 2, 3] {
+            b.push(t);
+        }
+        assert_eq!(a, b);
+        let digest = |p: &PathHistory| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&a), digest(&b));
+        b.push(4);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -43,4 +43,4 @@ pub use counter::{Saturating2Bit, SaturatingCounter};
 pub use folded::FoldedHistory;
 pub use hash::{fold_xor, gshare, ReverseInterleave, Sfsxs};
 pub use history::PathHistory;
-pub use table::{DirectMapped, SetAssociative};
+pub use table::{DirectMapped, FastMod, SetAssociative};

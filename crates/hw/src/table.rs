@@ -12,6 +12,72 @@
 //!   associative with true LRU) and by the tagged-PPM ablation.
 
 
+/// Exact `x % len` via Lemire's fastmod: two multiplies instead of a
+/// hardware divide. Table probes reduce an arbitrary 64-bit index onto a
+/// slot on every predict/update — on the simulation hot path the `div`
+/// latency of `%` dominates the probe itself.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_hw::table::FastMod;
+///
+/// let m = FastMod::new(2046);
+/// assert_eq!(m.rem(4093), 4093 % 2046);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastMod {
+    len: u64,
+    /// ceil(2^128 / len): the 128-bit fixed-point reciprocal.
+    mul: u128,
+    /// `len - 1` when `len` is a power of two, else `u64::MAX` (sentinel:
+    /// the mask fast path never fires). Every paper-configuration table is
+    /// power-of-two sized, so the common probe is a single AND; the
+    /// multiply chain only serves the sweep's odd sizes.
+    pow2_mask: u64,
+}
+
+impl FastMod {
+    /// Prepares reduction modulo `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(len: u64) -> Self {
+        assert!(len > 0, "modulus must be non-zero");
+        Self {
+            len,
+            // Wraps to 0 for len == 1, which is fine: 1 is a power of two,
+            // so `rem` takes the mask path and `mul` is never read.
+            mul: (u128::MAX / len as u128).wrapping_add(1),
+            pow2_mask: if len.is_power_of_two() {
+                len - 1
+            } else {
+                u64::MAX
+            },
+        }
+    }
+
+    /// The modulus.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Computes `x % self.len()` exactly, for every `x`.
+    #[inline]
+    pub fn rem(&self, x: u64) -> u64 {
+        if self.pow2_mask != u64::MAX {
+            return x & self.pow2_mask;
+        }
+        // lowbits = frac(x / len) in 128-bit fixed point; multiplying by
+        // len and keeping the high 128 bits recovers the remainder.
+        let lowbits = self.mul.wrapping_mul(x as u128);
+        let bottom = (lowbits as u64 as u128) * self.len as u128;
+        let top = (lowbits >> 64) * self.len as u128;
+        ((top + (bottom >> 64)) >> 64) as u64
+    }
+}
+
 /// A tagless direct-mapped table of `len` entries.
 ///
 /// Indexing is by `index % len`, so non-power-of-two sizes are allowed (the
@@ -31,6 +97,7 @@
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirectMapped<T> {
     entries: Vec<Option<T>>,
+    index_mod: FastMod,
 }
 
 impl<T> DirectMapped<T> {
@@ -43,6 +110,7 @@ impl<T> DirectMapped<T> {
         assert!(len > 0, "table must have at least one entry");
         Self {
             entries: (0..len).map(|_| None).collect(),
+            index_mod: FastMod::new(len as u64),
         }
     }
 
@@ -62,8 +130,9 @@ impl<T> DirectMapped<T> {
     }
 
     /// Maps an arbitrary index onto a slot number.
+    #[inline]
     pub fn slot_of(&self, index: u64) -> usize {
-        (index % self.entries.len() as u64) as usize
+        self.index_mod.rem(index) as usize
     }
 
     /// Returns the entry selected by `index`, if valid.
@@ -146,9 +215,14 @@ struct Way<T> {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SetAssociative<T> {
-    sets: Vec<Vec<Way<T>>>,
+    /// Flat `sets * ways` storage; set `s` occupies the slice
+    /// `[s * ways, (s + 1) * ways)`. One contiguous allocation keeps set
+    /// scans on a single cache line instead of chasing a per-set `Vec`.
+    store: Vec<Option<Way<T>>>,
+    num_sets: usize,
     ways: usize,
     clock: u64,
+    set_mod: FastMod,
 }
 
 impl<T> SetAssociative<T> {
@@ -160,20 +234,22 @@ impl<T> SetAssociative<T> {
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(sets > 0 && ways > 0, "sets and ways must be non-zero");
         Self {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            store: (0..sets * ways).map(|_| None).collect(),
+            num_sets: sets,
             ways,
             clock: 0,
+            set_mod: FastMod::new(sets as u64),
         }
     }
 
     /// Total capacity in entries (`sets * ways`).
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.num_sets * self.ways
     }
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.num_sets
     }
 
     /// Associativity.
@@ -183,22 +259,22 @@ impl<T> SetAssociative<T> {
 
     /// Number of occupied ways across all sets.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.store.iter().filter(|w| w.is_some()).count()
     }
 
+    #[inline]
     fn set_of(&self, index: u64) -> usize {
-        (index % self.sets.len() as u64) as usize
+        self.set_mod.rem(index) as usize
+    }
+
+    #[inline]
+    fn set_slice_mut(&mut self, set: usize) -> &mut [Option<Way<T>>] {
+        &mut self.store[set * self.ways..(set + 1) * self.ways]
     }
 
     /// Looks up `(index, tag)` and refreshes its LRU position on a hit.
     pub fn get(&mut self, index: u64, tag: u64) -> Option<&T> {
-        let set = self.set_of(index);
-        self.clock += 1;
-        let clock = self.clock;
-        self.sets[set].iter_mut().find(|w| w.tag == tag).map(|w| {
-            w.last_use = clock;
-            &w.value
-        })
+        self.get_mut(index, tag).map(|v| &*v)
     }
 
     /// Looks up `(index, tag)` mutably and refreshes its LRU position.
@@ -206,17 +282,22 @@ impl<T> SetAssociative<T> {
         let set = self.set_of(index);
         self.clock += 1;
         let clock = self.clock;
-        self.sets[set].iter_mut().find(|w| w.tag == tag).map(|w| {
-            w.last_use = clock;
-            &mut w.value
-        })
+        self.set_slice_mut(set)
+            .iter_mut()
+            .filter_map(|w| w.as_mut())
+            .find(|w| w.tag == tag)
+            .map(|w| {
+                w.last_use = clock;
+                &mut w.value
+            })
     }
 
     /// Looks up without disturbing LRU state (probe).
     pub fn peek(&self, index: u64, tag: u64) -> Option<&T> {
         let set = self.set_of(index);
-        self.sets[set]
+        self.store[set * self.ways..(set + 1) * self.ways]
             .iter()
+            .filter_map(|w| w.as_ref())
             .find(|w| w.tag == tag)
             .map(|w| &w.value)
     }
@@ -227,47 +308,55 @@ impl<T> SetAssociative<T> {
         let set = self.set_of(index);
         self.clock += 1;
         let clock = self.clock;
-        if let Some(w) = self.sets[set].iter_mut().find(|w| w.tag == tag) {
+        let slice = self.set_slice_mut(set);
+        // Existing way for this tag: overwrite in place.
+        if let Some(w) = slice.iter_mut().filter_map(|w| w.as_mut()).find(|w| w.tag == tag) {
             w.value = value;
             w.last_use = clock;
             return None;
         }
-        if self.sets[set].len() < self.ways {
-            self.sets[set].push(Way {
-                tag,
-                value,
-                last_use: clock,
-            });
-            return None;
+        // A vacant way, if any; otherwise the true-LRU victim (clock
+        // values are unique, so the victim is unique and deterministic).
+        let mut victim = 0;
+        let mut victim_use = u64::MAX;
+        for (i, w) in slice.iter().enumerate() {
+            match w {
+                None => {
+                    victim = i;
+                    break;
+                }
+                Some(w) if w.last_use < victim_use => {
+                    victim = i;
+                    victim_use = w.last_use;
+                }
+                Some(_) => {}
+            }
         }
-        let victim = self.sets[set]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.last_use)
-            .map(|(i, _)| i)
-            .expect("full set is non-empty");
         let old = std::mem::replace(
-            &mut self.sets[set][victim],
-            Way {
+            &mut slice[victim],
+            Some(Way {
                 tag,
                 value,
                 last_use: clock,
-            },
+            }),
         );
-        Some((old.tag, old.value))
+        old.map(|w| (w.tag, w.value))
     }
 
     /// Removes `(index, tag)` and returns its value.
     pub fn invalidate(&mut self, index: u64, tag: u64) -> Option<T> {
         let set = self.set_of(index);
-        let pos = self.sets[set].iter().position(|w| w.tag == tag)?;
-        Some(self.sets[set].swap_remove(pos).value)
+        let slot = self
+            .set_slice_mut(set)
+            .iter_mut()
+            .find(|w| w.as_ref().is_some_and(|w| w.tag == tag))?;
+        slot.take().map(|w| w.value)
     }
 
     /// Invalidates every entry.
     pub fn clear(&mut self) {
-        for set in self.sets.iter_mut() {
-            set.clear();
+        for w in self.store.iter_mut() {
+            *w = None;
         }
         self.clock = 0;
     }
@@ -276,6 +365,47 @@ impl<T> SetAssociative<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fastmod_matches_hardware_modulo() {
+        // Every table length the paper's configurations produce, plus
+        // adversarial ones, over indices spanning the whole u64 range.
+        let lens = [1u64, 2, 3, 7, 127, 128, 1023, 1024, 2046, 2048, u64::MAX];
+        let xs = [
+            0u64,
+            1,
+            2,
+            2045,
+            2046,
+            2047,
+            12345,
+            (1 << 32) - 1,
+            1 << 32,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &len in &lens {
+            let m = FastMod::new(len);
+            assert_eq!(m.len(), len);
+            for &x in &xs {
+                assert_eq!(m.rem(x), x % len, "x = {x}, len = {len}");
+            }
+        }
+        // Pseudo-random sweep (LCG) across mixed magnitudes.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let len = (x >> 32).max(1);
+            let m = FastMod::new(len);
+            assert_eq!(m.rem(x), x % len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn fastmod_zero_panics() {
+        let _ = FastMod::new(0);
+    }
 
     #[test]
     fn direct_mapped_basic_insert_get() {

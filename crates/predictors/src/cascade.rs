@@ -117,13 +117,13 @@ pub struct Cascade {
     config: CascadeConfig,
     filter: LeakyFilter,
     core: DualPath,
-    /// Component predictions captured at fetch, consumed at update:
-    /// `(pc, short path, long path, filter)`.
+    /// Component lookup and filter prediction captured at fetch, consumed
+    /// at update: `(pc, dual-path lookup, filter)`.
     last: Option<CascadeLookup>,
 }
 
-/// Predictions captured at fetch: `(pc, short path, long path, filter)`.
-type CascadeLookup = (Addr, Option<Addr>, Option<Addr>, Option<Addr>);
+/// Fetch-time state: `(pc, dual-path lookup, filter prediction)`.
+type CascadeLookup = (Addr, crate::dual_path::DualLookup, Option<Addr>);
 
 impl Cascade {
     /// Creates a Cascade predictor from a configuration.
@@ -148,21 +148,21 @@ impl IndirectPredictor for Cascade {
     }
 
     fn predict(&mut self, pc: Addr) -> Option<Addr> {
-        let (sp, lp) = self.core.component_predictions(pc);
+        let lookup = self.core.lookup_components(pc);
         let fp = self.filter.predict(pc);
-        self.last = Some((pc, sp, lp, fp));
+        self.last = Some((pc, lookup, fp));
         // Tagged core takes priority when it holds the branch; otherwise
         // fall back to the filter (covers monomorphic/low-entropy sites).
-        lp.or(sp).or(fp)
+        lookup.long_pred.or(lookup.short_pred).or(fp)
     }
 
     fn update(&mut self, pc: Addr, actual: Addr) {
-        let (sp, lp, fp) = match self.last.take() {
-            Some((last_pc, sp, lp, fp)) if last_pc == pc => (sp, lp, fp),
+        let (lookup, fp) = match self.last.take() {
+            Some((last_pc, lookup, fp)) if last_pc == pc => (lookup, fp),
             _ => {
-                let (sp, lp) = self.core.component_predictions(pc);
+                let lookup = self.core.lookup_components(pc);
                 let fp = self.filter.predict(pc);
-                (sp, lp, fp)
+                (lookup, fp)
             }
         };
         self.filter.update(pc, actual);
@@ -172,9 +172,9 @@ impl IndirectPredictor for Cascade {
         // core's tagged tables. A steadily-predicted monomorphic branch
         // never leaks.
         let filter_failed = fp != Some(actual);
-        let in_core = sp.is_some() || lp.is_some();
+        let in_core = lookup.short_pred.is_some() || lookup.long_pred.is_some();
         if filter_failed || in_core {
-            self.core.apply(pc, actual, sp, lp);
+            self.core.apply(pc, actual, &lookup);
         }
     }
 
@@ -264,9 +264,9 @@ mod tests {
             let t = Addr::new(0xA00 + (i % 2) * 0x100);
             drive(&mut c, pc, t);
         }
-        let (sp, lp) = c.core.component_predictions(pc);
+        let lookup = c.core.lookup_components(pc);
         assert!(
-            sp.is_some() || lp.is_some(),
+            lookup.short_pred.is_some() || lookup.long_pred.is_some(),
             "polymorphic branch should have leaked into the core"
         );
     }

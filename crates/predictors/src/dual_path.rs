@@ -55,16 +55,14 @@ impl PathComponent {
         self.hash.index(pc.raw() >> 2, &self.phr)
     }
 
-    fn predict(&mut self, pc: Addr) -> Option<Addr> {
-        let idx = self.index(pc);
+    fn predict_at(&mut self, idx: u64, pc: Addr) -> Option<Addr> {
         match &mut self.table {
             ComponentTable::Tagless(t) => t.get(idx).map(|e| e.target()),
             ComponentTable::Tagged(t) => t.get(idx, pc.raw() >> 2).map(|e| e.target()),
         }
     }
 
-    fn update(&mut self, pc: Addr, actual: Addr) {
-        let idx = self.index(pc);
+    fn update_at(&mut self, idx: u64, pc: Addr, actual: Addr) {
         match &mut self.table {
             ComponentTable::Tagless(t) => match t.get_mut(idx) {
                 Some(e) => {
@@ -167,6 +165,18 @@ impl DualPathConfig {
 /// dp.update(Addr::new(0x40), Addr::new(0x900));
 /// assert_eq!(dp.predict(Addr::new(0x40)), Some(Addr::new(0x900)));
 /// ```
+/// Component indices and predictions captured at fetch. The PHRs do not
+/// move between `predict` and `update` (history is observed after
+/// resolution), so `update` can reuse the indices instead of re-running
+/// the interleaving hash.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DualLookup {
+    idx_short: u64,
+    idx_long: u64,
+    pub(crate) short_pred: Option<Addr>,
+    pub(crate) long_pred: Option<Addr>,
+}
+
 #[derive(Debug, Clone)]
 pub struct DualPath {
     config: DualPathConfig,
@@ -175,7 +185,7 @@ pub struct DualPath {
     selectors: DirectMapped<Saturating2Bit>,
     /// Predictions captured by the last `predict` call, consumed by
     /// `update` to steer the selection counters.
-    last: Option<(Addr, Option<Addr>, Option<Addr>)>,
+    last: Option<(Addr, DualLookup)>,
 }
 
 impl DualPath {
@@ -232,22 +242,24 @@ impl DualPath {
             .unwrap_or(true)
     }
 
-    /// Both component predictions, for hybrid composition (Cascade).
-    pub(crate) fn component_predictions(&mut self, pc: Addr) -> (Option<Addr>, Option<Addr>) {
-        (self.short.predict(pc), self.long.predict(pc))
+    /// Both component indices and predictions, for hybrid composition
+    /// (Cascade) and for reuse at update time.
+    pub(crate) fn lookup_components(&mut self, pc: Addr) -> DualLookup {
+        let idx_short = self.short.index(pc);
+        let idx_long = self.long.index(pc);
+        DualLookup {
+            idx_short,
+            idx_long,
+            short_pred: self.short.predict_at(idx_short, pc),
+            long_pred: self.long.predict_at(idx_long, pc),
+        }
     }
 
     /// Applies the resolved target to both components and the selector,
-    /// given the component predictions captured at fetch.
-    pub(crate) fn apply(
-        &mut self,
-        pc: Addr,
-        actual: Addr,
-        short_pred: Option<Addr>,
-        long_pred: Option<Addr>,
-    ) {
-        let short_ok = short_pred == Some(actual);
-        let long_ok = long_pred == Some(actual);
+    /// given the lookup captured at fetch.
+    pub(crate) fn apply(&mut self, pc: Addr, actual: Addr, lookup: &DualLookup) {
+        let short_ok = lookup.short_pred == Some(actual);
+        let long_ok = lookup.long_pred == Some(actual);
         let idx = self.selector_index(pc);
         let sel = self
             .selectors
@@ -257,8 +269,8 @@ impl DualPath {
         } else if short_ok && !long_ok {
             sel.decrement();
         }
-        self.short.update(pc, actual);
-        self.long.update(pc, actual);
+        self.short.update_at(lookup.idx_short, pc, actual);
+        self.long.update_at(lookup.idx_long, pc, actual);
     }
 
     fn cost_components(&self) -> HardwareCost {
@@ -281,21 +293,21 @@ impl IndirectPredictor for DualPath {
     }
 
     fn predict(&mut self, pc: Addr) -> Option<Addr> {
-        let (sp, lp) = self.component_predictions(pc);
-        self.last = Some((pc, sp, lp));
+        let lookup = self.lookup_components(pc);
+        self.last = Some((pc, lookup));
         if self.prefers_long(pc) {
-            lp.or(sp)
+            lookup.long_pred.or(lookup.short_pred)
         } else {
-            sp.or(lp)
+            lookup.short_pred.or(lookup.long_pred)
         }
     }
 
     fn update(&mut self, pc: Addr, actual: Addr) {
-        let (sp, lp) = match self.last.take() {
-            Some((last_pc, sp, lp)) if last_pc == pc => (sp, lp),
-            _ => self.component_predictions(pc),
+        let lookup = match self.last.take() {
+            Some((last_pc, lookup)) if last_pc == pc => lookup,
+            _ => self.lookup_components(pc),
         };
-        self.apply(pc, actual, sp, lp);
+        self.apply(pc, actual, &lookup);
     }
 
     fn observe(&mut self, event: &BranchEvent) {
@@ -376,29 +388,23 @@ mod tests {
     fn selector_moves_toward_correct_component() {
         let mut dp = tiny();
         let pc = Addr::new(0x40);
+        let disagreement = |dp: &mut DualPath| DualLookup {
+            idx_short: dp.short.index(pc),
+            idx_long: dp.long.index(pc),
+            short_pred: Some(Addr::new(0x1)),
+            long_pred: Some(Addr::new(0x2)),
+        };
         // Force disagreement: short right, long wrong.
-        dp.apply(
-            pc,
-            Addr::new(0x1),
-            Some(Addr::new(0x1)),
-            Some(Addr::new(0x2)),
-        );
+        let l = disagreement(&mut dp);
+        dp.apply(pc, Addr::new(0x1), &l);
         let v1 = dp.selectors.get(pc.raw() >> 2).unwrap().value();
-        dp.apply(
-            pc,
-            Addr::new(0x1),
-            Some(Addr::new(0x1)),
-            Some(Addr::new(0x2)),
-        );
+        let l = disagreement(&mut dp);
+        dp.apply(pc, Addr::new(0x1), &l);
         let v2 = dp.selectors.get(pc.raw() >> 2).unwrap().value();
         assert!(v2 <= v1 && v2 < 3, "selector should move toward short");
         // Long right, short wrong moves it back up.
-        dp.apply(
-            pc,
-            Addr::new(0x2),
-            Some(Addr::new(0x1)),
-            Some(Addr::new(0x2)),
-        );
+        let l = disagreement(&mut dp);
+        dp.apply(pc, Addr::new(0x2), &l);
         let v3 = dp.selectors.get(pc.raw() >> 2).unwrap().value();
         assert!(v3 > v2);
     }

@@ -12,10 +12,11 @@
 
 use crate::history_group::HistoryGroup;
 use crate::traits::IndirectPredictor;
+use ibp_exec::FastMap;
 use ibp_hw::HardwareCost;
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Exact path context: the full target addresses of the last `depth`
 /// branches of the selected group.
@@ -69,7 +70,7 @@ impl ExactPath {
 #[derive(Debug, Clone)]
 pub struct PathOracle {
     path: ExactPath,
-    table: HashMap<(u64, Vec<u64>), Addr>,
+    table: FastMap<(u64, Vec<u64>), Addr>,
 }
 
 impl PathOracle {
@@ -77,7 +78,7 @@ impl PathOracle {
     pub fn new(depth: usize, group: HistoryGroup) -> Self {
         Self {
             path: ExactPath::new(depth, group),
-            table: HashMap::new(),
+            table: FastMap::new(),
         }
     }
 
@@ -131,7 +132,7 @@ impl IndirectPredictor for PathOracle {
 #[derive(Debug, Clone)]
 pub struct FrequencyOracle {
     path: ExactPath,
-    table: HashMap<(u64, Vec<u64>), HashMap<u64, u64>>,
+    table: FastMap<(u64, Vec<u64>), FastMap<u64, u64>>,
 }
 
 impl FrequencyOracle {
@@ -139,7 +140,7 @@ impl FrequencyOracle {
     pub fn new(depth: usize, group: HistoryGroup) -> Self {
         Self {
             path: ExactPath::new(depth, group),
-            table: HashMap::new(),
+            table: FastMap::new(),
         }
     }
 
@@ -165,10 +166,8 @@ impl IndirectPredictor for FrequencyOracle {
     fn update(&mut self, pc: Addr, actual: Addr) {
         *self
             .table
-            .entry(self.path.key(pc))
-            .or_default()
-            .entry(actual.raw())
-            .or_insert(0) += 1;
+            .or_default(self.path.key(pc))
+            .or_default(actual.raw()) += 1;
     }
 
     fn observe(&mut self, event: &BranchEvent) {

@@ -1,8 +1,18 @@
 //! Predictor × benchmark comparison grids (Figures 6 and 7).
+//!
+//! Grid evaluation runs on the [`ibp_exec`] work-stealing pool: trace
+//! generation parallelizes over benchmark runs, then the full
+//! (run × predictor) product is scheduled as fine-grained tasks so a slow
+//! predictor on one run no longer serializes an entire row. Results are
+//! committed in grid order, which makes the parallel output bit-identical
+//! to a serial evaluation regardless of worker count or scheduling.
 
-use crate::runner::{simulate, RunResult};
+use crate::runner::RunResult;
 use crate::zoo::PredictorKind;
+use ibp_exec::Executor;
+use ibp_trace::Trace;
 use ibp_workloads::BenchmarkRun;
+use std::collections::HashMap;
 
 /// One cell of a comparison grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,21 +28,45 @@ pub struct GridCell {
 }
 
 /// A full (benchmark × predictor) grid.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct GridResult {
     predictors: Vec<String>,
     runs: Vec<String>,
     cells: Vec<GridCell>,
+    /// run label -> predictor label -> cell index, built once at
+    /// construction so [`GridResult::ratio`] is O(1) instead of a scan
+    /// over every cell. Keeps the first cell for a duplicated
+    /// (run, predictor) pair, matching the old linear-search semantics.
+    index: HashMap<String, HashMap<String, usize>>,
+}
+
+impl PartialEq for GridResult {
+    fn eq(&self, other: &Self) -> bool {
+        // The index is derived from the cells; comparing it would be
+        // redundant.
+        self.predictors == other.predictors
+            && self.runs == other.runs
+            && self.cells == other.cells
+    }
 }
 
 impl GridResult {
     /// Reassembles a grid from its parts — the inverse of the accessors,
     /// used by the JSON report codec.
     pub fn from_parts(predictors: Vec<String>, runs: Vec<String>, cells: Vec<GridCell>) -> Self {
+        let mut index: HashMap<String, HashMap<String, usize>> = HashMap::new();
+        for (i, cell) in cells.iter().enumerate() {
+            index
+                .entry(cell.run.clone())
+                .or_default()
+                .entry(cell.predictor.clone())
+                .or_insert(i);
+        }
         Self {
             predictors,
             runs,
             cells,
+            index,
         }
     }
 
@@ -51,12 +85,11 @@ impl GridResult {
         &self.cells
     }
 
-    /// The ratio for (run, predictor), if present.
+    /// The ratio for (run, predictor), if present. O(1): resolved through
+    /// the index built at construction.
     pub fn ratio(&self, run: &str, predictor: &str) -> Option<f64> {
-        self.cells
-            .iter()
-            .find(|c| c.run == run && c.predictor == predictor)
-            .map(|c| c.ratio)
+        let i = *self.index.get(run)?.get(predictor)?;
+        Some(self.cells[i].ratio)
     }
 
     /// The arithmetic-mean misprediction ratio of a predictor across all
@@ -86,53 +119,56 @@ impl GridResult {
     }
 }
 
+/// Generates a benchmark run's trace at `scale` (`1.0` = the full figure
+/// trace, bit-identical to `run.generate()`).
+fn generate_trace(run: &BenchmarkRun, scale: f64) -> Trace {
+    if (scale - 1.0).abs() < f64::EPSILON {
+        run.generate()
+    } else {
+        run.generate_scaled(scale)
+    }
+}
+
 /// Runs every predictor kind over every benchmark run at `scale` of the
 /// full trace size. `scale = 1.0` reproduces the figures; tests use small
 /// scales.
 ///
-/// Work is spread across one thread per benchmark run (the runs are
-/// independent simulations); results are deterministic and identical to a
-/// serial evaluation.
+/// Uses a work-stealing pool sized from the environment (see
+/// [`ibp_exec::thread_count`]; pin with `IBP_THREADS=n`). Equivalent to
+/// [`compare_grid_with`] on [`Executor::from_env`].
 pub fn compare_grid(kinds: &[PredictorKind], runs: &[BenchmarkRun], scale: f64) -> GridResult {
-    let predictors: Vec<String> = kinds.iter().map(|k| k.label()).collect();
-    let run_labels: Vec<String> = runs.iter().map(|r| r.label()).collect();
-    let per_run: Vec<Vec<GridCell>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = runs
-            .iter()
-            .map(|run| scope.spawn(move || grid_row(kinds, run, scale)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("simulation threads do not panic"))
-            .collect()
-    });
-    GridResult {
-        predictors,
-        runs: run_labels,
-        cells: per_run.into_iter().flatten().collect(),
-    }
+    compare_grid_with(&Executor::from_env(), kinds, runs, scale)
 }
 
-/// One grid row: every predictor over one benchmark run.
-fn grid_row(kinds: &[PredictorKind], run: &BenchmarkRun, scale: f64) -> Vec<GridCell> {
-    let trace = if (scale - 1.0).abs() < f64::EPSILON {
-        run.generate()
-    } else {
-        run.generate_scaled(scale)
-    };
-    kinds
-        .iter()
-        .map(|&kind| {
-            let mut predictor = kind.build();
-            let result: RunResult = simulate(predictor.as_mut(), &trace);
-            GridCell {
-                run: run.label(),
-                predictor: predictor.name(),
-                ratio: result.misprediction_ratio(),
-                predictions: result.predictions(),
-            }
-        })
-        .collect()
+/// [`compare_grid`] on an explicit executor.
+///
+/// Two parallel stages: trace generation fans out over benchmark runs,
+/// then every (run, predictor) pair becomes one task on the pool — a slow
+/// predictor occupies one worker while the rest of the product proceeds.
+/// Each task monomorphizes its simulation loop via
+/// [`PredictorKind::simulate_trace`]. Cells are committed in row-major
+/// (run, then predictor) grid order, so the result is bit-identical to a
+/// serial evaluation for any worker count.
+pub fn compare_grid_with(
+    exec: &Executor,
+    kinds: &[PredictorKind],
+    runs: &[BenchmarkRun],
+    scale: f64,
+) -> GridResult {
+    let predictors: Vec<String> = kinds.iter().map(|k| k.label()).collect();
+    let run_labels: Vec<String> = runs.iter().map(|r| r.label()).collect();
+    let traces: Vec<Trace> = exec.map(runs, |_, run| generate_trace(run, scale));
+    let cells = exec.run(runs.len() * kinds.len(), |i| {
+        let (run_idx, kind_idx) = (i / kinds.len(), i % kinds.len());
+        let result: RunResult = kinds[kind_idx].simulate_trace(&traces[run_idx]);
+        GridCell {
+            run: run_labels[run_idx].clone(),
+            predictor: result.predictor().to_string(),
+            ratio: result.misprediction_ratio(),
+            predictions: result.predictions(),
+        }
+    });
+    GridResult::from_parts(predictors, run_labels, cells)
 }
 
 #[cfg(test)]
@@ -175,5 +211,40 @@ mod tests {
         let label = runs[0].label();
         assert!(grid.ratio(&label, "BTB").is_some());
         assert!(grid.ratio(&label, "PPM-hyb").is_none());
+    }
+
+    #[test]
+    fn ratio_index_keeps_first_duplicate() {
+        // A malformed grid with a duplicated (run, predictor) pair must
+        // resolve to the first cell, like the linear scan it replaced.
+        let cell = |ratio| GridCell {
+            run: "r".into(),
+            predictor: "p".into(),
+            ratio,
+            predictions: 1,
+        };
+        let grid = GridResult::from_parts(
+            vec!["p".into()],
+            vec!["r".into()],
+            vec![cell(0.25), cell(0.75)],
+        );
+        assert_eq!(grid.ratio("r", "p"), Some(0.25));
+        assert_eq!(grid.ratio("r", "q"), None);
+        assert_eq!(grid.ratio("s", "p"), None);
+    }
+
+    #[test]
+    fn parallel_grid_is_bit_identical_to_serial() {
+        let runs = &paper_suite()[..2];
+        let kinds = [
+            PredictorKind::Btb,
+            PredictorKind::TcPib,
+            PredictorKind::PpmHyb,
+        ];
+        let serial = compare_grid_with(&Executor::new(1), &kinds, runs, 0.01);
+        for threads in [2, 5] {
+            let parallel = compare_grid_with(&Executor::new(threads), &kinds, runs, 0.01);
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
     }
 }

@@ -68,12 +68,17 @@ impl<P: IndirectPredictor> DelayedPredictor<P> {
     /// shifts) by `delay` branch events — a front end with no speculative
     /// history maintenance.
     pub fn new(inner: P, delay: usize) -> Self {
+        // Each branch event enqueues at most one update and one observe,
+        // and entries drain once they age past `delay` events, so the
+        // queues never exceed 2 * (delay + 1) entries. Reserving that up
+        // front keeps the per-event hot path reallocation-free.
+        let capacity = 2 * (delay + 1);
         Self {
             inner,
             delay,
             immediate_history: false,
-            queue: VecDeque::new(),
-            events_behind: VecDeque::new(),
+            queue: VecDeque::with_capacity(capacity),
+            events_behind: VecDeque::with_capacity(capacity),
         }
     }
 
@@ -269,6 +274,22 @@ mod tests {
         p.reset();
         p.drain();
         assert_eq!(p.predict(Addr::new(0x40)), None);
+    }
+
+    #[test]
+    fn queues_never_reallocate_past_construction() {
+        let mut p = DelayedPredictor::new(Btb::new(64), 4);
+        let reserved = (p.queue.capacity(), p.events_behind.capacity());
+        for event in cyclic_trace(500).iter() {
+            p.update(event.pc(), event.target());
+            p.observe(event);
+        }
+        assert!(p.queue.len() <= 2 * (p.delay() + 1));
+        assert_eq!(
+            (p.queue.capacity(), p.events_behind.capacity()),
+            reserved,
+            "in-flight queues must stay within their construction reserve"
+        );
     }
 
     #[test]

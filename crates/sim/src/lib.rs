@@ -29,7 +29,8 @@ pub mod report;
 pub mod runner;
 pub mod zoo;
 
-pub use compare::{compare_grid, GridResult};
+pub use compare::{compare_grid, compare_grid_with, GridResult};
+pub use ibp_exec::Executor;
 pub use delay::DelayedPredictor;
 pub use json::{Json, JsonError};
 pub use runner::{ras_accuracy, simulate, simulate_stream, RunResult};

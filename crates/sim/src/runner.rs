@@ -1,9 +1,13 @@
 //! The per-trace simulation loop.
 
+use ibp_exec::FastMap;
 use ibp_isa::Addr;
 use ibp_predictors::{IndirectPredictor, ReturnAddressStack};
 use ibp_trace::Trace;
-use std::collections::HashMap;
+
+/// Initial capacity of the per-branch accounting map: covers every suite
+/// workload's static site population without a mid-simulation rehash.
+const PER_BRANCH_CAPACITY: usize = 128;
 
 /// The outcome of one predictor × trace simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -12,7 +16,7 @@ pub struct RunResult {
     predictions: u64,
     mispredictions: u64,
     /// Per static branch: (predictions, mispredictions).
-    per_branch: HashMap<u64, (u64, u64)>,
+    per_branch: FastMap<u64, (u64, u64)>,
 }
 
 impl RunResult {
@@ -75,6 +79,11 @@ impl RunResult {
     }
 
     /// The `n` sites with the most mispredictions.
+    ///
+    /// Ties on the misprediction count are broken by **ascending PC**:
+    /// [`RunResult::branches`] returns sites PC-sorted and the sort here
+    /// is stable, so the report is reproducible regardless of the map
+    /// implementation backing the per-branch accounting.
     pub fn worst_branches(&self, n: usize) -> Vec<(Addr, u64, u64)> {
         let mut v = self.branches();
         v.sort_by_key(|&(_, _, m)| std::cmp::Reverse(m));
@@ -104,7 +113,7 @@ where
         predictor: predictor.name(),
         predictions: 0,
         mispredictions: 0,
-        per_branch: HashMap::new(),
+        per_branch: FastMap::with_capacity(PER_BRANCH_CAPACITY),
     };
     for event in events {
         if event.class().is_predicted_indirect() {
@@ -112,7 +121,9 @@ where
             let actual = event.target();
             let correct = predicted == Some(actual);
             result.predictions += 1;
-            let entry = result.per_branch.entry(event.pc().raw()).or_insert((0, 0));
+            let entry = result
+                .per_branch
+                .or_insert_with(event.pc().raw(), || (0, 0));
             entry.0 += 1;
             if !correct {
                 result.mispredictions += 1;
@@ -248,5 +259,33 @@ mod tests {
     #[test]
     fn ras_accuracy_empty_trace() {
         assert_eq!(ras_accuracy(&Trace::new(), 4), 0.0);
+    }
+
+    #[test]
+    fn worst_branches_breaks_ties_by_ascending_pc() {
+        // Three sites tied at 5 mispredictions, one clear winner at 9,
+        // inserted in shuffled order: the report must come back ordered
+        // by count desc, then PC asc — independent of map layout.
+        let r = RunResult::from_parts(
+            "test".into(),
+            40,
+            24,
+            [
+                (0x300u64, (10u64, 5u64)),
+                (0x100, (10, 5)),
+                (0x400, (10, 9)),
+                (0x200, (10, 5)),
+            ],
+        );
+        let worst = r.worst_branches(4);
+        let pcs: Vec<u64> = worst.iter().map(|(pc, _, _)| pc.raw()).collect();
+        assert_eq!(pcs, vec![0x400, 0x100, 0x200, 0x300]);
+        // Truncation keeps the smallest-PC members of the tied group.
+        let top2: Vec<u64> = r
+            .worst_branches(2)
+            .iter()
+            .map(|(pc, _, _)| pc.raw())
+            .collect();
+        assert_eq!(top2, vec![0x400, 0x100]);
     }
 }

@@ -5,12 +5,122 @@
 //! [`PredictorKind`] centralizes the configurations of §5 so a figure is
 //! described by a list of kinds.
 
+use crate::runner::{simulate, RunResult};
 use ibp_ppm::{PpmHybrid, PpmPib, SelectorKind, StackConfig};
 use ibp_predictors::{
     Btb, Btb2b, Cascade, CascadeConfig, DualPath, DualPathConfig, GApConfig, GApPredictor,
     HistoryGroup, IndirectPredictor, Ittage, IttageConfig, PathOracle, TargetCache,
     TargetCacheConfig,
 };
+use ibp_trace::Trace;
+
+/// Dispatches on a [`PredictorKind`] once, binding `$make` in each arm to
+/// a zero-arg constructor of the *concrete* predictor type. Everything in
+/// `$body` — in particular [`simulate`]'s per-event loop — monomorphizes
+/// per arm, so dynamic dispatch happens once per task instead of three
+/// times per branch event. [`PredictorKind::build_with_entries`] and the
+/// monomorphized simulation paths share these arms, so the configurations
+/// cannot drift apart.
+macro_rules! dispatch_kind {
+    ($kind:expr, $entries:ident, $make:ident => $body:expr) => {{
+        assert!($entries >= 64, "budget too small to configure predictors");
+        match $kind {
+            PredictorKind::Btb => {
+                let $make = || Btb::new($entries);
+                $body
+            }
+            PredictorKind::Btb2b => {
+                let $make = || Btb2b::new($entries);
+                $body
+            }
+            PredictorKind::GAp => {
+                let $make = || {
+                    GApPredictor::new(GApConfig {
+                        entries_per_bank: $entries / 2,
+                        ..GApConfig::paper()
+                    })
+                };
+                $body
+            }
+            PredictorKind::TcPib => {
+                let $make = || {
+                    TargetCache::new(TargetCacheConfig {
+                        entries: $entries,
+                        ..TargetCacheConfig::paper_pib()
+                    })
+                };
+                $body
+            }
+            PredictorKind::TcPb => {
+                let $make = || {
+                    TargetCache::new(TargetCacheConfig {
+                        entries: $entries,
+                        ..TargetCacheConfig::paper_pb()
+                    })
+                };
+                $body
+            }
+            PredictorKind::Dpath => {
+                let $make = || {
+                    DualPath::new(DualPathConfig {
+                        entries_per_component: $entries / 2,
+                        selector_entries: ($entries / 2).max(64),
+                        ..DualPathConfig::paper()
+                    })
+                };
+                $body
+            }
+            PredictorKind::Cascade => {
+                let $make = || {
+                    let per_component = ($entries / 2).max(64);
+                    // Keep the filter at the paper's 1/16 proportion.
+                    let filter = ($entries / 16).clamp(32, 1024);
+                    Cascade::new(CascadeConfig {
+                        filter_entries: filter,
+                        filter_ways: 4,
+                        core: DualPathConfig {
+                            entries_per_component: per_component,
+                            selector_entries: per_component,
+                            ..DualPathConfig::cascade_core()
+                        },
+                    })
+                };
+                $body
+            }
+            PredictorKind::PpmHyb => {
+                let $make =
+                    || PpmHybrid::new(PredictorKind::ppm_stack($entries), SelectorKind::Normal);
+                $body
+            }
+            PredictorKind::PpmPib => {
+                let $make = || PpmPib::new(PredictorKind::ppm_stack($entries));
+                $body
+            }
+            PredictorKind::PpmHybBiased => {
+                let $make =
+                    || PpmHybrid::new(PredictorKind::ppm_stack($entries), SelectorKind::PibBiased);
+                $body
+            }
+            PredictorKind::OraclePib(depth) => {
+                let $make = || PathOracle::new(depth as usize, HistoryGroup::AllIndirect);
+                $body
+            }
+            PredictorKind::IttageLite => {
+                let $make = || {
+                    // Keep the 1:3 base:tagged split while scaling the budget.
+                    let base = ($entries / 4).max(64);
+                    let per_table = (($entries - base) / 4).max(16);
+                    Ittage::new(IttageConfig {
+                        base_entries: base,
+                        table_entries: per_table,
+                        ..IttageConfig::budget_2k()
+                    })
+                };
+                $body
+            }
+        }
+    }};
+}
 
 /// Every predictor configuration used by the paper's figures and this
 /// reproduction's ablations.
@@ -79,64 +189,49 @@ impl PredictorKind {
     ///
     /// Panics if `entries < 64` (degenerate configurations).
     pub fn build_with_entries(self, entries: usize) -> Box<dyn IndirectPredictor> {
-        assert!(entries >= 64, "budget too small to configure predictors");
-        match self {
-            PredictorKind::Btb => Box::new(Btb::new(entries)),
-            PredictorKind::Btb2b => Box::new(Btb2b::new(entries)),
-            PredictorKind::GAp => Box::new(GApPredictor::new(GApConfig {
-                entries_per_bank: entries / 2,
-                ..GApConfig::paper()
-            })),
-            PredictorKind::TcPib => Box::new(TargetCache::new(TargetCacheConfig {
-                entries,
-                ..TargetCacheConfig::paper_pib()
-            })),
-            PredictorKind::TcPb => Box::new(TargetCache::new(TargetCacheConfig {
-                entries,
-                ..TargetCacheConfig::paper_pb()
-            })),
-            PredictorKind::Dpath => Box::new(DualPath::new(DualPathConfig {
-                entries_per_component: entries / 2,
-                selector_entries: (entries / 2).max(64),
-                ..DualPathConfig::paper()
-            })),
-            PredictorKind::Cascade => {
-                let per_component = (entries / 2).max(64);
-                // Keep the filter at the paper's 1/16 proportion.
-                let filter = (entries / 16).clamp(32, 1024);
-                Box::new(Cascade::new(CascadeConfig {
-                    filter_entries: filter,
-                    filter_ways: 4,
-                    core: DualPathConfig {
-                        entries_per_component: per_component,
-                        selector_entries: per_component,
-                        ..DualPathConfig::cascade_core()
-                    },
-                }))
-            }
-            PredictorKind::PpmHyb => Box::new(PpmHybrid::new(
-                Self::ppm_stack(entries),
-                SelectorKind::Normal,
-            )),
-            PredictorKind::PpmPib => Box::new(PpmPib::new(Self::ppm_stack(entries))),
-            PredictorKind::PpmHybBiased => Box::new(PpmHybrid::new(
-                Self::ppm_stack(entries),
-                SelectorKind::PibBiased,
-            )),
-            PredictorKind::OraclePib(depth) => {
-                Box::new(PathOracle::new(depth as usize, HistoryGroup::AllIndirect))
-            }
-            PredictorKind::IttageLite => {
-                // Keep the 1:3 base:tagged split while scaling the budget.
-                let base = (entries / 4).max(64);
-                let per_table = ((entries - base) / 4).max(16);
-                Box::new(Ittage::new(IttageConfig {
-                    base_entries: base,
-                    table_entries: per_table,
-                    ..IttageConfig::budget_2k()
-                }))
-            }
-        }
+        dispatch_kind!(self, entries, make => Box::new(make()))
+    }
+
+    /// Simulates `trace` through a fresh §5-budget instance of this
+    /// predictor with the per-event loop monomorphized over the concrete
+    /// predictor type (no virtual dispatch inside the loop).
+    pub fn simulate_trace(self, trace: &Trace) -> RunResult {
+        self.simulate_with_entries(2048, trace)
+    }
+
+    /// Budget-scaled form of [`PredictorKind::simulate_trace`].
+    ///
+    /// Behaviorally identical to
+    /// `simulate(&mut *self.build_with_entries(entries), trace)` — the
+    /// constructors are shared arm-for-arm — but the predict/update/observe
+    /// calls compile to static dispatch, which is where the hot loop spends
+    /// its time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < 64` (degenerate configurations).
+    pub fn simulate_with_entries(self, entries: usize, trace: &Trace) -> RunResult {
+        dispatch_kind!(self, entries, make => {
+            let mut p = make();
+            simulate(&mut p, trace)
+        })
+    }
+
+    /// Simulates every trace in `traces` through fresh instances of this
+    /// predictor, monomorphizing the whole batch under a single dispatch.
+    ///
+    /// This is the task-boundary entry point the sweep engine uses: one
+    /// virtual-free inner loop per (kind, budget), dyn dispatch only here.
+    pub fn simulate_batch(self, entries: usize, traces: &[&Trace]) -> Vec<RunResult> {
+        dispatch_kind!(self, entries, make => {
+            traces
+                .iter()
+                .map(|trace| {
+                    let mut p = make();
+                    simulate(&mut p, trace)
+                })
+                .collect()
+        })
     }
 
     fn ppm_stack(entries: usize) -> StackConfig {
@@ -241,5 +336,39 @@ mod tests {
     #[should_panic(expected = "budget too small")]
     fn tiny_budget_panics() {
         let _ = PredictorKind::Btb.build_with_entries(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget too small")]
+    fn tiny_budget_panics_when_simulating() {
+        let _ = PredictorKind::Btb.simulate_with_entries(32, &Trace::new());
+    }
+
+    #[test]
+    fn monomorphized_simulation_matches_dyn_dispatch() {
+        let trace = ibp_workloads::paper_suite()[0].generate_scaled(0.05);
+        let kinds = [
+            PredictorKind::Btb,
+            PredictorKind::Btb2b,
+            PredictorKind::GAp,
+            PredictorKind::TcPib,
+            PredictorKind::TcPb,
+            PredictorKind::Dpath,
+            PredictorKind::Cascade,
+            PredictorKind::PpmHyb,
+            PredictorKind::PpmPib,
+            PredictorKind::PpmHybBiased,
+            PredictorKind::OraclePib(4),
+            PredictorKind::IttageLite,
+        ];
+        for kind in kinds {
+            for entries in [512, 2048] {
+                let dynamic = simulate(&mut *kind.build_with_entries(entries), &trace);
+                let mono = kind.simulate_with_entries(entries, &trace);
+                assert_eq!(dynamic, mono, "{kind:?} @ {entries}");
+                let batch = kind.simulate_batch(entries, &[&trace, &trace]);
+                assert_eq!(batch, vec![mono.clone(), mono], "{kind:?} @ {entries}");
+            }
+        }
     }
 }

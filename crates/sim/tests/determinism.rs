@@ -1,0 +1,75 @@
+//! The sweep engine's determinism contract: a grid evaluated on the
+//! work-stealing pool is **bit-identical** to the serial evaluation, for
+//! any pool size, any predictor lineup and any run subset. Results are
+//! committed in grid order regardless of task completion order, so the
+//! emitted JSON must also match byte-for-byte (see DESIGN.md,
+//! "Determinism").
+
+use ibp_exec::Executor;
+use ibp_sim::report::grid_to_json;
+use ibp_sim::{compare_grid_with, PredictorKind};
+use ibp_testkit::{prop_assert, prop_assert_eq, Prop, TestRng};
+use ibp_workloads::paper_suite;
+
+/// Pool sizes exercised for every case: serial, the smallest truly
+/// concurrent pool, and an oversubscribed one (more threads than this
+/// container has cores, so the steal order is maximally scrambled).
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
+
+/// Draws a non-empty predictor lineup and run subset plus a small trace
+/// scale. Kept cheap: determinism must hold for any input, so small
+/// grids falsify as well as big ones and keep the property fast.
+fn gen_case(rng: &mut TestRng) -> (u8, u8, u8) {
+    let kind_mask = rng.gen_range(1..128u64) as u8; // 7 figure-6 kinds
+    let run_count = rng.gen_range(1..4u64) as u8;
+    let scale_milli = rng.gen_range(2..8u64) as u8;
+    (kind_mask, run_count, scale_milli)
+}
+
+#[test]
+fn parallel_grid_is_bit_identical_to_serial_at_any_pool_size() {
+    let all_kinds = PredictorKind::figure6();
+    let suite = paper_suite();
+    Prop::new("grid determinism across pool sizes")
+        .cases(6)
+        .run(gen_case, |&(kind_mask, run_count, scale_milli)| {
+            let kinds: Vec<PredictorKind> = all_kinds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| kind_mask >> i & 1 == 1)
+                .map(|(_, &k)| k)
+                .collect();
+            let runs = &suite[..run_count as usize];
+            let scale = f64::from(scale_milli) / 1000.0;
+
+            let serial = compare_grid_with(&Executor::new(POOL_SIZES[0]), &kinds, runs, scale);
+            prop_assert!(
+                !serial.cells().is_empty(),
+                "grid unexpectedly empty for mask {kind_mask:#x}"
+            );
+            let golden = grid_to_json(&serial);
+            for &threads in &POOL_SIZES[1..] {
+                let parallel = compare_grid_with(&Executor::new(threads), &kinds, runs, scale);
+                prop_assert_eq!(&serial, &parallel, "{} threads", threads);
+                prop_assert_eq!(
+                    &golden,
+                    &grid_to_json(&parallel),
+                    "JSON not byte-identical at {} threads",
+                    threads
+                );
+            }
+            Ok(())
+        });
+}
+
+#[test]
+fn repeated_evaluation_is_stable() {
+    // Same executor, same inputs, evaluated twice: the pool must not
+    // carry state from one grid into the next.
+    let kinds = [PredictorKind::Btb, PredictorKind::PpmHyb];
+    let runs = &paper_suite()[..2];
+    let exec = Executor::new(8);
+    let first = compare_grid_with(&exec, &kinds, runs, 0.005);
+    let second = compare_grid_with(&exec, &kinds, runs, 0.005);
+    assert_eq!(first, second);
+}

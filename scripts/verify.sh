@@ -34,4 +34,15 @@ cargo build --release --offline
 echo "== tests (offline) =="
 cargo test -q --offline --workspace
 
+echo "== throughput bench (quick) + report validation =="
+# One cheap rep at a tiny trace scale: this gates that the bench runs,
+# emits a report, and the report passes its own --check validator — not
+# that any particular speed is reached (wall time is machine-dependent).
+bench_dir=$(mktemp -d)
+trap 'rm -rf "$bench_dir"' EXIT
+IBP_BENCH_DIR="$bench_dir" IBP_BENCH_REPS=1 IBP_BENCH_MIN_MS=1 IBP_BENCH_SCALE=0.005 \
+  cargo bench -q --offline -p ibp-bench --bench throughput
+cargo bench -q --offline -p ibp-bench --bench throughput -- \
+  --check "$bench_dir/BENCH_throughput.json"
+
 echo "verify: OK"

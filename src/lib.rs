@@ -11,6 +11,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`exec`] | `ibp-exec` | work-stealing task pool, FxHash fast map |
 //! | [`hw`] | `ibp-hw` | counters, tables, history registers, hashes |
 //! | [`isa`] | `ibp-isa` | Alpha-like branch taxonomy and addresses |
 //! | [`trace`] | `ibp-trace` | branch events, capture, codecs, statistics |
@@ -49,6 +50,7 @@
 //! the binaries regenerating each table and figure of the paper.
 
 pub use ibp_compress as compress;
+pub use ibp_exec as exec;
 pub use ibp_hw as hw;
 pub use ibp_isa as isa;
 pub use ibp_ppm as ppm;
