@@ -1,0 +1,396 @@
+//! Drives the pass: walks the workspace, lexes each file, runs the
+//! rules, and resolves suppression markers.
+//!
+//! File classification happens here, from the path alone:
+//!
+//! * `crates/<name>/...` assigns the crate name the per-crate rule lists
+//!   key on; anything outside `crates/` (root `src/`, `xtask`-style
+//!   helpers) has no crate name and only the universal rules apply.
+//! * a `tests/` or `benches/` path component marks the whole file as
+//!   test code (integration tests and benches are compiled as their own
+//!   crates, so there is no `#[cfg(test)]` wrapper to detect).
+//! * within ordinary files, `#[test]` / `#[cfg(test)]` items are found
+//!   by attribute scan + brace matching, and lines inside them are
+//!   exempt from the test-scoped rules (L003, L004).
+
+use std::fs;
+use std::path::Path;
+
+use crate::lexer::{self, Token};
+use crate::manifest::{self, LineKind};
+use crate::rules;
+use crate::suppress::{self, Marker};
+use crate::Diagnostic;
+
+/// One lexed Rust file plus the classification the rules consume.
+pub struct RustFile<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: &'a str,
+    /// `Some("hw")` for `crates/hw/...`; `None` outside `crates/`.
+    pub crate_name: Option<&'a str>,
+    /// True when every line counts as test code (`tests/`, `benches/`).
+    pub all_test: bool,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Inclusive line ranges of `#[test]` / `#[cfg(test)]` items.
+    test_spans: Vec<(u32, u32)>,
+}
+
+impl<'a> RustFile<'a> {
+    /// Lexes `source` and computes test spans.
+    pub fn new(
+        path: &'a str,
+        crate_name: Option<&'a str>,
+        all_test: bool,
+        source: &str,
+    ) -> Self {
+        let tokens = lexer::lex(source);
+        let test_spans = test_spans(&tokens);
+        Self {
+            path,
+            crate_name,
+            all_test,
+            tokens,
+            test_spans,
+        }
+    }
+
+    /// True when `line` falls inside test code.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.all_test
+            || self
+                .test_spans
+                .iter()
+                .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+}
+
+/// Scans the code tokens for test-marked items and returns their
+/// inclusive line spans. An item is test-marked when any attribute in
+/// its attribute run is `#[test]` (first ident `test`) or a `cfg` whose
+/// argument mentions `test` without `not` (`#[cfg(test)]`,
+/// `#[cfg(all(test, ...))]` — but not `#[cfg(not(test))]`).
+fn test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let starts_attr = code[i].is_punct('#')
+            && code.get(i + 1).is_some_and(|t| t.is_punct('['));
+        if !starts_attr {
+            i += 1;
+            continue;
+        }
+        let span_start = code[i].line;
+        let mut is_test = false;
+        let mut j = i;
+        while j < code.len()
+            && code[j].is_punct('#')
+            && code.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let (attr_is_test, after) = parse_attr(&code, j);
+            is_test = is_test || attr_is_test;
+            j = after;
+        }
+        if !is_test {
+            i = j.max(i + 1);
+            continue;
+        }
+        let (end_line, after_item) = item_extent(&code, j);
+        spans.push((span_start, end_line));
+        i = after_item.max(i + 1);
+    }
+    spans
+}
+
+/// Parses one `#[...]` attribute starting at `code[i]` (the `#`).
+/// Returns (is_test, index one past the closing `]`).
+fn parse_attr(code: &[&Token], i: usize) -> (bool, usize) {
+    let mut idents: Vec<&str> = Vec::new();
+    let mut depth = 0usize;
+    let mut j = i + 1; // at `[`
+    while j < code.len() {
+        let t = code[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if t.kind == lexer::TokenKind::Ident {
+            idents.push(&t.text);
+        }
+        j += 1;
+    }
+    let is_test = match idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => {
+            idents.iter().any(|&s| s == "test") && !idents.iter().any(|&s| s == "not")
+        }
+        _ => false,
+    };
+    (is_test, j)
+}
+
+/// Finds the extent of the item following an attribute run: either a
+/// brace-matched `{ ... }` body, or a `;` for braceless items
+/// (`#[cfg(test)] mod tests;`). Returns (last line, index one past).
+fn item_extent(code: &[&Token], from: usize) -> (u32, usize) {
+    let mut j = from;
+    while j < code.len() {
+        let t = code[j];
+        if t.is_punct(';') {
+            return (t.line, j + 1);
+        }
+        if t.is_punct('{') {
+            let mut depth = 0usize;
+            while j < code.len() {
+                if code[j].is_punct('{') {
+                    depth += 1;
+                } else if code[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return (code[j].line, j + 1);
+                    }
+                }
+                j += 1;
+            }
+            break;
+        }
+        j += 1;
+    }
+    let last = code.last().map_or(1, |t| t.end_line());
+    (last, code.len())
+}
+
+/// Extracts suppression markers from a Rust token stream. A trailing
+/// marker (code earlier on its own line) targets that line; a standalone
+/// marker targets the line of the next code token — or of the next
+/// marker, so an `allow(L006, ...)` can sit directly above the stale
+/// marker it excuses. Plain explanatory comments in between are skipped.
+fn collect_markers(tokens: &[Token]) -> Vec<Marker> {
+    let is_marker: Vec<bool> = tokens
+        .iter()
+        .map(|t| {
+            t.is_comment() && suppress::marker_from_comment(&t.text, t.line, t.col, 0).is_some()
+        })
+        .collect();
+    let mut out = Vec::new();
+    for (idx, t) in tokens.iter().enumerate() {
+        if !is_marker[idx] {
+            continue;
+        }
+        let trailing = tokens[..idx]
+            .iter()
+            .any(|p| p.is_code() && p.end_line() == t.line);
+        let target = if trailing {
+            t.line
+        } else {
+            tokens[idx + 1..]
+                .iter()
+                .zip(&is_marker[idx + 1..])
+                .find(|(p, m)| p.is_code() || **m)
+                .map_or(t.end_line() + 1, |(p, _)| p.line)
+        };
+        if let Some(m) = suppress::marker_from_comment(&t.text, t.line, t.col, target) {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Lints one manifest: L001 over dependency entries, with `#` comment
+/// markers resolved the same way as Rust ones.
+fn analyze_manifest(path: &str, source: &str) -> Vec<Diagnostic> {
+    let scan = manifest::scan(source);
+    let diags = rules::check_manifest(path, &scan);
+    let mut markers = Vec::new();
+    for (line, col, text, had_content) in &scan.comments {
+        let stripped = text.trim_start_matches('#').trim();
+        let target = if *had_content {
+            *line
+        } else {
+            next_content_line(&scan.lines, *line)
+        };
+        if let Some(m) = suppress::marker_from_stripped(stripped, *line, *col, target) {
+            markers.push(m);
+        }
+    }
+    suppress::apply(path, diags, &markers)
+}
+
+/// First Content line after `line`, or `line + 1` when none follows.
+fn next_content_line(lines: &[LineKind], line: u32) -> u32 {
+    lines
+        .iter()
+        .enumerate()
+        .skip(line as usize)
+        .find(|(_, k)| **k == LineKind::Content)
+        .map_or(line + 1, |(i, _)| (i + 1) as u32)
+}
+
+/// Lints one file (dispatching on path) and applies suppressions.
+/// This is the unit the rule self-tests drive with inline sources.
+pub fn analyze_file(
+    rel_path: &str,
+    source: &str,
+    crate_name: Option<&str>,
+    all_test: bool,
+) -> Vec<Diagnostic> {
+    if rel_path.ends_with("Cargo.toml") {
+        analyze_manifest(rel_path, source)
+    } else {
+        let file = RustFile::new(rel_path, crate_name, all_test, source);
+        let diags = rules::check_rust(&file);
+        let markers = collect_markers(&file.tokens);
+        suppress::apply(rel_path, diags, &markers)
+    }
+}
+
+/// Lints every `.rs` and `Cargo.toml` under `root`, skipping `target/`
+/// and dot-directories. Diagnostics come back sorted by
+/// (path, line, col, rule) so output is stable run to run.
+pub fn analyze_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let mut files = Vec::new();
+    walk(root, Path::new(""), &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("reading {rel}: {e}"))?;
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next());
+        let all_test = rel
+            .split('/')
+            .any(|part| part == "tests" || part == "benches");
+        out.extend(analyze_file(rel, &source, crate_name, all_test));
+    }
+    out.sort_by(|a, b| {
+        (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+    });
+    Ok(out)
+}
+
+/// Recursive directory walk collecting workspace-relative paths.
+fn walk(root: &Path, rel: &Path, files: &mut Vec<String>) -> Result<(), String> {
+    let dir = root.join(rel);
+    let entries = fs::read_dir(&dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let file_type = entry
+            .file_type()
+            .map_err(|e| format!("stat {}: {e}", entry.path().display()))?;
+        let child = rel.join(name);
+        if file_type.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &child, files)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            let path = child
+                .to_str()
+                .map(|s| s.replace('\\', "/"))
+                .ok_or_else(|| format!("non-UTF-8 path under {}", dir.display()))?;
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    #[test]
+    fn cfg_test_module_lines_are_test_code() {
+        let src = "fn a() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn b() {}\n\
+                   }\n\
+                   fn c() {}\n";
+        let f = RustFile::new("crates/hw/src/x.rs", Some("hw"), false, src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(2));
+        assert!(f.in_test_code(4));
+        assert!(f.in_test_code(5));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn test_attr_with_extra_attrs_spans_the_fn() {
+        let src = "#[test]\n#[ignore]\nfn t() {\n    body();\n}\nfn after() {}\n";
+        let f = RustFile::new("x.rs", None, false, src);
+        assert!(f.in_test_code(1));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = "#[cfg(not(test))]\nfn t() {\n    body();\n}\n";
+        let f = RustFile::new("x.rs", None, false, src);
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod m {\n    fn b() {}\n}\n";
+        let f = RustFile::new("x.rs", None, false, src);
+        assert!(f.in_test_code(3));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() {}\n";
+        let f = RustFile::new("x.rs", None, false, src);
+        assert!(f.in_test_code(2));
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn standalone_marker_targets_next_code_line() {
+        let src = "use std::collections::HashMap;\n";
+        let marked = format!(
+            "// ibp-lint: allow(L003, \"demonstration\")\n{src}"
+        );
+        let open = analyze_file("crates/hw/src/x.rs", src, Some("hw"), false);
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].rule, RuleId::Determinism);
+        let closed = analyze_file("crates/hw/src/x.rs", &marked, Some("hw"), false);
+        assert!(closed.is_empty(), "{closed:?}");
+    }
+
+    #[test]
+    fn trailing_marker_targets_its_own_line() {
+        let src = "use std::collections::HashMap; // ibp-lint: allow(L003, \"demo\")\n";
+        let out = analyze_file("crates/hw/src/x.rs", src, Some("hw"), false);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn manifest_marker_silences_l001() {
+        let src = "[dependencies]\n\
+                   # ibp-lint: allow(L001, \"fixture for the self-test\")\n\
+                   serde = \"1.0\"\n";
+        let out = analyze_file("crates/x/Cargo.toml", src, Some("x"), false);
+        assert!(out.is_empty(), "{out:?}");
+        let bare = "[dependencies]\nserde = \"1.0\"\n";
+        let open = analyze_file("crates/x/Cargo.toml", bare, Some("x"), false);
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].rule, RuleId::Hermeticity);
+    }
+
+    #[test]
+    fn tests_dir_files_are_all_test() {
+        let src = "use std::collections::HashMap;\nfn helper() { x.unwrap(); }\n";
+        let out = analyze_file("crates/hw/tests/int.rs", src, Some("hw"), true);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,64 @@
+//! `ibp-analyze` — the in-tree workspace lint engine.
+//!
+//! Mechanically enforces the invariants the workspace's correctness
+//! argument rests on, without reaching for syn or clippy (the workspace
+//! is hermetic; the linter has zero dependencies like everything else):
+//!
+//! * **L001 hermeticity** — every `Cargo.toml` dependency entry resolves
+//!   in-tree, so `cargo build --offline` can never regress.
+//! * **L002 safety-comments** — every `unsafe` carries a `SAFETY:`
+//!   justification where the next reader will see it.
+//! * **L003 determinism** — deterministic crates never iterate a
+//!   SipHash-seeded map or observe the wall clock, so grids and golden
+//!   fingerprints stay bit-identical.
+//! * **L004 no-panic** — hot-path crates cannot abort a sweep mid-grid.
+//! * **L005 thread-discipline** — parallelism exists only inside the
+//!   `ibp-exec` pool.
+//! * **L006 stale-suppression** — `ibp-lint: allow(...)` markers must be
+//!   live and carry a written reason, so suppressions never rot.
+//!
+//! The pipeline: [`lexer`] turns each file into comment/literal-aware
+//! tokens, [`manifest`] scans `Cargo.toml` sections, [`rules`] emits
+//! diagnostics, [`suppress`] resolves inline allow markers, and
+//! [`engine`] wires it all to the filesystem. `cargo run -p ibp-analyze
+//! -- --deny` is the verify-script entry point.
+
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod suppress;
+
+pub use engine::{analyze_file, analyze_workspace, RustFile};
+pub use rules::RuleId;
+
+use std::fmt;
+
+/// One lint finding, rendered as `file:line:col [RULE-ID] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} [{}] {}",
+            self.path,
+            self.line,
+            self.col,
+            self.rule.code(),
+            self.message
+        )
+    }
+}

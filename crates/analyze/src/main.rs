@@ -1,0 +1,91 @@
+//! CLI for the workspace lint engine.
+//!
+//! ```text
+//! ibp-analyze [--root <dir>] [--deny]   lint the workspace
+//! ibp-analyze --list-rules              print the rule table
+//! ```
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 findings under
+//! `--deny`, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ibp_analyze::{analyze_workspace, RuleId};
+
+fn print_help() {
+    println!("ibp-analyze — workspace lint engine (rules L001-L006)");
+    println!();
+    println!("USAGE:");
+    println!("    ibp-analyze [--root <dir>] [--deny]");
+    println!("    ibp-analyze --list-rules");
+    println!();
+    println!("OPTIONS:");
+    println!("    --root <dir>   workspace root to lint (default: current directory)");
+    println!("    --deny         exit 1 when any diagnostic is emitted");
+    println!("    --list-rules   print the rule table and exit");
+    println!("    -h, --help     show this help");
+    println!();
+    println!("Suppress a finding with a whole-comment marker on or above its line:");
+    println!("    // ibp-lint: allow(L003, \"reason\")   (# ... in Cargo.toml)");
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut list_rules = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("ibp-analyze: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ibp-analyze: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in RuleId::ALL {
+            println!("{}  {:<18} {}", rule.code(), rule.name(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    match analyze_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            eprintln!(
+                "ibp-analyze: clean ({} rules, 0 diagnostics)",
+                RuleId::ALL.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            eprintln!("ibp-analyze: {} diagnostic(s)", diags.len());
+            if deny {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("ibp-analyze: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! A line-oriented `Cargo.toml` scanner for the hermeticity rule.
+//!
+//! This is deliberately not a TOML parser: rule **L001** only needs to
+//! know, for every entry inside a `[*dependencies*]` section, whether the
+//! entry resolves in-tree (`workspace = true` or `path = ...`). The
+//! scanner mirrors — and retires — the awk guard that used to live in
+//! `scripts/verify.sh`, with two upgrades: comment-aware parsing (a `#`
+//! inside a quoted string no longer truncates the line) and `line:col`
+//! spans so diagnostics are clickable.
+
+/// One `name = ...` entry found inside a dependencies section.
+#[derive(Debug, Clone)]
+pub struct DepEntry {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column of the entry's first non-blank character.
+    pub col: u32,
+    /// The entry text with any trailing comment stripped.
+    pub text: String,
+    /// The `[section]` header this entry belongs to.
+    pub section: String,
+    /// True when the entry is `workspace = true` or carries `path = ...`.
+    pub hermetic: bool,
+}
+
+/// Classification of every line, used to resolve suppression targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineKind {
+    /// Blank or comment-only.
+    Inert,
+    /// A `[section]` header or key/value content.
+    Content,
+}
+
+/// One scanned manifest: dependency entries plus per-line metadata.
+#[derive(Debug)]
+pub struct ManifestScan {
+    /// Dependency entries in file order.
+    pub entries: Vec<DepEntry>,
+    /// `(line, col, comment_text, had_content_before)` for every `#`
+    /// comment; `col` is the 1-based column of the `#`.
+    pub comments: Vec<(u32, u32, String, bool)>,
+    /// Per-line classification, index 0 = line 1.
+    pub lines: Vec<LineKind>,
+}
+
+/// Scans a manifest source.
+pub fn scan(source: &str) -> ManifestScan {
+    let mut entries = Vec::new();
+    let mut comments = Vec::new();
+    let mut lines = Vec::new();
+    let mut section = String::new();
+    let mut in_deps = false;
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let (body, comment) = split_comment(raw);
+        let trimmed = body.trim();
+        if let Some(c) = comment {
+            let col = (body.chars().count() + 1) as u32;
+            comments.push((lineno, col, c.to_string(), !trimmed.is_empty()));
+        }
+        if trimmed.is_empty() {
+            lines.push(LineKind::Inert);
+            continue;
+        }
+        lines.push(LineKind::Content);
+        if let Some(header) = trimmed.strip_prefix('[') {
+            section = header.trim_end_matches(']').trim().to_string();
+            in_deps = section.contains("dependencies");
+            continue;
+        }
+        if in_deps && trimmed.contains('=') {
+            let col = (raw.len() - raw.trim_start().len() + 1) as u32;
+            let hermetic = has_workspace_true(trimmed) || has_path_key(trimmed);
+            entries.push(DepEntry {
+                line: lineno,
+                col,
+                text: trimmed.to_string(),
+                section: section.clone(),
+                hermetic,
+            });
+        }
+    }
+    ManifestScan {
+        entries,
+        comments,
+        lines,
+    }
+}
+
+/// Splits a raw line into (content, comment) at the first `#` that is not
+/// inside a double-quoted string.
+fn split_comment(raw: &str) -> (&str, Option<&str>) {
+    let bytes = raw.as_bytes();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_string => i += 1, // skip escaped char in basic strings
+            b'"' => in_string = !in_string,
+            b'#' if !in_string => return (&raw[..i], Some(&raw[i..])),
+            _ => {}
+        }
+        i += 1;
+    }
+    (raw, None)
+}
+
+/// True when `text` contains `workspace = true` at a word boundary
+/// (covers `foo.workspace = true` and `foo = { workspace = true }`).
+fn has_workspace_true(text: &str) -> bool {
+    has_key_then(text, "workspace", |rest| {
+        rest.trim_start().strip_prefix('=').is_some_and(|after| {
+            after.trim_start().starts_with("true")
+        })
+    })
+}
+
+/// True when `text` contains a `path =` key at a word boundary.
+fn has_path_key(text: &str) -> bool {
+    has_key_then(text, "path", |rest| {
+        rest.trim_start().starts_with('=')
+    })
+}
+
+/// Finds `key` at a word boundary in `text` and applies `check` to the
+/// remainder; TOML bare keys may contain `A-Za-z0-9_-`, so any other
+/// neighbour is a boundary.
+fn has_key_then(text: &str, key: &str, check: impl Fn(&str) -> bool) -> bool {
+    let is_word = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == '-';
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(key) {
+        let at = from + pos;
+        let before_ok = text[..at].chars().next_back().is_none_or(|c| !is_word(c));
+        let after = &text[at + key.len()..];
+        let after_ok = after.chars().next().is_none_or(|c| !is_word(c));
+        if before_ok && after_ok && check(after) {
+            return true;
+        }
+        from = at + key.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_registry_dependency() {
+        let s = scan("[dependencies]\nserde = \"1.0\"\n");
+        assert_eq!(s.entries.len(), 1);
+        assert!(!s.entries[0].hermetic);
+        assert_eq!((s.entries[0].line, s.entries[0].col), (2, 1));
+    }
+
+    #[test]
+    fn accepts_workspace_and_path_forms() {
+        let src = "[dependencies]\n\
+                   ibp-exec.workspace = true\n\
+                   ibp-hw = { workspace = true }\n\
+                   local = { path = \"../local\" }\n\
+                   inline = { path=\"x\", default-features = false }\n";
+        let s = scan(src);
+        assert_eq!(s.entries.len(), 4);
+        assert!(s.entries.iter().all(|e| e.hermetic), "{:#?}", s.entries);
+    }
+
+    #[test]
+    fn word_boundaries_prevent_xpath_and_workspaces() {
+        let s = scan("[dependencies]\nxpath = \"1\"\nworkspaces2 = \"1\"\n");
+        assert_eq!(s.entries.len(), 2);
+        assert!(s.entries.iter().all(|e| !e.hermetic));
+    }
+
+    #[test]
+    fn only_dependency_sections_are_scanned() {
+        let src = "[package]\nname = \"x\"\n[dev-dependencies]\nbad = \"1\"\n\
+                   [profile.release]\nlto = \"fat\"\n";
+        let s = scan(src);
+        assert_eq!(s.entries.len(), 1);
+        assert_eq!(s.entries[0].section, "dev-dependencies");
+        assert!(!s.entries[0].hermetic);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let s = scan("[dependencies]\nfoo = { path = \"a#b\" } # trailing\n");
+        assert!(s.entries[0].hermetic);
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].3, "comment follows content");
+    }
+
+    #[test]
+    fn workspace_dependencies_section_counts() {
+        let s = scan("[workspace.dependencies]\nrand = \"0.8\"\n");
+        assert_eq!(s.entries.len(), 1);
+        assert!(!s.entries[0].hermetic);
+    }
+}

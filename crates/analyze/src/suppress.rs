@@ -1,0 +1,345 @@
+//! Inline suppression markers and their lifecycle rule (**L006**).
+//!
+//! A diagnostic is silenced by a marker comment:
+//!
+//! ```text
+//! // ibp-lint: allow(L003, "seed-parity bench keeps the SipHash map")
+//! ```
+//!
+//! A *trailing* marker (code earlier on the same line) applies to its own
+//! line; a *standalone* marker applies to the next line holding code or
+//! another marker (so an `allow(L006, ...)` can sit directly above the
+//! marker it excuses, and explanatory comments in between are skipped).
+//! Suppressions must not rot: a marker that silences nothing, names an
+//! unknown rule, or omits the quoted reason is itself an **L006** error
+//! at the marker's position. L006 errors are in turn suppressible by an
+//! `allow(L006, ...)` marker (one level — an unused `allow(L006)` is
+//! reported and stays reported), so intentional demonstrations remain
+//! possible without opening an escape hatch.
+
+use crate::rules::RuleId;
+use crate::Diagnostic;
+
+/// The comment prefix that introduces a marker.
+pub const MARKER_PREFIX: &str = "ibp-lint:";
+
+/// One parsed (or rejected) suppression marker.
+#[derive(Debug, Clone)]
+pub struct Marker {
+    /// The rule this marker silences; `None` when malformed.
+    pub rule: Option<RuleId>,
+    /// The written justification.
+    pub reason: Option<String>,
+    /// 1-based line of the marker comment.
+    pub line: u32,
+    /// 1-based column of the marker comment.
+    pub col: u32,
+    /// The line whose diagnostics this marker silences.
+    pub target_line: u32,
+    /// Parse failure description, if any.
+    pub malformed: Option<String>,
+}
+
+/// Parses the text after a comment's `ibp-lint:` prefix into
+/// `(rule, reason)`.
+pub fn parse_marker_body(body: &str) -> Result<(RuleId, String), String> {
+    let body = body.trim_start();
+    let Some(args) = body.strip_prefix("allow") else {
+        return Err("expected `allow(rule-id, \"reason\")`".to_string());
+    };
+    let args = args.trim_start();
+    let Some(args) = args.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let (rule_text, rest) = match args.split_once(',') {
+        Some((r, rest)) => (r.trim(), rest),
+        None => {
+            let r = args.split(')').next().unwrap_or("").trim();
+            return match RuleId::parse(r) {
+                Some(_) => Err(format!(
+                    "suppression of {r} requires a reason: allow({r}, \"why\")"
+                )),
+                None => Err(format!("unknown rule id `{r}`")),
+            };
+        }
+    };
+    let Some(rule) = RuleId::parse(rule_text) else {
+        return Err(format!("unknown rule id `{rule_text}`"));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('"') else {
+        return Err("reason must be a quoted string".to_string());
+    };
+    let Some((reason, tail)) = rest.split_once('"') else {
+        return Err("unterminated reason string".to_string());
+    };
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    if !tail.trim_start().starts_with(')') {
+        return Err("expected `)` closing the allow marker".to_string());
+    }
+    Ok((rule, reason.to_string()))
+}
+
+/// Builds a [`Marker`] from a comment's full text and resolved position.
+///
+/// The marker must be the entire comment: after stripping the comment
+/// sigils (`//`, `///`, `//!`, `/*`, `*/`), the text has to *start with*
+/// `ibp-lint:`. A marker merely quoted inside prose (like the examples in
+/// this module's docs) therefore never registers — only deliberate
+/// suppressions do.
+pub fn marker_from_comment(
+    comment_text: &str,
+    line: u32,
+    col: u32,
+    target_line: u32,
+) -> Option<Marker> {
+    marker_from_stripped(strip_comment_sigils(comment_text), line, col, target_line)
+}
+
+/// Builds a [`Marker`] from comment text that already had its delimiters
+/// removed — the entry point for TOML `#` comments, where the engine
+/// strips the hashes itself.
+pub fn marker_from_stripped(
+    stripped: &str,
+    line: u32,
+    col: u32,
+    target_line: u32,
+) -> Option<Marker> {
+    let body = stripped.trim().strip_prefix(MARKER_PREFIX)?;
+    let body = body.trim_end();
+    match parse_marker_body(body) {
+        Ok((rule, reason)) => Some(Marker {
+            rule: Some(rule),
+            reason: Some(reason),
+            line,
+            col,
+            target_line,
+            malformed: None,
+        }),
+        Err(msg) => Some(Marker {
+            rule: None,
+            reason: None,
+            line,
+            col,
+            target_line,
+            malformed: Some(msg),
+        }),
+    }
+}
+
+/// Strips comment delimiters and doc-comment sigils, returning the
+/// trimmed comment body.
+fn strip_comment_sigils(text: &str) -> &str {
+    let body = if let Some(rest) = text.strip_prefix("//") {
+        rest.strip_prefix(['/', '!']).unwrap_or(rest)
+    } else if let Some(rest) = text.strip_prefix("/*") {
+        let rest = rest.strip_prefix(['*', '!']).unwrap_or(rest);
+        rest.trim_end().trim_end_matches("*/")
+    } else {
+        text
+    };
+    body.trim()
+}
+
+/// Applies `markers` to `diags`: silenced diagnostics are removed, then
+/// every unused or malformed marker becomes an L006 diagnostic (itself
+/// silenceable by an `allow(L006, ...)` marker targeting its line).
+pub fn apply(path: &str, diags: Vec<Diagnostic>, markers: &[Marker]) -> Vec<Diagnostic> {
+    let mut used = vec![false; markers.len()];
+    let mut out = Vec::new();
+    for d in diags {
+        let mut silenced = false;
+        for (i, m) in markers.iter().enumerate() {
+            if m.malformed.is_none() && m.rule == Some(d.rule) && m.target_line == d.line {
+                used[i] = true;
+                silenced = true;
+            }
+        }
+        if !silenced {
+            out.push(d);
+        }
+    }
+    // Stale / malformed markers. Non-L006 markers first, so an
+    // allow(L006) marker can earn its keep silencing their reports.
+    let mut stale: Vec<(usize, Diagnostic)> = Vec::new();
+    for (i, m) in markers.iter().enumerate() {
+        if used[i] || m.rule == Some(RuleId::StaleSuppression) {
+            continue;
+        }
+        let message = match (&m.malformed, m.rule) {
+            (Some(msg), _) => format!("malformed ibp-lint marker: {msg}"),
+            (None, Some(rule)) => format!(
+                "stale suppression: {} does not fire on line {}",
+                rule.code(),
+                m.target_line
+            ),
+            (None, None) => "malformed ibp-lint marker".to_string(),
+        };
+        stale.push((
+            i,
+            Diagnostic {
+                path: path.to_string(),
+                line: m.line,
+                col: m.col,
+                rule: RuleId::StaleSuppression,
+                message,
+            },
+        ));
+    }
+    for (_, d) in stale {
+        let mut silenced = false;
+        for (j, m) in markers.iter().enumerate() {
+            if m.malformed.is_none()
+                && m.rule == Some(RuleId::StaleSuppression)
+                && m.target_line == d.line
+            {
+                used[j] = true;
+                silenced = true;
+            }
+        }
+        if !silenced {
+            out.push(d);
+        }
+    }
+    // Any allow(L006) marker that silenced nothing is itself stale.
+    for (i, m) in markers.iter().enumerate() {
+        if !used[i] && m.malformed.is_none() && m.rule == Some(RuleId::StaleSuppression) {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: m.line,
+                col: m.col,
+                rule: RuleId::StaleSuppression,
+                message: format!(
+                    "stale suppression: no {} report on line {} to silence",
+                    RuleId::StaleSuppression.code(),
+                    m.target_line
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_marker() {
+        let (rule, reason) =
+            parse_marker_body(" allow(L003, \"bench compares against SipHash\")").unwrap();
+        assert_eq!(rule, RuleId::Determinism);
+        assert_eq!(reason, "bench compares against SipHash");
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        let err = parse_marker_body("allow(L004)").unwrap_err();
+        assert!(err.contains("requires a reason"), "{err}");
+        let err = parse_marker_body("allow(L004, \"\")").unwrap_err();
+        assert!(err.contains("must not be empty"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_rule() {
+        let err = parse_marker_body("allow(L999, \"x\")").unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_allow_verbs() {
+        assert!(parse_marker_body("deny(L001, \"x\")").is_err());
+    }
+
+    #[test]
+    fn block_comment_delimiter_is_stripped() {
+        let m = marker_from_comment("/* ibp-lint: allow(L002, \"demo\") */", 4, 1, 5).unwrap();
+        assert_eq!(m.rule, Some(RuleId::SafetyComment));
+        assert!(m.malformed.is_none());
+    }
+
+    #[test]
+    fn non_marker_comment_is_ignored() {
+        assert!(marker_from_comment("// just a note", 1, 1, 2).is_none());
+    }
+
+    #[test]
+    fn marker_quoted_inside_prose_is_ignored() {
+        // Only a comment that IS a marker registers; one that merely
+        // mentions the syntax (docs, this test) does not.
+        let quoted = "//! // ibp-lint: allow(L003, \"quoted example\")";
+        assert!(marker_from_comment(quoted, 1, 1, 2).is_none());
+        let prose = "// write ibp-lint: allow(...) above the line";
+        assert!(marker_from_comment(prose, 1, 1, 2).is_none());
+    }
+
+    #[test]
+    fn doc_comment_marker_forms_still_parse() {
+        let m = marker_from_comment("/// ibp-lint: allow(L005, \"why\")", 1, 1, 2).unwrap();
+        assert_eq!(m.rule, Some(RuleId::ThreadDiscipline));
+    }
+
+    fn diag(line: u32, rule: RuleId) -> Diagnostic {
+        Diagnostic {
+            path: "f.rs".into(),
+            line,
+            col: 1,
+            rule,
+            message: "m".into(),
+        }
+    }
+
+    fn allow(rule: RuleId, line: u32, target: u32) -> Marker {
+        Marker {
+            rule: Some(rule),
+            reason: Some("r".into()),
+            line,
+            col: 1,
+            target_line: target,
+            malformed: None,
+        }
+    }
+
+    #[test]
+    fn marker_silences_matching_line_and_rule_only() {
+        let diags = vec![diag(3, RuleId::NoPanic), diag(4, RuleId::NoPanic)];
+        let out = apply("f.rs", diags, &[allow(RuleId::NoPanic, 2, 3)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn unused_marker_becomes_l006() {
+        let out = apply("f.rs", vec![], &[allow(RuleId::NoPanic, 7, 8)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, RuleId::StaleSuppression);
+        assert_eq!(out[0].line, 7);
+        assert!(out[0].message.contains("L004"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn l006_marker_silences_a_stale_report() {
+        let markers = vec![allow(RuleId::NoPanic, 7, 8), allow(RuleId::StaleSuppression, 6, 7)];
+        let out = apply("f.rs", vec![], &markers);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unused_l006_marker_is_itself_reported() {
+        let out = apply("f.rs", vec![], &[allow(RuleId::StaleSuppression, 9, 10)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, RuleId::StaleSuppression);
+        assert_eq!(out[0].line, 9);
+    }
+
+    #[test]
+    fn malformed_marker_is_reported() {
+        let m = marker_from_comment("// ibp-lint: allow(L001)", 2, 5, 3).unwrap();
+        let out = apply("f.rs", vec![], &[m]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("malformed"), "{}", out[0].message);
+        assert_eq!((out[0].line, out[0].col), (2, 5));
+    }
+}

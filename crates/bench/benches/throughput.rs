@@ -62,6 +62,7 @@ fn simulate_legacy(
 
 /// The pre-engine grid: one thread per benchmark run, dyn dispatch.
 fn grid_legacy(kinds: &[PredictorKind], runs: &[BenchmarkRun], scale: f64) -> (u64, u64) {
+    // ibp-lint: allow(L005, "legacy baseline must replicate the pre-engine one-thread-per-run scheduler it is measured against")
     let totals: Vec<(u64, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = runs
             .iter()

@@ -6,7 +6,8 @@
 //! method C). Symbol intervals are laid out in ascending symbol order with
 //! escape last, so encoder and decoder enumerate identically.
 
-use std::collections::{BTreeMap, HashMap};
+use ibp_exec::FastMap;
+use std::collections::BTreeMap;
 
 /// Number of byte symbols plus the end-of-stream marker.
 pub const EOF: u16 = 256;
@@ -108,7 +109,9 @@ impl Context {
 pub struct Model {
     max_order: usize,
     /// contexts[j] maps the last-j-bytes key to its frequency table.
-    contexts: Vec<HashMap<Vec<u8>, Context>>,
+    /// Keyed through [`FastMap`] so nothing in the model can observe a
+    /// per-process (SipHash) iteration order.
+    contexts: Vec<FastMap<Vec<u8>, Context>>,
     history: Vec<u8>,
 }
 
@@ -123,7 +126,7 @@ impl Model {
         assert!(max_order <= 16, "model order capped at 16");
         Self {
             max_order,
-            contexts: (0..=max_order).map(|_| HashMap::new()).collect(),
+            contexts: (0..=max_order).map(|_| FastMap::new()).collect(),
             history: Vec::new(),
         }
     }
@@ -164,7 +167,7 @@ impl Model {
         let deepest = self.max_order.min(self.history.len());
         for order in from_order..=deepest {
             let key = self.key(order);
-            self.contexts[order].entry(key).or_default().bump(symbol);
+            self.contexts[order].or_default(key).bump(symbol);
         }
         self.history.push(symbol as u8);
         // The window only ever needs max_order bytes of tail.

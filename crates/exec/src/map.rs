@@ -13,6 +13,7 @@
 //! (it follows the probe layout) — exactly like `HashMap`, all consumers
 //! either sort or reduce order-insensitively.
 
+use std::borrow::Borrow;
 use std::fmt;
 
 /// The Fx multiply constant (the 64-bit extension of Firefox's hash).
@@ -40,6 +41,10 @@ fn finalize(mut h: u64) -> u64 {
 /// Implementations must satisfy the usual contract: equal values hash
 /// equally. Determinism across processes is load-bearing here — pinned
 /// fingerprints and golden reports must not depend on a per-process seed.
+///
+/// Owned/borrowed pairs (`String`/`str`, `Vec<T>`/`[T]`) must hash
+/// identically, so [`FastMap::get`] can look keys up through
+/// [`Borrow`] like `std::collections::HashMap` does.
 pub trait FastHash {
     /// The 64-bit hash of `self`.
     fn fast_hash(&self) -> u64;
@@ -66,6 +71,20 @@ impl FastHash for usize {
     }
 }
 
+impl FastHash for u8 {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        finalize(u64::from(*self))
+    }
+}
+
+impl FastHash for u16 {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        finalize(u64::from(*self))
+    }
+}
+
 impl<A: FastHash, B: FastHash> FastHash for (A, B) {
     #[inline]
     fn fast_hash(&self) -> u64 {
@@ -73,7 +92,7 @@ impl<A: FastHash, B: FastHash> FastHash for (A, B) {
     }
 }
 
-impl FastHash for Vec<u64> {
+impl FastHash for [u64] {
     #[inline]
     fn fast_hash(&self) -> u64 {
         // Length participates so [0] and [0, 0] differ.
@@ -82,6 +101,57 @@ impl FastHash for Vec<u64> {
             h = fx_step(h, w);
         }
         finalize(h)
+    }
+}
+
+impl FastHash for Vec<u64> {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        self.as_slice().fast_hash()
+    }
+}
+
+impl FastHash for [u8] {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        // Length participates (an 8-byte chunk of zeros and an absent
+        // chunk would otherwise collide), then bytes fold 8 at a time as
+        // little-endian words with a zero-padded tail.
+        let mut h = fx_step(FX_SEED, self.len() as u64);
+        let mut chunks = self.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            h = fx_step(h, u64::from_le_bytes(word));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            h = fx_step(h, u64::from_le_bytes(word));
+        }
+        finalize(h)
+    }
+}
+
+impl FastHash for Vec<u8> {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        self.as_slice().fast_hash()
+    }
+}
+
+impl FastHash for str {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        self.as_bytes().fast_hash()
+    }
+}
+
+impl FastHash for String {
+    #[inline]
+    fn fast_hash(&self) -> u64 {
+        self.as_str().fast_hash()
     }
 }
 
@@ -140,22 +210,36 @@ impl<K: FastHash + Eq, V> FastMap<K, V> {
         self.len == 0
     }
 
-    /// The value for `key`, if present.
+    /// The value for `key`, if present. Like `HashMap::get`, the key may
+    /// be any borrowed form of `K` (e.g. `&str` for a `String`-keyed
+    /// map) — [`FastHash`] impls of owned/borrowed pairs agree.
     #[inline]
-    pub fn get(&self, key: &K) -> Option<&V> {
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: FastHash + Eq + ?Sized,
+    {
         self.find(key)
             .map(|i| &self.slots[i].as_ref().expect("found slot is occupied").1)
     }
 
     /// Mutable access to the value for `key`, if present.
     #[inline]
-    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: FastHash + Eq + ?Sized,
+    {
         self.find(key)
             .map(|i| &mut self.slots[i].as_mut().expect("found slot is occupied").1)
     }
 
     /// True when `key` is present.
-    pub fn contains_key(&self, key: &K) -> bool {
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: FastHash + Eq + ?Sized,
+    {
         self.find(key).is_some()
     }
 
@@ -203,7 +287,11 @@ impl<K: FastHash + Eq, V> FastMap<K, V> {
     /// Removes `key`, returning its value if it was present.
     ///
     /// Uses backward-shift deletion, so lookups never traverse tombstones.
-    pub fn remove(&mut self, key: &K) -> Option<V> {
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: FastHash + Eq + ?Sized,
+    {
         let mut hole = self.find(key)?;
         let (_, value) = self.slots[hole].take().expect("found slot is occupied");
         self.len -= 1;
@@ -251,7 +339,11 @@ impl<K: FastHash + Eq, V> FastMap<K, V> {
 
     /// Index of the slot holding `key`, if present.
     #[inline]
-    fn find(&self, key: &K) -> Option<usize> {
+    fn find<Q>(&self, key: &Q) -> Option<usize>
+    where
+        K: Borrow<Q>,
+        Q: FastHash + Eq + ?Sized,
+    {
         if self.len == 0 {
             return None;
         }
@@ -260,7 +352,7 @@ impl<K: FastHash + Eq, V> FastMap<K, V> {
         loop {
             match &self.slots[i] {
                 None => return None,
-                Some((k, _)) if k == key => return Some(i),
+                Some((k, _)) if k.borrow() == key => return Some(i),
                 Some(_) => i = (i + 1) & mask,
             }
         }
@@ -436,6 +528,43 @@ mod tests {
     fn vec_hash_distinguishes_length() {
         assert_ne!(vec![0u64].fast_hash(), vec![0u64, 0].fast_hash());
         assert_ne!(Vec::<u64>::new().fast_hash(), vec![0u64].fast_hash());
+    }
+
+    #[test]
+    fn byte_hash_distinguishes_length_and_padding() {
+        assert_ne!(vec![0u8].fast_hash(), vec![0u8, 0].fast_hash());
+        assert_ne!(Vec::<u8>::new().fast_hash(), vec![0u8].fast_hash());
+        // A full chunk and a chunk-plus-padding tail must differ.
+        assert_ne!(vec![1u8; 8].fast_hash(), vec![1u8; 9].fast_hash());
+    }
+
+    #[test]
+    fn borrowed_forms_hash_like_owned() {
+        assert_eq!("grid".fast_hash(), String::from("grid").fast_hash());
+        assert_eq!([1u8, 2].as_slice().fast_hash(), vec![1u8, 2].fast_hash());
+        assert_eq!([7u64].as_slice().fast_hash(), vec![7u64].fast_hash());
+    }
+
+    #[test]
+    fn string_keys_look_up_by_str() {
+        let mut m: FastMap<String, u64> = FastMap::new();
+        m.insert("alpha".to_string(), 1);
+        m.insert("beta".to_string(), 2);
+        assert_eq!(m.get("alpha"), Some(&1));
+        assert_eq!(m.get(&"beta".to_string()), Some(&2));
+        assert!(m.contains_key("alpha"));
+        assert_eq!(m.remove("alpha"), Some(1));
+        assert_eq!(m.get("alpha"), None);
+    }
+
+    #[test]
+    fn byte_vec_keys_work() {
+        let mut m: FastMap<Vec<u8>, u64> = FastMap::new();
+        m.insert(b"ab".to_vec(), 1);
+        m.insert(b"abc".to_vec(), 2);
+        assert_eq!(m.get(b"ab".as_slice()), Some(&1));
+        assert_eq!(m.get(&b"abc".to_vec()), Some(&2));
+        assert_eq!(m.get(b"a".as_slice()), None);
     }
 
     #[test]

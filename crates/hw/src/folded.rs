@@ -121,9 +121,12 @@ impl FoldedHistory {
         self.folded ^= newcomer;
         self.ring.push_back(newcomer);
         if self.ring.len() > self.len {
-            let expired = self.ring.pop_front().expect("just checked");
-            let age_rot = (self.len as u32).wrapping_mul(self.rot);
-            self.folded ^= self.rotl(expired, age_rot);
+            // pop_front is Some here (the ring holds > len ≥ 1 entries);
+            // written as if-let so this hot path stays panic-free.
+            if let Some(expired) = self.ring.pop_front() {
+                let age_rot = (self.len as u32).wrapping_mul(self.rot);
+                self.folded ^= self.rotl(expired, age_rot);
+            }
         }
         debug_assert_eq!(self.folded, self.recompute());
     }

@@ -9,10 +9,9 @@
 
 use crate::runner::RunResult;
 use crate::zoo::PredictorKind;
-use ibp_exec::Executor;
+use ibp_exec::{Executor, FastMap};
 use ibp_trace::Trace;
 use ibp_workloads::BenchmarkRun;
-use std::collections::HashMap;
 
 /// One cell of a comparison grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,7 +36,7 @@ pub struct GridResult {
     /// construction so [`GridResult::ratio`] is O(1) instead of a scan
     /// over every cell. Keeps the first cell for a duplicated
     /// (run, predictor) pair, matching the old linear-search semantics.
-    index: HashMap<String, HashMap<String, usize>>,
+    index: FastMap<String, FastMap<String, usize>>,
 }
 
 impl PartialEq for GridResult {
@@ -54,13 +53,11 @@ impl GridResult {
     /// Reassembles a grid from its parts — the inverse of the accessors,
     /// used by the JSON report codec.
     pub fn from_parts(predictors: Vec<String>, runs: Vec<String>, cells: Vec<GridCell>) -> Self {
-        let mut index: HashMap<String, HashMap<String, usize>> = HashMap::new();
+        let mut index: FastMap<String, FastMap<String, usize>> = FastMap::new();
         for (i, cell) in cells.iter().enumerate() {
             index
-                .entry(cell.run.clone())
-                .or_default()
-                .entry(cell.predictor.clone())
-                .or_insert(i);
+                .or_default(cell.run.clone())
+                .or_insert_with(cell.predictor.clone(), || i);
         }
         Self {
             predictors,

@@ -341,11 +341,25 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is &str, so
-                    // boundaries are valid).
+                    // Consume one UTF-8 character. The input came from a
+                    // `&str` and `pos` only ever advances by whole chars,
+                    // so a 4-byte window always holds one complete char;
+                    // validating just that window keeps this O(1) per
+                    // char instead of re-validating the whole tail.
                     let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().expect("non-empty");
+                    let window = &rest[..rest.len().min(4)];
+                    let valid_len = match std::str::from_utf8(window) {
+                        Ok(_) => window.len(),
+                        // The window may cut a *following* char short;
+                        // the leading char is still complete whenever
+                        // valid_up_to() > 0.
+                        Err(e) if e.valid_up_to() > 0 => e.valid_up_to(),
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    };
+                    let s = std::str::from_utf8(&window[..valid_len])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    debug_assert!(!s.is_empty(), "valid_len > 0 by construction");
+                    let c = s.chars().next().ok_or_else(|| self.err("empty char"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -2,8 +2,8 @@
 //! target profiles behind the paper's §5 analysis.
 
 use crate::event::BranchEvent;
+use ibp_exec::FastMap;
 use ibp_isa::{Addr, BranchClass, IndirectOp, TargetArity};
-use std::collections::HashMap;
 
 /// Per-static-branch dynamic target profile.
 ///
@@ -14,7 +14,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BranchProfile {
     executions: u64,
-    target_counts: HashMap<u64, u64>,
+    target_counts: FastMap<u64, u64>,
     target_changes: u64,
     last_target: Option<u64>,
 }
@@ -23,7 +23,7 @@ impl BranchProfile {
     /// Records one execution resolving to `target`.
     pub fn record(&mut self, target: Addr) {
         self.executions += 1;
-        *self.target_counts.entry(target.raw()).or_insert(0) += 1;
+        *self.target_counts.or_insert_with(target.raw(), || 0) += 1;
         if let Some(last) = self.last_target {
             if last != target.raw() {
                 self.target_changes += 1;
@@ -83,11 +83,13 @@ impl BranchProfile {
             .sum::<f64>()
     }
 
-    /// The most frequently observed target, if any.
+    /// The most frequently observed target, if any. Count ties resolve
+    /// to the lowest address, so the answer never depends on map
+    /// iteration order.
     pub fn dominant_target(&self) -> Option<Addr> {
         self.target_counts
             .iter()
-            .max_by_key(|(_, &c)| c)
+            .max_by_key(|&(&t, &c)| (c, std::cmp::Reverse(t)))
             .map(|(&t, _)| Addr::new(t))
     }
 }
@@ -104,7 +106,7 @@ pub struct TraceStats {
     st_indirect: u64,
     mt_jmp: u64,
     mt_jsr: u64,
-    profiles: HashMap<u64, BranchProfile>,
+    profiles: FastMap<u64, BranchProfile>,
 }
 
 impl TraceStats {
@@ -134,10 +136,7 @@ impl TraceStats {
             },
         }
         if e.class().is_predicted_indirect() {
-            self.profiles
-                .entry(e.pc().raw())
-                .or_default()
-                .record(e.target());
+            self.profiles.or_default(e.pc().raw()).record(e.target());
         }
     }
 

@@ -1,32 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verification: hermetic offline build + full test suite, plus a
-# guard that no crates.io dependency sneaks back into the workspace.
+# Tier-1 verification: hermetic offline build + full test suite, gated by
+# the in-tree static-analysis pass.
 #
 # The workspace is deliberately dependency-free (see README "Building &
 # testing"): every dependency section in every Cargo.toml may only name
-# in-tree path crates. This script is the CI entry point and must pass
-# with no network access and no pre-populated registry cache.
+# in-tree path crates. That invariant — plus determinism, unsafe
+# discipline, panic-freedom on hot paths, and thread discipline — is
+# enforced mechanically by ibp-analyze (rules L001-L006; see DESIGN.md
+# §9), which replaced the awk dependency guard that used to live here.
+# This script is the CI entry point and must pass with no network access
+# and no pre-populated registry cache.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== dependency guard =="
-# Inside any [*dependencies*] section, every entry must be either
-# `<crate>.workspace = true` or `<crate> = { path = "..." }`.
-violations=$(find . -name Cargo.toml -not -path "./target/*" -print0 |
-  xargs -0 awk '
-    /^\[/ { in_dep = ($0 ~ /dependencies/) ; next }
-    in_dep && NF && $0 !~ /^[[:space:]]*#/ && $0 ~ /=/ \
-      && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/ \
-      && $0 !~ /path[[:space:]]*=/ {
-        print FILENAME ":" FNR ": " $0
-    }
-  ')
-if [ -n "$violations" ]; then
-  echo "error: non-path dependency found — the workspace must stay hermetic:" >&2
-  echo "$violations" >&2
-  exit 1
-fi
-echo "ok: all dependencies are in-tree path crates"
+echo "== static analysis (ibp-analyze --deny) =="
+cargo run -q --release --offline -p ibp-analyze -- --deny
 
 echo "== release build (offline) =="
 cargo build --release --offline
