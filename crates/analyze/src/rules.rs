@@ -86,11 +86,11 @@ impl RuleId {
             }
             RuleId::Determinism => {
                 "no HashMap/HashSet/Instant/SystemTime in non-test code of deterministic \
-                 crates (core, hw, predictors, sim, compress, trace, isa)"
+                 crates (core, hw, metrics, predictors, sim, compress, trace, isa)"
             }
             RuleId::NoPanic => {
                 "no .unwrap()/.expect()/panic! in non-test code of hot-path crates \
-                 (core, hw, predictors)"
+                 (core, hw, metrics, predictors)"
             }
             RuleId::ThreadDiscipline => {
                 "thread::spawn/scope/Builder and available_parallelism only inside \
@@ -117,11 +117,11 @@ impl RuleId {
 /// design (timing is their job; the test harness is not simulated state),
 /// and `exec` owns the deterministic-by-construction map itself.
 pub const DETERMINISTIC_CRATES: &[&str] =
-    &["compress", "core", "hw", "isa", "predictors", "sim", "trace"];
+    &["compress", "core", "hw", "isa", "metrics", "predictors", "sim", "trace"];
 
 /// Crates on the per-event simulation path, where a panic aborts a whole
 /// sweep mid-grid.
-pub const PANIC_FREE_CRATES: &[&str] = &["core", "hw", "predictors"];
+pub const PANIC_FREE_CRATES: &[&str] = &["core", "hw", "metrics", "predictors"];
 
 /// The only crate allowed to touch thread primitives.
 pub const THREAD_CRATE: &str = "exec";

@@ -134,6 +134,17 @@ fn l003_exempts_test_code_and_exempt_crates() {
 }
 
 #[test]
+fn l003_and_l004_cover_the_metrics_crate() {
+    // The observability layer feeds pinned artifacts (metrics_fig6.json)
+    // and sits on the simulation hot path, so both disciplines apply to
+    // its non-test code.
+    let src = "use std::collections::HashMap;\n";
+    fires_and_is_suppressible("metrics", src, RuleId::Determinism);
+    let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+    fires_and_is_suppressible("metrics", src, RuleId::NoPanic);
+}
+
+#[test]
 fn l004_fires_on_unwrap_in_hot_path_crate_and_is_suppressible() {
     let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
     fires_and_is_suppressible("hw", src, RuleId::NoPanic);

@@ -5,25 +5,49 @@
 //! Cascade 11.48%, TC-PIB 13.0%; BTB/BTB2b far behind; TC-PIB is the only
 //! scheme beating PPM on photon (0.95% vs 1.35%).
 //!
-//! Usage: `cargo run --release -p ibp-bench --bin fig6 [scale] [--csv]`
-//! (scale defaults to 1.0 = the full trace size; `--csv` emits the grid
-//! as CSV on stdout instead of the formatted tables). The grid runs on
-//! the work-stealing pool; `IBP_THREADS=n` pins the pool size, and the
-//! output is bit-identical for every `n`.
+//! Usage: `cargo run --release -p ibp-bench --bin fig6 [scale] [--csv]
+//! [--metrics <path>]` (scale defaults to 1.0 = the full trace size;
+//! `--csv` emits the grid as CSV on stdout instead of the formatted
+//! tables; `--metrics` evaluates the grid with recording probes attached
+//! and writes the per-cell metrics JSON — same prediction results, plus
+//! telemetry). The grid runs on the work-stealing pool; `IBP_THREADS=n`
+//! pins the pool size, and the output — metrics included — is
+//! bit-identical for every `n`.
 
 use ibp_sim::report::{grid_to_csv, paper_vs_measured, render_grid};
-use ibp_sim::{compare_grid, PredictorKind};
+use ibp_sim::{compare_grid, metrics_grid, metrics_to_json, PredictorKind};
 use ibp_workloads::paper_suite;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_path = args.iter().position(|a| a == "--metrics").map(|i| {
+        let path = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("usage: fig6 [scale] [--csv] [--metrics <path>]");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+        path
+    });
+    let csv = args.iter().any(|a| a == "--csv");
+    args.retain(|a| a != "--csv");
+    let scale: f64 = args
+        .first()
         .map(|s| s.parse().expect("scale must be a number"))
         .unwrap_or(1.0);
-    let csv = std::env::args().any(|a| a == "--csv");
     let runs = paper_suite();
     let kinds = PredictorKind::figure6();
-    let grid = compare_grid(&kinds, &runs, scale);
+    let grid = if let Some(path) = &metrics_path {
+        let (grid, metrics) = metrics_grid(&kinds, &runs, scale);
+        let json = metrics_to_json(&metrics);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {path}");
+        grid
+    } else {
+        compare_grid(&kinds, &runs, scale)
+    };
     if csv {
         print!("{}", grid_to_csv(&grid));
         return;

@@ -7,20 +7,46 @@
 //! weak-state oscillation on those same runs and wins there, while the
 //! plain hybrid stays ahead on the PB-correlated rest.
 //!
-//! Usage: `cargo run --release -p ibp-bench --bin fig7 [scale]`
+//! Usage: `cargo run --release -p ibp-bench --bin fig7 [scale] [--csv]
+//! [--metrics <path>]` — `--metrics` evaluates the grid with recording
+//! probes attached and writes the per-cell metrics JSON (identical
+//! prediction results, plus telemetry).
 
 use ibp_sim::report::{grid_to_csv, render_grid};
-use ibp_sim::{compare_grid, PredictorKind};
+use ibp_sim::{compare_grid, metrics_grid, metrics_to_json, PredictorKind};
 use ibp_workloads::paper_suite;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_path = args.iter().position(|a| a == "--metrics").map(|i| {
+        let path = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("usage: fig7 [scale] [--csv] [--metrics <path>]");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+        path
+    });
+    let csv = args.iter().any(|a| a == "--csv");
+    args.retain(|a| a != "--csv");
+    let scale: f64 = args
+        .first()
         .map(|s| s.parse().expect("scale must be a number"))
         .unwrap_or(1.0);
     let runs = paper_suite();
-    let grid = compare_grid(&PredictorKind::figure7(), &runs, scale);
-    if std::env::args().any(|a| a == "--csv") {
+    let kinds = PredictorKind::figure7();
+    let grid = if let Some(path) = &metrics_path {
+        let (grid, metrics) = metrics_grid(&kinds, &runs, scale);
+        let json = metrics_to_json(&metrics);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {path}");
+        grid
+    } else {
+        compare_grid(&kinds, &runs, scale)
+    };
+    if csv {
         print!("{}", grid_to_csv(&grid));
         return;
     }

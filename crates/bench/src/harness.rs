@@ -67,6 +67,7 @@ pub struct Harness {
     warmup_reps: u32,
     min_rep_time: Duration,
     results: Vec<Measurement>,
+    extras: Vec<(String, Json)>,
 }
 
 impl Harness {
@@ -83,6 +84,7 @@ impl Harness {
             warmup_reps: 3,
             min_rep_time: Duration::from_millis(min_ms),
             results: Vec::new(),
+            extras: Vec::new(),
         }
     }
 
@@ -150,6 +152,14 @@ impl Harness {
         &self.results
     }
 
+    /// Attaches an extra top-level field to the JSON report (after
+    /// `bench` and `results`, in attach order). Used for observability
+    /// payloads — e.g. the per-worker pool timing the throughput bench
+    /// records — without widening the `Measurement` schema.
+    pub fn attach(&mut self, key: &str, value: Json) {
+        self.extras.push((key.to_string(), value));
+    }
+
     /// The JSON report for the measurements so far.
     pub fn to_json(&self) -> String {
         let results = self
@@ -171,11 +181,12 @@ impl Harness {
                 Json::obj(fields)
             })
             .collect();
-        Json::obj([
-            ("bench", Json::Str(self.name.clone())),
-            ("results", Json::Arr(results)),
-        ])
-        .emit()
+        let mut fields = vec![
+            ("bench".to_string(), Json::Str(self.name.clone())),
+            ("results".to_string(), Json::Arr(results)),
+        ];
+        fields.extend(self.extras.iter().cloned());
+        Json::Obj(fields).emit()
     }
 
     /// Prints the JSON report and, when `IBP_BENCH_DIR` is set, writes it
@@ -314,6 +325,20 @@ mod tests {
         assert_eq!(r.get("id").and_then(Json::as_str), Some("x"));
         assert_eq!(r.get("elements").and_then(Json::as_u64), Some(10));
         assert!(r.get("per_sec").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn attached_extras_land_in_the_report() {
+        let mut h = quick();
+        h.bench("y", || 0u8);
+        h.attach("pool", Json::obj([("threads", Json::UInt(4))]));
+        let value = Json::parse(&h.to_json()).expect("valid JSON");
+        assert_eq!(
+            value.get("pool").and_then(|p| p.get("threads")).and_then(Json::as_u64),
+            Some(4)
+        );
+        // The standard fields survive alongside the extra.
+        assert_eq!(value.get("results").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct PpmHybrid {
     /// Count of predictions made in each mode, for analysis.
     pb_predictions: u64,
     pib_predictions: u64,
+    /// Selection-counter movements: any 2-bit state change, and the
+    /// subset that crossed the PB/PIB mode boundary. Telemetry only.
+    selector_transitions: u64,
+    mode_flips: u64,
 }
 
 impl PpmHybrid {
@@ -71,6 +75,8 @@ impl PpmHybrid {
             last: None,
             pb_predictions: 0,
             pib_predictions: 0,
+            selector_transitions: 0,
+            mode_flips: 0,
         }
     }
 
@@ -109,6 +115,13 @@ impl PpmHybrid {
     /// How many predictions used the PB vs PIB history.
     pub fn mode_usage(&self) -> (u64, u64) {
         (self.pb_predictions, self.pib_predictions)
+    }
+
+    /// Selection-counter dynamics: `(state transitions, mode flips)` —
+    /// every 2-bit counter movement, and the subset that crossed the
+    /// Figure 5 PB/PIB boundary.
+    pub fn selector_activity(&self) -> (u64, u64) {
+        (self.selector_transitions, self.mode_flips)
     }
 
     fn phr_for(&self, mode: CorrelationMode) -> &PathHistory {
@@ -168,13 +181,24 @@ impl IndirectPredictor for PpmHybrid {
         self.stack.update(&lookup, pc, actual);
         // "The PHRs and the correlation selection counters are always
         // updated" (§4): the counter sees every outcome.
-        match id.and_then(|id| self.biu.entry_at(id, pc)) {
-            Some(e) => e.selector_mut().record(correct),
-            None => self
-                .biu
-                .entry(pc, TargetArity::Multiple)
-                .selector_mut()
-                .record(correct),
+        let (before, after) = match id.and_then(|id| self.biu.entry_at(id, pc)) {
+            Some(e) => {
+                let before = (e.selector().state(), e.selector().mode());
+                e.selector_mut().record(correct);
+                (before, (e.selector().state(), e.selector().mode()))
+            }
+            None => {
+                let e = self.biu.entry(pc, TargetArity::Multiple);
+                let before = (e.selector().state(), e.selector().mode());
+                e.selector_mut().record(correct);
+                (before, (e.selector().state(), e.selector().mode()))
+            }
+        };
+        if before.0 != after.0 {
+            self.selector_transitions += 1;
+        }
+        if before.1 != after.1 {
+            self.mode_flips += 1;
         }
     }
 
@@ -215,6 +239,18 @@ impl IndirectPredictor for PpmHybrid {
         self.last = None;
         self.pb_predictions = 0;
         self.pib_predictions = 0;
+        self.selector_transitions = 0;
+        self.mode_flips = 0;
+    }
+
+    fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
+        self.stats.report_metrics(sink);
+        self.stack.report_metrics(sink);
+        sink("biu_entries", self.biu.len() as u64);
+        sink("biu_selector_transitions", self.selector_transitions);
+        sink("biu_mode_flips", self.mode_flips);
+        sink("predictions_pb_mode", self.pb_predictions);
+        sink("predictions_pib_mode", self.pib_predictions);
     }
 }
 
@@ -343,6 +379,45 @@ mod tests {
             drive(&mut p, Addr::new(0x100 + i * 4), Addr::new(0x900 + i * 4));
         }
         assert!(p.biu().len() <= 4);
+    }
+
+    #[test]
+    fn selector_telemetry_tracks_counter_movement() {
+        let mut p = PpmHybrid::paper();
+        let pc = Addr::new(0x100);
+        // A fixed single-target branch: after warm-up every outcome is
+        // correct, saturating the selector — transitions happen early
+        // then stop.
+        for _ in 0..50 {
+            drive(&mut p, pc, Addr::new(0xA04));
+        }
+        let (transitions, flips) = p.selector_activity();
+        assert!(transitions >= 1, "warm-up must move the selector");
+        assert!(flips <= transitions, "flips are a subset of transitions");
+
+        let mut metrics = Vec::new();
+        p.report_metrics(&mut |name, value| metrics.push((name.to_string(), value)));
+        let get = |key: &str| {
+            metrics
+                .iter()
+                .find(|(n, _)| n == key)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing metric {key}"))
+        };
+        assert_eq!(get("biu_selector_transitions"), transitions);
+        assert_eq!(get("biu_mode_flips"), flips);
+        assert_eq!(get("biu_entries"), 1);
+        assert_eq!(
+            get("predictions_pb_mode") + get("predictions_pib_mode"),
+            50,
+            "every prediction attributed to a mode"
+        );
+        // Per-order attribution must account for every prediction too.
+        let provided: u64 = (1..=10).map(|j| get(&format!("order{j:02}_provided"))).sum();
+        assert_eq!(provided + get("lookups_unprovided"), 50);
+
+        p.reset();
+        assert_eq!(p.selector_activity(), (0, 0));
     }
 
     #[test]

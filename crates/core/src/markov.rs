@@ -52,6 +52,14 @@ pub struct MarkovTable {
     entries: Vec<Option<MarkovEntry>>,
     tagged: bool,
     index_mod: ibp_hw::FastMod,
+    /// Entry allocations: updates that turned an invalid (or, when
+    /// tagged, mismatching) slot into a fresh entry. Telemetry only.
+    allocations: u64,
+    /// Updates whose slot held a different branch's tag. In a tagless
+    /// table this counts silently-aliased updates (the stored tag is
+    /// bookkeeping, not hardware); in a tagged table it counts
+    /// reallocations. Telemetry only.
+    tag_conflicts: u64,
 }
 
 impl MarkovTable {
@@ -68,6 +76,8 @@ impl MarkovTable {
             entries: vec![None; len],
             tagged,
             index_mod: ibp_hw::FastMod::new(len as u64),
+            allocations: 0,
+            tag_conflicts: 0,
         }
     }
 
@@ -133,9 +143,20 @@ impl MarkovTable {
         let slot = self.slot(index);
         match &mut self.entries[slot] {
             Some(e) if !self.tagged || e.tag == tag => {
+                if e.tag != tag {
+                    // Tagless alias: another branch's state is updated
+                    // in place, exactly as the hardware would.
+                    self.tag_conflicts += 1;
+                    e.tag = tag;
+                }
                 e.entry.apply(actual);
             }
             other => {
+                if other.is_some() {
+                    // Tagged mismatch: the slot is reallocated.
+                    self.tag_conflicts += 1;
+                }
+                self.allocations += 1;
                 *other = Some(MarkovEntry {
                     entry: HysteresisEntry::new(actual),
                     tag,
@@ -144,17 +165,31 @@ impl MarkovTable {
         }
     }
 
+    /// Entry allocations since construction (or the last
+    /// [`clear`](Self::clear)).
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Updates that hit a slot owned by a different tag — aliasing in a
+    /// tagless table, reallocation in a tagged one.
+    pub fn tag_conflicts(&self) -> u64 {
+        self.tag_conflicts
+    }
+
     /// Hardware cost of this table.
     pub fn cost(&self) -> HardwareCost {
         let tag_bits = if self.tagged { 10 } else { 0 };
         HardwareCost::table(self.entries.len() as u64, 64 + 2 + 1 + tag_bits)
     }
 
-    /// Invalidates every entry.
+    /// Invalidates every entry and zeroes the telemetry tallies.
     pub fn clear(&mut self) {
         for e in self.entries.iter_mut() {
             *e = None;
         }
+        self.allocations = 0;
+        self.tag_conflicts = 0;
     }
 }
 

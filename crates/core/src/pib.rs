@@ -107,6 +107,11 @@ impl IndirectPredictor for PpmPib {
         self.stats.reset();
         self.last = None;
     }
+
+    fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
+        self.stats.report_metrics(sink);
+        self.stack.report_metrics(sink);
+    }
 }
 
 #[cfg(test)]

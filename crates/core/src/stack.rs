@@ -195,6 +195,11 @@ pub struct MarkovStack {
     config: StackConfig,
     tables: Vec<MarkovTable>,
     sfsxs: Sfsxs,
+    /// Table writes avoided by the update protocol: on each update, the
+    /// number of orders below `start` that were left untouched. Under
+    /// update exclusion this measures how much work PPMC's policy saves
+    /// versus training every order. Telemetry only.
+    excluded_updates: u64,
 }
 
 impl MarkovStack {
@@ -226,6 +231,7 @@ impl MarkovStack {
             config,
             tables,
             sfsxs,
+            excluded_updates: 0,
         }
     }
 
@@ -357,11 +363,49 @@ impl MarkovStack {
             }
         };
         let lo = (start - 1) as usize;
+        self.excluded_updates += lo as u64;
         for (table, &idx) in self.tables[lo..end as usize]
             .iter_mut()
             .zip(&lookup.indices[lo..end as usize])
         {
             table.update(idx as u64, tag, actual);
+        }
+    }
+
+    /// Per-order table writes skipped by the update protocol (see the
+    /// field doc); zeroed by [`clear`](Self::clear).
+    pub fn excluded_updates(&self) -> u64 {
+        self.excluded_updates
+    }
+
+    /// Streams stack telemetry as named values: aggregate and per-order
+    /// occupancy, allocation and tag-conflict tallies, and the
+    /// update-exclusion savings. Names are zero-padded so they sort in
+    /// order-ascending sequence.
+    pub fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
+        sink("stack_entries", self.total_entries() as u64);
+        sink(
+            "stack_occupancy",
+            self.tables.iter().map(|t| t.occupancy() as u64).sum(),
+        );
+        sink(
+            "stack_allocations",
+            self.tables.iter().map(|t| t.allocations()).sum(),
+        );
+        sink(
+            "stack_tag_conflicts",
+            self.tables.iter().map(|t| t.tag_conflicts()).sum(),
+        );
+        sink("stack_excluded_updates", self.excluded_updates);
+        for t in &self.tables {
+            sink(
+                &format!("order{:02}_occupancy", t.order()),
+                t.occupancy() as u64,
+            );
+            sink(
+                &format!("order{:02}_tag_conflicts", t.order()),
+                t.tag_conflicts(),
+            );
         }
     }
 
@@ -376,11 +420,12 @@ impl MarkovStack {
         self.tables.iter().map(|t| t.cost()).sum()
     }
 
-    /// Invalidates every table.
+    /// Invalidates every table and zeroes the telemetry tallies.
     pub fn clear(&mut self) {
         for t in self.tables.iter_mut() {
             t.clear();
         }
+        self.excluded_updates = 0;
     }
 }
 
@@ -591,6 +636,29 @@ mod tests {
             stack.table(9).lookup(idx9, (0x40u64 >> 2) & 0x3FF),
             Some(Addr::new(0x900))
         );
+    }
+
+    #[test]
+    fn excluded_updates_count_skipped_orders() {
+        let mut stack = MarkovStack::new(StackConfig::paper());
+        let phr = warm_phr(&[0x111, 0x222, 0x333]);
+        let l1 = stack.lookup(&phr, Addr::new(0x40));
+        stack.update(&l1, Addr::new(0x40), Addr::new(0x900));
+        assert_eq!(stack.excluded_updates(), 0, "cold update trains all orders");
+        let l2 = stack.lookup(&phr, Addr::new(0x40));
+        assert_eq!(l2.provider(), Some(10));
+        stack.update(&l2, Addr::new(0x40), Addr::new(0x900));
+        assert_eq!(stack.excluded_updates(), 9, "orders 1..=9 skipped");
+
+        let mut names = Vec::new();
+        stack.report_metrics(&mut |name, value| names.push((name.to_string(), value)));
+        assert!(names.iter().any(|(n, v)| n == "stack_entries" && *v == 2046));
+        assert!(names.iter().any(|(n, v)| n == "stack_occupancy" && *v == 10));
+        assert!(names.iter().any(|(n, v)| n == "stack_excluded_updates" && *v == 9));
+        assert!(names.iter().any(|(n, v)| n == "order10_occupancy" && *v == 1));
+
+        stack.clear();
+        assert_eq!(stack.excluded_updates(), 0);
     }
 
     #[test]

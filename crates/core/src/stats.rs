@@ -123,6 +123,16 @@ impl OrderStats {
         self.unprovided += other.unprovided;
     }
 
+    /// Streams the per-order attribution as named values — the §5
+    /// access/miss distribution under stable, order-sorted names.
+    pub fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
+        sink("lookups_unprovided", self.unprovided);
+        for j in 1..=self.max_order {
+            sink(&format!("order{j:02}_provided"), self.accesses(j));
+            sink(&format!("order{j:02}_mispredicted"), self.misses(j));
+        }
+    }
+
     /// Zeroes all counters.
     pub fn reset(&mut self) {
         self.accesses.iter_mut().for_each(|a| *a = 0);

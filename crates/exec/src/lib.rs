@@ -22,4 +22,4 @@ pub mod map;
 pub mod pool;
 
 pub use map::{FastHash, FastMap};
-pub use pool::{thread_count, Executor};
+pub use pool::{thread_count, Executor, PoolStats, WorkerStats};

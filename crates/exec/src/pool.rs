@@ -14,7 +14,9 @@
 //! `crates/sim/tests/determinism.rs` pins this property over randomized
 //! workloads at pool sizes 1, 2 and 8.
 
+use ibp_metrics::Log2Histogram;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// The environment variable overriding the worker count (for reproducible
 /// timings, pin e.g. `IBP_THREADS=4`).
@@ -104,7 +106,7 @@ impl Executor {
                     let deques = &deques;
                     let done = &done;
                     let f = &f;
-                    scope.spawn(move || worker_loop(w, deques, done, tasks, f))
+                    scope.spawn(move || worker_loop(w, deques, done, tasks, |i| f(i)))
                 })
                 .collect();
             handles
@@ -128,6 +130,77 @@ impl Executor {
             .collect()
     }
 
+    /// [`Executor::run`] with per-worker timing attached: returns the
+    /// same index-ordered results plus a [`PoolStats`] describing how the
+    /// pool spent its time (task counts, busy nanoseconds and a log2
+    /// histogram of task durations per worker).
+    ///
+    /// Timing wraps each task *outside* the caller's closure, so the
+    /// results are still bit-identical to [`Executor::run`]; only the
+    /// stats themselves vary run to run. Use `run` on hot paths that do
+    /// not need the report — this variant pays two `Instant` reads per
+    /// task.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f`; panics if `tasks` exceeds `u32::MAX`.
+    pub fn run_reporting<R, F>(&self, tasks: usize, f: F) -> (Vec<R>, PoolStats)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        assert!(tasks <= u32::MAX as usize, "task space exceeds u32 range");
+        let workers = self.threads.min(tasks);
+        if workers <= 1 {
+            let mut stats = WorkerStats::new();
+            let out = (0..tasks).map(|i| stats.time(|| f(i))).collect();
+            return (out, PoolStats::from_workers(vec![stats]));
+        }
+
+        let deques: Vec<RangeDeque> = (0..workers)
+            .map(|w| {
+                let start = w * tasks / workers;
+                let end = (w + 1) * tasks / workers;
+                RangeDeque::new(start, end)
+            })
+            .collect();
+        let done = AtomicUsize::new(0);
+
+        let (mut per_worker, worker_stats): (Vec<Vec<(usize, R)>>, Vec<WorkerStats>) =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let deques = &deques;
+                        let done = &done;
+                        let f = &f;
+                        scope.spawn(move || {
+                            let mut stats = WorkerStats::new();
+                            let out =
+                                worker_loop(w, deques, done, tasks, |i| stats.time(|| f(i)));
+                            (out, stats)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pool workers do not panic"))
+                    .unzip()
+            });
+
+        let mut slots: Vec<Option<R>> = (0..tasks).map(|_| None).collect();
+        for pairs in per_worker.drain(..) {
+            for (i, r) in pairs {
+                debug_assert!(slots[i].is_none(), "task {i} ran twice");
+                slots[i] = Some(r);
+            }
+        }
+        let out = slots
+            .into_iter()
+            .map(|s| s.expect("every task ran exactly once"))
+            .collect();
+        (out, PoolStats::from_workers(worker_stats))
+    }
+
     /// Maps `f` over a slice, in parallel, returning results in item
     /// order. Sugar over [`Executor::run`].
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
@@ -145,7 +218,7 @@ fn worker_loop<R>(
     deques: &[RangeDeque],
     done: &AtomicUsize,
     total: usize,
-    f: &(impl Fn(usize) -> R + Sync),
+    mut f: impl FnMut(usize) -> R,
 ) -> Vec<(usize, R)> {
     let mut out = Vec::new();
     loop {
@@ -169,6 +242,97 @@ fn worker_loop<R>(
                 std::thread::yield_now();
             }
         }
+    }
+}
+
+/// What one pool worker did during a [`Executor::run_reporting`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStats {
+    tasks: u64,
+    busy_ns: u64,
+    task_ns: Log2Histogram,
+}
+
+impl Default for WorkerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> Self {
+        Self {
+            tasks: 0,
+            busy_ns: 0,
+            task_ns: Log2Histogram::new(),
+        }
+    }
+
+    /// Runs `f`, charging its wall time to this worker.
+    fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.tasks += 1;
+        self.busy_ns = self.busy_ns.saturating_add(ns);
+        self.task_ns.record(ns);
+        r
+    }
+
+    /// Tasks this worker executed.
+    pub fn tasks(&self) -> u64 {
+        self.tasks
+    }
+
+    /// Total wall nanoseconds spent inside task closures.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Log2 histogram of per-task wall nanoseconds.
+    pub fn task_ns(&self) -> &Log2Histogram {
+        &self.task_ns
+    }
+}
+
+/// Per-worker timing for one [`Executor::run_reporting`] call.
+///
+/// Workers are indexed by spawn order (worker 0 first), so the report
+/// shape is stable for a given pool size even though the numbers vary
+/// run to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    fn from_workers(workers: Vec<WorkerStats>) -> Self {
+        Self { workers }
+    }
+
+    /// Per-worker stats, in spawn order.
+    pub fn workers(&self) -> &[WorkerStats] {
+        &self.workers
+    }
+
+    /// Tasks executed across all workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(WorkerStats::tasks).sum()
+    }
+
+    /// Busy nanoseconds summed across workers.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_ns).sum()
+    }
+
+    /// All workers' task-duration histograms merged into one.
+    pub fn merged_task_ns(&self) -> Log2Histogram {
+        let mut merged = Log2Histogram::new();
+        for w in &self.workers {
+            merged.merge(&w.task_ns);
+        }
+        merged
     }
 }
 
@@ -310,6 +474,30 @@ mod tests {
         assert_eq!(d.steal_back_half(), None);
         assert_eq!(d.pop_front(), Some(4));
         assert_eq!(d.pop_front(), None);
+    }
+
+    #[test]
+    fn run_reporting_matches_run_and_accounts_every_task() {
+        for threads in [1, 2, 8] {
+            let exec = Executor::new(threads);
+            let plain = exec.run(33, |i| i * i);
+            let (reported, stats) = exec.run_reporting(33, |i| i * i);
+            assert_eq!(plain, reported, "{threads} threads");
+            assert_eq!(stats.total_tasks(), 33);
+            assert_eq!(stats.workers().len(), threads.min(33));
+            assert_eq!(stats.merged_task_ns().count(), 33);
+            let per_worker: u64 = stats.workers().iter().map(|w| w.tasks()).sum();
+            assert_eq!(per_worker, 33);
+            assert!(stats.total_busy_ns() >= stats.workers()[0].busy_ns());
+        }
+    }
+
+    #[test]
+    fn run_reporting_empty_workload() {
+        let (out, stats) = Executor::new(4).run_reporting(0, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(stats.total_tasks(), 0);
+        assert!(stats.merged_task_ns().is_empty());
     }
 
     #[test]

@@ -94,11 +94,24 @@ impl FastMod {
 /// t.insert(9, 0xBEEF); // lands in slot 1
 /// assert_eq!(t.get(5), Some(&0xBEEF)); // 5 % 4 == 1: aliasing is real
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct DirectMapped<T> {
     entries: Vec<Option<T>>,
     index_mod: FastMod,
+    /// Inserts that displaced a valid entry (telemetry only).
+    evictions: u64,
 }
+
+// Telemetry counters are excluded from equality: two tables with the
+// same contents are equal regardless of how much aliasing it took to
+// get there.
+impl<T: PartialEq> PartialEq for DirectMapped<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries && self.index_mod == other.index_mod
+    }
+}
+
+impl<T: Eq> Eq for DirectMapped<T> {}
 
 impl<T> DirectMapped<T> {
     /// Creates an empty table with `len` entries.
@@ -111,6 +124,7 @@ impl<T> DirectMapped<T> {
         Self {
             entries: (0..len).map(|_| None).collect(),
             index_mod: FastMod::new(len as u64),
+            evictions: 0,
         }
     }
 
@@ -154,7 +168,17 @@ impl<T> DirectMapped<T> {
     /// Writes `value` into the selected slot, returning the displaced entry.
     pub fn insert(&mut self, index: u64, value: T) -> Option<T> {
         let slot = self.slot_of(index);
-        self.entries[slot].replace(value)
+        let displaced = self.entries[slot].replace(value);
+        if displaced.is_some() {
+            self.evictions += 1;
+        }
+        displaced
+    }
+
+    /// Inserts that displaced a valid entry since construction (or the
+    /// last [`clear`](Self::clear)): the table's aliasing pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Returns the selected entry, inserting `default()` first if vacant.
@@ -169,11 +193,12 @@ impl<T> DirectMapped<T> {
         self.entries[slot].take()
     }
 
-    /// Invalidates every entry.
+    /// Invalidates every entry and zeroes the eviction tally.
     pub fn clear(&mut self) {
         for e in self.entries.iter_mut() {
             *e = None;
         }
+        self.evictions = 0;
     }
 
     /// Iterates over `(slot, entry)` pairs for valid entries.
@@ -213,7 +238,7 @@ struct Way<T> {
 /// assert!(t.get(0, 100).is_none());
 /// assert_eq!(t.get(0, 300), Some(&3));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SetAssociative<T> {
     /// Flat `sets * ways` storage; set `s` occupies the slice
     /// `[s * ways, (s + 1) * ways)`. One contiguous allocation keeps set
@@ -223,7 +248,24 @@ pub struct SetAssociative<T> {
     ways: usize,
     clock: u64,
     set_mod: FastMod,
+    /// LRU victims displaced by inserts into full sets (telemetry only).
+    evictions: u64,
 }
+
+// Telemetry counters are excluded from equality; LRU state (`clock`,
+// per-way timestamps) still participates, exactly as under the old
+// derived impl.
+impl<T: PartialEq> PartialEq for SetAssociative<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.store == other.store
+            && self.num_sets == other.num_sets
+            && self.ways == other.ways
+            && self.clock == other.clock
+            && self.set_mod == other.set_mod
+    }
+}
+
+impl<T: Eq> Eq for SetAssociative<T> {}
 
 impl<T> SetAssociative<T> {
     /// Creates a table with `sets` sets of `ways` ways each.
@@ -239,6 +281,7 @@ impl<T> SetAssociative<T> {
             ways,
             clock: 0,
             set_mod: FastMod::new(sets as u64),
+            evictions: 0,
         }
     }
 
@@ -340,7 +383,16 @@ impl<T> SetAssociative<T> {
                 last_use: clock,
             }),
         );
+        if old.is_some() {
+            self.evictions += 1;
+        }
         old.map(|w| (w.tag, w.value))
+    }
+
+    /// LRU victims displaced since construction (or the last
+    /// [`clear`](Self::clear)): the table's conflict pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Removes `(index, tag)` and returns its value.
@@ -353,12 +405,13 @@ impl<T> SetAssociative<T> {
         slot.take().map(|w| w.value)
     }
 
-    /// Invalidates every entry.
+    /// Invalidates every entry and zeroes the eviction tally.
     pub fn clear(&mut self) {
         for w in self.store.iter_mut() {
             *w = None;
         }
         self.clock = 0;
+        self.evictions = 0;
     }
 }
 
@@ -542,6 +595,42 @@ mod tests {
         t.insert(0, 1, 10);
         *t.get_mut(0, 1).unwrap() = 99;
         assert_eq!(t.peek(0, 1), Some(&99));
+    }
+
+    #[test]
+    fn eviction_counters_track_displacements_only() {
+        let mut t: DirectMapped<u32> = DirectMapped::new(2);
+        t.insert(0, 1); // vacant: not an eviction
+        assert_eq!(t.evictions(), 0);
+        t.insert(2, 9); // aliases slot 0: eviction
+        assert_eq!(t.evictions(), 1);
+        t.invalidate(0);
+        t.insert(0, 3); // vacant again after invalidate
+        assert_eq!(t.evictions(), 1);
+        t.clear();
+        assert_eq!(t.evictions(), 0);
+
+        let mut s: SetAssociative<u32> = SetAssociative::new(1, 2);
+        s.insert(0, 1, 10);
+        s.insert(0, 2, 20);
+        assert_eq!(s.evictions(), 0);
+        s.insert(0, 1, 11); // same-tag overwrite: not an eviction
+        assert_eq!(s.evictions(), 0);
+        s.insert(0, 3, 30); // full set: LRU victim displaced
+        assert_eq!(s.evictions(), 1);
+        s.clear();
+        assert_eq!(s.evictions(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_eviction_telemetry() {
+        let mut a: DirectMapped<u32> = DirectMapped::new(2);
+        let mut b: DirectMapped<u32> = DirectMapped::new(2);
+        a.insert(0, 1);
+        a.insert(2, 7); // evicts
+        b.insert(0, 7); // same final contents, no eviction
+        assert_ne!(a.evictions(), b.evictions());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Fixed-bucket power-of-two histogram.
+
+/// Number of buckets: one for zero plus one per possible highest set
+/// bit of a `u64` (64), so every value maps to exactly one bucket.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A 65-bucket log2 histogram of `u64` samples.
+///
+/// Bucket 0 counts zeros; bucket `b >= 1` counts values in
+/// `[2^(b-1), 2^b)`. Recording is a leading-zeros instruction plus an
+/// array increment — no allocation, no branching on sample magnitude —
+/// so it is safe to call from the simulation hot loop.
+///
+/// `merge` is bucket-wise saturating addition: associative, commutative,
+/// with the empty histogram as identity. Count and sum are conserved by
+/// merge, which the property suite checks over shuffled partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; LOG2_BUCKETS],
+    count: u64,
+    total: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; LOG2_BUCKETS],
+            count: 0,
+            total: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        // 0 -> bucket 0; otherwise 1 + floor(log2(value)).
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive-exclusive `[lo, hi)` bounds of bucket `b`; bucket 0 is
+    /// the degenerate `[0, 1)`. Returns `None` past the last bucket.
+    pub fn bucket_bounds(b: usize) -> Option<(u64, u64)> {
+        match b {
+            0 => Some((0, 1)),
+            1..=63 => Some((1u64 << (b - 1), 1u64 << b)),
+            // The top bucket's upper bound (2^64) is not representable;
+            // pin it at u64::MAX inclusive-style.
+            64 => Some((1u64 << 63, u64::MAX)),
+            _ => None,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples (saturating).
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        let b = Self::bucket_of(value);
+        self.buckets[b] = self.buckets[b].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.total = self.total.saturating_add(value.saturating_mul(n));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded sample values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Count in bucket `b` (0 past the end).
+    pub fn bucket(&self, b: usize) -> u64 {
+        self.buckets.get(b).copied().unwrap_or(0)
+    }
+
+    /// `(bucket, count)` pairs for non-empty buckets, ascending.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b, c))
+    }
+
+    /// Folds `other` in bucket-wise (saturating).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.total = self.total.saturating_add(other.total);
+    }
+
+    /// Resets to empty.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_matches_highest_set_bit() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(1023), 10);
+        assert_eq!(Log2Histogram::bucket_of(1024), 11);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn every_bucket_contains_its_bounds() {
+        for b in 0..LOG2_BUCKETS {
+            let (lo, hi) = Log2Histogram::bucket_bounds(b).expect("in range");
+            assert_eq!(Log2Histogram::bucket_of(lo), b, "lo of bucket {b}");
+            // hi is exclusive except for the saturated top bucket.
+            let last = if b == 64 { hi } else { hi - 1 };
+            assert_eq!(Log2Histogram::bucket_of(last), b, "last of bucket {b}");
+        }
+        assert!(Log2Histogram::bucket_bounds(LOG2_BUCKETS).is_none());
+    }
+
+    #[test]
+    fn record_and_merge_conserve_count_and_total() {
+        let mut a = Log2Histogram::new();
+        a.record(0);
+        a.record(5);
+        a.record_n(9, 3);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.total(), 5 + 27);
+        assert_eq!(a.bucket(0), 1);
+        assert_eq!(a.bucket(3), 1); // 5 in [4, 8)
+        assert_eq!(a.bucket(4), 3); // 9 in [8, 16)
+
+        let mut b = Log2Histogram::new();
+        b.record(1 << 40);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), a.count() + b.count());
+        assert_eq!(merged.total(), a.total() + b.total());
+        assert_eq!(
+            merged.nonzero().collect::<Vec<_>>(),
+            vec![(0, 1), (3, 1), (4, 3), (41, 1)]
+        );
+
+        merged.reset();
+        assert!(merged.is_empty());
+        assert_eq!(merged, Log2Histogram::new());
+    }
+}

@@ -1,0 +1,104 @@
+//! Zero-dependency observability layer for the IBP simulation stack.
+//!
+//! Three primitives, all allocation-free on the record path:
+//!
+//! - [`Counter`]: a monotonic `u64` counter.
+//! - [`Log2Histogram`]: a fixed 65-bucket power-of-two histogram
+//!   (bucket 0 holds zeros; bucket `b >= 1` holds values whose highest
+//!   set bit is `b - 1`, i.e. the half-open range `[2^(b-1), 2^b)`).
+//! - [`EventRing`]: a bounded ring of structured [`Event`]s with exact
+//!   drop accounting — when full, the oldest event is overwritten and
+//!   `dropped()` increments, so `drained + dropped == recorded` always.
+//!
+//! On top of these sits the [`Probe`] trait the simulation hot loop is
+//! generic over. [`NullProbe`] has empty `#[inline(always)]` methods and
+//! monomorphizes away entirely (the uninstrumented build keeps the
+//! allocation-free hot loop byte-for-byte); [`RecordingProbe`] counts
+//! events/predictions/mispredictions, tracks inter-misprediction gaps in
+//! a histogram, and logs misprediction events into a ring. Probes only
+//! observe — they never feed back into prediction, which is what the
+//! differential test suite in `ibp-sim` proves.
+//!
+//! [`MetricsSnapshot`] is the aggregation currency: a sorted name→value
+//! map of counters plus named histograms whose `merge` is associative
+//! and commutative, so a grid merged per-worker equals the serial merge
+//! as long as callers fix the merge *order* (the sweep engine merges in
+//! grid-index order, never completion order).
+//!
+//! This crate is in `ibp-analyze`'s `DETERMINISTIC_CRATES` and
+//! `PANIC_FREE_CRATES` lists: no `HashMap`, no wall clocks, no
+//! `unwrap`/`expect`/`panic!` in non-test code.
+
+mod hist;
+mod probe;
+mod ring;
+mod snapshot;
+
+pub use hist::Log2Histogram;
+pub use probe::{NullProbe, Probe, RecordingProbe};
+pub use ring::{Event, EventRing};
+pub use snapshot::MetricsSnapshot;
+
+/// A monotonic event counter.
+///
+/// Deliberately tiny: the value of the type is the `merge` discipline
+/// (saturating, associative, commutative) shared with the rest of the
+/// crate, not the arithmetic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A fresh zero counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`, saturating at `u64::MAX`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Folds another counter in (saturating addition).
+    pub fn merge(&mut self, other: &Counter) {
+        self.add(other.0);
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Counter;
+
+    #[test]
+    fn counter_counts_and_saturates() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+        let mut d = Counter::new();
+        d.merge(&c);
+        assert_eq!(d.get(), u64::MAX);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Bounded structured event ring with exact drop accounting.
+
+/// A structured trace event. Labels are `&'static str` so recording
+/// never allocates; the two payload words are event-defined (the
+/// simulation probe stores branch PC and event index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What happened (e.g. `"mispredict"`).
+    pub label: &'static str,
+    /// First payload word (probe convention: branch PC).
+    pub a: u64,
+    /// Second payload word (probe convention: trace event index).
+    pub b: u64,
+}
+
+/// A fixed-capacity ring of [`Event`]s.
+///
+/// `record` is O(1) and never allocates after construction: once the
+/// ring is full the oldest event is overwritten and [`dropped`] counts
+/// it, so `drained + dropped == recorded` holds exactly — the property
+/// suite exercises this across overflow boundaries. [`drain`] returns
+/// the surviving events oldest-first and empties the ring; the drop
+/// count is cumulative and survives drains (use [`reset`] to clear it).
+///
+/// [`dropped`]: EventRing::dropped
+/// [`drain`]: EventRing::drain
+/// [`reset`]: EventRing::reset
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRing {
+    slots: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest live event (only meaningful when `len > 0`).
+    head: usize,
+    len: usize,
+    dropped: u64,
+    recorded: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            len: 0,
+            dropped: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Maximum number of events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events overwritten because the ring was full (cumulative).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (cumulative).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Appends an event, overwriting the oldest when full.
+    #[inline]
+    pub fn record(&mut self, event: Event) {
+        self.recorded = self.recorded.saturating_add(1);
+        if self.slots.len() < self.capacity {
+            // Still filling the pre-reserved buffer: plain push.
+            self.slots.push(event);
+            self.len += 1;
+            return;
+        }
+        if self.len < self.capacity {
+            // Refilling after a drain: reuse slots in ring order.
+            let at = (self.head + self.len) % self.capacity;
+            self.slots[at] = event;
+            self.len += 1;
+            return;
+        }
+        // Full: overwrite the oldest and advance.
+        self.slots[self.head] = event;
+        self.head = (self.head + 1) % self.capacity;
+        self.dropped += 1;
+    }
+
+    /// Removes and returns all held events, oldest first. The
+    /// cumulative `dropped`/`recorded` tallies are unaffected.
+    pub fn drain(&mut self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            out.push(self.slots[(self.head + i) % self.capacity]);
+        }
+        self.head = 0;
+        self.len = 0;
+        self.slots.clear();
+        out
+    }
+
+    /// Empties the ring and zeroes the cumulative tallies.
+    pub fn reset(&mut self) {
+        self.drain();
+        self.dropped = 0;
+        self.recorded = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> Event {
+        Event { label: "t", a: n, b: n * 2 }
+    }
+
+    #[test]
+    fn fills_then_drops_oldest() {
+        let mut r = EventRing::new(3);
+        assert!(r.is_empty());
+        for n in 0..5 {
+            r.record(ev(n));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.recorded(), 5);
+        let kept: Vec<u64> = r.drain().iter().map(|e| e.a).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest-first, newest retained");
+        assert_eq!(r.dropped(), 2, "drain keeps the cumulative tally");
+    }
+
+    #[test]
+    fn refills_after_drain_without_phantom_drops() {
+        let mut r = EventRing::new(2);
+        r.record(ev(0));
+        r.record(ev(1));
+        r.record(ev(2)); // drops ev(0)
+        assert_eq!(r.drain().len(), 2);
+        r.record(ev(3));
+        r.record(ev(4));
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.recorded(), 5);
+        let kept: Vec<u64> = r.drain().iter().map(|e| e.a).collect();
+        assert_eq!(kept, vec![3, 4]);
+        r.reset();
+        assert_eq!((r.dropped(), r.recorded(), r.len()), (0, 0, 0));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = EventRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.record(ev(7));
+        assert_eq!(r.len(), 1);
+    }
+}

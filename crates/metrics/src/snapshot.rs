@@ -1,0 +1,135 @@
+//! Mergeable named-metric snapshots.
+
+use crate::Log2Histogram;
+
+/// A snapshot of named counters and histograms.
+///
+/// Both collections are kept sorted by name with unique keys, so a
+/// snapshot's contents — and its serialized form — depend only on the
+/// multiset of `(name, value)` contributions, never on insertion order.
+/// Combined with saturating addition this makes [`merge`] associative
+/// and commutative with the empty snapshot as identity, which is what
+/// lets the sweep engine merge per-worker snapshots in grid-index order
+/// and get a result independent of the worker count (property-tested
+/// over shuffled partitions in `tests/props.rs`).
+///
+/// [`merge`]: MetricsSnapshot::merge
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Log2Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub const fn new() -> Self {
+        MetricsSnapshot {
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Adds `delta` to the counter `name` (created at zero if absent).
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        match self.counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => self.counters[i].1 = self.counters[i].1.saturating_add(delta),
+            Err(i) => self.counters.insert(i, (name.to_string(), delta)),
+        }
+    }
+
+    /// Folds `hist` into the histogram `name` (created empty if absent).
+    pub fn merge_histogram(&mut self, name: &str, hist: &Log2Histogram) {
+        match self
+            .histograms
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
+            Ok(i) => self.histograms[i].1.merge(hist),
+            Err(i) => self.histograms.insert(i, (name.to_string(), hist.clone())),
+        }
+    }
+
+    /// Value of counter `name`, zero if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .map(|i| self.counters[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.histograms
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i].1)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> &[(String, Log2Histogram)] {
+        &self.histograms
+    }
+
+    /// True when the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` in: counters add, histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            self.add_counter(name, *value);
+        }
+        for (name, hist) in &other.histograms {
+            self.merge_histogram(name, hist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_stay_sorted_and_accumulate() {
+        let mut s = MetricsSnapshot::new();
+        s.add_counter("zeta", 1);
+        s.add_counter("alpha", 2);
+        s.add_counter("zeta", 3);
+        assert_eq!(s.counter("zeta"), 4);
+        assert_eq!(s.counter("alpha"), 2);
+        assert_eq!(s.counter("missing"), 0);
+        let names: Vec<&str> = s.counters().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"], "sorted regardless of insertion");
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = MetricsSnapshot::new();
+        a.add_counter("x", 1);
+        let mut h = Log2Histogram::new();
+        h.record(7);
+        a.merge_histogram("lat", &h);
+
+        let mut b = MetricsSnapshot::new();
+        b.add_counter("x", 10);
+        b.add_counter("y", 5);
+        let mut h2 = Log2Histogram::new();
+        h2.record(100);
+        b.merge_histogram("lat", &h2);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("x"), 11);
+        assert_eq!(ab.histogram("lat").map(|h| h.count()), Some(2));
+        assert!(MetricsSnapshot::new().is_empty());
+        assert!(!ab.is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests for the metrics primitives, run on the in-tree
+//! `ibp-testkit` harness:
+//!
+//! * snapshot merge is associative and commutative: any shuffled
+//!   partition of the same contribution stream merges to the same
+//!   snapshot (the sweep engine depends on this for worker-count
+//!   independence);
+//! * log2 histogram invariants: every sample lands in the bucket whose
+//!   bounds contain it, bounds are contiguous and monotone, and merge
+//!   conserves count and total;
+//! * the event ring accounts for every record exactly once —
+//!   `recorded == drained + held + dropped` under arbitrary
+//!   record/drain interleavings.
+
+use ibp_metrics::{Event, EventRing, Log2Histogram, MetricsSnapshot};
+use ibp_testkit::{prop_assert, prop_assert_eq, Prop, TestRng};
+
+/// A small name pool so contributions collide across partitions.
+const NAMES: [&str; 5] = ["alpha", "biu_flips", "order07_provided", "sim_events", "zz"];
+
+fn shuffled(rng: &mut TestRng, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..(i + 1) as u64) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
+#[test]
+fn snapshot_merge_is_associative_and_commutative_over_partitions() {
+    Prop::new("snapshot merge over shuffled partitions")
+        .cases(32)
+        .run(
+            |rng| {
+                let contributions: Vec<(usize, u64)> = rng.vec_with(1..40, |rng| {
+                    (
+                        rng.gen_range(0..NAMES.len() as u64) as usize,
+                        rng.gen_range(0..1000),
+                    )
+                });
+                let parts = rng.gen_range(1..6usize);
+                let seed = rng.next_u64();
+                (contributions, parts, seed)
+            },
+            |(contributions, parts, seed)| {
+                // Reference: everything folded into one snapshot, in order.
+                let mut reference = MetricsSnapshot::new();
+                for &(n, v) in contributions {
+                    reference.add_counter(NAMES[n], v);
+                    let mut h = Log2Histogram::new();
+                    h.record(v);
+                    reference.merge_histogram(NAMES[n], &h);
+                }
+
+                // Partition round-robin, then merge the parts in a
+                // shuffled order.
+                let mut rng = TestRng::new(*seed);
+                let mut snaps = vec![MetricsSnapshot::new(); *parts];
+                for (i, &(n, v)) in contributions.iter().enumerate() {
+                    let s = &mut snaps[i % parts];
+                    s.add_counter(NAMES[n], v);
+                    let mut h = Log2Histogram::new();
+                    h.record(v);
+                    s.merge_histogram(NAMES[n], &h);
+                }
+                let mut merged = MetricsSnapshot::new();
+                for &p in &shuffled(&mut rng, *parts) {
+                    merged.merge(&snaps[p]);
+                }
+                prop_assert_eq!(
+                    &merged,
+                    &reference,
+                    "partitioned merge diverged ({} parts)",
+                    parts
+                );
+
+                // Commutativity of a single pairwise merge.
+                if *parts >= 2 {
+                    let mut ab = snaps[0].clone();
+                    ab.merge(&snaps[1]);
+                    let mut ba = snaps[1].clone();
+                    ba.merge(&snaps[0]);
+                    prop_assert_eq!(&ab, &ba, "pairwise merge not commutative");
+                }
+                Ok(())
+            },
+        );
+}
+
+#[test]
+fn histogram_buckets_contain_their_samples_and_merge_conserves() {
+    Prop::new("log2 histogram invariants").cases(48).run(
+        |rng| {
+            let values: Vec<u64> = rng.vec_with(1..60, |rng| {
+                // Mix small values with full-range ones so high buckets
+                // and the zero bucket are both exercised.
+                if rng.gen_bool(0.5) {
+                    rng.gen_range(0..64)
+                } else {
+                    rng.next_u64()
+                }
+            });
+            let split = rng.gen_range(0..values.len() as u64 + 1) as usize;
+            (values, split)
+        },
+        |(values, split)| {
+            let mut whole = Log2Histogram::new();
+            for &v in values {
+                let b = Log2Histogram::bucket_of(v);
+                let (lo, hi) = Log2Histogram::bucket_bounds(b).expect("bucket in range");
+                prop_assert!(
+                    v >= lo && (v < hi || (b == 64 && v <= hi)),
+                    "value {} outside bucket {} bounds [{}, {})",
+                    v,
+                    b,
+                    lo,
+                    hi
+                );
+                whole.record(v);
+            }
+            prop_assert_eq!(whole.count(), values.len() as u64, "count drifted");
+            let expected_total: u64 = values.iter().fold(0, |a, &v| a.saturating_add(v));
+            prop_assert_eq!(whole.total(), expected_total, "total drifted");
+
+            // Bounds tile the u64 line: contiguous and monotone.
+            for b in 1..=64usize {
+                let (lo, _) = Log2Histogram::bucket_bounds(b).expect("in range");
+                let (_, prev_hi) = Log2Histogram::bucket_bounds(b - 1).expect("in range");
+                prop_assert_eq!(lo, prev_hi, "gap between buckets {} and {}", b - 1, b);
+            }
+
+            // Splitting the sample stream and merging reproduces the
+            // whole histogram exactly.
+            let (left, right) = values.split_at(*split);
+            let mut a = Log2Histogram::new();
+            left.iter().for_each(|&v| a.record(v));
+            let mut b = Log2Histogram::new();
+            right.iter().for_each(|&v| b.record(v));
+            a.merge(&b);
+            prop_assert_eq!(&a, &whole, "merge of a split is not the whole");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn ring_accounts_for_every_record_under_interleaved_drains() {
+    Prop::new("event ring drop accounting").cases(32).run(
+        |rng| {
+            let capacity = rng.gen_range(1..9usize);
+            // true = record, false = drain.
+            let ops: Vec<bool> = rng.vec_with(1..80, |rng| rng.gen_bool(0.8));
+            (capacity, ops)
+        },
+        |(capacity, ops)| {
+            let mut ring = EventRing::new(*capacity);
+            let mut drained = 0u64;
+            let mut held = 0u64;
+            let mut model_dropped = 0u64;
+            let mut next = 0u64;
+            for &op in ops {
+                if op {
+                    ring.record(Event {
+                        label: "e",
+                        a: next,
+                        b: 0,
+                    });
+                    if (held as usize) < *capacity {
+                        held += 1;
+                    } else {
+                        model_dropped += 1;
+                    }
+                    next += 1;
+                } else {
+                    let got = ring.drain();
+                    // Drain returns oldest-first: sequence numbers must
+                    // ascend.
+                    for w in got.windows(2) {
+                        prop_assert!(w[0].a < w[1].a, "drain out of order");
+                    }
+                    prop_assert_eq!(got.len() as u64, held, "drain size mismatch");
+                    drained += got.len() as u64;
+                    held = 0;
+                }
+            }
+            prop_assert_eq!(ring.recorded(), next, "recorded count drifted");
+            prop_assert_eq!(ring.dropped(), model_dropped, "drop count not exact");
+            prop_assert_eq!(
+                ring.recorded(),
+                drained + held + ring.dropped(),
+                "events leaked: {} recorded vs {} drained + {} held + {} dropped",
+                ring.recorded(),
+                drained,
+                held,
+                ring.dropped()
+            );
+            Ok(())
+        },
+    );
+}

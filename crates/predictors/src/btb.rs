@@ -87,6 +87,12 @@ impl IndirectPredictor for Btb {
     fn reset(&mut self) {
         self.table.clear();
     }
+
+    fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
+        sink("table_entries", self.table.len() as u64);
+        sink("table_occupancy", self.table.occupancy() as u64);
+        sink("table_evictions", self.table.evictions());
+    }
 }
 
 /// A tagless BTB whose targets are replaced only after two consecutive
@@ -139,6 +145,12 @@ impl IndirectPredictor for Btb2b {
 
     fn reset(&mut self) {
         self.table.clear();
+    }
+
+    fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
+        sink("table_entries", self.table.len() as u64);
+        sink("table_occupancy", self.table.occupancy() as u64);
+        sink("table_evictions", self.table.evictions());
     }
 }
 

@@ -75,6 +75,16 @@ impl LeakyFilter {
     pub fn reset(&mut self) {
         self.table.clear();
     }
+
+    /// Occupied filter ways.
+    pub fn occupancy(&self) -> usize {
+        self.table.occupancy()
+    }
+
+    /// Filter LRU evictions (telemetry).
+    pub fn evictions(&self) -> u64 {
+        self.table.evictions()
+    }
 }
 
 /// Configuration of a [`Cascade`] predictor.
@@ -191,6 +201,12 @@ impl IndirectPredictor for Cascade {
         self.filter.reset();
         self.core.reset();
         self.last = None;
+    }
+
+    fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
+        sink("filter_evictions", self.filter.evictions());
+        sink("filter_occupancy", self.filter.occupancy() as u64);
+        self.core.report_metrics(sink);
     }
 }
 

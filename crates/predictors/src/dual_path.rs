@@ -104,6 +104,20 @@ impl PathComponent {
             ComponentTable::Tagged(t) => t.capacity(),
         }
     }
+
+    fn occupancy(&self) -> usize {
+        match &self.table {
+            ComponentTable::Tagless(t) => t.occupancy(),
+            ComponentTable::Tagged(t) => t.occupancy(),
+        }
+    }
+
+    fn evictions(&self) -> u64 {
+        match &self.table {
+            ComponentTable::Tagless(t) => t.evictions(),
+            ComponentTable::Tagged(t) => t.evictions(),
+        }
+    }
 }
 
 /// Configuration of a [`DualPath`] predictor.
@@ -326,6 +340,26 @@ impl IndirectPredictor for DualPath {
         self.long.reset();
         self.selectors.clear();
         self.last = None;
+    }
+
+    fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
+        sink("long_evictions", self.long.evictions());
+        sink("long_occupancy", self.long.occupancy() as u64);
+        sink("selector_occupancy", self.selectors.occupancy() as u64);
+        sink("short_evictions", self.short.evictions());
+        sink("short_occupancy", self.short.occupancy() as u64);
+        sink(
+            "table_entries",
+            (self.short.entries() + self.long.entries()) as u64,
+        );
+        sink(
+            "table_occupancy",
+            (self.short.occupancy() + self.long.occupancy()) as u64,
+        );
+        sink(
+            "table_evictions",
+            self.short.evictions() + self.long.evictions(),
+        );
     }
 }
 

@@ -153,6 +153,18 @@ impl IndirectPredictor for GApPredictor {
         }
         self.phr.clear();
     }
+
+    fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
+        sink("table_entries", self.banks.iter().map(|b| b.len() as u64).sum());
+        sink(
+            "table_occupancy",
+            self.banks.iter().map(|b| b.occupancy() as u64).sum(),
+        );
+        sink(
+            "table_evictions",
+            self.banks.iter().map(|b| b.evictions()).sum(),
+        );
+    }
 }
 
 #[cfg(test)]

@@ -148,6 +148,12 @@ impl IndirectPredictor for TargetCache {
         self.table.clear();
         self.phr.clear();
     }
+
+    fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
+        sink("table_entries", self.table.len() as u64);
+        sink("table_occupancy", self.table.occupancy() as u64);
+        sink("table_evictions", self.table.evictions());
+    }
 }
 
 #[cfg(test)]

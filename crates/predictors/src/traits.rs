@@ -49,6 +49,18 @@ pub trait IndirectPredictor {
 
     /// Clears all dynamic state, returning the predictor to power-on.
     fn reset(&mut self);
+
+    /// Streams this predictor's internal telemetry — occupancy, eviction,
+    /// per-order attribution, selector dynamics — as named `u64` values.
+    ///
+    /// The sink-closure shape keeps the method object-safe and keeps this
+    /// crate free of any metrics dependency: callers (the sim layer) own
+    /// the aggregation. Implementations must emit a deterministic name
+    /// sequence with stable names; values are point-in-time reads and the
+    /// call must not mutate predictor state. Default: no telemetry.
+    fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
+        let _ = sink;
+    }
 }
 
 impl<P: IndirectPredictor + ?Sized> IndirectPredictor for Box<P> {
@@ -74,6 +86,10 @@ impl<P: IndirectPredictor + ?Sized> IndirectPredictor for Box<P> {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
+        (**self).report_metrics(sink)
     }
 }
 

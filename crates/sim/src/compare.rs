@@ -118,7 +118,7 @@ impl GridResult {
 
 /// Generates a benchmark run's trace at `scale` (`1.0` = the full figure
 /// trace, bit-identical to `run.generate()`).
-fn generate_trace(run: &BenchmarkRun, scale: f64) -> Trace {
+pub(crate) fn generate_trace(run: &BenchmarkRun, scale: f64) -> Trace {
     if (scale - 1.0).abs() < f64::EPSILON {
         run.generate()
     } else {

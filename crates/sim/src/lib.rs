@@ -17,6 +17,8 @@
 //!   workspace, scalable by table budget (for the sweep ablations);
 //! * [`compare`] — grids of (predictor × benchmark run), i.e. Figures 6
 //!   and 7;
+//! * [`metrics`] — instrumented grid evaluation (recording probes +
+//!   predictor telemetry) and the versioned metrics JSON schema;
 //! * [`report`] — plain-text table rendering and the JSON report codec
 //!   for the experiment binaries;
 //! * [`json`] — the hand-rolled JSON value type behind [`report`] (the
@@ -25,6 +27,7 @@
 pub mod compare;
 pub mod delay;
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod zoo;
@@ -33,5 +36,11 @@ pub use compare::{compare_grid, compare_grid_with, GridResult};
 pub use ibp_exec::Executor;
 pub use delay::DelayedPredictor;
 pub use json::{Json, JsonError};
-pub use runner::{ras_accuracy, simulate, simulate_stream, RunResult};
+pub use metrics::{
+    metrics_grid, metrics_grid_with, metrics_to_json, predictor_snapshot, MetricsCell,
+    MetricsGrid, METRICS_SCHEMA_VERSION,
+};
+pub use runner::{
+    ras_accuracy, simulate, simulate_probed, simulate_stream, simulate_stream_probed, RunResult,
+};
 pub use zoo::PredictorKind;

@@ -2,6 +2,7 @@
 
 use ibp_exec::FastMap;
 use ibp_isa::Addr;
+use ibp_metrics::{NullProbe, Probe};
 use ibp_predictors::{IndirectPredictor, ReturnAddressStack};
 use ibp_trace::Trace;
 
@@ -101,6 +102,23 @@ pub fn simulate<P: IndirectPredictor + ?Sized>(predictor: &mut P, trace: &Trace)
     simulate_stream(predictor, trace.iter().copied())
 }
 
+/// [`simulate`] with an observation probe attached.
+///
+/// The loop is monomorphized per probe type: with
+/// [`ibp_metrics::NullProbe`] (what [`simulate`] passes) the probe calls
+/// are empty `#[inline(always)]` bodies that compile away, so the
+/// uninstrumented path pays nothing. Probes only receive values the loop
+/// already computed — they cannot perturb prediction, and the
+/// differential suite (`tests/differential.rs`) checks that instrumented
+/// and uninstrumented grids are byte-identical.
+pub fn simulate_probed<P, Pr>(predictor: &mut P, trace: &Trace, probe: &mut Pr) -> RunResult
+where
+    P: IndirectPredictor + ?Sized,
+    Pr: Probe,
+{
+    simulate_stream_probed(predictor, trace.iter().copied(), probe)
+}
+
 /// Streaming form of [`simulate`]: drives any event iterator through the
 /// predictor without materializing a [`Trace`] — suitable for replaying
 /// trace files larger than memory, one decode window at a time.
@@ -109,6 +127,17 @@ where
     P: IndirectPredictor + ?Sized,
     I: IntoIterator<Item = ibp_trace::BranchEvent>,
 {
+    simulate_stream_probed(predictor, events, &mut NullProbe)
+}
+
+/// Streaming form of [`simulate_probed`]; the single loop body every
+/// simulate entry point funnels into.
+pub fn simulate_stream_probed<P, I, Pr>(predictor: &mut P, events: I, probe: &mut Pr) -> RunResult
+where
+    P: IndirectPredictor + ?Sized,
+    I: IntoIterator<Item = ibp_trace::BranchEvent>,
+    Pr: Probe,
+{
     let mut result = RunResult {
         predictor: predictor.name(),
         predictions: 0,
@@ -116,10 +145,12 @@ where
         per_branch: FastMap::with_capacity(PER_BRANCH_CAPACITY),
     };
     for event in events {
+        probe.on_event();
         if event.class().is_predicted_indirect() {
             let predicted = predictor.predict(event.pc());
             let actual = event.target();
             let correct = predicted == Some(actual);
+            probe.on_prediction(event.pc().raw(), correct);
             result.predictions += 1;
             let entry = result
                 .per_branch

@@ -5,7 +5,9 @@
 //! [`PredictorKind`] centralizes the configurations of §5 so a figure is
 //! described by a list of kinds.
 
-use crate::runner::{simulate, RunResult};
+use crate::metrics::predictor_snapshot;
+use crate::runner::{simulate, simulate_probed, RunResult};
+use ibp_metrics::{MetricsSnapshot, RecordingProbe};
 use ibp_ppm::{PpmHybrid, PpmPib, SelectorKind, StackConfig};
 use ibp_predictors::{
     Btb, Btb2b, Cascade, CascadeConfig, DualPath, DualPathConfig, GApConfig, GApPredictor,
@@ -217,6 +219,35 @@ impl PredictorKind {
         })
     }
 
+    /// [`PredictorKind::simulate_trace`] with a recording probe attached:
+    /// returns the (identical) run result plus a snapshot combining the
+    /// probe's stream metrics with the predictor's internal telemetry.
+    pub fn simulate_trace_metrics(self, trace: &Trace) -> (RunResult, MetricsSnapshot) {
+        self.simulate_with_entries_metrics(2048, trace)
+    }
+
+    /// Budget-scaled form of [`PredictorKind::simulate_trace_metrics`].
+    /// Monomorphizes the probed loop per concrete predictor, exactly like
+    /// the uninstrumented path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < 64` (degenerate configurations).
+    pub fn simulate_with_entries_metrics(
+        self,
+        entries: usize,
+        trace: &Trace,
+    ) -> (RunResult, MetricsSnapshot) {
+        dispatch_kind!(self, entries, make => {
+            let mut p = make();
+            let mut probe = RecordingProbe::new();
+            let result = simulate_probed(&mut p, trace, &mut probe);
+            let mut snapshot = probe.snapshot();
+            snapshot.merge(&predictor_snapshot(&p));
+            (result, snapshot)
+        })
+    }
+
     /// Simulates every trace in `traces` through fresh instances of this
     /// predictor, monomorphizing the whole batch under a single dispatch.
     ///
@@ -342,6 +373,22 @@ mod tests {
     #[should_panic(expected = "budget too small")]
     fn tiny_budget_panics_when_simulating() {
         let _ = PredictorKind::Btb.simulate_with_entries(32, &Trace::new());
+    }
+
+    #[test]
+    fn metrics_simulation_matches_uninstrumented() {
+        let trace = ibp_workloads::paper_suite()[0].generate_scaled(0.02);
+        for kind in [
+            PredictorKind::Btb,
+            PredictorKind::Cascade,
+            PredictorKind::PpmHyb,
+        ] {
+            let plain = kind.simulate_trace(&trace);
+            let (probed, snap) = kind.simulate_trace_metrics(&trace);
+            assert_eq!(plain, probed, "{kind:?}: probe changed the result");
+            assert_eq!(snap.counter("sim_predictions"), plain.predictions());
+            assert_eq!(snap.counter("sim_mispredictions"), plain.mispredictions());
+        }
     }
 
     #[test]

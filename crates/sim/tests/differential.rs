@@ -1,0 +1,114 @@
+//! The observability layer's central contract: **instrumentation changes
+//! nothing**. The full Figure 6 grid is evaluated twice over identical
+//! inputs — once through the production path (`NullProbe` compiled away)
+//! and once with `RecordingProbe`s attached and every predictor's
+//! telemetry drained — and the two result grids must match bit-for-bit,
+//! down to the serialized CSV/JSON bytes, at every pool size.
+//!
+//! The metrics themselves must equally be scheduling-independent: the
+//! same grid instrumented at pool sizes 1, 2 and 8 must serialize to the
+//! same metrics JSON byte-for-byte.
+
+use ibp_exec::Executor;
+use ibp_sim::metrics::{metrics_grid_with, metrics_to_json};
+use ibp_sim::report::{grid_to_csv, grid_to_json};
+use ibp_sim::{compare_grid_with, PredictorKind};
+use ibp_workloads::paper_suite;
+
+/// Serial, smallest concurrent, and oversubscribed — the same lineup the
+/// determinism suite pins.
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
+
+/// Small enough to keep the full 7×15 product fast, large enough that
+/// every predictor sees warm-up, steady state and evictions.
+const SCALE: f64 = 0.005;
+
+#[test]
+fn instrumented_figure6_grid_is_byte_identical_to_uninstrumented() {
+    let kinds = PredictorKind::figure6();
+    let runs = paper_suite();
+    for &threads in &POOL_SIZES {
+        let exec = Executor::new(threads);
+        let plain = compare_grid_with(&exec, &kinds, &runs, SCALE);
+        let (probed, metrics) = metrics_grid_with(&exec, &kinds, &runs, SCALE);
+        assert_eq!(plain, probed, "{threads} threads: probes changed results");
+        assert_eq!(
+            grid_to_csv(&plain),
+            grid_to_csv(&probed),
+            "{threads} threads: CSV bytes differ"
+        );
+        assert_eq!(
+            grid_to_json(&plain),
+            grid_to_json(&probed),
+            "{threads} threads: JSON bytes differ"
+        );
+        // The instrumented pass really did observe the whole grid.
+        assert_eq!(metrics.cells().len(), kinds.len() * runs.len());
+        for (cell, mcell) in plain.cells().iter().zip(metrics.cells()) {
+            assert_eq!(cell.run, mcell.run);
+            assert_eq!(cell.predictor, mcell.predictor);
+            assert_eq!(
+                mcell.snapshot.counter("sim_predictions"),
+                cell.predictions,
+                "{}/{}",
+                cell.run,
+                cell.predictor
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_json_is_byte_identical_across_pool_sizes() {
+    let kinds = PredictorKind::figure6();
+    let runs = paper_suite();
+    let (_, serial) = metrics_grid_with(&Executor::new(POOL_SIZES[0]), &kinds, &runs, SCALE);
+    let golden = metrics_to_json(&serial);
+    assert!(golden.contains("\"schema_version\":1"));
+    for &threads in &POOL_SIZES[1..] {
+        let (_, parallel) = metrics_grid_with(&Executor::new(threads), &kinds, &runs, SCALE);
+        assert_eq!(serial, parallel, "{threads} threads: metrics differ");
+        assert_eq!(
+            golden,
+            metrics_to_json(&parallel),
+            "{threads} threads: metrics JSON not byte-identical"
+        );
+    }
+}
+
+#[test]
+fn per_order_attribution_reaches_the_metrics_output() {
+    // The §5 measurement the layer exists for: PPM cells must attribute
+    // predictions and mispredictions to Markov orders, and the numbers
+    // must reconcile with the result grid.
+    let kinds = [PredictorKind::PpmHyb];
+    let runs = &paper_suite()[..3];
+    let exec = Executor::new(2);
+    let (grid, metrics) = metrics_grid_with(&exec, &kinds, runs, 0.01);
+    for mcell in metrics.cells() {
+        let s = &mcell.snapshot;
+        let provided: u64 = (1..=10)
+            .map(|j| s.counter(&format!("order{j:02}_provided")))
+            .sum();
+        assert_eq!(
+            provided + s.counter("lookups_unprovided"),
+            s.counter("sim_predictions"),
+            "{}: per-order attribution does not cover all predictions",
+            mcell.run
+        );
+        let cell_predictions = grid
+            .cells()
+            .iter()
+            .find(|c| c.run == mcell.run)
+            .map(|c| c.predictions)
+            .expect("matching grid cell");
+        assert_eq!(s.counter("sim_predictions"), cell_predictions);
+        assert!(s.counter("stack_occupancy") > 0, "{}", mcell.run);
+        assert!(s.counter("biu_entries") > 0, "{}", mcell.run);
+        assert!(
+            s.histogram("sim_mispredict_gap").is_some(),
+            "{}: gap histogram missing",
+            mcell.run
+        );
+    }
+}

@@ -33,4 +33,23 @@ IBP_BENCH_DIR="$bench_dir" IBP_BENCH_REPS=1 IBP_BENCH_MIN_MS=1 IBP_BENCH_SCALE=0
 cargo bench -q --offline -p ibp-bench --bench throughput -- \
   --check "$bench_dir/BENCH_throughput.json"
 
+echo "== observability overhead gate (NullProbe vs raw loop) =="
+# An in-process interleaved paired measurement: the probed hot loop
+# (NullProbe, the production path) against an in-file verbatim copy of
+# the pre-observability loop, alternating sides back-to-back. Under fat
+# LTO the probe must compile away — the gate requires the best-window
+# throughput ratio to stay within 3% of raw. Up to three attempts: each
+# process gets a fresh address-space layout, and a rare unlucky layout
+# can bias one loop by far more than the probe could (a real regression
+# fails in every layout).
+gate_ok=0
+for attempt in 1 2 3; do
+  if cargo bench -q --offline -p ibp-bench --bench throughput -- --gate-overhead; then
+    gate_ok=1
+    break
+  fi
+  echo "overhead gate attempt $attempt failed; retrying in a fresh process"
+done
+[ "$gate_ok" = 1 ]
+
 echo "verify: OK"

@@ -8,7 +8,15 @@
 //! refactor — fails loudly here instead of silently shifting the measured
 //! results. If a change to the suite is *intentional*, re-derive the pins
 //! and re-run the full experiment grid (see EXPERIMENTS.md).
+//!
+//! Also pinned here: the metrics JSON schema (v1). `results/*.json`
+//! artifacts and any downstream tooling parse this shape; changing it
+//! requires bumping `METRICS_SCHEMA_VERSION` and re-deriving the golden
+//! string below.
 
+use ibp_metrics::{Log2Histogram, MetricsSnapshot};
+use ibp_sim::metrics::{MetricsCell, MetricsGrid};
+use ibp_sim::{metrics_to_json, METRICS_SCHEMA_VERSION};
 use ibp_workloads::paper_suite;
 
 /// (label, events, MT indirect, FNV-1a over (pc, target, inline)).
@@ -51,4 +59,50 @@ fn suite_traces_match_their_pins() {
         }
         assert_eq!(h, fnv, "{label}: trace content drifted");
     }
+}
+
+#[test]
+fn metrics_json_schema_matches_its_pin() {
+    assert_eq!(METRICS_SCHEMA_VERSION, 1, "schema bumped: re-derive the pin");
+
+    // A handmade one-cell grid with every feature of the schema: a
+    // counter list, a histogram with two occupied buckets, and the
+    // per-predictor totals section.
+    let mut snapshot = MetricsSnapshot::new();
+    snapshot.add_counter("sim_events", 9);
+    snapshot.add_counter("sim_mispredictions", 6);
+    let mut gap = Log2Histogram::new();
+    gap.record(1);
+    gap.record(2);
+    snapshot.merge_histogram("sim_mispredict_gap", &gap);
+    let grid = MetricsGrid::from_parts(
+        vec!["BTB".to_string()],
+        vec!["perl.std".to_string()],
+        0.02,
+        vec![MetricsCell {
+            run: "perl.std".to_string(),
+            predictor: "BTB".to_string(),
+            snapshot,
+        }],
+    );
+
+    let expected = concat!(
+        "{\"schema_version\":1,\"scale\":0.02,",
+        "\"predictors\":[\"BTB\"],\"runs\":[\"perl.std\"],",
+        "\"cells\":[{\"run\":\"perl.std\",\"predictor\":\"BTB\",",
+        "\"counters\":[{\"name\":\"sim_events\",\"value\":9},",
+        "{\"name\":\"sim_mispredictions\",\"value\":6}],",
+        "\"histograms\":[{\"name\":\"sim_mispredict_gap\",",
+        "\"count\":2,\"total\":3,\"buckets\":[[1,1],[2,1]]}]}],",
+        "\"totals\":[{\"predictor\":\"BTB\",",
+        "\"counters\":[{\"name\":\"sim_events\",\"value\":9},",
+        "{\"name\":\"sim_mispredictions\",\"value\":6}],",
+        "\"histograms\":[{\"name\":\"sim_mispredict_gap\",",
+        "\"count\":2,\"total\":3,\"buckets\":[[1,1],[2,1]]}]}]}",
+    );
+    assert_eq!(
+        metrics_to_json(&grid),
+        expected,
+        "metrics JSON schema drifted; bump METRICS_SCHEMA_VERSION if intentional"
+    );
 }
