@@ -86,11 +86,11 @@ impl RuleId {
             }
             RuleId::Determinism => {
                 "no HashMap/HashSet/Instant/SystemTime in non-test code of deterministic \
-                 crates (core, hw, metrics, predictors, sim, compress, trace, isa)"
+                 crates (core, hw, metrics, predictors, serve, sim, compress, trace, isa)"
             }
             RuleId::NoPanic => {
                 "no .unwrap()/.expect()/panic! in non-test code of hot-path crates \
-                 (core, hw, metrics, predictors)"
+                 (core, hw, metrics, predictors, serve)"
             }
             RuleId::ThreadDiscipline => {
                 "thread::spawn/scope/Builder and available_parallelism only inside \
@@ -116,12 +116,22 @@ impl RuleId {
 /// JSON reports, suite fingerprints. `bench` and `testkit` are exempt by
 /// design (timing is their job; the test harness is not simulated state),
 /// and `exec` owns the deterministic-by-construction map itself.
-pub const DETERMINISTIC_CRATES: &[&str] =
-    &["compress", "core", "hw", "isa", "metrics", "predictors", "sim", "trace"];
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "compress",
+    "core",
+    "hw",
+    "isa",
+    "metrics",
+    "predictors",
+    "serve",
+    "sim",
+    "trace",
+];
 
-/// Crates on the per-event simulation path, where a panic aborts a whole
-/// sweep mid-grid.
-pub const PANIC_FREE_CRATES: &[&str] = &["core", "hw", "metrics", "predictors"];
+/// Crates on the per-event simulation path — or, for `serve`, facing
+/// untrusted network bytes — where a panic aborts a whole sweep mid-grid
+/// (or kills a live session on hostile input).
+pub const PANIC_FREE_CRATES: &[&str] = &["core", "hw", "metrics", "predictors", "serve"];
 
 /// The only crate allowed to touch thread primitives.
 pub const THREAD_CRATE: &str = "exec";

@@ -145,6 +145,27 @@ fn l003_and_l004_cover_the_metrics_crate() {
 }
 
 #[test]
+fn l003_and_l004_cover_the_serve_crate() {
+    // The prediction service must replay deterministically (loopback
+    // results are diffed against offline simulation bit-for-bit) and
+    // faces untrusted network bytes, so both disciplines apply — with
+    // reasoned allows for genuine I/O-boundary wall-clock use, like the
+    // drain deadline in `Server::shutdown`.
+    let src = "use std::collections::HashMap;\n";
+    fires_and_is_suppressible("serve", src, RuleId::Determinism);
+    let src = "fn deadline() -> std::time::Instant {\n    todo()\n}\n";
+    fires_and_is_suppressible("serve", src, RuleId::Determinism);
+    let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+    fires_and_is_suppressible("serve", src, RuleId::NoPanic);
+    let src = "fn f(x: Option<u8>) -> u8 {\n    x.expect(\"frame\")\n}\n";
+    fires_and_is_suppressible("serve", src, RuleId::NoPanic);
+    // Test code in serve keeps its freedom (the differential suite
+    // unwraps liberally).
+    let in_tests = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u8>) -> u8 {\n        x.unwrap()\n    }\n}\n";
+    assert!(lint("serve", in_tests).is_empty());
+}
+
+#[test]
 fn l004_fires_on_unwrap_in_hot_path_crate_and_is_suppressible() {
     let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
     fires_and_is_suppressible("hw", src, RuleId::NoPanic);

@@ -1,0 +1,303 @@
+//! loadgen — replay a stored trace over a live loopback prediction
+//! server, measuring per-batch round-trip latency.
+//!
+//! Starts an in-process `ibp-serve` server, opens `--sessions`
+//! concurrent client sessions, streams the trace through each in
+//! credit-window batches, and reports latency percentiles plus the
+//! server's own telemetry. With `IBP_BENCH_DIR` set, the JSON report
+//! lands in `<dir>/BENCH_serve.json`.
+//!
+//! Usage:
+//!   `cargo run --release -p ibp-bench --bin loadgen --
+//!    [--trace PATH] [--predictor NAME] [--sessions N] [--workers N]
+//!    [--entries N] [--passes N] [--smoke]`
+//!
+//! `--smoke` is the CI gate: after one pass it *asserts* a clean drain
+//! and zero protocol errors, exiting non-zero otherwise (wired into
+//! `scripts/verify.sh`).
+
+use ibp_exec::Executor;
+use ibp_serve::{ServeClient, Server, ServerConfig};
+use ibp_sim::{Json, PredictorKind};
+use ibp_trace::{codec, BranchEvent};
+use std::time::Instant;
+
+struct Args {
+    trace: String,
+    predictor: PredictorKind,
+    sessions: usize,
+    workers: usize,
+    entries: u64,
+    passes: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        trace: "traces/gs.tig.trace".to_string(),
+        predictor: PredictorKind::PpmHyb,
+        sessions: 4,
+        workers: 2,
+        entries: 2048,
+        passes: 1,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--trace" => args.trace = value("--trace"),
+            "--predictor" => {
+                let name = value("--predictor");
+                args.predictor = PredictorKind::from_cli_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown predictor {name}");
+                    std::process::exit(2);
+                });
+            }
+            "--sessions" => args.sessions = parse_num(&value("--sessions"), "--sessions"),
+            "--workers" => args.workers = parse_num(&value("--workers"), "--workers"),
+            "--entries" => args.entries = parse_num(&value("--entries"), "--entries") as u64,
+            "--passes" => args.passes = parse_num(&value("--passes"), "--passes"),
+            "--smoke" => args.smoke = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args.sessions = args.sessions.clamp(1, 256);
+    args.workers = args.workers.clamp(1, 64);
+    args.passes = args.passes.clamp(1, 1000);
+    args
+}
+
+fn parse_num(s: &str, what: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{what}: {s} is not a number");
+        std::process::exit(2);
+    })
+}
+
+/// One session's replay: latency samples (ns per batch) plus totals.
+struct SessionOutcome {
+    samples: Vec<u64>,
+    events: u64,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+fn run_session(
+    addr: std::net::SocketAddr,
+    args: &Args,
+    events: &[BranchEvent],
+) -> SessionOutcome {
+    let mut client = ServeClient::connect(addr, args.predictor, args.entries)
+        .unwrap_or_else(|e| {
+            eprintln!("session handshake failed: {e}");
+            std::process::exit(1);
+        });
+    let chunk = (client.window() / 2).max(1) as usize;
+    let mut outcome = SessionOutcome {
+        samples: Vec::with_capacity(events.len() / chunk + 2),
+        events: 0,
+        predictions: 0,
+        mispredictions: 0,
+    };
+    for _ in 0..args.passes {
+        for batch in events.chunks(chunk) {
+            let started = Instant::now();
+            let run = client.predict_all(batch).unwrap_or_else(|e| {
+                eprintln!("stream failed: {e}");
+                std::process::exit(1);
+            });
+            outcome.samples.push(started.elapsed().as_nanos() as u64);
+            outcome.events += run.events_sent();
+            outcome.predictions += run.predictions();
+            outcome.mispredictions += run.mispredictions();
+        }
+    }
+    let total = client.close().unwrap_or_else(|e| {
+        eprintln!("close failed: {e}");
+        std::process::exit(1);
+    });
+    assert_eq!(total, outcome.events, "server and client disagree on totals");
+    outcome
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+    let bytes = std::fs::read(&args.trace).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", args.trace);
+        std::process::exit(1);
+    });
+    let trace = codec::decode(&bytes).unwrap_or_else(|e| {
+        eprintln!("cannot decode {}: {e}", args.trace);
+        std::process::exit(1);
+    });
+    let events: Vec<BranchEvent> = trace.iter().copied().collect();
+    println!(
+        "loadgen: {} ({} events), predictor {}, {} sessions × {} passes over {} workers",
+        args.trace,
+        events.len(),
+        args.predictor.label(),
+        args.sessions,
+        args.passes,
+        args.workers,
+    );
+
+    let server = Server::start(ServerConfig {
+        workers: args.workers,
+        max_sessions: args.sessions.max(4),
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.local_addr();
+
+    let wall = Instant::now();
+    let outcomes =
+        Executor::new(args.sessions).run(args.sessions, |_| run_session(addr, &args, &events));
+    let wall_ns = wall.elapsed().as_nanos() as u64;
+    let report = server.shutdown();
+
+    let mut samples: Vec<u64> = outcomes.iter().flat_map(|o| o.samples.iter().copied()).collect();
+    samples.sort_unstable();
+    let total_events: u64 = outcomes.iter().map(|o| o.events).sum();
+    let total_predictions: u64 = outcomes.iter().map(|o| o.predictions).sum();
+    let total_misses: u64 = outcomes.iter().map(|o| o.mispredictions).sum();
+    let mean_ns = if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<u64>() as f64 / samples.len() as f64
+    };
+    let events_per_sec = total_events as f64 * 1e9 / wall_ns.max(1) as f64;
+
+    let p50 = percentile(&samples, 50.0);
+    let p90 = percentile(&samples, 90.0);
+    let p99 = percentile(&samples, 99.0);
+    let max = samples.last().copied().unwrap_or(0);
+    println!(
+        "batch RTT: p50 {:.1}µs  p90 {:.1}µs  p99 {:.1}µs  max {:.1}µs  ({} batches)",
+        p50 as f64 / 1e3,
+        p90 as f64 / 1e3,
+        p99 as f64 / 1e3,
+        max as f64 / 1e3,
+        samples.len()
+    );
+    println!(
+        "throughput: {:.0} events/s end-to-end; {} predictions, {} mispredicted ({:.2}%)",
+        events_per_sec,
+        total_predictions,
+        total_misses,
+        total_misses as f64 / total_predictions.max(1) as f64 * 100.0
+    );
+
+    let protocol_errors = report.metrics.counter("serve_protocol_errors")
+        + report.metrics.counter("serve_handshake_rejects")
+        + report.metrics.counter("serve_window_overflows")
+        + report.metrics.counter("serve_write_failures")
+        + report.metrics.counter("serve_io_failures");
+    println!(
+        "server: {} sessions, drained_clean={}, protocol_errors={}, peak_sessions={}, peak_queue_depth={}",
+        report.metrics.counter("serve_sessions"),
+        report.drained_clean,
+        protocol_errors,
+        report.metrics.maximum("serve_peak_sessions"),
+        report.metrics.maximum("serve_peak_queue_depth"),
+    );
+
+    let json = Json::obj([
+        ("bench", Json::Str("serve".to_string())),
+        ("trace", Json::Str(args.trace.clone())),
+        ("predictor", Json::Str(args.predictor.label())),
+        ("trace_events", Json::UInt(events.len() as u64)),
+        ("sessions", Json::UInt(args.sessions as u64)),
+        ("workers", Json::UInt(args.workers as u64)),
+        ("passes", Json::UInt(args.passes as u64)),
+        ("batches", Json::UInt(samples.len() as u64)),
+        (
+            "batch_rtt_ns",
+            Json::obj([
+                ("p50", Json::UInt(p50)),
+                ("p90", Json::UInt(p90)),
+                ("p99", Json::UInt(p99)),
+                ("max", Json::UInt(max)),
+                ("mean", Json::Num(mean_ns)),
+            ]),
+        ),
+        ("events_per_sec", Json::Num(events_per_sec)),
+        ("total_events", Json::UInt(total_events)),
+        ("total_predictions", Json::UInt(total_predictions)),
+        ("total_mispredictions", Json::UInt(total_misses)),
+        (
+            "server",
+            Json::obj([
+                ("drained_clean", Json::Bool(report.drained_clean)),
+                ("sessions", Json::UInt(report.metrics.counter("serve_sessions"))),
+                ("clean_byes", Json::UInt(report.metrics.counter("serve_clean_byes"))),
+                ("protocol_errors", Json::UInt(protocol_errors)),
+                ("frames", Json::UInt(report.metrics.counter("serve_frames"))),
+                (
+                    "peak_sessions",
+                    Json::UInt(report.metrics.maximum("serve_peak_sessions")),
+                ),
+                (
+                    "peak_queue_depth",
+                    Json::UInt(report.metrics.maximum("serve_peak_queue_depth")),
+                ),
+                ("pool_panicked", Json::UInt(report.pool.panicked)),
+            ]),
+        ),
+    ]);
+    let rendered = json.emit();
+    println!("{rendered}");
+    if let Ok(dir) = std::env::var("IBP_BENCH_DIR") {
+        let path = std::path::Path::new(&dir).join("BENCH_serve.json");
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+
+    if args.smoke {
+        let expected = args.sessions as u64 * args.passes as u64 * events.len() as u64;
+        let mut failures = Vec::new();
+        if !report.drained_clean {
+            failures.push("shutdown did not drain in-flight sessions".to_string());
+        }
+        if protocol_errors != 0 {
+            failures.push(format!("{protocol_errors} protocol errors"));
+        }
+        if total_events != expected {
+            failures.push(format!("streamed {total_events} events, expected {expected}"));
+        }
+        if report.metrics.counter("serve_clean_byes") != args.sessions as u64 {
+            failures.push("not every session closed with BYE".to_string());
+        }
+        if report.pool.panicked != 0 {
+            failures.push(format!("{} worker panics", report.pool.panicked));
+        }
+        if failures.is_empty() {
+            println!("smoke: OK");
+        } else {
+            for f in &failures {
+                eprintln!("smoke FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

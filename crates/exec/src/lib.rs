@@ -13,13 +13,19 @@
 //! * [`map`] — [`FastMap`], an open-addressing, FxHash-style hash map
 //!   keyed by cheap word mixing instead of SipHash, for the per-event
 //!   accounting maps (`RunResult::per_branch`) and the unbounded
-//!   predictor-internal tables.
+//!   predictor-internal tables;
+//! * [`service`] — [`ServicePool`], a fixed set of long-lived named
+//!   workers over a shared job queue, with panic isolation and graceful
+//!   drain, for the open-ended workloads of `ibp-serve` (lint L005
+//!   confines thread spawning to this crate).
 //!
 //! Both are `std`-only: the workspace builds offline with no external
 //! crates (see `scripts/verify.sh`).
 
 pub mod map;
 pub mod pool;
+pub mod service;
 
 pub use map::{FastHash, FastMap};
 pub use pool::{thread_count, Executor, PoolStats, WorkerStats};
+pub use service::{ServiceJob, ServicePool, ServiceStats, ServiceSubmitter, SubmitError};

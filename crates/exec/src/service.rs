@@ -1,0 +1,375 @@
+//! A fixed pool of long-lived service workers for `ibp-serve`.
+//!
+//! [`Executor`](crate::Executor) is built for *finite grids*: it scopes a
+//! set of threads over a known index space and tears them down when the
+//! last index commits. A network server has the opposite shape — an
+//! unknown number of jobs (connections) arriving over an unbounded
+//! lifetime — so this module provides [`ServicePool`]: a fixed set of
+//! named OS threads pulling boxed jobs from a shared queue until told to
+//! shut down.
+//!
+//! Three properties matter for the serving layer:
+//!
+//! * **Panic isolation.** A job that panics (a buggy session handler)
+//!   must not take its worker down with it: each job runs under
+//!   `catch_unwind`, the panic is counted, and the worker returns to the
+//!   queue. The lint regime keeps `crates/serve` itself panic-free
+//!   (L004), so this is a second line of defense, not the first.
+//! * **Graceful drain.** [`ServicePool::shutdown`] closes the queue to
+//!   new submissions, lets the workers finish every job already queued,
+//!   then joins them — nothing in flight is dropped. This is what lets
+//!   the server promise "accepted sessions run to completion".
+//! * **Observable depth.** The pool tracks queue depth and its
+//!   high-water mark so the serve layer can export them through
+//!   `ibp-metrics` maxima gauges.
+//!
+//! Thread discipline: this module is the reason `crates/serve` contains
+//! no `std::thread` — lint L005 confines spawning to `crates/exec`.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A boxed unit of service work.
+pub type ServiceJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pool is shutting down (or already shut down); the job was not
+    /// queued and will never run.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::ShutDown => write!(f, "service pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Counters describing a pool's lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs that ran to completion (including ones that panicked).
+    pub executed: u64,
+    /// Jobs whose closure panicked (caught; the worker survived).
+    pub panicked: u64,
+    /// High-water mark of the queue depth.
+    pub peak_queue_depth: u64,
+}
+
+struct QueueState {
+    queue: VecDeque<ServiceJob>,
+    shutting_down: bool,
+    stats: ServiceStats,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    work_ready: Condvar,
+}
+
+impl Shared {
+    /// Locks the queue, recovering from poisoning: a panicking job is
+    /// already isolated by `catch_unwind`, and the counters a poisoned
+    /// guard protects are monotone, so continuing is always safe.
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A cloneable handle for submitting jobs to a [`ServicePool`].
+///
+/// Handles stay valid after the pool shuts down — submissions just start
+/// returning [`SubmitError::ShutDown`] — so an acceptor loop can hold one
+/// without keeping the pool alive.
+#[derive(Clone)]
+pub struct ServiceSubmitter {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for ServiceSubmitter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceSubmitter").finish_non_exhaustive()
+    }
+}
+
+impl ServiceSubmitter {
+    /// Queues `job` for execution by some worker. Returns
+    /// [`SubmitError::ShutDown`] (dropping the job) once shutdown has
+    /// begun.
+    pub fn submit(&self, job: ServiceJob) -> Result<(), SubmitError> {
+        let mut state = self.shared.lock();
+        if state.shutting_down {
+            return Err(SubmitError::ShutDown);
+        }
+        state.queue.push_back(job);
+        state.stats.submitted += 1;
+        let depth = state.queue.len() as u64;
+        state.stats.peak_queue_depth = state.stats.peak_queue_depth.max(depth);
+        drop(state);
+        self.shared.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Lifetime counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.lock().stats
+    }
+}
+
+/// A fixed set of long-lived, named worker threads over a shared job
+/// queue.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_exec::ServicePool;
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = ServicePool::new("doc", 2);
+/// let hits = Arc::new(AtomicU32::new(0));
+/// for _ in 0..8 {
+///     let hits = Arc::clone(&hits);
+///     pool.submitter()
+///         .submit(Box::new(move || {
+///             hits.fetch_add(1, Ordering::Relaxed);
+///         }))
+///         .unwrap();
+/// }
+/// let stats = pool.shutdown(); // drains the queue, then joins
+/// assert_eq!(hits.load(Ordering::Relaxed), 8);
+/// assert_eq!(stats.executed, 8);
+/// ```
+pub struct ServicePool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServicePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServicePool")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServicePool {
+    /// Spawns `workers` (clamped to ≥ 1) threads named `{name}-{index}`.
+    pub fn new(name: &str, workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutting_down: false,
+                stats: ServiceStats::default(),
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A cloneable submission handle.
+    pub fn submitter(&self) -> ServiceSubmitter {
+        ServiceSubmitter {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Lifetime counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.lock().stats
+    }
+
+    /// Graceful shutdown: rejects new submissions, lets the workers drain
+    /// every already-queued job, joins them, and returns the final
+    /// counters. On return, `executed == submitted` — nothing accepted is
+    /// dropped.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.begin_shutdown_and_join();
+        self.shared.lock().stats
+    }
+
+    fn begin_shutdown_and_join(&mut self) {
+        self.shared.lock().shutting_down = true;
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            // A worker only terminates via its normal return path (panics
+            // inside jobs are caught), so join cannot fail unless the
+            // catch_unwind contract itself is broken.
+            handle.join().expect("service worker exited cleanly");
+        }
+    }
+}
+
+impl Drop for ServicePool {
+    fn drop(&mut self) {
+        self.begin_shutdown_and_join();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut state = shared.lock();
+    loop {
+        if let Some(job) = state.queue.pop_front() {
+            drop(state);
+            let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
+            state = shared.lock();
+            state.stats.executed += 1;
+            if panicked {
+                state.stats.panicked += 1;
+            }
+        } else if state.shutting_down {
+            return;
+        } else {
+            state = match shared.work_ready.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn all_jobs_run_and_shutdown_reports_them() {
+        let pool = ServicePool::new("svc", 3);
+        assert_eq!(pool.workers(), 3);
+        let hits = Arc::new(AtomicU32::new(0));
+        let sub = pool.submitter();
+        for _ in 0..50 {
+            let hits = Arc::clone(&hits);
+            sub.submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }))
+            .expect("pool is open");
+        }
+        let stats = pool.shutdown();
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+        assert_eq!(stats.submitted, 50);
+        assert_eq!(stats.executed, 50, "drain runs everything queued");
+        assert_eq!(stats.panicked, 0);
+        assert!(stats.peak_queue_depth >= 1);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_counted() {
+        let pool = ServicePool::new("svc", 1);
+        let sub = pool.submitter();
+        let hits = Arc::new(AtomicU32::new(0));
+        sub.submit(Box::new(|| panic!("job bug"))).unwrap();
+        for _ in 0..5 {
+            let hits = Arc::clone(&hits);
+            sub.submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap();
+        }
+        let stats = pool.shutdown();
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            5,
+            "the single worker survived the panic and kept serving"
+        );
+        assert_eq!(stats.executed, 6);
+        assert_eq!(stats.panicked, 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let pool = ServicePool::new("svc", 2);
+        let sub = pool.submitter();
+        sub.submit(Box::new(|| {})).unwrap();
+        let stats = pool.shutdown();
+        assert_eq!(stats.executed, 1);
+        let err = sub.submit(Box::new(|| {})).unwrap_err();
+        assert_eq!(err, SubmitError::ShutDown);
+        assert_eq!(err.to_string(), "service pool is shut down");
+        assert_eq!(sub.stats().submitted, 1, "rejected job was not counted");
+    }
+
+    #[test]
+    fn queued_backlog_drains_on_shutdown() {
+        // One worker, many jobs each slow enough that the queue builds a
+        // backlog: shutdown must still run every one of them.
+        let pool = ServicePool::new("svc", 1);
+        let sub = pool.submitter();
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..20 {
+            let hits = Arc::clone(&hits);
+            sub.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                hits.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap();
+        }
+        let stats = pool.shutdown();
+        assert_eq!(hits.load(Ordering::Relaxed), 20);
+        assert_eq!(stats.executed, 20);
+        assert!(
+            stats.peak_queue_depth >= 2,
+            "backlog should have built up: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn workers_carry_the_pool_name() {
+        let pool = ServicePool::new("named", 1);
+        let (tx, rx) = std::sync::mpsc::channel::<String>();
+        pool.submitter()
+            .submit(Box::new(move || {
+                let name = std::thread::current().name().unwrap_or("").to_string();
+                let _ = tx.send(name);
+            }))
+            .unwrap();
+        let name = rx.recv_timeout(Duration::from_secs(5)).expect("job ran");
+        assert_eq!(name, "named-0");
+        drop(pool); // Drop path also joins cleanly.
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = ServicePool::new("svc", 0);
+        assert_eq!(pool.workers(), 1);
+        let (tx, rx) = std::sync::mpsc::channel::<u32>();
+        pool.submitter()
+            .submit(Box::new(move || {
+                let _ = tx.send(42);
+            }))
+            .unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+    }
+}

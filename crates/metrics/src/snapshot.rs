@@ -2,22 +2,25 @@
 
 use crate::Log2Histogram;
 
-/// A snapshot of named counters and histograms.
+/// A snapshot of named counters, histograms and maxima.
 ///
-/// Both collections are kept sorted by name with unique keys, so a
+/// All three collections are kept sorted by name with unique keys, so a
 /// snapshot's contents — and its serialized form — depend only on the
 /// multiset of `(name, value)` contributions, never on insertion order.
-/// Combined with saturating addition this makes [`merge`] associative
-/// and commutative with the empty snapshot as identity, which is what
-/// lets the sweep engine merge per-worker snapshots in grid-index order
-/// and get a result independent of the worker count (property-tested
-/// over shuffled partitions in `tests/props.rs`).
+/// Counters merge by saturating addition, histograms bucket-wise, and
+/// maxima (high-water gauges, e.g. the serve layer's peak queue depth)
+/// by `max` — all associative and commutative with the empty snapshot
+/// as identity, which is what lets the sweep engine merge per-worker
+/// snapshots in grid-index order and get a result independent of the
+/// worker count (property-tested over shuffled partitions in
+/// `tests/props.rs`).
 ///
 /// [`merge`]: MetricsSnapshot::merge
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     counters: Vec<(String, u64)>,
     histograms: Vec<(String, Log2Histogram)>,
+    maxima: Vec<(String, u64)>,
 }
 
 impl MetricsSnapshot {
@@ -26,6 +29,7 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             counters: Vec::new(),
             histograms: Vec::new(),
+            maxima: Vec::new(),
         }
     }
 
@@ -46,6 +50,30 @@ impl MetricsSnapshot {
             Ok(i) => self.histograms[i].1.merge(hist),
             Err(i) => self.histograms.insert(i, (name.to_string(), hist.clone())),
         }
+    }
+
+    /// Raises the maximum gauge `name` to at least `value` (created at
+    /// `value` if absent). Use for high-water marks — peak queue depth,
+    /// peak concurrent sessions — where addition across contributors
+    /// would be meaningless.
+    pub fn record_max(&mut self, name: &str, value: u64) {
+        match self.maxima.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => self.maxima[i].1 = self.maxima[i].1.max(value),
+            Err(i) => self.maxima.insert(i, (name.to_string(), value)),
+        }
+    }
+
+    /// Value of the maximum gauge `name`, zero if absent.
+    pub fn maximum(&self, name: &str) -> u64 {
+        self.maxima
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .map(|i| self.maxima[i].1)
+            .unwrap_or(0)
+    }
+
+    /// All maximum gauges, sorted by name.
+    pub fn maxima(&self) -> &[(String, u64)] {
+        &self.maxima
     }
 
     /// Value of counter `name`, zero if absent.
@@ -76,16 +104,20 @@ impl MetricsSnapshot {
 
     /// True when the snapshot holds no metrics at all.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.histograms.is_empty() && self.maxima.is_empty()
     }
 
-    /// Folds `other` in: counters add, histograms merge bucket-wise.
+    /// Folds `other` in: counters add, histograms merge bucket-wise,
+    /// maxima take the larger value.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (name, value) in &other.counters {
             self.add_counter(name, *value);
         }
         for (name, hist) in &other.histograms {
             self.merge_histogram(name, hist);
+        }
+        for (name, value) in &other.maxima {
+            self.record_max(name, *value);
         }
     }
 }
@@ -131,5 +163,32 @@ mod tests {
         assert_eq!(ab.histogram("lat").map(|h| h.count()), Some(2));
         assert!(MetricsSnapshot::new().is_empty());
         assert!(!ab.is_empty());
+    }
+
+    #[test]
+    fn maxima_take_the_peak_not_the_sum() {
+        let mut s = MetricsSnapshot::new();
+        s.record_max("depth", 5);
+        s.record_max("depth", 3);
+        assert_eq!(s.maximum("depth"), 5, "lower value must not regress the peak");
+        s.record_max("depth", 9);
+        assert_eq!(s.maximum("depth"), 9);
+        assert_eq!(s.maximum("absent"), 0);
+
+        let mut t = MetricsSnapshot::new();
+        t.record_max("depth", 7);
+        t.record_max("other", 2);
+        let mut st = s.clone();
+        st.merge(&t);
+        let mut ts = t.clone();
+        ts.merge(&s);
+        assert_eq!(st, ts, "max-merge is commutative");
+        assert_eq!(st.maximum("depth"), 9);
+        assert_eq!(st.maximum("other"), 2);
+        let names: Vec<&str> = st.maxima().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["depth", "other"]);
+        let mut only_max = MetricsSnapshot::new();
+        only_max.record_max("x", 1);
+        assert!(!only_max.is_empty());
     }
 }

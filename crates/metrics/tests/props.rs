@@ -51,6 +51,7 @@ fn snapshot_merge_is_associative_and_commutative_over_partitions() {
                     let mut h = Log2Histogram::new();
                     h.record(v);
                     reference.merge_histogram(NAMES[n], &h);
+                    reference.record_max(NAMES[n], v);
                 }
 
                 // Partition round-robin, then merge the parts in a
@@ -63,6 +64,7 @@ fn snapshot_merge_is_associative_and_commutative_over_partitions() {
                     let mut h = Log2Histogram::new();
                     h.record(v);
                     s.merge_histogram(NAMES[n], &h);
+                    s.record_max(NAMES[n], v);
                 }
                 let mut merged = MetricsSnapshot::new();
                 for &p in &shuffled(&mut rng, *parts) {

@@ -1,0 +1,36 @@
+//! `ibp-serve` — the online prediction service.
+//!
+//! Turns the offline predictor zoo into a long-lived network service: a
+//! client opens a TCP connection, picks any [`ibp_sim::PredictorKind`]
+//! and a table budget at handshake, then streams branch events and gets
+//! a prediction back for every multi-target indirect branch, plus
+//! resolve-time feedback acks that double as send credit. The per-event
+//! protocol is exactly the offline simulator's, so a served session and
+//! `ibp_sim::simulate` over the same events produce identical results —
+//! pinned by the end-to-end differential suite.
+//!
+//! * [`protocol`] — the pure IBPS frame codec (handshake, frames, typed
+//!   errors; no sockets, fully property-testable).
+//! * [`session`] — one connection's predictor state machine with credit
+//!   windows and backpressure.
+//! * [`server`] — the TCP server: accept loop on an
+//!   [`ibp_exec::ServicePool`], session multiplexing, idle eviction,
+//!   graceful drain, [`ibp_metrics`] telemetry.
+//! * [`client`] — a blocking lockstep client that rebuilds offline
+//!   [`ibp_sim::RunResult`]s from prediction frames.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::{ClientError, ServeClient, SessionRun, SessionStats};
+pub use protocol::{
+    ClientFrame, ErrorCode, FrameBuffer, Hello, ProtocolError, RawFrame, ServerFrame,
+    MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
+};
+pub use server::{ServeError, Server, ServerConfig, ServerReport};
+pub use session::{Session, SessionFatal, MAX_ENTRIES, MIN_ENTRIES};

@@ -1,0 +1,829 @@
+//! The IBPS wire protocol: handshake, frames and their codecs.
+//!
+//! Everything here is pure byte manipulation — no sockets — so the whole
+//! protocol is property-testable offline (`tests/protocol_prop.rs` feeds
+//! mutated and fragmented byte streams through the decoders). The
+//! varint/zigzag/delta-event primitives come from [`ibp_trace::wire`],
+//! the same codec the binary trace format v2 uses, so a captured trace
+//! file and a live event stream are byte-compatible at the event level.
+//!
+//! # Wire layout
+//!
+//! A connection opens with a fixed handshake from the client:
+//!
+//! ```text
+//! "IBPS"  version:u8  predictor:u8  entries:uvarint
+//! ```
+//!
+//! after which both directions speak length-prefixed frames:
+//!
+//! ```text
+//! type:u8  payload_len:uvarint  payload:[u8; payload_len]
+//! ```
+//!
+//! Client frames: `EVENT_BATCH` (count + delta-coded events), `FLUSH`
+//! (request a stats report) and `BYE` (graceful close). Server frames:
+//! `HELLO_ACK` (accept + advertised window), `PREDICTION` (one per
+//! predicted indirect event: sequence number, correctness, predicted
+//! target), `ACK` (resolve-time feedback: all events up to a sequence
+//! number are processed — the client's send credit), `BACKPRESSURE`
+//! (batch exceeded the advertised window), `STATS`, `BYE_ACK` and
+//! `ERROR` (typed code + human-readable detail; always followed by
+//! close).
+//!
+//! Decoding is defensive end to end: truncated, oversized, mutated or
+//! trailing-garbage input yields a typed [`ProtocolError`], never a
+//! panic — this crate is in the lint engine's panic-free list (L004).
+
+use ibp_trace::wire::{self, put_uvarint, EventDeltaState, WireError, WireReader};
+use ibp_trace::BranchEvent;
+use std::fmt;
+
+/// The four magic bytes opening every connection.
+pub const MAGIC: [u8; 4] = *b"IBPS";
+
+/// Protocol version carried in the handshake.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard cap on a frame payload. Anything claiming more is rejected
+/// before allocation (`ProtocolError::Oversized`).
+pub const MAX_FRAME_PAYLOAD: u64 = 1 << 20;
+
+/// Frame type codes. Client→server types have the high bit clear,
+/// server→client types set it (`ERROR` deliberately sits at the top).
+pub mod frame_type {
+    /// Client→server: a batch of delta-coded events.
+    pub const EVENT_BATCH: u8 = 0x01;
+    /// Client→server: request a `STATS` report.
+    pub const FLUSH: u8 = 0x02;
+    /// Client→server: graceful close; server answers `BYE_ACK`.
+    pub const BYE: u8 = 0x03;
+    /// Server→client: handshake accepted.
+    pub const HELLO_ACK: u8 = 0x81;
+    /// Server→client: one prediction outcome.
+    pub const PREDICTION: u8 = 0x82;
+    /// Server→client: events up to a sequence number are resolved.
+    pub const ACK: u8 = 0x83;
+    /// Server→client: the last batch exceeded the advertised window.
+    pub const BACKPRESSURE: u8 = 0x84;
+    /// Server→client: session totals.
+    pub const STATS: u8 = 0x85;
+    /// Server→client: goodbye acknowledged; connection closes.
+    pub const BYE_ACK: u8 = 0x86;
+    /// Server→client: typed failure; connection closes.
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// Typed error codes carried in `ERROR` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Handshake did not start with `IBPS`.
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion,
+    /// Unassigned predictor wire code.
+    UnknownPredictor,
+    /// Entries budget outside the accepted range.
+    BadBudget,
+    /// Malformed frame or payload.
+    BadFrame,
+    /// Frame payload length beyond [`MAX_FRAME_PAYLOAD`].
+    Oversized,
+    /// A batch more than twice the advertised window.
+    WindowOverflow,
+    /// No client bytes within the idle timeout.
+    IdleTimeout,
+    /// Session table full at accept time.
+    Busy,
+    /// Server is draining; no new work accepted.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// All codes, in wire order.
+    pub const ALL: [ErrorCode; 10] = [
+        ErrorCode::BadMagic,
+        ErrorCode::BadVersion,
+        ErrorCode::UnknownPredictor,
+        ErrorCode::BadBudget,
+        ErrorCode::BadFrame,
+        ErrorCode::Oversized,
+        ErrorCode::WindowOverflow,
+        ErrorCode::IdleTimeout,
+        ErrorCode::Busy,
+        ErrorCode::ShuttingDown,
+    ];
+
+    /// The single-byte wire representation.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadMagic => 1,
+            ErrorCode::BadVersion => 2,
+            ErrorCode::UnknownPredictor => 3,
+            ErrorCode::BadBudget => 4,
+            ErrorCode::BadFrame => 5,
+            ErrorCode::Oversized => 6,
+            ErrorCode::WindowOverflow => 7,
+            ErrorCode::IdleTimeout => 8,
+            ErrorCode::Busy => 9,
+            ErrorCode::ShuttingDown => 10,
+        }
+    }
+
+    /// Decodes a wire byte; `None` for unassigned codes.
+    pub fn from_u8(code: u8) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.as_u8() == code)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::BadMagic => "bad-magic",
+            ErrorCode::BadVersion => "bad-version",
+            ErrorCode::UnknownPredictor => "unknown-predictor",
+            ErrorCode::BadBudget => "bad-budget",
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::WindowOverflow => "window-overflow",
+            ErrorCode::IdleTimeout => "idle-timeout",
+            ErrorCode::Busy => "busy",
+            ErrorCode::ShuttingDown => "shutting-down",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A typed decode failure. Every malformed input maps to one of these;
+/// nothing in this module panics on untrusted bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Varint/delta-event level failure inside a complete frame.
+    Wire(WireError),
+    /// Handshake did not open with `IBPS`.
+    BadMagic,
+    /// Handshake carried an unsupported version.
+    BadVersion(u8),
+    /// A frame type neither side defines.
+    UnknownFrame(u8),
+    /// A frame header claiming more than [`MAX_FRAME_PAYLOAD`] bytes.
+    Oversized(u64),
+    /// A structurally invalid payload (wrong arity, trailing bytes, …).
+    BadPayload(&'static str),
+}
+
+impl ProtocolError {
+    /// The `ERROR`-frame code a server should answer this failure with.
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            ProtocolError::Wire(_) | ProtocolError::BadPayload(_) => ErrorCode::BadFrame,
+            ProtocolError::BadMagic => ErrorCode::BadMagic,
+            ProtocolError::BadVersion(_) => ErrorCode::BadVersion,
+            ProtocolError::UnknownFrame(_) => ErrorCode::BadFrame,
+            ProtocolError::Oversized(_) => ErrorCode::Oversized,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Wire(e) => write!(f, "wire error: {e}"),
+            ProtocolError::BadMagic => write!(f, "handshake does not start with IBPS"),
+            ProtocolError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtocolError::UnknownFrame(t) => write!(f, "unknown frame type {t:#04x}"),
+            ProtocolError::Oversized(n) => {
+                write!(f, "frame payload of {n} bytes exceeds {MAX_FRAME_PAYLOAD}")
+            }
+            ProtocolError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> Self {
+        ProtocolError::Wire(e)
+    }
+}
+
+/// The client's opening request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Predictor wire code (`ibp_sim::PredictorKind::wire_code`).
+    pub predictor_code: u8,
+    /// Requested table-entry budget.
+    pub entries: u64,
+}
+
+/// Appends the handshake bytes for `hello`.
+pub fn put_hello(out: &mut Vec<u8>, hello: &Hello) {
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(hello.predictor_code);
+    put_uvarint(out, hello.entries);
+}
+
+/// A frame as it sits on the wire: type byte plus raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFrame {
+    /// One of the [`frame_type`] constants (or garbage, if the peer sent
+    /// garbage — dispatchers must reject unknown types).
+    pub frame_type: u8,
+    /// The payload bytes, already length-checked against
+    /// [`MAX_FRAME_PAYLOAD`].
+    pub payload: Vec<u8>,
+}
+
+/// An incremental reassembly buffer: feed it socket reads, pull complete
+/// handshakes/frames out. Splitting the input at arbitrary byte
+/// boundaries never changes what comes out (property-tested).
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// Reclaim consumed prefix space once it exceeds this many bytes.
+const COMPACT_THRESHOLD: usize = 8192;
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn unread(&self) -> &[u8] {
+        self.buf.get(self.start..).unwrap_or(&[])
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.start += n;
+        if self.start >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Tries to parse the handshake. `Ok(None)` means more bytes are
+    /// needed; malformed openings are typed errors immediately.
+    pub fn next_hello(&mut self) -> Result<Option<Hello>, ProtocolError> {
+        let mut r = WireReader::new(self.unread());
+        let magic = match r.bytes(MAGIC.len()) {
+            Ok(m) => m,
+            Err(WireError::Truncated) => {
+                // Reject a wrong prefix as soon as it diverges — no point
+                // waiting for 4 bytes that can never match.
+                return if self.unread() == &MAGIC[..self.unread().len()] {
+                    Ok(None)
+                } else {
+                    Err(ProtocolError::BadMagic)
+                };
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if magic != MAGIC {
+            return Err(ProtocolError::BadMagic);
+        }
+        let version = match r.u8() {
+            Ok(v) => v,
+            Err(WireError::Truncated) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if version != PROTOCOL_VERSION {
+            return Err(ProtocolError::BadVersion(version));
+        }
+        let predictor_code = match r.u8() {
+            Ok(c) => c,
+            Err(WireError::Truncated) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let entries = match r.uvarint() {
+            Ok(n) => n,
+            Err(WireError::Truncated) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let consumed = r.consumed();
+        self.consume(consumed);
+        Ok(Some(Hello {
+            predictor_code,
+            entries,
+        }))
+    }
+
+    /// Tries to parse one complete frame. `Ok(None)` means more bytes
+    /// are needed; a header claiming an oversized payload fails *before*
+    /// any allocation.
+    pub fn next_frame(&mut self) -> Result<Option<RawFrame>, ProtocolError> {
+        let mut r = WireReader::new(self.unread());
+        let frame_type = match r.u8() {
+            Ok(t) => t,
+            Err(WireError::Truncated) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let len = match r.uvarint() {
+            Ok(n) => n,
+            Err(WireError::Truncated) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(ProtocolError::Oversized(len));
+        }
+        let payload = match r.bytes(len as usize) {
+            Ok(p) => p.to_vec(),
+            Err(WireError::Truncated) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let consumed = r.consumed();
+        self.consume(consumed);
+        Ok(Some(RawFrame {
+            frame_type,
+            payload,
+        }))
+    }
+}
+
+fn put_frame(out: &mut Vec<u8>, frame_type: u8, payload: &[u8]) {
+    out.push(frame_type);
+    put_uvarint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+}
+
+/// A parsed client→server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// Delta-coded branch events to predict/observe, in trace order.
+    Events(Vec<BranchEvent>),
+    /// Request a [`ServerFrame::Stats`] report.
+    Flush,
+    /// Graceful close.
+    Bye,
+}
+
+impl ClientFrame {
+    /// Decodes a raw frame, advancing the session's receive-side delta
+    /// state for event batches.
+    pub fn decode(
+        raw: &RawFrame,
+        state: &mut EventDeltaState,
+    ) -> Result<ClientFrame, ProtocolError> {
+        let mut r = WireReader::new(&raw.payload);
+        let frame = match raw.frame_type {
+            frame_type::EVENT_BATCH => {
+                let count = r.uvarint()?;
+                let mut events = Vec::new();
+                for _ in 0..count {
+                    events.push(wire::get_event(state, &mut r)?);
+                }
+                ClientFrame::Events(events)
+            }
+            frame_type::FLUSH => ClientFrame::Flush,
+            frame_type::BYE => ClientFrame::Bye,
+            other => return Err(ProtocolError::UnknownFrame(other)),
+        };
+        if !r.is_empty() {
+            return Err(ProtocolError::BadPayload("trailing bytes after payload"));
+        }
+        Ok(frame)
+    }
+}
+
+/// Appends an `EVENT_BATCH` frame, advancing the sender's delta state.
+pub fn put_events_frame(
+    state: &mut EventDeltaState,
+    events: &[BranchEvent],
+    out: &mut Vec<u8>,
+) {
+    let mut payload = Vec::with_capacity(8 + events.len() * 8);
+    put_uvarint(&mut payload, events.len() as u64);
+    for event in events {
+        wire::put_event(state, event, &mut payload);
+    }
+    put_frame(out, frame_type::EVENT_BATCH, &payload);
+}
+
+/// Appends a payload-less client frame (`FLUSH` or `BYE`).
+pub fn put_simple_frame(frame_type: u8, out: &mut Vec<u8>) {
+    put_frame(out, frame_type, &[]);
+}
+
+/// A parsed server→client frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerFrame {
+    /// Handshake accepted; `window` is the max events the client may
+    /// have outstanding (unacked) at once.
+    HelloAck {
+        /// Advertised send-credit window, in events.
+        window: u64,
+    },
+    /// Outcome of one predicted indirect event.
+    Prediction {
+        /// Zero-based event sequence number within the session.
+        seq: u64,
+        /// Whether the prediction matched the resolved target.
+        correct: bool,
+        /// The predicted target, if the predictor produced one.
+        predicted: Option<u64>,
+    },
+    /// Resolve-time feedback: every event with sequence number below
+    /// `through_seq` has been processed; the client's credit resets.
+    Ack {
+        /// One past the highest processed sequence number.
+        through_seq: u64,
+    },
+    /// The previous batch exceeded the advertised window (warning; twice
+    /// the window is a fatal [`ErrorCode::WindowOverflow`]).
+    Backpressure {
+        /// Events in the offending batch.
+        batch: u64,
+        /// The advertised window.
+        window: u64,
+    },
+    /// Session totals, answering a `FLUSH`.
+    Stats {
+        /// Events processed so far.
+        events: u64,
+        /// Predicted indirect events.
+        predictions: u64,
+        /// Mispredicted among those.
+        mispredictions: u64,
+    },
+    /// Goodbye acknowledged; `events` is the session total.
+    ByeAck {
+        /// Events processed over the whole session.
+        events: u64,
+    },
+    /// Typed failure; the server closes after sending this.
+    Error {
+        /// The machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail (UTF-8; lossily decoded on receipt).
+        detail: String,
+    },
+}
+
+impl ServerFrame {
+    /// Appends this frame's wire form.
+    pub fn put(&self, out: &mut Vec<u8>) {
+        let mut payload = Vec::new();
+        let ftype = match self {
+            ServerFrame::HelloAck { window } => {
+                put_uvarint(&mut payload, *window);
+                frame_type::HELLO_ACK
+            }
+            ServerFrame::Prediction {
+                seq,
+                correct,
+                predicted,
+            } => {
+                put_uvarint(&mut payload, *seq);
+                let mut flags = 0u8;
+                if *correct {
+                    flags |= 0x01;
+                }
+                if predicted.is_some() {
+                    flags |= 0x02;
+                }
+                payload.push(flags);
+                if let Some(target) = predicted {
+                    put_uvarint(&mut payload, *target);
+                }
+                frame_type::PREDICTION
+            }
+            ServerFrame::Ack { through_seq } => {
+                put_uvarint(&mut payload, *through_seq);
+                frame_type::ACK
+            }
+            ServerFrame::Backpressure { batch, window } => {
+                put_uvarint(&mut payload, *batch);
+                put_uvarint(&mut payload, *window);
+                frame_type::BACKPRESSURE
+            }
+            ServerFrame::Stats {
+                events,
+                predictions,
+                mispredictions,
+            } => {
+                put_uvarint(&mut payload, *events);
+                put_uvarint(&mut payload, *predictions);
+                put_uvarint(&mut payload, *mispredictions);
+                frame_type::STATS
+            }
+            ServerFrame::ByeAck { events } => {
+                put_uvarint(&mut payload, *events);
+                frame_type::BYE_ACK
+            }
+            ServerFrame::Error { code, detail } => {
+                payload.push(code.as_u8());
+                let bytes = detail.as_bytes();
+                put_uvarint(&mut payload, bytes.len() as u64);
+                payload.extend_from_slice(bytes);
+                frame_type::ERROR
+            }
+        };
+        put_frame(out, ftype, &payload);
+    }
+
+    /// Decodes a raw frame from the server.
+    pub fn decode(raw: &RawFrame) -> Result<ServerFrame, ProtocolError> {
+        let mut r = WireReader::new(&raw.payload);
+        let frame = match raw.frame_type {
+            frame_type::HELLO_ACK => ServerFrame::HelloAck {
+                window: r.uvarint()?,
+            },
+            frame_type::PREDICTION => {
+                let seq = r.uvarint()?;
+                let flags = r.u8()?;
+                if flags & !0x03 != 0 {
+                    return Err(ProtocolError::BadPayload("reserved prediction flags"));
+                }
+                let correct = flags & 0x01 != 0;
+                let predicted = if flags & 0x02 != 0 {
+                    Some(r.uvarint()?)
+                } else {
+                    None
+                };
+                if correct && predicted.is_none() {
+                    return Err(ProtocolError::BadPayload(
+                        "correct prediction without a target",
+                    ));
+                }
+                ServerFrame::Prediction {
+                    seq,
+                    correct,
+                    predicted,
+                }
+            }
+            frame_type::ACK => ServerFrame::Ack {
+                through_seq: r.uvarint()?,
+            },
+            frame_type::BACKPRESSURE => ServerFrame::Backpressure {
+                batch: r.uvarint()?,
+                window: r.uvarint()?,
+            },
+            frame_type::STATS => ServerFrame::Stats {
+                events: r.uvarint()?,
+                predictions: r.uvarint()?,
+                mispredictions: r.uvarint()?,
+            },
+            frame_type::BYE_ACK => ServerFrame::ByeAck {
+                events: r.uvarint()?,
+            },
+            frame_type::ERROR => {
+                let code_byte = r.u8()?;
+                let code = ErrorCode::from_u8(code_byte)
+                    .ok_or(ProtocolError::BadPayload("unassigned error code"))?;
+                let len = r.uvarint()?;
+                if len > MAX_FRAME_PAYLOAD {
+                    return Err(ProtocolError::Oversized(len));
+                }
+                let bytes = r.bytes(len as usize)?;
+                ServerFrame::Error {
+                    code,
+                    detail: String::from_utf8_lossy(bytes).into_owned(),
+                }
+            }
+            other => return Err(ProtocolError::UnknownFrame(other)),
+        };
+        if !r.is_empty() {
+            return Err(ProtocolError::BadPayload("trailing bytes after payload"));
+        }
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_isa::Addr;
+
+    fn sample_events() -> Vec<BranchEvent> {
+        vec![
+            BranchEvent::indirect_jmp(Addr::new(0x4000), Addr::new(0x9000)),
+            BranchEvent::cond_taken(Addr::new(0x4004), Addr::new(0x4100)),
+            BranchEvent::indirect_jsr(Addr::new(0x4104), Addr::new(0xA000)),
+            BranchEvent::ret(Addr::new(0xA010), Addr::new(0x4108)),
+        ]
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_bad_openings() {
+        let hello = Hello {
+            predictor_code: 7,
+            entries: 2048,
+        };
+        let mut bytes = Vec::new();
+        put_hello(&mut bytes, &hello);
+        let mut fb = FrameBuffer::new();
+        fb.feed(&bytes);
+        assert_eq!(fb.next_hello(), Ok(Some(hello)));
+        assert_eq!(fb.pending(), 0);
+
+        // Byte-at-a-time delivery parses identically.
+        let mut fb = FrameBuffer::new();
+        let mut out = None;
+        for b in &bytes {
+            fb.feed(&[*b]);
+            if let Some(h) = fb.next_hello().expect("no error on valid prefix") {
+                out = Some(h);
+            }
+        }
+        assert_eq!(out, Some(hello));
+
+        // A diverging prefix fails immediately, before 4 bytes arrive.
+        let mut fb = FrameBuffer::new();
+        fb.feed(b"IBQ");
+        assert_eq!(fb.next_hello(), Err(ProtocolError::BadMagic));
+
+        let mut fb = FrameBuffer::new();
+        fb.feed(b"IBPS\x63");
+        assert_eq!(fb.next_hello(), Err(ProtocolError::BadVersion(0x63)));
+    }
+
+    #[test]
+    fn event_batch_round_trips_through_client_decode() {
+        let events = sample_events();
+        let mut enc = EventDeltaState::new();
+        let mut bytes = Vec::new();
+        put_events_frame(&mut enc, &events, &mut bytes);
+        put_simple_frame(frame_type::FLUSH, &mut bytes);
+        put_simple_frame(frame_type::BYE, &mut bytes);
+
+        let mut fb = FrameBuffer::new();
+        fb.feed(&bytes);
+        let mut dec = EventDeltaState::new();
+        let raw = fb.next_frame().unwrap().expect("complete frame");
+        assert_eq!(
+            ClientFrame::decode(&raw, &mut dec),
+            Ok(ClientFrame::Events(events))
+        );
+        let raw = fb.next_frame().unwrap().expect("flush");
+        assert_eq!(ClientFrame::decode(&raw, &mut dec), Ok(ClientFrame::Flush));
+        let raw = fb.next_frame().unwrap().expect("bye");
+        assert_eq!(ClientFrame::decode(&raw, &mut dec), Ok(ClientFrame::Bye));
+        assert_eq!(fb.next_frame(), Ok(None));
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        let frames = vec![
+            ServerFrame::HelloAck { window: 256 },
+            ServerFrame::Prediction {
+                seq: 9,
+                correct: true,
+                predicted: Some(0x9000),
+            },
+            ServerFrame::Prediction {
+                seq: 10,
+                correct: false,
+                predicted: None,
+            },
+            ServerFrame::Ack { through_seq: 128 },
+            ServerFrame::Backpressure {
+                batch: 300,
+                window: 256,
+            },
+            ServerFrame::Stats {
+                events: 1000,
+                predictions: 400,
+                mispredictions: 37,
+            },
+            ServerFrame::ByeAck { events: 1000 },
+            ServerFrame::Error {
+                code: ErrorCode::IdleTimeout,
+                detail: "no frames for 10s".to_string(),
+            },
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            f.put(&mut bytes);
+        }
+        let mut fb = FrameBuffer::new();
+        fb.feed(&bytes);
+        for f in &frames {
+            let raw = fb.next_frame().unwrap().expect("complete");
+            assert_eq!(ServerFrame::decode(&raw).as_ref(), Ok(f));
+        }
+        assert_eq!(fb.next_frame(), Ok(None));
+    }
+
+    #[test]
+    fn oversized_header_fails_before_payload_arrives() {
+        let mut bytes = vec![frame_type::EVENT_BATCH];
+        put_uvarint(&mut bytes, MAX_FRAME_PAYLOAD + 1);
+        let mut fb = FrameBuffer::new();
+        fb.feed(&bytes);
+        assert_eq!(
+            fb.next_frame(),
+            Err(ProtocolError::Oversized(MAX_FRAME_PAYLOAD + 1))
+        );
+    }
+
+    #[test]
+    fn unknown_frame_types_and_trailing_bytes_are_rejected() {
+        let raw = RawFrame {
+            frame_type: 0x44,
+            payload: vec![],
+        };
+        let mut state = EventDeltaState::new();
+        assert_eq!(
+            ClientFrame::decode(&raw, &mut state),
+            Err(ProtocolError::UnknownFrame(0x44))
+        );
+        assert_eq!(
+            ServerFrame::decode(&raw),
+            Err(ProtocolError::UnknownFrame(0x44))
+        );
+
+        let raw = RawFrame {
+            frame_type: frame_type::FLUSH,
+            payload: vec![0],
+        };
+        assert_eq!(
+            ClientFrame::decode(&raw, &mut state),
+            Err(ProtocolError::BadPayload("trailing bytes after payload"))
+        );
+    }
+
+    #[test]
+    fn prediction_flag_invariants_are_enforced() {
+        // Reserved flag bits.
+        let raw = RawFrame {
+            frame_type: frame_type::PREDICTION,
+            payload: vec![0, 0x04],
+        };
+        assert!(matches!(
+            ServerFrame::decode(&raw),
+            Err(ProtocolError::BadPayload(_))
+        ));
+        // Correct without a target is contradictory.
+        let raw = RawFrame {
+            frame_type: frame_type::PREDICTION,
+            payload: vec![0, 0x01],
+        };
+        assert!(matches!(
+            ServerFrame::decode(&raw),
+            Err(ProtocolError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_unknowns_fail() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
+            assert!(!code.to_string().is_empty());
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(200), None);
+        let raw = RawFrame {
+            frame_type: frame_type::ERROR,
+            payload: vec![200, 0],
+        };
+        assert!(matches!(
+            ServerFrame::decode(&raw),
+            Err(ProtocolError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn protocol_errors_map_to_reply_codes_and_display() {
+        assert_eq!(ProtocolError::BadMagic.error_code(), ErrorCode::BadMagic);
+        assert_eq!(
+            ProtocolError::BadVersion(9).error_code(),
+            ErrorCode::BadVersion
+        );
+        assert_eq!(
+            ProtocolError::Oversized(1 << 30).error_code(),
+            ErrorCode::Oversized
+        );
+        assert_eq!(
+            ProtocolError::UnknownFrame(0x55).error_code(),
+            ErrorCode::BadFrame
+        );
+        assert_eq!(
+            ProtocolError::Wire(WireError::BadVarint).error_code(),
+            ErrorCode::BadFrame
+        );
+        for e in [
+            ProtocolError::Wire(WireError::Truncated),
+            ProtocolError::BadMagic,
+            ProtocolError::BadVersion(3),
+            ProtocolError::UnknownFrame(0x20),
+            ProtocolError::Oversized(u64::MAX),
+            ProtocolError::BadPayload("x"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Per-connection session state: one predictor, one delta stream, one
+//! credit window.
+//!
+//! The session is a pure state machine — frames in, frames out — with no
+//! sockets, so the end-to-end differential suite can also drive it
+//! directly. Its per-event protocol is *exactly*
+//! `ibp_sim::simulate_stream`'s: for every event whose class is a
+//! predicted (multi-target) indirect branch, predict → count → update;
+//! every event is observed. That one-to-one correspondence is what makes
+//! loopback predictions bit-identical to offline simulation
+//! (`tests/differential.rs`).
+
+use crate::protocol::ServerFrame;
+use ibp_predictors::IndirectPredictor;
+use ibp_sim::PredictorKind;
+use ibp_trace::BranchEvent;
+
+/// Smallest accepted table-entry budget (matches the zoo's floor, below
+/// which configurations degenerate).
+pub const MIN_ENTRIES: u64 = 64;
+
+/// Largest accepted table-entry budget (a megaentry — far past the
+/// paper's sweep — so a hostile handshake cannot demand absurd
+/// allocations).
+pub const MAX_ENTRIES: u64 = 1 << 20;
+
+/// A session-fatal condition: the server answers with an `ERROR` frame
+/// and closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionFatal {
+    /// A single batch carried more than twice the advertised window.
+    WindowOverflow {
+        /// Events in the offending batch.
+        batch: u64,
+        /// The hard limit (`2 × window`).
+        limit: u64,
+    },
+}
+
+/// One connection's prediction state.
+pub struct Session {
+    predictor: Box<dyn IndirectPredictor>,
+    label: String,
+    window: u64,
+    seq: u64,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("label", &self.label)
+            .field("window", &self.window)
+            .field("seq", &self.seq)
+            .field("predictions", &self.predictions)
+            .field("mispredictions", &self.mispredictions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Builds a session around a fresh predictor.
+    ///
+    /// Callers must validate `entries` against
+    /// [`MIN_ENTRIES`]/[`MAX_ENTRIES`] first (the server does, answering
+    /// `BadBudget` otherwise); `window` is clamped to at least 2.
+    pub fn new(kind: PredictorKind, entries: usize, window: u64) -> Session {
+        let predictor = kind.build_with_entries(entries);
+        let label = predictor.name();
+        Session {
+            predictor,
+            label,
+            window: window.max(2),
+            seq: 0,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    /// The predictor's display name (e.g. `PPM-hyb`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Events processed so far.
+    pub fn events(&self) -> u64 {
+        self.seq
+    }
+
+    /// Predicted indirect events so far.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Mispredictions so far.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// The advertised credit window, in events.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Processes one event batch, appending the response frames: a
+    /// `PREDICTION` per predicted indirect event, a `BACKPRESSURE`
+    /// warning when the batch exceeds the window, and the closing `ACK`
+    /// carrying the resolve-time feedback.
+    ///
+    /// A batch beyond twice the window is fatal and processes nothing —
+    /// the client is ignoring credit entirely.
+    pub fn on_events(
+        &mut self,
+        events: &[BranchEvent],
+        out: &mut Vec<ServerFrame>,
+    ) -> Result<(), SessionFatal> {
+        let batch = events.len() as u64;
+        let limit = self.window.saturating_mul(2);
+        if batch > limit {
+            return Err(SessionFatal::WindowOverflow { batch, limit });
+        }
+        for event in events {
+            if event.class().is_predicted_indirect() {
+                let predicted = self.predictor.predict(event.pc());
+                let actual = event.target();
+                let correct = predicted == Some(actual);
+                self.predictions += 1;
+                if !correct {
+                    self.mispredictions += 1;
+                }
+                out.push(ServerFrame::Prediction {
+                    seq: self.seq,
+                    correct,
+                    predicted: predicted.map(|a| a.raw()),
+                });
+                self.predictor.update(event.pc(), actual);
+            }
+            self.predictor.observe(event);
+            self.seq += 1;
+        }
+        if batch > self.window {
+            out.push(ServerFrame::Backpressure {
+                batch,
+                window: self.window,
+            });
+        }
+        out.push(ServerFrame::Ack {
+            through_seq: self.seq,
+        });
+        Ok(())
+    }
+
+    /// The `STATS` report answering a `FLUSH`.
+    pub fn stats_frame(&self) -> ServerFrame {
+        ServerFrame::Stats {
+            events: self.seq,
+            predictions: self.predictions,
+            mispredictions: self.mispredictions,
+        }
+    }
+
+    /// The `BYE_ACK` closing a graceful session.
+    pub fn bye_frame(&self) -> ServerFrame {
+        ServerFrame::ByeAck { events: self.seq }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_isa::Addr;
+
+    fn alternating_trace(n: u64) -> Vec<BranchEvent> {
+        let pc = Addr::new(0x4000);
+        (0..n)
+            .map(|i| {
+                BranchEvent::indirect_jmp(pc, Addr::new(0x9000 + (i % 2) * 0x100))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn session_matches_offline_simulation() {
+        let events = alternating_trace(64);
+        let mut session = Session::new(PredictorKind::Btb, 2048, 256);
+        let mut out = Vec::new();
+        session.on_events(&events, &mut out).expect("within window");
+
+        let trace: ibp_trace::Trace = events.iter().copied().collect();
+        let offline = PredictorKind::Btb.simulate_trace(&trace);
+        assert_eq!(session.predictions(), offline.predictions());
+        assert_eq!(session.mispredictions(), offline.mispredictions());
+        assert_eq!(session.events(), 64);
+        assert_eq!(session.label(), offline.predictor());
+
+        let predictions = out
+            .iter()
+            .filter(|f| matches!(f, ServerFrame::Prediction { .. }))
+            .count();
+        assert_eq!(predictions as u64, offline.predictions());
+        assert_eq!(
+            out.last(),
+            Some(&ServerFrame::Ack { through_seq: 64 }),
+            "every batch closes with resolve-time feedback"
+        );
+    }
+
+    #[test]
+    fn oversized_batches_warn_then_kill() {
+        let mut session = Session::new(PredictorKind::Btb, 2048, 4);
+        let mut out = Vec::new();
+        // 5 events > window(4): processed, but with a warning.
+        session
+            .on_events(&alternating_trace(5), &mut out)
+            .expect("below the hard limit");
+        assert!(out
+            .iter()
+            .any(|f| matches!(f, ServerFrame::Backpressure { batch: 5, window: 4 })));
+        assert_eq!(session.events(), 5);
+
+        // 9 events > 2×window(8): fatal, nothing processed.
+        let mut out2 = Vec::new();
+        let err = session
+            .on_events(&alternating_trace(9), &mut out2)
+            .unwrap_err();
+        assert_eq!(err, SessionFatal::WindowOverflow { batch: 9, limit: 8 });
+        assert!(out2.is_empty());
+        assert_eq!(session.events(), 5, "fatal batch left state untouched");
+    }
+
+    #[test]
+    fn stats_and_bye_report_totals() {
+        let mut session = Session::new(PredictorKind::PpmHyb, 2048, 256);
+        let mut out = Vec::new();
+        session
+            .on_events(&alternating_trace(20), &mut out)
+            .expect("in window");
+        assert_eq!(
+            session.stats_frame(),
+            ServerFrame::Stats {
+                events: 20,
+                predictions: session.predictions(),
+                mispredictions: session.mispredictions(),
+            }
+        );
+        assert_eq!(session.bye_frame(), ServerFrame::ByeAck { events: 20 });
+        assert_eq!(session.window(), 256);
+    }
+
+    #[test]
+    fn tiny_window_is_clamped() {
+        let session = Session::new(PredictorKind::Btb, 2048, 0);
+        assert_eq!(session.window(), 2);
+    }
+}

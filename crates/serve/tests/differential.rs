@@ -1,0 +1,103 @@
+//! End-to-end differential suite: for every predictor in the zoo's serve
+//! lineup, streaming a trace through a loopback session must produce
+//! *identical* results — totals and per-branch accounting — to running
+//! `ibp_sim::simulate` offline over the same events. This is the
+//! acceptance bar for the whole service: the network layer may add
+//! latency, never bias.
+
+use ibp_exec::Executor;
+use ibp_serve::{ServeClient, Server, ServerConfig};
+use ibp_sim::{simulate, PredictorKind, RunResult};
+use ibp_trace::{BranchEvent, Trace};
+use ibp_workloads::paper_suite;
+
+const ENTRIES: u64 = 2048;
+
+fn test_trace() -> Trace {
+    // A scaled-down perl-like model: plenty of MT indirect sites with
+    // path correlation, so predictors actually diverge from each other.
+    paper_suite()[0].generate_scaled(0.02)
+}
+
+fn offline(kind: PredictorKind, trace: &Trace) -> RunResult {
+    let mut predictor = kind.build_with_entries(ENTRIES as usize);
+    simulate(predictor.as_mut(), trace)
+}
+
+fn served(kind: PredictorKind, addr: std::net::SocketAddr, events: &[BranchEvent]) -> RunResult {
+    let mut client = ServeClient::connect(addr, kind, ENTRIES).expect("handshake accepted");
+    let run = client.predict_all(events).expect("stream accepted");
+    assert_eq!(run.events_sent(), events.len() as u64);
+    assert_eq!(run.acked_through(), events.len() as u64);
+    assert_eq!(
+        run.backpressure_warnings(),
+        0,
+        "a lockstep client never trips backpressure"
+    );
+    let stats = client.stats().expect("stats frame");
+    assert_eq!(stats.events, events.len() as u64);
+    assert_eq!(stats.predictions, run.predictions());
+    assert_eq!(stats.mispredictions, run.mispredictions());
+    let total = client.close().expect("graceful bye");
+    assert_eq!(total, events.len() as u64);
+    run.into_run_result()
+}
+
+/// Every zoo predictor, served sequentially over one server: loopback
+/// results are bit-identical to offline simulation.
+#[test]
+fn loopback_matches_offline_for_every_predictor() {
+    let trace = test_trace();
+    let events: Vec<BranchEvent> = trace.iter().copied().collect();
+    assert!(trace.stats().mt_indirect() > 0, "trace must exercise MT sites");
+
+    let server = Server::start(ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+    for kind in PredictorKind::serve_lineup() {
+        let remote = served(kind, addr, &events);
+        let local = offline(kind, &trace);
+        assert_eq!(remote, local, "served {} diverged from offline", local.predictor());
+        assert!(local.predictions() > 0, "{} made no predictions", local.predictor());
+    }
+    let report = server.shutdown();
+    assert!(report.drained_clean, "no session should outlive the drain");
+    let lineup = PredictorKind::serve_lineup().len() as u64;
+    assert_eq!(report.metrics.counter("serve_sessions"), lineup);
+    assert_eq!(report.metrics.counter("serve_clean_byes"), lineup);
+    assert_eq!(report.metrics.counter("serve_protocol_errors"), 0);
+    assert_eq!(
+        report.metrics.counter("serve_events"),
+        lineup * events.len() as u64
+    );
+}
+
+/// Concurrent sessions over a small worker set: multiplexing cannot
+/// perturb per-session prediction state.
+#[test]
+fn concurrent_sessions_stay_isolated() {
+    let trace = test_trace();
+    let events: Vec<BranchEvent> = trace.iter().copied().collect();
+    let kinds = [
+        PredictorKind::Btb,
+        PredictorKind::TcPib,
+        PredictorKind::PpmHyb,
+        PredictorKind::IttageLite,
+    ];
+
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let remotes = Executor::new(kinds.len()).run(kinds.len(), |i| served(kinds[i], addr, &events));
+    for (kind, remote) in kinds.into_iter().zip(remotes) {
+        let local = offline(kind, &trace);
+        assert_eq!(remote, local, "concurrent {} diverged", local.predictor());
+    }
+    let report = server.shutdown();
+    assert!(report.drained_clean);
+    assert_eq!(report.metrics.counter("serve_sessions"), kinds.len() as u64);
+    assert!(report.metrics.maximum("serve_peak_sessions") >= 1);
+}

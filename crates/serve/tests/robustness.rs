@@ -1,0 +1,229 @@
+//! Socket-level robustness: a live server answers every class of bad
+//! client behaviour with the right typed `ERROR` frame and a clean
+//! close — it never hangs, never panics, and keeps serving afterwards.
+
+use ibp_serve::protocol::{frame_type, put_events_frame, put_hello};
+use ibp_serve::{
+    ClientError, ErrorCode, FrameBuffer, Hello, ServeClient, Server, ServerConfig, ServerFrame,
+    MAX_FRAME_PAYLOAD,
+};
+use ibp_sim::PredictorKind;
+use ibp_trace::wire::EventDeltaState;
+use ibp_trace::BranchEvent;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn quick_server() -> Server {
+    Server::start(ServerConfig {
+        tick: Duration::from_millis(5),
+        idle_timeout: Duration::from_millis(60),
+        drain_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+/// Writes `bytes`, then reads server frames until the connection closes,
+/// returning everything received.
+fn exchange(addr: SocketAddr, bytes: &[u8]) -> Vec<ServerFrame> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("write");
+    stream.flush().expect("flush");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut fb = FrameBuffer::new();
+    let mut frames = Vec::new();
+    let mut scratch = [0u8; 4096];
+    loop {
+        while let Some(raw) = fb.next_frame().expect("server speaks valid IBPS") {
+            frames.push(ServerFrame::decode(&raw).expect("decodable server frame"));
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => break,
+            Ok(n) => fb.feed(&scratch[..n]),
+            Err(_) => break,
+        }
+    }
+    frames
+}
+
+fn expect_error(frames: &[ServerFrame], want: ErrorCode) {
+    match frames.last() {
+        Some(ServerFrame::Error { code, .. }) => {
+            assert_eq!(*code, want, "wrong error code in {frames:?}")
+        }
+        other => panic!("expected ERROR {want}, got {other:?} in {frames:?}"),
+    }
+}
+
+fn indirect_events(n: u64) -> Vec<BranchEvent> {
+    use ibp_isa::Addr;
+    (0..n)
+        .map(|i| BranchEvent::indirect_jmp(Addr::new(0x4000), Addr::new(0x9000 + (i % 3) * 0x40)))
+        .collect()
+}
+
+#[test]
+fn handshake_rejections_are_typed() {
+    let server = quick_server();
+    let addr = server.local_addr();
+
+    // Wrong magic — rejected as soon as the prefix diverges.
+    expect_error(&exchange(addr, b"JUNKJUNK"), ErrorCode::BadMagic);
+
+    // Right magic, wrong version.
+    expect_error(&exchange(addr, b"IBPS\x7f\x00\x00"), ErrorCode::BadVersion);
+
+    // Unassigned predictor wire code.
+    let mut bytes = Vec::new();
+    put_hello(
+        &mut bytes,
+        &Hello {
+            predictor_code: 42,
+            entries: 2048,
+        },
+    );
+    expect_error(&exchange(addr, &bytes), ErrorCode::UnknownPredictor);
+
+    // Absurd entries budget.
+    let mut bytes = Vec::new();
+    put_hello(
+        &mut bytes,
+        &Hello {
+            predictor_code: PredictorKind::Btb.wire_code(),
+            entries: 7,
+        },
+    );
+    expect_error(&exchange(addr, &bytes), ErrorCode::BadBudget);
+
+    // The typed client surfaces the same rejection.
+    match ServeClient::connect(addr, PredictorKind::Btb, 7) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, ErrorCode::BadBudget),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    let report = server.shutdown();
+    assert!(report.drained_clean);
+    assert_eq!(report.metrics.counter("serve_handshake_rejects"), 5);
+    assert_eq!(report.metrics.counter("serve_sessions"), 5);
+}
+
+#[test]
+fn bad_frames_after_handshake_are_typed() {
+    let server = quick_server();
+    let addr = server.local_addr();
+    let mut hello = Vec::new();
+    put_hello(
+        &mut hello,
+        &Hello {
+            predictor_code: PredictorKind::Btb.wire_code(),
+            entries: 2048,
+        },
+    );
+
+    // Unknown frame type.
+    let mut bytes = hello.clone();
+    bytes.extend_from_slice(&[0x44, 0x00]);
+    let frames = exchange(addr, &bytes);
+    assert!(matches!(frames.first(), Some(ServerFrame::HelloAck { .. })));
+    expect_error(&frames, ErrorCode::BadFrame);
+
+    // Oversized frame header: rejected before any payload arrives.
+    let mut bytes = hello.clone();
+    bytes.push(frame_type::EVENT_BATCH);
+    ibp_trace::wire::put_uvarint(&mut bytes, MAX_FRAME_PAYLOAD + 1);
+    expect_error(&exchange(addr, &bytes), ErrorCode::Oversized);
+
+    // Garbage payload inside a well-framed EVENT_BATCH.
+    let mut bytes = hello.clone();
+    bytes.extend_from_slice(&[frame_type::EVENT_BATCH, 3, 0xFF, 0xFF, 0xFF]);
+    expect_error(&exchange(addr, &bytes), ErrorCode::BadFrame);
+
+    // A batch beyond twice the advertised window is fatal.
+    let mut bytes = hello.clone();
+    let mut enc = EventDeltaState::new();
+    let window = ServerConfig::default().window;
+    put_events_frame(&mut enc, &indirect_events(window * 2 + 1), &mut bytes);
+    expect_error(&exchange(addr, &bytes), ErrorCode::WindowOverflow);
+
+    let report = server.shutdown();
+    assert!(report.drained_clean);
+    assert_eq!(report.metrics.counter("serve_protocol_errors"), 3);
+    assert_eq!(report.metrics.counter("serve_window_overflows"), 1);
+    // The server kept serving throughout: every session got its HelloAck.
+    assert_eq!(report.metrics.counter("serve_sessions"), 4);
+}
+
+#[test]
+fn idle_sessions_are_evicted() {
+    let server = quick_server();
+    let addr = server.local_addr();
+
+    // Connect and go silent: the server must evict us, not leak the
+    // session forever.
+    let frames = exchange(addr, b"IB"); // valid prefix, never completed
+    expect_error(&frames, ErrorCode::IdleTimeout);
+
+    let report = server.shutdown();
+    assert!(report.drained_clean);
+    assert_eq!(report.metrics.counter("serve_idle_evictions"), 1);
+}
+
+#[test]
+fn busy_server_rejects_excess_sessions() {
+    let server = Server::start(ServerConfig {
+        max_sessions: 1,
+        tick: Duration::from_millis(5),
+        idle_timeout: Duration::from_secs(10),
+        drain_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // First session occupies the only slot.
+    let mut first =
+        ServeClient::connect(addr, PredictorKind::Btb, 2048).expect("first session accepted");
+
+    // Second connection is turned away with a typed Busy.
+    match ServeClient::connect(addr, PredictorKind::Btb, 2048) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, ErrorCode::Busy),
+        other => panic!("expected Busy rejection, got {other:?}"),
+    }
+
+    // The surviving session still works end to end.
+    let run = first.predict_all(&indirect_events(32)).expect("stream");
+    assert_eq!(run.events_sent(), 32);
+    first.close().expect("clean bye");
+
+    let report = server.shutdown();
+    assert!(report.drained_clean);
+    assert_eq!(report.metrics.counter("serve_rejected_busy"), 1);
+    assert_eq!(report.metrics.counter("serve_clean_byes"), 1);
+}
+
+#[test]
+fn eof_mid_session_is_not_an_error() {
+    let server = quick_server();
+    let addr = server.local_addr();
+    {
+        let _client =
+            ServeClient::connect(addr, PredictorKind::Btb, 2048).expect("accepted");
+        // Dropped here: the socket closes without BYE.
+    }
+    let report = server.shutdown();
+    assert!(report.drained_clean, "EOF session must not block the drain");
+    assert_eq!(report.metrics.counter("serve_eof_closes"), 1);
+    assert_eq!(report.metrics.counter("serve_protocol_errors"), 0);
+}
+
+#[test]
+fn shutdown_with_no_sessions_reports_clean() {
+    let server = quick_server();
+    let report = server.shutdown();
+    assert!(report.drained_clean);
+    assert_eq!(report.metrics.counter("serve_sessions"), 0);
+    assert_eq!(report.pool.panicked, 0);
+}

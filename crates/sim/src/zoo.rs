@@ -265,6 +265,116 @@ impl PredictorKind {
         })
     }
 
+    /// The lineup the serving layer exercises end to end: every kind,
+    /// with the oracle at the §5 depth of 8.
+    pub fn serve_lineup() -> Vec<PredictorKind> {
+        vec![
+            PredictorKind::Btb,
+            PredictorKind::Btb2b,
+            PredictorKind::GAp,
+            PredictorKind::TcPib,
+            PredictorKind::TcPb,
+            PredictorKind::Dpath,
+            PredictorKind::Cascade,
+            PredictorKind::PpmHyb,
+            PredictorKind::PpmPib,
+            PredictorKind::PpmHybBiased,
+            PredictorKind::OraclePib(8),
+            PredictorKind::IttageLite,
+        ]
+    }
+
+    /// The stable single-byte code identifying this kind on the
+    /// `ibp-serve` wire (the handshake's predictor field). Codes `0..=10`
+    /// name the fixed kinds; `OraclePib(depth)` sets the high bit and
+    /// carries the depth in the low seven bits (depths above 127 are
+    /// masked — far past any meaningful path length).
+    ///
+    /// Round-trips through [`PredictorKind::from_wire_code`]; the codes
+    /// are part of the wire protocol and must never be renumbered.
+    pub fn wire_code(self) -> u8 {
+        match self {
+            PredictorKind::Btb => 0,
+            PredictorKind::Btb2b => 1,
+            PredictorKind::GAp => 2,
+            PredictorKind::TcPib => 3,
+            PredictorKind::TcPb => 4,
+            PredictorKind::Dpath => 5,
+            PredictorKind::Cascade => 6,
+            PredictorKind::PpmHyb => 7,
+            PredictorKind::PpmPib => 8,
+            PredictorKind::PpmHybBiased => 9,
+            PredictorKind::IttageLite => 10,
+            PredictorKind::OraclePib(depth) => 0x80 | (depth & 0x7F),
+        }
+    }
+
+    /// Decodes a wire code; `None` for unassigned codes (including an
+    /// oracle depth of zero, which is degenerate).
+    pub fn from_wire_code(code: u8) -> Option<PredictorKind> {
+        match code {
+            0 => Some(PredictorKind::Btb),
+            1 => Some(PredictorKind::Btb2b),
+            2 => Some(PredictorKind::GAp),
+            3 => Some(PredictorKind::TcPib),
+            4 => Some(PredictorKind::TcPb),
+            5 => Some(PredictorKind::Dpath),
+            6 => Some(PredictorKind::Cascade),
+            7 => Some(PredictorKind::PpmHyb),
+            8 => Some(PredictorKind::PpmPib),
+            9 => Some(PredictorKind::PpmHybBiased),
+            10 => Some(PredictorKind::IttageLite),
+            c if c & 0x80 != 0 && c & 0x7F != 0 => Some(PredictorKind::OraclePib(c & 0x7F)),
+            _ => None,
+        }
+    }
+
+    /// The lowercase command-line token for this kind (what `loadgen
+    /// --predictor` accepts). `OraclePib(d)` renders as `oracle-pib:d`.
+    pub fn cli_name(self) -> String {
+        match self {
+            PredictorKind::Btb => "btb".to_string(),
+            PredictorKind::Btb2b => "btb2b".to_string(),
+            PredictorKind::GAp => "gap".to_string(),
+            PredictorKind::TcPib => "tc-pib".to_string(),
+            PredictorKind::TcPb => "tc-pb".to_string(),
+            PredictorKind::Dpath => "dpath".to_string(),
+            PredictorKind::Cascade => "cascade".to_string(),
+            PredictorKind::PpmHyb => "ppm-hyb".to_string(),
+            PredictorKind::PpmPib => "ppm-pib".to_string(),
+            PredictorKind::PpmHybBiased => "ppm-hyb-biased".to_string(),
+            PredictorKind::IttageLite => "ittage".to_string(),
+            PredictorKind::OraclePib(depth) => format!("oracle-pib:{depth}"),
+        }
+    }
+
+    /// Parses a command-line token produced by [`PredictorKind::cli_name`]
+    /// (case-sensitive, lowercase). `None` for anything unrecognized.
+    pub fn from_cli_name(name: &str) -> Option<PredictorKind> {
+        if let Some(depth) = name.strip_prefix("oracle-pib:") {
+            let depth: u8 = depth.parse().ok()?;
+            return if depth >= 1 && depth <= 0x7F {
+                Some(PredictorKind::OraclePib(depth))
+            } else {
+                None
+            };
+        }
+        match name {
+            "btb" => Some(PredictorKind::Btb),
+            "btb2b" => Some(PredictorKind::Btb2b),
+            "gap" => Some(PredictorKind::GAp),
+            "tc-pib" => Some(PredictorKind::TcPib),
+            "tc-pb" => Some(PredictorKind::TcPb),
+            "dpath" => Some(PredictorKind::Dpath),
+            "cascade" => Some(PredictorKind::Cascade),
+            "ppm-hyb" => Some(PredictorKind::PpmHyb),
+            "ppm-pib" => Some(PredictorKind::PpmPib),
+            "ppm-hyb-biased" => Some(PredictorKind::PpmHybBiased),
+            "ittage" => Some(PredictorKind::IttageLite),
+            _ => None,
+        }
+    }
+
     fn ppm_stack(entries: usize) -> StackConfig {
         if entries == 2048 {
             StackConfig::paper()
@@ -354,6 +464,57 @@ mod tests {
             assert!(small < big, "{kind:?}: {small} !< {big}");
             assert!((400..=640).contains(&small), "{kind:?} small={small}");
         }
+    }
+
+    #[test]
+    fn wire_codes_round_trip_and_are_pinned() {
+        for kind in PredictorKind::serve_lineup() {
+            assert_eq!(
+                PredictorKind::from_wire_code(kind.wire_code()),
+                Some(kind),
+                "{kind:?}"
+            );
+        }
+        for depth in 1..=127u8 {
+            let kind = PredictorKind::OraclePib(depth);
+            assert_eq!(PredictorKind::from_wire_code(kind.wire_code()), Some(kind));
+        }
+        // Pinned assignments: these are on the wire and must not move.
+        assert_eq!(PredictorKind::Btb.wire_code(), 0);
+        assert_eq!(PredictorKind::PpmHyb.wire_code(), 7);
+        assert_eq!(PredictorKind::IttageLite.wire_code(), 10);
+        assert_eq!(PredictorKind::OraclePib(8).wire_code(), 0x88);
+        // Unassigned codes decode to nothing.
+        for bad in [11u8, 42, 0x7F, 0x80] {
+            assert_eq!(PredictorKind::from_wire_code(bad), None, "code {bad:#x}");
+        }
+    }
+
+    #[test]
+    fn cli_names_round_trip() {
+        for kind in PredictorKind::serve_lineup() {
+            assert_eq!(
+                PredictorKind::from_cli_name(&kind.cli_name()),
+                Some(kind),
+                "{kind:?}"
+            );
+        }
+        assert_eq!(
+            PredictorKind::from_cli_name("oracle-pib:4"),
+            Some(PredictorKind::OraclePib(4))
+        );
+        for bad in ["", "BTB", "ppm", "oracle-pib:0", "oracle-pib:200", "oracle-pib:x"] {
+            assert_eq!(PredictorKind::from_cli_name(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn serve_lineup_covers_every_kind_once() {
+        let lineup = PredictorKind::serve_lineup();
+        assert_eq!(lineup.len(), 12);
+        let codes: std::collections::BTreeSet<u8> =
+            lineup.iter().map(|k| k.wire_code()).collect();
+        assert_eq!(codes.len(), lineup.len(), "wire codes must be unique");
     }
 
     #[test]

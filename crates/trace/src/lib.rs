@@ -13,8 +13,12 @@
 //! * [`stats::TraceStats`] — the dynamic characteristics of Table 1 plus
 //!   per-branch target profiles (entropy, monomorphism) used in §5's
 //!   analysis;
-//! * [`codec`] — a compact binary trace format and a human-readable text
-//!   format, both round-trip tested;
+//! * [`codec`] — two binary trace formats (fixed-width v1 and
+//!   varint+delta v2) and a human-readable text format, all round-trip
+//!   tested;
+//! * [`wire`] — the varint/zigzag/delta-event primitives shared by the
+//!   v2 codec and the `ibp-serve` network protocol, with defensive
+//!   (never-panicking) decoders;
 //! * [`source`] — trace containers and filtering adapters (e.g. dropping
 //!   returns, which a RAS predicts).
 
@@ -23,6 +27,7 @@ pub mod codec;
 pub mod event;
 pub mod source;
 pub mod stats;
+pub mod wire;
 
 pub use capture::ProgramTracer;
 pub use event::BranchEvent;

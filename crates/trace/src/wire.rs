@@ -1,0 +1,475 @@
+//! Shared wire primitives: varints, zigzag deltas, and the delta event
+//! codec used by both the binary trace format v2 and the `ibp-serve`
+//! network protocol.
+//!
+//! Everything here decodes **defensively**: truncated input, overlong
+//! varints and inconsistent event fields come back as typed
+//! [`WireError`]s, never panics or out-of-bounds reads — the same bytes
+//! that arrive from disk also arrive from untrusted sockets. The
+//! fuzz-style property suites in `tests/prop.rs` (trace side) and
+//! `crates/serve/tests/protocol_prop.rs` (network side) pin this.
+
+use crate::event::BranchEvent;
+use ibp_isa::{Addr, BranchClass, IndirectOp, TargetArity};
+use std::error::Error;
+use std::fmt;
+
+/// Longest legal LEB128 encoding of a `u64` (10 × 7 bits ≥ 64 bits).
+const MAX_VARINT_BYTES: usize = 10;
+
+/// A defensive decode failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended mid-value.
+    Truncated,
+    /// A varint ran past 10 bytes or overflowed 64 bits.
+    BadVarint,
+    /// An unknown branch-class code (or reserved flag bits set).
+    BadClass(u8),
+    /// Field combination no [`BranchEvent`] permits (e.g. a not-taken
+    /// unconditional branch, or a taken branch with a null target).
+    BadEvent,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated mid-value"),
+            WireError::BadVarint => write!(f, "varint overlong or overflowing u64"),
+            WireError::BadClass(c) => write!(f, "unknown class/flag byte {c:#04x}"),
+            WireError::BadEvent => write!(f, "field combination violates event invariants"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Appends `value` as an LEB128 varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `value` zigzag-mapped then LEB128-encoded (small magnitudes of
+/// either sign stay short).
+pub fn put_ivarint(out: &mut Vec<u8>, value: i64) {
+    put_uvarint(out, zigzag(value));
+}
+
+/// Maps a signed value to unsigned with the sign bit in bit 0.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A bounds-checked forward cursor over untrusted bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let slice = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads an LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input, [`WireError::BadVarint`]
+    /// for encodings longer than 10 bytes or overflowing 64 bits.
+    pub fn uvarint(&mut self) -> Result<u64, WireError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        for i in 0..MAX_VARINT_BYTES {
+            let byte = self.u8()?;
+            let low = u64::from(byte & 0x7F);
+            // The 10th byte may only contribute the final bit of a u64.
+            if i == MAX_VARINT_BYTES - 1 && low > 1 {
+                return Err(WireError::BadVarint);
+            }
+            value |= low << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+        Err(WireError::BadVarint)
+    }
+
+    /// Reads a zigzag varint.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`WireReader::uvarint`].
+    pub fn ivarint(&mut self) -> Result<i64, WireError> {
+        Ok(unzigzag(self.uvarint()?))
+    }
+}
+
+/// Running delta state threaded through a stream of delta-coded events.
+///
+/// Encoder and decoder must advance an identical state (fresh at stream
+/// start, updated after every event), so deltas stay aligned. Sequential
+/// code mostly steps by small strides and indirect targets revisit a
+/// small set — both deltas are tiny almost always, which is where the v2
+/// format's size win comes from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventDeltaState {
+    prev_pc: u64,
+    prev_target: u64,
+}
+
+impl EventDeltaState {
+    /// The stream-start state (both references zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Flag bit marking a taken branch in the class byte.
+const TAKEN_BIT: u8 = 0x10;
+/// Class codes occupy the low nibble; the taken flag bit 4; bits 5-7 are
+/// reserved and must be zero.
+const CLASS_MASK: u8 = 0x0F;
+
+pub(crate) fn class_code(class: BranchClass) -> u8 {
+    match class {
+        BranchClass::ConditionalDirect => 0,
+        BranchClass::UnconditionalDirect { is_call: false } => 1,
+        BranchClass::UnconditionalDirect { is_call: true } => 2,
+        BranchClass::Indirect { op, arity } => {
+            let base = match op {
+                IndirectOp::Jmp => 3,
+                IndirectOp::Jsr => 5,
+                IndirectOp::Ret => 7,
+                IndirectOp::JsrCoroutine => 8,
+            };
+            match (op, arity) {
+                (IndirectOp::Ret, _) => base,
+                (_, TargetArity::Multiple) => base,
+                (_, TargetArity::Single) => base + 1,
+            }
+        }
+    }
+}
+
+pub(crate) fn class_from_code(code: u8) -> Option<BranchClass> {
+    Some(match code {
+        0 => BranchClass::ConditionalDirect,
+        1 => BranchClass::UnconditionalDirect { is_call: false },
+        2 => BranchClass::UnconditionalDirect { is_call: true },
+        3 => BranchClass::mt_jmp(),
+        4 => BranchClass::Indirect {
+            op: IndirectOp::Jmp,
+            arity: TargetArity::Single,
+        },
+        5 => BranchClass::mt_jsr(),
+        6 => BranchClass::st_jsr(),
+        7 => BranchClass::ret(),
+        8 => BranchClass::Indirect {
+            op: IndirectOp::JsrCoroutine,
+            arity: TargetArity::Multiple,
+        },
+        9 => BranchClass::Indirect {
+            op: IndirectOp::JsrCoroutine,
+            arity: TargetArity::Single,
+        },
+        _ => return None,
+    })
+}
+
+/// Appends one delta-coded event: a class+taken byte, zigzag deltas for
+/// PC and target against `state`, and the inline instruction count.
+pub fn put_event(state: &mut EventDeltaState, event: &BranchEvent, out: &mut Vec<u8>) {
+    let mut head = class_code(event.class());
+    if event.taken() {
+        head |= TAKEN_BIT;
+    }
+    out.push(head);
+    put_ivarint(out, event.pc().raw().wrapping_sub(state.prev_pc) as i64);
+    put_ivarint(out, event.target().raw().wrapping_sub(state.prev_target) as i64);
+    put_uvarint(out, u64::from(event.inline_instrs()));
+    state.prev_pc = event.pc().raw();
+    state.prev_target = event.target().raw();
+}
+
+/// Decodes one delta-coded event, validating every invariant
+/// [`BranchEvent::new`] would otherwise assert.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`]/[`WireError::BadVarint`] for malformed
+/// bytes, [`WireError::BadClass`] for unknown class codes or reserved
+/// flag bits, [`WireError::BadEvent`] for field combinations no event
+/// permits (not-taken unconditional, taken with null target, oversized
+/// inline count).
+pub fn get_event(
+    state: &mut EventDeltaState,
+    reader: &mut WireReader<'_>,
+) -> Result<BranchEvent, WireError> {
+    let head = reader.u8()?;
+    if head & !(CLASS_MASK | TAKEN_BIT) != 0 {
+        return Err(WireError::BadClass(head));
+    }
+    let class = class_from_code(head & CLASS_MASK).ok_or(WireError::BadClass(head))?;
+    let taken = head & TAKEN_BIT != 0;
+    let pc = state.prev_pc.wrapping_add(reader.ivarint()? as u64);
+    let target = state.prev_target.wrapping_add(reader.ivarint()? as u64);
+    let inline = reader.uvarint()?;
+    let inline = u32::try_from(inline).map_err(|_| WireError::BadEvent)?;
+    if !taken && !class.is_conditional() {
+        return Err(WireError::BadEvent);
+    }
+    if taken && target == 0 {
+        return Err(WireError::BadEvent);
+    }
+    state.prev_pc = pc;
+    state.prev_target = target;
+    Ok(BranchEvent::new(
+        Addr::new(pc),
+        class,
+        taken,
+        Addr::new(target),
+        inline,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_round_trips_boundary_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            assert!(buf.len() <= MAX_VARINT_BYTES);
+            let mut r = WireReader::new(&buf);
+            assert_eq!(r.uvarint(), Ok(v), "value {v}");
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn ivarint_round_trips_signs() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 4096, -4097] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            let mut r = WireReader::new(&buf);
+            assert_eq!(r.ivarint(), Ok(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_samples() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, 1234567, -1234567] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_and_overlong_varints_are_typed_errors() {
+        assert_eq!(WireReader::new(&[]).uvarint(), Err(WireError::Truncated));
+        assert_eq!(
+            WireReader::new(&[0x80, 0x80]).uvarint(),
+            Err(WireError::Truncated)
+        );
+        // 11 continuation bytes: overlong.
+        let overlong = [0xFFu8; 11];
+        assert_eq!(
+            WireReader::new(&overlong).uvarint(),
+            Err(WireError::BadVarint)
+        );
+        // 10 bytes whose last byte overflows the final bit.
+        let mut overflow = [0x80u8; 10];
+        overflow[9] = 0x02;
+        assert_eq!(
+            WireReader::new(&overflow).uvarint(),
+            Err(WireError::BadVarint)
+        );
+    }
+
+    #[test]
+    fn reader_bounds_checks() {
+        let mut r = WireReader::new(&[1, 2, 3]);
+        assert_eq!(r.u8(), Ok(1));
+        assert_eq!(r.bytes(2), Ok(&[2u8, 3][..]));
+        assert_eq!(r.consumed(), 3);
+        assert_eq!(r.u8(), Err(WireError::Truncated));
+        assert_eq!(r.bytes(1), Err(WireError::Truncated));
+        assert_eq!(r.bytes(usize::MAX), Err(WireError::Truncated));
+    }
+
+    fn sample_events() -> Vec<BranchEvent> {
+        vec![
+            BranchEvent::cond_taken(Addr::new(0x10), Addr::new(0x30)).with_inline_instrs(7),
+            BranchEvent::cond_not_taken(Addr::new(0x30)),
+            BranchEvent::direct(Addr::new(0x34), Addr::new(0x50)),
+            BranchEvent::st_jsr(Addr::new(0x804), Addr::new(0x2000)),
+            BranchEvent::ret(Addr::new(0x2004), Addr::new(0x808)),
+            BranchEvent::indirect_jmp(Addr::new(0x808), Addr::new(0x900)),
+            BranchEvent::indirect_jsr(Addr::new(0x904), Addr::new(0xA00)).with_inline_instrs(3),
+        ]
+    }
+
+    #[test]
+    fn event_stream_round_trips() {
+        let events = sample_events();
+        let mut enc = EventDeltaState::new();
+        let mut buf = Vec::new();
+        for e in &events {
+            put_event(&mut enc, e, &mut buf);
+        }
+        let mut dec = EventDeltaState::new();
+        let mut r = WireReader::new(&buf);
+        let back: Vec<BranchEvent> = events
+            .iter()
+            .map(|_| get_event(&mut dec, &mut r).expect("round trip"))
+            .collect();
+        assert_eq!(back, events);
+        assert!(r.is_empty());
+        assert_eq!(enc, dec, "encoder and decoder states stay aligned");
+    }
+
+    #[test]
+    fn sequential_events_encode_small() {
+        // Nearby PCs and repeated targets should cost ~4 bytes per event.
+        let mut state = EventDeltaState::new();
+        let mut buf = Vec::new();
+        put_event(
+            &mut state,
+            &BranchEvent::indirect_jmp(Addr::new(0x1_0000), Addr::new(0x9000)),
+            &mut buf,
+        );
+        let warmup = buf.len();
+        for i in 1..100u64 {
+            put_event(
+                &mut state,
+                &BranchEvent::indirect_jmp(Addr::new(0x1_0000 + i * 8), Addr::new(0x9000)),
+                &mut buf,
+            );
+        }
+        let per_event = (buf.len() - warmup) as f64 / 99.0;
+        assert!(per_event <= 4.0, "per-event bytes {per_event}");
+    }
+
+    #[test]
+    fn bad_event_combinations_are_typed_errors() {
+        // Not-taken unconditional (class 3, taken bit clear).
+        let mut buf = vec![0x03];
+        put_ivarint(&mut buf, 8);
+        put_ivarint(&mut buf, 8);
+        put_uvarint(&mut buf, 0);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(
+            get_event(&mut EventDeltaState::new(), &mut r),
+            Err(WireError::BadEvent)
+        );
+
+        // Taken with null target (delta 0 from fresh state).
+        let mut buf = vec![0x03 | TAKEN_BIT];
+        put_ivarint(&mut buf, 8);
+        put_ivarint(&mut buf, 0);
+        put_uvarint(&mut buf, 0);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(
+            get_event(&mut EventDeltaState::new(), &mut r),
+            Err(WireError::BadEvent)
+        );
+
+        // Inline count beyond u32.
+        let mut buf = vec![0x03 | TAKEN_BIT];
+        put_ivarint(&mut buf, 8);
+        put_ivarint(&mut buf, 8);
+        put_uvarint(&mut buf, u64::from(u32::MAX) + 1);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(
+            get_event(&mut EventDeltaState::new(), &mut r),
+            Err(WireError::BadEvent)
+        );
+    }
+
+    #[test]
+    fn unknown_class_and_reserved_bits_are_rejected() {
+        for head in [0x0Au8, 0x0F, 0x20, 0x80, 0xFF] {
+            let buf = [head, 0, 0, 0];
+            let mut r = WireReader::new(&buf);
+            assert_eq!(
+                get_event(&mut EventDeltaState::new(), &mut r),
+                Err(WireError::BadClass(head)),
+                "head {head:#04x}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_errors_display() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::BadVarint.to_string().contains("varint"));
+        assert!(WireError::BadClass(0xAA).to_string().contains("0xaa"));
+        assert!(WireError::BadEvent.to_string().contains("invariant"));
+    }
+}

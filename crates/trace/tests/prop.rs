@@ -84,6 +84,89 @@ fn truncation_is_detected() {
     );
 }
 
+/// The v2 (varint + delta) codec round-trips any well-formed trace
+/// exactly, and never beats v1 on correctness to win on size: both
+/// decode back to the same events.
+#[test]
+fn v2_codec_round_trips() {
+    Prop::new("v2_codec_round_trips").run(
+        |rng| rng.vec_with(0..200, gen_event),
+        |events| {
+            let trace = Trace::from_events(events.clone());
+            let v2 = codec::encode_v2(&trace);
+            let back = codec::decode(&v2).expect("decode our own v2 encoding");
+            prop_assert_eq!(&trace, &back);
+            let v1 = codec::decode(&codec::encode(&trace)).expect("v1 decodes");
+            prop_assert_eq!(&back, &v1);
+            Ok(())
+        },
+    );
+}
+
+/// The wire-level event stream round-trips without the file header, so
+/// the serve protocol can reuse it frame by frame.
+#[test]
+fn wire_event_stream_round_trips() {
+    use ibp_trace::wire::{self, EventDeltaState, WireReader};
+    Prop::new("wire_event_stream_round_trips").run(
+        |rng| rng.vec_with(0..200, gen_event),
+        |events| {
+            let mut enc = EventDeltaState::new();
+            let mut buf = Vec::new();
+            for e in events {
+                wire::put_event(&mut enc, e, &mut buf);
+            }
+            let mut dec = EventDeltaState::new();
+            let mut r = WireReader::new(&buf);
+            for e in events {
+                let got = wire::get_event(&mut dec, &mut r).expect("well-formed stream");
+                prop_assert_eq!(&got, e);
+            }
+            prop_assert_eq!(r.remaining(), 0usize);
+            Ok(())
+        },
+    );
+}
+
+/// Fuzz-style decoder hardening: arbitrary byte mutations, truncations
+/// and insertions applied to a valid v2 buffer must yield either a
+/// successful decode (of possibly different events) or a typed
+/// [`codec::DecodeTraceError`] — never a panic or out-of-bounds read.
+/// (A panic would abort the test; there is nothing to catch.)
+#[test]
+fn v2_decoder_survives_mutations() {
+    Prop::new("v2_decoder_survives_mutations").run(
+        |rng| {
+            let events = rng.vec_with(1..60, gen_event);
+            let ops: Vec<(u8, u64, u8)> = rng.vec_with(1..12, |rng| {
+                (
+                    rng.gen_range(0u8..3),
+                    rng.next_u64(),
+                    (rng.next_u32() & 0xFF) as u8,
+                )
+            });
+            (events, ops)
+        },
+        |(events, ops)| {
+            let trace = Trace::from_events(events.clone());
+            let mut bytes = codec::encode_v2(&trace);
+            for (op, pos, byte) in ops {
+                if bytes.is_empty() {
+                    break;
+                }
+                let i = (*pos as usize) % bytes.len();
+                match op {
+                    0 => bytes[i] ^= byte | 1,        // flip bits
+                    1 => bytes.truncate(i),           // truncate
+                    _ => bytes.insert(i, *byte),      // insert garbage
+                }
+            }
+            let _ = codec::decode(&bytes); // must return, not panic
+            Ok(())
+        },
+    );
+}
+
 /// Statistics class counts always sum to the trace length, and the
 /// instruction total matches a naive sum.
 #[test]

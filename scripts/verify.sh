@@ -33,6 +33,15 @@ IBP_BENCH_DIR="$bench_dir" IBP_BENCH_REPS=1 IBP_BENCH_MIN_MS=1 IBP_BENCH_SCALE=0
 cargo bench -q --offline -p ibp-bench --bench throughput -- \
   --check "$bench_dir/BENCH_throughput.json"
 
+echo "== serve loopback smoke (loadgen over gs.tig.trace) =="
+# Starts an in-process ibp-serve server, replays the stored trace through
+# concurrent loopback sessions, and asserts a clean drain with zero
+# protocol errors. Also refreshes BENCH_serve.json in the scratch dir so
+# the report shape stays exercised.
+IBP_BENCH_DIR="$bench_dir" \
+  cargo run -q --release --offline -p ibp-bench --bin loadgen -- --smoke
+test -s "$bench_dir/BENCH_serve.json"
+
 echo "== observability overhead gate (NullProbe vs raw loop) =="
 # An in-process interleaved paired measurement: the probed hot loop
 # (NullProbe, the production path) against an in-file verbatim copy of

@@ -20,6 +20,7 @@
 //! | [`compress`] | `ibp-compress` | the original PPM byte compressor |
 //! | [`workloads`] | `ibp-workloads` | the synthetic benchmark suite |
 //! | [`sim`] | `ibp-sim` | the simulation engine and experiment grids |
+//! | [`serve`] | `ibp-serve` | online prediction service: wire protocol, sessions, loopback client |
 //!
 //! # Quickstart
 //!
@@ -55,6 +56,7 @@ pub use ibp_hw as hw;
 pub use ibp_isa as isa;
 pub use ibp_ppm as ppm;
 pub use ibp_predictors as predictors;
+pub use ibp_serve as serve;
 pub use ibp_sim as sim;
 pub use ibp_trace as trace;
 pub use ibp_workloads as workloads;
