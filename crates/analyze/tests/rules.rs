@@ -166,6 +166,55 @@ fn l003_and_l004_cover_the_serve_crate() {
 }
 
 #[test]
+fn l003_and_l004_cover_reactor_and_mux_idioms() {
+    // The v3 serve plane added two modules full of tempting shortcuts;
+    // these fixtures pin that the lint wall holds against each of them.
+    //
+    // Reactor idiom 1: clockless idle accounting must not regress to
+    // wall-clock ticks. `Instant::now()` inside the shard loop is the
+    // exact bug the nap-counter design exists to avoid.
+    let src = "fn shard_loop_tick() {\n\
+               \x20   let started = std::time::Instant::now();\n\
+               \x20   drive(started);\n\
+               }\n";
+    fires_and_is_suppressible("serve", src, RuleId::Determinism);
+
+    // Reactor idiom 2: the one sanctioned wall-clock use — the drain
+    // deadline at the I/O boundary — stays legal via a reasoned allow,
+    // exactly as written in `Server::shutdown`.
+    let allowed = "fn drain_deadline() {\n\
+                   \x20   // ibp-lint: allow(L003, \"drain deadline bounds waiting on remote peers\")\n\
+                   \x20   let deadline = std::time::Instant::now();\n\
+                   \x20   wait(deadline);\n\
+                   }\n";
+    assert!(lint("serve", allowed).is_empty());
+
+    // Mux idiom 1: the stream registry must stay on the deterministic
+    // map. A `HashMap<u64, usize>` stream index would make eviction
+    // order (and thus MUX_CLOSED emission order) hash-seed dependent.
+    let src = "struct Registry {\n\
+               \x20   index: std::collections::HashMap<u64, usize>,\n\
+               }\n";
+    fires_and_is_suppressible("serve", src, RuleId::Determinism);
+
+    // Mux idiom 2: frame routing handles untrusted stream ids; an
+    // `unwrap()` on the registry lookup is a remote panic.
+    let src = "fn route(index: &Map, stream: u64) -> usize {\n\
+               \x20   *index.get(&stream).unwrap()\n\
+               }\n";
+    fires_and_is_suppressible("serve", src, RuleId::NoPanic);
+
+    // Mux idiom 3: credit checks must degrade to typed errors, never
+    // assert-style panics, even on impossible-looking arithmetic.
+    let src = "fn credit(window: u64, count: u64) {\n\
+               \x20   if count > window * 2 {\n\
+               \x20       panic!(\"overflow\")\n\
+               \x20   }\n\
+               }\n";
+    fires_and_is_suppressible("serve", src, RuleId::NoPanic);
+}
+
+#[test]
 fn l004_fires_on_unwrap_in_hot_path_crate_and_is_suppressible() {
     let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
     fires_and_is_suppressible("hw", src, RuleId::NoPanic);

@@ -1,34 +1,49 @@
 //! loadgen — replay a stored trace over a live loopback prediction
-//! server, measuring per-batch round-trip latency.
+//! server, on either IBPS plane.
 //!
-//! Starts an in-process `ibp-serve` server, opens `--sessions`
-//! concurrent client sessions, streams the trace through each in
-//! credit-window batches, and reports latency percentiles plus the
-//! server's own telemetry. With `IBP_BENCH_DIR` set, the JSON report
-//! lands in `<dir>/BENCH_serve.json`.
+//! Starts an in-process `ibp-serve` server and drives it with
+//! `--conns` concurrent connections. By default every connection is a
+//! v3 **mux** client carrying `--streams` concurrent predictor streams
+//! in summary mode (no per-event prediction frames); `--legacy`
+//! switches to the v1 lockstep client (one session per connection,
+//! per-event predictions) — the PR 5 transport, kept for comparison.
+//! With `IBP_BENCH_DIR` set, the JSON report lands in
+//! `<dir>/BENCH_serve.json`.
 //!
 //! Usage:
 //!   `cargo run --release -p ibp-bench --bin loadgen --
-//!    [--trace PATH] [--predictor NAME] [--sessions N] [--workers N]
-//!    [--entries N] [--passes N] [--smoke]`
+//!    [--trace PATH] [--predictor NAME] [--conns N] [--streams N]
+//!    [--shards N] [--entries N] [--passes N] [--events-per-stream N]
+//!    [--window N] [--legacy] [--smoke] [--check PATH]`
 //!
-//! `--smoke` is the CI gate: after one pass it *asserts* a clean drain
-//! and zero protocol errors, exiting non-zero otherwise (wired into
-//! `scripts/verify.sh`).
+//! `--smoke` is the CI gate: it presets a 16-connection × 640-stream
+//! fleet (10,240 concurrent mux streams, held open simultaneously via
+//! start barriers) over a short per-stream slice, then *asserts* a
+//! clean drain, zero protocol errors, full peak-stream occupancy and
+//! exact event totals, exiting non-zero otherwise (wired into
+//! `scripts/verify.sh`). Flags after `--smoke` still override the
+//! preset. `--check PATH` validates an emitted `BENCH_serve.json`
+//! (shape, positive throughput, clean server section) and exits.
 
 use ibp_exec::Executor;
-use ibp_serve::{ServeClient, Server, ServerConfig};
+use ibp_serve::{MuxClient, ServeClient, Server, ServerConfig};
 use ibp_sim::{Json, PredictorKind};
 use ibp_trace::{codec, BranchEvent};
+use ibp_workloads::paper_suite;
+use std::sync::Barrier;
 use std::time::Instant;
 
 struct Args {
     trace: String,
     predictor: PredictorKind,
-    sessions: usize,
-    workers: usize,
+    conns: usize,
+    streams: usize,
+    shards: usize,
     entries: u64,
     passes: usize,
+    events_per_stream: usize,
+    window: u64,
+    legacy: bool,
     smoke: bool,
 }
 
@@ -36,10 +51,14 @@ fn parse_args() -> Args {
     let mut args = Args {
         trace: "traces/gs.tig.trace".to_string(),
         predictor: PredictorKind::PpmHyb,
-        sessions: 4,
-        workers: 2,
+        conns: 4,
+        streams: 8,
+        shards: 2,
         entries: 2048,
         passes: 1,
+        events_per_stream: 0,
+        window: 8192,
+        legacy: false,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -59,20 +78,46 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
-            "--sessions" => args.sessions = parse_num(&value("--sessions"), "--sessions"),
-            "--workers" => args.workers = parse_num(&value("--workers"), "--workers"),
+            "--conns" | "--sessions" => args.conns = parse_num(&value("--conns"), "--conns"),
+            "--streams" => args.streams = parse_num(&value("--streams"), "--streams"),
+            "--shards" | "--workers" => args.shards = parse_num(&value("--shards"), "--shards"),
             "--entries" => args.entries = parse_num(&value("--entries"), "--entries") as u64,
             "--passes" => args.passes = parse_num(&value("--passes"), "--passes"),
-            "--smoke" => args.smoke = true,
+            "--events-per-stream" => {
+                args.events_per_stream =
+                    parse_num(&value("--events-per-stream"), "--events-per-stream");
+            }
+            "--window" => args.window = parse_num(&value("--window"), "--window") as u64,
+            "--legacy" => args.legacy = true,
+            "--check" => {
+                let path = value("--check");
+                if let Err(msg) = check(&path) {
+                    eprintln!("{msg}");
+                    std::process::exit(1);
+                }
+                std::process::exit(0);
+            }
+            "--smoke" => {
+                // The CI preset: a 10k+ concurrent-stream fleet over a
+                // short slice. Later flags still override.
+                args.smoke = true;
+                args.conns = 16;
+                args.streams = 640;
+                args.entries = 64;
+                args.events_per_stream = 64;
+                args.passes = 1;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
             }
         }
     }
-    args.sessions = args.sessions.clamp(1, 256);
-    args.workers = args.workers.clamp(1, 64);
+    args.conns = args.conns.clamp(1, 256);
+    args.streams = args.streams.clamp(1, 1 << 16);
+    args.shards = args.shards.clamp(1, 64);
     args.passes = args.passes.clamp(1, 1000);
+    args.window = args.window.clamp(2, 8192);
     args
 }
 
@@ -83,48 +128,118 @@ fn parse_num(s: &str, what: &str) -> usize {
     })
 }
 
-/// One session's replay: latency samples (ns per batch) plus totals.
-struct SessionOutcome {
+/// One connection's replay: latency samples (ns) plus totals. On the
+/// mux plane the samples are per-stream close round-trips (the first
+/// close drains the pipelined backlog); on the legacy plane they are
+/// per-batch lockstep round-trips.
+struct ConnOutcome {
     samples: Vec<u64>,
     events: u64,
     predictions: u64,
     mispredictions: u64,
+    backpressure: u64,
 }
 
-fn run_session(
+fn die(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("{context}: {err}");
+    std::process::exit(1);
+}
+
+/// Drives one v3 connection: open every stream, rendezvous with the
+/// other connections so the whole fleet is concurrently open, pump
+/// every pass pipelined, rendezvous again, then collect close receipts.
+fn run_mux_conn(
     addr: std::net::SocketAddr,
     args: &Args,
     events: &[BranchEvent],
-) -> SessionOutcome {
+    opened: &Barrier,
+    sent: &Barrier,
+) -> ConnOutcome {
+    let mut client =
+        MuxClient::connect(addr).unwrap_or_else(|e| die("mux handshake failed", e));
+    for s in 0..args.streams {
+        client
+            .open(s as u64, args.predictor, args.entries, false)
+            .unwrap_or_else(|e| die("stream open failed", e));
+    }
+    // One blocking stats round-trip: opens are processed in order, so
+    // this pins every stream of this connection as registered
+    // server-side before the rendezvous — the post-barrier fleet is
+    // genuinely concurrent and peak occupancy must equal the fleet.
+    client
+        .stats(args.streams as u64 - 1)
+        .unwrap_or_else(|e| die("open round-trip failed", e));
+    opened.wait();
+    // Every stream carries the same trace, so each window chunk is
+    // delta-encoded once and replayed to the whole fleet — the wire
+    // bytes are identical to per-stream sends, the generator just stops
+    // re-encoding the same events `--streams` times.
+    let ids: Vec<u64> = (0..args.streams as u64).collect();
+    for _ in 0..args.passes {
+        client
+            .broadcast(&ids, events)
+            .unwrap_or_else(|e| die("stream send failed", e));
+    }
+    sent.wait();
+    let mut outcome = ConnOutcome {
+        samples: Vec::with_capacity(args.streams),
+        events: 0,
+        predictions: 0,
+        mispredictions: 0,
+        backpressure: 0,
+    };
+    let expected = (args.passes * events.len()) as u64;
+    for s in 0..args.streams {
+        let started = Instant::now();
+        let closed = client
+            .finish(s as u64)
+            .unwrap_or_else(|e| die("stream close failed", e));
+        outcome.samples.push(started.elapsed().as_nanos() as u64);
+        assert_eq!(closed.events(), expected, "stream {s} lost events");
+        outcome.events += closed.events();
+        outcome.predictions += closed.predictions();
+        outcome.mispredictions += closed.mispredictions();
+        outcome.backpressure += closed.backpressure_warnings();
+    }
+    let total = client.bye().unwrap_or_else(|e| die("bye failed", e));
+    assert_eq!(total, outcome.events, "server and client disagree on totals");
+    outcome
+}
+
+/// Drives one v1 lockstep connection — the PR 5 transport.
+fn run_legacy_conn(
+    addr: std::net::SocketAddr,
+    args: &Args,
+    events: &[BranchEvent],
+    opened: &Barrier,
+    sent: &Barrier,
+) -> ConnOutcome {
     let mut client = ServeClient::connect(addr, args.predictor, args.entries)
-        .unwrap_or_else(|e| {
-            eprintln!("session handshake failed: {e}");
-            std::process::exit(1);
-        });
+        .unwrap_or_else(|e| die("session handshake failed", e));
+    opened.wait();
     let chunk = (client.window() / 2).max(1) as usize;
-    let mut outcome = SessionOutcome {
+    let mut outcome = ConnOutcome {
         samples: Vec::with_capacity(events.len() / chunk + 2),
         events: 0,
         predictions: 0,
         mispredictions: 0,
+        backpressure: 0,
     };
     for _ in 0..args.passes {
         for batch in events.chunks(chunk) {
             let started = Instant::now();
-            let run = client.predict_all(batch).unwrap_or_else(|e| {
-                eprintln!("stream failed: {e}");
-                std::process::exit(1);
-            });
+            let run = client
+                .predict_all(batch)
+                .unwrap_or_else(|e| die("lockstep stream failed", e));
             outcome.samples.push(started.elapsed().as_nanos() as u64);
             outcome.events += run.events_sent();
             outcome.predictions += run.predictions();
             outcome.mispredictions += run.mispredictions();
+            outcome.backpressure += run.backpressure_warnings();
         }
     }
-    let total = client.close().unwrap_or_else(|e| {
-        eprintln!("close failed: {e}");
-        std::process::exit(1);
-    });
+    sent.wait();
+    let total = client.close().unwrap_or_else(|e| die("close failed", e));
     assert_eq!(total, outcome.events, "server and client disagree on totals");
     outcome
 }
@@ -137,30 +252,109 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Validates an emitted `BENCH_serve.json`: parses, checks the bench
+/// name and mode, requires positive finite throughput and a clean
+/// server section (drained, zero protocol errors, zero panics).
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = Json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e:?}"))?;
+    if value.get("bench").and_then(Json::as_str) != Some("serve") {
+        return Err(format!("{path}: `bench` field is not \"serve\""));
+    }
+    let mode = value
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: missing `mode`"))?;
+    if mode != "mux" && mode != "legacy" {
+        return Err(format!("{path}: unknown mode {mode:?}"));
+    }
+    let per_sec = value
+        .get("events_per_sec")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: missing `events_per_sec`"))?;
+    if !(per_sec > 0.0 && per_sec.is_finite()) {
+        return Err(format!("{path}: events_per_sec = {per_sec} is not positive"));
+    }
+    let server = value
+        .get("server")
+        .ok_or_else(|| format!("{path}: missing `server` section"))?;
+    if !matches!(server.get("drained_clean"), Some(Json::Bool(true))) {
+        return Err(format!("{path}: server did not drain clean"));
+    }
+    for zero in ["protocol_errors", "pool_panicked"] {
+        match server.get(zero).and_then(Json::as_u64) {
+            Some(0) => {}
+            Some(n) => return Err(format!("{path}: server.{zero} = {n}, expected 0")),
+            None => return Err(format!("{path}: missing server.{zero}")),
+        }
+    }
+    if value.get("total_events").and_then(Json::as_u64).unwrap_or(0) == 0 {
+        return Err(format!("{path}: total_events is zero"));
+    }
+    println!("{path}: OK ({mode} plane, {per_sec:.0} events/s)");
+    Ok(())
+}
+
+/// Loads the trace from disk if present, else regenerates it from the
+/// paper suite (trace generation is deterministic, so a stored file and
+/// an in-process regeneration are the same events — this keeps the CI
+/// smoke hermetic without a pre-populated `traces/` directory).
+fn load_events(path: &str) -> Vec<BranchEvent> {
+    match std::fs::read(path) {
+        Ok(bytes) => {
+            let trace = codec::decode(&bytes).unwrap_or_else(|e| {
+                eprintln!("cannot decode {path}: {e}");
+                std::process::exit(1);
+            });
+            trace.iter().copied().collect()
+        }
+        Err(_) => {
+            let stem = std::path::Path::new(path)
+                .file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| n.trim_end_matches(".trace"))
+                .unwrap_or(path);
+            let run = paper_suite()
+                .into_iter()
+                .find(|r| r.label() == stem)
+                .unwrap_or_else(|| {
+                    eprintln!(
+                        "cannot read {path} and {stem:?} is not a paper-suite run label"
+                    );
+                    std::process::exit(1);
+                });
+            run.generate().iter().copied().collect()
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let bytes = std::fs::read(&args.trace).unwrap_or_else(|e| {
-        eprintln!("cannot read {}: {e}", args.trace);
-        std::process::exit(1);
-    });
-    let trace = codec::decode(&bytes).unwrap_or_else(|e| {
-        eprintln!("cannot decode {}: {e}", args.trace);
-        std::process::exit(1);
-    });
-    let events: Vec<BranchEvent> = trace.iter().copied().collect();
+    let full = load_events(&args.trace);
+    let events: Vec<BranchEvent> = if args.events_per_stream > 0 {
+        full.iter().copied().cycle().take(args.events_per_stream).collect()
+    } else {
+        full
+    };
+    let streams_per_conn = if args.legacy { 1 } else { args.streams };
+    let total_streams = args.conns * streams_per_conn;
     println!(
-        "loadgen: {} ({} events), predictor {}, {} sessions × {} passes over {} workers",
+        "loadgen: {} ({} events/stream), predictor {}, {} plane, {} conns × {} streams × {} passes over {} shards",
         args.trace,
         events.len(),
         args.predictor.label(),
-        args.sessions,
+        if args.legacy { "legacy" } else { "mux" },
+        args.conns,
+        streams_per_conn,
         args.passes,
-        args.workers,
+        args.shards,
     );
 
     let server = Server::start(ServerConfig {
-        workers: args.workers,
-        max_sessions: args.sessions.max(4),
+        shards: args.shards,
+        max_sessions: args.conns.max(4),
+        max_streams: streams_per_conn as u64,
+        window: args.window,
         ..ServerConfig::default()
     })
     .unwrap_or_else(|e| {
@@ -169,9 +363,16 @@ fn main() {
     });
     let addr = server.local_addr();
 
+    let opened = Barrier::new(args.conns);
+    let sent = Barrier::new(args.conns);
     let wall = Instant::now();
-    let outcomes =
-        Executor::new(args.sessions).run(args.sessions, |_| run_session(addr, &args, &events));
+    let outcomes = Executor::new(args.conns).run(args.conns, |_| {
+        if args.legacy {
+            run_legacy_conn(addr, &args, &events, &opened, &sent)
+        } else {
+            run_mux_conn(addr, &args, &events, &opened, &sent)
+        }
+    });
     let wall_ns = wall.elapsed().as_nanos() as u64;
     let report = server.shutdown();
 
@@ -180,6 +381,7 @@ fn main() {
     let total_events: u64 = outcomes.iter().map(|o| o.events).sum();
     let total_predictions: u64 = outcomes.iter().map(|o| o.predictions).sum();
     let total_misses: u64 = outcomes.iter().map(|o| o.mispredictions).sum();
+    let total_backpressure: u64 = outcomes.iter().map(|o| o.backpressure).sum();
     let mean_ns = if samples.is_empty() {
         0.0
     } else {
@@ -191,8 +393,9 @@ fn main() {
     let p90 = percentile(&samples, 90.0);
     let p99 = percentile(&samples, 99.0);
     let max = samples.last().copied().unwrap_or(0);
+    let sample_kind = if args.legacy { "batch RTT" } else { "close RTT" };
     println!(
-        "batch RTT: p50 {:.1}µs  p90 {:.1}µs  p99 {:.1}µs  max {:.1}µs  ({} batches)",
+        "{sample_kind}: p50 {:.1}µs  p90 {:.1}µs  p99 {:.1}µs  max {:.1}µs  ({} samples)",
         p50 as f64 / 1e3,
         p90 as f64 / 1e3,
         p99 as f64 / 1e3,
@@ -210,29 +413,41 @@ fn main() {
     let protocol_errors = report.metrics.counter("serve_protocol_errors")
         + report.metrics.counter("serve_handshake_rejects")
         + report.metrics.counter("serve_window_overflows")
+        + report.metrics.counter("serve_mux_window_overflows")
+        + report.metrics.counter("serve_mux_stream_errors")
         + report.metrics.counter("serve_write_failures")
         + report.metrics.counter("serve_io_failures");
+    let peak_streams = report.metrics.maximum("serve_peak_streams");
     println!(
-        "server: {} sessions, drained_clean={}, protocol_errors={}, peak_sessions={}, peak_queue_depth={}",
+        "server: {} sessions / {} mux streams, drained_clean={}, protocol_errors={}, peak_sessions={}, peak_streams={}",
         report.metrics.counter("serve_sessions"),
+        report.metrics.counter("serve_mux_streams"),
         report.drained_clean,
         protocol_errors,
         report.metrics.maximum("serve_peak_sessions"),
-        report.metrics.maximum("serve_peak_queue_depth"),
+        peak_streams,
     );
 
     let json = Json::obj([
         ("bench", Json::Str("serve".to_string())),
+        (
+            "mode",
+            Json::Str(if args.legacy { "legacy" } else { "mux" }.to_string()),
+        ),
         ("trace", Json::Str(args.trace.clone())),
         ("predictor", Json::Str(args.predictor.label())),
-        ("trace_events", Json::UInt(events.len() as u64)),
-        ("sessions", Json::UInt(args.sessions as u64)),
-        ("workers", Json::UInt(args.workers as u64)),
+        ("events_per_stream", Json::UInt(events.len() as u64)),
+        ("conns", Json::UInt(args.conns as u64)),
+        ("streams_per_conn", Json::UInt(streams_per_conn as u64)),
+        ("total_streams", Json::UInt(total_streams as u64)),
+        ("shards", Json::UInt(args.shards as u64)),
         ("passes", Json::UInt(args.passes as u64)),
-        ("batches", Json::UInt(samples.len() as u64)),
+        ("window", Json::UInt(args.window)),
+        ("entries", Json::UInt(args.entries)),
         (
-            "batch_rtt_ns",
+            "rtt_ns",
             Json::obj([
+                ("kind", Json::Str(sample_kind.to_string())),
                 ("p50", Json::UInt(p50)),
                 ("p90", Json::UInt(p90)),
                 ("p99", Json::UInt(p99)),
@@ -244,22 +459,25 @@ fn main() {
         ("total_events", Json::UInt(total_events)),
         ("total_predictions", Json::UInt(total_predictions)),
         ("total_mispredictions", Json::UInt(total_misses)),
+        ("backpressure_warnings", Json::UInt(total_backpressure)),
         (
             "server",
             Json::obj([
                 ("drained_clean", Json::Bool(report.drained_clean)),
                 ("sessions", Json::UInt(report.metrics.counter("serve_sessions"))),
                 ("clean_byes", Json::UInt(report.metrics.counter("serve_clean_byes"))),
+                ("mux_streams", Json::UInt(report.metrics.counter("serve_mux_streams"))),
+                (
+                    "mux_clean_closes",
+                    Json::UInt(report.metrics.counter("serve_mux_clean_closes")),
+                ),
                 ("protocol_errors", Json::UInt(protocol_errors)),
                 ("frames", Json::UInt(report.metrics.counter("serve_frames"))),
                 (
                     "peak_sessions",
                     Json::UInt(report.metrics.maximum("serve_peak_sessions")),
                 ),
-                (
-                    "peak_queue_depth",
-                    Json::UInt(report.metrics.maximum("serve_peak_queue_depth")),
-                ),
+                ("peak_streams", Json::UInt(peak_streams)),
                 ("pool_panicked", Json::UInt(report.pool.panicked)),
             ]),
         ),
@@ -267,6 +485,7 @@ fn main() {
     let rendered = json.emit();
     println!("{rendered}");
     if let Ok(dir) = std::env::var("IBP_BENCH_DIR") {
+        let _ = std::fs::create_dir_all(&dir);
         let path = std::path::Path::new(&dir).join("BENCH_serve.json");
         if let Err(e) = std::fs::write(&path, &rendered) {
             eprintln!("warning: could not write {}: {e}", path.display());
@@ -274,7 +493,8 @@ fn main() {
     }
 
     if args.smoke {
-        let expected = args.sessions as u64 * args.passes as u64 * events.len() as u64;
+        let expected =
+            total_streams as u64 * args.passes as u64 * events.len() as u64;
         let mut failures = Vec::new();
         if !report.drained_clean {
             failures.push("shutdown did not drain in-flight sessions".to_string());
@@ -285,14 +505,33 @@ fn main() {
         if total_events != expected {
             failures.push(format!("streamed {total_events} events, expected {expected}"));
         }
-        if report.metrics.counter("serve_clean_byes") != args.sessions as u64 {
-            failures.push("not every session closed with BYE".to_string());
+        if report.metrics.counter("serve_clean_byes") != args.conns as u64 {
+            failures.push("not every connection closed with BYE".to_string());
+        }
+        if !args.legacy {
+            let opened = report.metrics.counter("serve_mux_streams");
+            let closed = report.metrics.counter("serve_mux_clean_closes");
+            if opened != total_streams as u64 || closed != total_streams as u64 {
+                failures.push(format!(
+                    "stream ledger off: {opened} opened / {closed} closed, expected {total_streams}"
+                ));
+            }
+            // The start barriers hold every stream open at once: peak
+            // occupancy must equal the whole fleet.
+            if peak_streams != total_streams as u64 {
+                failures.push(format!(
+                    "peak {peak_streams} concurrent streams, expected {total_streams}"
+                ));
+            }
+        }
+        if report.metrics.counter("serve_idle_evictions") != 0 {
+            failures.push("streams were idle-evicted mid-replay".to_string());
         }
         if report.pool.panicked != 0 {
-            failures.push(format!("{} worker panics", report.pool.panicked));
+            failures.push(format!("{} shard panics", report.pool.panicked));
         }
         if failures.is_empty() {
-            println!("smoke: OK");
+            println!("smoke: OK ({total_streams} concurrent streams)");
         } else {
             for f in &failures {
                 eprintln!("smoke FAILED: {f}");

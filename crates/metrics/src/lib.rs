@@ -37,7 +37,7 @@ mod snapshot;
 pub use hist::Log2Histogram;
 pub use probe::{NullProbe, Probe, RecordingProbe};
 pub use ring::{Event, EventRing};
-pub use snapshot::MetricsSnapshot;
+pub use snapshot::{shard_counter_name, MetricsSnapshot};
 
 /// A monotonic event counter.
 ///

@@ -107,6 +107,32 @@ impl MetricsSnapshot {
         self.counters.is_empty() && self.histograms.is_empty() && self.maxima.is_empty()
     }
 
+    /// Adds `delta` to the per-shard counter `base` for `shard` — the
+    /// counter named by [`shard_counter_name`]. The sharded serve plane
+    /// uses these to attribute work to the shard thread that did it
+    /// (e.g. `serve_events_shard3`) while the aggregate totals keep their
+    /// PR 5 names.
+    pub fn add_shard_counter(&mut self, base: &str, shard: usize, delta: u64) {
+        self.add_counter(&shard_counter_name(base, shard), delta);
+    }
+
+    /// Sum over every shard of the per-shard counter family `base` — the
+    /// value the unsharded counter would have held. Only names of the
+    /// exact [`shard_counter_name`] shape (`{base}_shard{digits}`) are
+    /// counted. Saturating, like counter merging itself.
+    pub fn shard_counter_total(&self, base: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(name, _)| {
+                name.strip_prefix(base)
+                    .and_then(|rest| rest.strip_prefix("_shard"))
+                    .is_some_and(|digits| {
+                        !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())
+                    })
+            })
+            .fold(0u64, |acc, (_, v)| acc.saturating_add(*v))
+    }
+
     /// Folds `other` in: counters add, histograms merge bucket-wise,
     /// maxima take the larger value.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
@@ -120,6 +146,14 @@ impl MetricsSnapshot {
             self.record_max(name, *value);
         }
     }
+}
+
+/// The canonical name of the per-shard counter `base` on shard `shard`:
+/// `{base}_shard{shard}`. Shared by [`MetricsSnapshot::add_shard_counter`]
+/// and [`MetricsSnapshot::shard_counter_total`] so writers and readers
+/// cannot drift apart.
+pub fn shard_counter_name(base: &str, shard: usize) -> String {
+    format!("{base}_shard{shard}")
 }
 
 #[cfg(test)]
@@ -190,5 +224,36 @@ mod tests {
         let mut only_max = MetricsSnapshot::new();
         only_max.record_max("x", 1);
         assert!(!only_max.is_empty());
+    }
+
+    #[test]
+    fn shard_counters_attribute_and_total() {
+        assert_eq!(shard_counter_name("serve_events", 3), "serve_events_shard3");
+        let mut s = MetricsSnapshot::new();
+        s.add_shard_counter("serve_events", 0, 10);
+        s.add_shard_counter("serve_events", 3, 5);
+        s.add_shard_counter("serve_events", 0, 2);
+        s.add_shard_counter("serve_frames", 1, 99);
+        // Near-miss names must not leak into the family total.
+        s.add_counter("serve_events", 1000);
+        s.add_counter("serve_events_shard", 1000);
+        s.add_counter("serve_events_shard2x", 1000);
+        assert_eq!(s.counter("serve_events_shard0"), 12);
+        assert_eq!(s.counter("serve_events_shard3"), 5);
+        assert_eq!(s.shard_counter_total("serve_events"), 17);
+        assert_eq!(s.shard_counter_total("serve_frames"), 99);
+        assert_eq!(s.shard_counter_total("absent"), 0);
+    }
+
+    #[test]
+    fn shard_counters_merge_like_any_counter() {
+        let mut a = MetricsSnapshot::new();
+        a.add_shard_counter("serve_events", 0, 7);
+        let mut b = MetricsSnapshot::new();
+        b.add_shard_counter("serve_events", 0, 3);
+        b.add_shard_counter("serve_events", 1, 4);
+        a.merge(&b);
+        assert_eq!(a.counter("serve_events_shard0"), 10);
+        assert_eq!(a.shard_counter_total("serve_events"), 14);
     }
 }

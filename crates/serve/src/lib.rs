@@ -9,28 +9,45 @@
 //! `ibp_sim::simulate` over the same events produce identical results —
 //! pinned by the end-to-end differential suite.
 //!
-//! * [`protocol`] — the pure IBPS frame codec (handshake, frames, typed
-//!   errors; no sockets, fully property-testable).
-//! * [`session`] — one connection's predictor state machine with credit
-//!   windows and backpressure.
-//! * [`server`] — the TCP server: accept loop on an
-//!   [`ibp_exec::ServicePool`], session multiplexing, idle eviction,
-//!   graceful drain, [`ibp_metrics`] telemetry.
-//! * [`client`] — a blocking lockstep client that rebuilds offline
-//!   [`ibp_sim::RunResult`]s from prediction frames.
+//! Since IBPS v3 the protocol is version-negotiated: v1/v2 clients get
+//! the legacy one-session-per-connection plane, v3 clients get stream
+//! multiplexing — many independent predictor sessions interleaved over
+//! one connection, each with its own credit window, served by
+//! thread-per-core reactor shards.
+//!
+//! * [`protocol`] — the pure IBPS frame codec (handshake, legacy and
+//!   mux frames, typed errors; no sockets, fully property-testable).
+//! * [`session`] — one legacy connection's predictor state machine with
+//!   credit windows and backpressure, running on the shared
+//!   [`ibp_sim::SessionStepper`] engine.
+//! * [`mux`] — the v3 stream registry: per-stream decode states, credit
+//!   accounting and the batched lockstep scheduler.
+//! * [`reactor`] — the non-blocking shard loop (sharded accept,
+//!   readiness polling, buffered writes, clockless idle ticks).
+//! * [`server`] — the TCP server: [`ibp_exec::ShardPool`] lifecycle,
+//!   graceful drain, [`ibp_metrics`] telemetry with per-shard
+//!   attribution.
+//! * [`client`] — blocking loopback clients: the v1 lockstep client and
+//!   the v3 pipelined mux client, both rebuilding offline
+//!   [`ibp_sim::RunResult`]s.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod mux;
 pub mod protocol;
+mod reactor;
 pub mod server;
 pub mod session;
 
-pub use client::{ClientError, ServeClient, SessionRun, SessionStats};
+pub use client::{
+    ClientError, MuxClient, ServeClient, SessionRun, SessionStats, StreamOutcome,
+};
+pub use mux::{ConnFatal, MuxConn, MuxProgress, MuxTallies};
 pub use protocol::{
-    ClientFrame, ErrorCode, FrameBuffer, Hello, ProtocolError, RawFrame, ServerFrame,
-    MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
+    ClientFrame, ErrorCode, FrameBuffer, Hello, MuxClientFrame, ProtocolError, RawFrame,
+    ServerFrame, MAX_FRAME_PAYLOAD, PROTOCOL_VERSION, PROTOCOL_VERSION_MUX,
 };
 pub use server::{ServeError, Server, ServerConfig, ServerReport};
 pub use session::{Session, SessionFatal, MAX_ENTRIES, MIN_ENTRIES};

@@ -1,0 +1,867 @@
+//! The server side of the multiplexed (v3) plane: one connection's
+//! stream registry, credit accounting and batched stepping.
+//!
+//! [`MuxConn`] is a pure state machine — raw frames in, server frames
+//! out, no sockets — so the mux layer is unit- and property-testable
+//! offline, exactly like the PR 5 session. The reactor owns the I/O and
+//! calls into it:
+//!
+//! * [`MuxConn::on_frame`] for every complete frame read off the wire.
+//!   Event batches are *not* simulated here: they are credit-checked and
+//!   decoded (against the stream's own delta state) into the stream's
+//!   pending buffer.
+//! * [`MuxConn::step_pending`] once per reactor iteration: every stream
+//!   with pending events is stepped through its monomorphized
+//!   [`SessionStepper`] in a single batch call, emitting the stream's
+//!   predictions (verbose mode) and its resolve-time `MUX_ACK`. This is
+//!   the lockstep structure-of-arrays pass — decode accumulates across
+//!   frames, simulation runs batch-at-a-time per resident stream.
+//! * [`MuxConn::tick_idle`] on idle reactor ticks: idle eviction fires
+//!   **per stream** (a quiet stream dies with a stream-scoped
+//!   `MUX_ERROR`; its siblings and the connection live on).
+//!
+//! Credit windows are tracked per stream: each `MUX_EVENT_BATCH` is
+//! checked against the *named stream's* window only, so a hog stream
+//! blowing through its credit is killed alone — sibling streams on the
+//! same connection keep their credit and their predictor state.
+//!
+//! Errors split two ways. Anything that names a parseable stream —
+//! unknown id, duplicate open, budget/predictor rejection, credit
+//! overflow, idle eviction — is stream-scoped ([`ServerFrame::MuxError`];
+//! the connection survives). Anything below the stream layer — malformed
+//! bytes, unknown frame types (including the v1/v2 single-session
+//! frames, which have no meaning here) — is connection-fatal and
+//! surfaces as [`ConnFatal`].
+
+use crate::protocol::{
+    decode_mux_events_into, mux_events_header, frame_type, ErrorCode, MuxClientFrame,
+    ProtocolError, RawFrame, ServerFrame,
+};
+use crate::session::{MAX_ENTRIES, MIN_ENTRIES};
+use ibp_exec::FastMap;
+use ibp_sim::{PredictionOutcome, PredictorKind, RunResult, SessionStepper};
+use ibp_trace::wire::EventDeltaState;
+use ibp_trace::BranchEvent;
+
+/// A connection-fatal condition: the reactor answers with a
+/// connection-level `ERROR` frame and closes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnFatal {
+    /// The peer's bytes do not parse as v3 frames (includes legacy
+    /// single-session frame types, which are not spoken on this plane).
+    Protocol(ProtocolError),
+}
+
+impl ConnFatal {
+    /// The `ERROR`-frame code to answer with.
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            ConnFatal::Protocol(e) => e.error_code(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConnFatal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnFatal::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// What a frame did, as far as the reactor cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MuxProgress {
+    /// Keep the connection open.
+    Continue,
+    /// The client said `BYE`: the `BYE_ACK` is already queued; close
+    /// after flushing output.
+    Bye,
+}
+
+/// Lifetime counters for one mux connection, merged into the shard's
+/// metrics when the connection closes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MuxTallies {
+    /// Streams opened successfully.
+    pub opened: u64,
+    /// Streams closed by a client `MUX_CLOSE`.
+    pub closed_clean: u64,
+    /// Events stepped across all streams.
+    pub events: u64,
+    /// Predicted indirect events across all streams.
+    pub predictions: u64,
+    /// Mispredictions among those.
+    pub mispredictions: u64,
+    /// Stream-scoped errors emitted (all kinds).
+    pub stream_errors: u64,
+    /// Streams killed for batches beyond twice their window.
+    pub window_overflows: u64,
+    /// Streams evicted for idleness.
+    pub idle_evictions: u64,
+    /// `MUX_BACKPRESSURE` warnings emitted.
+    pub backpressure_warnings: u64,
+    /// High-water mark of concurrently open streams.
+    pub peak_streams: u64,
+}
+
+struct StreamSlot {
+    id: u64,
+    stepper: Box<dyn SessionStepper>,
+    decode: EventDeltaState,
+    /// Decoded events awaiting the next `step_pending` pass. Reused
+    /// across batches; never shrunk, so a warm stream decodes and steps
+    /// allocation-free.
+    pending: Vec<BranchEvent>,
+    verbose: bool,
+    idle_ticks: u32,
+}
+
+impl StreamSlot {
+    fn closed_frame(&self) -> ServerFrame {
+        let result: RunResult = self.stepper.run_result();
+        ServerFrame::MuxClosed {
+            stream: self.id,
+            events: self.stepper.events(),
+            predictions: self.stepper.predictions(),
+            mispredictions: self.stepper.mispredictions(),
+            per_branch: result
+                .branches()
+                .into_iter()
+                .map(|(pc, preds, misses)| (pc.raw(), preds, misses))
+                .collect(),
+        }
+    }
+}
+
+/// One v3 connection's stream registry and scheduler.
+pub struct MuxConn {
+    window: u64,
+    max_streams: u64,
+    streams: Vec<StreamSlot>,
+    index: FastMap<u64, usize>,
+    tallies: MuxTallies,
+    /// Scratch for verbose stepping, reused across streams and batches.
+    outcomes: Vec<PredictionOutcome>,
+}
+
+impl std::fmt::Debug for MuxConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxConn")
+            .field("window", &self.window)
+            .field("max_streams", &self.max_streams)
+            .field("open_streams", &self.streams.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MuxConn {
+    /// A fresh connection with the given per-stream credit window and
+    /// stream-count cap (both clamped to at least 1; the server config
+    /// clamps harder).
+    pub fn new(window: u64, max_streams: u64) -> MuxConn {
+        MuxConn {
+            window: window.max(2),
+            max_streams: max_streams.max(1),
+            streams: Vec::new(),
+            index: FastMap::new(),
+            tallies: MuxTallies::default(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The `MUX_HELLO_ACK` answering the handshake.
+    pub fn hello_ack(&self) -> ServerFrame {
+        ServerFrame::MuxHelloAck {
+            window: self.window,
+            max_streams: self.max_streams,
+        }
+    }
+
+    /// Streams currently open.
+    pub fn open_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Lifetime counters so far.
+    pub fn tallies(&self) -> MuxTallies {
+        self.tallies
+    }
+
+    /// Total events decoded but not yet stepped, across all streams.
+    pub fn pending_events(&self) -> usize {
+        self.streams.iter().map(|s| s.pending.len()).sum()
+    }
+
+    fn stream_error(
+        &mut self,
+        stream: u64,
+        code: ErrorCode,
+        detail: String,
+        out: &mut Vec<ServerFrame>,
+    ) {
+        self.tallies.stream_errors = self.tallies.stream_errors.saturating_add(1);
+        out.push(ServerFrame::MuxError {
+            stream,
+            code,
+            detail,
+        });
+    }
+
+    /// Removes a stream slot, fixing the moved slot's index entry.
+    fn remove_stream(&mut self, slot_index: usize) -> Option<StreamSlot> {
+        if slot_index >= self.streams.len() {
+            return None;
+        }
+        let slot = self.streams.swap_remove(slot_index);
+        self.index.remove(&slot.id);
+        if let Some(moved) = self.streams.get(slot_index) {
+            self.index.insert(moved.id, slot_index);
+        }
+        Some(slot)
+    }
+
+    fn open(
+        &mut self,
+        stream: u64,
+        predictor_code: u8,
+        entries: u64,
+        verbose: bool,
+        out: &mut Vec<ServerFrame>,
+    ) {
+        if self.index.get(&stream).is_some() {
+            self.stream_error(
+                stream,
+                ErrorCode::DuplicateStream,
+                format!("stream {stream} is already open"),
+                out,
+            );
+            return;
+        }
+        if self.streams.len() as u64 >= self.max_streams {
+            self.stream_error(
+                stream,
+                ErrorCode::StreamLimit,
+                format!("connection is at its cap of {} streams", self.max_streams),
+                out,
+            );
+            return;
+        }
+        let Some(kind) = PredictorKind::from_wire_code(predictor_code) else {
+            self.stream_error(
+                stream,
+                ErrorCode::UnknownPredictor,
+                format!("predictor code {predictor_code} is unassigned"),
+                out,
+            );
+            return;
+        };
+        if !(MIN_ENTRIES..=MAX_ENTRIES).contains(&entries) {
+            self.stream_error(
+                stream,
+                ErrorCode::BadBudget,
+                format!("entries {entries} outside {MIN_ENTRIES}..={MAX_ENTRIES}"),
+                out,
+            );
+            return;
+        }
+        let slot = StreamSlot {
+            id: stream,
+            stepper: kind.session_stepper(entries as usize),
+            decode: EventDeltaState::new(),
+            pending: Vec::new(),
+            verbose,
+            idle_ticks: 0,
+        };
+        self.index.insert(stream, self.streams.len());
+        self.streams.push(slot);
+        self.tallies.opened = self.tallies.opened.saturating_add(1);
+        self.tallies.peak_streams = self.tallies.peak_streams.max(self.streams.len() as u64);
+        out.push(ServerFrame::MuxOpenAck {
+            stream,
+            window: self.window,
+        });
+    }
+
+    /// Steps one slot's pending events, emitting predictions (verbose
+    /// streams) and the resolve-time ack.
+    fn step_slot(
+        slot: &mut StreamSlot,
+        outcomes: &mut Vec<PredictionOutcome>,
+        tallies: &mut MuxTallies,
+        out: &mut Vec<ServerFrame>,
+    ) {
+        if slot.pending.is_empty() {
+            return;
+        }
+        let before_predictions = slot.stepper.predictions();
+        let before_mispredictions = slot.stepper.mispredictions();
+        if slot.verbose {
+            outcomes.clear();
+            slot.stepper.step_verbose(&slot.pending, outcomes);
+            for o in outcomes.iter() {
+                out.push(ServerFrame::MuxPrediction {
+                    stream: slot.id,
+                    seq: o.seq,
+                    correct: o.correct,
+                    predicted: o.predicted,
+                });
+            }
+        } else {
+            slot.stepper.step_counted(&slot.pending);
+        }
+        tallies.events = tallies.events.saturating_add(slot.pending.len() as u64);
+        tallies.predictions = tallies
+            .predictions
+            .saturating_add(slot.stepper.predictions().saturating_sub(before_predictions));
+        tallies.mispredictions = tallies.mispredictions.saturating_add(
+            slot.stepper
+                .mispredictions()
+                .saturating_sub(before_mispredictions),
+        );
+        slot.pending.clear();
+        out.push(ServerFrame::MuxAck {
+            stream: slot.id,
+            through_seq: slot.stepper.events(),
+        });
+    }
+
+    /// Handles one complete frame. Stream-scoped failures emit
+    /// `MUX_ERROR` into `out` and return `Continue`; only byte-level
+    /// garbage is connection-fatal.
+    pub fn on_frame(
+        &mut self,
+        raw: &RawFrame,
+        out: &mut Vec<ServerFrame>,
+    ) -> Result<MuxProgress, ConnFatal> {
+        if raw.frame_type == frame_type::MUX_EVENT_BATCH {
+            let header = mux_events_header(raw).map_err(ConnFatal::Protocol)?;
+            let Some(&slot_index) = self.index.get(&header.stream) else {
+                self.stream_error(
+                    header.stream,
+                    ErrorCode::UnknownStream,
+                    format!("stream {} is not open", header.stream),
+                    out,
+                );
+                return Ok(MuxProgress::Continue);
+            };
+            let limit = self.window.saturating_mul(2);
+            if header.count > limit {
+                // The hog dies alone: nothing is decoded or processed,
+                // sibling streams keep their credit and state.
+                if let Some(slot) = self.remove_stream(slot_index) {
+                    drop(slot);
+                }
+                self.tallies.window_overflows = self.tallies.window_overflows.saturating_add(1);
+                self.stream_error(
+                    header.stream,
+                    ErrorCode::WindowOverflow,
+                    format!("batch of {} exceeds the hard limit of {limit}", header.count),
+                    out,
+                );
+                return Ok(MuxProgress::Continue);
+            }
+            if header.count > self.window {
+                self.tallies.backpressure_warnings =
+                    self.tallies.backpressure_warnings.saturating_add(1);
+                out.push(ServerFrame::MuxBackpressure {
+                    stream: header.stream,
+                    batch: header.count,
+                    window: self.window,
+                });
+            }
+            let Some(slot) = self.streams.get_mut(slot_index) else {
+                return Ok(MuxProgress::Continue);
+            };
+            slot.idle_ticks = 0;
+            decode_mux_events_into(raw, header, &mut slot.decode, &mut slot.pending)
+                .map_err(ConnFatal::Protocol)?;
+            // Step eagerly once a full credit window is buffered: this
+            // bounds the pending working set to about one window per
+            // stream, so a long read burst decodes and simulates in
+            // cache-sized slices instead of staging megabytes of
+            // decoded events before the end-of-burst sweep.
+            if slot.pending.len() as u64 >= self.window {
+                Self::step_slot(slot, &mut self.outcomes, &mut self.tallies, out);
+            }
+            return Ok(MuxProgress::Continue);
+        }
+
+        match MuxClientFrame::decode(raw).map_err(ConnFatal::Protocol)? {
+            MuxClientFrame::Open {
+                stream,
+                predictor_code,
+                entries,
+                verbose,
+            } => {
+                self.open(stream, predictor_code, entries, verbose, out);
+                Ok(MuxProgress::Continue)
+            }
+            MuxClientFrame::Flush { stream } => {
+                let Some(&slot_index) = self.index.get(&stream) else {
+                    self.stream_error(
+                        stream,
+                        ErrorCode::UnknownStream,
+                        format!("stream {stream} is not open"),
+                        out,
+                    );
+                    return Ok(MuxProgress::Continue);
+                };
+                if let Some(slot) = self.streams.get_mut(slot_index) {
+                    slot.idle_ticks = 0;
+                    // Totals must reflect everything sent before the
+                    // flush, so step this stream's backlog first.
+                    Self::step_slot(slot, &mut self.outcomes, &mut self.tallies, out);
+                    out.push(ServerFrame::MuxStats {
+                        stream,
+                        events: slot.stepper.events(),
+                        predictions: slot.stepper.predictions(),
+                        mispredictions: slot.stepper.mispredictions(),
+                    });
+                }
+                Ok(MuxProgress::Continue)
+            }
+            MuxClientFrame::Close { stream } => {
+                let Some(&slot_index) = self.index.get(&stream) else {
+                    self.stream_error(
+                        stream,
+                        ErrorCode::UnknownStream,
+                        format!("stream {stream} is not open"),
+                        out,
+                    );
+                    return Ok(MuxProgress::Continue);
+                };
+                if let Some(slot) = self.streams.get_mut(slot_index) {
+                    Self::step_slot(slot, &mut self.outcomes, &mut self.tallies, out);
+                }
+                if let Some(slot) = self.remove_stream(slot_index) {
+                    out.push(slot.closed_frame());
+                    self.tallies.closed_clean = self.tallies.closed_clean.saturating_add(1);
+                }
+                Ok(MuxProgress::Continue)
+            }
+            MuxClientFrame::Bye => {
+                // Drain every stream's backlog so the bye reflects all
+                // accepted work, then report the connection total.
+                self.step_pending(out);
+                out.push(ServerFrame::ByeAck {
+                    events: self.tallies.events,
+                });
+                Ok(MuxProgress::Bye)
+            }
+        }
+    }
+
+    /// Steps every stream with pending events, in slot order — one
+    /// monomorphized batch call per resident stream per reactor
+    /// iteration.
+    pub fn step_pending(&mut self, out: &mut Vec<ServerFrame>) {
+        // Split borrows: the scratch buffer and tallies are disjoint
+        // from the slots.
+        let outcomes = &mut self.outcomes;
+        let tallies = &mut self.tallies;
+        for slot in &mut self.streams {
+            Self::step_slot(slot, outcomes, tallies, out);
+        }
+    }
+
+    /// One idle reactor tick: ages every stream, evicting those silent
+    /// for more than `idle_limit` ticks with a stream-scoped
+    /// `IdleTimeout`. Returns the number of evictions. The connection
+    /// itself is never killed here — per-stream, not per-connection.
+    pub fn tick_idle(&mut self, idle_limit: u32, out: &mut Vec<ServerFrame>) -> usize {
+        let mut evicted = 0usize;
+        let mut i = 0usize;
+        while i < self.streams.len() {
+            let expired = match self.streams.get_mut(i) {
+                Some(slot) => {
+                    slot.idle_ticks = slot.idle_ticks.saturating_add(1);
+                    slot.idle_ticks > idle_limit
+                }
+                None => false,
+            };
+            if expired {
+                if let Some(slot) = self.remove_stream(i) {
+                    self.tallies.idle_evictions = self.tallies.idle_evictions.saturating_add(1);
+                    self.stream_error(
+                        slot.id,
+                        ErrorCode::IdleTimeout,
+                        "stream idle past the server's timeout".to_string(),
+                        out,
+                    );
+                    evicted += 1;
+                }
+                // Do not advance: swap_remove moved a new slot here.
+            } else {
+                i += 1;
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{
+        put_mux_events_frame, put_mux_open, put_mux_stream_frame, put_simple_frame, FrameBuffer,
+    };
+    use ibp_isa::Addr;
+
+    fn frames_from(bytes: &[u8]) -> Vec<RawFrame> {
+        let mut fb = FrameBuffer::new();
+        fb.feed(bytes);
+        let mut raws = Vec::new();
+        while let Some(raw) = fb.next_frame().expect("valid") {
+            raws.push(raw);
+        }
+        raws
+    }
+
+    fn indirect_events(n: u64) -> Vec<BranchEvent> {
+        (0..n)
+            .map(|i| {
+                BranchEvent::indirect_jmp(Addr::new(0x4000), Addr::new(0x9000 + (i % 3) * 0x40))
+            })
+            .collect()
+    }
+
+    fn drive(conn: &mut MuxConn, bytes: &[u8]) -> Vec<ServerFrame> {
+        let mut out = Vec::new();
+        for raw in frames_from(bytes) {
+            conn.on_frame(&raw, &mut out).expect("not fatal");
+        }
+        conn.step_pending(&mut out);
+        out
+    }
+
+    #[test]
+    fn open_step_close_matches_offline() {
+        let events = indirect_events(100);
+        let mut conn = MuxConn::new(256, 64);
+        let mut bytes = Vec::new();
+        put_mux_open(&mut bytes, 7, PredictorKind::Btb.wire_code(), 2048, false);
+        let mut enc = EventDeltaState::new();
+        for chunk in events.chunks(40) {
+            put_mux_events_frame(&mut enc, 7, chunk, &mut bytes);
+        }
+        put_mux_stream_frame(frame_type::MUX_CLOSE, 7, &mut bytes);
+        let out = drive(&mut conn, &bytes);
+
+        let trace: ibp_trace::Trace = events.iter().copied().collect();
+        let offline = PredictorKind::Btb.simulate_trace(&trace);
+        let closed = out
+            .iter()
+            .find_map(|f| match f {
+                ServerFrame::MuxClosed {
+                    stream,
+                    events,
+                    predictions,
+                    mispredictions,
+                    per_branch,
+                } => Some((*stream, *events, *predictions, *mispredictions, per_branch)),
+                _ => None,
+            })
+            .expect("close receipt");
+        assert_eq!(closed.0, 7);
+        assert_eq!(closed.1, 100);
+        assert_eq!(closed.2, offline.predictions());
+        assert_eq!(closed.3, offline.mispredictions());
+        let offline_sites: Vec<(u64, u64, u64)> = offline
+            .branches()
+            .into_iter()
+            .map(|(pc, p, m)| (pc.raw(), p, m))
+            .collect();
+        assert_eq!(closed.4, &offline_sites);
+        assert_eq!(conn.open_streams(), 0);
+        assert_eq!(conn.tallies().closed_clean, 1);
+        assert_eq!(conn.tallies().events, 100);
+    }
+
+    #[test]
+    fn interleaved_streams_are_isolated() {
+        // Two streams, same predictor, interleaved batches: each must
+        // see exactly its own event sequence (per-stream delta state and
+        // pending buffers), so both match the same offline result.
+        let events = indirect_events(60);
+        let mut conn = MuxConn::new(256, 64);
+        let mut bytes = Vec::new();
+        put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, false);
+        put_mux_open(&mut bytes, 2, PredictorKind::Btb.wire_code(), 2048, false);
+        let mut enc1 = EventDeltaState::new();
+        let mut enc2 = EventDeltaState::new();
+        for chunk in events.chunks(15) {
+            put_mux_events_frame(&mut enc1, 1, chunk, &mut bytes);
+            put_mux_events_frame(&mut enc2, 2, chunk, &mut bytes);
+        }
+        put_mux_stream_frame(frame_type::MUX_CLOSE, 1, &mut bytes);
+        put_mux_stream_frame(frame_type::MUX_CLOSE, 2, &mut bytes);
+        let out = drive(&mut conn, &bytes);
+        let trace: ibp_trace::Trace = events.iter().copied().collect();
+        let offline = PredictorKind::Btb.simulate_trace(&trace);
+        let mut seen = 0;
+        for f in &out {
+            if let ServerFrame::MuxClosed {
+                events: e,
+                predictions,
+                mispredictions,
+                ..
+            } = f
+            {
+                assert_eq!(*e, 60);
+                assert_eq!(*predictions, offline.predictions());
+                assert_eq!(*mispredictions, offline.mispredictions());
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn unknown_stream_is_stream_scoped() {
+        let mut conn = MuxConn::new(256, 64);
+        let mut bytes = Vec::new();
+        let mut enc = EventDeltaState::new();
+        put_mux_events_frame(&mut enc, 99, &indirect_events(4), &mut bytes);
+        put_mux_stream_frame(frame_type::MUX_FLUSH, 98, &mut bytes);
+        put_mux_stream_frame(frame_type::MUX_CLOSE, 97, &mut bytes);
+        let out = drive(&mut conn, &bytes);
+        let errors: Vec<(u64, ErrorCode)> = out
+            .iter()
+            .filter_map(|f| match f {
+                ServerFrame::MuxError { stream, code, .. } => Some((*stream, *code)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            errors,
+            vec![
+                (99, ErrorCode::UnknownStream),
+                (98, ErrorCode::UnknownStream),
+                (97, ErrorCode::UnknownStream),
+            ]
+        );
+        assert_eq!(conn.tallies().stream_errors, 3);
+    }
+
+    #[test]
+    fn hog_stream_dies_alone_and_siblings_keep_serving() {
+        let window = 8u64;
+        let mut conn = MuxConn::new(window, 64);
+        let mut bytes = Vec::new();
+        put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, false);
+        put_mux_open(&mut bytes, 2, PredictorKind::Btb.wire_code(), 2048, false);
+        let mut hog = EventDeltaState::new();
+        let mut good = EventDeltaState::new();
+        // The hog ignores credit entirely; the sibling stays in window.
+        put_mux_events_frame(&mut hog, 1, &indirect_events(window * 2 + 1), &mut bytes);
+        put_mux_events_frame(&mut good, 2, &indirect_events(window / 2), &mut bytes);
+        let out = drive(&mut conn, &bytes);
+
+        assert!(out.iter().any(|f| matches!(
+            f,
+            ServerFrame::MuxError {
+                stream: 1,
+                code: ErrorCode::WindowOverflow,
+                ..
+            }
+        )));
+        // The sibling's batch was stepped and acked.
+        assert!(out.iter().any(|f| matches!(
+            f,
+            ServerFrame::MuxAck {
+                stream: 2,
+                through_seq: 4,
+            }
+        )));
+        assert_eq!(conn.open_streams(), 1);
+        assert_eq!(conn.tallies().window_overflows, 1);
+        assert_eq!(conn.tallies().events, window / 2, "hog processed nothing");
+    }
+
+    #[test]
+    fn over_window_batches_warn_but_process() {
+        let window = 8u64;
+        let mut conn = MuxConn::new(window, 64);
+        let mut bytes = Vec::new();
+        put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, false);
+        let mut enc = EventDeltaState::new();
+        put_mux_events_frame(&mut enc, 1, &indirect_events(window + 1), &mut bytes);
+        let out = drive(&mut conn, &bytes);
+        assert!(out.iter().any(|f| matches!(
+            f,
+            ServerFrame::MuxBackpressure {
+                stream: 1,
+                batch: 9,
+                window: 8,
+            }
+        )));
+        assert!(out.iter().any(|f| matches!(
+            f,
+            ServerFrame::MuxAck {
+                stream: 1,
+                through_seq: 9,
+            }
+        )));
+        assert_eq!(conn.tallies().backpressure_warnings, 1);
+    }
+
+    #[test]
+    fn duplicate_limit_budget_and_predictor_rejections() {
+        let mut conn = MuxConn::new(256, 2);
+        let mut bytes = Vec::new();
+        put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, false);
+        put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, false); // dup
+        put_mux_open(&mut bytes, 2, 42, 2048, false); // unknown predictor
+        put_mux_open(&mut bytes, 3, PredictorKind::Btb.wire_code(), 7, false); // bad budget
+        put_mux_open(&mut bytes, 4, PredictorKind::Btb.wire_code(), 2048, false);
+        put_mux_open(&mut bytes, 5, PredictorKind::Btb.wire_code(), 2048, false); // over cap
+        let out = drive(&mut conn, &bytes);
+        let codes: Vec<(u64, ErrorCode)> = out
+            .iter()
+            .filter_map(|f| match f {
+                ServerFrame::MuxError { stream, code, .. } => Some((*stream, *code)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            codes,
+            vec![
+                (1, ErrorCode::DuplicateStream),
+                (2, ErrorCode::UnknownPredictor),
+                (3, ErrorCode::BadBudget),
+                (5, ErrorCode::StreamLimit),
+            ]
+        );
+        assert_eq!(conn.open_streams(), 2);
+        assert_eq!(conn.tallies().opened, 2);
+        assert_eq!(conn.tallies().peak_streams, 2);
+    }
+
+    #[test]
+    fn idle_eviction_is_per_stream() {
+        let mut conn = MuxConn::new(256, 64);
+        let mut bytes = Vec::new();
+        put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, false);
+        put_mux_open(&mut bytes, 2, PredictorKind::Btb.wire_code(), 2048, false);
+        let mut out = drive(&mut conn, &bytes);
+        out.clear();
+
+        // Stream 2 stays active (a frame each tick); stream 1 goes quiet.
+        let mut enc = EventDeltaState::new();
+        for _ in 0..4 {
+            let mut tick_bytes = Vec::new();
+            put_mux_events_frame(&mut enc, 2, &indirect_events(2), &mut tick_bytes);
+            for raw in frames_from(&tick_bytes) {
+                conn.on_frame(&raw, &mut out).expect("not fatal");
+            }
+            conn.step_pending(&mut out);
+            conn.tick_idle(2, &mut out);
+        }
+        assert!(out.iter().any(|f| matches!(
+            f,
+            ServerFrame::MuxError {
+                stream: 1,
+                code: ErrorCode::IdleTimeout,
+                ..
+            }
+        )));
+        assert_eq!(conn.open_streams(), 1, "only the silent stream died");
+        assert_eq!(conn.tallies().idle_evictions, 1);
+        // The survivor still serves.
+        let mut tail = Vec::new();
+        let mut close_bytes = Vec::new();
+        put_mux_stream_frame(frame_type::MUX_CLOSE, 2, &mut close_bytes);
+        for raw in frames_from(&close_bytes) {
+            conn.on_frame(&raw, &mut tail).expect("not fatal");
+        }
+        assert!(tail
+            .iter()
+            .any(|f| matches!(f, ServerFrame::MuxClosed { stream: 2, .. })));
+    }
+
+    #[test]
+    fn legacy_frames_are_connection_fatal() {
+        let mut conn = MuxConn::new(256, 64);
+        let raw = RawFrame {
+            frame_type: frame_type::EVENT_BATCH,
+            payload: vec![0],
+        };
+        let mut out = Vec::new();
+        let err = conn.on_frame(&raw, &mut out).unwrap_err();
+        assert_eq!(
+            err,
+            ConnFatal::Protocol(ProtocolError::UnknownFrame(frame_type::EVENT_BATCH))
+        );
+        assert_eq!(err.error_code(), ErrorCode::BadFrame);
+    }
+
+    #[test]
+    fn bye_drains_and_reports_connection_totals() {
+        let mut conn = MuxConn::new(256, 64);
+        let mut bytes = Vec::new();
+        put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, false);
+        let mut enc = EventDeltaState::new();
+        put_mux_events_frame(&mut enc, 1, &indirect_events(10), &mut bytes);
+        put_simple_frame(frame_type::BYE, &mut bytes);
+        let mut out = Vec::new();
+        let mut progress = MuxProgress::Continue;
+        for raw in frames_from(&bytes) {
+            progress = conn.on_frame(&raw, &mut out).expect("not fatal");
+        }
+        assert_eq!(progress, MuxProgress::Bye);
+        assert_eq!(
+            out.last(),
+            Some(&ServerFrame::ByeAck { events: 10 }),
+            "bye reflects the drained backlog: {out:?}"
+        );
+    }
+
+    #[test]
+    fn flush_steps_the_backlog_first() {
+        let mut conn = MuxConn::new(256, 64);
+        let mut bytes = Vec::new();
+        put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, false);
+        let mut enc = EventDeltaState::new();
+        put_mux_events_frame(&mut enc, 1, &indirect_events(12), &mut bytes);
+        put_mux_stream_frame(frame_type::MUX_FLUSH, 1, &mut bytes);
+        let mut out = Vec::new();
+        for raw in frames_from(&bytes) {
+            conn.on_frame(&raw, &mut out).expect("not fatal");
+        }
+        let stats = out
+            .iter()
+            .find_map(|f| match f {
+                ServerFrame::MuxStats { events, .. } => Some(*events),
+                _ => None,
+            })
+            .expect("stats");
+        assert_eq!(stats, 12, "flush reflects everything sent before it");
+        assert_eq!(conn.pending_events(), 0);
+    }
+
+    #[test]
+    fn verbose_streams_emit_predictions() {
+        let events = indirect_events(20);
+        let mut conn = MuxConn::new(256, 64);
+        let mut bytes = Vec::new();
+        put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, true);
+        let mut enc = EventDeltaState::new();
+        put_mux_events_frame(&mut enc, 1, &events, &mut bytes);
+        let out = drive(&mut conn, &bytes);
+        let trace: ibp_trace::Trace = events.iter().copied().collect();
+        let offline = PredictorKind::Btb.simulate_trace(&trace);
+        let predictions = out
+            .iter()
+            .filter(|f| matches!(f, ServerFrame::MuxPrediction { stream: 1, .. }))
+            .count() as u64;
+        assert_eq!(predictions, offline.predictions());
+        let wrong = out
+            .iter()
+            .filter(
+                |f| matches!(f, ServerFrame::MuxPrediction { correct: false, .. }),
+            )
+            .count() as u64;
+        assert_eq!(wrong, offline.mispredictions());
+    }
+}

@@ -1,37 +1,34 @@
-//! The TCP server: accept loop, session multiplexing, backpressure and
-//! graceful drain.
+//! The TCP server: thread-per-core shards, sharded accept, graceful
+//! drain.
 //!
-//! One `ibp_exec::ServicePool` worker runs the blocking accept loop; the
-//! rest run sessions. Each accepted connection becomes one pool job that
-//! owns its socket, its [`Session`] and its decode state end to end —
-//! sessions never share predictor state, so concurrency cannot perturb
-//! prediction (the loopback differential suite pins this).
+//! Since IBPS v3 the server is a bank of [`ibp_exec::ShardPool`] shards,
+//! each running the non-blocking reactor loop in [`crate::reactor`] over
+//! a clone of the listener. A connection lives its whole life on the
+//! shard that accepted it — its socket, frame buffer, negotiated plane
+//! (legacy session or mux stream registry) and telemetry never cross
+//! threads, so concurrency cannot perturb prediction (pinned by the
+//! sharded differential suite at shard counts 1, 2 and 8).
 //!
-//! Time never enters prediction: sockets carry `Duration` timeouts and
-//! idleness is *accounted*, not measured — every timed-out read adds one
-//! tick, any received byte resets the count. The single wall-clock read
-//! in this crate is the drain deadline in [`Server::shutdown`], bounded
-//! to the I/O boundary and annotated for the lint engine.
+//! Time never enters prediction: idleness is *accounted* in reactor
+//! ticks, not measured — a shard only ages its connections (and their
+//! mux streams) on iterations where no byte moved. The single
+//! wall-clock read in this crate is the drain deadline in
+//! [`Server::shutdown`], bounded to the I/O boundary and annotated for
+//! the lint engine.
 //!
-//! Shutdown protocol: stop accepting (a loopback self-connect wakes the
-//! blocking `accept`), wait for in-flight sessions to finish up to the
-//! drain deadline, then raise `force_close` — sessions answer
-//! `ERROR shutting-down` at their next tick — and finally drain/join the
-//! pool.
+//! Shutdown protocol: stop accepting (the non-blocking accept just
+//! stops yielding sockets), wait for in-flight connections to finish up
+//! to the drain deadline, then raise `force_close` — shards answer
+//! `ERROR shutting-down` on every surviving connection — and join the
+//! shard pool.
 
-use crate::protocol::{
-    ErrorCode, FrameBuffer, ClientFrame, ServerFrame,
-};
-use crate::session::{Session, SessionFatal, MAX_ENTRIES, MIN_ENTRIES};
-use ibp_exec::{ServicePool, ServiceStats, ServiceSubmitter};
-use ibp_metrics::{Log2Histogram, MetricsSnapshot};
-use ibp_sim::PredictorKind;
-use ibp_trace::wire::EventDeltaState;
+use crate::reactor::{shard_loop, Shared};
+use ibp_exec::{ShardPool, ShardStats};
+use ibp_metrics::MetricsSnapshot;
 use std::fmt;
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Server tuning knobs. [`ServerConfig::default`] is sized for loopback
@@ -41,20 +38,28 @@ pub struct ServerConfig {
     /// Bind address; use port 0 to let the OS pick (read it back via
     /// [`Server::local_addr`]).
     pub addr: String,
-    /// Session workers (the accept loop adds one more pool thread).
-    pub workers: usize,
-    /// Concurrent-session cap; further connects get `ERROR busy`.
+    /// Reactor shards (thread-per-core: one reactor loop each, with its
+    /// own clone of the listener).
+    pub shards: usize,
+    /// Concurrent-connection cap; further connects get `ERROR busy`.
     pub max_sessions: usize,
-    /// Send-credit window advertised at handshake, in events.
+    /// Per-connection cap on concurrently open mux streams; further
+    /// `MUX_OPEN`s get a stream-scoped `stream-limit` error.
+    pub max_streams: u64,
+    /// Send-credit window advertised at handshake, in events. On the
+    /// mux plane this is the *per-stream* window.
     pub window: u64,
-    /// Socket read timeout — the idle-accounting tick.
+    /// The idle-accounting tick: how long a shard sleeps when none of
+    /// its connections moved a byte.
     pub tick: Duration,
-    /// Socket write timeout; a slower client is disconnected.
+    /// Bound on the final blocking flush of a closing connection (error
+    /// reports, bye acks); a slower client loses the tail.
     pub write_timeout: Duration,
-    /// Idle budget: a session with no bytes for this long is evicted.
+    /// Idle budget: a connection (or mux stream) with no bytes for this
+    /// long is evicted.
     pub idle_timeout: Duration,
-    /// How long [`Server::shutdown`] waits for in-flight sessions before
-    /// forcing them closed.
+    /// How long [`Server::shutdown`] waits for in-flight connections
+    /// before forcing them closed.
     pub drain_timeout: Duration,
 }
 
@@ -62,8 +67,9 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
-            workers: 2,
+            shards: 2,
             max_sessions: 32,
+            max_streams: 1024,
             window: 256,
             tick: Duration::from_millis(20),
             write_timeout: Duration::from_secs(2),
@@ -75,8 +81,9 @@ impl Default for ServerConfig {
 
 impl ServerConfig {
     fn normalized(mut self) -> Self {
-        self.workers = self.workers.clamp(1, 64);
+        self.shards = self.shards.clamp(1, 64);
         self.max_sessions = self.max_sessions.clamp(1, 4096);
+        self.max_streams = self.max_streams.clamp(1, 1 << 20);
         self.window = self.window.clamp(2, 8192);
         self.tick = self.tick.clamp(Duration::from_millis(1), Duration::from_secs(1));
         self.write_timeout = self
@@ -90,18 +97,14 @@ impl ServerConfig {
 /// Why the server could not start.
 #[derive(Debug)]
 pub enum ServeError {
-    /// Binding or inspecting the listener failed.
+    /// Binding, cloning or inspecting the listener failed.
     Io(std::io::Error),
-    /// The worker pool rejected the accept job (cannot happen on a
-    /// freshly built pool; kept for API honesty).
-    Pool,
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Io(e) => write!(f, "server socket error: {e}"),
-            ServeError::Pool => write!(f, "service pool rejected the accept loop"),
         }
     }
 }
@@ -111,46 +114,25 @@ impl std::error::Error for ServeError {}
 /// Everything [`Server::shutdown`] learned.
 #[derive(Debug, Clone)]
 pub struct ServerReport {
-    /// Merged telemetry: per-session counters, frame-size histogram,
-    /// peak-gauge maxima.
+    /// Merged telemetry: per-connection counters (with per-shard
+    /// attribution), frame-size histogram, peak-gauge maxima.
     pub metrics: MetricsSnapshot,
-    /// The worker pool's lifetime stats.
-    pub pool: ServiceStats,
-    /// True when every in-flight session finished inside the drain
+    /// The shard pool's lifetime stats.
+    pub pool: ShardStats,
+    /// True when every in-flight connection finished inside the drain
     /// deadline (nothing was force-closed).
     pub drained_clean: bool,
-}
-
-struct Shared {
-    cfg: ServerConfig,
-    accepting: AtomicBool,
-    force_close: AtomicBool,
-    active: AtomicUsize,
-    peak_sessions: AtomicU64,
-    metrics: Mutex<MetricsSnapshot>,
-}
-
-impl Shared {
-    /// Locks the telemetry snapshot, recovering from poisoning: the
-    /// snapshot only ever accumulates monotone counters, so a poisoned
-    /// guard cannot leave it inconsistent.
-    fn lock_metrics(&self) -> MutexGuard<'_, MetricsSnapshot> {
-        match self.metrics.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
-    }
 }
 
 /// A running prediction server.
 ///
 /// Dropping a `Server` without calling [`Server::shutdown`] still stops
-/// cleanly (the pool drains on drop), but skips the drain-deadline wait
-/// and discards the report.
+/// cleanly (the shard pool joins on drop), but skips the drain-deadline
+/// wait and discards the report.
 pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    pool: ServicePool,
+    pool: ShardPool,
 }
 
 impl fmt::Debug for Server {
@@ -163,34 +145,33 @@ impl fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds, spawns the worker pool and starts accepting.
+    /// Binds, spawns the reactor shards and starts accepting.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] when the bind address is unusable.
+    /// [`ServeError::Io`] when the bind address is unusable or the
+    /// listener cannot be cloned per shard.
     pub fn start(cfg: ServerConfig) -> Result<Server, ServeError> {
         let cfg = cfg.normalized();
         let listener = TcpListener::bind(cfg.addr.as_str()).map_err(ServeError::Io)?;
+        listener.set_nonblocking(true).map_err(ServeError::Io)?;
         let local_addr = listener.local_addr().map_err(ServeError::Io)?;
-        let workers = cfg.workers;
-        let shared = Arc::new(Shared {
-            cfg,
-            accepting: AtomicBool::new(true),
-            force_close: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
-            peak_sessions: AtomicU64::new(0),
-            metrics: Mutex::new(MetricsSnapshot::new()),
+        let shards = cfg.shards;
+        let mut listeners: Vec<Option<TcpListener>> = Vec::with_capacity(shards);
+        listeners.push(Some(listener.try_clone().map_err(ServeError::Io)?));
+        for _ in 1..shards {
+            listeners.push(Some(listener.try_clone().map_err(ServeError::Io)?));
+        }
+        let shared = Arc::new(Shared::new(cfg));
+        let pool = ShardPool::spawn("ibp-serve", shards, |i| {
+            let listener = listeners.get_mut(i).and_then(Option::take);
+            let shard_shared = Arc::clone(&shared);
+            move || {
+                if let Some(listener) = listener {
+                    shard_loop(i, listener, &shard_shared);
+                }
+            }
         });
-        // One extra worker permanently hosts the accept loop.
-        let pool = ServicePool::new("ibp-serve", workers + 1);
-        let submitter = pool.submitter();
-        let accept_shared = Arc::clone(&shared);
-        let accept_submitter = submitter.clone();
-        submitter
-            .submit(Box::new(move || {
-                accept_loop(listener, &accept_shared, &accept_submitter);
-            }))
-            .map_err(|_| ServeError::Pool)?;
         Ok(Server {
             local_addr,
             shared,
@@ -203,24 +184,26 @@ impl Server {
         self.local_addr
     }
 
-    /// Sessions currently in flight.
+    /// Connections currently in flight.
     pub fn active_sessions(&self) -> usize {
         self.shared.active.load(Ordering::SeqCst)
     }
 
-    /// A point-in-time copy of the merged telemetry (sessions merge
+    /// Concurrently open mux streams right now, across all shards.
+    pub fn active_streams(&self) -> u64 {
+        self.shared.cur_streams.load(Ordering::SeqCst)
+    }
+
+    /// A point-in-time copy of the merged telemetry (connections merge
     /// their tallies when they end).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.lock_metrics().clone()
     }
 
-    /// Stops accepting, drains in-flight sessions (bounded by the
-    /// configured drain deadline), joins the workers and reports.
+    /// Stops accepting, drains in-flight connections (bounded by the
+    /// configured drain deadline), joins the shards and reports.
     pub fn shutdown(self) -> ServerReport {
         self.shared.accepting.store(false, Ordering::SeqCst);
-        // Wake the blocking accept() so it observes the flag; the
-        // accept loop drops this throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
         // The drain deadline is a genuine wall-clock bound on how long
         // we wait for remote peers — an I/O-boundary quantity that never
         // feeds back into prediction or any pinned output.
@@ -233,334 +216,20 @@ impl Server {
         }
         let drained_clean = self.shared.active.load(Ordering::SeqCst) == 0;
         self.shared.force_close.store(true, Ordering::SeqCst);
-        let pool = self.pool.shutdown();
+        let pool = self.pool.join();
         let mut metrics = self.shared.lock_metrics().clone();
         metrics.record_max(
             "serve_peak_sessions",
             self.shared.peak_sessions.load(Ordering::SeqCst),
         );
-        metrics.record_max("serve_peak_queue_depth", pool.peak_queue_depth);
+        metrics.record_max(
+            "serve_peak_streams",
+            self.shared.peak_streams.load(Ordering::SeqCst),
+        );
         ServerReport {
             metrics,
             pool,
             drained_clean,
         }
     }
-}
-
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, submitter: &ServiceSubmitter) {
-    loop {
-        let (mut stream, _) = match listener.accept() {
-            Ok(pair) => pair,
-            Err(_) => {
-                if !shared.accepting.load(Ordering::SeqCst) {
-                    return;
-                }
-                continue;
-            }
-        };
-        if !shared.accepting.load(Ordering::SeqCst) {
-            // Either the shutdown self-connect or a client racing it;
-            // both are dropped — we are no longer accepting.
-            return;
-        }
-        let now = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
-        if now > shared.cfg.max_sessions {
-            shared.active.fetch_sub(1, Ordering::SeqCst);
-            let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
-            send_error(&mut stream, ErrorCode::Busy, "session table full");
-            shared.lock_metrics().add_counter("serve_rejected_busy", 1);
-            continue;
-        }
-        shared.peak_sessions.fetch_max(now as u64, Ordering::SeqCst);
-        let job_shared = Arc::clone(shared);
-        let submitted = submitter.submit(Box::new(move || {
-            run_session(stream, &job_shared);
-            job_shared.active.fetch_sub(1, Ordering::SeqCst);
-        }));
-        if submitted.is_err() {
-            // Pool already shutting down; the accept loop is done too.
-            shared.active.fetch_sub(1, Ordering::SeqCst);
-            return;
-        }
-    }
-}
-
-/// How a session ended, for telemetry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SessionEnd {
-    CleanBye,
-    Eof,
-    IdleEvicted,
-    HandshakeRejected,
-    ProtocolError,
-    WindowOverflow,
-    WriteFailed,
-    IoFailed,
-    ForcedShutdown,
-}
-
-impl SessionEnd {
-    fn counter(self) -> &'static str {
-        match self {
-            SessionEnd::CleanBye => "serve_clean_byes",
-            SessionEnd::Eof => "serve_eof_closes",
-            SessionEnd::IdleEvicted => "serve_idle_evictions",
-            SessionEnd::HandshakeRejected => "serve_handshake_rejects",
-            SessionEnd::ProtocolError => "serve_protocol_errors",
-            SessionEnd::WindowOverflow => "serve_window_overflows",
-            SessionEnd::WriteFailed => "serve_write_failures",
-            SessionEnd::IoFailed => "serve_io_failures",
-            SessionEnd::ForcedShutdown => "serve_forced_closes",
-        }
-    }
-}
-
-#[derive(Debug)]
-struct Tallies {
-    end: SessionEnd,
-    frames: u64,
-    frame_bytes: Log2Histogram,
-    events: u64,
-    predictions: u64,
-    mispredictions: u64,
-}
-
-impl Tallies {
-    fn new() -> Self {
-        Tallies {
-            end: SessionEnd::IoFailed,
-            frames: 0,
-            frame_bytes: Log2Histogram::new(),
-            events: 0,
-            predictions: 0,
-            mispredictions: 0,
-        }
-    }
-}
-
-fn run_session(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let tallies = serve_one(&mut stream, shared);
-    let mut metrics = shared.lock_metrics();
-    metrics.add_counter("serve_sessions", 1);
-    metrics.add_counter(tallies.end.counter(), 1);
-    metrics.add_counter("serve_frames", tallies.frames);
-    metrics.add_counter("serve_events", tallies.events);
-    metrics.add_counter("serve_predictions", tallies.predictions);
-    metrics.add_counter("serve_mispredictions", tallies.mispredictions);
-    metrics.merge_histogram("serve_frame_bytes", &tallies.frame_bytes);
-}
-
-enum Fill {
-    Data,
-    Idle,
-    Eof,
-    Failed,
-}
-
-fn fill_once(stream: &mut TcpStream, buffer: &mut FrameBuffer, scratch: &mut [u8; 4096]) -> Fill {
-    match stream.read(scratch) {
-        Ok(0) => Fill::Eof,
-        Ok(n) => {
-            buffer.feed(scratch.get(..n).unwrap_or(&[]));
-            Fill::Data
-        }
-        Err(e) => match e.kind() {
-            ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted => Fill::Idle,
-            _ => Fill::Failed,
-        },
-    }
-}
-
-fn send_frames(stream: &mut TcpStream, frames: &[ServerFrame]) -> bool {
-    let mut buf = Vec::new();
-    for f in frames {
-        f.put(&mut buf);
-    }
-    stream.write_all(&buf).is_ok() && stream.flush().is_ok()
-}
-
-fn send_error(stream: &mut TcpStream, code: ErrorCode, detail: &str) {
-    let frame = ServerFrame::Error {
-        code,
-        detail: detail.to_string(),
-    };
-    let mut buf = Vec::new();
-    frame.put(&mut buf);
-    let _ = stream.write_all(&buf);
-    let _ = stream.flush();
-}
-
-fn serve_one(stream: &mut TcpStream, shared: &Shared) -> Tallies {
-    let mut tallies = Tallies::new();
-    let cfg = &shared.cfg;
-    let _ = stream.set_nodelay(true);
-    if stream.set_read_timeout(Some(cfg.tick)).is_err()
-        || stream.set_write_timeout(Some(cfg.write_timeout)).is_err()
-    {
-        return tallies;
-    }
-    let mut buffer = FrameBuffer::new();
-    let mut scratch = [0u8; 4096];
-    // Idleness is accounted in ticks of the read timeout, not measured
-    // with a clock: every timed-out read adds one tick, any byte resets.
-    let mut idle = Duration::ZERO;
-
-    // Phase 1: handshake.
-    let hello = loop {
-        match buffer.next_hello() {
-            Ok(Some(h)) => break h,
-            Ok(None) => {}
-            Err(e) => {
-                send_error(stream, e.error_code(), &e.to_string());
-                tallies.end = SessionEnd::HandshakeRejected;
-                return tallies;
-            }
-        }
-        match fill_once(stream, &mut buffer, &mut scratch) {
-            Fill::Data => idle = Duration::ZERO,
-            Fill::Idle => {
-                if shared.force_close.load(Ordering::SeqCst) {
-                    send_error(stream, ErrorCode::ShuttingDown, "server draining");
-                    tallies.end = SessionEnd::ForcedShutdown;
-                    return tallies;
-                }
-                idle = idle.saturating_add(cfg.tick);
-                if idle >= cfg.idle_timeout {
-                    send_error(stream, ErrorCode::IdleTimeout, "no handshake");
-                    tallies.end = SessionEnd::IdleEvicted;
-                    return tallies;
-                }
-            }
-            Fill::Eof => {
-                tallies.end = SessionEnd::Eof;
-                return tallies;
-            }
-            Fill::Failed => {
-                tallies.end = SessionEnd::IoFailed;
-                return tallies;
-            }
-        }
-    };
-
-    // Phase 2: validate and open the session.
-    let Some(kind) = PredictorKind::from_wire_code(hello.predictor_code) else {
-        send_error(
-            stream,
-            ErrorCode::UnknownPredictor,
-            &format!("wire code {:#04x} is unassigned", hello.predictor_code),
-        );
-        tallies.end = SessionEnd::HandshakeRejected;
-        return tallies;
-    };
-    if hello.entries < MIN_ENTRIES || hello.entries > MAX_ENTRIES {
-        send_error(
-            stream,
-            ErrorCode::BadBudget,
-            &format!(
-                "entries {} outside {MIN_ENTRIES}..={MAX_ENTRIES}",
-                hello.entries
-            ),
-        );
-        tallies.end = SessionEnd::HandshakeRejected;
-        return tallies;
-    }
-    let mut session = Session::new(kind, hello.entries as usize, cfg.window);
-    let mut decode_state = EventDeltaState::new();
-    if !send_frames(
-        stream,
-        &[ServerFrame::HelloAck {
-            window: session.window(),
-        }],
-    ) {
-        tallies.end = SessionEnd::WriteFailed;
-        return tallies;
-    }
-
-    // Phase 3: frames until BYE/EOF/error/eviction.
-    let mut responses: Vec<ServerFrame> = Vec::new();
-    loop {
-        match buffer.next_frame() {
-            Ok(Some(raw)) => {
-                idle = Duration::ZERO;
-                tallies.frames += 1;
-                tallies.frame_bytes.record(raw.payload.len() as u64);
-                match ClientFrame::decode(&raw, &mut decode_state) {
-                    Ok(ClientFrame::Events(events)) => {
-                        responses.clear();
-                        match session.on_events(&events, &mut responses) {
-                            Ok(()) => {
-                                if !send_frames(stream, &responses) {
-                                    tallies.end = SessionEnd::WriteFailed;
-                                    break;
-                                }
-                            }
-                            Err(SessionFatal::WindowOverflow { batch, limit }) => {
-                                send_error(
-                                    stream,
-                                    ErrorCode::WindowOverflow,
-                                    &format!("batch of {batch} events exceeds limit {limit}"),
-                                );
-                                tallies.end = SessionEnd::WindowOverflow;
-                                break;
-                            }
-                        }
-                    }
-                    Ok(ClientFrame::Flush) => {
-                        if !send_frames(stream, &[session.stats_frame()]) {
-                            tallies.end = SessionEnd::WriteFailed;
-                            break;
-                        }
-                    }
-                    Ok(ClientFrame::Bye) => {
-                        let _ = send_frames(stream, &[session.bye_frame()]);
-                        tallies.end = SessionEnd::CleanBye;
-                        break;
-                    }
-                    Err(e) => {
-                        send_error(stream, e.error_code(), &e.to_string());
-                        tallies.end = SessionEnd::ProtocolError;
-                        break;
-                    }
-                }
-            }
-            Ok(None) => match fill_once(stream, &mut buffer, &mut scratch) {
-                Fill::Data => idle = Duration::ZERO,
-                Fill::Idle => {
-                    if shared.force_close.load(Ordering::SeqCst) {
-                        send_error(stream, ErrorCode::ShuttingDown, "server draining");
-                        tallies.end = SessionEnd::ForcedShutdown;
-                        break;
-                    }
-                    idle = idle.saturating_add(cfg.tick);
-                    if idle >= cfg.idle_timeout {
-                        send_error(
-                            stream,
-                            ErrorCode::IdleTimeout,
-                            &format!("no frames within {:?}", cfg.idle_timeout),
-                        );
-                        tallies.end = SessionEnd::IdleEvicted;
-                        break;
-                    }
-                }
-                Fill::Eof => {
-                    tallies.end = SessionEnd::Eof;
-                    break;
-                }
-                Fill::Failed => {
-                    tallies.end = SessionEnd::IoFailed;
-                    break;
-                }
-            },
-            Err(e) => {
-                send_error(stream, e.error_code(), &e.to_string());
-                tallies.end = SessionEnd::ProtocolError;
-                break;
-            }
-        }
-    }
-    tallies.events = session.events();
-    tallies.predictions = session.predictions();
-    tallies.mispredictions = session.mispredictions();
-    tallies
 }

@@ -11,8 +11,7 @@
 //! (`tests/differential.rs`).
 
 use crate::protocol::ServerFrame;
-use ibp_predictors::IndirectPredictor;
-use ibp_sim::PredictorKind;
+use ibp_sim::{PredictionOutcome, PredictorKind, SessionStepper};
 use ibp_trace::BranchEvent;
 
 /// Smallest accepted table-entry budget (matches the zoo's floor, below
@@ -38,23 +37,26 @@ pub enum SessionFatal {
 }
 
 /// One connection's prediction state.
+///
+/// Since IBPS v3 the session is a thin credit-accounting shell over a
+/// monomorphized [`SessionStepper`] — the same batched engine the mux
+/// plane schedules — so the legacy and multiplexed planes cannot drift:
+/// both run the identical stepped loop.
 pub struct Session {
-    predictor: Box<dyn IndirectPredictor>,
-    label: String,
+    stepper: Box<dyn SessionStepper>,
     window: u64,
-    seq: u64,
-    predictions: u64,
-    mispredictions: u64,
+    /// Scratch reused across batches by [`Session::on_events`].
+    outcomes: Vec<PredictionOutcome>,
 }
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
-            .field("label", &self.label)
+            .field("label", &self.stepper.label().to_string())
             .field("window", &self.window)
-            .field("seq", &self.seq)
-            .field("predictions", &self.predictions)
-            .field("mispredictions", &self.mispredictions)
+            .field("seq", &self.stepper.events())
+            .field("predictions", &self.stepper.predictions())
+            .field("mispredictions", &self.stepper.mispredictions())
             .finish_non_exhaustive()
     }
 }
@@ -66,36 +68,31 @@ impl Session {
     /// [`MIN_ENTRIES`]/[`MAX_ENTRIES`] first (the server does, answering
     /// `BadBudget` otherwise); `window` is clamped to at least 2.
     pub fn new(kind: PredictorKind, entries: usize, window: u64) -> Session {
-        let predictor = kind.build_with_entries(entries);
-        let label = predictor.name();
         Session {
-            predictor,
-            label,
+            stepper: kind.session_stepper(entries),
             window: window.max(2),
-            seq: 0,
-            predictions: 0,
-            mispredictions: 0,
+            outcomes: Vec::new(),
         }
     }
 
     /// The predictor's display name (e.g. `PPM-hyb`).
     pub fn label(&self) -> &str {
-        &self.label
+        self.stepper.label()
     }
 
     /// Events processed so far.
     pub fn events(&self) -> u64 {
-        self.seq
+        self.stepper.events()
     }
 
     /// Predicted indirect events so far.
     pub fn predictions(&self) -> u64 {
-        self.predictions
+        self.stepper.predictions()
     }
 
     /// Mispredictions so far.
     pub fn mispredictions(&self) -> u64 {
-        self.mispredictions
+        self.stepper.mispredictions()
     }
 
     /// The advertised credit window, in events.
@@ -120,24 +117,14 @@ impl Session {
         if batch > limit {
             return Err(SessionFatal::WindowOverflow { batch, limit });
         }
-        for event in events {
-            if event.class().is_predicted_indirect() {
-                let predicted = self.predictor.predict(event.pc());
-                let actual = event.target();
-                let correct = predicted == Some(actual);
-                self.predictions += 1;
-                if !correct {
-                    self.mispredictions += 1;
-                }
-                out.push(ServerFrame::Prediction {
-                    seq: self.seq,
-                    correct,
-                    predicted: predicted.map(|a| a.raw()),
-                });
-                self.predictor.update(event.pc(), actual);
-            }
-            self.predictor.observe(event);
-            self.seq += 1;
+        self.outcomes.clear();
+        self.stepper.step_verbose(events, &mut self.outcomes);
+        for o in &self.outcomes {
+            out.push(ServerFrame::Prediction {
+                seq: o.seq,
+                correct: o.correct,
+                predicted: o.predicted,
+            });
         }
         if batch > self.window {
             out.push(ServerFrame::Backpressure {
@@ -146,7 +133,7 @@ impl Session {
             });
         }
         out.push(ServerFrame::Ack {
-            through_seq: self.seq,
+            through_seq: self.stepper.events(),
         });
         Ok(())
     }
@@ -154,15 +141,17 @@ impl Session {
     /// The `STATS` report answering a `FLUSH`.
     pub fn stats_frame(&self) -> ServerFrame {
         ServerFrame::Stats {
-            events: self.seq,
-            predictions: self.predictions,
-            mispredictions: self.mispredictions,
+            events: self.stepper.events(),
+            predictions: self.stepper.predictions(),
+            mispredictions: self.stepper.mispredictions(),
         }
     }
 
     /// The `BYE_ACK` closing a graceful session.
     pub fn bye_frame(&self) -> ServerFrame {
-        ServerFrame::ByeAck { events: self.seq }
+        ServerFrame::ByeAck {
+            events: self.stepper.events(),
+        }
     }
 }
 

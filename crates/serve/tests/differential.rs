@@ -85,7 +85,7 @@ fn concurrent_sessions_stay_isolated() {
     ];
 
     let server = Server::start(ServerConfig {
-        workers: 2,
+        shards: 2,
         ..ServerConfig::default()
     })
     .expect("bind loopback");

@@ -170,10 +170,7 @@ fn client_stream_parse_is_fragmentation_invariant() {
             (code, entries, batches, cuts)
         },
         |(code, entries, batches, cuts)| {
-            let hello = Hello {
-                predictor_code: *code,
-                entries: *entries,
-            };
+            let hello = Hello::legacy(*code, *entries);
             let bytes = client_stream(&hello, batches);
             // Reference parse: one fragment.
             let (ref_hello, ref_frames) =
@@ -245,10 +242,7 @@ fn mutated_client_streams_never_panic() {
             (code, entries, batches, gen_ops(rng))
         },
         |(code, entries, batches, ops)| {
-            let hello = Hello {
-                predictor_code: *code,
-                entries: *entries,
-            };
+            let hello = Hello::legacy(*code, *entries);
             let mut bytes = client_stream(&hello, batches);
             apply_ops(&mut bytes, ops);
             // Must return (Ok or typed Err), never panic or loop forever.

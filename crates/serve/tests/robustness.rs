@@ -2,10 +2,13 @@
 //! client behaviour with the right typed `ERROR` frame and a clean
 //! close — it never hangs, never panics, and keeps serving afterwards.
 
-use ibp_serve::protocol::{frame_type, put_events_frame, put_hello};
+use ibp_serve::protocol::{
+    frame_type, put_events_frame, put_hello, put_mux_events_frame, put_mux_open,
+    put_mux_stream_frame, put_simple_frame,
+};
 use ibp_serve::{
-    ClientError, ErrorCode, FrameBuffer, Hello, ServeClient, Server, ServerConfig, ServerFrame,
-    MAX_FRAME_PAYLOAD,
+    ClientError, ErrorCode, FrameBuffer, Hello, MuxClient, ServeClient, Server, ServerConfig,
+    ServerFrame, MAX_FRAME_PAYLOAD,
 };
 use ibp_sim::PredictorKind;
 use ibp_trace::wire::EventDeltaState;
@@ -80,10 +83,7 @@ fn handshake_rejections_are_typed() {
     let mut bytes = Vec::new();
     put_hello(
         &mut bytes,
-        &Hello {
-            predictor_code: 42,
-            entries: 2048,
-        },
+        &Hello::legacy(42, 2048),
     );
     expect_error(&exchange(addr, &bytes), ErrorCode::UnknownPredictor);
 
@@ -91,10 +91,7 @@ fn handshake_rejections_are_typed() {
     let mut bytes = Vec::new();
     put_hello(
         &mut bytes,
-        &Hello {
-            predictor_code: PredictorKind::Btb.wire_code(),
-            entries: 7,
-        },
+        &Hello::legacy(PredictorKind::Btb.wire_code(), 7),
     );
     expect_error(&exchange(addr, &bytes), ErrorCode::BadBudget);
 
@@ -117,10 +114,7 @@ fn bad_frames_after_handshake_are_typed() {
     let mut hello = Vec::new();
     put_hello(
         &mut hello,
-        &Hello {
-            predictor_code: PredictorKind::Btb.wire_code(),
-            entries: 2048,
-        },
+        &Hello::legacy(PredictorKind::Btb.wire_code(), 2048),
     );
 
     // Unknown frame type.
@@ -226,4 +220,217 @@ fn shutdown_with_no_sessions_reports_clean() {
     assert!(report.drained_clean);
     assert_eq!(report.metrics.counter("serve_sessions"), 0);
     assert_eq!(report.pool.panicked, 0);
+}
+
+fn mux_hello() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    put_hello(
+        &mut bytes,
+        &Hello::mux(PredictorKind::Btb.wire_code(), 2048),
+    );
+    bytes
+}
+
+/// Events on a stream id that was never opened draw a stream-scoped
+/// `unknown-stream` error — the connection (and its real streams)
+/// survive to a clean bye.
+#[test]
+fn mux_unknown_stream_is_stream_scoped_on_the_wire() {
+    let server = quick_server();
+    let addr = server.local_addr();
+
+    let mut bytes = mux_hello();
+    put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, false);
+    let mut ghost = EventDeltaState::new();
+    put_mux_events_frame(&mut ghost, 99, &indirect_events(4), &mut bytes);
+    let mut enc = EventDeltaState::new();
+    put_mux_events_frame(&mut enc, 1, &indirect_events(16), &mut bytes);
+    put_mux_stream_frame(frame_type::MUX_CLOSE, 1, &mut bytes);
+    put_simple_frame(frame_type::BYE, &mut bytes);
+
+    let frames = exchange(addr, &bytes);
+    assert!(
+        frames.iter().any(|f| matches!(
+            f,
+            ServerFrame::MuxError {
+                stream: 99,
+                code: ErrorCode::UnknownStream,
+                ..
+            }
+        )),
+        "missing unknown-stream error in {frames:?}"
+    );
+    assert!(
+        frames
+            .iter()
+            .any(|f| matches!(f, ServerFrame::MuxClosed { stream: 1, events: 16, .. })),
+        "the real stream must close cleanly in {frames:?}"
+    );
+    assert!(matches!(
+        frames.last(),
+        Some(ServerFrame::ByeAck { events: 16 })
+    ));
+
+    let report = server.shutdown();
+    assert!(report.drained_clean);
+    assert_eq!(report.metrics.counter("serve_clean_byes"), 1);
+    assert_eq!(report.metrics.counter("serve_protocol_errors"), 0);
+    assert_eq!(report.metrics.counter("serve_mux_stream_errors"), 1);
+}
+
+/// Per-stream credit regression: a hog stream blowing through twice its
+/// window is killed alone — the sibling stream on the same connection
+/// keeps its credit, its state and its clean close.
+#[test]
+fn hog_stream_dies_alone_sibling_keeps_serving() {
+    let server = quick_server();
+    let addr = server.local_addr();
+    let window = ServerConfig::default().window;
+
+    let mut bytes = mux_hello();
+    put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, false);
+    put_mux_open(&mut bytes, 2, PredictorKind::Btb.wire_code(), 2048, false);
+    let mut hog = EventDeltaState::new();
+    put_mux_events_frame(&mut hog, 1, &indirect_events(window * 2 + 1), &mut bytes);
+    let mut good = EventDeltaState::new();
+    put_mux_events_frame(&mut good, 2, &indirect_events(window / 2), &mut bytes);
+    put_mux_stream_frame(frame_type::MUX_CLOSE, 2, &mut bytes);
+    put_simple_frame(frame_type::BYE, &mut bytes);
+
+    let frames = exchange(addr, &bytes);
+    assert!(
+        frames.iter().any(|f| matches!(
+            f,
+            ServerFrame::MuxError {
+                stream: 1,
+                code: ErrorCode::WindowOverflow,
+                ..
+            }
+        )),
+        "hog must be killed with a stream-scoped overflow in {frames:?}"
+    );
+    let sibling_events = window / 2;
+    assert!(
+        frames.iter().any(|f| matches!(
+            f,
+            ServerFrame::MuxClosed { stream: 2, events, .. } if *events == sibling_events
+        )),
+        "sibling must close cleanly with all its events in {frames:?}"
+    );
+    // The bye total counts only stepped events: the hog contributed none.
+    assert!(matches!(
+        frames.last(),
+        Some(ServerFrame::ByeAck { events }) if *events == sibling_events
+    ));
+
+    let report = server.shutdown();
+    assert!(report.drained_clean);
+    assert_eq!(report.metrics.counter("serve_mux_window_overflows"), 1);
+    assert_eq!(report.metrics.counter("serve_window_overflows"), 0);
+    assert_eq!(report.metrics.counter("serve_mux_clean_closes"), 1);
+    assert_eq!(report.metrics.counter("serve_clean_byes"), 1);
+    assert_eq!(report.metrics.counter("serve_events"), sibling_events);
+}
+
+/// Mux frames on a connection that negotiated v2 (the legacy plane) are
+/// a typed `mux-not-negotiated` error, never a panic or a silent drop.
+#[test]
+fn mux_frames_on_a_v2_connection_are_rejected_typed() {
+    let server = quick_server();
+    let addr = server.local_addr();
+
+    let mut bytes = Vec::new();
+    put_hello(
+        &mut bytes,
+        &Hello {
+            version: 2,
+            predictor_code: PredictorKind::Btb.wire_code(),
+            entries: 2048,
+        },
+    );
+    put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, false);
+    let frames = exchange(addr, &bytes);
+    assert!(matches!(frames.first(), Some(ServerFrame::HelloAck { .. })));
+    expect_error(&frames, ErrorCode::MuxNotNegotiated);
+
+    let report = server.shutdown();
+    assert!(report.drained_clean);
+    assert_eq!(report.metrics.counter("serve_protocol_errors"), 1);
+}
+
+/// EOF halfway through a mux event batch: the partial frame is
+/// discarded with the connection — no protocol error, no panic, no
+/// stuck drain.
+#[test]
+fn eof_mid_mux_batch_is_clean() {
+    let server = quick_server();
+    let addr = server.local_addr();
+
+    let mut bytes = mux_hello();
+    put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, false);
+    let mut enc = EventDeltaState::new();
+    let mut batch = Vec::new();
+    put_mux_events_frame(&mut enc, 1, &indirect_events(64), &mut batch);
+    bytes.extend_from_slice(&batch[..batch.len() / 2]);
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(&bytes).expect("write");
+        stream.flush().expect("flush");
+        // Wait for the open ack so the handshake definitely landed,
+        // then close abruptly mid-batch.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut scratch = [0u8; 256];
+        let _ = stream.read(&mut scratch);
+    }
+
+    let report = server.shutdown();
+    assert!(report.drained_clean, "mid-batch EOF must not block the drain");
+    assert_eq!(report.metrics.counter("serve_eof_closes"), 1);
+    assert_eq!(report.metrics.counter("serve_protocol_errors"), 0);
+    assert_eq!(report.metrics.counter("serve_mux_streams"), 1);
+}
+
+/// Idle eviction on the mux plane fires per *stream*, not per
+/// connection: a quiet stream is evicted while its chatty sibling (and
+/// the connection) keep serving.
+#[test]
+fn idle_eviction_is_per_stream_on_the_wire() {
+    let server = quick_server();
+    let addr = server.local_addr();
+
+    let mut client = MuxClient::connect(addr).expect("v3 handshake");
+    client
+        .open(1, PredictorKind::Btb, 2048, false)
+        .expect("open quiet stream");
+    client
+        .open(2, PredictorKind::Btb, 2048, false)
+        .expect("open chatty stream");
+    // Stream 2 chats for ~6× the idle budget; stream 1 says nothing.
+    let events = indirect_events(4);
+    for _ in 0..18 {
+        client.send(2, &events).expect("sibling keeps serving");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The quiet stream must be gone, surfaced as a typed stream error.
+    match client.stats(1) {
+        Err(ClientError::StreamRejected { stream: 1, code, .. }) => {
+            assert!(
+                code == ErrorCode::IdleTimeout || code == ErrorCode::UnknownStream,
+                "unexpected code {code}"
+            );
+        }
+        other => panic!("expected the quiet stream evicted, got {other:?}"),
+    }
+    // The chatty stream still closes cleanly with everything it sent.
+    let outcome = client.finish(2).expect("sibling close receipt");
+    assert_eq!(outcome.events(), 18 * events.len() as u64);
+    let _ = client.bye().expect("clean bye");
+
+    let report = server.shutdown();
+    assert!(report.drained_clean);
+    assert_eq!(report.metrics.counter("serve_idle_evictions"), 1);
+    assert_eq!(report.metrics.counter("serve_mux_clean_closes"), 1);
+    assert_eq!(report.metrics.counter("serve_clean_byes"), 1);
 }

@@ -30,6 +30,7 @@ pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod stepper;
 pub mod zoo;
 
 pub use compare::{compare_grid, compare_grid_with, GridResult};
@@ -43,4 +44,5 @@ pub use metrics::{
 pub use runner::{
     ras_accuracy, simulate, simulate_probed, simulate_stream, simulate_stream_probed, RunResult,
 };
+pub use stepper::{PredictionOutcome, SessionStepper, Stepper};
 pub use zoo::PredictorKind;

@@ -265,6 +265,20 @@ impl PredictorKind {
         })
     }
 
+    /// Builds a batched session stepper for the serving layer: the
+    /// per-event loop inside is monomorphized over the concrete
+    /// predictor type (these same arms), so a resident stream pays one
+    /// virtual call per *batch* instead of three per event. The stepping
+    /// protocol is exactly [`simulate`]'s — see
+    /// [`SessionStepper`](crate::stepper::SessionStepper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < 64` (degenerate configurations).
+    pub fn session_stepper(self, entries: usize) -> Box<dyn crate::stepper::SessionStepper> {
+        dispatch_kind!(self, entries, make => Box::new(crate::stepper::Stepper::new(make())))
+    }
+
     /// The lineup the serving layer exercises end to end: every kind,
     /// with the oracle at the §5 depth of 8.
     pub fn serve_lineup() -> Vec<PredictorKind> {

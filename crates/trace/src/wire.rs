@@ -46,6 +46,12 @@ impl Error for WireError {}
 
 /// Appends `value` as an LEB128 varint.
 pub fn put_uvarint(out: &mut Vec<u8>, mut value: u64) {
+    // Single-byte values dominate delta-coded event streams; skip the
+    // loop for them.
+    if value < 0x80 {
+        out.push(value as u8);
+        return;
+    }
     loop {
         let byte = (value & 0x7F) as u8;
         value >>= 7;
@@ -131,6 +137,18 @@ impl<'a> WireReader<'a> {
     /// [`WireError::Truncated`] at end of input, [`WireError::BadVarint`]
     /// for encodings longer than 10 bytes or overflowing 64 bits.
     pub fn uvarint(&mut self) -> Result<u64, WireError> {
+        // Single-byte values dominate delta-coded event streams (small
+        // strides, short inline counts); skip the loop for them.
+        if let Some(&byte) = self.buf.get(self.pos) {
+            if byte < 0x80 {
+                self.pos += 1;
+                return Ok(u64::from(byte));
+            }
+        }
+        self.uvarint_multi()
+    }
+
+    fn uvarint_multi(&mut self) -> Result<u64, WireError> {
         let mut value = 0u64;
         let mut shift = 0u32;
         for i in 0..MAX_VARINT_BYTES {

@@ -33,14 +33,22 @@ IBP_BENCH_DIR="$bench_dir" IBP_BENCH_REPS=1 IBP_BENCH_MIN_MS=1 IBP_BENCH_SCALE=0
 cargo bench -q --offline -p ibp-bench --bench throughput -- \
   --check "$bench_dir/BENCH_throughput.json"
 
-echo "== serve loopback smoke (loadgen over gs.tig.trace) =="
-# Starts an in-process ibp-serve server, replays the stored trace through
-# concurrent loopback sessions, and asserts a clean drain with zero
-# protocol errors. Also refreshes BENCH_serve.json in the scratch dir so
-# the report shape stays exercised.
+echo "== serve 10k-stream mux smoke (loadgen) =="
+# Starts an in-process ibp-serve server and drives the v3 mux plane with
+# 16 connections x 640 streams — 10,240 predictor sessions held open
+# concurrently (rendezvous barriers pin full peak occupancy). Asserts a
+# clean drain, zero protocol errors, an exact open/close stream ledger
+# and exact event totals. Also refreshes BENCH_serve.json in the scratch
+# dir and validates it with the report's own --check gate (shape,
+# positive throughput, clean server section); the committed
+# results/BENCH_serve.json must pass the same gate.
 IBP_BENCH_DIR="$bench_dir" \
   cargo run -q --release --offline -p ibp-bench --bin loadgen -- --smoke
 test -s "$bench_dir/BENCH_serve.json"
+cargo run -q --release --offline -p ibp-bench --bin loadgen -- \
+  --check "$bench_dir/BENCH_serve.json"
+cargo run -q --release --offline -p ibp-bench --bin loadgen -- \
+  --check results/BENCH_serve.json
 
 echo "== observability overhead gate (NullProbe vs raw loop) =="
 # An in-process interleaved paired measurement: the probed hot loop
