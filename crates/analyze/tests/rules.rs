@@ -215,6 +215,52 @@ fn l003_and_l004_cover_reactor_and_mux_idioms() {
 }
 
 #[test]
+fn l003_and_l004_cover_the_memory_plane_idioms() {
+    // The multi-tenant memory plane (tier cache, spill stores, LRU
+    // budget enforcement) added more tempting shortcuts; these fixtures
+    // pin the lint wall against each.
+    //
+    // Spill idiom 1: spill stores and the tier cache key sessions by
+    // id/shape; a `HashMap` there would make eviction-victim selection
+    // (and thus which session pays a restore) hash-seed dependent.
+    let src = "struct Store {\n\
+               \x20   blobs: std::collections::HashMap<u64, Vec<u8>>,\n\
+               }\n";
+    fires_and_is_suppressible("serve", src, RuleId::Determinism);
+
+    // Spill idiom 2: LRU recency must stay on the reactor's iteration
+    // clock. Stamping `last_touch` from the wall clock is the exact
+    // regression the tick-counter design exists to avoid.
+    let src = "fn touch(slot: &mut Slot) {\n\
+               \x20   slot.last_touch = std::time::Instant::now();\n\
+               }\n";
+    fires_and_is_suppressible("serve", src, RuleId::Determinism);
+
+    // Spill idiom 3: a restore failure (corrupt blob, vanished spill
+    // file) must surface as a stream-scoped error, never a panic —
+    // `unwrap()` on the store read kills a whole connection's shard.
+    let src = "fn revive(store: &mut Store, key: u64) -> Vec<u8> {\n\
+               \x20   store.take(key).unwrap()\n\
+               }\n";
+    fires_and_is_suppressible("serve", src, RuleId::NoPanic);
+
+    // The snapshot codec lives in `sim`: deterministic (canonical blobs
+    // are diffed byte-for-byte) but not on the panic-free list — the
+    // offline harness may assert.
+    let src = "use std::collections::HashMap;\n";
+    fires_and_is_suppressible("sim", src, RuleId::Determinism);
+    let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+    assert!(lint("sim", src).is_empty());
+
+    // The COW persist layer in `hw` is both: sparse-delta iteration
+    // order is pinned and the table walk runs per event.
+    let src = "fn delta() -> std::collections::HashMap<u64, u8> {\n    todo()\n}\n";
+    fires_and_is_suppressible("hw", src, RuleId::Determinism);
+    let src = "fn f(x: Option<u8>) -> u8 {\n    x.expect(\"slot\")\n}\n";
+    fires_and_is_suppressible("hw", src, RuleId::NoPanic);
+}
+
+#[test]
 fn l004_fires_on_unwrap_in_hot_path_crate_and_is_suppressible() {
     let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
     fires_and_is_suppressible("hw", src, RuleId::NoPanic);

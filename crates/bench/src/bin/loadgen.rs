@@ -14,7 +14,8 @@
 //!   `cargo run --release -p ibp-bench --bin loadgen --
 //!    [--trace PATH] [--predictor NAME] [--conns N] [--streams N]
 //!    [--shards N] [--entries N] [--passes N] [--events-per-stream N]
-//!    [--window N] [--legacy] [--smoke] [--check PATH]`
+//!    [--window N] [--resident-budget BYTES] [--compact] [--legacy]
+//!    [--smoke] [--check PATH]`
 //!
 //! `--smoke` is the CI gate: it presets a 16-connection × 640-stream
 //! fleet (10,240 concurrent mux streams, held open simultaneously via
@@ -24,6 +25,12 @@
 //! `scripts/verify.sh`). Flags after `--smoke` still override the
 //! preset. `--check PATH` validates an emitted `BENCH_serve.json`
 //! (shape, positive throughput, clean server section) and exits.
+//!
+//! `--resident-budget BYTES` turns on the server's memory plane:
+//! sessions above the budget are snapshot-evicted and restored on
+//! demand. Combined with `--smoke` the gate additionally asserts at
+//! least one evict/restore cycle happened and that every receipt still
+//! balanced — eviction must be invisible to the ledger.
 
 use ibp_exec::Executor;
 use ibp_serve::{MuxClient, ServeClient, Server, ServerConfig};
@@ -43,6 +50,8 @@ struct Args {
     passes: usize,
     events_per_stream: usize,
     window: u64,
+    resident_budget: u64,
+    compact: bool,
     legacy: bool,
     smoke: bool,
 }
@@ -58,6 +67,8 @@ fn parse_args() -> Args {
         passes: 1,
         events_per_stream: 0,
         window: 8192,
+        resident_budget: 0,
+        compact: false,
         legacy: false,
         smoke: false,
     };
@@ -88,6 +99,11 @@ fn parse_args() -> Args {
                     parse_num(&value("--events-per-stream"), "--events-per-stream");
             }
             "--window" => args.window = parse_num(&value("--window"), "--window") as u64,
+            "--resident-budget" => {
+                args.resident_budget =
+                    parse_num(&value("--resident-budget"), "--resident-budget") as u64;
+            }
+            "--compact" => args.compact = true,
             "--legacy" => args.legacy = true,
             "--check" => {
                 let path = value("--check");
@@ -355,6 +371,8 @@ fn main() {
         max_sessions: args.conns.max(4),
         max_streams: streams_per_conn as u64,
         window: args.window,
+        resident_budget: args.resident_budget,
+        compact: args.compact,
         ..ServerConfig::default()
     })
     .unwrap_or_else(|e| {
@@ -427,6 +445,17 @@ fn main() {
         report.metrics.maximum("serve_peak_sessions"),
         peak_streams,
     );
+    if args.resident_budget > 0 {
+        println!(
+            "memory: budget {} B, {} spilled / {} restored ({} spill B), peak resident {} B, bytes/session {}",
+            args.resident_budget,
+            report.metrics.counter("serve_mux_spilled"),
+            report.metrics.counter("serve_mux_restored"),
+            report.metrics.counter("serve_spill_bytes"),
+            report.metrics.maximum("serve_peak_resident_bytes"),
+            report.metrics.maximum("serve_bytes_per_session"),
+        );
+    }
 
     let json = Json::obj([
         ("bench", Json::Str("serve".to_string())),
@@ -444,6 +473,8 @@ fn main() {
         ("passes", Json::UInt(args.passes as u64)),
         ("window", Json::UInt(args.window)),
         ("entries", Json::UInt(args.entries)),
+        ("resident_budget", Json::UInt(args.resident_budget)),
+        ("compact", Json::Bool(args.compact)),
         (
             "rtt_ns",
             Json::obj([
@@ -478,6 +509,24 @@ fn main() {
                     Json::UInt(report.metrics.maximum("serve_peak_sessions")),
                 ),
                 ("peak_streams", Json::UInt(peak_streams)),
+                ("mux_spilled", Json::UInt(report.metrics.counter("serve_mux_spilled"))),
+                (
+                    "mux_restored",
+                    Json::UInt(report.metrics.counter("serve_mux_restored")),
+                ),
+                ("spill_bytes", Json::UInt(report.metrics.counter("serve_spill_bytes"))),
+                (
+                    "spill_failures",
+                    Json::UInt(report.metrics.counter("serve_spill_failures")),
+                ),
+                (
+                    "peak_resident_bytes",
+                    Json::UInt(report.metrics.maximum("serve_peak_resident_bytes")),
+                ),
+                (
+                    "bytes_per_session",
+                    Json::UInt(report.metrics.maximum("serve_bytes_per_session")),
+                ),
                 ("pool_panicked", Json::UInt(report.pool.panicked)),
             ]),
         ),
@@ -526,6 +575,27 @@ fn main() {
         }
         if report.metrics.counter("serve_idle_evictions") != 0 {
             failures.push("streams were idle-evicted mid-replay".to_string());
+        }
+        if args.resident_budget > 0 && !args.legacy {
+            // Budget eviction is distinct from idle eviction: a spilled
+            // stream stays *open* (the ledger and peak-occupancy
+            // assertions above still hold exactly) — but the cycle must
+            // actually have happened, and without a single failed spill.
+            if report.metrics.counter("serve_mux_spilled") == 0 {
+                failures.push(format!(
+                    "budget {} B never evicted a session",
+                    args.resident_budget
+                ));
+            }
+            if report.metrics.counter("serve_mux_restored") == 0 {
+                failures.push("no evicted session was ever restored".to_string());
+            }
+            if report.metrics.counter("serve_spill_failures") != 0 {
+                failures.push(format!(
+                    "{} spill/restore failures",
+                    report.metrics.counter("serve_spill_failures")
+                ));
+            }
         }
         if report.pool.panicked != 0 {
             failures.push(format!("{} shard panics", report.pool.panicked));

@@ -234,6 +234,96 @@ impl Biu {
         self.free.clear();
         self.clock = 0;
     }
+
+    /// Approximate heap bytes held by the BIU right now.
+    pub fn resident_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<BiuSlot>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            + self.index.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
+    }
+}
+
+impl ibp_hw::Persist for Biu {
+    /// Entries are written sorted by branch address, so the blob is
+    /// canonical regardless of map iteration order or slot-id history.
+    /// `last_use` clocks are behavioral state (they pick LRU victims in a
+    /// bounded BIU) and round-trip exactly.
+    fn save_state(&self, out: &mut ibp_hw::StateSink<'_>) {
+        out.u8(match self.kind {
+            SelectorKind::Normal => 0,
+            SelectorKind::PibBiased => 1,
+        });
+        out.u64(self.capacity.map_or(0, |c| c as u64));
+        out.u64(self.clock);
+        let mut pcs: Vec<u64> = self.index.iter().map(|(&pc, _)| pc).collect();
+        pcs.sort_unstable();
+        out.usize(pcs.len());
+        for pc in pcs {
+            let Some(&id) = self.index.get(&pc) else {
+                unreachable!("pc came from the index");
+            };
+            let slot = &self.slots[id as usize];
+            out.u64(pc);
+            out.u8(match slot.entry.arity {
+                TargetArity::Single => 0,
+                TargetArity::Multiple => 1,
+            });
+            out.u8(slot.entry.selector.state() as u8);
+            out.u64(slot.entry.last_use);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        src: &mut ibp_hw::StateSource<'_>,
+    ) -> Result<(), ibp_hw::PersistError> {
+        use ibp_hw::PersistError;
+        let kind_code = match self.kind {
+            SelectorKind::Normal => 0u64,
+            SelectorKind::PibBiased => 1,
+        };
+        src.expect_u64(kind_code, "BIU selector kind")?;
+        src.expect_u64(self.capacity.map_or(0, |c| c as u64), "BIU capacity")?;
+        let clock = src.u64()?;
+        let count = src.usize()?;
+        if let Some(cap) = self.capacity {
+            if count > cap {
+                return Err(PersistError::Corrupt("BIU entry count exceeds capacity"));
+            }
+        }
+        self.reset();
+        self.clock = clock;
+        for _ in 0..count {
+            let pc = src.u64()?;
+            let arity = match src.u8()? {
+                0 => TargetArity::Single,
+                1 => TargetArity::Multiple,
+                _ => return Err(PersistError::Corrupt("BIU arity code")),
+            };
+            let state = src.u8()?;
+            if state > 3 {
+                return Err(PersistError::Corrupt("BIU selector state"));
+            }
+            let last_use = src.u64()?;
+            if last_use > clock {
+                return Err(PersistError::Corrupt("BIU last_use beyond clock"));
+            }
+            if self.index.get(&pc).is_some() {
+                return Err(PersistError::Corrupt("duplicate BIU entry"));
+            }
+            let id = self.slots.len() as u32;
+            self.slots.push(BiuSlot {
+                pc,
+                entry: BiuEntry {
+                    arity,
+                    selector: CorrelationSelector::with_state(self.kind, u32::from(state)),
+                    last_use,
+                },
+            });
+            self.index.insert(pc, id);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -311,5 +401,39 @@ mod tests {
     #[should_panic(expected = "capacity must be non-zero")]
     fn zero_capacity_panics() {
         let _ = Biu::bounded(0, SelectorKind::Normal);
+    }
+
+    #[test]
+    fn persist_round_trip_preserves_lru_behaviour() {
+        use ibp_hw::{Persist, StateSink, StateSource};
+        let mut biu = Biu::bounded(2, SelectorKind::Normal);
+        biu.entry(Addr::new(0x10), TargetArity::Multiple)
+            .selector_mut()
+            .record(false);
+        biu.entry(Addr::new(0x20), TargetArity::Single);
+        biu.entry(Addr::new(0x10), TargetArity::Multiple); // 0x20 is now LRU
+        let mut blob = Vec::new();
+        biu.save_state(&mut StateSink::new(&mut blob));
+        let mut restored = Biu::bounded(2, SelectorKind::Normal);
+        restored.load_state(&mut StateSource::new(&blob)).unwrap();
+        assert_eq!(
+            restored.get(Addr::new(0x10)).unwrap().selector().state(),
+            biu.get(Addr::new(0x10)).unwrap().selector().state()
+        );
+        // The restored BIU picks the same eviction victim.
+        restored.entry(Addr::new(0x30), TargetArity::Multiple);
+        biu.entry(Addr::new(0x30), TargetArity::Multiple);
+        assert!(restored.get(Addr::new(0x20)).is_none());
+        assert!(biu.get(Addr::new(0x20)).is_none());
+        assert!(restored.get(Addr::new(0x10)).is_some());
+        // Canonical bytes: re-saving yields identical blobs.
+        let mut blob2 = Vec::new();
+        let mut blob3 = Vec::new();
+        biu.save_state(&mut StateSink::new(&mut blob2));
+        restored.save_state(&mut StateSink::new(&mut blob3));
+        assert_eq!(blob2, blob3);
+        // Kind/capacity mismatches are rejected.
+        let mut wrong = Biu::unbounded(SelectorKind::Normal);
+        assert!(wrong.load_state(&mut StateSource::new(&blob)).is_err());
     }
 }

@@ -12,7 +12,7 @@ use crate::biu::{Biu, BiuId};
 use crate::selector::{CorrelationMode, SelectorKind};
 use crate::stack::{IndexScheme, MarkovStack, StackConfig, StackLookup};
 use crate::stats::OrderStats;
-use ibp_hw::{HardwareCost, PathHistory};
+use ibp_hw::{HardwareCost, PathHistory, Persist};
 use ibp_isa::{Addr, TargetArity};
 use ibp_predictors::{HistoryGroup, IndirectPredictor};
 use ibp_trace::BranchEvent;
@@ -251,6 +251,48 @@ impl IndirectPredictor for PpmHybrid {
         sink("biu_mode_flips", self.mode_flips);
         sink("predictions_pb_mode", self.pb_predictions);
         sink("predictions_pib_mode", self.pib_predictions);
+    }
+
+    fn seal(&mut self) {
+        self.stack.seal();
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.stack.resident_bytes() + self.biu.resident_bytes()
+    }
+
+    fn save_state(&self, out: &mut ibp_hw::StateSink<'_>) {
+        // `last` is predict→update window state, None at event boundaries;
+        // the cached signatures are recomputed from the PHRs on load.
+        self.stack.save_state(out);
+        self.pb_phr.save_state(out);
+        self.pib_phr.save_state(out);
+        self.biu.save_state(out);
+        self.stats.save_state(out);
+        out.u64(self.pb_predictions);
+        out.u64(self.pib_predictions);
+        out.u64(self.selector_transitions);
+        out.u64(self.mode_flips);
+    }
+
+    fn load_state(
+        &mut self,
+        src: &mut ibp_hw::StateSource<'_>,
+    ) -> Result<(), ibp_hw::PersistError> {
+        self.stack.load_state(src)?;
+        self.pb_phr.load_state(src)?;
+        self.pib_phr.load_state(src)?;
+        self.biu.load_state(src)?;
+        self.stats.load_state(src)?;
+        self.pb_predictions = src.u64()?;
+        self.pib_predictions = src.u64()?;
+        self.selector_transitions = src.u64()?;
+        self.mode_flips = src.u64()?;
+        let sfsxs = self.stack.sfsxs();
+        self.pb_sig = sfsxs.signature(&self.pb_phr);
+        self.pib_sig = sfsxs.signature(&self.pib_phr);
+        self.last = None;
+        Ok(())
     }
 }
 

@@ -51,7 +51,7 @@ pub use biu::{Biu, BiuEntry, BiuId};
 pub use filtered::FilteredPpm;
 pub use hybrid::PpmHybrid;
 pub use ideal::IdealPpm;
-pub use markov::{MarkovEntry, MarkovTable};
+pub use markov::{MarkovEntry, MarkovTable, TableEncoding};
 pub use pib::PpmPib;
 pub use selector::{CorrelationMode, CorrelationSelector, SelectorKind};
 pub use stack::{IndexScheme, MarkovStack, StackConfig, UpdateProtocol};

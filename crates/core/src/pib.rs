@@ -8,7 +8,7 @@
 
 use crate::stack::{MarkovStack, StackConfig, StackLookup};
 use crate::stats::OrderStats;
-use ibp_hw::{HardwareCost, PathHistory};
+use ibp_hw::{HardwareCost, PathHistory, Persist};
 use ibp_isa::Addr;
 use ibp_predictors::{HistoryGroup, IndirectPredictor};
 use ibp_trace::BranchEvent;
@@ -111,6 +111,33 @@ impl IndirectPredictor for PpmPib {
     fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
         self.stats.report_metrics(sink);
         self.stack.report_metrics(sink);
+    }
+
+    fn seal(&mut self) {
+        self.stack.seal();
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.stack.resident_bytes()
+    }
+
+    fn save_state(&self, out: &mut ibp_hw::StateSink<'_>) {
+        // `last` is predict→update window state; the sim only snapshots at
+        // event boundaries where it is None, so it is not serialized.
+        self.stack.save_state(out);
+        self.phr.save_state(out);
+        self.stats.save_state(out);
+    }
+
+    fn load_state(
+        &mut self,
+        src: &mut ibp_hw::StateSource<'_>,
+    ) -> Result<(), ibp_hw::PersistError> {
+        self.stack.load_state(src)?;
+        self.phr.load_state(src)?;
+        self.stats.load_state(src)?;
+        self.last = None;
+        Ok(())
     }
 }
 

@@ -9,9 +9,10 @@
 //! **update exclusion** policy of PPMC: only the providing order and all
 //! higher orders are updated; lower orders are untouched.
 
-use crate::markov::MarkovTable;
+use crate::markov::{MarkovTable, TableEncoding};
 use crate::stats::OrderStats;
 use ibp_hw::hash::Sfsxs;
+use ibp_hw::persist::{Persist, PersistError, StateSink, StateSource};
 use ibp_hw::{HardwareCost, PathHistory};
 use ibp_isa::Addr;
 
@@ -48,6 +49,9 @@ pub struct StackConfig {
     /// modified version of the Select-Fold-Shift-XOR"); the gshare variant
     /// is kept so the replacement can be measured.
     pub index_scheme: IndexScheme,
+    /// Slot encoding of the Markov tables. A storage decision only —
+    /// predictions are identical under both (see `markov.rs`).
+    pub encoding: TableEncoding,
 }
 
 /// How the order-`j` Markov table index is generated.
@@ -92,6 +96,7 @@ impl StackConfig {
             confidence_threshold: 0,
             update_protocol: UpdateProtocol::default(),
             index_scheme: IndexScheme::default(),
+            encoding: TableEncoding::default(),
         }
     }
 
@@ -225,7 +230,9 @@ impl MarkovStack {
             .table_sizes()
             .into_iter()
             .zip(1..=config.max_order)
-            .map(|(len, order)| MarkovTable::new(order, len, config.tagged))
+            .map(|(len, order)| {
+                MarkovTable::with_encoding(order, len, config.tagged, config.encoding)
+            })
             .collect();
         Self {
             config,
@@ -420,12 +427,57 @@ impl MarkovStack {
         self.tables.iter().map(|t| t.cost()).sum()
     }
 
-    /// Invalidates every table and zeroes the telemetry tallies.
+    /// Invalidates every table and zeroes the telemetry tallies. Sealed
+    /// tables revert to private storage (reset means cold).
     pub fn clear(&mut self) {
         for t in self.tables.iter_mut() {
             t.clear();
         }
         self.excluded_updates = 0;
+    }
+
+    /// Freezes every table's contents into an `Arc`-shared base tier
+    /// with copy-on-write deltas. Clones of a sealed stack share the
+    /// base arrays and pay only for the slots they overwrite.
+    pub fn seal(&mut self) {
+        for t in self.tables.iter_mut() {
+            t.seal();
+        }
+    }
+
+    /// True once [`seal`](Self::seal) has been called.
+    pub fn is_sealed(&self) -> bool {
+        self.tables.iter().all(|t| t.is_sealed())
+    }
+
+    /// Heap bytes this instance pays for across all tables (deltas only
+    /// when sealed).
+    pub fn resident_bytes(&self) -> usize {
+        self.tables.iter().map(|t| t.resident_bytes()).sum()
+    }
+}
+
+impl Persist for MarkovStack {
+    /// Saves the per-order tables (ascending) plus the exclusion tally.
+    /// The configuration is *not* serialized: a blob loads only into a
+    /// stack built from the same [`StackConfig`] (each table's geometry
+    /// guard enforces this). A sealed stack saves only its deltas.
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        out.u64(self.excluded_updates);
+        out.usize(self.tables.len());
+        for t in &self.tables {
+            t.save_state(out);
+        }
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        let excluded_updates = src.u64()?;
+        src.expect_u64(self.tables.len() as u64, "stack table count")?;
+        for t in self.tables.iter_mut() {
+            t.load_state(src)?;
+        }
+        self.excluded_updates = excluded_updates;
+        Ok(())
     }
 }
 
@@ -659,6 +711,82 @@ mod tests {
 
         stack.clear();
         assert_eq!(stack.excluded_updates(), 0);
+    }
+
+    #[test]
+    fn sealed_stack_forks_diverge_independently() {
+        let mut base = MarkovStack::new(StackConfig::paper());
+        let phr = warm_phr(&[0x111, 0x222, 0x333]);
+        let l = base.lookup(&phr, Addr::new(0x40));
+        base.update(&l, Addr::new(0x40), Addr::new(0x900));
+        base.seal();
+        assert!(base.is_sealed());
+        let private_bytes = MarkovStack::new(StackConfig::paper()).resident_bytes();
+        assert!(base.resident_bytes() < private_bytes / 4);
+
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let la = a.lookup(&phr, Addr::new(0x40));
+        a.update(&la, Addr::new(0x40), Addr::new(0xA00));
+        let lb = b.lookup(&phr, Addr::new(0x40));
+        b.update(&lb, Addr::new(0x40), Addr::new(0x900));
+        // a saw a miss (counter decays), b reinforced; neither sees the
+        // other's writes and the shared base is untouched.
+        assert_ne!(
+            a.table(10).lookup_entry(la.index(10), (0x40u64 >> 2) & 0x3FF),
+            b.table(10).lookup_entry(lb.index(10), (0x40u64 >> 2) & 0x3FF)
+        );
+        assert_eq!(
+            base.table(10)
+                .lookup_entry(l.index(10), (0x40u64 >> 2) & 0x3FF)
+                .unwrap()
+                .counter(),
+            1
+        );
+    }
+
+    #[test]
+    fn persist_round_trip_restores_behaviour() {
+        let mut stack = MarkovStack::new(StackConfig::paper());
+        let phr = warm_phr(&[0x111, 0x222, 0x333]);
+        for t in [0x900u64, 0x900, 0xA00] {
+            let l = stack.lookup(&phr, Addr::new(0x40));
+            stack.update(&l, Addr::new(0x40), Addr::new(t));
+        }
+        let mut blob = Vec::new();
+        stack.save_state(&mut StateSink::new(&mut blob));
+        let mut restored = MarkovStack::new(StackConfig::paper());
+        restored.load_state(&mut StateSource::new(&blob)).unwrap();
+        assert_eq!(
+            restored.lookup(&phr, Addr::new(0x40)),
+            stack.lookup(&phr, Addr::new(0x40))
+        );
+        assert_eq!(restored.excluded_updates(), stack.excluded_updates());
+        // A differently-sized stack rejects the blob.
+        let mut wrong = MarkovStack::new(StackConfig::with_total_entries(1023));
+        assert!(wrong.load_state(&mut StateSource::new(&blob)).is_err());
+    }
+
+    #[test]
+    fn compact_stack_predicts_identically() {
+        let mut plain = MarkovStack::new(StackConfig::paper());
+        let mut compact = MarkovStack::new(StackConfig {
+            encoding: TableEncoding::Compact,
+            ..StackConfig::paper()
+        });
+        let mut phr = PathHistory::new(10, 10);
+        let mut x = 0x9E37_79B9u64;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pc = Addr::new((x >> 48) << 2);
+            let actual = Addr::new(((x >> 16) & 0xFFF) << 2);
+            let lp = plain.lookup(&phr, pc);
+            let lc = compact.lookup(&phr, pc);
+            assert_eq!(lp, lc);
+            plain.update(&lp, pc, actual);
+            compact.update(&lc, pc, actual);
+            phr.push(actual.raw() >> 2);
+        }
     }
 
     #[test]

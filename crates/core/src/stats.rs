@@ -141,9 +141,49 @@ impl OrderStats {
     }
 }
 
+impl ibp_hw::Persist for OrderStats {
+    fn save_state(&self, out: &mut ibp_hw::StateSink<'_>) {
+        out.u32(self.max_order);
+        for i in 0..self.max_order as usize {
+            out.u64(self.accesses[i]);
+            out.u64(self.misses[i]);
+        }
+        out.u64(self.unprovided);
+    }
+
+    fn load_state(
+        &mut self,
+        src: &mut ibp_hw::StateSource<'_>,
+    ) -> Result<(), ibp_hw::PersistError> {
+        src.expect_u64(u64::from(self.max_order), "order stats max order")?;
+        for i in 0..self.max_order as usize {
+            self.accesses[i] = src.u64()?;
+            self.misses[i] = src.u64()?;
+        }
+        self.unprovided = src.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn persist_round_trip() {
+        use ibp_hw::{Persist, StateSink, StateSource};
+        let mut s = OrderStats::new(4);
+        s.record(Some(4), false);
+        s.record(Some(2), true);
+        s.record(None, false);
+        let mut blob = Vec::new();
+        s.save_state(&mut StateSink::new(&mut blob));
+        let mut r = OrderStats::new(4);
+        r.load_state(&mut StateSource::new(&blob)).unwrap();
+        assert_eq!(r, s);
+        let mut wrong = OrderStats::new(3);
+        assert!(wrong.load_state(&mut StateSource::new(&blob)).is_err());
+    }
 
     #[test]
     fn records_per_order() {

@@ -203,6 +203,43 @@ impl Default for Saturating2Bit {
     }
 }
 
+impl crate::persist::PersistElem for SaturatingCounter {
+    fn save_elem(&self, out: &mut crate::persist::StateSink<'_>) {
+        out.u8(self.bits);
+        out.u32(self.value);
+    }
+
+    fn load_elem(
+        src: &mut crate::persist::StateSource<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        let bits = src.u8()?;
+        let value = src.u32()?;
+        if bits == 0 || bits >= 32 {
+            return Err(crate::persist::PersistError::Corrupt("counter width"));
+        }
+        if value > (1u32 << bits) - 1 {
+            return Err(crate::persist::PersistError::Corrupt("counter value"));
+        }
+        Ok(Self { bits, value })
+    }
+}
+
+impl crate::persist::PersistElem for Saturating2Bit {
+    fn save_elem(&self, out: &mut crate::persist::StateSink<'_>) {
+        out.u8(self.value() as u8);
+    }
+
+    fn load_elem(
+        src: &mut crate::persist::StateSource<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        let v = src.u8()?;
+        if v > 3 {
+            return Err(crate::persist::PersistError::Corrupt("2-bit counter value"));
+        }
+        Ok(Self::new(u32::from(v)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

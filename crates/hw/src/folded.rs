@@ -148,6 +148,49 @@ impl FoldedHistory {
     }
 }
 
+impl crate::persist::Persist for FoldedHistory {
+    /// Saves the ring of base contributions (oldest first). The running
+    /// fold is recomputed on load rather than trusted from the blob, so
+    /// a corrupt blob can never desynchronize the incremental invariant.
+    fn save_state(&self, out: &mut crate::persist::StateSink<'_>) {
+        out.u32(self.out_bits);
+        out.u32(self.in_bits);
+        out.usize(self.len);
+        out.u32(self.rot);
+        out.usize(self.ring.len());
+        for &base in &self.ring {
+            out.u64(base);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        src: &mut crate::persist::StateSource<'_>,
+    ) -> Result<(), crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        src.expect_u64(u64::from(self.out_bits), "folded history out_bits")?;
+        src.expect_u64(u64::from(self.in_bits), "folded history in_bits")?;
+        src.expect_u64(self.len as u64, "folded history length")?;
+        src.expect_u64(u64::from(self.rot), "folded history rotation")?;
+        let n = src.usize()?;
+        if n > self.len {
+            return Err(PersistError::Corrupt("folded history overfull"));
+        }
+        let mask = self.mask();
+        let mut ring = VecDeque::with_capacity(self.len);
+        for _ in 0..n {
+            let base = src.u64()?;
+            if base & !mask != 0 {
+                return Err(PersistError::Corrupt("folded contribution out of range"));
+            }
+            ring.push_back(base);
+        }
+        self.ring = ring;
+        self.folded = self.recompute();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,8 @@
 //! The PHR is always updated with the *actual* (resolved) target, whether or
 //! not the prediction was correct (paper §4).
 
+use crate::persist::{PersistError, StateSink, StateSource};
+
 /// A shift register of partial branch targets.
 ///
 /// Each recorded slot keeps the low-order `bits_per_target` bits of a target
@@ -212,6 +214,37 @@ impl std::hash::Hash for PathHistory {
         for slot in self.iter() {
             slot.hash(state);
         }
+    }
+}
+
+impl crate::persist::Persist for PathHistory {
+    /// Saves the *logical* history (newest to oldest). The ring's head
+    /// position is representation, not state: equality and every read
+    /// path are head-relative, so a restore that replays the targets
+    /// oldest-first through [`push`](Self::push) is exact (and rebuilds
+    /// the packed cache for free).
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        out.u64(self.depth as u64);
+        out.u8(self.bits_per_target);
+        for t in self.iter() {
+            out.u64(t);
+        }
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        src.expect_u64(self.depth as u64, "path history depth")?;
+        if src.u8()? != self.bits_per_target {
+            return Err(PersistError::Mismatch("path history target width"));
+        }
+        let mut newest_first = Vec::with_capacity(self.depth);
+        for _ in 0..self.depth {
+            newest_first.push(src.u64()?);
+        }
+        self.clear();
+        for &t in newest_first.iter().rev() {
+            self.push(t);
+        }
+        Ok(())
     }
 }
 

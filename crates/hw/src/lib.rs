@@ -18,7 +18,11 @@
 //!   tables with true-LRU replacement;
 //! * [`budget`] — hardware cost accounting (entries and bits) so that
 //!   predictors can be compared at a fixed budget, as the paper does at its
-//!   2K-entry design point.
+//!   2K-entry design point;
+//! * [`persist`] — the session-state save/restore codec (LEB128 varint
+//!   sink/source, the [`persist::Persist`] contract) and the
+//!   [`persist::SparseDelta`] copy-on-write overlay behind sealed,
+//!   multi-tenant shared tables.
 //!
 //! # Example
 //!
@@ -36,6 +40,7 @@ pub mod counter;
 pub mod folded;
 pub mod hash;
 pub mod history;
+pub mod persist;
 pub mod table;
 
 pub use budget::HardwareCost;
@@ -43,4 +48,5 @@ pub use counter::{Saturating2Bit, SaturatingCounter};
 pub use folded::FoldedHistory;
 pub use hash::{fold_xor, gshare, ReverseInterleave, Sfsxs};
 pub use history::PathHistory;
+pub use persist::{Persist, PersistElem, PersistError, SparseDelta, StateSink, StateSource};
 pub use table::{DirectMapped, FastMod, SetAssociative};

@@ -10,7 +10,20 @@
 //! * [`SetAssociative`] — a *tagged*, set-associative table with true-LRU
 //!   replacement, required by the Cascade predictor (its PHTs are 4-way
 //!   associative with true LRU) and by the tagged-PPM ablation.
+//!
+//! For multi-tenant serving, a [`DirectMapped`] table can be
+//! [`sealed`](DirectMapped::seal): its contents move into an `Arc`-shared
+//! immutable **base tier** and subsequent writes land in a per-instance
+//! [`SparseDelta`] copy-on-write overlay (read path = delta, then base).
+//! Cloning a sealed table shares the base and clones only the small
+//! delta, so a million sessions forked from one trained prototype pay for
+//! their divergence, not for the tables. `SetAssociative` stays private:
+//! its true-LRU bookkeeping mutates on every *read* (the clock and
+//! per-way timestamps), so an overlay would converge to a full copy of
+//! the table after one scan and share nothing.
 
+use crate::persist::{Persist, PersistElem, PersistError, SparseDelta, StateSink, StateSource};
+use std::sync::Arc;
 
 /// Exact `x % len` via Lemire's fastmod: two multiplies instead of a
 /// hardware divide. Table probes reduce an arbitrary 64-bit index onto a
@@ -96,18 +109,36 @@ impl FastMod {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DirectMapped<T> {
-    entries: Vec<Option<T>>,
+    slots: Slots<T>,
     index_mod: FastMod,
     /// Inserts that displaced a valid entry (telemetry only).
     evictions: u64,
 }
 
+/// Storage behind a [`DirectMapped`] table: fully private before
+/// sealing, shared-base-plus-delta after.
+#[derive(Debug, Clone)]
+enum Slots<T> {
+    /// The classic representation: this instance owns every slot.
+    Private(Vec<Option<T>>),
+    /// Sealed: an immutable base tier shared across clones plus a
+    /// sparse copy-on-write overlay private to this instance. A delta
+    /// entry shadows the base slot entirely (including `None`, which
+    /// records an invalidation).
+    Shared {
+        base: Arc<Vec<Option<T>>>,
+        delta: SparseDelta<T>,
+    },
+}
+
 // Telemetry counters are excluded from equality: two tables with the
 // same contents are equal regardless of how much aliasing it took to
-// get there.
+// get there. Comparison is *logical* — a sealed base+delta table equals
+// a private table holding the same entries.
 impl<T: PartialEq> PartialEq for DirectMapped<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.entries == other.entries && self.index_mod == other.index_mod
+        self.index_mod == other.index_mod
+            && (0..self.len()).all(|i| self.slot_ref(i) == other.slot_ref(i))
     }
 }
 
@@ -122,7 +153,7 @@ impl<T> DirectMapped<T> {
     pub fn new(len: usize) -> Self {
         assert!(len > 0, "table must have at least one entry");
         Self {
-            entries: (0..len).map(|_| None).collect(),
+            slots: Slots::Private((0..len).map(|_| None).collect()),
             index_mod: FastMod::new(len as u64),
             evictions: 0,
         }
@@ -130,17 +161,17 @@ impl<T> DirectMapped<T> {
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index_mod.len() as usize
     }
 
     /// True when no entry is valid.
     pub fn is_empty(&self) -> bool {
-        self.entries.iter().all(|e| e.is_none())
+        (0..self.len()).all(|i| self.slot_ref(i).is_none())
     }
 
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        (0..self.len()).filter(|&i| self.slot_ref(i).is_some()).count()
     }
 
     /// Maps an arbitrary index onto a slot number.
@@ -149,30 +180,27 @@ impl<T> DirectMapped<T> {
         self.index_mod.rem(index) as usize
     }
 
-    /// Returns the entry selected by `index`, if valid.
-    pub fn get(&self, index: u64) -> Option<&T> {
-        self.entries[self.slot_of(index)].as_ref()
+    /// The logical content of `slot`: delta first, then the shared base.
+    #[inline]
+    fn slot_ref(&self, slot: usize) -> Option<&T> {
+        match &self.slots {
+            Slots::Private(v) => v[slot].as_ref(),
+            Slots::Shared { base, delta } => match delta.get(slot as u32) {
+                Some(overlay) => overlay.as_ref(),
+                None => base[slot].as_ref(),
+            },
+        }
     }
 
-    /// Returns the entry selected by `index` mutably, if valid.
-    pub fn get_mut(&mut self, index: u64) -> Option<&mut T> {
-        let slot = self.slot_of(index);
-        self.entries[slot].as_mut()
+    /// Returns the entry selected by `index`, if valid.
+    #[inline]
+    pub fn get(&self, index: u64) -> Option<&T> {
+        self.slot_ref(self.slot_of(index))
     }
 
     /// True when the selected entry is valid.
     pub fn is_valid(&self, index: u64) -> bool {
-        self.entries[self.slot_of(index)].is_some()
-    }
-
-    /// Writes `value` into the selected slot, returning the displaced entry.
-    pub fn insert(&mut self, index: u64, value: T) -> Option<T> {
-        let slot = self.slot_of(index);
-        let displaced = self.entries[slot].replace(value);
-        if displaced.is_some() {
-            self.evictions += 1;
-        }
-        displaced
+        self.get(index).is_some()
     }
 
     /// Inserts that displaced a valid entry since construction (or the
@@ -181,32 +209,191 @@ impl<T> DirectMapped<T> {
         self.evictions
     }
 
-    /// Returns the selected entry, inserting `default()` first if vacant.
-    pub fn get_or_insert_with(&mut self, index: u64, default: impl FnOnce() -> T) -> &mut T {
-        let slot = self.slot_of(index);
-        self.entries[slot].get_or_insert_with(default)
+    /// True once [`seal`](Self::seal) has moved the contents into a
+    /// shared base tier.
+    pub fn is_sealed(&self) -> bool {
+        matches!(self.slots, Slots::Shared { .. })
     }
 
-    /// Invalidates the selected entry, returning it.
-    pub fn invalidate(&mut self, index: u64) -> Option<T> {
-        let slot = self.slot_of(index);
-        self.entries[slot].take()
-    }
-
-    /// Invalidates every entry and zeroes the eviction tally.
-    pub fn clear(&mut self) {
-        for e in self.entries.iter_mut() {
-            *e = None;
+    /// Slots overlaid since sealing (0 for a private table): the
+    /// session's divergence from the base tier.
+    pub fn delta_len(&self) -> usize {
+        match &self.slots {
+            Slots::Private(_) => 0,
+            Slots::Shared { delta, .. } => delta.len(),
         }
+    }
+
+    /// Heap bytes *this instance* pays for: the full slot array when
+    /// private, only the copy-on-write overlay when sealed (the base
+    /// tier is shared and charged once, not per clone).
+    pub fn resident_bytes(&self) -> usize {
+        match &self.slots {
+            Slots::Private(v) => v.capacity() * std::mem::size_of::<Option<T>>(),
+            Slots::Shared { delta, .. } => delta.resident_bytes(),
+        }
+    }
+
+    /// Invalidates every entry and zeroes the eviction tally. A sealed
+    /// table reverts to private storage: reset means cold, and a cold
+    /// table shares nothing worth keeping.
+    pub fn clear(&mut self) {
+        let len = self.len();
+        self.slots = Slots::Private((0..len).map(|_| None).collect());
         self.evictions = 0;
     }
 
     /// Iterates over `(slot, entry)` pairs for valid entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, e)| e.as_ref().map(|v| (i, v)))
+        (0..self.len()).filter_map(|i| self.slot_ref(i).map(|v| (i, v)))
+    }
+}
+
+impl<T: Clone> DirectMapped<T> {
+    /// The selected slot as a mutable `Option`, materializing a private
+    /// copy of the base entry into the delta when sealed.
+    #[inline]
+    fn slot_entry_mut(&mut self, slot: usize) -> &mut Option<T> {
+        match &mut self.slots {
+            Slots::Private(v) => &mut v[slot],
+            Slots::Shared { base, delta } => {
+                delta.materialize_with(slot as u32, || base[slot].clone())
+            }
+        }
+    }
+
+    /// Returns the entry selected by `index` mutably, if valid.
+    #[inline]
+    pub fn get_mut(&mut self, index: u64) -> Option<&mut T> {
+        let slot = self.slot_of(index);
+        self.slot_entry_mut(slot).as_mut()
+    }
+
+    /// Writes `value` into the selected slot, returning the displaced entry.
+    pub fn insert(&mut self, index: u64, value: T) -> Option<T> {
+        let slot = self.slot_of(index);
+        let displaced = self.slot_entry_mut(slot).replace(value);
+        if displaced.is_some() {
+            self.evictions += 1;
+        }
+        displaced
+    }
+
+    /// Returns the selected entry, inserting `default()` first if vacant.
+    pub fn get_or_insert_with(&mut self, index: u64, default: impl FnOnce() -> T) -> &mut T {
+        let slot = self.slot_of(index);
+        self.slot_entry_mut(slot).get_or_insert_with(default)
+    }
+
+    /// Invalidates the selected entry, returning it.
+    pub fn invalidate(&mut self, index: u64) -> Option<T> {
+        let slot = self.slot_of(index);
+        self.slot_entry_mut(slot).take()
+    }
+
+    /// Freezes the current contents into an immutable, `Arc`-shared
+    /// **base tier** and starts an empty copy-on-write delta. Clones
+    /// taken after sealing share the base and own only their deltas;
+    /// behaviour is proven byte-identical to a private table by the
+    /// differential gate in `ibp-sim`. Re-sealing flattens the current
+    /// delta into a fresh base.
+    pub fn seal(&mut self) {
+        let flat: Vec<Option<T>> = (0..self.len()).map(|i| self.slot_ref(i).cloned()).collect();
+        self.slots = Slots::Shared {
+            base: Arc::new(flat),
+            delta: SparseDelta::new(),
+        };
+    }
+}
+
+impl<T: PersistElem + Clone> Persist for DirectMapped<T> {
+    /// A private table saves its full contents (mode 0); a sealed table
+    /// saves *only the delta* (mode 1) — the base tier is reconstructed
+    /// by the restoring side from the same prototype.
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        out.u64(self.index_mod.len());
+        out.u64(self.evictions);
+        match &self.slots {
+            Slots::Private(v) => {
+                out.u8(0);
+                out.usize(v.iter().filter(|e| e.is_some()).count());
+                let mut prev = 0u64;
+                for (i, e) in v.iter().enumerate() {
+                    if let Some(e) = e {
+                        out.u64(i as u64 - prev);
+                        prev = i as u64;
+                        e.save_elem(out);
+                    }
+                }
+            }
+            Slots::Shared { delta, .. } => {
+                out.u8(1);
+                let mut items: Vec<(u32, &Option<T>)> = delta.iter().collect();
+                items.sort_unstable_by_key(|(k, _)| *k);
+                out.usize(items.len());
+                let mut prev = 0u64;
+                for (k, v) in items {
+                    out.u64(u64::from(k) - prev);
+                    prev = u64::from(k);
+                    match v {
+                        Some(e) => {
+                            out.bool(true);
+                            e.save_elem(out);
+                        }
+                        None => out.bool(false),
+                    }
+                }
+            }
+        }
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        src.expect_u64(self.index_mod.len(), "direct-mapped table length")?;
+        let evictions = src.u64()?;
+        let len = self.len();
+        match src.u8()? {
+            0 => {
+                let count = src.usize()?;
+                if count > len {
+                    return Err(PersistError::Corrupt("table occupancy exceeds length"));
+                }
+                let mut v: Vec<Option<T>> = (0..len).map(|_| None).collect();
+                let mut slot = 0u64;
+                for _ in 0..count {
+                    slot += src.u64()?;
+                    let idx = usize::try_from(slot)
+                        .ok()
+                        .filter(|&i| i < len)
+                        .ok_or(PersistError::Corrupt("table slot out of range"))?;
+                    v[idx] = Some(T::load_elem(src)?);
+                }
+                self.slots = Slots::Private(v);
+            }
+            1 => {
+                let Slots::Shared { delta, .. } = &mut self.slots else {
+                    return Err(PersistError::Mismatch("delta blob requires a sealed table"));
+                };
+                *delta = SparseDelta::new();
+                let count = src.usize()?;
+                let mut slot = 0u64;
+                for _ in 0..count {
+                    slot += src.u64()?;
+                    let idx = u32::try_from(slot)
+                        .ok()
+                        .filter(|&k| (k as usize) < len)
+                        .ok_or(PersistError::Corrupt("delta slot out of range"))?;
+                    let value = if src.bool()? {
+                        Some(T::load_elem(src)?)
+                    } else {
+                        None
+                    };
+                    delta.set(idx, value);
+                }
+            }
+            _ => return Err(PersistError::Corrupt("unknown table blob mode")),
+        }
+        self.evictions = evictions;
+        Ok(())
     }
 }
 
@@ -412,6 +599,69 @@ impl<T> SetAssociative<T> {
         }
         self.clock = 0;
         self.evictions = 0;
+    }
+
+    /// Heap bytes of the way array. Set-associative tables are never
+    /// sealed (true-LRU mutates on reads — see the module doc), so the
+    /// whole store is always private, per-instance state.
+    pub fn resident_bytes(&self) -> usize {
+        self.store.capacity() * std::mem::size_of::<Option<Way<T>>>()
+    }
+}
+
+impl<T: PersistElem> Persist for SetAssociative<T> {
+    /// Full-state only: LRU timestamps are behavioural (they pick
+    /// eviction victims), so an exact restore must carry every way's
+    /// `last_use` and the table clock.
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        out.u64(self.num_sets as u64);
+        out.u64(self.ways as u64);
+        out.u64(self.clock);
+        out.u64(self.evictions);
+        out.usize(self.store.iter().filter(|w| w.is_some()).count());
+        let mut prev = 0u64;
+        for (i, w) in self.store.iter().enumerate() {
+            if let Some(w) = w {
+                out.u64(i as u64 - prev);
+                prev = i as u64;
+                out.u64(w.tag);
+                out.u64(w.last_use);
+                w.value.save_elem(out);
+            }
+        }
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        src.expect_u64(self.num_sets as u64, "set-associative sets")?;
+        src.expect_u64(self.ways as u64, "set-associative ways")?;
+        let clock = src.u64()?;
+        let evictions = src.u64()?;
+        let count = src.usize()?;
+        let cap = self.num_sets * self.ways;
+        if count > cap {
+            return Err(PersistError::Corrupt("way occupancy exceeds capacity"));
+        }
+        let mut store: Vec<Option<Way<T>>> = (0..cap).map(|_| None).collect();
+        let mut slot = 0u64;
+        for _ in 0..count {
+            slot += src.u64()?;
+            let idx = usize::try_from(slot)
+                .ok()
+                .filter(|&i| i < cap)
+                .ok_or(PersistError::Corrupt("way slot out of range"))?;
+            let tag = src.u64()?;
+            let last_use = src.u64()?;
+            let value = T::load_elem(src)?;
+            store[idx] = Some(Way {
+                tag,
+                value,
+                last_use,
+            });
+        }
+        self.store = store;
+        self.clock = clock;
+        self.evictions = evictions;
+        Ok(())
     }
 }
 
@@ -640,5 +890,157 @@ mod tests {
         t.insert(1, 2, 2);
         t.clear();
         assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn sealed_table_reads_through_to_base() {
+        let mut t: DirectMapped<u32> = DirectMapped::new(8);
+        t.insert(1, 10);
+        t.insert(3, 30);
+        t.seal();
+        assert!(t.is_sealed());
+        assert_eq!(t.delta_len(), 0);
+        assert_eq!(t.get(1), Some(&10));
+        assert_eq!(t.get(3), Some(&30));
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    #[test]
+    fn sealed_writes_land_in_delta_and_shadow_base() {
+        let mut t: DirectMapped<u32> = DirectMapped::new(8);
+        t.insert(1, 10);
+        t.seal();
+        let fork = t.clone();
+        t.insert(1, 11); // overwrite via delta
+        t.insert(2, 20); // fresh slot via delta
+        assert_eq!(t.get(1), Some(&11));
+        assert_eq!(t.get(2), Some(&20));
+        assert_eq!(t.delta_len(), 2);
+        // The fork shares the base but sees none of the delta.
+        assert_eq!(fork.get(1), Some(&10));
+        assert_eq!(fork.get(2), None);
+        // Invalidation through the delta shadows a valid base entry.
+        let mut inv = fork.clone();
+        assert_eq!(inv.invalidate(1), Some(10));
+        assert_eq!(inv.get(1), None);
+        assert_eq!(fork.get(1), Some(&10));
+    }
+
+    #[test]
+    fn sealed_equals_private_with_same_contents() {
+        let mut private: DirectMapped<u32> = DirectMapped::new(4);
+        let mut sealed: DirectMapped<u32> = DirectMapped::new(4);
+        sealed.insert(0, 5);
+        sealed.seal();
+        sealed.insert(1, 7);
+        private.insert(0, 5);
+        private.insert(1, 7);
+        assert_eq!(private, sealed);
+        sealed.insert(2, 9);
+        assert_ne!(private, sealed);
+    }
+
+    #[test]
+    fn sealed_get_or_insert_and_get_mut_materialize() {
+        let mut t: DirectMapped<u32> = DirectMapped::new(4);
+        t.insert(0, 1);
+        t.seal();
+        *t.get_mut(0).unwrap() += 1;
+        assert_eq!(t.get(0), Some(&2));
+        *t.get_or_insert_with(1, || 10) += 1;
+        assert_eq!(t.get(1), Some(&11));
+        assert_eq!(t.delta_len(), 2);
+    }
+
+    #[test]
+    fn sealed_resident_bytes_track_delta_not_base() {
+        let mut t: DirectMapped<u64> = DirectMapped::new(1024);
+        for i in 0..1024u64 {
+            t.insert(i, i);
+        }
+        let private_bytes = t.resident_bytes();
+        t.seal();
+        assert_eq!(t.resident_bytes(), 0, "empty delta allocates nothing");
+        t.insert(0, 99);
+        assert!(t.resident_bytes() > 0);
+        assert!(t.resident_bytes() < private_bytes / 4);
+    }
+
+    #[test]
+    fn clear_unseals() {
+        let mut t: DirectMapped<u32> = DirectMapped::new(4);
+        t.insert(0, 1);
+        t.seal();
+        t.clear();
+        assert!(!t.is_sealed());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn direct_mapped_persist_full_round_trip() {
+        let mut t: DirectMapped<u64> = DirectMapped::new(16);
+        t.insert(2, 20);
+        t.insert(5, 50);
+        t.insert(21, 99); // aliases slot 5: eviction
+        let mut blob = Vec::new();
+        t.save_state(&mut StateSink::new(&mut blob));
+        let mut fresh: DirectMapped<u64> = DirectMapped::new(16);
+        fresh.load_state(&mut StateSource::new(&blob)).unwrap();
+        assert_eq!(fresh, t);
+        assert_eq!(fresh.evictions(), 1);
+        // Wrong geometry is rejected.
+        let mut wrong: DirectMapped<u64> = DirectMapped::new(8);
+        assert_eq!(
+            wrong.load_state(&mut StateSource::new(&blob)),
+            Err(PersistError::Mismatch("direct-mapped table length"))
+        );
+    }
+
+    #[test]
+    fn direct_mapped_persist_delta_round_trip() {
+        let mut base: DirectMapped<u64> = DirectMapped::new(16);
+        base.insert(1, 10);
+        base.insert(2, 20);
+        base.seal();
+        let mut session = base.clone();
+        session.insert(1, 11);
+        session.insert(7, 70);
+        session.invalidate(2);
+        let mut blob = Vec::new();
+        session.save_state(&mut StateSink::new(&mut blob));
+        // The delta blob is small: it carries 3 overlay slots, not 16.
+        let mut restored = base.clone();
+        restored.load_state(&mut StateSource::new(&blob)).unwrap();
+        assert_eq!(restored, session);
+        assert_eq!(restored.get(1), Some(&11));
+        assert_eq!(restored.get(7), Some(&70));
+        assert_eq!(restored.get(2), None);
+        // A delta blob cannot load into an unsealed table.
+        let mut unsealed: DirectMapped<u64> = DirectMapped::new(16);
+        assert!(matches!(
+            unsealed.load_state(&mut StateSource::new(&blob)),
+            Err(PersistError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn set_assoc_persist_round_trips_lru_state() {
+        let mut t: SetAssociative<u64> = SetAssociative::new(2, 2);
+        t.insert(0, 1, 10);
+        t.insert(0, 2, 20);
+        t.insert(1, 3, 30);
+        let _ = t.get(0, 1); // bump LRU so clock state matters
+        let mut blob = Vec::new();
+        t.save_state(&mut StateSink::new(&mut blob));
+        let mut fresh: SetAssociative<u64> = SetAssociative::new(2, 2);
+        fresh.load_state(&mut StateSource::new(&blob)).unwrap();
+        assert_eq!(fresh, t);
+        // Same future behaviour: the restored table evicts the same
+        // victim the original would.
+        let ev_orig = t.insert(0, 4, 40);
+        let ev_restored = fresh.insert(0, 4, 40);
+        assert_eq!(ev_orig, ev_restored);
+        let mut wrong: SetAssociative<u64> = SetAssociative::new(4, 2);
+        assert!(wrong.load_state(&mut StateSource::new(&blob)).is_err());
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::entry::HysteresisEntry;
 use crate::traits::IndirectPredictor;
-use ibp_hw::{DirectMapped, HardwareCost};
+use ibp_hw::{DirectMapped, HardwareCost, Persist, PersistError, StateSink, StateSource};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
 
@@ -93,6 +93,22 @@ impl IndirectPredictor for Btb {
         sink("table_occupancy", self.table.occupancy() as u64);
         sink("table_evictions", self.table.evictions());
     }
+
+    fn seal(&mut self) {
+        self.table.seal();
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.table.resident_bytes()
+    }
+
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        self.table.save_state(out);
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        self.table.load_state(src)
+    }
 }
 
 /// A tagless BTB whose targets are replaced only after two consecutive
@@ -151,6 +167,22 @@ impl IndirectPredictor for Btb2b {
         sink("table_entries", self.table.len() as u64);
         sink("table_occupancy", self.table.occupancy() as u64);
         sink("table_evictions", self.table.evictions());
+    }
+
+    fn seal(&mut self) {
+        self.table.seal();
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.table.resident_bytes()
+    }
+
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        self.table.save_state(out);
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        self.table.load_state(src)
     }
 }
 

@@ -15,7 +15,7 @@
 use crate::dual_path::{DualPath, DualPathConfig};
 use crate::entry::HysteresisEntry;
 use crate::traits::IndirectPredictor;
-use ibp_hw::{HardwareCost, SetAssociative};
+use ibp_hw::{HardwareCost, Persist, PersistError, SetAssociative, StateSink, StateSource};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
 
@@ -84,6 +84,22 @@ impl LeakyFilter {
     /// Filter LRU evictions (telemetry).
     pub fn evictions(&self) -> u64 {
         self.table.evictions()
+    }
+
+    /// Heap bytes held by the filter (always private: set-associative
+    /// true-LRU state mutates on reads, so it never seals).
+    pub fn resident_bytes(&self) -> usize {
+        self.table.resident_bytes()
+    }
+
+    /// Serializes the filter contents.
+    pub fn save_state(&self, out: &mut StateSink<'_>) {
+        self.table.save_state(out);
+    }
+
+    /// Restores filter contents saved by [`save_state`](Self::save_state).
+    pub fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        self.table.load_state(src)
     }
 }
 
@@ -207,6 +223,28 @@ impl IndirectPredictor for Cascade {
         sink("filter_evictions", self.filter.evictions());
         sink("filter_occupancy", self.filter.occupancy() as u64);
         self.core.report_metrics(sink);
+    }
+
+    fn seal(&mut self) {
+        // Only the core's tagless structures can seal; the paper Cascade
+        // core is tagged set-associative, so this seals the selector table.
+        self.core.seal();
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.filter.resident_bytes() + self.core.resident_bytes()
+    }
+
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        self.filter.save_state(out);
+        self.core.save_state(out);
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        self.filter.load_state(src)?;
+        self.core.load_state(src)?;
+        self.last = None;
+        Ok(())
     }
 }
 

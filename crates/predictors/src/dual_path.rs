@@ -13,7 +13,10 @@ use crate::entry::HysteresisEntry;
 use crate::history_group::HistoryGroup;
 use crate::traits::IndirectPredictor;
 use ibp_hw::counter::Saturating2Bit;
-use ibp_hw::{DirectMapped, HardwareCost, PathHistory, ReverseInterleave, SetAssociative};
+use ibp_hw::{
+    DirectMapped, HardwareCost, PathHistory, Persist, PersistError, ReverseInterleave,
+    SetAssociative, StateSink, StateSource,
+};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
 
@@ -117,6 +120,38 @@ impl PathComponent {
             ComponentTable::Tagless(t) => t.evictions(),
             ComponentTable::Tagged(t) => t.evictions(),
         }
+    }
+
+    /// Tagless tables seal into a shared base; tagged set-associative
+    /// tables stay private (true-LRU timestamps mutate on reads, so an
+    /// overlay would converge to a full copy anyway).
+    fn seal(&mut self) {
+        if let ComponentTable::Tagless(t) = &mut self.table {
+            t.seal();
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        match &self.table {
+            ComponentTable::Tagless(t) => t.resident_bytes(),
+            ComponentTable::Tagged(t) => t.resident_bytes(),
+        }
+    }
+
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        match &self.table {
+            ComponentTable::Tagless(t) => t.save_state(out),
+            ComponentTable::Tagged(t) => t.save_state(out),
+        }
+        self.phr.save_state(out);
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        match &mut self.table {
+            ComponentTable::Tagless(t) => t.load_state(src)?,
+            ComponentTable::Tagged(t) => t.load_state(src)?,
+        }
+        self.phr.load_state(src)
     }
 }
 
@@ -360,6 +395,32 @@ impl IndirectPredictor for DualPath {
             "table_evictions",
             self.short.evictions() + self.long.evictions(),
         );
+    }
+
+    fn seal(&mut self) {
+        self.short.seal();
+        self.long.seal();
+        self.selectors.seal();
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.short.resident_bytes()
+            + self.long.resident_bytes()
+            + self.selectors.resident_bytes()
+    }
+
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        self.short.save_state(out);
+        self.long.save_state(out);
+        self.selectors.save_state(out);
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        self.short.load_state(src)?;
+        self.long.load_state(src)?;
+        self.selectors.load_state(src)?;
+        self.last = None;
+        Ok(())
     }
 }
 

@@ -34,6 +34,19 @@ impl HysteresisEntry {
         }
     }
 
+    /// Reconstructs an entry from saved state (target + exact counter
+    /// value), for the persist codec and the compact table encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter > 3`.
+    pub fn with_state(target: Addr, counter: u32) -> Self {
+        Self {
+            target,
+            counter: Saturating2Bit::new(counter),
+        }
+    }
+
     /// The stored (predicted) target.
     pub fn target(&self) -> Addr {
         self.target
@@ -69,6 +82,22 @@ impl HysteresisEntry {
             self.target = actual;
             true
         }
+    }
+}
+
+impl ibp_hw::PersistElem for HysteresisEntry {
+    fn save_elem(&self, out: &mut ibp_hw::StateSink<'_>) {
+        out.u64(self.target.raw());
+        out.u8(self.counter.value() as u8);
+    }
+
+    fn load_elem(src: &mut ibp_hw::StateSource<'_>) -> Result<Self, ibp_hw::PersistError> {
+        let target = Addr::new(src.u64()?);
+        let counter = src.u8()?;
+        if counter > 3 {
+            return Err(ibp_hw::PersistError::Corrupt("hysteresis counter value"));
+        }
+        Ok(Self::with_state(target, u32::from(counter)))
     }
 }
 

@@ -10,7 +10,9 @@
 use crate::entry::HysteresisEntry;
 use crate::history_group::HistoryGroup;
 use crate::traits::IndirectPredictor;
-use ibp_hw::{gshare, DirectMapped, HardwareCost, PathHistory};
+use ibp_hw::{
+    gshare, DirectMapped, HardwareCost, PathHistory, Persist, PersistError, StateSink, StateSource,
+};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
 
@@ -164,6 +166,32 @@ impl IndirectPredictor for GApPredictor {
             "table_evictions",
             self.banks.iter().map(|b| b.evictions()).sum(),
         );
+    }
+
+    fn seal(&mut self) {
+        for b in self.banks.iter_mut() {
+            b.seal();
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.banks.iter().map(|b| b.resident_bytes()).sum()
+    }
+
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        out.usize(self.banks.len());
+        for b in &self.banks {
+            b.save_state(out);
+        }
+        self.phr.save_state(out);
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        src.expect_u64(self.banks.len() as u64, "GAp bank count")?;
+        for b in self.banks.iter_mut() {
+            b.load_state(src)?;
+        }
+        self.phr.load_state(src)
     }
 }
 

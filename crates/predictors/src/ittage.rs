@@ -24,9 +24,19 @@
 use crate::history_group::HistoryGroup;
 use crate::traits::IndirectPredictor;
 use ibp_hw::counter::Saturating2Bit;
-use ibp_hw::{FoldedHistory, HardwareCost};
+use ibp_hw::{FoldedHistory, HardwareCost, Persist, PersistError, StateSink, StateSource};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
+
+fn group_code(group: HistoryGroup) -> u64 {
+    match group {
+        HistoryGroup::AllBranches => 0,
+        HistoryGroup::AllIndirect => 1,
+        HistoryGroup::MtIndirect => 2,
+        HistoryGroup::CallsReturns => 3,
+        HistoryGroup::Conditional => 4,
+    }
+}
 
 /// One tagged-table entry.
 #[derive(Debug, Clone, Copy)]
@@ -315,6 +325,123 @@ impl IndirectPredictor for Ittage {
         self.lfsr = 0xACE1;
         self.last = None;
     }
+
+    fn resident_bytes(&self) -> usize {
+        // ITTAGE stays fully private (allocation scans and useful-bit decay
+        // mutate on nearly every update, so a COW overlay would converge to
+        // a full copy); charge the dense tables plus the history rings.
+        self.base.capacity() * std::mem::size_of::<Option<Addr>>()
+            + self
+                .tables
+                .iter()
+                .map(|t| t.entries.capacity() * std::mem::size_of::<Option<TageEntry>>())
+                .sum::<usize>()
+            + self
+                .folds
+                .iter()
+                .map(|f| f.len() * std::mem::size_of::<u64>())
+                .sum::<usize>()
+    }
+
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        let c = &self.config;
+        out.usize(c.base_entries);
+        out.usize(c.table_entries);
+        out.usize(c.tables);
+        out.u64(c.min_history_bits as u64);
+        out.u64(c.tag_bits as u64);
+        out.u64(group_code(c.group));
+        out.u64(self.lfsr as u64);
+        // Base BTB: occupied slots in ascending index order (canonical).
+        let occupied = self.base.iter().filter(|e| e.is_some()).count();
+        out.usize(occupied);
+        for (idx, target) in self.base.iter().enumerate() {
+            if let Some(t) = target {
+                out.usize(idx);
+                out.u64(t.raw());
+            }
+        }
+        // Tagged tables, likewise sparse and ascending.
+        for table in &self.tables {
+            let occupied = table.entries.iter().filter(|e| e.is_some()).count();
+            out.usize(occupied);
+            for (idx, entry) in table.entries.iter().enumerate() {
+                if let Some(e) = entry {
+                    out.usize(idx);
+                    out.u64(e.tag as u64);
+                    out.u64(e.target.raw());
+                    out.u8(e.confidence.value() as u8);
+                    out.bool(e.useful);
+                }
+            }
+        }
+        for f in &self.folds {
+            f.save_state(out);
+        }
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        let c = self.config;
+        src.expect_u64(c.base_entries as u64, "ITTAGE base entries")?;
+        src.expect_u64(c.table_entries as u64, "ITTAGE table entries")?;
+        src.expect_u64(c.tables as u64, "ITTAGE table count")?;
+        src.expect_u64(c.min_history_bits as u64, "ITTAGE min history bits")?;
+        src.expect_u64(c.tag_bits as u64, "ITTAGE tag bits")?;
+        src.expect_u64(group_code(c.group), "ITTAGE history group")?;
+        let lfsr = src.u64()?;
+        if lfsr > u32::MAX as u64 {
+            return Err(PersistError::Corrupt("ITTAGE lfsr out of range"));
+        }
+        let tag_mask = (1u64 << c.tag_bits) - 1;
+        let mut base = vec![None; c.base_entries];
+        let n = src.usize()?;
+        let mut prev: Option<usize> = None;
+        for _ in 0..n {
+            let idx = src.usize()?;
+            if idx >= c.base_entries || prev.is_some_and(|p| idx <= p) {
+                return Err(PersistError::Corrupt("ITTAGE base slot out of order"));
+            }
+            prev = Some(idx);
+            base[idx] = Some(Addr::new(src.u64()?));
+        }
+        let mut tables = Vec::with_capacity(c.tables);
+        for _ in 0..c.tables {
+            let mut entries = vec![None; c.table_entries];
+            let n = src.usize()?;
+            let mut prev: Option<usize> = None;
+            for _ in 0..n {
+                let idx = src.usize()?;
+                if idx >= c.table_entries || prev.is_some_and(|p| idx <= p) {
+                    return Err(PersistError::Corrupt("ITTAGE tagged slot out of order"));
+                }
+                prev = Some(idx);
+                let tag = src.u64()?;
+                if tag > tag_mask {
+                    return Err(PersistError::Corrupt("ITTAGE tag too wide"));
+                }
+                let target = Addr::new(src.u64()?);
+                let conf = src.u8()?;
+                if conf > 3 {
+                    return Err(PersistError::Corrupt("ITTAGE confidence out of range"));
+                }
+                entries[idx] = Some(TageEntry {
+                    tag: tag as u16,
+                    target,
+                    confidence: Saturating2Bit::new(conf as u32),
+                    useful: src.bool()?,
+                });
+            }
+            tables.push(TageTable { entries });
+        }
+        for f in self.folds.iter_mut() {
+            f.load_state(src)?;
+        }
+        self.base = base;
+        self.tables = tables;
+        self.lfsr = lfsr as u32;
+        self.last = None;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -389,6 +516,41 @@ mod tests {
         drive(&mut p, Addr::new(0x40), Addr::new(0x904));
         p.reset();
         assert_eq!(p.predict(Addr::new(0x40)), None);
+    }
+
+    #[test]
+    fn persist_round_trip_restores_behaviour() {
+        let mut p = Ittage::new(IttageConfig::budget_2k());
+        for i in 0..700u64 {
+            let pc = Addr::new(0x100 + (i % 9) * 4);
+            let t = Addr::new(0x1000 + ((i * 7) % 5) * 0x40 + 4);
+            drive(&mut p, pc, t);
+        }
+        let mut blob = Vec::new();
+        p.save_state(&mut ibp_hw::StateSink::new(&mut blob));
+        let mut q = Ittage::new(IttageConfig::budget_2k());
+        q.load_state(&mut ibp_hw::StateSource::new(&blob)).unwrap();
+        // Continue both and demand identical predictions (incl. allocation
+        // jitter via the restored LFSR).
+        for i in 0..700u64 {
+            let pc = Addr::new(0x100 + (i % 9) * 4);
+            let t = Addr::new(0x1000 + ((i * 11) % 5) * 0x40 + 4);
+            assert_eq!(p.predict(pc), q.predict(pc));
+            p.update(pc, t);
+            q.update(pc, t);
+            let ev = BranchEvent::indirect_jmp(pc, t);
+            p.observe(&ev);
+            q.observe(&ev);
+        }
+        // Geometry guards: a different configuration must refuse the blob.
+        let mut other = Ittage::new(IttageConfig {
+            tables: 2,
+            ..IttageConfig::budget_2k()
+        });
+        assert!(other
+            .load_state(&mut ibp_hw::StateSource::new(&blob))
+            .is_err());
+        assert!(p.resident_bytes() > 0);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::history_group::HistoryGroup;
 use crate::traits::IndirectPredictor;
 use ibp_exec::FastMap;
-use ibp_hw::HardwareCost;
+use ibp_hw::{HardwareCost, PersistError, StateSink, StateSource};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
 use std::collections::VecDeque;
@@ -52,6 +52,39 @@ impl ExactPath {
 
     fn clear(&mut self) {
         self.targets.clear();
+    }
+
+    fn group_code(&self) -> u64 {
+        match self.group {
+            HistoryGroup::AllBranches => 0,
+            HistoryGroup::AllIndirect => 1,
+            HistoryGroup::MtIndirect => 2,
+            HistoryGroup::CallsReturns => 3,
+            HistoryGroup::Conditional => 4,
+        }
+    }
+
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        out.usize(self.depth);
+        out.u64(self.group_code());
+        out.usize(self.targets.len());
+        for &t in &self.targets {
+            out.u64(t);
+        }
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        src.expect_u64(self.depth as u64, "oracle path depth")?;
+        src.expect_u64(self.group_code(), "oracle history group")?;
+        let n = src.usize()?;
+        if n > self.depth {
+            return Err(PersistError::Corrupt("oracle path overfull"));
+        }
+        self.targets.clear();
+        for _ in 0..n {
+            self.targets.push_back(src.u64()?);
+        }
+        Ok(())
     }
 }
 
@@ -121,6 +154,52 @@ impl IndirectPredictor for PathOracle {
     fn reset(&mut self) {
         self.table.clear();
         self.path.clear();
+    }
+
+    fn resident_bytes(&self) -> usize {
+        // Map overhead is hash-impl-specific; charge the logical payload:
+        // key (pc + path targets) + value per context.
+        self.table
+            .iter()
+            .map(|((_, path), _)| (2 + path.len()) * std::mem::size_of::<u64>())
+            .sum()
+    }
+
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        // Contexts sorted by (pc, path) so the bytes are canonical
+        // regardless of hash-map iteration order.
+        self.path.save_state(out);
+        let mut items: Vec<(&(u64, Vec<u64>), &Addr)> = self.table.iter().collect();
+        items.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        out.usize(items.len());
+        for ((pc, path), target) in items {
+            out.u64(*pc);
+            out.usize(path.len());
+            for &t in path {
+                out.u64(t);
+            }
+            out.u64(target.raw());
+        }
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        self.path.load_state(src)?;
+        self.table.clear();
+        let count = src.usize()?;
+        for _ in 0..count {
+            let pc = src.u64()?;
+            let n = src.usize()?;
+            if n > self.path.depth {
+                return Err(PersistError::Corrupt("oracle context path overfull"));
+            }
+            let mut path = Vec::with_capacity(n);
+            for _ in 0..n {
+                path.push(src.u64()?);
+            }
+            let target = Addr::new(src.u64()?);
+            self.table.insert((pc, path), target);
+        }
+        Ok(())
     }
 }
 

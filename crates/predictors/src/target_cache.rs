@@ -10,7 +10,9 @@
 use crate::entry::HysteresisEntry;
 use crate::history_group::HistoryGroup;
 use crate::traits::IndirectPredictor;
-use ibp_hw::{DirectMapped, HardwareCost, PathHistory};
+use ibp_hw::{
+    DirectMapped, HardwareCost, PathHistory, Persist, PersistError, StateSink, StateSource,
+};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
 
@@ -153,6 +155,24 @@ impl IndirectPredictor for TargetCache {
         sink("table_entries", self.table.len() as u64);
         sink("table_occupancy", self.table.occupancy() as u64);
         sink("table_evictions", self.table.evictions());
+    }
+
+    fn seal(&mut self) {
+        self.table.seal();
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.table.resident_bytes()
+    }
+
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        self.table.save_state(out);
+        self.phr.save_state(out);
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        self.table.load_state(src)?;
+        self.phr.load_state(src)
     }
 }
 

@@ -1,6 +1,6 @@
 //! The common predictor contract.
 
-use ibp_hw::HardwareCost;
+use ibp_hw::{HardwareCost, PersistError, StateSink, StateSource};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
 
@@ -61,6 +61,40 @@ pub trait IndirectPredictor {
     fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
         let _ = sink;
     }
+
+    /// Freezes the current table contents into immutable, `Arc`-shared
+    /// base tiers with copy-on-write overlays, so clones of this
+    /// predictor share the bulk of their memory and pay only for
+    /// divergence. Prediction behaviour must be unaffected (the sim
+    /// layer's differential gate enforces byte-identical results).
+    /// Default: no-op, for predictors without shareable tables.
+    fn seal(&mut self) {}
+
+    /// Heap bytes this *instance* pays for: full tables when private,
+    /// only the copy-on-write deltas once sealed. Default 0 for
+    /// predictors that don't account their memory.
+    fn resident_bytes(&self) -> usize {
+        0
+    }
+
+    /// Serializes the dynamic state (tables, histories, telemetry) to the
+    /// sink. A sealed predictor writes only its deltas. Must be called at
+    /// an event boundary (after `observe`, before the next `predict`);
+    /// in-flight predict→update lookup state is not captured. The bytes
+    /// are canonical: identical state yields identical blobs. Default:
+    /// writes nothing (paired with the default `load_state`).
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        let _ = out;
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into an
+    /// identically-configured instance (and, for delta blobs, one sealed
+    /// from the same base). Geometry mismatches fail with
+    /// [`PersistError::Mismatch`]. Default: accepts the empty blob.
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        let _ = src;
+        Ok(())
+    }
 }
 
 impl<P: IndirectPredictor + ?Sized> IndirectPredictor for Box<P> {
@@ -90,6 +124,22 @@ impl<P: IndirectPredictor + ?Sized> IndirectPredictor for Box<P> {
 
     fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
         (**self).report_metrics(sink)
+    }
+
+    fn seal(&mut self) {
+        (**self).seal()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        (**self).resident_bytes()
+    }
+
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        (**self).save_state(out)
+    }
+
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        (**self).load_state(src)
     }
 }
 

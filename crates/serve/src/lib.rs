@@ -24,6 +24,9 @@
 //!   accounting and the batched lockstep scheduler.
 //! * [`reactor`] — the non-blocking shard loop (sharded accept,
 //!   readiness polling, buffered writes, clockless idle ticks).
+//! * [`spill`] — the multi-tenant memory plane: shared copy-on-write
+//!   base tiers per predictor shape and the spill stores that hold
+//!   evicted sessions' delta snapshots (in memory or on disk).
 //! * [`server`] — the TCP server: [`ibp_exec::ShardPool`] lifecycle,
 //!   graceful drain, [`ibp_metrics`] telemetry with per-shard
 //!   attribution.
@@ -40,6 +43,7 @@ pub mod protocol;
 mod reactor;
 pub mod server;
 pub mod session;
+pub mod spill;
 
 pub use client::{
     ClientError, MuxClient, ServeClient, SessionRun, SessionStats, StreamOutcome,
@@ -51,3 +55,4 @@ pub use protocol::{
 };
 pub use server::{ServeError, Server, ServerConfig, ServerReport};
 pub use session::{Session, SessionFatal, MAX_ENTRIES, MIN_ENTRIES};
+pub use spill::{DiskSpillStore, MemorySpillStore, SpillStore, TierCache};

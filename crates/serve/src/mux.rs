@@ -38,10 +38,12 @@ use crate::protocol::{
     ProtocolError, RawFrame, ServerFrame,
 };
 use crate::session::{MAX_ENTRIES, MIN_ENTRIES};
+use crate::spill::{SpillStore, TierCache};
 use ibp_exec::FastMap;
-use ibp_sim::{PredictionOutcome, PredictorKind, RunResult, SessionStepper};
+use ibp_sim::{snapshot_session, PredictionOutcome, PredictorKind, RunResult, SessionStepper};
 use ibp_trace::wire::EventDeltaState;
 use ibp_trace::BranchEvent;
+use std::sync::Arc;
 
 /// A connection-fatal condition: the reactor answers with a
 /// connection-level `ERROR` frame and closes.
@@ -103,11 +105,34 @@ pub struct MuxTallies {
     pub backpressure_warnings: u64,
     /// High-water mark of concurrently open streams.
     pub peak_streams: u64,
+    /// Sessions evicted to the spill store by the memory budget.
+    pub spilled: u64,
+    /// Spilled sessions transparently restored on their next frame.
+    pub restored: u64,
+    /// Snapshot bytes written to the spill store.
+    pub spill_bytes: u64,
+    /// Snapshot bytes read back on restore.
+    pub restore_bytes: u64,
+    /// Spill or restore attempts that failed (I/O, missing or corrupt
+    /// blob); a failed spill leaves the stream resident, a failed
+    /// restore kills it with a stream-scoped error.
+    pub spill_failures: u64,
+    /// Largest single session snapshot — the bytes-per-session
+    /// high-water mark of the snapshot codec.
+    pub max_session_bytes: u64,
+    /// High-water mark of resident predictor bytes on this connection.
+    pub peak_resident_bytes: u64,
+    /// High-water mark of concurrently spilled streams.
+    pub peak_spilled_streams: u64,
 }
 
 struct StreamSlot {
     id: u64,
-    stepper: Box<dyn SessionStepper>,
+    kind: PredictorKind,
+    entries: u64,
+    /// `None` while the session is spilled; every path that needs the
+    /// stepper restores it from the spill store first.
+    stepper: Option<Box<dyn SessionStepper>>,
     decode: EventDeltaState,
     /// Decoded events awaiting the next `step_pending` pass. Reused
     /// across batches; never shrunk, so a warm stream decodes and steps
@@ -115,22 +140,30 @@ struct StreamSlot {
     pending: Vec<BranchEvent>,
     verbose: bool,
     idle_ticks: u32,
+    /// Connection clock value at the last client frame naming this
+    /// stream — the LRU key for budget eviction.
+    last_touch: u64,
+    /// Cached `resident_bytes` of the stepper (0 while spilled), kept
+    /// current at open/step/spill/restore so the connection total is
+    /// O(1) to read.
+    resident: usize,
 }
 
 impl StreamSlot {
-    fn closed_frame(&self) -> ServerFrame {
-        let result: RunResult = self.stepper.run_result();
-        ServerFrame::MuxClosed {
+    fn closed_frame(&self) -> Option<ServerFrame> {
+        let stepper = self.stepper.as_deref()?;
+        let result: RunResult = stepper.run_result();
+        Some(ServerFrame::MuxClosed {
             stream: self.id,
-            events: self.stepper.events(),
-            predictions: self.stepper.predictions(),
-            mispredictions: self.stepper.mispredictions(),
+            events: stepper.events(),
+            predictions: stepper.predictions(),
+            mispredictions: stepper.mispredictions(),
             per_branch: result
                 .branches()
                 .into_iter()
                 .map(|(pc, preds, misses)| (pc.raw(), preds, misses))
                 .collect(),
-        }
+        })
     }
 }
 
@@ -143,6 +176,16 @@ pub struct MuxConn {
     tallies: MuxTallies,
     /// Scratch for verbose stepping, reused across streams and batches.
     outcomes: Vec<PredictionOutcome>,
+    /// Shared base tiers when the memory plane is on: streams fork from
+    /// a sealed tier so snapshots are delta-sized and immutable tables
+    /// are one shared allocation per shape.
+    tiers: Option<Arc<TierCache>>,
+    /// Where evicted sessions' snapshots go. `Some` iff `tiers` is.
+    spill: Option<Box<dyn SpillStore>>,
+    /// Reactor-advanced LRU clock; stamps `StreamSlot::last_touch`.
+    clock: u64,
+    /// Sum of every active slot's cached `resident` bytes.
+    resident: usize,
 }
 
 impl std::fmt::Debug for MuxConn {
@@ -160,6 +203,21 @@ impl MuxConn {
     /// stream-count cap (both clamped to at least 1; the server config
     /// clamps harder).
     pub fn new(window: u64, max_streams: u64) -> MuxConn {
+        MuxConn::with_memory(window, max_streams, None, None)
+    }
+
+    /// A connection on the multi-tenant memory plane: streams fork from
+    /// the shared `tiers` (sealed copy-on-write bases) and can be
+    /// spilled to `store` / restored transparently. Pass both or
+    /// neither — a spill store without tiers has nothing to restore
+    /// against and is ignored.
+    pub fn with_memory(
+        window: u64,
+        max_streams: u64,
+        tiers: Option<Arc<TierCache>>,
+        store: Option<Box<dyn SpillStore>>,
+    ) -> MuxConn {
+        let spill = if tiers.is_some() { store } else { None };
         MuxConn {
             window: window.max(2),
             max_streams: max_streams.max(1),
@@ -167,7 +225,41 @@ impl MuxConn {
             index: FastMap::new(),
             tallies: MuxTallies::default(),
             outcomes: Vec::new(),
+            tiers,
+            spill,
+            clock: 0,
+            resident: 0,
         }
+    }
+
+    /// Advances the LRU clock (the reactor passes its shard-loop
+    /// iteration counter, so "least recently used" is consistent across
+    /// every connection on a shard).
+    pub fn set_clock(&mut self, now: u64) {
+        self.clock = self.clock.max(now);
+    }
+
+    /// Resident predictor bytes across this connection's active
+    /// streams (cached; O(1)).
+    pub fn resident_bytes(&self) -> usize {
+        self.resident
+    }
+
+    /// Streams currently spilled to the store.
+    pub fn spilled_streams(&self) -> usize {
+        self.spill.as_ref().map_or(0, |s| s.spilled_streams())
+    }
+
+    /// The active stream least recently named by a client frame, as
+    /// `(stream id, last-touch clock)` — the budget enforcer's eviction
+    /// candidate. Streams with decoded events still pending are skipped
+    /// (they are about to be stepped; spilling them would thrash).
+    pub fn coldest_active(&self) -> Option<(u64, u64)> {
+        self.streams
+            .iter()
+            .filter(|s| s.stepper.is_some() && s.pending.is_empty())
+            .map(|s| (s.id, s.last_touch))
+            .min_by_key(|&(id, touch)| (touch, id))
     }
 
     /// The `MUX_HELLO_ACK` answering the handshake.
@@ -208,7 +300,8 @@ impl MuxConn {
         });
     }
 
-    /// Removes a stream slot, fixing the moved slot's index entry.
+    /// Removes a stream slot, fixing the moved slot's index entry,
+    /// releasing its resident bytes and discarding any spilled blob.
     fn remove_stream(&mut self, slot_index: usize) -> Option<StreamSlot> {
         if slot_index >= self.streams.len() {
             return None;
@@ -218,7 +311,108 @@ impl MuxConn {
         if let Some(moved) = self.streams.get(slot_index) {
             self.index.insert(moved.id, slot_index);
         }
+        self.resident = self.resident.saturating_sub(slot.resident);
+        if slot.stepper.is_none() {
+            if let Some(store) = self.spill.as_mut() {
+                let _ = store.take(slot.id);
+            }
+        }
         Some(slot)
+    }
+
+    /// Evicts one active stream's session to the spill store, returning
+    /// the snapshot size. `None` if the stream is unknown, already
+    /// spilled, the memory plane is off, or the store write failed (the
+    /// stream then stays resident and the failure is tallied).
+    pub fn spill_stream(&mut self, stream: u64) -> Option<u64> {
+        let &slot_index = self.index.get(&stream)?;
+        let encoding = self.tiers.as_ref()?.encoding();
+        self.spill.as_ref()?;
+        let slot = self.streams.get_mut(slot_index)?;
+        let stepper = slot.stepper.as_deref()?;
+        let blob = snapshot_session(slot.kind, slot.entries as usize, encoding, stepper);
+        let bytes = blob.len() as u64;
+        let store = self.spill.as_mut()?;
+        if store.put(slot.id, &blob).is_err() {
+            self.tallies.spill_failures = self.tallies.spill_failures.saturating_add(1);
+            return None;
+        }
+        slot.stepper = None;
+        self.resident = self.resident.saturating_sub(slot.resident);
+        slot.resident = 0;
+        self.tallies.spilled = self.tallies.spilled.saturating_add(1);
+        self.tallies.spill_bytes = self.tallies.spill_bytes.saturating_add(bytes);
+        self.tallies.max_session_bytes = self.tallies.max_session_bytes.max(bytes);
+        self.tallies.peak_spilled_streams = self
+            .tallies
+            .peak_spilled_streams
+            .max(store.spilled_streams() as u64);
+        Some(bytes)
+    }
+
+    /// Brings a spilled slot back from the store. On success the slot's
+    /// stepper is live again; on failure the caller must treat the
+    /// stream as lost.
+    fn ensure_active(&mut self, slot_index: usize) -> Result<(), &'static str> {
+        let Some(slot) = self.streams.get_mut(slot_index) else {
+            return Err("stream slot vanished");
+        };
+        if slot.stepper.is_some() {
+            return Ok(());
+        }
+        let Some(store) = self.spill.as_mut() else {
+            return Err("no spill store");
+        };
+        let blob = match store.take(slot.id) {
+            Ok(Some(blob)) => blob,
+            Ok(None) => return Err("spilled snapshot is missing"),
+            Err(_) => return Err("spilled snapshot is unreadable"),
+        };
+        let Some(tiers) = self.tiers.as_ref() else {
+            return Err("no base tier to restore against");
+        };
+        let revived = match tiers.tier(slot.kind, slot.entries).restore(&blob) {
+            Ok(stepper) => stepper,
+            Err(_) => return Err("spilled snapshot is corrupt"),
+        };
+        let bytes = revived.resident_bytes();
+        slot.resident = bytes;
+        slot.stepper = Some(revived);
+        self.resident = self.resident.saturating_add(bytes);
+        self.tallies.restored = self.tallies.restored.saturating_add(1);
+        self.tallies.restore_bytes = self
+            .tallies
+            .restore_bytes
+            .saturating_add(blob.len() as u64);
+        self.note_resident_peak();
+        Ok(())
+    }
+
+    /// [`Self::ensure_active`] with the failure path applied: an
+    /// unrestorable stream is removed and answered with a stream-scoped
+    /// error (its siblings and the connection survive). Returns whether
+    /// the slot is live.
+    fn restore_for(&mut self, slot_index: usize, out: &mut Vec<ServerFrame>) -> bool {
+        match self.ensure_active(slot_index) {
+            Ok(()) => true,
+            Err(why) => {
+                self.tallies.spill_failures = self.tallies.spill_failures.saturating_add(1);
+                if let Some(slot) = self.remove_stream(slot_index) {
+                    self.stream_error(
+                        slot.id,
+                        ErrorCode::BadFrame,
+                        format!("cannot restore spilled session: {why}"),
+                        out,
+                    );
+                }
+                false
+            }
+        }
+    }
+
+    fn note_resident_peak(&mut self) {
+        self.tallies.peak_resident_bytes =
+            self.tallies.peak_resident_bytes.max(self.resident as u64);
     }
 
     fn open(
@@ -256,7 +450,16 @@ impl MuxConn {
             );
             return;
         };
-        if !(MIN_ENTRIES..=MAX_ENTRIES).contains(&entries) {
+        if entries > MAX_ENTRIES {
+            self.stream_error(
+                stream,
+                ErrorCode::EntriesTooLarge,
+                format!("entries {entries} above the cap of {MAX_ENTRIES}"),
+                out,
+            );
+            return;
+        }
+        if entries < MIN_ENTRIES {
             self.stream_error(
                 stream,
                 ErrorCode::BadBudget,
@@ -265,16 +468,30 @@ impl MuxConn {
             );
             return;
         }
+        // On the memory plane, fork from the shared sealed tier: the
+        // immutable base is one Arc per shape and the session's own
+        // state lives in a delta overlay, so snapshots are delta-sized.
+        let stepper = match &self.tiers {
+            Some(tiers) => tiers.tier(kind, entries).session(),
+            None => kind.session_stepper(entries as usize),
+        };
+        let resident = stepper.resident_bytes();
         let slot = StreamSlot {
             id: stream,
-            stepper: kind.session_stepper(entries as usize),
+            kind,
+            entries,
+            stepper: Some(stepper),
             decode: EventDeltaState::new(),
             pending: Vec::new(),
             verbose,
             idle_ticks: 0,
+            last_touch: self.clock,
+            resident,
         };
         self.index.insert(stream, self.streams.len());
         self.streams.push(slot);
+        self.resident = self.resident.saturating_add(resident);
+        self.note_resident_peak();
         self.tallies.opened = self.tallies.opened.saturating_add(1);
         self.tallies.peak_streams = self.tallies.peak_streams.max(self.streams.len() as u64);
         out.push(ServerFrame::MuxOpenAck {
@@ -284,21 +501,26 @@ impl MuxConn {
     }
 
     /// Steps one slot's pending events, emitting predictions (verbose
-    /// streams) and the resolve-time ack.
+    /// streams) and the resolve-time ack. The caller must have restored
+    /// the slot first; a spilled slot is left untouched.
     fn step_slot(
         slot: &mut StreamSlot,
         outcomes: &mut Vec<PredictionOutcome>,
         tallies: &mut MuxTallies,
+        resident: &mut usize,
         out: &mut Vec<ServerFrame>,
     ) {
         if slot.pending.is_empty() {
             return;
         }
-        let before_predictions = slot.stepper.predictions();
-        let before_mispredictions = slot.stepper.mispredictions();
+        let Some(stepper) = slot.stepper.as_deref_mut() else {
+            return;
+        };
+        let before_predictions = stepper.predictions();
+        let before_mispredictions = stepper.mispredictions();
         if slot.verbose {
             outcomes.clear();
-            slot.stepper.step_verbose(&slot.pending, outcomes);
+            stepper.step_verbose(&slot.pending, outcomes);
             for o in outcomes.iter() {
                 out.push(ServerFrame::MuxPrediction {
                     stream: slot.id,
@@ -308,22 +530,29 @@ impl MuxConn {
                 });
             }
         } else {
-            slot.stepper.step_counted(&slot.pending);
+            stepper.step_counted(&slot.pending);
         }
         tallies.events = tallies.events.saturating_add(slot.pending.len() as u64);
         tallies.predictions = tallies
             .predictions
-            .saturating_add(slot.stepper.predictions().saturating_sub(before_predictions));
+            .saturating_add(stepper.predictions().saturating_sub(before_predictions));
         tallies.mispredictions = tallies.mispredictions.saturating_add(
-            slot.stepper
+            stepper
                 .mispredictions()
                 .saturating_sub(before_mispredictions),
         );
         slot.pending.clear();
         out.push(ServerFrame::MuxAck {
             stream: slot.id,
-            through_seq: slot.stepper.events(),
+            through_seq: stepper.events(),
         });
+        // Stepping grows tables; refresh the cached footprint.
+        let now_resident = stepper.resident_bytes();
+        *resident = resident
+            .saturating_sub(slot.resident)
+            .saturating_add(now_resident);
+        slot.resident = now_resident;
+        tallies.peak_resident_bytes = tallies.peak_resident_bytes.max(*resident as u64);
     }
 
     /// Handles one complete frame. Stream-scoped failures emit
@@ -370,10 +599,12 @@ impl MuxConn {
                     window: self.window,
                 });
             }
+            let clock = self.clock;
             let Some(slot) = self.streams.get_mut(slot_index) else {
                 return Ok(MuxProgress::Continue);
             };
             slot.idle_ticks = 0;
+            slot.last_touch = clock;
             decode_mux_events_into(raw, header, &mut slot.decode, &mut slot.pending)
                 .map_err(ConnFatal::Protocol)?;
             // Step eagerly once a full credit window is buffered: this
@@ -382,7 +613,19 @@ impl MuxConn {
             // cache-sized slices instead of staging megabytes of
             // decoded events before the end-of-burst sweep.
             if slot.pending.len() as u64 >= self.window {
-                Self::step_slot(slot, &mut self.outcomes, &mut self.tallies, out);
+                // A spilled stream comes back transparently before its
+                // backlog is stepped.
+                if self.restore_for(slot_index, out) {
+                    if let Some(slot) = self.streams.get_mut(slot_index) {
+                        Self::step_slot(
+                            slot,
+                            &mut self.outcomes,
+                            &mut self.tallies,
+                            &mut self.resident,
+                            out,
+                        );
+                    }
+                }
             }
             return Ok(MuxProgress::Continue);
         }
@@ -407,17 +650,30 @@ impl MuxConn {
                     );
                     return Ok(MuxProgress::Continue);
                 };
+                if !self.restore_for(slot_index, out) {
+                    return Ok(MuxProgress::Continue);
+                }
+                let clock = self.clock;
                 if let Some(slot) = self.streams.get_mut(slot_index) {
                     slot.idle_ticks = 0;
+                    slot.last_touch = clock;
                     // Totals must reflect everything sent before the
                     // flush, so step this stream's backlog first.
-                    Self::step_slot(slot, &mut self.outcomes, &mut self.tallies, out);
-                    out.push(ServerFrame::MuxStats {
-                        stream,
-                        events: slot.stepper.events(),
-                        predictions: slot.stepper.predictions(),
-                        mispredictions: slot.stepper.mispredictions(),
-                    });
+                    Self::step_slot(
+                        slot,
+                        &mut self.outcomes,
+                        &mut self.tallies,
+                        &mut self.resident,
+                        out,
+                    );
+                    if let Some(stepper) = slot.stepper.as_deref() {
+                        out.push(ServerFrame::MuxStats {
+                            stream,
+                            events: stepper.events(),
+                            predictions: stepper.predictions(),
+                            mispredictions: stepper.mispredictions(),
+                        });
+                    }
                 }
                 Ok(MuxProgress::Continue)
             }
@@ -431,12 +687,25 @@ impl MuxConn {
                     );
                     return Ok(MuxProgress::Continue);
                 };
+                // The close receipt carries the full per-branch ledger,
+                // so a spilled session is brought back first.
+                if !self.restore_for(slot_index, out) {
+                    return Ok(MuxProgress::Continue);
+                }
                 if let Some(slot) = self.streams.get_mut(slot_index) {
-                    Self::step_slot(slot, &mut self.outcomes, &mut self.tallies, out);
+                    Self::step_slot(
+                        slot,
+                        &mut self.outcomes,
+                        &mut self.tallies,
+                        &mut self.resident,
+                        out,
+                    );
                 }
                 if let Some(slot) = self.remove_stream(slot_index) {
-                    out.push(slot.closed_frame());
-                    self.tallies.closed_clean = self.tallies.closed_clean.saturating_add(1);
+                    if let Some(frame) = slot.closed_frame() {
+                        out.push(frame);
+                        self.tallies.closed_clean = self.tallies.closed_clean.saturating_add(1);
+                    }
                 }
                 Ok(MuxProgress::Continue)
             }
@@ -456,12 +725,27 @@ impl MuxConn {
     /// monomorphized batch call per resident stream per reactor
     /// iteration.
     pub fn step_pending(&mut self, out: &mut Vec<ServerFrame>) {
-        // Split borrows: the scratch buffer and tallies are disjoint
-        // from the slots.
-        let outcomes = &mut self.outcomes;
-        let tallies = &mut self.tallies;
-        for slot in &mut self.streams {
-            Self::step_slot(slot, outcomes, tallies, out);
+        let mut i = 0usize;
+        while i < self.streams.len() {
+            let needs_restore = self
+                .streams
+                .get(i)
+                .is_some_and(|s| !s.pending.is_empty() && s.stepper.is_none());
+            if needs_restore && !self.restore_for(i, out) {
+                // The dead slot was swap-removed; a new slot now sits
+                // at `i`, so do not advance.
+                continue;
+            }
+            if let Some(slot) = self.streams.get_mut(i) {
+                Self::step_slot(
+                    slot,
+                    &mut self.outcomes,
+                    &mut self.tallies,
+                    &mut self.resident,
+                    out,
+                );
+            }
+            i += 1;
         }
     }
 
@@ -838,6 +1122,157 @@ mod tests {
             .expect("stats");
         assert_eq!(stats, 12, "flush reflects everything sent before it");
         assert_eq!(conn.pending_events(), 0);
+    }
+
+    #[test]
+    fn oversized_entries_get_a_typed_rejection() {
+        let mut conn = MuxConn::new(256, 8);
+        let mut bytes = Vec::new();
+        put_mux_open(
+            &mut bytes,
+            1,
+            PredictorKind::Btb.wire_code(),
+            MAX_ENTRIES + 1,
+            false,
+        );
+        put_mux_open(&mut bytes, 2, PredictorKind::Btb.wire_code(), MAX_ENTRIES, false);
+        let out = drive(&mut conn, &bytes);
+        assert!(out.iter().any(|f| matches!(
+            f,
+            ServerFrame::MuxError {
+                stream: 1,
+                code: ErrorCode::EntriesTooLarge,
+                ..
+            }
+        )));
+        // The documented maximum itself is accepted.
+        assert!(out
+            .iter()
+            .any(|f| matches!(f, ServerFrame::MuxOpenAck { stream: 2, .. })));
+        assert_eq!(conn.open_streams(), 1);
+    }
+
+    fn memory_conn(window: u64, max_streams: u64) -> MuxConn {
+        MuxConn::with_memory(
+            window,
+            max_streams,
+            Some(Arc::new(crate::spill::TierCache::new(
+                ibp_sim::TableEncoding::Compact,
+            ))),
+            Some(Box::new(crate::spill::MemorySpillStore::new())),
+        )
+    }
+
+    /// Evicting every active session between bursts and restoring on
+    /// demand must not change a single byte of the close receipts —
+    /// driven against a plain (never-spilled, never-shared) connection
+    /// over the identical frame stream.
+    #[test]
+    fn spill_and_restore_are_transparent() {
+        let events = indirect_events(120);
+        let mut mem = memory_conn(256, 8);
+        let mut plain = MuxConn::new(256, 8);
+
+        let mut open_bytes = Vec::new();
+        put_mux_open(&mut open_bytes, 1, PredictorKind::PpmHyb.wire_code(), 2048, false);
+        put_mux_open(&mut open_bytes, 2, PredictorKind::Btb.wire_code(), 2048, false);
+        drive(&mut mem, &open_bytes);
+        drive(&mut plain, &open_bytes);
+
+        let mut enc_mem = [EventDeltaState::new(), EventDeltaState::new()];
+        let mut enc_plain = [EventDeltaState::new(), EventDeltaState::new()];
+        for chunk in events.chunks(30) {
+            let mut mem_bytes = Vec::new();
+            let mut plain_bytes = Vec::new();
+            for stream in [1u64, 2u64] {
+                let i = (stream - 1) as usize;
+                if let (Some(em), Some(ep)) = (enc_mem.get_mut(i), enc_plain.get_mut(i)) {
+                    put_mux_events_frame(em, stream, chunk, &mut mem_bytes);
+                    put_mux_events_frame(ep, stream, chunk, &mut plain_bytes);
+                }
+            }
+            drive(&mut mem, &mem_bytes);
+            drive(&mut plain, &plain_bytes);
+            // Budget pressure between bursts: evict *everything*.
+            while let Some((stream, _)) = mem.coldest_active() {
+                let spilled = mem.spill_stream(stream);
+                assert!(spilled.is_some(), "spill of stream {stream} failed");
+            }
+            assert_eq!(mem.resident_bytes(), 0, "all sessions evicted");
+            assert_eq!(mem.spilled_streams(), 2);
+        }
+
+        let mut close_bytes = Vec::new();
+        put_mux_stream_frame(frame_type::MUX_CLOSE, 1, &mut close_bytes);
+        put_mux_stream_frame(frame_type::MUX_CLOSE, 2, &mut close_bytes);
+        let mem_out = drive(&mut mem, &close_bytes);
+        let plain_out = drive(&mut plain, &close_bytes);
+
+        let receipts = |out: &[ServerFrame]| -> Vec<ServerFrame> {
+            out.iter()
+                .filter(|f| matches!(f, ServerFrame::MuxClosed { .. }))
+                .cloned()
+                .collect()
+        };
+        assert_eq!(receipts(&mem_out).len(), 2);
+        assert_eq!(
+            receipts(&mem_out),
+            receipts(&plain_out),
+            "spill/restore or tier sharing changed the close receipts"
+        );
+        let t = mem.tallies();
+        assert!(t.spilled >= 8, "each burst evicted both sessions");
+        assert!(t.restored >= t.spilled.saturating_sub(2), "restores track spills");
+        assert_eq!(t.spill_failures, 0);
+        assert!(t.max_session_bytes > 0);
+        assert!(t.spill_bytes >= t.max_session_bytes);
+        assert_eq!(mem.spilled_streams(), 0, "closed streams drop their blobs");
+    }
+
+    #[test]
+    fn spilled_streams_survive_idle_ticks_and_window_kills_drop_blobs() {
+        let window = 8u64;
+        let mut conn = memory_conn(window, 8);
+        let mut bytes = Vec::new();
+        put_mux_open(&mut bytes, 1, PredictorKind::Btb.wire_code(), 2048, false);
+        put_mux_open(&mut bytes, 2, PredictorKind::Btb.wire_code(), 2048, false);
+        let mut enc = EventDeltaState::new();
+        put_mux_events_frame(&mut enc, 1, &indirect_events(4), &mut bytes);
+        drive(&mut conn, &bytes);
+        assert!(conn.spill_stream(1).is_some());
+        assert!(conn.spill_stream(2).is_some());
+        assert_eq!(conn.spill_stream(2), None, "already spilled");
+
+        // A spilled hog is killed like any other; its blob goes too.
+        let mut hog = EventDeltaState::new();
+        let mut hog_bytes = Vec::new();
+        put_mux_events_frame(&mut hog, 2, &indirect_events(window * 2 + 1), &mut hog_bytes);
+        let out = drive(&mut conn, &hog_bytes);
+        assert!(out.iter().any(|f| matches!(
+            f,
+            ServerFrame::MuxError {
+                stream: 2,
+                code: ErrorCode::WindowOverflow,
+                ..
+            }
+        )));
+        assert_eq!(conn.spilled_streams(), 1, "the killed stream's blob is gone");
+
+        // The survivor restores transparently on its next frame.
+        let mut tail = Vec::new();
+        put_mux_events_frame(&mut enc, 1, &indirect_events(4), &mut tail);
+        put_mux_stream_frame(frame_type::MUX_CLOSE, 1, &mut tail);
+        let out = drive(&mut conn, &tail);
+        let closed = out
+            .iter()
+            .find_map(|f| match f {
+                ServerFrame::MuxClosed { events, .. } => Some(*events),
+                _ => None,
+            })
+            .expect("close receipt");
+        assert_eq!(closed, 8, "no events lost across the spill");
+        assert_eq!(conn.tallies().restored, 1);
+        assert_eq!(conn.spilled_streams(), 0);
     }
 
     #[test]

@@ -187,11 +187,18 @@ pub enum ErrorCode {
     MuxNotNegotiated,
     /// `MUX_OPEN` for a stream id that is already open.
     DuplicateStream,
+    /// Entries budget above the documented per-session maximum
+    /// (`ibp_sim::MAX_BUILD_ENTRIES`). Distinct from [`BadBudget`]
+    /// (too small / malformed) so capacity planners can tell "ask for
+    /// less" apart from "ask differently".
+    ///
+    /// [`BadBudget`]: ErrorCode::BadBudget
+    EntriesTooLarge,
 }
 
 impl ErrorCode {
     /// All codes, in wire order.
-    pub const ALL: [ErrorCode; 14] = [
+    pub const ALL: [ErrorCode; 15] = [
         ErrorCode::BadMagic,
         ErrorCode::BadVersion,
         ErrorCode::UnknownPredictor,
@@ -206,6 +213,7 @@ impl ErrorCode {
         ErrorCode::StreamLimit,
         ErrorCode::MuxNotNegotiated,
         ErrorCode::DuplicateStream,
+        ErrorCode::EntriesTooLarge,
     ];
 
     /// The single-byte wire representation.
@@ -225,6 +233,7 @@ impl ErrorCode {
             ErrorCode::StreamLimit => 12,
             ErrorCode::MuxNotNegotiated => 13,
             ErrorCode::DuplicateStream => 14,
+            ErrorCode::EntriesTooLarge => 15,
         }
     }
 
@@ -251,6 +260,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::StreamLimit => "stream-limit",
             ErrorCode::MuxNotNegotiated => "mux-not-negotiated",
             ErrorCode::DuplicateStream => "duplicate-stream",
+            ErrorCode::EntriesTooLarge => "entries-too-large",
         };
         f.write_str(name)
     }
@@ -1676,17 +1686,19 @@ mod tests {
         assert_eq!(ErrorCode::StreamLimit.as_u8(), 12);
         assert_eq!(ErrorCode::MuxNotNegotiated.as_u8(), 13);
         assert_eq!(ErrorCode::DuplicateStream.as_u8(), 14);
-        assert_eq!(ErrorCode::ALL.len(), 14);
+        assert_eq!(ErrorCode::EntriesTooLarge.as_u8(), 15);
+        assert_eq!(ErrorCode::ALL.len(), 15);
         for code in [
             ErrorCode::UnknownStream,
             ErrorCode::StreamLimit,
             ErrorCode::MuxNotNegotiated,
             ErrorCode::DuplicateStream,
+            ErrorCode::EntriesTooLarge,
         ] {
             assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
             assert!(!code.to_string().is_empty());
         }
-        assert_eq!(ErrorCode::from_u8(15), None);
+        assert_eq!(ErrorCode::from_u8(16), None);
     }
 
     #[test]

@@ -36,13 +36,14 @@ use crate::protocol::{
     frame_type, version_is_mux, ClientFrame, ErrorCode, FrameBuffer, ServerFrame,
 };
 use crate::session::{Session, SessionFatal, MAX_ENTRIES, MIN_ENTRIES};
+use crate::spill::{DiskSpillStore, MemorySpillStore, SpillStore, TierCache};
 use ibp_metrics::{Log2Histogram, MetricsSnapshot};
-use ibp_sim::PredictorKind;
+use ibp_sim::{PredictorKind, TableEncoding};
 use ibp_trace::wire::EventDeltaState;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use crate::server::ServerConfig;
@@ -74,10 +75,25 @@ pub(crate) struct Shared {
     pub(crate) cur_streams: AtomicU64,
     pub(crate) peak_streams: AtomicU64,
     pub(crate) metrics: Mutex<MetricsSnapshot>,
+    /// Shared sealed base tiers for the multi-tenant memory plane;
+    /// `Some` iff `cfg.resident_budget > 0`.
+    pub(crate) tiers: Option<Arc<TierCache>>,
+    /// Server-unique prefix source for per-connection disk spill files.
+    pub(crate) conn_seq: AtomicU64,
+    /// High-water mark of resident mux predictor bytes on any one
+    /// shard (maintained by the budget enforcer).
+    pub(crate) peak_resident: AtomicU64,
 }
 
 impl Shared {
     pub(crate) fn new(cfg: ServerConfig) -> Shared {
+        let tiers = (cfg.resident_budget > 0).then(|| {
+            Arc::new(TierCache::new(if cfg.compact {
+                TableEncoding::Compact
+            } else {
+                TableEncoding::Plain
+            }))
+        });
         Shared {
             cfg,
             accepting: AtomicBool::new(true),
@@ -87,6 +103,9 @@ impl Shared {
             cur_streams: AtomicU64::new(0),
             peak_streams: AtomicU64::new(0),
             metrics: Mutex::new(MetricsSnapshot::new()),
+            tiers,
+            conn_seq: AtomicU64::new(0),
+            peak_resident: AtomicU64::new(0),
         }
     }
 
@@ -292,7 +311,8 @@ impl Conn {
 
     /// Parses the handshake if complete, opening the negotiated plane.
     /// Returns true when more frames may follow this poll.
-    fn advance_handshake(&mut self, cfg: &ServerConfig) -> bool {
+    fn advance_handshake(&mut self, shared: &Shared) -> bool {
+        let cfg = &shared.cfg;
         let hello = match self.buffer.next_hello() {
             Ok(Some(h)) => h,
             Ok(None) => return false,
@@ -313,7 +333,18 @@ impl Conn {
             self.finish(SessionEnd::HandshakeRejected);
             return false;
         };
-        if hello.entries < MIN_ENTRIES || hello.entries > MAX_ENTRIES {
+        if hello.entries > MAX_ENTRIES {
+            // Too large is its own typed rejection: the budget was
+            // well-formed, the server just caps per-session tables at
+            // the documented maximum.
+            self.queue_error(
+                ErrorCode::EntriesTooLarge,
+                format!("entries {} above the cap of {MAX_ENTRIES}", hello.entries),
+            );
+            self.finish(SessionEnd::HandshakeRejected);
+            return false;
+        }
+        if hello.entries < MIN_ENTRIES {
             self.queue_error(
                 ErrorCode::BadBudget,
                 format!(
@@ -325,7 +356,33 @@ impl Conn {
             return false;
         }
         if version_is_mux(hello.version) {
-            let conn = MuxConn::new(cfg.window, cfg.max_streams);
+            let conn = match &shared.tiers {
+                Some(tiers) => {
+                    // Memory plane on: streams fork from the shared
+                    // sealed tiers, and this connection gets its own
+                    // spill store (stream ids are conn-scoped).
+                    let store: Box<dyn SpillStore> = match &cfg.spill_dir {
+                        Some(dir) => {
+                            let prefix = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
+                            match DiskSpillStore::new(dir, prefix) {
+                                Ok(s) => Box::new(s),
+                                // An unusable spill directory degrades
+                                // to heap spill rather than refusing
+                                // service.
+                                Err(_) => Box::new(MemorySpillStore::new()),
+                            }
+                        }
+                        None => Box::new(MemorySpillStore::new()),
+                    };
+                    MuxConn::with_memory(
+                        cfg.window,
+                        cfg.max_streams,
+                        Some(Arc::clone(tiers)),
+                        Some(store),
+                    )
+                }
+                None => MuxConn::new(cfg.window, cfg.max_streams),
+            };
             self.queue(&conn.hello_ack());
             self.plane = Plane::Mux {
                 conn,
@@ -346,8 +403,8 @@ impl Conn {
 
     /// Runs the negotiated plane over every complete frame in the
     /// buffer, then (mux) steps accumulated batches.
-    fn process(&mut self, cfg: &ServerConfig, responses: &mut Vec<ServerFrame>) {
-        if matches!(self.plane, Plane::Handshake) && !self.advance_handshake(cfg) {
+    fn process(&mut self, shared: &Shared, responses: &mut Vec<ServerFrame>) {
+        if matches!(self.plane, Plane::Handshake) && !self.advance_handshake(shared) {
             return;
         }
         loop {
@@ -450,10 +507,21 @@ impl Conn {
     }
 
     /// One reactor visit. Returns whether any bytes moved either way.
-    fn poll(&mut self, cfg: &ServerConfig, scratch: &mut [u8], responses: &mut Vec<ServerFrame>) -> bool {
+    /// `now` is the shard-loop iteration counter, advancing every mux
+    /// stream's LRU clock consistently across the shard's connections.
+    fn poll(
+        &mut self,
+        shared: &Shared,
+        now: u64,
+        scratch: &mut [u8],
+        responses: &mut Vec<ServerFrame>,
+    ) -> bool {
         let mut progress = self.flush_out();
         if self.end.is_some() {
             return progress;
+        }
+        if let Plane::Mux { conn, .. } = &mut self.plane {
+            conn.set_clock(now);
         }
         if self.pending_out() <= OUTBUF_HIGH_WATER {
             let (read_progress, eof) = self.read_burst(scratch);
@@ -461,7 +529,7 @@ impl Conn {
             if read_progress {
                 self.idle = Duration::ZERO;
             }
-            self.process(cfg, responses);
+            self.process(shared, responses);
             if eof && self.end.is_none() {
                 // Mid-batch EOF included: whatever partial frame the
                 // buffer holds is discarded with the connection.
@@ -533,7 +601,52 @@ impl Conn {
                 metrics.add_counter("serve_mux_window_overflows", t.window_overflows);
                 metrics.add_counter("serve_mux_backpressure", t.backpressure_warnings);
                 metrics.add_counter("serve_idle_evictions", t.idle_evictions);
+                metrics.add_counter("serve_mux_spilled", t.spilled);
+                metrics.add_counter("serve_mux_restored", t.restored);
+                metrics.add_counter("serve_spill_bytes", t.spill_bytes);
+                metrics.add_counter("serve_restore_bytes", t.restore_bytes);
+                metrics.add_counter("serve_spill_failures", t.spill_failures);
+                metrics.record_max("serve_bytes_per_session", t.max_session_bytes);
+                metrics.record_max("serve_peak_spilled_streams", t.peak_spilled_streams);
             }
+        }
+    }
+}
+
+/// Spills least-recently-touched streams (across every mux connection
+/// on the shard, by the shared iteration clock) until resident
+/// predictor bytes fit the shard's budget share. Stops early when
+/// nothing spillable remains or a spill fails.
+fn enforce_budget(conns: &mut [Conn], budget: u64, shared: &Shared) {
+    loop {
+        let total: u64 = conns
+            .iter()
+            .map(|c| match &c.plane {
+                Plane::Mux { conn, .. } => conn.resident_bytes() as u64,
+                _ => 0,
+            })
+            .sum();
+        shared.peak_resident.fetch_max(total, Ordering::SeqCst);
+        if total <= budget {
+            return;
+        }
+        let mut coldest: Option<(usize, u64, u64)> = None;
+        for (i, c) in conns.iter().enumerate() {
+            if let Plane::Mux { conn, .. } = &c.plane {
+                if let Some((stream, touch)) = conn.coldest_active() {
+                    if coldest.is_none_or(|(_, _, t)| touch < t) {
+                        coldest = Some((i, stream, touch));
+                    }
+                }
+            }
+        }
+        let Some((i, stream, _)) = coldest else { return };
+        let Some(c) = conns.get_mut(i) else { return };
+        let Plane::Mux { conn, .. } = &mut c.plane else {
+            return;
+        };
+        if conn.spill_stream(stream).is_none() {
+            return;
         }
     }
 }
@@ -636,7 +749,19 @@ pub(crate) fn shard_loop(shard: usize, listener: TcpListener, shared: &Shared) {
             .unwrap_or(u32::MAX);
     let mut stalls = 0u32;
     let mut naps = 0u32;
+    // Each shard enforces its share of the server-wide resident-bytes
+    // budget (0 = memory plane off).
+    let shard_budget = if shared.cfg.resident_budget > 0 {
+        (shared.cfg.resident_budget / shared.cfg.shards.max(1) as u64).max(1)
+    } else {
+        0
+    };
+    // The LRU clock: one tick per reactor iteration, shared by every
+    // connection on the shard so "least recently touched" is
+    // well-ordered across connections.
+    let mut now = 0u64;
     loop {
+        now = now.saturating_add(1);
         let mut progress = false;
         let accepting = shared.accepting.load(Ordering::SeqCst);
         if accepting {
@@ -654,7 +779,7 @@ pub(crate) fn shard_loop(shard: usize, listener: TcpListener, shared: &Shared) {
         while i < conns.len() {
             let Some(conn) = conns.get_mut(i) else { break };
             if conn.end.is_none() {
-                progress |= conn.poll(&shared.cfg, &mut scratch, &mut responses);
+                progress |= conn.poll(shared, now, &mut scratch, &mut responses);
             }
             track_streams(conn, shared);
             if conn.end.is_some() {
@@ -671,6 +796,9 @@ pub(crate) fn shard_loop(shard: usize, listener: TcpListener, shared: &Shared) {
             } else {
                 i += 1;
             }
+        }
+        if shard_budget > 0 {
+            enforce_budget(&mut conns, shard_budget, shared);
         }
         if !accepting && conns.is_empty() {
             return;

@@ -61,6 +61,19 @@ pub struct ServerConfig {
     /// How long [`Server::shutdown`] waits for in-flight connections
     /// before forcing them closed.
     pub drain_timeout: Duration,
+    /// Resident-bytes budget for mux predictor sessions, across the
+    /// whole server (each shard enforces its share). `0` disables the
+    /// memory plane entirely: streams get private tables and are never
+    /// spilled — exactly the pre-budget behaviour.
+    pub resident_budget: u64,
+    /// Where evicted sessions' snapshots go when the budget is on:
+    /// `Some(dir)` writes one file per spilled stream under `dir`,
+    /// `None` keeps the (delta-sized) blobs on the heap.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Use compact (quantized-counter, slot-packed) Markov tables for
+    /// mux sessions on the memory plane. Only consulted when
+    /// `resident_budget > 0`.
+    pub compact: bool,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +88,9 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(2),
             idle_timeout: Duration::from_secs(10),
             drain_timeout: Duration::from_secs(5),
+            resident_budget: 0,
+            spill_dir: None,
+            compact: false,
         }
     }
 }
@@ -225,6 +241,10 @@ impl Server {
         metrics.record_max(
             "serve_peak_streams",
             self.shared.peak_streams.load(Ordering::SeqCst),
+        );
+        metrics.record_max(
+            "serve_peak_resident_bytes",
+            self.shared.peak_resident.load(Ordering::SeqCst),
         );
         ServerReport {
             metrics,

@@ -1,0 +1,255 @@
+//! Multi-tenant session memory: shared base tiers and spill stores.
+//!
+//! Two pieces back the serve-plane memory budget:
+//!
+//! * [`TierCache`] — one sealed [`BaseTier`] per `(predictor, entries)`
+//!   shape, shared by every shard of a server. Streams opened while the
+//!   memory plane is on are forked from the tier, so their immutable
+//!   table storage is one `Arc` allocation per shape instead of one per
+//!   stream, and their snapshots serialize only the copy-on-write delta
+//!   (see `ibp_sim::snapshot`).
+//! * [`SpillStore`] — where an evicted session's snapshot goes while it
+//!   is out of memory. [`MemorySpillStore`] keeps blobs on the heap
+//!   (the default: the snapshot is still 10-100× smaller than the live
+//!   tables); [`DiskSpillStore`] writes one file per stream under a
+//!   configured directory and removes them on drop.
+//!
+//! Both stores are per-connection (stream ids are only unique within a
+//! connection), keyed by stream id.
+
+use ibp_exec::FastMap;
+use ibp_sim::{BaseTier, PredictorKind, TableEncoding};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Lazily-built, shared base tiers, one per `(predictor, entries)`
+/// shape. Cheap to clone handles out of; the inner map is behind a
+/// mutex but is only touched at stream open and restore, never on the
+/// per-event path.
+pub struct TierCache {
+    encoding: TableEncoding,
+    tiers: Mutex<FastMap<u64, Arc<BaseTier>>>,
+}
+
+impl std::fmt::Debug for TierCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierCache")
+            .field("encoding", &self.encoding)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TierCache {
+    /// An empty cache; tiers are built (sealed, unwarmed) on first use.
+    pub fn new(encoding: TableEncoding) -> TierCache {
+        TierCache {
+            encoding,
+            tiers: Mutex::new(FastMap::new()),
+        }
+    }
+
+    /// The table encoding every tier in this cache uses.
+    pub fn encoding(&self) -> TableEncoding {
+        self.encoding
+    }
+
+    /// The shared tier for one `(predictor, entries)` shape, building
+    /// and sealing it on first request.
+    pub fn tier(&self, kind: PredictorKind, entries: u64) -> Arc<BaseTier> {
+        // Entries are capped at 2^20 well below 2^40, so the key packs
+        // losslessly.
+        let key = (u64::from(kind.wire_code()) << 40) | entries;
+        let mut tiers = self.tiers.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(tier) = tiers.get(&key) {
+            return Arc::clone(tier);
+        }
+        let tier = Arc::new(BaseTier::warm(kind, entries as usize, self.encoding, &[]));
+        tiers.insert(key, Arc::clone(&tier));
+        tier
+    }
+}
+
+/// Where evicted session snapshots live. Implementations are
+/// per-connection and keyed by stream id; `take` removes the blob.
+pub trait SpillStore: Send {
+    /// Stores (or replaces) the blob for a stream.
+    fn put(&mut self, key: u64, blob: &[u8]) -> io::Result<()>;
+
+    /// Removes and returns a stream's blob, `Ok(None)` if absent.
+    fn take(&mut self, key: u64) -> io::Result<Option<Vec<u8>>>;
+
+    /// Streams currently spilled.
+    fn spilled_streams(&self) -> usize;
+
+    /// Total bytes currently spilled.
+    fn spilled_bytes(&self) -> u64;
+}
+
+/// Heap-backed spill store: eviction trades live predictor tables for
+/// their (much smaller) delta snapshots without touching disk.
+#[derive(Debug, Default)]
+pub struct MemorySpillStore {
+    blobs: FastMap<u64, Vec<u8>>,
+    bytes: u64,
+}
+
+impl MemorySpillStore {
+    /// An empty store.
+    pub fn new() -> MemorySpillStore {
+        MemorySpillStore::default()
+    }
+}
+
+impl SpillStore for MemorySpillStore {
+    fn put(&mut self, key: u64, blob: &[u8]) -> io::Result<()> {
+        if let Some(old) = self.blobs.insert(key, blob.to_vec()) {
+            self.bytes = self.bytes.saturating_sub(old.len() as u64);
+        }
+        self.bytes = self.bytes.saturating_add(blob.len() as u64);
+        Ok(())
+    }
+
+    fn take(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
+        let blob = self.blobs.remove(&key);
+        if let Some(b) = &blob {
+            self.bytes = self.bytes.saturating_sub(b.len() as u64);
+        }
+        Ok(blob)
+    }
+
+    fn spilled_streams(&self) -> usize {
+        self.blobs.len()
+    }
+
+    fn spilled_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Disk-backed spill store: one file per spilled stream under the
+/// configured directory, named by a server-unique connection prefix so
+/// concurrent connections never collide. Files are removed on `take`
+/// and any leftovers on drop.
+#[derive(Debug)]
+pub struct DiskSpillStore {
+    dir: PathBuf,
+    prefix: u64,
+    sizes: FastMap<u64, u64>,
+    bytes: u64,
+}
+
+impl DiskSpillStore {
+    /// Opens (creating if needed) the spill directory for one
+    /// connection. `prefix` must be unique per live connection.
+    pub fn new(dir: &Path, prefix: u64) -> io::Result<DiskSpillStore> {
+        std::fs::create_dir_all(dir)?;
+        Ok(DiskSpillStore {
+            dir: dir.to_path_buf(),
+            prefix,
+            sizes: FastMap::new(),
+            bytes: 0,
+        })
+    }
+
+    fn path(&self, key: u64) -> PathBuf {
+        self.dir
+            .join(format!("ibps-{:016x}-{key:016x}.spill", self.prefix))
+    }
+}
+
+impl SpillStore for DiskSpillStore {
+    fn put(&mut self, key: u64, blob: &[u8]) -> io::Result<()> {
+        std::fs::write(self.path(key), blob)?;
+        if let Some(old) = self.sizes.insert(key, blob.len() as u64) {
+            self.bytes = self.bytes.saturating_sub(old);
+        }
+        self.bytes = self.bytes.saturating_add(blob.len() as u64);
+        Ok(())
+    }
+
+    fn take(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
+        let Some(size) = self.sizes.remove(&key) else {
+            return Ok(None);
+        };
+        self.bytes = self.bytes.saturating_sub(size);
+        let path = self.path(key);
+        let blob = std::fs::read(&path)?;
+        let _ = std::fs::remove_file(&path);
+        Ok(Some(blob))
+    }
+
+    fn spilled_streams(&self) -> usize {
+        self.sizes.len()
+    }
+
+    fn spilled_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for DiskSpillStore {
+    fn drop(&mut self) {
+        let keys: Vec<u64> = self.sizes.iter().map(|(k, _)| *k).collect();
+        for key in keys {
+            let _ = std::fs::remove_file(self.path(key));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_store_round_trips_and_accounts() {
+        let mut store = MemorySpillStore::new();
+        store.put(7, b"alpha").unwrap();
+        store.put(9, b"bee").unwrap();
+        assert_eq!(store.spilled_streams(), 2);
+        assert_eq!(store.spilled_bytes(), 8);
+        store.put(7, b"replaced").unwrap();
+        assert_eq!(store.spilled_bytes(), 11);
+        assert_eq!(store.take(7).unwrap().as_deref(), Some(&b"replaced"[..]));
+        assert_eq!(store.take(7).unwrap(), None);
+        assert_eq!(store.spilled_streams(), 1);
+        assert_eq!(store.spilled_bytes(), 3);
+    }
+
+    #[test]
+    fn disk_store_round_trips_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("ibp-spill-test-{}", std::process::id()));
+        let leftover;
+        {
+            let mut store = DiskSpillStore::new(&dir, 0xfeed).unwrap();
+            store.put(1, b"session one").unwrap();
+            store.put(2, b"session two").unwrap();
+            assert_eq!(store.spilled_streams(), 2);
+            assert_eq!(store.take(1).unwrap().as_deref(), Some(&b"session one"[..]));
+            assert_eq!(store.take(1).unwrap(), None);
+            leftover = store.path(2);
+            assert!(leftover.exists());
+        }
+        // Drop removed the un-taken blob's file.
+        assert!(!leftover.exists());
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn tier_cache_shares_one_tier_per_shape() {
+        let cache = TierCache::new(TableEncoding::Compact);
+        let a = cache.tier(PredictorKind::Btb, 2048);
+        let b = cache.tier(PredictorKind::Btb, 2048);
+        let c = cache.tier(PredictorKind::Btb, 4096);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.encoding(), TableEncoding::Compact);
+        // Forked sessions run and snapshot against the shared base.
+        let mut s = a.session();
+        s.step_counted(&[ibp_trace::BranchEvent::indirect_jmp(
+            ibp_isa::Addr::new(0x4000),
+            ibp_isa::Addr::new(0x9000),
+        )]);
+        assert!(s.is_sealed());
+    }
+}

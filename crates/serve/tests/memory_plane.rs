@@ -1,0 +1,142 @@
+//! End-to-end memory-plane gate: a server whose resident-bytes budget
+//! is far below demand must evict and restore sessions *transparently*
+//! — every close receipt still matches the offline simulator exactly,
+//! the stream ledger stays exact, and the spill telemetry shows the
+//! machinery actually engaged.
+
+use ibp_isa::Addr;
+use ibp_serve::{MuxClient, Server, ServerConfig};
+use ibp_sim::PredictorKind;
+use ibp_trace::BranchEvent;
+
+fn busy_events(n: u64) -> Vec<BranchEvent> {
+    (0..n)
+        .map(|i| {
+            BranchEvent::indirect_jmp(
+                Addr::new(0x4000 + (i % 7) * 8),
+                Addr::new(0x9000 + (i % 5) * 0x40),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn budget_eviction_is_transparent_end_to_end() {
+    let server = Server::start(ServerConfig {
+        shards: 1,
+        max_sessions: 4,
+        max_streams: 64,
+        window: 64,
+        // A budget no live session fits: every enforcement pass evicts
+        // everything idle, so spill/restore churn is guaranteed.
+        resident_budget: 1,
+        compact: true,
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.local_addr();
+
+    let events = busy_events(200);
+    let passes = 3u64;
+    let streams = 8u64;
+    let mut client = MuxClient::connect(addr).expect("mux handshake");
+    for s in 0..streams {
+        client
+            .open(s, PredictorKind::PpmHyb, 2048, false)
+            .expect("open");
+    }
+    let ids: Vec<u64> = (0..streams).collect();
+    for _ in 0..passes {
+        client.broadcast(&ids, &events).expect("send");
+        // A blocking stats round-trip between passes parks the client,
+        // giving the reactor quiet iterations in which the budget
+        // enforcer runs against fully-stepped (spillable) sessions.
+        client.stats(0).expect("stats");
+    }
+
+    // Offline reference: the same predictor over the same repeated
+    // stream — serve-side tier sharing, compact tables and spill cycles
+    // must not change a single count.
+    let trace: ibp_trace::Trace = (0..passes)
+        .flat_map(|_| events.iter().copied())
+        .collect();
+    let offline = PredictorKind::PpmHyb.simulate_trace(&trace);
+
+    for s in 0..streams {
+        let closed = client.finish(s).expect("close");
+        assert_eq!(closed.events(), passes * events.len() as u64);
+        assert_eq!(closed.predictions(), offline.predictions(), "stream {s}");
+        assert_eq!(
+            closed.mispredictions(),
+            offline.mispredictions(),
+            "stream {s}"
+        );
+    }
+    let total = client.bye().expect("bye");
+    assert_eq!(total, streams * passes * events.len() as u64);
+
+    let report = server.shutdown();
+    assert!(report.drained_clean);
+    assert_eq!(report.metrics.counter("serve_mux_streams"), streams);
+    assert_eq!(report.metrics.counter("serve_mux_clean_closes"), streams);
+    assert_eq!(report.metrics.counter("serve_spill_failures"), 0);
+    assert_eq!(report.metrics.counter("serve_mux_stream_errors"), 0);
+    // The budget actually bit: sessions were evicted and came back.
+    assert!(
+        report.metrics.counter("serve_mux_spilled") >= 1,
+        "no session was ever evicted under a 1-byte budget"
+    );
+    assert!(
+        report.metrics.counter("serve_mux_restored") >= 1,
+        "no evicted session was restored"
+    );
+    assert!(report.metrics.counter("serve_spill_bytes") > 0);
+    assert!(report.metrics.maximum("serve_bytes_per_session") > 0);
+}
+
+#[test]
+fn disk_spill_round_trips_and_cleans_up() {
+    let dir = std::env::temp_dir().join(format!("ibp-serve-spill-{}", std::process::id()));
+    let server = Server::start(ServerConfig {
+        shards: 1,
+        max_sessions: 2,
+        max_streams: 16,
+        window: 64,
+        resident_budget: 1,
+        spill_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.local_addr();
+
+    let events = busy_events(120);
+    let mut client = MuxClient::connect(addr).expect("mux handshake");
+    for s in 0..4u64 {
+        client.open(s, PredictorKind::Btb, 2048, false).expect("open");
+    }
+    let ids: Vec<u64> = (0..4).collect();
+    for _ in 0..2 {
+        client.broadcast(&ids, &events).expect("send");
+        client.stats(0).expect("stats");
+    }
+    let trace: ibp_trace::Trace = events.iter().copied().chain(events.iter().copied()).collect();
+    let offline = PredictorKind::Btb.simulate_trace(&trace);
+    for s in 0..4u64 {
+        let closed = client.finish(s).expect("close");
+        assert_eq!(closed.events(), 240);
+        assert_eq!(closed.predictions(), offline.predictions());
+        assert_eq!(closed.mispredictions(), offline.mispredictions());
+    }
+    client.bye().expect("bye");
+
+    let report = server.shutdown();
+    assert!(report.drained_clean);
+    assert_eq!(report.metrics.counter("serve_spill_failures"), 0);
+    assert!(report.metrics.counter("serve_mux_spilled") >= 1);
+    // Every spill file was consumed or removed with its connection.
+    let leftovers = std::fs::read_dir(&dir)
+        .map(|rd| rd.filter_map(Result::ok).count())
+        .unwrap_or(0);
+    assert_eq!(leftovers, 0, "spill files leaked in {}", dir.display());
+    let _ = std::fs::remove_dir(&dir);
+}

@@ -95,16 +95,32 @@ fn handshake_rejections_are_typed() {
     );
     expect_error(&exchange(addr, &bytes), ErrorCode::BadBudget);
 
-    // The typed client surfaces the same rejection.
+    // Too *large* a budget is its own typed rejection, distinct from
+    // too-small: the client asked for more table than any session may
+    // hold (ibp_sim::MAX_BUILD_ENTRIES).
+    let mut bytes = Vec::new();
+    put_hello(
+        &mut bytes,
+        &Hello::legacy(PredictorKind::Btb.wire_code(), (1 << 20) + 1),
+    );
+    expect_error(&exchange(addr, &bytes), ErrorCode::EntriesTooLarge);
+
+    // The typed client surfaces the same rejections.
     match ServeClient::connect(addr, PredictorKind::Btb, 7) {
         Err(ClientError::Rejected { code, .. }) => assert_eq!(code, ErrorCode::BadBudget),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    match ServeClient::connect(addr, PredictorKind::Btb, (1 << 20) + 1) {
+        Err(ClientError::Rejected { code, .. }) => {
+            assert_eq!(code, ErrorCode::EntriesTooLarge)
+        }
         other => panic!("expected Rejected, got {other:?}"),
     }
 
     let report = server.shutdown();
     assert!(report.drained_clean);
-    assert_eq!(report.metrics.counter("serve_handshake_rejects"), 5);
-    assert_eq!(report.metrics.counter("serve_sessions"), 5);
+    assert_eq!(report.metrics.counter("serve_handshake_rejects"), 7);
+    assert_eq!(report.metrics.counter("serve_sessions"), 7);
 }
 
 #[test]

@@ -30,10 +30,12 @@ pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod snapshot;
 pub mod stepper;
 pub mod zoo;
 
 pub use compare::{compare_grid, compare_grid_with, GridResult};
+pub use ibp_ppm::TableEncoding;
 pub use ibp_exec::Executor;
 pub use delay::DelayedPredictor;
 pub use json::{Json, JsonError};
@@ -44,5 +46,6 @@ pub use metrics::{
 pub use runner::{
     ras_accuracy, simulate, simulate_probed, simulate_stream, simulate_stream_probed, RunResult,
 };
+pub use snapshot::{restore_session, snapshot_header, snapshot_session, BaseTier, SnapshotHeader};
 pub use stepper::{PredictionOutcome, SessionStepper, Stepper};
-pub use zoo::PredictorKind;
+pub use zoo::{PredictorKind, MAX_BUILD_ENTRIES};

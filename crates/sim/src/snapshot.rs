@@ -1,0 +1,399 @@
+//! Session snapshot/restore and the shared warm base tier.
+//!
+//! The multi-tenant serving plane keeps millions of *logical* sessions
+//! resident by splitting predictor memory three ways:
+//!
+//! 1. **Base tier** — one immutable, pre-warmed predictor image per
+//!    `(kind, entries, encoding)` configuration, shared by reference
+//!    ([`BaseTier`]). Sealing freezes the warmed tables behind `Arc`s;
+//!    forking a session is a cheap clone of those references.
+//! 2. **Delta overlay** — each live session's private writes, held in the
+//!    sparse copy-on-write overlays `seal` installs. A session's unique
+//!    footprint is its overlay, not the full table
+//!    ([`SessionStepper::resident_bytes`]).
+//! 3. **Spill file** — an idle session serialized by [`snapshot_session`]:
+//!    the counters, the per-branch ledger, and the predictor's *delta*
+//!    (sealed tables write sparse overlays, not the shared base). The
+//!    container reuses the trace-v2 varint/delta primitives, so blobs are
+//!    canonical — equal sessions produce equal bytes.
+//!
+//! The wire-facing container frames a [`SessionStepper::save_session`]
+//! payload with enough header to rebuild the receiver: magic, version,
+//! predictor wire code, entry budget, encoding, and sealed flag. Private
+//! (unsealed) snapshots are self-contained — [`restore_session`] rebuilds
+//! the predictor from the header alone. Sealed snapshots are *relative to
+//! a base tier* and only [`BaseTier::restore`] can revive them; handing
+//! one to [`restore_session`] is a typed [`PersistError::Mismatch`], not
+//! silent corruption.
+
+use crate::stepper::SessionStepper;
+use crate::zoo::{PredictorKind, MAX_BUILD_ENTRIES};
+use ibp_hw::{PersistError, StateSink, StateSource};
+use ibp_ppm::TableEncoding;
+use ibp_trace::BranchEvent;
+
+/// Container magic: `b"IBPS"` followed by a format version byte.
+const SNAPSHOT_MAGIC: u32 = 0x4942_5053; // "IBPS"
+const SNAPSHOT_VERSION: u8 = 1;
+
+fn encoding_code(encoding: TableEncoding) -> u8 {
+    match encoding {
+        TableEncoding::Plain => 0,
+        TableEncoding::Compact => 1,
+    }
+}
+
+fn encoding_from_code(code: u8) -> Option<TableEncoding> {
+    match code {
+        0 => Some(TableEncoding::Plain),
+        1 => Some(TableEncoding::Compact),
+        _ => None,
+    }
+}
+
+/// The parsed header of a session snapshot blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// Predictor kind the payload belongs to.
+    pub kind: PredictorKind,
+    /// Entry budget the predictor was built with.
+    pub entries: usize,
+    /// Markov table encoding (ignored by non-PPM kinds).
+    pub encoding: TableEncoding,
+    /// Whether the session was sealed to a base tier when saved.
+    pub sealed: bool,
+}
+
+/// Serializes `stepper` into a framed, self-describing snapshot blob.
+///
+/// `kind`, `entries`, and `encoding` must be the parameters the stepper
+/// was built with — they are recorded in the header so the restore side
+/// can rebuild (or validate) the receiver.
+pub fn snapshot_session(
+    kind: PredictorKind,
+    entries: usize,
+    encoding: TableEncoding,
+    stepper: &dyn SessionStepper,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut sink = StateSink::new(&mut out);
+    sink.u32(SNAPSHOT_MAGIC);
+    sink.u8(SNAPSHOT_VERSION);
+    sink.u8(kind.wire_code());
+    sink.usize(entries);
+    sink.u8(encoding_code(encoding));
+    sink.bool(stepper.is_sealed());
+    stepper.save_session(&mut out);
+    out
+}
+
+/// Parses and validates a snapshot header, returning it plus the payload.
+pub fn snapshot_header(bytes: &[u8]) -> Result<(SnapshotHeader, &[u8]), PersistError> {
+    let mut src = StateSource::new(bytes);
+    if src.u32()? != SNAPSHOT_MAGIC {
+        return Err(PersistError::Corrupt("not a session snapshot"));
+    }
+    if src.u8()? != SNAPSHOT_VERSION {
+        return Err(PersistError::Mismatch("snapshot format version"));
+    }
+    let kind = PredictorKind::from_wire_code(src.u8()?)
+        .ok_or(PersistError::Corrupt("unknown predictor wire code"))?;
+    let entries = src.usize()?;
+    if !(64..=MAX_BUILD_ENTRIES).contains(&entries) {
+        return Err(PersistError::Corrupt("snapshot entry budget out of range"));
+    }
+    let encoding = encoding_from_code(src.u8()?)
+        .ok_or(PersistError::Corrupt("unknown table encoding"))?;
+    let sealed = src.bool()?;
+    let header = SnapshotHeader {
+        kind,
+        entries,
+        encoding,
+        sealed,
+    };
+    let consumed = bytes.len() - src.remaining();
+    Ok((header, &bytes[consumed..]))
+}
+
+/// Rebuilds a **private** (unsealed) session from a snapshot blob.
+///
+/// Sealed snapshots are deltas against a shared base tier this function
+/// does not have; restoring one here fails with
+/// [`PersistError::Mismatch`] — use [`BaseTier::restore`].
+pub fn restore_session(bytes: &[u8]) -> Result<Box<dyn SessionStepper>, PersistError> {
+    let (header, payload) = snapshot_header(bytes)?;
+    if header.sealed {
+        return Err(PersistError::Mismatch(
+            "sealed snapshot requires its base tier",
+        ));
+    }
+    let mut stepper = header.kind.session_stepper_with(header.entries, header.encoding);
+    stepper.load_session(payload)?;
+    Ok(stepper)
+}
+
+/// An immutable, pre-warmed predictor image shared by every session of
+/// one `(kind, entries, encoding)` configuration.
+///
+/// Construction steps a private predictor through a reference warmup
+/// trace, then seals it: the warmed tables become `Arc`-shared bases and
+/// every [`BaseTier::session`] fork starts from that knowledge for the
+/// cost of a reference bump plus an empty overlay. The prototype itself
+/// is never stepped again, so its base is immutable for the tier's
+/// lifetime — the property that makes the delta snapshots stable.
+pub struct BaseTier {
+    kind: PredictorKind,
+    entries: usize,
+    encoding: TableEncoding,
+    prototype: Box<dyn SessionStepper>,
+}
+
+impl BaseTier {
+    /// Warms a fresh predictor through `warmup` and seals it as this
+    /// tier's shared base. An empty `warmup` yields a cold (but still
+    /// sealed and shareable) base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is outside `64..=`[`MAX_BUILD_ENTRIES`].
+    pub fn warm(
+        kind: PredictorKind,
+        entries: usize,
+        encoding: TableEncoding,
+        warmup: &[BranchEvent],
+    ) -> Self {
+        let mut prototype = kind.session_stepper_with(entries, encoding);
+        prototype.step_counted(warmup);
+        prototype.seal();
+        Self {
+            kind,
+            entries,
+            encoding,
+            prototype,
+        }
+    }
+
+    /// The predictor kind this tier serves.
+    pub fn kind(&self) -> PredictorKind {
+        self.kind
+    }
+
+    /// The entry budget every session of this tier was built with.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// The Markov table encoding sessions of this tier use.
+    pub fn encoding(&self) -> TableEncoding {
+        self.encoding
+    }
+
+    /// Bytes the shared prototype still uniquely owns (side state the
+    /// seal could not share; the warmed bases are charged to the tier,
+    /// not to any session).
+    pub fn prototype_resident_bytes(&self) -> usize {
+        self.prototype.resident_bytes()
+    }
+
+    /// Mints a fresh session sharing this tier's warmed base: zeroed
+    /// counters, empty delta overlay.
+    pub fn session(&self) -> Box<dyn SessionStepper> {
+        self.prototype.fork_fresh()
+    }
+
+    /// Revives a session from a snapshot taken of one of this tier's
+    /// forks: validates the header against the tier's configuration,
+    /// mints a fresh fork, and loads the delta payload into it.
+    pub fn restore(&self, bytes: &[u8]) -> Result<Box<dyn SessionStepper>, PersistError> {
+        let (header, payload) = snapshot_header(bytes)?;
+        if header.kind != self.kind
+            || header.entries != self.entries
+            || header.encoding != self.encoding
+        {
+            return Err(PersistError::Mismatch("snapshot belongs to another tier"));
+        }
+        if !header.sealed {
+            return Err(PersistError::Mismatch("private snapshot offered to a tier"));
+        }
+        let mut session = self.session();
+        session.load_session(payload)?;
+        Ok(session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibp_isa::Addr;
+
+    fn trace(n: u64, salt: u64) -> Vec<BranchEvent> {
+        (0..n)
+            .map(|i| {
+                let pc = Addr::new(0x4000 + (i % 7) * 4);
+                match i % 4 {
+                    0 => BranchEvent::indirect_jmp(
+                        pc,
+                        Addr::new(0x9000 + ((i + salt) % 3) * 0x100),
+                    ),
+                    1 => BranchEvent::cond_taken(pc, Addr::new(0x5000)),
+                    2 => BranchEvent::indirect_jsr(pc, Addr::new(0xA000 + ((i + salt) % 2) * 0x40)),
+                    _ => BranchEvent::ret(Addr::new(0xA010), pc.offset_words(1)),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn private_snapshot_round_trips() {
+        let events = trace(300, 0);
+        let mut s = PredictorKind::PpmHyb.session_stepper(2048);
+        s.step_counted(&events);
+        let blob = snapshot_session(
+            PredictorKind::PpmHyb,
+            2048,
+            TableEncoding::Plain,
+            &*s,
+        );
+        let mut restored = restore_session(&blob).unwrap();
+        // Continue both and demand identical results.
+        let more = trace(300, 5);
+        s.step_counted(&more);
+        restored.step_counted(&more);
+        assert_eq!(restored.run_result(), s.run_result());
+        assert_eq!(restored.events(), s.events());
+        // Canonical bytes: re-snapshotting the restored session is
+        // byte-identical to snapshotting the original.
+        let a = snapshot_session(PredictorKind::PpmHyb, 2048, TableEncoding::Plain, &*s);
+        let b = snapshot_session(
+            PredictorKind::PpmHyb,
+            2048,
+            TableEncoding::Plain,
+            &*restored,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tier_forks_share_base_and_stay_isolated() {
+        let warmup = trace(600, 0);
+        let tier = BaseTier::warm(
+            PredictorKind::PpmHyb,
+            2048,
+            TableEncoding::Compact,
+            &warmup,
+        );
+        let mut a = tier.session();
+        let mut b = tier.session();
+        assert!(a.is_sealed());
+        assert_eq!(a.events(), 0, "forks start with zeroed counters");
+        // A fork's unique footprint is tiny next to a private predictor.
+        let private = PredictorKind::PpmHyb.session_stepper(2048);
+        assert!(
+            a.resident_bytes() < private.resident_bytes() / 4,
+            "fork {} !< private {} / 4",
+            a.resident_bytes(),
+            private.resident_bytes()
+        );
+        // Divergent sessions do not see each other's writes.
+        a.step_counted(&trace(200, 1));
+        b.step_counted(&trace(200, 9));
+        let fresh = tier.session();
+        assert_eq!(fresh.events(), 0);
+        assert_ne!(a.run_result(), b.run_result());
+    }
+
+    /// A warmup stream with a wide static working set, so the shared base
+    /// actually populates the tables (the delta-vs-full size assertion
+    /// below is meaningless against a near-empty base).
+    fn wide_trace(n: u64, salt: u64) -> Vec<BranchEvent> {
+        (0..n)
+            .map(|i| {
+                let pc = Addr::new(0x4000 + (i % 211) * 4);
+                if i % 3 == 0 {
+                    BranchEvent::indirect_jmp(pc, Addr::new(0x9000 + ((i * 7 + salt) % 29) * 0x40))
+                } else {
+                    BranchEvent::indirect_jsr(pc, Addr::new(0xA000 + ((i * 5 + salt) % 17) * 0x40))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tier_snapshot_is_delta_sized_and_restores() {
+        let warmup = wide_trace(8000, 0);
+        let tier = BaseTier::warm(
+            PredictorKind::PpmHyb,
+            2048,
+            TableEncoding::Plain,
+            &warmup,
+        );
+        let mut session = tier.session();
+        session.step_counted(&trace(100, 3));
+        let delta_blob = snapshot_session(
+            tier.kind(),
+            tier.entries(),
+            tier.encoding(),
+            &*session,
+        );
+        // A private session over the same total stream snapshots the full
+        // tables; the tier session snapshots only its delta.
+        let mut private = PredictorKind::PpmHyb.session_stepper(2048);
+        private.step_counted(&warmup);
+        private.step_counted(&trace(100, 3));
+        let full_blob =
+            snapshot_session(tier.kind(), tier.entries(), tier.encoding(), &*private);
+        assert!(
+            delta_blob.len() * 4 < full_blob.len(),
+            "delta {} !< full {} / 4",
+            delta_blob.len(),
+            full_blob.len()
+        );
+        // Restore through the tier and continue in lockstep with the
+        // uninterrupted session.
+        let mut revived = tier.restore(&delta_blob).unwrap();
+        let more = trace(150, 7);
+        session.step_counted(&more);
+        revived.step_counted(&more);
+        assert_eq!(revived.run_result(), session.run_result());
+    }
+
+    #[test]
+    fn snapshots_refuse_the_wrong_home() {
+        let tier = BaseTier::warm(
+            PredictorKind::Btb,
+            2048,
+            TableEncoding::Plain,
+            &trace(100, 0),
+        );
+        let session = tier.session();
+        let sealed_blob =
+            snapshot_session(tier.kind(), tier.entries(), tier.encoding(), &*session);
+        // Sealed blob into the standalone restorer: typed refusal.
+        assert!(matches!(
+            restore_session(&sealed_blob),
+            Err(PersistError::Mismatch(_))
+        ));
+        // Sealed blob into a different tier: typed refusal.
+        let other = BaseTier::warm(
+            PredictorKind::Btb,
+            4096,
+            TableEncoding::Plain,
+            &trace(100, 0),
+        );
+        assert!(matches!(
+            other.restore(&sealed_blob),
+            Err(PersistError::Mismatch(_))
+        ));
+        // Private blob offered to a tier: typed refusal.
+        let private = PredictorKind::Btb.session_stepper(2048);
+        let private_blob =
+            snapshot_session(PredictorKind::Btb, 2048, TableEncoding::Plain, &*private);
+        assert!(matches!(
+            tier.restore(&private_blob),
+            Err(PersistError::Mismatch(_))
+        ));
+        // Garbage: typed refusal, not a panic.
+        assert!(restore_session(b"IBPSgarbage").is_err());
+        assert!(restore_session(&[]).is_err());
+    }
+}

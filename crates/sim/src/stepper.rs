@@ -20,6 +20,7 @@
 
 use crate::runner::RunResult;
 use ibp_exec::FastMap;
+use ibp_hw::{PersistError, StateSink, StateSource};
 use ibp_predictors::IndirectPredictor;
 use ibp_trace::BranchEvent;
 
@@ -42,7 +43,9 @@ pub struct PredictionOutcome {
 ///
 /// Implementations are monomorphized per concrete predictor (see the
 /// module docs); this trait is the once-per-batch dynamic boundary.
-pub trait SessionStepper {
+/// `Send + Sync` so a warmed prototype can be shared across reactor
+/// shards and forked from any of them.
+pub trait SessionStepper: Send + Sync {
     /// The predictor's display name (e.g. `PPM-hyb`).
     fn label(&self) -> &str;
 
@@ -67,6 +70,41 @@ pub trait SessionStepper {
     /// [`simulate_stream`](crate::runner::simulate_stream) over the same
     /// event sequence.
     fn run_result(&self) -> RunResult;
+
+    /// Freezes the predictor's current table contents into an immutable,
+    /// reference-counted **base tier**. Subsequent writes land in a sparse
+    /// copy-on-write delta overlay; [`SessionStepper::fork_fresh`] clones
+    /// share the base for free. Predictions are unchanged — the
+    /// multi-tenant differential suites pin this.
+    fn seal(&mut self);
+
+    /// Whether [`SessionStepper::seal`] has been called on this session
+    /// (directly or via the prototype it was forked from).
+    fn is_sealed(&self) -> bool;
+
+    /// Heap bytes this session uniquely owns. Sealed sessions charge only
+    /// their delta overlays (plus unshared side state), not the shared
+    /// base tier.
+    fn resident_bytes(&self) -> usize;
+
+    /// A fresh session sharing this stepper's predictor state: tables are
+    /// cloned (sharing the sealed base by reference where one exists) and
+    /// all event/prediction counters start at zero. This is how a warmed
+    /// [`BaseTier`](crate::snapshot::BaseTier) mints per-tenant sessions.
+    fn fork_fresh(&self) -> Box<dyn SessionStepper>;
+
+    /// Serializes the whole session — counters, per-branch ledger, and
+    /// predictor state — into `out`. Sealed sessions write their sparse
+    /// deltas, not the shared base, so idle-session spill files stay small.
+    /// The bytes are canonical: equal sessions produce equal blobs.
+    fn save_session(&self, out: &mut Vec<u8>);
+
+    /// Restores a blob written by [`SessionStepper::save_session`] into
+    /// this session, which must have the same predictor label and sealed
+    /// state (a sealed blob must load into a fork of the *same* base
+    /// tier). Fails with [`PersistError::Mismatch`] otherwise; on any
+    /// error this session's state is unspecified and it must be dropped.
+    fn load_session(&mut self, bytes: &[u8]) -> Result<(), PersistError>;
 }
 
 /// The generic [`SessionStepper`] implementation over a concrete
@@ -76,6 +114,7 @@ pub trait SessionStepper {
 pub struct Stepper<P> {
     predictor: P,
     label: String,
+    sealed: bool,
     seq: u64,
     predictions: u64,
     mispredictions: u64,
@@ -89,6 +128,7 @@ impl<P: IndirectPredictor> Stepper<P> {
         Stepper {
             predictor,
             label,
+            sealed: false,
             seq: 0,
             predictions: 0,
             mispredictions: 0,
@@ -131,7 +171,10 @@ impl<P: IndirectPredictor> Stepper<P> {
     }
 }
 
-impl<P: IndirectPredictor> SessionStepper for Stepper<P> {
+impl<P> SessionStepper for Stepper<P>
+where
+    P: IndirectPredictor + Clone + Send + Sync + 'static,
+{
     fn label(&self) -> &str {
         &self.label
     }
@@ -164,6 +207,103 @@ impl<P: IndirectPredictor> SessionStepper for Stepper<P> {
             self.mispredictions,
             self.per_branch.iter().map(|(&pc, &counts)| (pc, counts)),
         )
+    }
+
+    fn seal(&mut self) {
+        self.predictor.seal();
+        self.sealed = true;
+    }
+
+    fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    fn resident_bytes(&self) -> usize {
+        // Predictor tables plus the per-branch ledger's logical payload
+        // (pc + two counters per site).
+        self.predictor.resident_bytes()
+            + self.per_branch.len() * 3 * std::mem::size_of::<u64>()
+    }
+
+    fn fork_fresh(&self) -> Box<dyn SessionStepper> {
+        Box::new(Stepper {
+            predictor: self.predictor.clone(),
+            label: self.label.clone(),
+            sealed: self.sealed,
+            seq: 0,
+            predictions: 0,
+            mispredictions: 0,
+            per_branch: FastMap::with_capacity(PER_BRANCH_CAPACITY),
+        })
+    }
+
+    fn save_session(&self, out: &mut Vec<u8>) {
+        let mut sink = StateSink::new(out);
+        sink.bytes(self.label.as_bytes());
+        sink.bool(self.sealed);
+        sink.u64(self.seq);
+        sink.u64(self.predictions);
+        sink.u64(self.mispredictions);
+        // Per-branch ledger sorted by PC, gap-coded: canonical bytes
+        // regardless of map iteration order.
+        let mut sites: Vec<(u64, (u64, u64))> =
+            self.per_branch.iter().map(|(&pc, &c)| (pc, c)).collect();
+        sites.sort_unstable_by_key(|&(pc, _)| pc);
+        sink.usize(sites.len());
+        let mut prev = 0u64;
+        for (pc, (preds, misses)) in sites {
+            sink.u64(pc.wrapping_sub(prev));
+            prev = pc;
+            sink.u64(preds);
+            sink.u64(misses);
+        }
+        self.predictor.save_state(&mut sink);
+    }
+
+    fn load_session(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut src = StateSource::new(bytes);
+        if src.bytes()? != self.label.as_bytes() {
+            return Err(PersistError::Mismatch("session predictor label"));
+        }
+        if src.bool()? != self.sealed {
+            return Err(PersistError::Mismatch("session sealed state"));
+        }
+        let seq = src.u64()?;
+        let predictions = src.u64()?;
+        let mispredictions = src.u64()?;
+        if predictions > seq || mispredictions > predictions {
+            return Err(PersistError::Corrupt("session counters inconsistent"));
+        }
+        let sites = src.usize()?;
+        let mut per_branch = FastMap::with_capacity(PER_BRANCH_CAPACITY);
+        let mut pc = 0u64;
+        let mut total = 0u64;
+        for i in 0..sites {
+            let gap = src.u64()?;
+            if i > 0 && gap == 0 {
+                return Err(PersistError::Corrupt("session ledger out of order"));
+            }
+            pc = pc.wrapping_add(gap);
+            let preds = src.u64()?;
+            let misses = src.u64()?;
+            if misses > preds {
+                return Err(PersistError::Corrupt("session ledger inconsistent"));
+            }
+            total += preds;
+            per_branch.insert(pc, (preds, misses));
+        }
+        if total != predictions {
+            return Err(PersistError::Corrupt("session ledger does not sum"));
+        }
+        self.predictor.load_state(&mut src)?;
+        if !src.is_exhausted() {
+            return Err(PersistError::Corrupt("trailing bytes after session"));
+        }
+        self.seq = seq;
+        self.predictions = predictions;
+        self.mispredictions = mispredictions;
+        self.per_branch = per_branch;
+        Ok(())
     }
 }
 

@@ -8,13 +8,21 @@
 use crate::metrics::predictor_snapshot;
 use crate::runner::{simulate, simulate_probed, RunResult};
 use ibp_metrics::{MetricsSnapshot, RecordingProbe};
-use ibp_ppm::{PpmHybrid, PpmPib, SelectorKind, StackConfig};
+use ibp_ppm::{PpmHybrid, PpmPib, SelectorKind, StackConfig, TableEncoding};
 use ibp_predictors::{
     Btb, Btb2b, Cascade, CascadeConfig, DualPath, DualPathConfig, GApConfig, GApPredictor,
     HistoryGroup, IndirectPredictor, Ittage, IttageConfig, PathOracle, TargetCache,
     TargetCacheConfig,
 };
 use ibp_trace::Trace;
+
+/// The largest per-predictor table budget any layer will configure.
+/// [`PredictorKind::build_with_entries`] (and everything funnelled through
+/// `dispatch_kind!`) panics above this; the serve handshake rejects it
+/// with a typed `ERR_ENTRIES_TOO_LARGE` instead. 1M entries is ~500×
+/// the paper's design point — far past any meaningful ablation, and a
+/// guard against a remote peer requesting a multi-gigabyte allocation.
+pub const MAX_BUILD_ENTRIES: usize = 1 << 20;
 
 /// Dispatches on a [`PredictorKind`] once, binding `$make` in each arm to
 /// a zero-arg constructor of the *concrete* predictor type. Everything in
@@ -24,8 +32,15 @@ use ibp_trace::Trace;
 /// monomorphized simulation paths share these arms, so the configurations
 /// cannot drift apart.
 macro_rules! dispatch_kind {
-    ($kind:expr, $entries:ident, $make:ident => $body:expr) => {{
+    ($kind:expr, $entries:ident, $make:ident => $body:expr) => {
+        dispatch_kind!($kind, $entries, TableEncoding::Plain, $make => $body)
+    };
+    ($kind:expr, $entries:ident, $encoding:expr, $make:ident => $body:expr) => {{
         assert!($entries >= 64, "budget too small to configure predictors");
+        assert!(
+            $entries <= MAX_BUILD_ENTRIES,
+            "budget exceeds MAX_BUILD_ENTRIES"
+        );
         match $kind {
             PredictorKind::Btb => {
                 let $make = || Btb::new($entries);
@@ -90,17 +105,25 @@ macro_rules! dispatch_kind {
                 $body
             }
             PredictorKind::PpmHyb => {
-                let $make =
-                    || PpmHybrid::new(PredictorKind::ppm_stack($entries), SelectorKind::Normal);
+                let $make = || {
+                    PpmHybrid::new(
+                        PredictorKind::ppm_stack($entries, $encoding),
+                        SelectorKind::Normal,
+                    )
+                };
                 $body
             }
             PredictorKind::PpmPib => {
-                let $make = || PpmPib::new(PredictorKind::ppm_stack($entries));
+                let $make = || PpmPib::new(PredictorKind::ppm_stack($entries, $encoding));
                 $body
             }
             PredictorKind::PpmHybBiased => {
-                let $make =
-                    || PpmHybrid::new(PredictorKind::ppm_stack($entries), SelectorKind::PibBiased);
+                let $make = || {
+                    PpmHybrid::new(
+                        PredictorKind::ppm_stack($entries, $encoding),
+                        SelectorKind::PibBiased,
+                    )
+                };
                 $body
             }
             PredictorKind::OraclePib(depth) => {
@@ -279,6 +302,24 @@ impl PredictorKind {
         dispatch_kind!(self, entries, make => Box::new(crate::stepper::Stepper::new(make())))
     }
 
+    /// [`PredictorKind::session_stepper`] with an explicit table encoding
+    /// for the PPM stacks ([`TableEncoding::Compact`] slot-packs Markov
+    /// entries at ~1/3 the bytes; behaviourally identical). Kinds without
+    /// Markov tables ignore the encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is outside `64..=`[`MAX_BUILD_ENTRIES`].
+    pub fn session_stepper_with(
+        self,
+        entries: usize,
+        encoding: TableEncoding,
+    ) -> Box<dyn crate::stepper::SessionStepper> {
+        dispatch_kind!(self, entries, encoding, make => {
+            Box::new(crate::stepper::Stepper::new(make()))
+        })
+    }
+
     /// The lineup the serving layer exercises end to end: every kind,
     /// with the oracle at the §5 depth of 8.
     pub fn serve_lineup() -> Vec<PredictorKind> {
@@ -389,12 +430,13 @@ impl PredictorKind {
         }
     }
 
-    fn ppm_stack(entries: usize) -> StackConfig {
-        if entries == 2048 {
+    fn ppm_stack(entries: usize, encoding: TableEncoding) -> StackConfig {
+        let base = if entries == 2048 {
             StackConfig::paper()
         } else {
             StackConfig::with_total_entries(entries)
-        }
+        };
+        StackConfig { encoding, ..base }
     }
 
     /// The §5 display name (matches what `build().name()` reports).

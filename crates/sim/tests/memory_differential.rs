@@ -1,0 +1,115 @@
+//! The multi-tenant memory differential gate: **sharing changes nothing**.
+//!
+//! A session forked from a sealed, pre-warmed base tier — reading through
+//! a copy-on-write delta overlay, optionally with compact slot-packed
+//! Markov tables — must produce a [`RunResult`] whose serialized JSON is
+//! **byte-identical** to a private predictor that was stepped through the
+//! same warmup + session stream with plain encodings. Every zoo kind is
+//! gated; any divergence is a correctness bug in the overlay or the
+//! packed encoding, not a tuning matter.
+
+use ibp_ppm::TableEncoding;
+use ibp_sim::report::run_result_to_json;
+use ibp_sim::snapshot::BaseTier;
+use ibp_sim::PredictorKind;
+use ibp_trace::BranchEvent;
+use ibp_workloads::paper_suite;
+
+const ENTRIES: usize = 2048;
+
+fn suite_events(scale: f64) -> Vec<BranchEvent> {
+    paper_suite()[0].generate_scaled(scale).events().to_vec()
+}
+
+/// Private plain predictor over warmup+session vs a base-tier fork over
+/// just the session: identical JSON, for every kind and both encodings.
+#[test]
+fn cow_fork_matches_private_tables_byte_for_byte() {
+    let events = suite_events(0.01);
+    let split = events.len() / 2;
+    let (warmup, session) = events.split_at(split);
+
+    for kind in PredictorKind::serve_lineup() {
+        // Reference: one private, plain-encoded session over the whole
+        // stream, counters started after the warmup (exactly what a tier
+        // fork sees).
+        let mut reference = kind.session_stepper(ENTRIES);
+        reference.step_counted(warmup);
+        let reference = reference.fork_fresh();
+        let mut reference = reference;
+        reference.step_counted(session);
+        let expected = run_result_to_json(&reference.run_result());
+
+        for encoding in [TableEncoding::Plain, TableEncoding::Compact] {
+            let tier = BaseTier::warm(kind, ENTRIES, encoding, warmup);
+            let mut fork = tier.session();
+            fork.step_counted(session);
+            let got = run_result_to_json(&fork.run_result());
+            assert_eq!(
+                got, expected,
+                "{kind:?}/{encoding:?}: shared-base session diverged from private tables"
+            );
+        }
+    }
+}
+
+/// Sealing mid-stream must not perturb predictions either: seal after the
+/// warmup inside one continuous session and compare against never sealing.
+#[test]
+fn sealing_mid_stream_changes_nothing() {
+    let events = suite_events(0.008);
+    let split = events.len() / 3;
+
+    for kind in PredictorKind::serve_lineup() {
+        let mut plain = kind.session_stepper(ENTRIES);
+        plain.step_counted(&events);
+
+        let mut sealed = kind.session_stepper(ENTRIES);
+        sealed.step_counted(&events[..split]);
+        sealed.seal();
+        sealed.step_counted(&events[split..]);
+
+        assert_eq!(
+            run_result_to_json(&sealed.run_result()),
+            run_result_to_json(&plain.run_result()),
+            "{kind:?}: sealing mid-stream perturbed predictions"
+        );
+    }
+}
+
+/// Compact encodings must also cost less: a PPM fork's unique bytes are a
+/// small fraction of its private footprint, and the compact private
+/// footprint undercuts the plain one.
+#[test]
+fn accounting_reflects_the_sharing() {
+    let events = suite_events(0.01);
+    for kind in [
+        PredictorKind::PpmHyb,
+        PredictorKind::PpmPib,
+        PredictorKind::TcPib,
+        PredictorKind::Btb,
+    ] {
+        let mut private = kind.session_stepper(ENTRIES);
+        private.step_counted(&events);
+        let tier = BaseTier::warm(kind, ENTRIES, TableEncoding::Plain, &events);
+        let fork = tier.session();
+        assert!(
+            fork.resident_bytes() * 4 < private.resident_bytes(),
+            "{kind:?}: fork {} bytes !< private {} / 4",
+            fork.resident_bytes(),
+            private.resident_bytes()
+        );
+    }
+    // Compact Markov tables undercut plain ones on the private footprint.
+    let mut plain = PredictorKind::PpmHyb.session_stepper(ENTRIES);
+    plain.step_counted(&events);
+    let mut compact =
+        PredictorKind::PpmHyb.session_stepper_with(ENTRIES, TableEncoding::Compact);
+    compact.step_counted(&events);
+    assert!(
+        compact.resident_bytes() * 2 < plain.resident_bytes(),
+        "compact {} !< plain {} / 2",
+        compact.resident_bytes(),
+        plain.resident_bytes()
+    );
+}

@@ -1,0 +1,104 @@
+//! Snapshot→restore→continue must be bit-identical to never stopping,
+//! for **every** zoo predictor, at arbitrary interruption points —
+//! including offsets that land mid-way through a predictor's history
+//! window or between a batch's uneven chunk boundaries.
+
+use ibp_ppm::TableEncoding;
+use ibp_sim::report::run_result_to_json;
+use ibp_sim::snapshot::{restore_session, snapshot_session, BaseTier};
+use ibp_sim::PredictorKind;
+use ibp_trace::BranchEvent;
+use ibp_workloads::paper_suite;
+
+const ENTRIES: usize = 2048;
+
+/// Interruption points chosen to be awkward: primes that don't align
+/// with any batch size, history window, or Markov order boundary.
+const CUTS: [usize; 4] = [1, 97, 293, 641];
+
+fn events() -> Vec<BranchEvent> {
+    paper_suite()[1].generate_scaled(0.01).events().to_vec()
+}
+
+#[test]
+fn private_sessions_survive_interruption_at_any_point() {
+    let events = events();
+    for kind in PredictorKind::serve_lineup() {
+        let mut uninterrupted = kind.session_stepper(ENTRIES);
+        uninterrupted.step_counted(&events);
+        let expected = run_result_to_json(&uninterrupted.run_result());
+
+        for &cut in &CUTS {
+            let cut = cut.min(events.len());
+            let mut first = kind.session_stepper(ENTRIES);
+            first.step_counted(&events[..cut]);
+            let blob = snapshot_session(kind, ENTRIES, TableEncoding::Plain, &*first);
+            drop(first);
+
+            let mut revived = restore_session(&blob).expect("restore");
+            revived.step_counted(&events[cut..]);
+            assert_eq!(
+                run_result_to_json(&revived.run_result()),
+                expected,
+                "{kind:?} interrupted at event {cut}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tier_sessions_survive_interruption_at_any_point() {
+    let all = events();
+    let (warmup, session) = all.split_at(all.len() / 2);
+    for kind in PredictorKind::serve_lineup() {
+        for encoding in [TableEncoding::Plain, TableEncoding::Compact] {
+            let tier = BaseTier::warm(kind, ENTRIES, encoding, warmup);
+            let mut uninterrupted = tier.session();
+            uninterrupted.step_counted(session);
+            let expected = run_result_to_json(&uninterrupted.run_result());
+
+            for &cut in &CUTS {
+                let cut = cut.min(session.len());
+                let mut first = tier.session();
+                first.step_counted(&session[..cut]);
+                let blob = snapshot_session(kind, ENTRIES, encoding, &*first);
+                drop(first);
+
+                let mut revived = tier.restore(&blob).expect("tier restore");
+                revived.step_counted(&session[cut..]);
+                assert_eq!(
+                    run_result_to_json(&revived.run_result()),
+                    expected,
+                    "{kind:?}/{encoding:?} interrupted at event {cut}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn double_interruption_composes() {
+    // Snapshot, restore, snapshot again at a different point, restore
+    // again — state must still be exact (spill/restore cycles compose).
+    let all = events();
+    let (warmup, session) = all.split_at(all.len() / 3);
+    let kind = PredictorKind::PpmHyb;
+    let tier = BaseTier::warm(kind, ENTRIES, TableEncoding::Compact, warmup);
+
+    let mut uninterrupted = tier.session();
+    uninterrupted.step_counted(session);
+    let expected = run_result_to_json(&uninterrupted.run_result());
+
+    let mut s = tier.session();
+    let (a, b) = (session.len() / 5, session.len() / 2);
+    s.step_counted(&session[..a]);
+    let mut s = tier
+        .restore(&snapshot_session(kind, ENTRIES, TableEncoding::Compact, &*s))
+        .unwrap();
+    s.step_counted(&session[a..b]);
+    let mut s = tier
+        .restore(&snapshot_session(kind, ENTRIES, TableEncoding::Compact, &*s))
+        .unwrap();
+    s.step_counted(&session[b..]);
+    assert_eq!(run_result_to_json(&s.run_result()), expected);
+}

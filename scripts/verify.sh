@@ -33,6 +33,27 @@ IBP_BENCH_DIR="$bench_dir" IBP_BENCH_REPS=1 IBP_BENCH_MIN_MS=1 IBP_BENCH_SCALE=0
 cargo bench -q --offline -p ibp-bench --bench throughput -- \
   --check "$bench_dir/BENCH_throughput.json"
 
+echo "== multi-tenant memory differential (delta ≡ private, snapshot round-trip) =="
+# The memory plane's two correctness walls, run by name so a failure is
+# unmistakable even though the workspace pass above already ran them:
+# sealed base+delta sessions must produce byte-identical RunResult JSON
+# to private tables for every zoo predictor, and snapshot → restore →
+# continue must be bit-identical including mid-window interruptions.
+cargo test -q --offline -p ibp-sim --test memory_differential
+cargo test -q --offline -p ibp-sim --test snapshot_roundtrip
+
+echo "== memory bench (quick) + report validation =="
+# Per-session footprint (private plain vs compact vs tier fork) and
+# snapshot-codec throughput over the full serve lineup. The --check gate
+# holds the headline claim: summed tier forks undercut summed private
+# sessions. The committed results/BENCH_memory.json must pass too.
+IBP_BENCH_DIR="$bench_dir" \
+  cargo run -q --release --offline -p ibp-bench --bin membench -- --quick
+cargo run -q --release --offline -p ibp-bench --bin membench -- \
+  --check "$bench_dir/BENCH_memory.json"
+cargo run -q --release --offline -p ibp-bench --bin membench -- \
+  --check results/BENCH_memory.json
+
 echo "== serve 10k-stream mux smoke (loadgen) =="
 # Starts an in-process ibp-serve server and drives the v3 mux plane with
 # 16 connections x 640 streams — 10,240 predictor sessions held open
@@ -49,6 +70,15 @@ cargo run -q --release --offline -p ibp-bench --bin loadgen -- \
   --check "$bench_dir/BENCH_serve.json"
 cargo run -q --release --offline -p ibp-bench --bin loadgen -- \
   --check results/BENCH_serve.json
+
+echo "== serve eviction smoke (resident budget far below demand) =="
+# The same 10,240-stream fleet with a 64 KiB resident budget and compact
+# tables: the server must spill and restore sessions under load while
+# every smoke assertion above still holds exactly (clean drain, exact
+# ledgers, full peak occupancy), plus at least one evict/restore cycle
+# and zero spill failures. Eviction must be invisible to correctness.
+cargo run -q --release --offline -p ibp-bench --bin loadgen -- \
+  --smoke --resident-budget 65536 --compact
 
 echo "== observability overhead gate (NullProbe vs raw loop) =="
 # An in-process interleaved paired measurement: the probed hot loop
