@@ -1,0 +1,645 @@
+//! The workspace call graph: who can reach whom, with every soundness
+//! gap counted.
+//!
+//! Nodes are the non-test functions produced by [`crate::parser`] over
+//! every `crates/*/src` file. Edges come from scanning each body for
+//! call shapes:
+//!
+//! * **free calls** `f(...)` — resolved against same-crate fns first,
+//!   then workspace-wide by name;
+//! * **qualified calls** `Seg::f(...)` — `Seg` is matched against impl
+//!   self types and trait names, then against crate names
+//!   (`ibp_hw::fold` → crate `hw`), then against module names (file
+//!   stems and inline `mod`s, so `wire::put_uvarint` lands in the right
+//!   file); a segment matching nothing is a std path (`Box::new`) and
+//!   goes to the ledger as `Seg::f`;
+//! * **method calls** `recv.f(...)` — `self.f(...)` prefers the
+//!   enclosing impl's own methods (inherent or same-trait); any other
+//!   receiver resolves to *every* workspace method named `f`. This is
+//!   the paper's indirect-dispatch structure appearing in the analyzer
+//!   itself: a `dyn SessionStepper` call site fans out to all impls,
+//!   which is exactly the conservative over-approximation reachability
+//!   needs.
+//!
+//! Resolution honors the workspace dependency graph (see [`CrateInfo`]):
+//! cross-crate candidates are dropped unless the caller's crate
+//! transitively depends on theirs — except trait methods, which always
+//! fan out, because `dyn` dispatch can cross the static graph through
+//! whichever binary links both crates.
+//!
+//! Calls that match no workspace function land in the **unresolved
+//! ledger** instead of silently vanishing: mostly std methods
+//! (`.iter()`, `.len()`) plus macros’ innards. The ledger is reported
+//! (`--json`) so the size of the analysis' blind spot is a number the
+//! verify gate can watch, not an unstated assumption. Ambiguous calls
+//! (several candidates) are counted too; all candidates get edges.
+//!
+//! Determinism: nodes are created in sorted (path, decl-order) file
+//! order, candidate lists are sorted node-id vectors, and every map is
+//! a `BTreeMap` — two runs over the same tree emit byte-identical JSON
+//! (pinned by `crates/analyze/tests/semantic.rs`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Token, TokenKind};
+use crate::parser::FnItem;
+
+/// One function node in the graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Crate short name (`hw`, `sim`, ...).
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Function name.
+    pub name: String,
+    /// Impl self type, when a method.
+    pub self_ty: Option<String>,
+    /// Trait name, for trait-impl methods and trait defaults.
+    pub trait_name: Option<String>,
+    /// 1-based signature line (suppression alt-target for L007–L009).
+    pub decl_line: u32,
+    /// Body token range in the owning file's token vector.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnNode {
+    /// Display key: `crate::Type::name` / `crate::name`.
+    pub fn key(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{}::{}::{}", self.crate_name, ty, self.name),
+            None => match &self.trait_name {
+                Some(tr) => format!("{}::{}::{}", self.crate_name, tr, self.name),
+                None => format!("{}::{}", self.crate_name, self.name),
+            },
+        }
+    }
+}
+
+/// The assembled graph plus its resolution ledger.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All non-test workspace fns, in (file, declaration) order.
+    pub nodes: Vec<FnNode>,
+    /// Adjacency: sorted, deduped callee ids per caller.
+    pub edges: Vec<Vec<u32>>,
+    /// Calls resolved to exactly one candidate.
+    pub resolved_calls: u64,
+    /// Calls resolved to several candidates (all got edges).
+    pub ambiguous_calls: u64,
+    /// Calls matching no workspace fn, per callee name (the ledger).
+    pub unresolved: BTreeMap<String, u64>,
+    /// Node-id lookup by bare fn name.
+    by_name: BTreeMap<String, Vec<u32>>,
+    /// Node-ids per module name (file stem or inline `mod`), for
+    /// `module::f(...)` resolution.
+    by_module: BTreeMap<String, Vec<u32>>,
+    /// Dependency closure + package aliases used during resolution.
+    info: CrateInfo,
+}
+
+/// Workspace crate metadata steering name resolution.
+///
+/// Resolution honors the real dependency graph: a candidate in crate
+/// `b` is only visible from crate `a` when `a` depends on `b` — rustc
+/// would reject the call otherwise, so the analysis should too (without
+/// this, a `.key()` method call in `sim` would "reach" the analyzer's
+/// own `FnNode::key`). Crates absent from `deps` see everything, which
+/// keeps manifest-less test fixtures permissive.
+#[derive(Debug, Default, Clone)]
+pub struct CrateInfo {
+    /// Reflexive, transitive dependency closure, dir-name keyed
+    /// (`sim` → {`sim`, `core`, `hw`, ...}).
+    pub deps: BTreeMap<String, BTreeSet<String>>,
+    /// Package-ident aliases for qualified calls: `ibp_ppm` → dir
+    /// `compress` when the package name differs from the directory.
+    pub alias: BTreeMap<String, String>,
+}
+
+impl CrateInfo {
+    /// True when code in `from` may name items of crate `to`.
+    fn visible(&self, from: &str, to: &str) -> bool {
+        from == to || self.deps.get(from).is_none_or(|set| set.contains(to))
+    }
+
+    /// Resolves a path segment to a crate dir name, through the alias
+    /// table and the conventional `ibp_` prefix.
+    fn crate_key<'s>(&'s self, seg: &'s str) -> &'s str {
+        let norm = seg.replace('-', "_");
+        if let Some(dir) = self.alias.get(&norm) {
+            return dir;
+        }
+        seg.strip_prefix("ibp_").unwrap_or(seg)
+    }
+}
+
+/// A file's contribution to the graph build.
+pub struct GraphFile<'a> {
+    /// Workspace-relative path.
+    pub path: &'a str,
+    /// Crate short name.
+    pub crate_name: &'a str,
+    /// The file's token vector (shared with the lint pass).
+    pub tokens: &'a [Token],
+    /// Parsed fns, with test fns already filtered out by the caller.
+    pub fns: &'a [FnItem],
+}
+
+/// Idents that look like calls but never are workspace calls: control
+/// flow, common std constructors and conversions. Filtering these keeps
+/// the unresolved ledger about *calls the analysis actually skipped*
+/// rather than language noise.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "fn", "move", "Some", "Ok", "Err",
+    "None", "Box", "Vec", "String", "assert", "assert_eq", "assert_ne", "debug_assert",
+    "debug_assert_eq", "debug_assert_ne", "matches", "format", "vec", "println",
+    "eprintln", "write", "writeln", "panic", "unreachable", "todo", "unimplemented",
+];
+
+/// Method names that are std `Option`/`Result`/`Iterator` combinators in
+/// essentially every call position. These never fan out to workspace
+/// methods — `opt.map(|x| ...)` resolving to an inherent `Executor::map`
+/// would thread the whole thread-pool into every caller's reachable
+/// set. They are ledgered as `.name` instead, so a workspace method that
+/// happens to share a combinator name (callable only through this shape)
+/// shows up as a counted blind spot rather than a silent hole.
+const STD_COMBINATOR_METHODS: &[&str] = &[
+    "map", "map_or", "map_or_else", "map_err", "and_then", "or_else", "unwrap_or",
+    "unwrap_or_else", "unwrap_or_default", "ok_or", "ok_or_else", "filter", "filter_map",
+    "flat_map", "fold", "for_each", "find", "find_map", "position", "any", "all", "then",
+    "then_some", "is_some_and", "is_none_or", "inspect", "enumerate", "zip", "chain",
+    "rev", "cloned", "copied", "by_ref", "take_while", "skip_while",
+];
+
+/// Method names of std sync/IO primitives (`Mutex::lock`,
+/// `JoinHandle::join`, `PathBuf::join`, ...). Ledgered like the
+/// combinators: the L009 rule flags every such call *site* lexically,
+/// so an extra edge to a same-named workspace wrapper (serve's `Shared`
+/// vs exec's `Shared`, both with a `lock`) only pollutes reachability —
+/// the wrapper's own body is flagged at its true call sites instead.
+const STD_PRIMITIVE_METHODS: &[&str] = &[
+    "lock", "join", "recv", "recv_timeout", "recv_deadline", "wait", "wait_timeout",
+    "wait_while", "read_exact", "read_to_end", "read_to_string", "write_all", "accept",
+];
+
+impl CallGraph {
+    /// Builds the graph with permissive visibility (every crate sees
+    /// every other) — the fixture entry point.
+    pub fn build(files: &[GraphFile<'_>]) -> CallGraph {
+        CallGraph::build_with(files, CrateInfo::default())
+    }
+
+    /// Builds the graph honoring the given dependency closure.
+    pub fn build_with(files: &[GraphFile<'_>], info: CrateInfo) -> CallGraph {
+        let mut g = CallGraph {
+            info,
+            ..CallGraph::default()
+        };
+        // Pass 1: nodes.
+        let mut crate_names: BTreeSet<String> = BTreeSet::new();
+        for f in files {
+            crate_names.insert(f.crate_name.to_string());
+            let stem = f
+                .path
+                .rsplit('/')
+                .next()
+                .and_then(|b| b.strip_suffix(".rs"))
+                .filter(|s| !matches!(*s, "lib" | "main" | "mod"))
+                .map(str::to_string);
+            for item in f.fns {
+                let id = g.nodes.len() as u32;
+                g.nodes.push(FnNode {
+                    crate_name: f.crate_name.to_string(),
+                    path: f.path.to_string(),
+                    name: item.name.clone(),
+                    self_ty: item.self_ty.clone(),
+                    trait_name: item.trait_name.clone(),
+                    decl_line: item.decl_line,
+                    body: item.body,
+                });
+                g.by_name.entry(item.name.clone()).or_default().push(id);
+                if let Some(stem) = &stem {
+                    g.by_module.entry(stem.clone()).or_default().push(id);
+                }
+                for m in &item.mod_path {
+                    g.by_module.entry(m.clone()).or_default().push(id);
+                }
+            }
+        }
+        g.edges = vec![Vec::new(); g.nodes.len()];
+        // Pass 2: edges, walking each body's call sites.
+        let mut node_idx = 0usize;
+        for f in files {
+            for item in f.fns {
+                let caller = node_idx as u32;
+                node_idx += 1;
+                let Some((open, close)) = item.body else { continue };
+                let sites = call_sites(&f.tokens[open..=close]);
+                for site in sites {
+                    g.add_call(caller, f.crate_name, item, &site, &crate_names);
+                }
+            }
+        }
+        for adj in &mut g.edges {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+        g
+    }
+
+    /// Candidate node ids for a bare name, preferring `krate`.
+    fn candidates_by_name(&self, name: &str, krate: &str) -> Vec<u32> {
+        let Some(all) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let same_crate: Vec<u32> = all
+            .iter()
+            .copied()
+            .filter(|&id| self.nodes[id as usize].crate_name == krate)
+            .collect();
+        if same_crate.is_empty() {
+            all.iter()
+                .copied()
+                .filter(|&id| self.info.visible(krate, &self.nodes[id as usize].crate_name))
+                .collect()
+        } else {
+            same_crate
+        }
+    }
+
+    /// Resolves one call site into edges and ledger entries.
+    fn add_call(
+        &mut self,
+        caller: u32,
+        krate: &str,
+        item: &FnItem,
+        site: &CallSite,
+        crate_names: &BTreeSet<String>,
+    ) {
+        let candidates: Vec<u32> = match site {
+            CallSite::Free(name) => self.candidates_by_name(name, krate),
+            CallSite::Qualified(seg, name) => {
+                let all = self.by_name.get(name).cloned().unwrap_or_default();
+                // `Type::f` / `Trait::f`: keep candidates whose impl
+                // type or trait matches the segment. Inherent methods
+                // must live in a crate the caller can see; trait-impl
+                // candidates stay (dyn dispatch can cross the static
+                // dependency graph through whichever root links both).
+                let typed: Vec<u32> = all
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let n = &self.nodes[id as usize];
+                        let matches = n.self_ty.as_deref() == Some(seg.as_str())
+                            || n.trait_name.as_deref() == Some(seg.as_str());
+                        matches
+                            && (self.info.visible(krate, &n.crate_name)
+                                || n.trait_name.as_deref() == Some(seg.as_str()))
+                    })
+                    .collect();
+                if !typed.is_empty() {
+                    typed
+                } else {
+                    // `ibp_hw::f` / `hw::f`: crate-qualified.
+                    let crate_key = self.info.crate_key(seg).to_string();
+                    if crate_names.contains(&crate_key) && self.info.visible(krate, &crate_key) {
+                        all.iter()
+                            .copied()
+                            .filter(|&id| self.nodes[id as usize].crate_name == crate_key)
+                            .collect()
+                    } else if seg == "self" || seg == "crate" || seg == "super" {
+                        self.candidates_by_name(name, krate)
+                    } else if let Some(in_module) = self.by_module.get(seg.as_str()) {
+                        // `wire::put_uvarint(...)`: a workspace module.
+                        all.iter()
+                            .copied()
+                            .filter(|id| {
+                                in_module.contains(id)
+                                    && self
+                                        .info
+                                        .visible(krate, &self.nodes[*id as usize].crate_name)
+                            })
+                            .collect()
+                    } else {
+                        // Unknown segment: a std path (`Box::new`,
+                        // `u64::from_le_bytes`). Ledger it under the
+                        // qualified name so the blind spot stays
+                        // attributable.
+                        *self
+                            .unresolved
+                            .entry(format!("{seg}::{name}"))
+                            .or_insert(0) += 1;
+                        return;
+                    }
+                }
+            }
+            CallSite::Method { name, on_self } => {
+                if STD_COMBINATOR_METHODS.contains(&name.as_str())
+                    || STD_PRIMITIVE_METHODS.contains(&name.as_str())
+                {
+                    *self.unresolved.entry(format!(".{name}")).or_insert(0) += 1;
+                    return;
+                }
+                let all = self.by_name.get(name).cloned().unwrap_or_default();
+                // Inherent methods need the defining crate visible from
+                // the caller (the receiver's type must be nameable
+                // there); trait-impl and trait-default methods always
+                // fan out — a `dyn` object built by any linking crate
+                // can carry an impl the caller's crate never names.
+                let methods: Vec<u32> = all
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let n = &self.nodes[id as usize];
+                        (n.self_ty.is_some() || n.trait_name.is_some())
+                            && (n.trait_name.is_some()
+                                || self.info.visible(krate, &n.crate_name))
+                    })
+                    .collect();
+                if *on_self {
+                    // `self.f()`: the enclosing impl's own method (or
+                    // its trait's default) wins when it exists.
+                    let own: Vec<u32> = methods
+                        .iter()
+                        .copied()
+                        .filter(|&id| {
+                            let n = &self.nodes[id as usize];
+                            (n.self_ty.is_some() && n.self_ty == item.self_ty)
+                                || (n.self_ty.is_none()
+                                    && n.trait_name.is_some()
+                                    && n.trait_name == item.trait_name)
+                        })
+                        .collect();
+                    if own.is_empty() { methods } else { own }
+                } else {
+                    methods
+                }
+            }
+        };
+        match candidates.len() {
+            0 => {
+                let name = match site {
+                    CallSite::Free(n) | CallSite::Qualified(_, n) => n,
+                    CallSite::Method { name, .. } => name,
+                };
+                *self.unresolved.entry(name.clone()).or_insert(0) += 1;
+            }
+            1 => {
+                self.resolved_calls += 1;
+                self.edges[caller as usize].push(candidates[0]);
+            }
+            _ => {
+                self.ambiguous_calls += 1;
+                self.edges[caller as usize].extend(candidates);
+            }
+        }
+    }
+
+    /// BFS from `roots`; returns for each reached node the id of the
+    /// root that discovered it (deterministic: roots are visited in
+    /// ascending id order, neighbors in sorted edge order).
+    pub fn reach(&self, roots: &[u32]) -> BTreeMap<u32, u32> {
+        let mut provenance: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut queue: Vec<u32> = Vec::new();
+        let mut sorted_roots: Vec<u32> = roots.to_vec();
+        sorted_roots.sort_unstable();
+        sorted_roots.dedup();
+        for &r in &sorted_roots {
+            if provenance.insert(r, r).is_none() {
+                queue.push(r);
+            }
+        }
+        let mut head = 0usize;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            let root = provenance[&cur];
+            for &next in &self.edges[cur as usize] {
+                provenance.entry(next).or_insert_with(|| {
+                    queue.push(next);
+                    root
+                });
+            }
+        }
+        provenance
+    }
+
+    /// Total unresolved call count (the ledger's headline number).
+    pub fn unresolved_total(&self) -> u64 {
+        self.unresolved.values().sum()
+    }
+
+    /// Total edge count after dedup.
+    pub fn edge_count(&self) -> u64 {
+        self.edges.iter().map(|e| e.len() as u64).sum()
+    }
+}
+
+/// One recognized call shape in a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallSite {
+    /// `f(...)` with no path or receiver.
+    Free(String),
+    /// `Seg::f(...)` — last two path segments.
+    Qualified(String, String),
+    /// `recv.f(...)`; `on_self` when the receiver chain starts at
+    /// `self.` directly.
+    Method { name: String, on_self: bool },
+}
+
+/// Scans a body token slice for call sites. Macro invocations
+/// (`name!(...)`) are *not* calls — the semantic rules treat the banned
+/// ones as sources directly.
+pub fn call_sites(body: &[Token]) -> Vec<CallSite> {
+    let code: Vec<&Token> = body.iter().filter(|t| t.is_code()).collect();
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next = code.get(i + 1);
+        if !next.is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if NON_CALL_IDENTS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| code[j]);
+        let prev2 = i.checked_sub(2).map(|j| code[j]);
+        let prev3 = i.checked_sub(3).map(|j| code[j]);
+        if prev.is_some_and(|p| p.is_punct('.')) {
+            let on_self = prev2.is_some_and(|p| p.is_ident("self"))
+                && prev3.is_none_or(|p| !p.is_punct('.'));
+            out.push(CallSite::Method {
+                name: t.text.clone(),
+                on_self,
+            });
+        } else if prev.is_some_and(|p| p.is_punct(':')) && prev2.is_some_and(|p| p.is_punct(':'))
+        {
+            match prev3 {
+                Some(seg) if seg.kind == TokenKind::Ident => {
+                    out.push(CallSite::Qualified(seg.text.clone(), t.text.clone()));
+                }
+                // `<T as Trait>::f(...)` and `>::f(...)`: treat as a
+                // free-name lookup.
+                _ => out.push(CallSite::Free(t.text.clone())),
+            }
+        } else {
+            // A plain ident followed by `(` — but `fn name(` is a
+            // declaration, not a call; the parser keeps nested fns
+            // inside bodies, so filter those.
+            if prev.is_some_and(|p| p.is_ident("fn")) {
+                continue;
+            }
+            out.push(CallSite::Free(t.text.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser;
+
+    fn graph_of(files: &[(&str, &str, &str)]) -> (CallGraph, Vec<Vec<Token>>) {
+        let toks: Vec<Vec<Token>> = files.iter().map(|(_, _, s)| lex(s)).collect();
+        let parsed: Vec<parser::ParsedFile> = toks.iter().map(|t| parser::parse(t)).collect();
+        let gfiles: Vec<GraphFile> = files
+            .iter()
+            .zip(&toks)
+            .zip(&parsed)
+            .map(|(((path, krate, _), tokens), p)| GraphFile {
+                path,
+                crate_name: krate,
+                tokens,
+                fns: &p.fns,
+            })
+            .collect();
+        (CallGraph::build(&gfiles), toks.clone())
+    }
+
+    fn id_of(g: &CallGraph, key: &str) -> u32 {
+        g.nodes
+            .iter()
+            .position(|n| n.key() == key)
+            .unwrap_or_else(|| panic!("no node {key}")) as u32
+    }
+
+    #[test]
+    fn free_call_prefers_same_crate() {
+        let (g, _) = graph_of(&[
+            ("crates/a/src/lib.rs", "a", "pub fn entry() { helper(); }\nfn helper() {}\n"),
+            ("crates/b/src/lib.rs", "b", "pub fn helper() {}\n"),
+        ]);
+        let entry = id_of(&g, "a::entry");
+        let local = id_of(&g, "a::helper");
+        assert_eq!(g.edges[entry as usize], vec![local]);
+        assert_eq!(g.resolved_calls, 1);
+        assert_eq!(g.ambiguous_calls, 0);
+    }
+
+    #[test]
+    fn cross_crate_fallback_and_ledger() {
+        let (g, _) = graph_of(&[
+            ("crates/a/src/lib.rs", "a", "pub fn entry() { remote(); missing(); }\n"),
+            ("crates/b/src/lib.rs", "b", "pub fn remote() {}\n"),
+        ]);
+        let entry = id_of(&g, "a::entry");
+        let remote = id_of(&g, "b::remote");
+        assert_eq!(g.edges[entry as usize], vec![remote]);
+        assert_eq!(g.unresolved.get("missing"), Some(&1));
+        assert_eq!(g.unresolved_total(), 1);
+    }
+
+    #[test]
+    fn method_call_fans_out_to_all_impls() {
+        let (g, _) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "trait P { fn predict(&self); }\n\
+             struct X; impl P for X { fn predict(&self) {} }\n\
+             struct Y; impl P for Y { fn predict(&self) {} }\n\
+             fn drive(p: &dyn P) { p.predict(); }\n",
+        )]);
+        let drive = id_of(&g, "a::drive");
+        assert_eq!(g.edges[drive as usize].len(), 3); // trait decl + 2 impls
+        assert_eq!(g.ambiguous_calls, 1);
+    }
+
+    #[test]
+    fn self_method_prefers_own_impl() {
+        let (g, _) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "struct A; impl A { fn go(&self) { self.step(); } fn step(&self) {} }\n\
+             struct B; impl B { fn step(&self) {} }\n",
+        )]);
+        let go = id_of(&g, "a::A::go");
+        let own = id_of(&g, "a::A::step");
+        assert_eq!(g.edges[go as usize], vec![own]);
+    }
+
+    #[test]
+    fn qualified_calls_resolve_by_type_and_crate() {
+        let (g, _) = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "a",
+                "pub fn entry() { Table::probe(); ibp_b::fold(); }\n\
+                 pub struct Table; impl Table { pub fn probe() {} }\n",
+            ),
+            ("crates/b/src/lib.rs", "b", "pub fn fold() {}\npub fn probe() {}\n"),
+        ]);
+        let entry = id_of(&g, "a::entry");
+        let probe = id_of(&g, "a::Table::probe");
+        let fold = id_of(&g, "b::fold");
+        let mut got = g.edges[entry as usize].clone();
+        got.sort_unstable();
+        let mut want = vec![probe, fold];
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reachability_with_provenance() {
+        let (g, _) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "pub fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn island() {}\n",
+        )]);
+        let root = id_of(&g, "a::root");
+        let leaf = id_of(&g, "a::leaf");
+        let island = id_of(&g, "a::island");
+        let reach = g.reach(&[root]);
+        assert_eq!(reach.get(&leaf), Some(&root));
+        assert!(!reach.contains_key(&island));
+        assert_eq!(reach.len(), 3);
+    }
+
+    #[test]
+    fn std_combinator_methods_are_ledgered_not_fanned_out() {
+        let (g, _) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "struct Pool; impl Pool { fn map(&self) { loop {} } }\n\
+             fn hot(x: Option<u32>) -> Option<u32> { x.map(|v| v + 1) }\n",
+        )]);
+        let hot = id_of(&g, "a::hot");
+        assert!(g.edges[hot as usize].is_empty());
+        assert_eq!(g.unresolved.get(".map"), Some(&1));
+    }
+
+    #[test]
+    fn macro_invocations_are_not_calls() {
+        let (g, _) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "fn f() { println!(\"x\"); helper(); }\nfn helper() {}\n",
+        )]);
+        assert!(!g.unresolved.contains_key("println"));
+        assert_eq!(g.resolved_calls, 1);
+    }
+}

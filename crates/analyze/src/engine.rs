@@ -1,5 +1,7 @@
 //! Drives the pass: walks the workspace, lexes each file, runs the
-//! rules, and resolves suppression markers.
+//! token rules, builds the call graph, runs the semantic rules, and
+//! resolves suppression markers — one pipeline, [`analyze_sources`],
+//! that both the CLI and the self-tests drive.
 //!
 //! File classification happens here, from the path alone:
 //!
@@ -11,16 +13,53 @@
 //!   crates, so there is no `#[cfg(test)]` wrapper to detect).
 //! * within ordinary files, `#[test]` / `#[cfg(test)]` items are found
 //!   by attribute scan + brace matching, and lines inside them are
-//!   exempt from the test-scoped rules (L003, L004).
+//!   exempt from the test-scoped rules (L003, L004) and from the call
+//!   graph (a panicking assertion in a unit test certifies nothing).
+//! * `DESIGN.md` is carried as prose, not lexed: the L010 wire rule
+//!   cross-checks its §11 tables against `protocol.rs`.
+//!
+//! Suppression runs *last*, over token and semantic findings together,
+//! so the L006 stale-marker lifecycle covers L007–L010 markers too: an
+//! `allow(L008, ...)` that no longer silences anything is rejected the
+//! same way a stale `allow(L003)` always was.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::Path;
 
+use crate::callgraph::{CallGraph, CrateInfo, GraphFile};
 use crate::lexer::{self, Token};
 use crate::manifest::{self, LineKind};
-use crate::rules;
+use crate::parser::{self, FnItem};
+use crate::rules::{self, RuleId};
+use crate::semantic::{self, ReachInfo, SemFile, WireInfo};
 use crate::suppress::{self, Marker};
 use crate::Diagnostic;
+
+/// One input to [`analyze_sources`]: a workspace-relative path plus its
+/// contents. Classification (crate, test-ness, manifest/design/Rust) is
+/// derived from the path.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Full file contents.
+    pub source: String,
+}
+
+/// Everything one analysis run produces.
+pub struct Analysis {
+    /// Findings that survived suppression, sorted by
+    /// (path, line, col, rule).
+    pub open: Vec<Diagnostic>,
+    /// Findings silenced by a reasoned allow marker, same order.
+    pub suppressed: Vec<Diagnostic>,
+    /// The workspace call graph (nodes, edges, unresolved ledger).
+    pub graph: CallGraph,
+    /// Per-rule reachability stats (L007, L008, L009).
+    pub reach: Vec<(RuleId, ReachInfo)>,
+    /// Wire-exhaustiveness stats (L010).
+    pub wire: WireInfo,
+}
 
 /// One lexed Rust file plus the classification the rules consume.
 pub struct RustFile<'a> {
@@ -62,6 +101,11 @@ impl<'a> RustFile<'a> {
                 .test_spans
                 .iter()
                 .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// The `#[test]` / `#[cfg(test)]` line spans.
+    pub fn test_spans(&self) -> &[(u32, u32)] {
+        &self.test_spans
     }
 }
 
@@ -202,8 +246,9 @@ fn collect_markers(tokens: &[Token]) -> Vec<Marker> {
 }
 
 /// Lints one manifest: L001 over dependency entries, with `#` comment
-/// markers resolved the same way as Rust ones.
-fn analyze_manifest(path: &str, source: &str) -> Vec<Diagnostic> {
+/// markers resolved the same way as Rust ones. Returns
+/// `(open, suppressed)`.
+fn analyze_manifest(path: &str, source: &str) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
     let scan = manifest::scan(source);
     let diags = rules::check_manifest(path, &scan);
     let mut markers = Vec::new();
@@ -218,7 +263,7 @@ fn analyze_manifest(path: &str, source: &str) -> Vec<Diagnostic> {
             markers.push(m);
         }
     }
-    suppress::apply(path, diags, &markers)
+    suppress::apply_with(path, diags, &markers, |_| None)
 }
 
 /// First Content line after `line`, or `line + 1` when none follows.
@@ -231,47 +276,256 @@ fn next_content_line(lines: &[LineKind], line: u32) -> u32 {
         .map_or(line + 1, |(i, _)| (i + 1) as u32)
 }
 
-/// Lints one file (dispatching on path) and applies suppressions.
-/// This is the unit the rule self-tests drive with inline sources.
+/// Builds the crate-visibility metadata the call graph resolves
+/// against, from the `crates/<dir>/Cargo.toml` sources: package-name
+/// aliases (`ibp-ppm` lives in dir `compress`) and the reflexive
+/// transitive closure of `[dependencies]`. Dev- and build-dependencies
+/// are excluded on purpose — the graph only covers non-test code, where
+/// they are not nameable. Crates whose manifest is absent from the
+/// input (single-file fixtures) stay out of the map, which
+/// [`CrateInfo::visible`] treats as see-everything.
+fn crate_info(manifests: &[(&str, &str)]) -> CrateInfo {
+    // (dir, package name, dep package names) per crate manifest.
+    let mut raw: Vec<(String, String, Vec<String>)> = Vec::new();
+    for (path, source) in manifests {
+        let Some(dir) = path
+            .strip_prefix("crates/")
+            .and_then(|r| r.strip_suffix("/Cargo.toml"))
+            .filter(|d| !d.contains('/'))
+        else {
+            continue; // root workspace manifest, or a nested fixture
+        };
+        let mut section = String::new();
+        let mut package = dir.to_string();
+        let mut dep_names = Vec::new();
+        for line in source.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if let Some(rest) = line.strip_prefix('[') {
+                section = rest.trim_end_matches(']').trim().to_string();
+            } else if section == "package" {
+                if let Some(v) = line.strip_prefix("name").and_then(|r| {
+                    r.trim_start().strip_prefix('=')
+                }) {
+                    package = v.trim().trim_matches('"').to_string();
+                }
+            } else if section == "dependencies" && !line.is_empty() {
+                let end = line
+                    .find(|c: char| c == '=' || c == '.' || c.is_whitespace())
+                    .unwrap_or(line.len());
+                dep_names.push(line[..end].to_string());
+            }
+        }
+        raw.push((dir.to_string(), package, dep_names));
+    }
+    let mut info = CrateInfo::default();
+    for (dir, package, _) in &raw {
+        info.alias.insert(package.replace('-', "_"), dir.clone());
+    }
+    for (dir, _, dep_names) in &raw {
+        let mut set: BTreeSet<String> = dep_names
+            .iter()
+            .filter_map(|d| info.alias.get(&d.replace('-', "_")).cloned())
+            .collect();
+        set.insert(dir.clone());
+        info.deps.insert(dir.clone(), set);
+    }
+    // Transitive closure, to fixpoint (the workspace graph is tiny).
+    let dirs: Vec<String> = info.deps.keys().cloned().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for dir in &dirs {
+            let cur = info.deps[dir].clone();
+            let mut grown = cur.clone();
+            for dep in &cur {
+                if let Some(dd) = info.deps.get(dep) {
+                    grown.extend(dd.iter().cloned());
+                }
+            }
+            if grown.len() != cur.len() {
+                info.deps.insert(dir.clone(), grown);
+                changed = true;
+            }
+        }
+    }
+    info
+}
+
+/// Derives `Some("hw")` from `crates/hw/...`.
+fn crate_of(path: &str) -> Option<&str> {
+    path.strip_prefix("crates/").and_then(|r| r.split('/').next())
+}
+
+/// True for paths with a `tests/` or `benches/` component.
+fn all_test_of(path: &str) -> bool {
+    path.split('/').any(|part| part == "tests" || part == "benches")
+}
+
+/// THE analysis pipeline: token rules, parse, call graph, semantic
+/// rules, then one suppression pass over everything. Classification is
+/// derived from each file's path; pass `DESIGN.md` as a file to enable
+/// the L010 cross-checks.
+pub fn analyze_sources(inputs: &[SourceFile]) -> Analysis {
+    // Phase 1: classify and lex.
+    let mut manifest_results: Vec<(Vec<Diagnostic>, Vec<Diagnostic>)> = Vec::new();
+    let mut manifest_sources: Vec<(&str, &str)> = Vec::new();
+    let mut design: Option<(&str, &str)> = None;
+    let mut rust: Vec<(&SourceFile, RustFile<'_>)> = Vec::new();
+    for sf in inputs {
+        if sf.path.ends_with("Cargo.toml") {
+            manifest_results.push(analyze_manifest(&sf.path, &sf.source));
+            manifest_sources.push((&sf.path, &sf.source));
+        } else if sf.path == "DESIGN.md" || sf.path.ends_with("/DESIGN.md") {
+            design = Some((&sf.path, &sf.source));
+        } else {
+            let file = RustFile::new(
+                &sf.path,
+                crate_of(&sf.path),
+                all_test_of(&sf.path),
+                &sf.source,
+            );
+            rust.push((sf, file));
+        }
+    }
+    // Phase 2: token rules, parse, markers.
+    let mut token_diags: Vec<Vec<Diagnostic>> = Vec::new();
+    let mut markers: Vec<Vec<Marker>> = Vec::new();
+    let parsed: Vec<parser::ParsedFile> =
+        rust.iter().map(|(_, rf)| parser::parse(&rf.tokens)).collect();
+    for (_, rf) in &rust {
+        token_diags.push(rules::check_rust(rf));
+        markers.push(collect_markers(&rf.tokens));
+    }
+    // Phase 3: call graph over non-test fns of crate sources.
+    let nontest_fns: Vec<Vec<FnItem>> = rust
+        .iter()
+        .zip(&parsed)
+        .map(|((_, rf), p)| {
+            if rf.all_test || rf.crate_name.is_none() {
+                Vec::new()
+            } else {
+                p.fns
+                    .iter()
+                    .filter(|f| !rf.in_test_code(f.decl_line))
+                    .cloned()
+                    .collect()
+            }
+        })
+        .collect();
+    let gfiles: Vec<GraphFile<'_>> = rust
+        .iter()
+        .zip(&nontest_fns)
+        .filter_map(|((_, rf), fns)| {
+            rf.crate_name.map(|krate| GraphFile {
+                path: rf.path,
+                crate_name: krate,
+                tokens: &rf.tokens,
+                fns,
+            })
+        })
+        .collect();
+    let graph = CallGraph::build_with(&gfiles, crate_info(&manifest_sources));
+    // Phase 4: semantic rules.
+    let semfiles: Vec<SemFile<'_>> = rust
+        .iter()
+        .zip(&parsed)
+        .map(|((_, rf), p)| SemFile {
+            path: rf.path,
+            crate_name: rf.crate_name,
+            all_test: rf.all_test,
+            tokens: &rf.tokens,
+            fns: &p.fns,
+            test_spans: rf.test_spans(),
+        })
+        .collect();
+    let sem = semantic::run(&semfiles, &graph, design);
+    // Phase 5: suppression, per file, over token + semantic findings
+    // together. Semantic findings may alternatively be silenced by a
+    // marker on the enclosing fn's signature line.
+    let mut sem_by_path: BTreeMap<String, Vec<(Diagnostic, Option<u32>)>> = BTreeMap::new();
+    for f in sem.findings {
+        sem_by_path
+            .entry(f.diag.path.clone())
+            .or_default()
+            .push((f.diag, f.fn_line));
+    }
+    let mut open = Vec::new();
+    let mut suppressed = Vec::new();
+    for (o, s) in manifest_results {
+        open.extend(o);
+        suppressed.extend(s);
+    }
+    for (i, (_, rf)) in rust.iter().enumerate() {
+        let mut diags = std::mem::take(&mut token_diags[i]);
+        let mut alt_map: BTreeMap<(RuleId, u32), u32> = BTreeMap::new();
+        if let Some(sems) = sem_by_path.remove(rf.path) {
+            for (d, fn_line) in sems {
+                if let Some(fl) = fn_line {
+                    alt_map.insert((d.rule, d.line), fl);
+                }
+                diags.push(d);
+            }
+        }
+        let (o, s) = suppress::apply_with(rf.path, diags, &markers[i], |d| {
+            alt_map.get(&(d.rule, d.line)).copied()
+        });
+        open.extend(o);
+        suppressed.extend(s);
+    }
+    // Findings on non-Rust paths (DESIGN.md cross-check misses) have no
+    // marker channel: they stay open until the doc or the code moves.
+    for (_, rest) in sem_by_path {
+        open.extend(rest.into_iter().map(|(d, _)| d));
+    }
+    let key = |d: &Diagnostic| (d.path.clone(), d.line, d.col, d.rule);
+    open.sort_by_key(key);
+    suppressed.sort_by_key(key);
+    Analysis {
+        open,
+        suppressed,
+        graph,
+        reach: sem.reach,
+        wire: sem.wire,
+    }
+}
+
+/// Lints one file and applies suppressions — the unit the token-rule
+/// self-tests drive with inline sources. Semantic rules run too, but a
+/// single file rarely contains a root. Returns open findings only.
 pub fn analyze_file(
     rel_path: &str,
     source: &str,
     crate_name: Option<&str>,
     all_test: bool,
 ) -> Vec<Diagnostic> {
-    if rel_path.ends_with("Cargo.toml") {
-        analyze_manifest(rel_path, source)
-    } else {
-        let file = RustFile::new(rel_path, crate_name, all_test, source);
-        let diags = rules::check_rust(&file);
-        let markers = collect_markers(&file.tokens);
-        suppress::apply(rel_path, diags, &markers)
-    }
+    // The pipeline classifies by path; the explicit arguments exist for
+    // callers whose fixture paths already encode the same facts.
+    debug_assert_eq!(crate_of(rel_path), crate_name);
+    debug_assert_eq!(all_test_of(rel_path), all_test);
+    analyze_sources(&[SourceFile {
+        path: rel_path.to_string(),
+        source: source.to_string(),
+    }])
+    .open
 }
 
-/// Lints every `.rs` and `Cargo.toml` under `root`, skipping `target/`
-/// and dot-directories. Diagnostics come back sorted by
-/// (path, line, col, rule) so output is stable run to run.
-pub fn analyze_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+/// Analyzes every `.rs` and `Cargo.toml` under `root` (plus the root
+/// `DESIGN.md`, for the L010 cross-checks), skipping `target/` and
+/// dot-directories.
+pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
     let mut files = Vec::new();
     walk(root, Path::new(""), &mut files)?;
-    files.sort();
-    let mut out = Vec::new();
-    for rel in &files {
-        let source = fs::read_to_string(root.join(rel))
-            .map_err(|e| format!("reading {rel}: {e}"))?;
-        let crate_name = rel
-            .strip_prefix("crates/")
-            .and_then(|r| r.split('/').next());
-        let all_test = rel
-            .split('/')
-            .any(|part| part == "tests" || part == "benches");
-        out.extend(analyze_file(rel, &source, crate_name, all_test));
+    if root.join("DESIGN.md").is_file() {
+        files.push("DESIGN.md".to_string());
     }
-    out.sort_by(|a, b| {
-        (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
-    });
-    Ok(out)
+    files.sort();
+    let mut inputs = Vec::new();
+    for rel in files {
+        let source = fs::read_to_string(root.join(&rel))
+            .map_err(|e| format!("reading {rel}: {e}"))?;
+        inputs.push(SourceFile { path: rel, source });
+    }
+    Ok(analyze_sources(&inputs))
 }
 
 /// Recursive directory walk collecting workspace-relative paths.
@@ -392,5 +646,100 @@ mod tests {
         let src = "use std::collections::HashMap;\nfn helper() { x.unwrap(); }\n";
         let out = analyze_file("crates/hw/tests/int.rs", src, Some("hw"), true);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn crate_info_closure_and_alias() {
+        let info = crate_info(&[
+            (
+                "crates/sim/Cargo.toml",
+                "[package]\nname = \"ibp-sim\"\n[dependencies]\nibp-hw.workspace = true\n\
+                 [dev-dependencies]\nibp-testkit.workspace = true\n",
+            ),
+            (
+                "crates/hw/Cargo.toml",
+                "[package]\nname = \"ibp-hw\"\n[dependencies]\nibp-ppm = { workspace = true }\n",
+            ),
+            (
+                "crates/compress/Cargo.toml",
+                "[package]\nname = \"ibp-ppm\"\n[dependencies]\n",
+            ),
+            ("Cargo.toml", "[workspace]\nmembers = [\"crates/*\"]\n"),
+        ]);
+        // Transitive: sim -> hw -> compress (through the ibp-ppm alias).
+        let sim = &info.deps["sim"];
+        assert!(sim.contains("sim") && sim.contains("hw") && sim.contains("compress"));
+        // Dev-dependencies are not visibility edges.
+        assert!(!sim.contains("testkit"));
+        // hw does not see sim (no back edge).
+        assert!(!info.deps["hw"].contains("sim"));
+        assert_eq!(info.alias.get("ibp_ppm"), Some(&"compress".to_string()));
+    }
+
+    #[test]
+    fn visibility_blocks_invisible_inherent_methods() {
+        // `sim` does not depend on `analyze`, so a `.key()` method call
+        // in sim must not resolve to analyze's inherent `key`.
+        let a = analyze_sources(&[
+            SourceFile {
+                path: "crates/sim/Cargo.toml".into(),
+                source: "[package]\nname = \"ibp-sim\"\n[dependencies]\n".into(),
+            },
+            SourceFile {
+                path: "crates/analyze/Cargo.toml".into(),
+                source: "[package]\nname = \"ibp-analyze\"\n[dependencies]\n".into(),
+            },
+            SourceFile {
+                path: "crates/sim/src/lib.rs".into(),
+                source: "pub fn simulate_stream(n: &Node) { n.key(); }\npub struct Node;\n"
+                    .into(),
+            },
+            SourceFile {
+                path: "crates/analyze/src/lib.rs".into(),
+                source: "pub struct FnNode;\nimpl FnNode {\n    pub fn key(&self) -> usize {\n        [1][2]\n    }\n}\n"
+                    .into(),
+            },
+        ]);
+        // The indexing panic in analyze::FnNode::key is NOT reachable
+        // from sim's root, so no L007 finding is attributed to it.
+        assert!(
+            !a.open.iter().any(|d| d.rule == RuleId::PanicFreedom),
+            "{:?}",
+            a.open
+        );
+    }
+
+    #[test]
+    fn semantic_finding_suppressed_on_fn_line_covers_whole_body() {
+        let src = "\
+            // ibp-lint: allow(L007, \"indices masked by table size\")\n\
+            pub fn simulate_stream(t: &[u8], i: usize, j: usize) -> u8 {\n\
+                t[i] + t[j]\n\
+            }\n";
+        let a = analyze_sources(&[SourceFile {
+            path: "crates/sim/src/runner.rs".into(),
+            source: src.into(),
+        }]);
+        assert!(a.open.is_empty(), "{:?}", a.open);
+        assert_eq!(
+            a.suppressed
+                .iter()
+                .filter(|d| d.rule == RuleId::PanicFreedom)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn stale_semantic_marker_is_l006() {
+        let src = "\
+            // ibp-lint: allow(L008, \"nothing allocates here\")\n\
+            pub fn simulate_stream() {}\n";
+        let a = analyze_sources(&[SourceFile {
+            path: "crates/sim/src/runner.rs".into(),
+            source: src.into(),
+        }]);
+        assert_eq!(a.open.len(), 1, "{:?}", a.open);
+        assert_eq!(a.open[0].rule, RuleId::StaleSuppression);
     }
 }

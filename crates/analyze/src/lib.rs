@@ -17,19 +17,39 @@
 //! * **L006 stale-suppression** — `ibp-lint: allow(...)` markers must be
 //!   live and carry a written reason, so suppressions never rot.
 //!
+//! On top of the token lints sit the *semantic certification* rules,
+//! which [`parser`] + [`callgraph`] make possible: item-level fn/impl
+//! parsing, a workspace call graph with an explicit unresolved-edge
+//! ledger, and reachability proofs in [`semantic`]:
+//!
+//! * **L007 panic-freedom** — nothing panicking reachable from the
+//!   simulate/stepping/reactor entry points.
+//! * **L008 allocation-freedom** — nothing allocating reachable from
+//!   the steady-state per-event path.
+//! * **L009 non-blocking** — nothing blocking reachable from the
+//!   reactor shard loops.
+//! * **L010 wire-exhaustiveness** — every opcode and error code has an
+//!   encode site, decode arm, test reference, and DESIGN.md §11 row.
+//!
 //! The pipeline: [`lexer`] turns each file into comment/literal-aware
 //! tokens, [`manifest`] scans `Cargo.toml` sections, [`rules`] emits
-//! diagnostics, [`suppress`] resolves inline allow markers, and
-//! [`engine`] wires it all to the filesystem. `cargo run -p ibp-analyze
-//! -- --deny` is the verify-script entry point.
+//! token diagnostics, [`parser`]/[`callgraph`]/[`semantic`] add the
+//! reachability findings, [`suppress`] resolves inline allow markers,
+//! [`report`] renders the machine-readable ledger, and [`engine`] wires
+//! it all to the filesystem. `cargo run -p ibp-analyze -- --deny` is
+//! the verify-script entry point.
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
 pub mod manifest;
+pub mod parser;
+pub mod report;
 pub mod rules;
+pub mod semantic;
 pub mod suppress;
 
-pub use engine::{analyze_file, analyze_workspace, RustFile};
+pub use engine::{analyze_file, analyze_workspace, Analysis, SourceFile};
 pub use rules::RuleId;
 
 use std::fmt;

@@ -1,32 +1,37 @@
-//! CLI for the workspace lint engine.
+//! CLI for the workspace lint + semantic certification engine.
 //!
 //! ```text
-//! ibp-analyze [--root <dir>] [--deny]   lint the workspace
-//! ibp-analyze --list-rules              print the rule table
+//! ibp-analyze [--root <dir>] [--deny] [--json <path>]   analyze the workspace
+//! ibp-analyze --check <path>                            validate a report
+//! ibp-analyze --list-rules                              print the rule table
 //! ```
 //!
 //! Exit codes: 0 clean (or findings without `--deny`), 1 findings under
-//! `--deny`, 2 usage or I/O error.
+//! `--deny` or a failed `--check`, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ibp_analyze::{analyze_workspace, RuleId};
+use ibp_analyze::{analyze_workspace, report, RuleId};
 
 fn print_help() {
-    println!("ibp-analyze — workspace lint engine (rules L001-L006)");
+    println!("ibp-analyze — workspace lint + semantic certification engine (L001-L010)");
     println!();
     println!("USAGE:");
-    println!("    ibp-analyze [--root <dir>] [--deny]");
+    println!("    ibp-analyze [--root <dir>] [--deny] [--json <path>]");
+    println!("    ibp-analyze --check <path>");
     println!("    ibp-analyze --list-rules");
     println!();
     println!("OPTIONS:");
-    println!("    --root <dir>   workspace root to lint (default: current directory)");
+    println!("    --root <dir>   workspace root to analyze (default: current directory)");
     println!("    --deny         exit 1 when any diagnostic is emitted");
+    println!("    --json <path>  write the machine-readable report (byte-stable)");
+    println!("    --check <path> validate a report against the schema + thresholds");
     println!("    --list-rules   print the rule table and exit");
     println!("    -h, --help     show this help");
     println!();
-    println!("Suppress a finding with a whole-comment marker on or above its line:");
+    println!("Suppress a finding with a whole-comment marker on or above its line");
+    println!("(L007-L009 also accept one on the enclosing fn signature line):");
     println!("    // ibp-lint: allow(L003, \"reason\")   (# ... in Cargo.toml)");
 }
 
@@ -34,6 +39,8 @@ fn main() -> ExitCode {
     let mut deny = false;
     let mut list_rules = false;
     let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut check: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,6 +50,20 @@ fn main() -> ExitCode {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
                     eprintln!("ibp-analyze: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ibp-analyze: --json requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" => match args.next() {
+                Some(p) => check = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ibp-analyze: --check requires a path");
                     return ExitCode::from(2);
                 }
             },
@@ -59,33 +80,63 @@ fn main() -> ExitCode {
 
     if list_rules {
         for rule in RuleId::ALL {
-            println!("{}  {:<18} {}", rule.code(), rule.name(), rule.summary());
+            println!("{}  {:<19} {}", rule.code(), rule.name(), rule.summary());
         }
         return ExitCode::SUCCESS;
     }
 
-    match analyze_workspace(&root) {
-        Ok(diags) if diags.is_empty() => {
-            eprintln!(
-                "ibp-analyze: clean ({} rules, 0 diagnostics)",
-                RuleId::ALL.len()
-            );
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ibp-analyze: reading {}: {e}", path.display());
+                return ExitCode::from(2);
             }
-            eprintln!("ibp-analyze: {} diagnostic(s)", diags.len());
-            if deny {
-                ExitCode::FAILURE
-            } else {
+        };
+        return match report::check(&text) {
+            Ok(()) => {
+                eprintln!("ibp-analyze: {} passes the schema gate", path.display());
                 ExitCode::SUCCESS
             }
-        }
+            Err(errs) => {
+                for e in &errs {
+                    eprintln!("ibp-analyze: check: {e}");
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
         Err(msg) => {
             eprintln!("ibp-analyze: {msg}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report::render(&analysis)) {
+            eprintln!("ibp-analyze: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if analysis.open.is_empty() {
+        eprintln!(
+            "ibp-analyze: clean ({} rules, 0 open, {} suppressed, {} fns in graph)",
+            RuleId::ALL.len(),
+            analysis.suppressed.len(),
+            analysis.graph.nodes.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for d in &analysis.open {
+            println!("{d}");
+        }
+        eprintln!("ibp-analyze: {} diagnostic(s)", analysis.open.len());
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
         }
     }
 }

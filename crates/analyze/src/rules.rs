@@ -20,7 +20,7 @@ use crate::lexer::{Token, TokenKind};
 use crate::manifest::ManifestScan;
 use crate::Diagnostic;
 
-/// Stable identifiers for the six enforced invariants.
+/// Stable identifiers for the ten enforced invariants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
     /// L001 — every dependency entry is in-tree.
@@ -36,20 +36,46 @@ pub enum RuleId {
     ThreadDiscipline,
     /// L006 — suppression markers must be live, well-formed and reasoned.
     StaleSuppression,
+    /// L007 — no panic source reachable from the hot entry points
+    /// (call-graph certification, not token matching).
+    PanicFreedom,
+    /// L008 — no allocation reachable from the steady-state per-event
+    /// path.
+    AllocFreedom,
+    /// L009 — no blocking call reachable from the reactor shard loops.
+    NonBlocking,
+    /// L010 — every wire opcode and error code has an encode site, a
+    /// decode arm, a test reference, and a DESIGN.md §11 table row.
+    WireExhaustive,
 }
 
 impl RuleId {
     /// All rules, in code order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::Hermeticity,
         RuleId::SafetyComment,
         RuleId::Determinism,
         RuleId::NoPanic,
         RuleId::ThreadDiscipline,
         RuleId::StaleSuppression,
+        RuleId::PanicFreedom,
+        RuleId::AllocFreedom,
+        RuleId::NonBlocking,
+        RuleId::WireExhaustive,
     ];
 
-    /// The `L00x` code used in diagnostics and `allow(...)` markers.
+    /// The semantic (call-graph) rules: findings from these accept a
+    /// suppression marker on the enclosing `fn` signature line as well
+    /// as on the finding line, so one reasoned allow can certify a
+    /// whole function's bounds argument.
+    pub const SEMANTIC: [RuleId; 4] = [
+        RuleId::PanicFreedom,
+        RuleId::AllocFreedom,
+        RuleId::NonBlocking,
+        RuleId::WireExhaustive,
+    ];
+
+    /// The `L0xx` code used in diagnostics and `allow(...)` markers.
     pub fn code(self) -> &'static str {
         match self {
             RuleId::Hermeticity => "L001",
@@ -58,6 +84,10 @@ impl RuleId {
             RuleId::NoPanic => "L004",
             RuleId::ThreadDiscipline => "L005",
             RuleId::StaleSuppression => "L006",
+            RuleId::PanicFreedom => "L007",
+            RuleId::AllocFreedom => "L008",
+            RuleId::NonBlocking => "L009",
+            RuleId::WireExhaustive => "L010",
         }
     }
 
@@ -70,6 +100,10 @@ impl RuleId {
             RuleId::NoPanic => "no-panic",
             RuleId::ThreadDiscipline => "thread-discipline",
             RuleId::StaleSuppression => "stale-suppression",
+            RuleId::PanicFreedom => "panic-freedom",
+            RuleId::AllocFreedom => "alloc-freedom",
+            RuleId::NonBlocking => "non-blocking",
+            RuleId::WireExhaustive => "wire-exhaustiveness",
         }
     }
 
@@ -100,10 +134,28 @@ impl RuleId {
                 "an `ibp-lint: allow(...)` marker that silences nothing, names an unknown \
                  rule, or lacks a reason is itself an error"
             }
+            RuleId::PanicFreedom => {
+                "no unwrap/expect/panic-macro/indexing/non-constant division in any \
+                 function reachable (via the workspace call graph) from simulate_stream*, \
+                 SessionStepper stepping, or the reactor shard loop"
+            }
+            RuleId::AllocFreedom => {
+                "no Vec/map growth, Box/Arc::new, format!/vec! or collect in any function \
+                 reachable from the steady-state per-event path (simulate_stream* and \
+                 SessionStepper::step_counted/step_verbose)"
+            }
+            RuleId::NonBlocking => {
+                "no thread::sleep, lock acquisition, join/recv/park/wait or blocking I/O \
+                 call in any function reachable from the reactor shard loop"
+            }
+            RuleId::WireExhaustive => {
+                "every frame_type opcode and ErrorCode in crates/serve/src/protocol.rs has \
+                 an encode site, a decode arm, a test reference, and a DESIGN.md §11 entry"
+            }
         }
     }
 
-    /// Parses `L001`..`L006` (case-insensitive).
+    /// Parses `L001`..`L010` (case-insensitive).
     pub fn parse(text: &str) -> Option<RuleId> {
         let text = text.trim();
         RuleId::ALL

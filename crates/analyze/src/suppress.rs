@@ -147,17 +147,37 @@ fn strip_comment_sigils(text: &str) -> &str {
 /// every unused or malformed marker becomes an L006 diagnostic (itself
 /// silenceable by an `allow(L006, ...)` marker targeting its line).
 pub fn apply(path: &str, diags: Vec<Diagnostic>, markers: &[Marker]) -> Vec<Diagnostic> {
+    apply_with(path, diags, markers, |_| None).0
+}
+
+/// [`apply`] with an alternate-target hook and a suppressed-findings
+/// return. `alt` maps a diagnostic to one additional line a marker may
+/// target to silence it — the semantic rules (L007–L009) pass the
+/// enclosing function's signature line here, so a single reasoned allow
+/// on the `fn` line certifies the whole body. Returns
+/// `(open, suppressed)`; L006 stale/malformed reports land in `open`.
+pub fn apply_with(
+    path: &str,
+    diags: Vec<Diagnostic>,
+    markers: &[Marker],
+    alt: impl Fn(&Diagnostic) -> Option<u32>,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
     let mut used = vec![false; markers.len()];
     let mut out = Vec::new();
+    let mut silenced_diags = Vec::new();
     for d in diags {
         let mut silenced = false;
+        let alt_line = alt(&d);
         for (i, m) in markers.iter().enumerate() {
-            if m.malformed.is_none() && m.rule == Some(d.rule) && m.target_line == d.line {
+            let on_target = m.target_line == d.line || Some(m.target_line) == alt_line;
+            if m.malformed.is_none() && m.rule == Some(d.rule) && on_target {
                 used[i] = true;
                 silenced = true;
             }
         }
-        if !silenced {
+        if silenced {
+            silenced_diags.push(d);
+        } else {
             out.push(d);
         }
     }
@@ -219,7 +239,7 @@ pub fn apply(path: &str, diags: Vec<Diagnostic>, markers: &[Marker]) -> Vec<Diag
             });
         }
     }
-    out
+    (out, silenced_diags)
 }
 
 #[cfg(test)]

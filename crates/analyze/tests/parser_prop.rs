@@ -1,0 +1,268 @@
+//! Property tests for the item-level parser — the structural layer the
+//! semantic rules (L007–L010) stand on:
+//!
+//! 1. **Recovery is exact.** Every planted fn — free, inherent method,
+//!    trait-impl method, trait default, nested in inline mods — comes
+//!    back exactly once, with the exact `decl_line` it was planted on
+//!    and the impl/trait/mod context it was planted in.
+//! 2. **Distractors never desynchronize.** Structs with `[u8; N]`
+//!    fields, consts with bracketed initializers, `use` trees, string
+//!    and comment bodies spelling `fn fake()` — none of them produce
+//!    phantom fns or shift the walk off a later real one.
+//! 3. **Spans are ordered.** Fns appear in source order,
+//!    `decl_line <= end_line`, and body token ranges are properly
+//!    bracketed.
+//! 4. **Parsing is deterministic.** Two parses of the same document
+//!    produce identical item lists.
+//!
+//! Documents are generated as item lists so the shrinker can bisect a
+//! failing document down to the one construct that broke the walk.
+
+use ibp_analyze::lexer::lex;
+use ibp_analyze::parser::{parse, FnItem};
+use ibp_testkit::{prop_assert, prop_assert_eq, Prop, Shrink, TestRng};
+
+/// One planted or distractor item of a generated document.
+#[derive(Debug, Clone)]
+enum Item {
+    /// A free fn; the bool adds a `pub const` prefix.
+    FreeFn(u32, bool),
+    /// `impl S<n> { fn m<n>(&self) ... }` inherent method.
+    Method(u32),
+    /// `impl Tr<n> for S<n> { fn tm<n>(...) }` trait-impl method.
+    TraitImpl(u32),
+    /// `trait Td<n> { fn d<n>() {...} fn sig<n>(); }` — one default
+    /// method with a body, one bodiless signature.
+    TraitDefault(u32),
+    /// An inline mod wrapping one free fn.
+    ModFn(u32),
+    /// Distractor: struct with array-typed fields (`;` inside `[]`).
+    Struct(u32),
+    /// Distractor: const with a bracketed initializer.
+    Const(u32),
+    /// Distractor: a use tree with braces.
+    Use(u32),
+    /// Distractor: comment + string both spelling `fn`.
+    Hidden(u32),
+}
+
+impl Shrink for Item {}
+
+fn item(rng: &mut TestRng, n: u32) -> Item {
+    match rng.gen_range(0..9u32) {
+        0 => Item::FreeFn(n, rng.gen_bool(0.5)),
+        1 => Item::Method(n),
+        2 => Item::TraitImpl(n),
+        3 => Item::TraitDefault(n),
+        4 => Item::ModFn(n),
+        5 => Item::Struct(n),
+        6 => Item::Const(n),
+        7 => Item::Use(n),
+        _ => Item::Hidden(n),
+    }
+}
+
+/// One expectation: a fn the parser must recover exactly once.
+#[derive(Debug, Clone, PartialEq)]
+struct Expect {
+    name: String,
+    decl_line: u32,
+    self_ty: Option<String>,
+    trait_name: Option<String>,
+    mod_path: Vec<String>,
+    has_body: bool,
+}
+
+/// Renders the document, returning `(source, expectations)`. Lines are
+/// tracked so every expectation carries the exact 1-based decl line.
+fn render(items: &[Item]) -> (String, Vec<Expect>) {
+    let mut src = String::new();
+    let mut line = 1u32;
+    let mut want = Vec::new();
+    let put = |src: &mut String, line: &mut u32, text: &str| {
+        src.push_str(text);
+        src.push('\n');
+        *line += 1;
+    };
+    for it in items {
+        match it {
+            Item::FreeFn(n, is_pub) => {
+                let decl = if *is_pub {
+                    format!("pub const fn free_{n}(x: u8) -> u8 {{")
+                } else {
+                    format!("fn free_{n}(x: u8) -> u8 {{")
+                };
+                want.push(Expect {
+                    name: format!("free_{n}"),
+                    decl_line: line,
+                    self_ty: None,
+                    trait_name: None,
+                    mod_path: Vec::new(),
+                    has_body: true,
+                });
+                put(&mut src, &mut line, &decl);
+                put(&mut src, &mut line, "    x");
+                put(&mut src, &mut line, "}");
+            }
+            Item::Method(n) => {
+                put(&mut src, &mut line, &format!("impl S{n} {{"));
+                want.push(Expect {
+                    name: format!("m{n}"),
+                    decl_line: line,
+                    self_ty: Some(format!("S{n}")),
+                    trait_name: None,
+                    mod_path: Vec::new(),
+                    has_body: true,
+                });
+                put(&mut src, &mut line, &format!("    fn m{n}(&self) -> u8 {{ 1 }}"));
+                put(&mut src, &mut line, "}");
+            }
+            Item::TraitImpl(n) => {
+                put(&mut src, &mut line, &format!("impl Tr{n} for S{n} {{"));
+                want.push(Expect {
+                    name: format!("tm{n}"),
+                    decl_line: line,
+                    self_ty: Some(format!("S{n}")),
+                    trait_name: Some(format!("Tr{n}")),
+                    mod_path: Vec::new(),
+                    has_body: true,
+                });
+                put(&mut src, &mut line, &format!("    fn tm{n}(&self) {{}}"));
+                put(&mut src, &mut line, "}");
+            }
+            Item::TraitDefault(n) => {
+                put(&mut src, &mut line, &format!("trait Td{n} {{"));
+                want.push(Expect {
+                    name: format!("d{n}"),
+                    decl_line: line,
+                    self_ty: None,
+                    trait_name: Some(format!("Td{n}")),
+                    mod_path: Vec::new(),
+                    has_body: true,
+                });
+                put(&mut src, &mut line, &format!("    fn d{n}(&self) {{ () }}"));
+                want.push(Expect {
+                    name: format!("sig{n}"),
+                    decl_line: line,
+                    self_ty: None,
+                    trait_name: Some(format!("Td{n}")),
+                    mod_path: Vec::new(),
+                    has_body: false,
+                });
+                put(&mut src, &mut line, &format!("    fn sig{n}(&self) -> u8;"));
+                put(&mut src, &mut line, "}");
+            }
+            Item::ModFn(n) => {
+                put(&mut src, &mut line, &format!("mod inner{n} {{"));
+                want.push(Expect {
+                    name: format!("nested{n}"),
+                    decl_line: line,
+                    self_ty: None,
+                    trait_name: None,
+                    mod_path: vec![format!("inner{n}")],
+                    has_body: true,
+                });
+                put(&mut src, &mut line, &format!("    pub fn nested{n}() {{}}"));
+                put(&mut src, &mut line, "}");
+            }
+            Item::Struct(n) => {
+                put(&mut src, &mut line, &format!("struct Plain{n} {{"));
+                put(&mut src, &mut line, "    a: [u8; 4],");
+                put(&mut src, &mut line, "    b: [u64; 2],");
+                put(&mut src, &mut line, "}");
+            }
+            Item::Const(n) => {
+                put(
+                    &mut src,
+                    &mut line,
+                    &format!("const C{n}: [u8; 3] = [1, 2, 3];"),
+                );
+            }
+            Item::Use(n) => {
+                put(
+                    &mut src,
+                    &mut line,
+                    &format!("use a{n}::b::{{c as d, e}};"),
+                );
+            }
+            Item::Hidden(n) => {
+                put(&mut src, &mut line, &format!("// fn phantom_c{n}() {{}}"));
+                put(
+                    &mut src,
+                    &mut line,
+                    &format!("static T{n}: &str = \"fn phantom_s{n}() {{\";"),
+                );
+            }
+        }
+    }
+    (src, want)
+}
+
+fn doc(rng: &mut TestRng) -> Vec<Item> {
+    let len = rng.gen_range(0..16usize);
+    (0..len).map(|i| item(rng, i as u32)).collect()
+}
+
+/// Finds the one parsed fn matching an expectation, by name.
+fn matches<'a>(fns: &'a [FnItem], want: &Expect) -> Vec<&'a FnItem> {
+    fns.iter().filter(|f| f.name == want.name).collect()
+}
+
+#[test]
+fn planted_fns_recovered_exactly_once_with_exact_context() {
+    Prop::new("parser_recovers_planted_fns").run(doc, |items| {
+        let (src, want) = render(items);
+        let parsed = parse(&lex(&src));
+        prop_assert_eq!(
+            parsed.fns.len(),
+            want.len(),
+            "fn count mismatch for:\n{}",
+            src
+        );
+        for w in &want {
+            let hits = matches(&parsed.fns, w);
+            prop_assert_eq!(hits.len(), 1, "fn {} found {} times", w.name, hits.len());
+            let f = hits[0];
+            prop_assert_eq!(f.decl_line, w.decl_line, "decl line of {}", w.name);
+            prop_assert_eq!(&f.self_ty, &w.self_ty, "self_ty of {}", w.name);
+            prop_assert_eq!(&f.trait_name, &w.trait_name, "trait of {}", w.name);
+            prop_assert_eq!(&f.mod_path, &w.mod_path, "mod path of {}", w.name);
+            prop_assert_eq!(f.body.is_some(), w.has_body, "body of {}", w.name);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn spans_are_ordered_and_bracketed() {
+    Prop::new("parser_span_invariants").run(doc, |items| {
+        let (src, _) = render(items);
+        let tokens = lex(&src);
+        let parsed = parse(&tokens);
+        let mut prev_decl = 0u32;
+        for f in &parsed.fns {
+            prop_assert!(f.decl_line >= prev_decl, "fns out of source order");
+            prev_decl = f.decl_line;
+            prop_assert!(f.decl_line <= f.end_line, "decl after end in {}", f.name);
+            if let Some((open, close)) = f.body {
+                prop_assert!(open < close, "empty body range in {}", f.name);
+                prop_assert!(close < tokens.len(), "body range escapes file");
+                prop_assert!(tokens[open].is_punct('{'), "open not a brace");
+                prop_assert!(tokens[close].is_punct('}'), "close not a brace");
+                prop_assert_eq!(tokens[close].end_line(), f.end_line, "end line");
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn parsing_is_deterministic() {
+    Prop::new("parser_determinism").cases(32).run(doc, |items| {
+        let (src, _) = render(items);
+        let a = parse(&lex(&src));
+        let b = parse(&lex(&src));
+        prop_assert_eq!(a.fns, b.fns, "two parses disagree");
+        Ok(())
+    });
+}

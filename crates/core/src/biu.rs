@@ -138,6 +138,7 @@ impl Biu {
     /// bounded BIU evicts its least-recently-used branch when full — a
     /// re-allocated branch therefore loses its learned correlation type,
     /// which is exactly the sensitivity the paper flags.
+    // ibp-lint: allow(L007, "slot id comes from entry_id; ids are allocated in-bounds")
     pub fn entry(&mut self, pc: Addr, arity: TargetArity) -> &mut BiuEntry {
         let id = self.entry_id(pc, arity);
         &mut self.slots[id.0 as usize].entry
@@ -146,6 +147,7 @@ impl Biu {
     /// Like [`Biu::entry`], but returns a stable handle instead of the
     /// entry itself. The handle stays valid until the branch is evicted;
     /// [`Biu::entry_at`] revalidates it without a hash probe.
+    // ibp-lint: allow(L007, "slot ids stored in the index are allocated in-bounds and never dangle")
     pub fn entry_id(&mut self, pc: Addr, arity: TargetArity) -> BiuId {
         self.clock += 1;
         let clock = self.clock;
@@ -163,6 +165,7 @@ impl Biu {
                     .min_by_key(|(_, &id)| self.slots[id as usize].entry.last_use)
                 {
                     self.index.remove(&victim);
+                    // ibp-lint: allow(L008, "BIU slot admission: once per new branch site, bounded by the static branch count")
                     self.free.push(vid);
                 }
             }
@@ -181,10 +184,12 @@ impl Biu {
                 id
             }
             None => {
+                // ibp-lint: allow(L008, "BIU slot admission: once per new branch site, bounded by the static branch count")
                 self.slots.push(slot);
                 (self.slots.len() - 1) as u32
             }
         };
+        // ibp-lint: allow(L008, "index admission mirrors the slot push above; once per new branch site")
         self.index.insert(pc.raw(), id);
         BiuId(id)
     }
@@ -192,6 +197,7 @@ impl Biu {
     /// Reads the entry behind a handle that is known to be current (i.e.
     /// just returned by [`Biu::entry_id`]). For handles held across other
     /// BIU operations use [`Biu::entry_at`], which revalidates.
+    // ibp-lint: allow(L007, "caller contract: handle was just issued by entry_id")
     pub fn entry_ref(&self, id: BiuId) -> &BiuEntry {
         &self.slots[id.0 as usize].entry
     }
@@ -211,6 +217,7 @@ impl Biu {
     }
 
     /// Reads the entry for `pc` without allocating.
+    // ibp-lint: allow(L007, "slot id comes from the index; ids never dangle")
     pub fn get(&self, pc: Addr) -> Option<&BiuEntry> {
         self.index
             .get(&pc.raw())
@@ -255,13 +262,11 @@ impl ibp_hw::Persist for Biu {
         });
         out.u64(self.capacity.map_or(0, |c| c as u64));
         out.u64(self.clock);
-        let mut pcs: Vec<u64> = self.index.iter().map(|(&pc, _)| pc).collect();
-        pcs.sort_unstable();
-        out.usize(pcs.len());
-        for pc in pcs {
-            let Some(&id) = self.index.get(&pc) else {
-                unreachable!("pc came from the index");
-            };
+        let mut pairs: Vec<(u64, u32)> = self.index.iter().map(|(&pc, &id)| (pc, id)).collect();
+        pairs.sort_unstable();
+        out.usize(pairs.len());
+        for (pc, id) in pairs {
+            // ibp-lint: allow(L007, "slot id comes from the index; ids never dangle")
             let slot = &self.slots[id as usize];
             out.u64(pc);
             out.u8(match slot.entry.arity {

@@ -94,8 +94,9 @@ impl BitMarkovModel {
     /// current state, then shifts the bit into the history.
     pub fn train(&mut self, bit: bool) {
         if let Some(state) = self.state() {
+            // ibp-lint: allow(L008, "software model: per-context counter map grows with the working set by design")
             let e = self.transitions.or_insert_with(state, || [0, 0]);
-            e[bit as usize] += 1;
+            e[bit as usize] += 1; // ibp-lint: allow(L007, "two-slot array indexed by a bool")
         }
         self.shift(bit);
     }
@@ -191,10 +192,12 @@ impl TableOrder {
         (history & mask) as usize
     }
 
+    // ibp-lint: allow(L007, "index is masked by entries.len()-1, a power of two")
     fn predict(&self, history: u64) -> Option<bool> {
         self.entries[self.index(history)].map(|c| c.is_high_half())
     }
 
+    // ibp-lint: allow(L007, "index is masked by entries.len()-1, a power of two")
     fn train(&mut self, history: u64, taken: bool) {
         let idx = self.index(history);
         let c = self.entries[idx].get_or_insert(Saturating2Bit::new(if taken { 2 } else { 1 }));

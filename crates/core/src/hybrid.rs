@@ -211,12 +211,14 @@ impl IndirectPredictor for PpmHybrid {
             let target = event.target().path_bits();
             let expired = self.pb_phr.slot(self.pb_phr.depth() - 1);
             self.pb_sig = sfsxs.advance(self.pb_sig, expired, target);
+            // ibp-lint: allow(L008, "PathHistory::push writes a fixed-depth ring, not Vec growth")
             self.pb_phr.push(target);
         }
         if HistoryGroup::AllIndirect.accepts(event) {
             let target = event.target().path_bits();
             let expired = self.pib_phr.slot(self.pib_phr.depth() - 1);
             self.pib_sig = sfsxs.advance(self.pib_sig, expired, target);
+            // ibp-lint: allow(L008, "PathHistory::push writes a fixed-depth ring, not Vec growth")
             self.pib_phr.push(target);
         }
     }

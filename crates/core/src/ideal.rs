@@ -34,6 +34,7 @@ impl IdealOrder {
     }
 
     fn train(&mut self, key: (u64, Vec<u64>), actual: Addr) {
+        // ibp-lint: allow(L008, "idealized PPM is deliberately unbounded: the faithful Markov model of §4")
         *self.contexts.or_default(key).or_default(actual.raw()) += 1;
     }
 }
@@ -94,11 +95,13 @@ impl IdealPpm {
         let take = (order as usize).min(have);
         (
             pc.raw(),
+            // ibp-lint: allow(L008, "idealized PPM keys on exact cloned history by design; not a hardware path")
             self.history.iter().skip(have - take).copied().collect(),
         )
     }
 
     /// The order that would provide the next prediction for `pc`.
+    // ibp-lint: allow(L007, "orders has max_order+1 entries by construction")
     pub fn provider(&self, pc: Addr) -> Option<u32> {
         (0..=self.max_order)
             .rev()
@@ -113,14 +116,17 @@ impl IdealPpm {
 
 impl IndirectPredictor for IdealPpm {
     fn name(&self) -> String {
+        // ibp-lint: allow(L008, "name() runs once per run for reporting, not per event")
         format!("PPM-ideal(m={})", self.max_order)
     }
 
+    // ibp-lint: allow(L007, "provider returns an order in 0..=max_order; orders has max_order+1 entries")
     fn predict(&mut self, pc: Addr) -> Option<Addr> {
         let order = self.provider(pc)?;
         self.orders[order as usize].vote(&self.key(pc, order))
     }
 
+    // ibp-lint: allow(L007, "orders has max_order+1 entries by construction")
     fn update(&mut self, pc: Addr, actual: Addr) {
         // Update exclusion: the providing order and all higher orders
         // train; lower orders do not. A cold branch trains every order.
@@ -136,6 +142,7 @@ impl IndirectPredictor for IdealPpm {
             if self.history.len() == self.max_order as usize {
                 self.history.pop_front();
             }
+            // ibp-lint: allow(L008, "history ring bounded by max_order: push_back pairs with pop_front at depth")
             self.history.push_back(event.target().raw());
         }
     }

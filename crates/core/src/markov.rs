@@ -92,6 +92,7 @@ impl MarkovSlots {
     }
 
     #[inline]
+    // ibp-lint: allow(L007, "caller contract: slot is pre-masked by the power-of-two table size")
     fn get(&self, slot: usize) -> Option<MarkovEntry> {
         match self {
             MarkovSlots::Plain(v) => v[slot],
@@ -112,6 +113,7 @@ impl MarkovSlots {
     }
 
     #[inline]
+    // ibp-lint: allow(L007, "caller contract: slot is pre-masked by the power-of-two table size")
     fn set(&mut self, slot: usize, e: MarkovEntry) {
         match self {
             MarkovSlots::Plain(v) => v[slot] = Some(e),

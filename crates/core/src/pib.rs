@@ -93,6 +93,7 @@ impl IndirectPredictor for PpmPib {
 
     fn observe(&mut self, event: &BranchEvent) {
         if HistoryGroup::AllIndirect.accepts(event) {
+            // ibp-lint: allow(L008, "PathHistory::push writes a fixed-depth ring, not Vec growth")
             self.phr.push(event.target().path_bits());
         }
     }

@@ -172,6 +172,7 @@ impl StackLookup {
     /// # Panics
     ///
     /// Panics if `order` is out of range.
+    // ibp-lint: allow(L007, "documented panic contract: order must be in 1..=m")
     pub fn index(&self, order: u32) -> u64 {
         self.indices[(order - 1) as usize] as u64
     }
@@ -266,6 +267,7 @@ impl MarkovStack {
     }
 
     /// Probes every order for the current path history and branch.
+    // ibp-lint: allow(L007, "j ranges over 1..=max_order <= MAX_STACK_ORDER (validated config)")
     pub fn lookup(&self, phr: &PathHistory, pc: Addr) -> StackLookup {
         match self.config.index_scheme {
             IndexScheme::Sfsxs => self.lookup_with_signature(self.sfsxs.signature(phr), pc),
@@ -296,6 +298,7 @@ impl MarkovStack {
     /// skips the per-prediction history scan entirely. Only meaningful
     /// under [`IndexScheme::Sfsxs`]; the signature must equal
     /// `sfsxs().signature(phr)` for the history the caller tracks.
+    // ibp-lint: allow(L007, "j ranges over 1..=max_order <= MAX_STACK_ORDER (validated config)")
     pub fn lookup_with_signature(&self, signature: u64, pc: Addr) -> StackLookup {
         let mut indices = [0u16; MAX_STACK_ORDER];
         for j in 1..=self.config.max_order {
@@ -317,6 +320,7 @@ impl MarkovStack {
     /// Highest order with a valid (tag-matching) entry provides. With
     /// a confidence threshold, weak entries are skipped and the highest
     /// valid entry only serves as a fallback.
+    // ibp-lint: allow(L007, "i enumerates tables; tables.len() <= MAX_STACK_ORDER")
     fn select(&self, indices: [u16; MAX_STACK_ORDER], pc: Addr) -> StackLookup {
         let tag = Self::tag_of(pc);
         let mut fallback: Option<(u32, Addr)> = None;
@@ -354,6 +358,7 @@ impl MarkovStack {
     /// The paper's update exclusion updates the providing order and every
     /// higher order, leaving lower orders untouched; when no order
     /// provided (all invalid), every order allocates.
+    // ibp-lint: allow(L007, "slice bounds end at max_order <= tables.len() (validated config)")
     pub fn update(&mut self, lookup: &StackLookup, pc: Addr, actual: Addr) {
         let tag = Self::tag_of(pc);
         let provider = lookup.provider.unwrap_or(1);

@@ -46,6 +46,7 @@ impl OrderStats {
     /// # Panics
     ///
     /// Panics if `provider` is out of range.
+    // ibp-lint: allow(L007, "documented panic contract; lookup providers are always in 1..=m")
     pub fn record(&mut self, provider: Option<u32>, correct: bool) {
         match provider {
             Some(order) => {
@@ -142,6 +143,7 @@ impl OrderStats {
 }
 
 impl ibp_hw::Persist for OrderStats {
+    // ibp-lint: allow(L007, "per-order arrays are sized max_order by construction")
     fn save_state(&self, out: &mut ibp_hw::StateSink<'_>) {
         out.u32(self.max_order);
         for i in 0..self.max_order as usize {
@@ -151,6 +153,7 @@ impl ibp_hw::Persist for OrderStats {
         out.u64(self.unprovided);
     }
 
+    // ibp-lint: allow(L007, "per-order arrays are sized max_order by construction")
     fn load_state(
         &mut self,
         src: &mut ibp_hw::StateSource<'_>,

@@ -127,7 +127,7 @@ impl FastHash for [u8] {
         let rem = chunks.remainder();
         if !rem.is_empty() {
             let mut word = [0u8; 8];
-            word[..rem.len()].copy_from_slice(rem);
+            word[..rem.len()].copy_from_slice(rem); // ibp-lint: allow(L007, "rem has fewer than 8 bytes: chunks_exact remainder")
             h = fx_step(h, u64::from_le_bytes(word));
         }
         finalize(h)
@@ -214,6 +214,7 @@ impl<K: FastHash + Eq, V> FastMap<K, V> {
     /// be any borrowed form of `K` (e.g. `&str` for a `String`-keyed
     /// map) — [`FastHash`] impls of owned/borrowed pairs agree.
     #[inline]
+    // ibp-lint: allow(L007, "find returns in-bounds occupied slots (mask invariant)")
     pub fn get<Q>(&self, key: &Q) -> Option<&V>
     where
         K: Borrow<Q>,
@@ -225,6 +226,7 @@ impl<K: FastHash + Eq, V> FastMap<K, V> {
 
     /// Mutable access to the value for `key`, if present.
     #[inline]
+    // ibp-lint: allow(L007, "find returns in-bounds occupied slots (mask invariant)")
     pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
     where
         K: Borrow<Q>,
@@ -244,6 +246,7 @@ impl<K: FastHash + Eq, V> FastMap<K, V> {
     }
 
     /// Inserts `key → value`, returning the previous value if any.
+    // ibp-lint: allow(L007, "probe returns in-bounds slots (mask invariant)")
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         self.reserve_one();
         match self.probe(&key) {
@@ -263,6 +266,7 @@ impl<K: FastHash + Eq, V> FastMap<K, V> {
     /// mutable reference to the value for `key`, inserting
     /// `default()` first if the key is absent.
     #[inline]
+    // ibp-lint: allow(L007, "probe returns in-bounds slots; vacant slot just filled")
     pub fn or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
         self.reserve_one();
         let i = match self.probe(&key) {
@@ -281,12 +285,14 @@ impl<K: FastHash + Eq, V> FastMap<K, V> {
     where
         V: Default,
     {
+        // ibp-lint: allow(L008, "amortized-doubling admission path of the map itself; callers bound the key universe")
         self.or_insert_with(key, V::default)
     }
 
     /// Removes `key`, returning its value if it was present.
     ///
     /// Uses backward-shift deletion, so lookups never traverse tombstones.
+    // ibp-lint: allow(L007, "find/probe return in-bounds occupied slots (mask invariant)")
     pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
     where
         K: Borrow<Q>,
@@ -362,6 +368,7 @@ impl<K: FastHash + Eq, V> FastMap<K, V> {
     /// its chain. Requires at least one vacant slot (guaranteed by
     /// [`FastMap::reserve_one`]'s load-factor bound).
     #[inline]
+    // ibp-lint: allow(L007, "probe index masked by the power-of-two slot count")
     fn probe(&self, key: &K) -> Probe {
         let mask = self.slots.len() - 1;
         let mut i = (key.fast_hash() as usize) & mask;
@@ -376,6 +383,7 @@ impl<K: FastHash + Eq, V> FastMap<K, V> {
 
     /// Grows the slot array if inserting one more entry would push the
     /// load factor past 7/8.
+    // ibp-lint: allow(L007, "rehash index masked by the new power-of-two capacity")
     fn reserve_one(&mut self) {
         if self.slots.is_empty() {
             self.slots = new_slots(8);
@@ -407,6 +415,7 @@ fn slots_for(capacity: usize) -> usize {
 }
 
 fn new_slots<K, V>(n: usize) -> Vec<Option<(K, V)>> {
+    // ibp-lint: allow(L008, "runs at construction and episodic rehash, not per event at steady state")
     (0..n).map(|_| None).collect()
 }
 

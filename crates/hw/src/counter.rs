@@ -39,11 +39,11 @@ impl SaturatingCounter {
     ///
     /// # Panics
     ///
-    /// Panics if `bits` is 0 or greater than 31, or if `initial > 2^bits - 1`.
+    /// Debug builds panic if `bits` is 0 or greater than 31, or if `initial > 2^bits - 1`.
     pub fn new(bits: u8, initial: u32) -> Self {
-        assert!(bits > 0 && bits < 32, "counter width must be in 1..=31");
+        debug_assert!(bits > 0 && bits < 32, "counter width must be in 1..=31");
         let max = (1u32 << bits) - 1;
-        assert!(initial <= max, "initial value {initial} exceeds max {max}");
+        debug_assert!(initial <= max, "initial value {initial} exceeds max {max}");
         Self {
             bits,
             value: initial,
@@ -97,9 +97,9 @@ impl SaturatingCounter {
     ///
     /// # Panics
     ///
-    /// Panics if `value > max()`.
+    /// Debug builds panic if `value > max()`.
     pub fn set(&mut self, value: u32) {
-        assert!(value <= self.max(), "value {value} exceeds counter max");
+        debug_assert!(value <= self.max(), "value {value} exceeds counter max");
         self.value = value;
     }
 

@@ -91,6 +91,7 @@ impl FoldedHistory {
         (1u64 << self.out_bits) - 1
     }
 
+    // ibp-lint: allow(L007, "shift amounts are reduced mod `bits`, validated nonzero at construction")
     fn rotl(&self, v: u64, by: u32) -> u64 {
         let by = by % self.out_bits;
         ((v << by) | (v >> (self.out_bits - by))) & self.mask()
@@ -119,6 +120,7 @@ impl FoldedHistory {
         let newcomer = self.base(value);
         self.folded = self.rotl(self.folded, self.rot);
         self.folded ^= newcomer;
+        // ibp-lint: allow(L008, "ring bounded by depth: push_back pairs with pop_front once full")
         self.ring.push_back(newcomer);
         if self.ring.len() > self.len {
             // pop_front is Some here (the ring holds > len ≥ 1 entries);

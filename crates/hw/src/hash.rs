@@ -33,7 +33,7 @@ use crate::history::PathHistory;
 /// assert_eq!(gshare(0b1100, 0b1010, 4), 0b0110);
 /// ```
 pub fn gshare(pc: u64, history: u128, index_bits: u32) -> u64 {
-    assert!(index_bits > 0 && index_bits <= 64, "index bits in 1..=64");
+    debug_assert!(index_bits > 0 && index_bits <= 64, "index bits in 1..=64");
     let mixed = (pc as u128) ^ history;
     (mixed as u64) & mask(index_bits)
 }
@@ -59,9 +59,9 @@ pub fn gshare(pc: u64, history: u128, index_bits: u32) -> u64 {
 /// assert_eq!(fold_xor(0b11101_10010, 10, 5), 0b11101 ^ 0b10010);
 /// ```
 pub fn fold_xor(value: u64, in_bits: u32, out_bits: u32) -> u64 {
-    assert!(out_bits > 0, "fold output width must be non-zero");
-    assert!(in_bits <= 64 && out_bits <= 64, "widths must fit in u64");
-    assert!(out_bits <= in_bits, "cannot fold to a wider value");
+    debug_assert!(out_bits > 0, "fold output width must be non-zero");
+    debug_assert!(in_bits <= 64 && out_bits <= 64, "widths must fit in u64");
+    debug_assert!(out_bits <= in_bits, "cannot fold to a wider value");
     let mut v = value & mask(in_bits);
     let mut out = 0u64;
     while v != 0 {
@@ -152,9 +152,9 @@ impl Sfsxs {
     ///
     /// # Panics
     ///
-    /// Panics if the PHR holds fewer than `depth` targets.
+    /// Debug builds panic if the PHR holds fewer than `depth` targets.
     pub fn signature(&self, phr: &PathHistory) -> u64 {
-        assert!(
+        debug_assert!(
             phr.depth() >= self.depth as usize,
             "path history shallower than hash depth"
         );
@@ -199,9 +199,9 @@ impl Sfsxs {
     ///
     /// # Panics
     ///
-    /// Panics if `order` is zero or exceeds the signature width.
+    /// Debug builds panic if `order` is zero or exceeds the signature width.
     pub fn index(&self, signature: u64, order: u32) -> u64 {
-        assert!(
+        debug_assert!(
             order > 0 && order <= self.signature_bits(),
             "order must be in 1..=signature_bits"
         );
@@ -212,7 +212,7 @@ impl Sfsxs {
     /// bits instead. The authors measured little difference; we expose both
     /// so the ablation bench can reproduce that claim.
     pub fn index_low(&self, signature: u64, order: u32) -> u64 {
-        assert!(
+        debug_assert!(
             order > 0 && order <= self.signature_bits(),
             "order must be in 1..=signature_bits"
         );
@@ -277,6 +277,7 @@ impl ReverseInterleave {
     /// `path_length * bits_per_target <= 64` and slots are masked to
     /// `bits_per_target` bits.
     #[inline]
+    // ibp-lint: allow(L007, "indices come from bit positions below the validated interleave width")
     fn spread_bits(&self, slot: u64) -> u64 {
         let mut out = self.spread[(slot & 0xFF) as usize];
         let mut rest = slot >> 8;
@@ -293,9 +294,9 @@ impl ReverseInterleave {
     ///
     /// # Panics
     ///
-    /// Panics if the PHR holds fewer than `path_length` targets.
+    /// Debug builds panic if the PHR holds fewer than `path_length` targets.
     pub fn index(&self, pc: u64, phr: &PathHistory) -> u64 {
-        assert!(
+        debug_assert!(
             phr.depth() >= self.path_length as usize,
             "path history shallower than path length"
         );

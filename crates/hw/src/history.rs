@@ -111,6 +111,7 @@ impl PathHistory {
     ///
     /// Only the low-order `bits_per_target` bits of `target` are kept.
     #[inline]
+    // ibp-lint: allow(L007, "ring cursor is wrapped by `% depth`; depth validated nonzero")
     pub fn push(&mut self, target: u64) {
         self.head = if self.head == 0 {
             self.depth - 1
@@ -130,10 +131,11 @@ impl PathHistory {
     ///
     /// # Panics
     ///
-    /// Panics if `age >= depth`.
+    /// Debug builds panic if `age >= depth`.
     #[inline]
+    // ibp-lint: allow(L007, "documented panic contract: i must be below depth")
     pub fn slot(&self, age: usize) -> u64 {
-        assert!(age < self.depth, "slot age out of range");
+        debug_assert!(age < self.depth, "slot age out of range");
         self.slots[self.pos(age)]
     }
 
@@ -166,9 +168,9 @@ impl PathHistory {
     ///
     /// # Panics
     ///
-    /// Panics if `n_bits` is zero or exceeds 128.
+    /// Debug builds panic if `n_bits` is zero or exceeds 128.
     pub fn packed_bits(&self, n_bits: u32) -> u128 {
-        assert!(n_bits > 0 && n_bits <= 128, "n_bits must be in 1..=128");
+        debug_assert!(n_bits > 0 && n_bits <= 128, "n_bits must be in 1..=128");
         let full = self.packed();
         if n_bits == 128 {
             full

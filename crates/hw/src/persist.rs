@@ -200,6 +200,7 @@ impl<'a> StateSource<'a> {
     }
 
     /// Reads a length-prefixed byte string, borrowing from the blob.
+    // ibp-lint: allow(L007, "slice bounds are checked against remaining() just above")
     pub fn bytes(&mut self) -> Result<&'a [u8], PersistError> {
         let len = self.usize()?;
         if self.remaining() < len {
@@ -318,6 +319,7 @@ impl<T> SparseDelta<T> {
     /// The overlay entry for `key`: `None` = not overlaid,
     /// `Some(None)` = invalidated, `Some(Some(v))` = overridden.
     #[inline]
+    // ibp-lint: allow(L007, "probe cursor is masked by the power-of-two capacity")
     pub fn get(&self, key: u32) -> Option<&Option<T>> {
         if self.len == 0 {
             return None;
@@ -338,6 +340,7 @@ impl<T> SparseDelta<T> {
     /// Returns a mutable reference to the overlay entry for `key`,
     /// inserting `default()` first when the key is not yet overlaid —
     /// the copy-on-write materialization step.
+    // ibp-lint: allow(L007, "delta words were recorded against this table's own length")
     pub fn materialize_with(&mut self, key: u32, default: impl FnOnce() -> Option<T>) -> &mut Option<T> {
         debug_assert_ne!(key, VACANT, "slot index out of range");
         if self.keys.is_empty() || self.len * 4 >= self.keys.len() * 3 {
@@ -379,10 +382,13 @@ impl<T> SparseDelta<T> {
             .map(|(k, v)| (*k, v))
     }
 
+    // ibp-lint: allow(L007, "copy loop is bounded by the old length, <= the new length")
     fn grow(&mut self) {
         let new_cap = (self.keys.len() * 2).max(8);
+        // ibp-lint: allow(L008, "episodic table resize: amortized and absent at steady state")
         let old_keys = std::mem::replace(&mut self.keys, vec![VACANT; new_cap]);
         let old_vals = std::mem::replace(&mut self.vals, {
+            // ibp-lint: allow(L008, "episodic table resize: amortized and absent at steady state")
             let mut v = Vec::with_capacity(new_cap);
             v.resize_with(new_cap, || None);
             v

@@ -182,6 +182,7 @@ impl<T> DirectMapped<T> {
 
     /// The logical content of `slot`: delta first, then the shared base.
     #[inline]
+    // ibp-lint: allow(L007, "slot index is masked by the power-of-two table size")
     fn slot_ref(&self, slot: usize) -> Option<&T> {
         match &self.slots {
             Slots::Private(v) => v[slot].as_ref(),
@@ -253,6 +254,7 @@ impl<T: Clone> DirectMapped<T> {
     /// The selected slot as a mutable `Option`, materializing a private
     /// copy of the base entry into the delta when sealed.
     #[inline]
+    // ibp-lint: allow(L007, "slot index is masked by the power-of-two table size")
     fn slot_entry_mut(&mut self, slot: usize) -> &mut Option<T> {
         match &mut self.slots {
             Slots::Private(v) => &mut v[slot],
@@ -347,6 +349,7 @@ impl<T: PersistElem + Clone> Persist for DirectMapped<T> {
         }
     }
 
+    // ibp-lint: allow(L007, "slot indices are range-checked against the table geometry before use")
     fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
         src.expect_u64(self.index_mod.len(), "direct-mapped table length")?;
         let evictions = src.u64()?;
@@ -498,6 +501,7 @@ impl<T> SetAssociative<T> {
     }
 
     #[inline]
+    // ibp-lint: allow(L007, "set index is masked by the power-of-two set count")
     fn set_slice_mut(&mut self, set: usize) -> &mut [Option<Way<T>>] {
         &mut self.store[set * self.ways..(set + 1) * self.ways]
     }
@@ -534,6 +538,7 @@ impl<T> SetAssociative<T> {
 
     /// Inserts (or overwrites) `(index, tag) -> value`, evicting the LRU way
     /// of a full set. Returns the evicted `(tag, value)` if any.
+    // ibp-lint: allow(L007, "way index comes from the victim policy, bounded by associativity")
     pub fn insert(&mut self, index: u64, tag: u64, value: T) -> Option<(u64, T)> {
         let set = self.set_of(index);
         self.clock += 1;
@@ -631,6 +636,7 @@ impl<T: PersistElem> Persist for SetAssociative<T> {
         }
     }
 
+    // ibp-lint: allow(L007, "slot indices are range-checked against the table geometry before use")
     fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
         src.expect_u64(self.num_sets as u64, "set-associative sets")?;
         src.expect_u64(self.ways as u64, "set-associative ways")?;

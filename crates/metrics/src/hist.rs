@@ -65,6 +65,7 @@ impl Log2Histogram {
 
     /// Records `n` identical samples (saturating).
     #[inline]
+    // ibp-lint: allow(L007, "bucket index is clamped to the fixed bucket count")
     pub fn record_n(&mut self, value: u64, n: u64) {
         let b = Self::bucket_of(value);
         self.buckets[b] = self.buckets[b].saturating_add(n);

@@ -77,10 +77,12 @@ impl EventRing {
 
     /// Appends an event, overwriting the oldest when full.
     #[inline]
+    // ibp-lint: allow(L007, "head cursor wraps by `% capacity`; capacity validated nonzero")
     pub fn record(&mut self, event: Event) {
         self.recorded = self.recorded.saturating_add(1);
         if self.slots.len() < self.capacity {
             // Still filling the pre-reserved buffer: plain push.
+            // ibp-lint: allow(L008, "ring fills its pre-reserved buffer once, then overwrites in place")
             self.slots.push(event);
             self.len += 1;
             return;
@@ -100,6 +102,7 @@ impl EventRing {
 
     /// Removes and returns all held events, oldest first. The
     /// cumulative `dropped`/`recorded` tallies are unaffected.
+    // ibp-lint: allow(L007, "drain cursor wraps by `% capacity`; capacity validated nonzero")
     pub fn drain(&mut self) -> Vec<Event> {
         let mut out = Vec::with_capacity(self.len);
         for i in 0..self.len {

@@ -72,6 +72,7 @@ impl IndirectPredictor for Btb {
                 e.apply_always_replace(actual);
             }
             None => {
+                // ibp-lint: allow(L008, "allocation on first touch of a masked slot; bounded by the fixed index space")
                 self.table.insert(idx, HysteresisEntry::new(actual));
             }
         }
@@ -147,6 +148,7 @@ impl IndirectPredictor for Btb2b {
                 e.apply(actual);
             }
             None => {
+                // ibp-lint: allow(L008, "allocation on first touch of a masked slot; bounded by the fixed index space")
                 self.table.insert(idx, HysteresisEntry::new(actual));
             }
         }

@@ -61,6 +61,7 @@ impl LeakyFilter {
                 e.apply(actual);
             }
             None => {
+                // ibp-lint: allow(L008, "insert into a fixed-capacity tagged table: evicts, never grows")
                 self.table.insert(idx, tag, HysteresisEntry::new(actual));
             }
         }

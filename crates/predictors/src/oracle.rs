@@ -38,6 +38,7 @@ impl ExactPath {
     }
 
     fn key(&self, pc: Addr) -> (u64, Vec<u64>) {
+        // ibp-lint: allow(L008, "oracle clones the exact path key by design; reference model, not hardware")
         (pc.raw(), self.targets.iter().copied().collect())
     }
 
@@ -46,6 +47,7 @@ impl ExactPath {
             if self.targets.len() == self.depth {
                 self.targets.pop_front();
             }
+            // ibp-lint: allow(L008, "history deque bounded by depth: push_back pairs with pop_front")
             self.targets.push_back(event.target().raw());
         }
     }
@@ -128,6 +130,7 @@ impl PathOracle {
 
 impl IndirectPredictor for PathOracle {
     fn name(&self) -> String {
+        // ibp-lint: allow(L008, "name() runs once per run for reporting, not per event")
         format!("Oracle-{}(p={})", self.path.group, self.path.depth)
     }
 
@@ -136,6 +139,7 @@ impl IndirectPredictor for PathOracle {
     }
 
     fn update(&mut self, pc: Addr, actual: Addr) {
+        // ibp-lint: allow(L008, "path oracle table is deliberately unbounded; reference model")
         self.table.insert(self.path.key(pc), actual);
     }
 
@@ -231,6 +235,7 @@ impl FrequencyOracle {
 
 impl IndirectPredictor for FrequencyOracle {
     fn name(&self) -> String {
+        // ibp-lint: allow(L008, "name() runs once per run for reporting, not per event")
         format!("FreqOracle-{}(p={})", self.path.group, self.path.depth)
     }
 
@@ -245,7 +250,9 @@ impl IndirectPredictor for FrequencyOracle {
     fn update(&mut self, pc: Addr, actual: Addr) {
         *self
             .table
+            // ibp-lint: allow(L008, "frequency oracle counts are deliberately unbounded; reference model")
             .or_default(self.path.key(pc))
+            // ibp-lint: allow(L008, "frequency oracle counts are deliberately unbounded; reference model")
             .or_default(actual.raw()) += 1;
     }
 

@@ -60,6 +60,7 @@ impl ReturnAddressStack {
             self.entries.remove(0);
             self.overflows += 1;
         }
+        // ibp-lint: allow(L008, "stack bounded by depth: overflow removes the oldest entry first")
         self.entries.push(pc.offset_words(1));
     }
 

@@ -110,6 +110,7 @@ impl TargetCache {
 
 impl IndirectPredictor for TargetCache {
     fn name(&self) -> String {
+        // ibp-lint: allow(L008, "name() runs once per run for reporting, not per event")
         format!("TC-{}", self.config.group)
     }
 
@@ -129,6 +130,7 @@ impl IndirectPredictor for TargetCache {
                 }
             }
             None => {
+                // ibp-lint: allow(L008, "allocation on first touch of a masked slot; bounded by the fixed index space")
                 self.table.insert(idx, HysteresisEntry::new(actual));
             }
         }
@@ -136,6 +138,7 @@ impl IndirectPredictor for TargetCache {
 
     fn observe(&mut self, event: &BranchEvent) {
         if self.config.group.accepts(event) {
+            // ibp-lint: allow(L008, "PathHistory::push writes a fixed-depth ring, not Vec growth")
             self.phr.push(event.target().path_bits());
         }
     }

@@ -682,6 +682,7 @@ impl MuxClient {
         Ok(())
     }
 
+    // ibp-lint: allow(L009, "load-generator client half: blocking socket by design, not reactor code")
     fn flush_out(&mut self) -> Result<(), ClientError> {
         if !self.outbuf.is_empty() {
             self.stream.write_all(&self.outbuf)?;

@@ -429,6 +429,7 @@ impl FrameBuffer {
 
     /// Tries to parse the handshake. `Ok(None)` means more bytes are
     /// needed; malformed openings are typed errors immediately.
+    // ibp-lint: allow(L007, "length fields are bounds-checked against the buffered bytes before slicing")
     pub fn next_hello(&mut self) -> Result<Option<Hello>, ProtocolError> {
         let mut r = WireReader::new(self.unread());
         let magic = match r.bytes(MAGIC.len()) {

@@ -112,6 +112,7 @@ impl Shared {
     /// Locks the telemetry snapshot, recovering from poisoning: the
     /// snapshot only ever accumulates monotone counters, so a poisoned
     /// guard cannot leave it inconsistent.
+    // ibp-lint: allow(L009, "telemetry mutex: bounded critical section, never held across I/O")
     pub(crate) fn lock_metrics(&self) -> MutexGuard<'_, MetricsSnapshot> {
         match self.metrics.lock() {
             Ok(g) => g,
@@ -270,6 +271,7 @@ impl Conn {
 
     /// One last, bounded-blocking attempt to land queued frames (error
     /// reports, bye acks) before the socket is dropped.
+    // ibp-lint: allow(L009, "teardown path: deliberate blocking flush bounded by the write timeout")
     fn final_flush(&mut self, write_timeout: Duration) {
         if self.pending_out() == 0 {
             return;
@@ -651,6 +653,7 @@ fn enforce_budget(conns: &mut [Conn], budget: u64, shared: &Shared) {
     }
 }
 
+// ibp-lint: allow(L007, "divisor is the tick interval, clamped to a nonzero minimum")
 fn idle_limit_ticks(cfg: &ServerConfig) -> u32 {
     let tick = cfg.tick.as_nanos().max(1);
     let limit = cfg.idle_timeout.as_nanos() / tick;
@@ -683,6 +686,7 @@ fn track_streams(conn: &mut Conn, shared: &Shared) {
 
 /// Best-effort `ERROR busy` on a connection rejected at the accept
 /// gate (the socket is still blocking at this point).
+// ibp-lint: allow(L009, "pre-admission socket is still blocking; bounded by the write timeout")
 fn send_busy(stream: &mut TcpStream, write_timeout: Duration) {
     let _ = stream.set_write_timeout(Some(write_timeout));
     let mut buf = Vec::new();
@@ -697,6 +701,7 @@ fn send_busy(stream: &mut TcpStream, write_timeout: Duration) {
 
 /// Accepts until `WouldBlock`, admitting against the global cap.
 /// Returns whether any connection arrived.
+// ibp-lint: allow(L009, "listener is nonblocking: accept returns WouldBlock instead of parking")
 fn accept_burst(listener: &TcpListener, shared: &Shared, conns: &mut Vec<Conn>) -> bool {
     let mut progress = false;
     loop {
@@ -734,6 +739,7 @@ fn accept_burst(listener: &TcpListener, shared: &Shared, conns: &mut Vec<Conn>) 
 /// One shard's reactor loop: sharded accept plus a readiness poll over
 /// its resident connections, until the server stops accepting and the
 /// last connection drains (or is force-closed).
+// ibp-lint: allow(L007, "divisors are config intervals validated nonzero at startup")
 pub(crate) fn shard_loop(shard: usize, listener: TcpListener, shared: &Shared) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut scratch = vec![0u8; READ_SCRATCH];
@@ -812,7 +818,7 @@ pub(crate) fn shard_loop(shard: usize, listener: TcpListener, shared: &Shared) {
             std::thread::yield_now();
             continue;
         }
-        std::thread::sleep(nap);
+        std::thread::sleep(nap); // ibp-lint: allow(L009, "idle backoff nap after 64 spin-yields; tick-aligned and bounded")
         naps = naps.saturating_add(1);
         if naps >= naps_per_tick {
             naps = 0;

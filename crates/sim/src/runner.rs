@@ -142,6 +142,7 @@ where
         predictor: predictor.name(),
         predictions: 0,
         mispredictions: 0,
+        // ibp-lint: allow(L008, "per-run result map pre-sized once before the event loop")
         per_branch: FastMap::with_capacity(PER_BRANCH_CAPACITY),
     };
     for event in events {
@@ -154,6 +155,7 @@ where
             result.predictions += 1;
             let entry = result
                 .per_branch
+                // ibp-lint: allow(L008, "per-branch tally admission: bounded by the static branch count")
                 .or_insert_with(event.pc().raw(), || (0, 0));
             entry.0 += 1;
             if !correct {

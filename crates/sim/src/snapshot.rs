@@ -88,6 +88,7 @@ pub fn snapshot_session(
 }
 
 /// Parses and validates a snapshot header, returning it plus the payload.
+// ibp-lint: allow(L007, "header slice length is checked by the caller before the fixed-width reads")
 pub fn snapshot_header(bytes: &[u8]) -> Result<(SnapshotHeader, &[u8]), PersistError> {
     let mut src = StateSource::new(bytes);
     if src.u32()? != SNAPSHOT_MAGIC {

@@ -120,6 +120,7 @@ impl ProgramTracer {
 
     fn push(&mut self, e: BranchEvent) {
         let n = std::mem::take(&mut self.pending_instrs);
+        // ibp-lint: allow(L008, "trace capture runs at trace construction, before simulation")
         self.events.push(e.with_inline_instrs(n));
     }
 }

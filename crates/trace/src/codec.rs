@@ -159,6 +159,7 @@ impl<'a> Reader<'a> {
         self.buf.len()
     }
 
+    // ibp-lint: allow(L007, "split_at(N) yields exactly N bytes; the try_into cannot fail")
     fn take<const N: usize>(&mut self) -> [u8; N] {
         let (head, rest) = self.buf.split_at(N);
         self.buf = rest;

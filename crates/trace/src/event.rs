@@ -36,7 +36,7 @@ impl BranchEvent {
     ///
     /// # Panics
     ///
-    /// Panics if a non-conditional branch is marked not-taken (unconditional
+    /// Debug builds panic if a non-conditional branch is marked not-taken (unconditional
     /// branches are always taken), or if a taken branch has a null target.
     pub fn new(
         pc: Addr,
@@ -45,11 +45,11 @@ impl BranchEvent {
         target: Addr,
         inline_instrs: u32,
     ) -> Self {
-        assert!(
+        debug_assert!(
             taken || class.is_conditional(),
             "unconditional branches are always taken"
         );
-        assert!(
+        debug_assert!(
             !taken || !target.is_null(),
             "taken branch must have a target"
         );

@@ -56,6 +56,7 @@ impl Trace {
 
     /// Appends an event.
     pub fn push(&mut self, e: BranchEvent) {
+        // ibp-lint: allow(L008, "trace construction path, not the per-event prediction loop")
         self.events.push(e);
     }
 

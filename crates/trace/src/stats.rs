@@ -23,6 +23,7 @@ impl BranchProfile {
     /// Records one execution resolving to `target`.
     pub fn record(&mut self, target: Addr) {
         self.executions += 1;
+        // ibp-lint: allow(L008, "profile tallies grow with distinct targets; offline trace analysis")
         *self.target_counts.or_insert_with(target.raw(), || 0) += 1;
         if let Some(last) = self.last_target {
             if last != target.raw() {
@@ -136,6 +137,7 @@ impl TraceStats {
             },
         }
         if e.class().is_predicted_indirect() {
+            // ibp-lint: allow(L008, "profile map grows with distinct branch sites; offline trace analysis")
             self.profiles.or_default(e.pc().raw()).record(e.target());
         }
     }

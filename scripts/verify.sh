@@ -5,16 +5,36 @@
 # The workspace is deliberately dependency-free (see README "Building &
 # testing"): every dependency section in every Cargo.toml may only name
 # in-tree path crates. That invariant — plus determinism, unsafe
-# discipline, panic-freedom on hot paths, and thread discipline — is
-# enforced mechanically by ibp-analyze (rules L001-L006; see DESIGN.md
-# §9), which replaced the awk dependency guard that used to live here.
-# This script is the CI entry point and must pass with no network access
-# and no pre-populated registry cache.
+# discipline, thread discipline, and the call-graph certifications
+# (panic-, allocation- and blocking-freedom of the hot and serve
+# planes, wire exhaustiveness) — is enforced mechanically by
+# ibp-analyze (rules L001-L010; see DESIGN.md §9), which replaced the
+# awk dependency guard that used to live here. This script is the CI
+# entry point and must pass with no network access and no pre-populated
+# registry cache.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== static analysis (ibp-analyze --deny) =="
-cargo run -q --release --offline -p ibp-analyze -- --deny
+echo "== static analysis (ibp-analyze --deny, L001-L010) =="
+# One denied run producing the machine-readable report, a second run
+# proving the report is byte-deterministic, the schema/threshold gate
+# on both the fresh and the committed report, and a wall-clock guard:
+# the semantic pass (parse + call graph + reachability over the whole
+# workspace) must stay under 10 seconds or it is too slow for CI.
+analyze_dir=$(mktemp -d)
+trap 'rm -rf "$analyze_dir"' EXIT
+analyze_t0=$(date +%s)
+cargo run -q --release --offline -p ibp-analyze -- --deny --json "$analyze_dir/a.json"
+cargo run -q --release --offline -p ibp-analyze -- --json "$analyze_dir/b.json"
+analyze_t1=$(date +%s)
+cmp "$analyze_dir/a.json" "$analyze_dir/b.json" \
+  || { echo "verify: analyze report is not byte-deterministic"; exit 1; }
+cargo run -q --release --offline -p ibp-analyze -- --check "$analyze_dir/a.json"
+cargo run -q --release --offline -p ibp-analyze -- --check results/analyze_report.json
+if [ $((analyze_t1 - analyze_t0)) -ge 10 ]; then
+  echo "verify: ibp-analyze took $((analyze_t1 - analyze_t0))s (budget <10s)"
+  exit 1
+fi
 
 echo "== release build (offline) =="
 cargo build --release --offline
@@ -27,7 +47,7 @@ echo "== throughput bench (quick) + report validation =="
 # emits a report, and the report passes its own --check validator — not
 # that any particular speed is reached (wall time is machine-dependent).
 bench_dir=$(mktemp -d)
-trap 'rm -rf "$bench_dir"' EXIT
+trap 'rm -rf "$bench_dir" "$analyze_dir"' EXIT
 IBP_BENCH_DIR="$bench_dir" IBP_BENCH_REPS=1 IBP_BENCH_MIN_MS=1 IBP_BENCH_SCALE=0.005 \
   cargo bench -q --offline -p ibp-bench --bench throughput
 cargo bench -q --offline -p ibp-bench --bench throughput -- \
