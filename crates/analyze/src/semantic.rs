@@ -118,6 +118,7 @@ const L007_ROOTS: &[(Option<&str>, &str)] = &[
     (Some("sim"), "simulate_probed"),
     (Some("sim"), "simulate_stream"),
     (Some("sim"), "simulate_stream_probed"),
+    (Some("sim"), "simulate_window"),
     (None, "step_counted"),
     (None, "step_verbose"),
     (Some("serve"), "shard_loop"),
@@ -125,6 +126,7 @@ const L007_ROOTS: &[(Option<&str>, &str)] = &[
 const L008_ROOTS: &[(Option<&str>, &str)] = &[
     (Some("sim"), "simulate_stream"),
     (Some("sim"), "simulate_stream_probed"),
+    (Some("sim"), "simulate_window"),
     (None, "step_counted"),
     (None, "step_verbose"),
 ];

@@ -261,6 +261,49 @@ fn l003_and_l004_cover_the_memory_plane_idioms() {
 }
 
 #[test]
+fn l003_and_l004_cover_the_simpoint_module() {
+    // The phase-sampling estimator (DESIGN.md §13) lives in `sim` — a
+    // crate whose offline harness may assert — but the module itself is
+    // on the per-event path of every sampled sweep and its output is
+    // pinned (suite_pins, BENCH_simpoint.json), so L004 holds it to the
+    // hot-path bar via PANIC_FREE_MODULES. Module scope is matched by
+    // path suffix, so these fixtures lint at the real module path
+    // instead of the `lint()` helper's fixture.rs.
+    let at = |path: &str, source: &str| analyze_file(path, source, Some("sim"), false);
+
+    // Violating: unwrap in the module fires L004 ...
+    let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+    let open = at("crates/sim/src/simpoint.rs", src);
+    assert_eq!(open.len(), 1, "{open:#?}");
+    assert_eq!(open[0].rule, RuleId::NoPanic);
+
+    // ... clean: the same fixture elsewhere in the crate stays silent
+    // (sim as a whole is not panic-free) ...
+    assert!(at("crates/sim/src/report.rs", src).is_empty());
+
+    // ... suppressed: the marker lifecycle works at module scope too.
+    let allowed = "fn f(x: Option<u8>) -> u8 {\n\
+                   \x20   // ibp-lint: allow(L004, \"self-test fixture\")\n\
+                   \x20   x.unwrap()\n\
+                   }\n";
+    assert!(at("crates/sim/src/simpoint.rs", allowed).is_empty());
+
+    // Signature hashing and k-means must stay seed-stable: a HashMap of
+    // window signatures would make cluster assignment (and thus which
+    // windows get simulated) hash-seed dependent. L003 already covers
+    // all of `sim`; pin that it holds at the module path as well.
+    let src = "fn sigs() -> std::collections::HashMap<u64, f64> {\n    todo()\n}\n";
+    let open = at("crates/sim/src/simpoint.rs", src);
+    assert_eq!(open.len(), 1, "{open:#?}");
+    assert_eq!(open[0].rule, RuleId::Determinism);
+
+    // Test code inside the module keeps its freedom (the property suite
+    // unwraps liberally).
+    let in_tests = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u8>) -> u8 {\n        x.unwrap()\n    }\n}\n";
+    assert!(at("crates/sim/src/simpoint.rs", in_tests).is_empty());
+}
+
+#[test]
 fn l004_fires_on_unwrap_in_hot_path_crate_and_is_suppressible() {
     let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
     fires_and_is_suppressible("hw", src, RuleId::NoPanic);

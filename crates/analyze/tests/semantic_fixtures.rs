@@ -117,6 +117,53 @@ fn l008_suppressed_by_site_marker() {
     assert_eq!(suppressed_of(&a, RuleId::AllocFreedom), 1);
 }
 
+// ------------------------------------- L007/L008: simulate_window root
+
+/// The per-window measurement loop behind phase sampling
+/// (DESIGN.md §13) is a certified root of its own: a panic or an
+/// allocation inside it fires once per sampled unit, so both
+/// call-graph disciplines reach through it.
+#[test]
+fn simulate_window_root_violations_through_call_chain() {
+    let a = run(&[(
+        "crates/sim/src/lib.rs",
+        "pub fn simulate_window(v: &mut Vec<u8>) -> u8 { tally(v) }\n\
+         fn tally(v: &mut Vec<u8>) -> u8 { grow(v); v[0] }\n\
+         fn grow(v: &mut Vec<u8>) { v.reserve(1); }\n",
+    )]);
+    let panics = open_of(&a, RuleId::PanicFreedom);
+    assert_eq!(panics.len(), 1, "want one L007 finding, got {panics:?}");
+    assert!(panics[0].contains("tally"), "finding should name the indexer: {panics:?}");
+    let allocs = open_of(&a, RuleId::AllocFreedom);
+    assert_eq!(allocs.len(), 1, "want one L008 finding, got {allocs:?}");
+    assert!(allocs[0].contains("grow"), "finding should name the allocator: {allocs:?}");
+}
+
+#[test]
+fn simulate_window_root_clean_when_unreachable() {
+    // The same shapes exist but only behind prep code the root never
+    // calls — slicing and clustering may allocate; measurement may not.
+    let a = run(&[(
+        "crates/sim/src/lib.rs",
+        "pub fn simulate_window(x: u8) -> u8 { x }\n\
+         pub fn cluster(v: &mut Vec<u8>) -> u8 { v.reserve(1); v[0] }\n",
+    )]);
+    assert!(open_of(&a, RuleId::PanicFreedom).is_empty());
+    assert!(open_of(&a, RuleId::AllocFreedom).is_empty());
+}
+
+#[test]
+fn simulate_window_root_suppressed_by_fn_level_marker() {
+    let a = run(&[(
+        "crates/sim/src/lib.rs",
+        "pub fn simulate_window(v: &[u8]) -> u8 { first(v) }\n\
+         // ibp-lint: allow(L007, \"windows are sealed non-empty by the slicer\")\n\
+         fn first(v: &[u8]) -> u8 { v[0] }\n",
+    )]);
+    assert!(open_of(&a, RuleId::PanicFreedom).is_empty(), "marker must silence");
+    assert_eq!(suppressed_of(&a, RuleId::PanicFreedom), 1, "finding must be ledgered");
+}
+
 // ---------------------------------------------------------------- L009
 
 #[test]

@@ -6,27 +6,45 @@
 //! scheme beating PPM on photon (0.95% vs 1.35%).
 //!
 //! Usage: `cargo run --release -p ibp-bench --bin fig6 [scale] [--csv]
-//! [--metrics <path>]` (scale defaults to 1.0 = the full trace size;
-//! `--csv` emits the grid as CSV on stdout instead of the formatted
-//! tables; `--metrics` evaluates the grid with recording probes attached
-//! and writes the per-cell metrics JSON — same prediction results, plus
-//! telemetry). The grid runs on the work-stealing pool; `IBP_THREADS=n`
-//! pins the pool size, and the output — metrics included — is
-//! bit-identical for every `n`.
+//! [--metrics <path>] [--simpoint k=K,window=W[,warmup=N,strata=R,dims=D]]`
+//! (scale defaults to 1.0 = the full trace size; `--csv` emits the grid
+//! as CSV on stdout instead of the formatted tables; `--metrics`
+//! evaluates the grid with recording probes attached and writes the
+//! per-cell metrics JSON — same prediction results, plus telemetry;
+//! `--simpoint` additionally phase-samples every cell and prints the
+//! weighted estimates next to the exact numbers — with `--metrics`, the
+//! sampling telemetry and per-cell estimate error merge into the JSON).
+//! The grid runs on the work-stealing pool; `IBP_THREADS=n` pins the
+//! pool size, and the output — metrics included — is bit-identical for
+//! every `n`.
 
-use ibp_sim::report::{grid_to_csv, paper_vs_measured, render_grid};
-use ibp_sim::{compare_grid, metrics_grid, metrics_to_json, PredictorKind};
+use ibp_sim::report::{grid_to_csv, paper_vs_measured, render_grid, render_simpoint_grid};
+use ibp_sim::{
+    compare_grid, metrics_grid, metrics_to_json, simpoint_grid_with, simpoint_snapshot, Executor,
+    MetricsGrid, PredictorKind, SimPointConfig,
+};
 use ibp_workloads::paper_suite;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_path = args.iter().position(|a| a == "--metrics").map(|i| {
         let path = args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("usage: fig6 [scale] [--csv] [--metrics <path>]");
+            eprintln!("usage: fig6 [scale] [--csv] [--metrics <path>] [--simpoint <spec>]");
             std::process::exit(2);
         });
         args.drain(i..=i + 1);
         path
+    });
+    let simpoint = args.iter().position(|a| a == "--simpoint").map(|i| {
+        let spec = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--simpoint needs k=K,window=W[,warmup=N,strata=R,dims=D]");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+        SimPointConfig::parse_flag(&spec).unwrap_or_else(|e| {
+            eprintln!("--simpoint: {e}");
+            std::process::exit(2);
+        })
     });
     let csv = args.iter().any(|a| a == "--csv");
     args.retain(|a| a != "--csv");
@@ -36,25 +54,72 @@ fn main() {
         .unwrap_or(1.0);
     let runs = paper_suite();
     let kinds = PredictorKind::figure6();
-    let grid = if let Some(path) = &metrics_path {
-        let (grid, metrics) = metrics_grid(&kinds, &runs, scale);
-        let json = metrics_to_json(&metrics);
+    let exec = Executor::from_env();
+    let mut metrics = None;
+    let grid = if metrics_path.is_some() {
+        let (grid, m) = metrics_grid(&kinds, &runs, scale);
+        metrics = Some(m);
+        grid
+    } else {
+        compare_grid(&kinds, &runs, scale)
+    };
+    let est = simpoint
+        .as_ref()
+        .map(|cfg| simpoint_grid_with(&exec, &kinds, 2048, &runs, scale, cfg));
+
+    if let Some(path) = &metrics_path {
+        let mut m = metrics.take().expect("metrics grid was evaluated");
+        if let (Some(cfg), Some((est_grid, sampled))) = (&simpoint, &est) {
+            // Cells and sampled runs are both in row-major (run, then
+            // predictor) order; merge the sampling telemetry — including
+            // the per-cell estimate error against the exact grid — into
+            // each cell's snapshot.
+            let mut cells = m.cells().to_vec();
+            debug_assert_eq!(cells.len(), est_grid.cells().len());
+            for (cell, run) in cells.iter_mut().zip(sampled) {
+                let exact = grid.ratio(&cell.run, &cell.predictor);
+                cell.snapshot.merge(&simpoint_snapshot(run, exact));
+            }
+            m = MetricsGrid::from_parts(
+                m.predictors().to_vec(),
+                m.runs().to_vec(),
+                m.scale(),
+                cells,
+            );
+            eprintln!("simpoint telemetry merged ({})", cfg.flag_string());
+        }
+        let json = metrics_to_json(&m);
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         }
         eprintln!("metrics written to {path}");
-        grid
-    } else {
-        compare_grid(&kinds, &runs, scale)
-    };
+    }
     if csv {
         print!("{}", grid_to_csv(&grid));
+        if let Some((est_grid, _)) = &est {
+            print!("{}", grid_to_csv(est_grid));
+        }
         return;
     }
 
     println!("=== Figure 6: misprediction ratios (2K-entry budget, scale {scale}) ===\n");
     print!("{}", render_grid(&grid));
+
+    if let (Some(cfg), Some((est_grid, sampled))) = (&simpoint, &est) {
+        println!(
+            "\n--- simpoint weighted estimates ({}, Δ = |est − exact| in pp) ---",
+            cfg.flag_string()
+        );
+        print!("{}", render_simpoint_grid(&grid, est_grid));
+        let events: u64 = sampled.iter().map(|r| r.events_simulated).sum();
+        let total: u64 = sampled.iter().map(|r| r.phases.total_events).sum();
+        println!(
+            "sampled fraction: {:.2}% of {} stream events fed through predictors",
+            100.0 * events as f64 / total.max(1) as f64,
+            total
+        );
+    }
 
     println!("\n--- predictor means, ranked (lower is better) ---");
     for (name, ratio) in grid.ranking() {

@@ -5,8 +5,11 @@
 //! depth of GAp and the Target Cache and the (short,long) path lengths of
 //! the dual-path hybrid.
 //!
-//! Usage: `cargo run --release -p ibp-bench --bin sweep_pathlen [scale]`
-//! (`IBP_THREADS=n` pins the pool size.)
+//! Usage: `cargo run --release -p ibp-bench --bin sweep_pathlen [scale]
+//! [--simpoint k=K,window=W[,warmup=N,strata=R,dims=D]]` — with
+//! `--simpoint`, each mean carries its phase-sampled weighted estimate
+//! next to the exact number (one clustering per trace, shared across
+//! every predictor config). `IBP_THREADS=n` pins the pool size.
 
 use ibp_exec::Executor;
 use ibp_predictors::{
@@ -14,76 +17,109 @@ use ibp_predictors::{
     TargetCache, TargetCacheConfig,
 };
 use ibp_sim::report::pct;
-use ibp_sim::simulate;
+use ibp_sim::{cluster_signatures, signatures_of, simpoint_with, simulate, Phases, SimPointConfig};
 use ibp_trace::Trace;
 use ibp_workloads::paper_suite;
 
-fn mean_ratio(
-    exec: &Executor,
-    build: impl Fn() -> Box<dyn IndirectPredictor> + Sync,
-    traces: &[Trace],
-) -> f64 {
-    let ratios = exec.map(traces, |_, trace| {
-        let mut p = build();
-        simulate(p.as_mut(), trace).misprediction_ratio()
-    });
-    ratios.iter().sum::<f64>() / traces.len() as f64
+/// The exact mean plus, when sampling is on, its weighted estimate.
+struct Sweep<'a> {
+    exec: &'a Executor,
+    traces: &'a [Trace],
+    simpoint: Option<(SimPointConfig, Vec<Phases>)>,
+}
+
+impl Sweep<'_> {
+    fn line(&self, label: &str, build: impl Fn() -> Box<dyn IndirectPredictor> + Sync) {
+        let ratios = self.exec.map(self.traces, |_, trace| {
+            let mut p = build();
+            simulate(p.as_mut(), trace).misprediction_ratio()
+        });
+        let exact = ratios.iter().sum::<f64>() / self.traces.len() as f64;
+        match &self.simpoint {
+            None => println!("  {label} {}", pct(exact)),
+            Some((cfg, phases)) => {
+                let mut sum = 0.0;
+                for (trace, ph) in self.traces.iter().zip(phases) {
+                    sum += simpoint_with(label, &build, trace, ph, cfg, self.exec)
+                        .estimate
+                        .misprediction_ratio();
+                }
+                let est = sum / self.traces.len() as f64;
+                println!(
+                    "  {label} {}  est {} (Δ{:.3}pp)",
+                    pct(exact),
+                    pct(est),
+                    (exact - est).abs() * 100.0
+                );
+            }
+        }
+    }
 }
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let simpoint_cfg = args.iter().position(|a| a == "--simpoint").map(|i| {
+        let spec = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--simpoint needs k=K,window=W[,warmup=N,strata=R,dims=D]");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+        SimPointConfig::parse_flag(&spec).unwrap_or_else(|e| {
+            eprintln!("--simpoint: {e}");
+            std::process::exit(2);
+        })
+    });
+    let scale: f64 = args
+        .first()
         .map(|s| s.parse().expect("scale must be a number"))
         .unwrap_or(0.25);
     let exec = Executor::from_env();
     let suite = paper_suite();
     let traces: Vec<Trace> = exec.map(&suite, |_, r| r.generate_scaled(scale));
+    let simpoint = simpoint_cfg.map(|cfg| {
+        let phases =
+            exec.map(&traces, |_, t| cluster_signatures(&signatures_of(t, &cfg), &cfg));
+        (cfg, phases)
+    });
+    let sweep = Sweep {
+        exec: &exec,
+        traces: &traces,
+        simpoint,
+    };
 
     println!("=== A4: path-length sensitivity (means over the suite, scale {scale}) ===\n");
+    if let Some((cfg, _)) = &sweep.simpoint {
+        println!("(simpoint estimates: {})\n", cfg.flag_string());
+    }
 
     println!("GAp: path length (2 bits per target)");
     for p in [1usize, 2, 3, 5, 8, 10] {
-        let r = mean_ratio(
-            &exec,
-            || {
-                Box::new(GApPredictor::new(GApConfig {
-                    path_length: p,
-                    ..GApConfig::paper()
-                }))
-            },
-            &traces,
-        );
-        println!("  p={p:<3} {}", pct(r));
+        sweep.line(&format!("p={p:<3}"), || {
+            Box::new(GApPredictor::new(GApConfig {
+                path_length: p,
+                ..GApConfig::paper()
+            }))
+        });
     }
 
     println!("\nTarget Cache (PIB): history bits");
     for bits in [5u32, 8, 11, 14, 18] {
-        let r = mean_ratio(
-            &exec,
-            || {
-                Box::new(TargetCache::new(TargetCacheConfig {
-                    history_bits: bits,
-                    ..TargetCacheConfig::paper_pib()
-                }))
-            },
-            &traces,
-        );
-        println!("  h={bits:<3} {}", pct(r));
+        sweep.line(&format!("h={bits:<3}"), || {
+            Box::new(TargetCache::new(TargetCacheConfig {
+                history_bits: bits,
+                ..TargetCacheConfig::paper_pib()
+            }))
+        });
     }
 
     println!("\nDual-path: (short, long) path lengths");
     for (ps, pl) in [(1usize, 2usize), (1, 3), (2, 4), (3, 6), (4, 8), (6, 12)] {
-        let r = mean_ratio(
-            &exec,
-            || {
-                Box::new(DualPath::new(DualPathConfig {
-                    path_lengths: (ps, pl),
-                    ..DualPathConfig::paper()
-                }))
-            },
-            &traces,
-        );
-        println!("  ({ps},{pl})  {}", pct(r));
+        sweep.line(&format!("({ps},{pl}) "), || {
+            Box::new(DualPath::new(DualPathConfig {
+                path_lengths: (ps, pl),
+                ..DualPathConfig::paper()
+            }))
+        });
     }
 
     println!("\nTarget Cache history group (Chang et al.'s dimension):");
@@ -93,16 +129,11 @@ fn main() {
         HistoryGroup::MtIndirect,
         HistoryGroup::CallsReturns,
     ] {
-        let r = mean_ratio(
-            &exec,
-            || {
-                Box::new(TargetCache::new(TargetCacheConfig {
-                    group,
-                    ..TargetCacheConfig::paper_pib()
-                }))
-            },
-            &traces,
-        );
-        println!("  {group:<4} {}", pct(r));
+        sweep.line(&format!("{group:<4}"), || {
+            Box::new(TargetCache::new(TargetCacheConfig {
+                group,
+                ..TargetCacheConfig::paper_pib()
+            }))
+        });
     }
 }

@@ -6,7 +6,7 @@
 //! described by a list of kinds.
 
 use crate::metrics::predictor_snapshot;
-use crate::runner::{simulate, simulate_probed, RunResult};
+use crate::runner::{simulate, simulate_probed, simulate_stream, RunResult};
 use ibp_metrics::{MetricsSnapshot, RecordingProbe};
 use ibp_ppm::{PpmHybrid, PpmPib, SelectorKind, StackConfig, TableEncoding};
 use ibp_predictors::{
@@ -14,7 +14,7 @@ use ibp_predictors::{
     HistoryGroup, IndirectPredictor, Ittage, IttageConfig, PathOracle, TargetCache,
     TargetCacheConfig,
 };
-use ibp_trace::Trace;
+use ibp_trace::{BranchEvent, Trace};
 
 /// The largest per-predictor table budget any layer will configure.
 /// [`PredictorKind::build_with_entries`] (and everything funnelled through
@@ -268,6 +268,49 @@ impl PredictorKind {
             let mut snapshot = probe.snapshot();
             snapshot.merge(&predictor_snapshot(&p));
             (result, snapshot)
+        })
+    }
+
+    /// Streams any event iterator through a fresh budget-scaled instance
+    /// with the loop monomorphized — the full-run path for workloads too
+    /// large to materialize (pair with
+    /// [`ModelStream::events`](ibp_workloads::ModelStream::events)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is outside `64..=`[`MAX_BUILD_ENTRIES`].
+    pub fn simulate_events<I>(self, entries: usize, events: I) -> RunResult
+    where
+        I: IntoIterator<Item = BranchEvent>,
+    {
+        dispatch_kind!(self, entries, make => {
+            let mut p = make();
+            simulate_stream(&mut p, events)
+        })
+    }
+
+    /// Simulates one phase-sampling representative window (functional
+    /// warmup, then the counted window — see
+    /// [`simulate_window`](crate::simpoint::simulate_window)) with both
+    /// loops monomorphized over the concrete predictor. This is the task
+    /// the sampled grid fans out per cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is outside `64..=`[`MAX_BUILD_ENTRIES`].
+    pub fn simulate_simpoint_window(
+        self,
+        entries: usize,
+        warmup: &[BranchEvent],
+        window: &[BranchEvent],
+    ) -> RunResult {
+        dispatch_kind!(self, entries, make => {
+            let mut p = make();
+            crate::simpoint::simulate_window(
+                &mut p,
+                warmup.iter().copied(),
+                window.iter().copied(),
+            )
         })
     }
 

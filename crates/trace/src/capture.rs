@@ -118,6 +118,15 @@ impl ProgramTracer {
         Trace::from_events(self.events)
     }
 
+    /// Removes and yields the events captured so far, leaving the shadow
+    /// call stack and the pending straight-line count intact. Streaming
+    /// generators drain between main-loop iterations so arbitrarily long
+    /// runs never materialize a full trace; the event buffer's allocation
+    /// is retained across drains.
+    pub fn drain_events(&mut self) -> std::vec::Drain<'_, BranchEvent> {
+        self.events.drain(..)
+    }
+
     fn push(&mut self, e: BranchEvent) {
         let n = std::mem::take(&mut self.pending_instrs);
         // ibp-lint: allow(L008, "trace capture runs at trace construction, before simulation")
@@ -169,6 +178,23 @@ mod tests {
         assert_eq!(t.call_depth(), 2);
         t.ret(Addr::new(0x3004));
         assert_eq!(t.call_depth(), 1);
+    }
+
+    #[test]
+    fn drain_preserves_stack_and_pending_instrs() {
+        let mut t = ProgramTracer::new();
+        t.direct_call(Addr::new(0x100), Addr::new(0x1000));
+        t.straight_line(5);
+        let drained: Vec<BranchEvent> = t.drain_events().collect();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.call_depth(), 1, "shadow stack survives the drain");
+        // The pending straight-line count survives too: it attaches to
+        // the next branch exactly as it would have without the drain.
+        t.ret(Addr::new(0x1010));
+        let trace = t.finish();
+        assert_eq!(trace.events()[0].inline_instrs(), 5);
+        assert_eq!(trace.events()[0].target(), Addr::new(0x104));
     }
 
     #[test]

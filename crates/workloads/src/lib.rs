@@ -36,5 +36,5 @@ pub mod program;
 pub mod suite;
 
 pub use behavior::{CondPattern, SiteBehavior};
-pub use program::{BenchmarkSpec, MtSiteSpec, ProgramModel};
+pub use program::{BenchmarkSpec, ModelStream, MtSiteSpec, ProgramModel, StreamEvents};
 pub use suite::{paper_suite, BenchmarkRun};

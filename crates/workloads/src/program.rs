@@ -11,7 +11,7 @@
 
 use crate::behavior::{CondPattern, CondState, GenContext, SiteBehavior, SiteState};
 use ibp_isa::Addr;
-use ibp_trace::{ProgramTracer, Trace};
+use ibp_trace::{BranchEvent, ProgramTracer, Trace};
 use ibp_testkit::TestRng;
 
 /// Base address of the synthetic text segment.
@@ -95,9 +95,27 @@ impl BenchmarkSpec {
     ///
     /// Panics if `scale` is not finite and positive.
     pub fn generate_scaled(&self, scale: f64) -> Trace {
+        self.build().run(self.scaled_iterations(scale))
+    }
+
+    /// The iteration count `generate_scaled` would run: `scale` of the
+    /// full count, rounded up, at least one. Scales above 1.0 are the
+    /// long-trace mode — `scale == 100.0` emits a hundred times the
+    /// full-scale event volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn scaled_iterations(&self, scale: f64) -> usize {
         assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
-        let iters = ((self.iterations as f64 * scale).ceil() as usize).max(1);
-        self.build().run(iters)
+        ((self.iterations as f64 * scale).ceil() as usize).max(1)
+    }
+
+    /// Opens a resumable streaming generator over this spec's main loop.
+    /// The stream emits exactly the events [`BenchmarkSpec::generate`]
+    /// would, one iteration at a time, without materializing a trace.
+    pub fn stream(&self) -> ModelStream {
+        ModelStream::new(self.build())
     }
 }
 
@@ -389,6 +407,116 @@ impl ProgramModel {
     }
 }
 
+/// A resumable, checkpointable streaming generator over a model's main
+/// loop.
+///
+/// [`ModelStream::step`] runs exactly one iteration of the schedule and
+/// hands each captured event to a sink, so a 100M-event run never holds
+/// more than one iteration's events at a time. The stream is `Clone`:
+/// a clone is a **checkpoint** — replaying it from the clone point emits
+/// the identical event suffix, which is what lets phase-sampled
+/// simulation (`ibp-sim`'s simpoint module) jump near a representative
+/// window and regenerate only the events it needs.
+///
+/// The event sequence is byte-identical to [`ProgramModel::run`]: both
+/// drive the same schedule, PRNG and tracer; the stream merely drains
+/// the tracer between iterations (shadow call stack and pending
+/// straight-line counts carry across drains).
+#[derive(Debug, Clone)]
+pub struct ModelStream {
+    model: ProgramModel,
+    ctx: GenContext,
+    tracer: ProgramTracer,
+    schedule: Vec<Op>,
+    iterations_done: u64,
+    events_emitted: u64,
+}
+
+impl ModelStream {
+    /// Opens a stream at iteration zero of `model`'s main loop.
+    pub fn new(model: ProgramModel) -> Self {
+        let schedule = model.build_schedule();
+        Self {
+            model,
+            ctx: GenContext::new(),
+            tracer: ProgramTracer::new(),
+            schedule,
+            iterations_done: 0,
+            events_emitted: 0,
+        }
+    }
+
+    /// Main-loop iterations executed so far.
+    pub fn iterations_done(&self) -> u64 {
+        self.iterations_done
+    }
+
+    /// Events handed to sinks so far — the stream position.
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted
+    }
+
+    /// Runs one main-loop iteration, handing every captured event to
+    /// `sink` in trace order. Returns the number of events emitted.
+    pub fn step(&mut self, mut sink: impl FnMut(BranchEvent)) -> u64 {
+        self.model
+            .run_iteration(&mut self.tracer, &mut self.ctx, &self.schedule);
+        let mut n = 0u64;
+        for e in self.tracer.drain_events() {
+            sink(e);
+            n += 1;
+        }
+        self.iterations_done += 1;
+        self.events_emitted += n;
+        n
+    }
+
+    /// Converts the stream into a plain event iterator over the next
+    /// `iterations` main-loop iterations — the drop-in streaming
+    /// replacement for `generate().iter()` on runs too large to
+    /// materialize.
+    pub fn events(self, iterations: u64) -> StreamEvents {
+        StreamEvents {
+            stream: self,
+            remaining: iterations,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+/// Iterator form of [`ModelStream`]: yields the events of a fixed number
+/// of main-loop iterations, buffering one iteration at a time.
+#[derive(Debug, Clone)]
+pub struct StreamEvents {
+    stream: ModelStream,
+    remaining: u64,
+    buf: Vec<BranchEvent>,
+    pos: usize,
+}
+
+impl Iterator for StreamEvents {
+    type Item = BranchEvent;
+
+    fn next(&mut self) -> Option<BranchEvent> {
+        loop {
+            if self.pos < self.buf.len() {
+                let e = self.buf[self.pos];
+                self.pos += 1;
+                return Some(e);
+            }
+            if self.remaining == 0 {
+                return None;
+            }
+            self.remaining -= 1;
+            self.buf.clear();
+            self.pos = 0;
+            let buf = &mut self.buf;
+            self.stream.step(|e| buf.push(e));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,6 +621,62 @@ mod tests {
         let labels: Vec<&str> = descs.iter().map(|(_, d)| d.as_str()).collect();
         assert_eq!(labels[0], "jmp/cyclic/f4");
         assert_eq!(labels[2], "jsr/mono(40)/f3");
+    }
+
+    #[test]
+    fn stream_matches_generate() {
+        let spec = tiny_spec();
+        let full = spec.generate();
+        let mut streamed = Vec::new();
+        let mut s = spec.stream();
+        for _ in 0..spec.iterations {
+            s.step(|e| streamed.push(e));
+        }
+        assert_eq!(streamed, full.events());
+        assert_eq!(s.events_emitted(), full.len() as u64);
+        assert_eq!(s.iterations_done(), spec.iterations as u64);
+    }
+
+    #[test]
+    fn stream_events_iterator_matches_generate() {
+        let spec = tiny_spec();
+        let full = spec.generate();
+        let streamed: Vec<_> = spec.stream().events(spec.iterations as u64).collect();
+        assert_eq!(streamed, full.events());
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_straight_run() {
+        let spec = tiny_spec();
+        let mut s = spec.stream();
+        let mut prefix = Vec::new();
+        for _ in 0..20 {
+            s.step(|e| prefix.push(e));
+        }
+        let checkpoint = s.clone();
+        let mut tail_a = Vec::new();
+        let mut tail_b = Vec::new();
+        for _ in 20..spec.iterations {
+            s.step(|e| tail_a.push(e));
+        }
+        let mut r = checkpoint;
+        for _ in 20..spec.iterations {
+            r.step(|e| tail_b.push(e));
+        }
+        assert_eq!(tail_a, tail_b, "checkpoint replay must emit the same suffix");
+        prefix.extend_from_slice(&tail_a);
+        assert_eq!(prefix, spec.generate().events());
+    }
+
+    #[test]
+    fn scaled_iterations_matches_generate_scaled() {
+        let spec = tiny_spec();
+        for scale in [0.1, 0.5, 1.0, 2.5] {
+            let iters = spec.scaled_iterations(scale);
+            let via_stream: Vec<_> = spec.stream().events(iters as u64).collect();
+            assert_eq!(via_stream, spec.generate_scaled(scale).events());
+        }
+        assert_eq!(spec.scaled_iterations(1.0), spec.iterations);
     }
 
     #[test]

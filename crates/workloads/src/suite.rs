@@ -59,6 +59,20 @@ impl BenchmarkRun {
     pub fn generate_scaled(&self, scale: f64) -> Trace {
         self.spec.generate_scaled(scale)
     }
+
+    /// Opens a streaming generator over this run (see
+    /// [`crate::program::ModelStream`]) — the long-trace path: a scale of
+    /// 100.0 or more replays the run at 100M+ events without ever
+    /// materializing them.
+    pub fn stream(&self) -> crate::program::ModelStream {
+        self.spec.stream()
+    }
+
+    /// The iteration count corresponding to `scale` (see
+    /// [`BenchmarkSpec::scaled_iterations`]).
+    pub fn scaled_iterations(&self, scale: f64) -> usize {
+        self.spec.scaled_iterations(scale)
+    }
 }
 
 /// Shorthand constructors for site populations.

@@ -74,6 +74,38 @@ cargo run -q --release --offline -p ibp-bench --bin membench -- \
 cargo run -q --release --offline -p ibp-bench --bin membench -- \
   --check results/BENCH_memory.json
 
+echo "== phase-sampling property + differential suites =="
+# The estimator's two correctness walls, run by name (DESIGN.md §13):
+# byte-identical sampled runs across executor pool sizes and repeats,
+# signature/weight invariants and degenerate-input clamps; then the
+# weighted-vs-full differential over all fifteen suite runs with the
+# ≤0.5 pp absolute misprediction-ratio gate.
+cargo test -q --offline -p ibp-sim --test simpoint_prop
+cargo test -q --offline -p ibp-sim --test simpoint_differential
+
+echo "== phase-sampling validation report (15-run error gate) =="
+# Regenerates the weighted-vs-full validation table (PPM-hyb, full
+# trace scale, all fifteen runs) and diffs it byte-for-byte against the
+# committed copy: the report carries no timings, so any drift means the
+# estimator pipeline changed. simbench itself exits 1 if a run misses
+# the ≤0.5 pp gate.
+cargo run -q --release --offline -p ibp-bench --bin simbench -- \
+  --validate --out "$bench_dir/simpoint_validation.txt" > /dev/null
+cmp "$bench_dir/simpoint_validation.txt" results/simpoint_validation.txt \
+  || { echo "verify: simpoint validation report drifted from committed copy"; exit 1; }
+
+echo "== phase-sampling bench (quick) + report validation =="
+# A quick sampled-vs-full round on a scaled stream: gates that simbench
+# runs, that its report passes the schema + error-gate --check, and that
+# the committed full-size report (1e9-event streams, ≥10x speedup,
+# ≤0.5 pp worst error) still validates.
+IBP_BENCH_DIR="$bench_dir" \
+  cargo run -q --release --offline -p ibp-bench --bin simbench -- --quick
+cargo run -q --release --offline -p ibp-bench --bin simbench -- \
+  --check "$bench_dir/BENCH_simpoint.json"
+cargo run -q --release --offline -p ibp-bench --bin simbench -- \
+  --check results/BENCH_simpoint.json
+
 echo "== serve 10k-stream mux smoke (loadgen) =="
 # Starts an in-process ibp-serve server and drives the v3 mux plane with
 # 16 connections x 640 streams — 10,240 predictor sessions held open

@@ -14,9 +14,10 @@
 //! requires bumping `METRICS_SCHEMA_VERSION` and re-deriving the golden
 //! string below.
 
+use ibp_exec::Executor;
 use ibp_metrics::{Log2Histogram, MetricsSnapshot};
 use ibp_sim::metrics::{MetricsCell, MetricsGrid};
-use ibp_sim::{metrics_to_json, METRICS_SCHEMA_VERSION};
+use ibp_sim::{metrics_to_json, simpoint_trace, PredictorKind, SimPointConfig, METRICS_SCHEMA_VERSION};
 use ibp_workloads::paper_suite;
 
 /// (label, events, MT indirect, FNV-1a over (pc, target, inline)).
@@ -59,6 +60,53 @@ fn suite_traces_match_their_pins() {
         }
         assert_eq!(h, fnv, "{label}: trace content drifted");
     }
+}
+
+/// Full-vs-sampled pins on the gs.tig stream at 20% scale (the same
+/// trace `tracegen -- gs.tig --scale 0.2` writes — regenerated here
+/// since `traces/` is scratch): PPM-hyb exact counts and the
+/// phase-sampled weighted counts at a fixed estimator config. The
+/// sampled pin freezes the whole estimator pipeline — window slicing,
+/// signature hashing, k-means seeding and tie-breaks, stratification,
+/// warmup policy, weighted merge — so any drift in the estimator fails
+/// here like any other golden (see DESIGN.md §13). If a change is
+/// *intentional*, re-derive these numbers and regenerate
+/// `results/simpoint_validation.txt` and `results/BENCH_simpoint.json`.
+#[test]
+fn gs_tig_full_vs_sampled_ppm_matches_its_pins() {
+    let run = paper_suite()
+        .into_iter()
+        .find(|r| r.label() == "gs.tig")
+        .expect("suite lost gs.tig");
+    let trace = run.generate_scaled(0.2);
+    assert_eq!(trace.len(), 83_300, "gs.tig stream drifted");
+
+    let full = PredictorKind::PpmHyb.simulate_with_entries(2048, &trace);
+    assert_eq!(
+        (full.predictions(), full.mispredictions()),
+        (51_100, 4_358),
+        "full-run PPM-hyb counts drifted"
+    );
+
+    let cfg = SimPointConfig {
+        k: 8,
+        window: 1024,
+        warmup_windows: 8,
+        strata: 2,
+        dims: 64,
+        ..SimPointConfig::default()
+    };
+    let sampled = simpoint_trace(PredictorKind::PpmHyb, 2048, &trace, &cfg, &Executor::new(2));
+    assert_eq!(sampled.phases.windows(), 82, "window slicing drifted");
+    assert_eq!(
+        (
+            sampled.estimate.predictions,
+            sampled.estimate.mispredictions,
+            sampled.phases.clusters.len() as u64,
+        ),
+        (51_727, 4_113, 16),
+        "sampled PPM-hyb estimate drifted (estimator pipeline changed)"
+    );
 }
 
 #[test]
