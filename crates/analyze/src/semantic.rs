@@ -122,6 +122,8 @@ const L007_ROOTS: &[(Option<&str>, &str)] = &[
     (None, "step_counted"),
     (None, "step_verbose"),
     (Some("serve"), "shard_loop"),
+    (Some("predictors"), "ittage64_predict"),
+    (Some("predictors"), "ittage64_update"),
 ];
 const L008_ROOTS: &[(Option<&str>, &str)] = &[
     (Some("sim"), "simulate_stream"),
@@ -129,6 +131,8 @@ const L008_ROOTS: &[(Option<&str>, &str)] = &[
     (Some("sim"), "simulate_window"),
     (None, "step_counted"),
     (None, "step_verbose"),
+    (Some("predictors"), "ittage64_predict"),
+    (Some("predictors"), "ittage64_update"),
 ];
 const L009_ROOTS: &[(Option<&str>, &str)] = &[(Some("serve"), "shard_loop")];
 

@@ -164,6 +164,57 @@ fn simulate_window_root_suppressed_by_fn_level_marker() {
     assert_eq!(suppressed_of(&a, RuleId::PanicFreedom), 1, "finding must be ledgered");
 }
 
+// ------------------------------ L007/L008: ittage64 predict/update root
+
+/// The faithful ITTAGE's predict/update wrappers are certified roots:
+/// a panic or steady-state allocation inside the tagged-table lookup,
+/// allocation scan, or aging pass fires once per branch event.
+#[test]
+fn ittage64_root_violations_through_call_chain() {
+    let a = run(&[(
+        "crates/predictors/src/lib.rs",
+        "pub fn ittage64_predict(v: &mut Vec<u8>) -> u8 { lookup(v) }\n\
+         pub fn ittage64_update(v: &mut Vec<u8>) { allocate_above(v) }\n\
+         fn lookup(v: &mut Vec<u8>) -> u8 { v[0] }\n\
+         fn allocate_above(v: &mut Vec<u8>) { v.reserve(1); }\n",
+    )]);
+    let panics = open_of(&a, RuleId::PanicFreedom);
+    assert_eq!(panics.len(), 1, "want one L007 finding, got {panics:?}");
+    assert!(panics[0].contains("lookup"), "finding should name the indexer: {panics:?}");
+    let allocs = open_of(&a, RuleId::AllocFreedom);
+    assert_eq!(allocs.len(), 1, "want one L008 finding, got {allocs:?}");
+    assert!(
+        allocs[0].contains("allocate_above"),
+        "finding should name the allocator: {allocs:?}"
+    );
+}
+
+#[test]
+fn ittage64_root_clean_when_unreachable() {
+    // Construction and persistence may allocate freely; only the
+    // per-event predict/update paths are certified.
+    let a = run(&[(
+        "crates/predictors/src/lib.rs",
+        "pub fn ittage64_predict(x: u8) -> u8 { x }\n\
+         pub fn ittage64_update(x: u8) -> u8 { x }\n\
+         pub fn ittage64_new(v: &mut Vec<u8>) -> u8 { v.reserve(64); v[0] }\n",
+    )]);
+    assert!(open_of(&a, RuleId::PanicFreedom).is_empty());
+    assert!(open_of(&a, RuleId::AllocFreedom).is_empty());
+}
+
+#[test]
+fn ittage64_root_suppressed_by_marker() {
+    let a = run(&[(
+        "crates/predictors/src/lib.rs",
+        "pub fn ittage64_update(v: &mut Vec<u8>) { push_fold(v) }\n\
+         // ibp-lint: allow(L008, \"bounded fold ring write, not Vec growth\")\n\
+         fn push_fold(v: &mut Vec<u8>) { v.push(1); }\n",
+    )]);
+    assert!(open_of(&a, RuleId::AllocFreedom).is_empty(), "marker must silence");
+    assert_eq!(suppressed_of(&a, RuleId::AllocFreedom), 1, "finding must be ledgered");
+}
+
 // ---------------------------------------------------------------- L009
 
 #[test]

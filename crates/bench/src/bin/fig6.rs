@@ -6,27 +6,40 @@
 //! scheme beating PPM on photon (0.95% vs 1.35%).
 //!
 //! Usage: `cargo run --release -p ibp-bench --bin fig6 [scale] [--csv]
-//! [--metrics <path>] [--simpoint k=K,window=W[,warmup=N,strata=R,dims=D]]`
+//! [--budget <bits>] [--metrics <path>]
+//! [--simpoint k=K,window=W[,warmup=N,strata=R,dims=D]]`
 //! (scale defaults to 1.0 = the full trace size; `--csv` emits the grid
-//! as CSV on stdout instead of the formatted tables; `--metrics`
-//! evaluates the grid with recording probes attached and writes the
-//! per-cell metrics JSON — same prediction results, plus telemetry;
-//! `--simpoint` additionally phase-samples every cell and prints the
-//! weighted estimates next to the exact numbers — with `--metrics`, the
-//! sampling telemetry and per-cell estimate error merge into the JSON).
+//! as CSV on stdout instead of the formatted tables; `--budget` sizes
+//! every predictor to the largest configuration fitting the given
+//! storage-bit budget — equal-bits instead of the paper's equal-entries
+//! — and adds the faithful ITTAGE at the matching preset when one fits;
+//! `--metrics` evaluates the grid with recording probes attached and
+//! writes the per-cell metrics JSON — same prediction results, plus
+//! telemetry; `--simpoint` additionally phase-samples every cell and
+//! prints the weighted estimates next to the exact numbers — with
+//! `--metrics`, the sampling telemetry and per-cell estimate error merge
+//! into the JSON; `--budget` combines with `--csv` only).
 //! The grid runs on the work-stealing pool; `IBP_THREADS=n` pins the
 //! pool size, and the output — metrics included — is bit-identical for
 //! every `n`.
 
 use ibp_sim::report::{grid_to_csv, paper_vs_measured, render_grid, render_simpoint_grid};
 use ibp_sim::{
-    compare_grid, metrics_grid, metrics_to_json, simpoint_grid_with, simpoint_snapshot, Executor,
-    MetricsGrid, PredictorKind, SimPointConfig,
+    compare_grid, compare_grid_at_bits, metrics_grid, metrics_to_json, simpoint_grid_with,
+    simpoint_snapshot, Executor, MetricsGrid, PredictorKind, SimPointConfig,
 };
 use ibp_workloads::paper_suite;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let budget_bits = args.iter().position(|a| a == "--budget").map(|i| {
+        let bits = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()).unwrap_or_else(|| {
+            eprintln!("--budget needs a storage budget in bits");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+        bits
+    });
     let metrics_path = args.iter().position(|a| a == "--metrics").map(|i| {
         let path = args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!("usage: fig6 [scale] [--csv] [--metrics <path>] [--simpoint <spec>]");
@@ -53,8 +66,34 @@ fn main() {
         .map(|s| s.parse().expect("scale must be a number"))
         .unwrap_or(1.0);
     let runs = paper_suite();
-    let kinds = PredictorKind::figure6();
+    let mut kinds = PredictorKind::figure6();
     let exec = Executor::from_env();
+    if let Some(bits) = budget_bits {
+        if metrics_path.is_some() || simpoint.is_some() {
+            eprintln!("--budget combines with --csv only (not --metrics/--simpoint)");
+            std::process::exit(2);
+        }
+        // At an equal-bits budget the faithful ITTAGE joins the lineup at
+        // the largest preset that fits (the epilogue comparison, inline).
+        for kb in [64u8, 16, 8] {
+            if u64::from(kb) * 8 * 1024 <= bits {
+                kinds.push(PredictorKind::Ittage64(kb));
+                break;
+            }
+        }
+        let grid = compare_grid_at_bits(&exec, &kinds, &runs, scale, bits);
+        if csv {
+            print!("{}", grid_to_csv(&grid));
+            return;
+        }
+        println!("=== Figure 6 at equal bits ({bits} bits, scale {scale}) ===\n");
+        print!("{}", render_grid(&grid));
+        println!("\n--- predictor means, ranked (lower is better) ---");
+        for (name, ratio) in grid.ranking() {
+            println!("{name:<14} {:.2}%", ratio * 100.0);
+        }
+        return;
+    }
     let mut metrics = None;
     let grid = if metrics_path.is_some() {
         let (grid, m) = metrics_grid(&kinds, &runs, scale);

@@ -8,7 +8,10 @@
 //! plain hybrid stays ahead on the PB-correlated rest.
 //!
 //! Usage: `cargo run --release -p ibp-bench --bin fig7 [scale] [--csv]
-//! [--metrics <path>] [--simpoint <spec>]` — `--metrics` evaluates the
+//! [--budget <bits>] [--metrics <path>] [--simpoint <spec>]` —
+//! `--budget` sizes the three variants to the largest configuration
+//! fitting the given storage-bit budget (equal-bits instead of
+//! equal-entries; combines with `--csv` only); `--metrics` evaluates the
 //! grid with recording probes attached and writes the per-cell metrics
 //! JSON (identical prediction results, plus telemetry); `--simpoint
 //! k=K,window=W[,warmup=N,strata=R,dims=D]` additionally phase-samples
@@ -17,13 +20,21 @@
 
 use ibp_sim::report::{grid_to_csv, render_grid, render_simpoint_grid};
 use ibp_sim::{
-    compare_grid, metrics_grid, metrics_to_json, simpoint_grid_with, Executor, PredictorKind,
-    SimPointConfig,
+    compare_grid, compare_grid_at_bits, metrics_grid, metrics_to_json, simpoint_grid_with,
+    Executor, PredictorKind, SimPointConfig,
 };
 use ibp_workloads::paper_suite;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let budget_bits = args.iter().position(|a| a == "--budget").map(|i| {
+        let bits = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()).unwrap_or_else(|| {
+            eprintln!("--budget needs a storage budget in bits");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+        bits
+    });
     let metrics_path = args.iter().position(|a| a == "--metrics").map(|i| {
         let path = args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!("usage: fig7 [scale] [--csv] [--metrics <path>]");
@@ -51,6 +62,20 @@ fn main() {
         .unwrap_or(1.0);
     let runs = paper_suite();
     let kinds = PredictorKind::figure7();
+    if let Some(bits) = budget_bits {
+        if metrics_path.is_some() || simpoint.is_some() {
+            eprintln!("--budget combines with --csv only (not --metrics/--simpoint)");
+            std::process::exit(2);
+        }
+        let grid = compare_grid_at_bits(&Executor::from_env(), &kinds, &runs, scale, bits);
+        if csv {
+            print!("{}", grid_to_csv(&grid));
+            return;
+        }
+        println!("=== Figure 7 at equal bits ({bits} bits, scale {scale}) ===\n");
+        print!("{}", render_grid(&grid));
+        return;
+    }
     let grid = if let Some(path) = &metrics_path {
         let (grid, metrics) = metrics_grid(&kinds, &runs, scale);
         let json = metrics_to_json(&metrics);

@@ -27,7 +27,8 @@ fn parse_kind(name: &str) -> Option<PredictorKind> {
         "ppm-biased" => PredictorKind::PpmHybBiased,
         "ittage" => PredictorKind::IttageLite,
         "oracle8" => PredictorKind::OraclePib(8),
-        _ => return None,
+        // canonical zoo names (ittage64-8k/-16k/-64k, bare ittage64, ...)
+        other => return PredictorKind::from_cli_name(other),
     })
 }
 

@@ -234,6 +234,16 @@ impl Biu {
         HardwareCost::new(0, n * 4)
     }
 
+    /// Appends the BIU's storage components to a [`StorageReport`].
+    /// Each slot holds a 2-bit exclude/steady flag pair and a 2-bit
+    /// usefulness selector — 4 bits total, matching [`Biu::cost`].
+    pub fn report_storage_into(&self, r: &mut ibp_hw::bitspec::StorageReport) {
+        use ibp_hw::bitspec::ComponentClass;
+        let n = self.capacity.unwrap_or(self.index.len()) as u64;
+        r.table("biu.flags", ComponentClass::Metadata, n, 2)
+            .table("biu.selector", ComponentClass::Counter, n, 2);
+    }
+
     /// Forgets all branches.
     pub fn reset(&mut self) {
         self.index.clear();

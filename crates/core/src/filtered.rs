@@ -109,6 +109,18 @@ impl IndirectPredictor for FilteredPpm {
         self.core.cost() + HardwareCost::table(self.filter_entries as u64, 64 + 30 + 2 + 1)
     }
 
+    fn report_storage(&self) -> ibp_hw::bitspec::StorageReport {
+        use ibp_hw::bitspec::ComponentClass;
+        let n = self.filter_entries as u64;
+        let mut r = ibp_hw::bitspec::StorageReport::new();
+        r.table("filter.tags", ComponentClass::Tag, n, 30)
+            .table("filter.targets", ComponentClass::Target, n, 64)
+            .table("filter.conf", ComponentClass::Counter, n, 2)
+            .table("filter.valid", ComponentClass::Metadata, n, 1)
+            .extend_from(&self.core.report_storage());
+        r
+    }
+
     fn reset(&mut self) {
         self.filter.reset();
         self.core.reset();

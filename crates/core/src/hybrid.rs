@@ -230,6 +230,16 @@ impl IndirectPredictor for PpmHybrid {
             + self.biu.cost()
     }
 
+    fn report_storage(&self) -> ibp_hw::bitspec::StorageReport {
+        use ibp_hw::bitspec::{ComponentClass, StorageReport};
+        let mut r = StorageReport::new();
+        self.stack.report_storage_into(&mut r);
+        r.register("pb_phr", ComponentClass::History, self.pb_phr.total_bits() as u64)
+            .register("pib_phr", ComponentClass::History, self.pib_phr.total_bits() as u64);
+        self.biu.report_storage_into(&mut r);
+        r
+    }
+
     fn reset(&mut self) {
         self.stack.clear();
         self.pb_phr.clear();

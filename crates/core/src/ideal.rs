@@ -157,6 +157,19 @@ impl IndirectPredictor for IdealPpm {
         HardwareCost::table(entries, 64 + 32)
     }
 
+    fn report_storage(&self) -> ibp_hw::bitspec::StorageReport {
+        use ibp_hw::bitspec::ComponentClass;
+        // Idealized predictor: storage is unbounded, so audit the live
+        // footprint (targets + frequency counts per context entry).
+        let mut r = ibp_hw::bitspec::StorageReport::new();
+        for (i, o) in self.orders.iter().enumerate() {
+            let n: u64 = o.contexts.values().map(|c| c.len() as u64).sum();
+            r.table(&format!("o{i}.targets"), ComponentClass::Target, n, 64)
+                .table(&format!("o{i}.counts"), ComponentClass::Counter, n, 32);
+        }
+        r
+    }
+
     fn reset(&mut self) {
         for o in self.orders.iter_mut() {
             o.contexts.clear();

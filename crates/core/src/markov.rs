@@ -372,6 +372,19 @@ impl MarkovTable {
         HardwareCost::table(self.len() as u64, 64 + 2 + 1 + tag_bits)
     }
 
+    /// Appends this table's storage components (from the live entry
+    /// count) to a [`StorageReport`] under `prefix`.
+    pub fn report_storage_into(&self, prefix: &str, r: &mut ibp_hw::bitspec::StorageReport) {
+        use ibp_hw::bitspec::ComponentClass;
+        let n = self.len() as u64;
+        if self.tagged {
+            r.table(&format!("{prefix}.tags"), ComponentClass::Tag, n, 10);
+        }
+        r.table(&format!("{prefix}.targets"), ComponentClass::Target, n, 64)
+            .table(&format!("{prefix}.conf"), ComponentClass::Counter, n, 2)
+            .table(&format!("{prefix}.valid"), ComponentClass::Metadata, n, 1);
+    }
+
     /// Invalidates every entry and zeroes the telemetry tallies. A
     /// sealed table reverts to private storage (reset means cold).
     pub fn clear(&mut self) {

@@ -102,6 +102,14 @@ impl IndirectPredictor for PpmPib {
         self.stack.cost() + HardwareCost::register(self.phr.total_bits() as u64)
     }
 
+    fn report_storage(&self) -> ibp_hw::bitspec::StorageReport {
+        use ibp_hw::bitspec::{ComponentClass, StorageReport};
+        let mut r = StorageReport::new();
+        self.stack.report_storage_into(&mut r);
+        r.register("phr", ComponentClass::History, self.phr.total_bits() as u64);
+        r
+    }
+
     fn reset(&mut self) {
         self.stack.clear();
         self.phr.clear();

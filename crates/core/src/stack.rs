@@ -432,6 +432,14 @@ impl MarkovStack {
         self.tables.iter().map(|t| t.cost()).sum()
     }
 
+    /// Appends every table's storage components to a [`StorageReport`],
+    /// one component group per order (`o0.targets`, `o1.tags`, ...).
+    pub fn report_storage_into(&self, r: &mut ibp_hw::bitspec::StorageReport) {
+        for t in self.tables.iter() {
+            t.report_storage_into(&format!("o{}", t.order()), r);
+        }
+    }
+
     /// Invalidates every table and zeroes the telemetry tallies. Sealed
     /// tables revert to private storage (reset means cold).
     pub fn clear(&mut self) {

@@ -5,6 +5,14 @@
 //! predictor in this workspace reports its cost through [`HardwareCost`] so
 //! the experiment harness can verify the budget invariant and the sweep
 //! benches can scale configurations.
+//!
+//! Entries are *not* the only budget unit: a 2K-entry BTB and a 2K-entry
+//! Cascade differ by ~50% in actual storage. The bit-level truth lives in
+//! [`crate::bitspec`]: predictors build a structured
+//! [`crate::bitspec::StorageReport`] from their allocated state and
+//! collapse it into a `HardwareCost` via
+//! [`crate::bitspec::StorageReport::to_cost`]; the `bitreport` bench
+//! audits the two against each other.
 
 use std::fmt;
 use std::ops::{Add, AddAssign};
@@ -17,14 +25,21 @@ use std::ops::{Add, AddAssign};
 ///
 /// # Examples
 ///
-/// ```
-/// use ibp_hw::budget::HardwareCost;
+/// Build the cost through the component breakdown, not raw numbers: the
+/// [`crate::bitspec::StorageReport`] records *what* the bits are (targets,
+/// counters, valid bits) and derives both budget units from the same
+/// inventory.
 ///
-/// let btb = HardwareCost::new(2048, 2048 * 64);
-/// let counters = HardwareCost::new(0, 2048 * 2);
-/// let total = btb + counters;
-/// assert_eq!(total.entries(), 2048);
-/// assert_eq!(total.bits(), 2048 * 66);
+/// ```
+/// use ibp_hw::bitspec::{ComponentClass, StorageReport};
+///
+/// let mut report = StorageReport::new();
+/// report
+///     .table("btb.targets", ComponentClass::Target, 2048, 64)
+///     .table("btb.conf", ComponentClass::Counter, 2048, 2);
+/// let total = report.to_cost();
+/// assert_eq!(total.entries(), 2048); // the paper's unit: target fields
+/// assert_eq!(total.bits(), 2048 * 66); // the honest unit: every bit
 /// ```
 #[derive(
     Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,

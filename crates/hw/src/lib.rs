@@ -19,6 +19,11 @@
 //! * [`budget`] — hardware cost accounting (entries and bits) so that
 //!   predictors can be compared at a fixed budget, as the paper does at its
 //!   2K-entry design point;
+//! * [`bitspec`] — structured storage accounting: per-component
+//!   [`bitspec::StorageReport`] breakdowns (tags, targets, counters, useful
+//!   bits, history, metadata) audited against allocated state, and the
+//!   [`bitspec::solve_entries`] budget solver that sizes configurations to
+//!   a declared bit budget instead of an entry count;
 //! * [`persist`] — the session-state save/restore codec (LEB128 varint
 //!   sink/source, the [`persist::Persist`] contract) and the
 //!   [`persist::SparseDelta`] copy-on-write overlay behind sealed,
@@ -35,6 +40,7 @@
 //! assert!(confidence.is_high_half());
 //! ```
 
+pub mod bitspec;
 pub mod budget;
 pub mod counter;
 pub mod folded;
@@ -43,6 +49,7 @@ pub mod history;
 pub mod persist;
 pub mod table;
 
+pub use bitspec::{solve_entries, ComponentClass, StorageComponent, StorageReport};
 pub use budget::HardwareCost;
 pub use counter::{Saturating2Bit, SaturatingCounter};
 pub use folded::FoldedHistory;

@@ -12,6 +12,7 @@
 
 use crate::entry::HysteresisEntry;
 use crate::traits::IndirectPredictor;
+use ibp_hw::bitspec::{ComponentClass, StorageReport};
 use ibp_hw::{DirectMapped, HardwareCost, Persist, PersistError, StateSink, StateSource};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
@@ -83,6 +84,14 @@ impl IndirectPredictor for Btb {
     fn cost(&self) -> HardwareCost {
         // target + valid bit per entry
         HardwareCost::table(self.table.len() as u64, TARGET_BITS + 1)
+    }
+
+    fn report_storage(&self) -> StorageReport {
+        let n = self.table.len() as u64;
+        let mut r = StorageReport::new();
+        r.table("btb.targets", ComponentClass::Target, n, TARGET_BITS)
+            .table("btb.valid", ComponentClass::Metadata, n, 1);
+        r
     }
 
     fn reset(&mut self) {
@@ -159,6 +168,15 @@ impl IndirectPredictor for Btb2b {
     fn cost(&self) -> HardwareCost {
         // target + 2-bit counter + valid bit per entry
         HardwareCost::table(self.table.len() as u64, TARGET_BITS + 2 + 1)
+    }
+
+    fn report_storage(&self) -> StorageReport {
+        let n = self.table.len() as u64;
+        let mut r = StorageReport::new();
+        r.table("btb2b.targets", ComponentClass::Target, n, TARGET_BITS)
+            .table("btb2b.conf", ComponentClass::Counter, n, 2)
+            .table("btb2b.valid", ComponentClass::Metadata, n, 1);
+        r
     }
 
     fn reset(&mut self) {

@@ -15,6 +15,7 @@
 use crate::dual_path::{DualPath, DualPathConfig};
 use crate::entry::HysteresisEntry;
 use crate::traits::IndirectPredictor;
+use ibp_hw::bitspec::{ComponentClass, StorageReport};
 use ibp_hw::{HardwareCost, Persist, PersistError, SetAssociative, StateSink, StateSource};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
@@ -212,6 +213,17 @@ impl IndirectPredictor for Cascade {
     fn cost(&self) -> HardwareCost {
         // filter entry: target + tag(30) + 2-bit counter + valid
         self.core.cost() + HardwareCost::table(self.config.filter_entries as u64, 64 + 30 + 2 + 1)
+    }
+
+    fn report_storage(&self) -> StorageReport {
+        let n = self.filter.capacity() as u64;
+        let mut r = StorageReport::new();
+        r.table("filter.tags", ComponentClass::Tag, n, 30)
+            .table("filter.targets", ComponentClass::Target, n, 64)
+            .table("filter.conf", ComponentClass::Counter, n, 2)
+            .table("filter.valid", ComponentClass::Metadata, n, 1)
+            .extend_from(&self.core.report_storage());
+        r
     }
 
     fn reset(&mut self) {

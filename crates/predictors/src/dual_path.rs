@@ -13,6 +13,7 @@ use crate::entry::HysteresisEntry;
 use crate::history_group::HistoryGroup;
 use crate::traits::IndirectPredictor;
 use ibp_hw::counter::Saturating2Bit;
+use ibp_hw::bitspec::{ComponentClass, StorageReport};
 use ibp_hw::{
     DirectMapped, HardwareCost, PathHistory, Persist, PersistError, ReverseInterleave,
     SetAssociative, StateSink, StateSource,
@@ -373,6 +374,31 @@ impl IndirectPredictor for DualPath {
 
     fn cost(&self) -> HardwareCost {
         self.cost_components() + HardwareCost::register(2 * self.config.selector_entries as u64)
+    }
+
+    fn report_storage(&self) -> StorageReport {
+        let mut r = StorageReport::new();
+        for (name, comp) in [("short", &self.short), ("long", &self.long)] {
+            let n = comp.entries() as u64;
+            if self.config.tagged {
+                r.table(&format!("{name}.tags"), ComponentClass::Tag, n, 30);
+            }
+            r.table(&format!("{name}.targets"), ComponentClass::Target, n, 64)
+                .table(&format!("{name}.conf"), ComponentClass::Counter, n, 2)
+                .table(&format!("{name}.valid"), ComponentClass::Metadata, n, 1);
+        }
+        r.table(
+            "selectors",
+            ComponentClass::Counter,
+            self.selectors.len() as u64,
+            2,
+        )
+        .register(
+            "phr",
+            ComponentClass::History,
+            2 * self.config.phr_bits as u64,
+        );
+        r
     }
 
     fn reset(&mut self) {

@@ -10,6 +10,7 @@
 use crate::entry::HysteresisEntry;
 use crate::history_group::HistoryGroup;
 use crate::traits::IndirectPredictor;
+use ibp_hw::bitspec::{ComponentClass, StorageReport};
 use ibp_hw::{
     gshare, DirectMapped, HardwareCost, PathHistory, Persist, PersistError, StateSink, StateSource,
 };
@@ -153,6 +154,16 @@ impl IndirectPredictor for GApPredictor {
         // per entry: target + 2-bit counter + valid
         HardwareCost::table(self.config.total_entries() as u64, 64 + 2 + 1)
             + HardwareCost::register(self.phr.total_bits() as u64)
+    }
+
+    fn report_storage(&self) -> StorageReport {
+        let n: u64 = self.banks.iter().map(|b| b.len() as u64).sum();
+        let mut r = StorageReport::new();
+        r.table("pht.targets", ComponentClass::Target, n, 64)
+            .table("pht.conf", ComponentClass::Counter, n, 2)
+            .table("pht.valid", ComponentClass::Metadata, n, 1)
+            .register("phr", ComponentClass::History, self.phr.total_bits() as u64);
+        r
     }
 
     fn reset(&mut self) {

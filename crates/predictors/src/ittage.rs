@@ -23,6 +23,7 @@
 
 use crate::history_group::HistoryGroup;
 use crate::traits::IndirectPredictor;
+use ibp_hw::bitspec::{ComponentClass, StorageReport};
 use ibp_hw::counter::Saturating2Bit;
 use ibp_hw::{FoldedHistory, HardwareCost, Persist, PersistError, StateSink, StateSource};
 use ibp_isa::Addr;
@@ -321,6 +322,26 @@ impl IndirectPredictor for Ittage {
             64 + self.config.tag_bits as u64 + 2 + 1 + 1,
         );
         base + tagged + HardwareCost::register(128)
+    }
+
+    fn report_storage(&self) -> StorageReport {
+        let base_n = self.base.len() as u64;
+        let tagged_n: u64 = self.tables.iter().map(|t| t.entries.len() as u64).sum();
+        let mut r = StorageReport::new();
+        r.table("base.targets", ComponentClass::Target, base_n, 64)
+            .table("base.valid", ComponentClass::Metadata, base_n, 1)
+            .table(
+                "tagged.tags",
+                ComponentClass::Tag,
+                tagged_n,
+                self.config.tag_bits as u64,
+            )
+            .table("tagged.targets", ComponentClass::Target, tagged_n, 64)
+            .table("tagged.conf", ComponentClass::Counter, tagged_n, 2)
+            .table("tagged.useful", ComponentClass::Useful, tagged_n, 1)
+            .table("tagged.valid", ComponentClass::Metadata, tagged_n, 1)
+            .register("folds", ComponentClass::History, 128);
+        r
     }
 
     fn reset(&mut self) {

@@ -1,0 +1,1027 @@
+//! Faithful ITTAGE at a declared hardware budget.
+//!
+//! [`ittage::Ittage`](crate::ittage) is a deliberately small epilogue; this
+//! module is the real thing, following Seznec's ITTAGE (CBP-3, 2011) at
+//! the component level so the paper's PPM stack can be compared against
+//! its industrial descendant *at an honest storage-bit budget*:
+//!
+//! * a base BTB with 2-bit confidence hysteresis as the default
+//!   prediction;
+//! * eight tagged tables on a **geometric series of history lengths**
+//!   (2 → 108 events), each with its own partial-tag width (9..14 bits)
+//!   and three incrementally folded history registers (one for the index,
+//!   two — at different rotation steps — for the tag, the classic
+//!   CSR1/CSR2 pair that kills fold aliasing);
+//! * per-entry 2-bit confidence and a 2-bit **useful** counter;
+//! * **alt-prediction arbitration**: a newly allocated / low-confidence
+//!   provider may be overridden by the alternate prediction under a
+//!   global `USE_ALT_ON_NA` counter that learns which side to trust;
+//! * **allocate-on-mispredict** into a longer table, with the table
+//!   choice randomized by a seeded SplitMix64 stream (ibp-testkit's
+//!   generator, owned per instance so runs are deterministic and
+//!   pool-size-invariant), skipping useful entries and decaying their
+//!   u-counters on allocation failure;
+//! * **useful-bit aging epochs**: every `aging_period` updates all
+//!   u-counters halve, so stale usefulness cannot wedge the tables.
+//!
+//! Configurations are **sized by bit budget, not entry count**:
+//! [`Ittage64Config::for_budget`] bisects a uniform table scale with
+//! [`ibp_hw::bitspec::solve_entries`] and then tops the base BTB up with
+//! the remaining slack, landing within one base entry (67 bits) of the
+//! declared budget. [`Ittage64::report_storage`] re-derives the bits from
+//! the live allocated state so the `bitreport` audit can prove the claim.
+
+use crate::history_group::HistoryGroup;
+use crate::traits::IndirectPredictor;
+use ibp_hw::bitspec::{solve_entries, ComponentClass, StorageReport};
+use ibp_hw::counter::{Saturating2Bit, SaturatingCounter};
+use ibp_hw::{FoldedHistory, HardwareCost, Persist, PersistError, StateSink, StateSource};
+use ibp_isa::Addr;
+use ibp_testkit::splitmix64;
+use ibp_trace::BranchEvent;
+
+/// Number of tagged tables.
+pub const NUM_TABLES: usize = 8;
+
+/// Geometric history lengths, in *observed events* (each event contributes
+/// 4 path bits to every fold). Ratio ≈ 1.7, the classic TAGE sweet spot.
+pub const HIST_EVENTS: [usize; NUM_TABLES] = [2, 4, 8, 13, 22, 38, 64, 108];
+
+/// Per-table partial-tag widths: longer histories earn wider tags because
+/// their entries are rarer and costlier to alias.
+pub const TAG_BITS: [u32; NUM_TABLES] = [9, 9, 10, 10, 11, 12, 13, 14];
+
+/// Output width of each per-table index fold.
+const INDEX_FOLD_BITS: u32 = 12;
+
+/// Bits per base-BTB entry: 64-bit target + 2-bit confidence + valid.
+const BASE_ENTRY_BITS: u64 = 64 + 2 + 1;
+
+/// Width of the `USE_ALT_ON_NA` arbitration counter.
+const USE_ALT_BITS: u8 = 4;
+
+/// Width charged for the aging tick counter.
+const TICK_BITS: u64 = 16;
+
+/// Width charged for the allocation PRNG state.
+const PRNG_BITS: u64 = 64;
+
+/// Fixed seed of the per-instance allocation PRNG. Every instance starts
+/// here and advances only inside its own `update`, so predictions are a
+/// pure function of the call sequence — independent of pool size, thread
+/// interleaving, or how many other sessions exist.
+const ALLOC_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Bits per tagged-table entry of table `i`: partial tag + 64-bit target +
+/// 2-bit confidence + 2-bit useful + valid.
+fn tagged_entry_bits(i: usize) -> u64 {
+    TAG_BITS[i] as u64 + 64 + 2 + 2 + 1
+}
+
+/// Fixed (table-size-independent) register bits: the global path-history
+/// register, per-table folded CSRs, arbitration counter, tick, PRNG.
+fn register_bits() -> u64 {
+    let ghist = (HIST_EVENTS[NUM_TABLES - 1] * 4) as u64;
+    let csrs: u64 = (0..NUM_TABLES)
+        .map(|i| (INDEX_FOLD_BITS + TAG_BITS[i] + (TAG_BITS[i] - 1)) as u64)
+        .sum();
+    ghist + csrs + USE_ALT_BITS as u64 + TICK_BITS + PRNG_BITS
+}
+
+fn group_code(group: HistoryGroup) -> u64 {
+    match group {
+        HistoryGroup::AllBranches => 0,
+        HistoryGroup::AllIndirect => 1,
+        HistoryGroup::MtIndirect => 2,
+        HistoryGroup::CallsReturns => 3,
+        HistoryGroup::Conditional => 4,
+    }
+}
+
+/// Configuration of [`Ittage64`], derived from a declared bit budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ittage64Config {
+    /// The declared storage budget in bits; the allocated state always
+    /// fits under it, within one base entry of slack.
+    pub budget_bits: u64,
+    /// Entries in the base BTB.
+    pub base_entries: usize,
+    /// Entries per tagged table (uniform; the budget solver scales this).
+    pub table_entries: usize,
+    /// Updates between useful-counter halving epochs.
+    pub aging_period: u32,
+    /// Branch group feeding the path history.
+    pub group: HistoryGroup,
+}
+
+impl Ittage64Config {
+    /// Sizes a configuration to a declared bit budget using the bitspec
+    /// solver: bisect the largest uniform table scale `s` (base gets `2s`
+    /// entries, every tagged table `s`) whose total fits, then spend the
+    /// remaining slack on extra base entries at 67 bits apiece. The
+    /// result lands within 67 bits (< 0.1% at 8KB) of the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is below 8192 bits (1 KB), the smallest
+    /// meaningful design point.
+    pub fn for_budget(budget_bits: u64, group: HistoryGroup) -> Self {
+        assert!(budget_bits >= 8192, "ITTAGE-64 budget below 1KB");
+        let fixed = register_bits();
+        let per_scale: u64 =
+            2 * BASE_ENTRY_BITS + (0..NUM_TABLES).map(tagged_entry_bits).sum::<u64>();
+        let scale = solve_entries(budget_bits, 1, 1 << 20, |s| fixed + s * per_scale)
+            .unwrap_or(1)
+            .max(1) as usize;
+        let used = fixed + scale as u64 * per_scale;
+        let extra_base = (budget_bits - used) / BASE_ENTRY_BITS;
+        let total = (2 * scale + extra_base as usize) + NUM_TABLES * scale;
+        Self {
+            budget_bits,
+            base_entries: 2 * scale + extra_base as usize,
+            table_entries: scale,
+            // Longer epochs for bigger tables: usefulness should survive
+            // roughly one working-set traversal before it decays.
+            aging_period: (total as u32 * 2).next_power_of_two().clamp(1024, 1 << 15),
+            group,
+        }
+    }
+
+    /// The 8KB design point.
+    pub fn budget_8kb() -> Self {
+        Self::for_budget(8 * 8192, HistoryGroup::AllIndirect)
+    }
+
+    /// The 16KB design point.
+    pub fn budget_16kb() -> Self {
+        Self::for_budget(16 * 8192, HistoryGroup::AllIndirect)
+    }
+
+    /// The flagship 64KB design point.
+    pub fn budget_64kb() -> Self {
+        Self::for_budget(64 * 8192, HistoryGroup::AllIndirect)
+    }
+
+    /// Total entries across base and tagged tables.
+    pub fn total_entries(&self) -> usize {
+        self.base_entries + NUM_TABLES * self.table_entries
+    }
+
+    /// The storage bits this configuration occupies (config-derived; the
+    /// live-state audit is [`Ittage64::report_storage`]).
+    pub fn storage_bits(&self) -> u64 {
+        self.base_entries as u64 * BASE_ENTRY_BITS
+            + (0..NUM_TABLES)
+                .map(|i| self.table_entries as u64 * tagged_entry_bits(i))
+                .sum::<u64>()
+            + register_bits()
+    }
+}
+
+/// One tagged-table entry.
+#[derive(Debug, Clone, Copy)]
+struct T64Entry {
+    tag: u16,
+    target: Addr,
+    confidence: Saturating2Bit,
+    /// 2-bit useful counter (0..=3).
+    useful: u8,
+}
+
+/// One base-BTB entry.
+#[derive(Debug, Clone, Copy)]
+struct BaseEntry {
+    target: Addr,
+    confidence: Saturating2Bit,
+}
+
+/// Lookup state carried from fetch to resolve.
+#[derive(Debug, Clone, Copy)]
+struct Lookup {
+    pc: Addr,
+    /// Provider table (None = base BTB).
+    provider: Option<usize>,
+    /// What the provider said.
+    provider_pred: Option<Addr>,
+    /// What the next-longest hit (or base) said.
+    alt_pred: Option<Addr>,
+    /// The arbitrated final answer.
+    prediction: Option<Addr>,
+    /// Provider confidence was weak (newly allocated / unproven).
+    weak: bool,
+}
+
+/// The faithful ITTAGE predictor at a declared bit budget.
+///
+/// # Examples
+///
+/// ```
+/// use ibp_isa::Addr;
+/// use ibp_predictors::{Ittage64, Ittage64Config, IndirectPredictor};
+///
+/// let mut p = Ittage64::new(Ittage64Config::budget_64kb());
+/// p.update(Addr::new(0x40), Addr::new(0x900));
+/// assert_eq!(p.predict(Addr::new(0x40)), Some(Addr::new(0x900)));
+/// assert!(p.report_storage().total_bits() <= 64 * 8192);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ittage64 {
+    config: Ittage64Config,
+    base: Vec<Option<BaseEntry>>,
+    tables: Vec<Vec<Option<T64Entry>>>,
+    idx_folds: Vec<FoldedHistory>,
+    /// CSR1: tag fold at rotation step 1, full tag width.
+    tag_folds1: Vec<FoldedHistory>,
+    /// CSR2: tag fold at rotation step 2, one bit narrower.
+    tag_folds2: Vec<FoldedHistory>,
+    use_alt_on_na: SaturatingCounter,
+    /// Updates since the last aging epoch.
+    tick: u32,
+    /// Allocation PRNG state (SplitMix64).
+    rng: u64,
+    last: Option<Lookup>,
+    // Telemetry (persisted so snapshots stay canonical).
+    epochs: u64,
+    stat_allocs: u64,
+    stat_alloc_fails: u64,
+    stat_alt_overrides: u64,
+}
+
+impl Ittage64 {
+    /// Creates an ITTAGE from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size parameter is zero.
+    pub fn new(config: Ittage64Config) -> Self {
+        assert!(config.base_entries > 0 && config.table_entries > 0);
+        assert!(config.aging_period > 0);
+        Self {
+            base: vec![None; config.base_entries],
+            tables: (0..NUM_TABLES)
+                .map(|_| vec![None; config.table_entries])
+                .collect(),
+            idx_folds: (0..NUM_TABLES)
+                .map(|i| FoldedHistory::new(INDEX_FOLD_BITS, 4, HIST_EVENTS[i]))
+                .collect(),
+            tag_folds1: (0..NUM_TABLES)
+                .map(|i| FoldedHistory::with_rotation(TAG_BITS[i], 4, HIST_EVENTS[i], 1))
+                .collect(),
+            tag_folds2: (0..NUM_TABLES)
+                .map(|i| FoldedHistory::with_rotation(TAG_BITS[i] - 1, 4, HIST_EVENTS[i], 2))
+                .collect(),
+            use_alt_on_na: SaturatingCounter::new(USE_ALT_BITS, 8),
+            tick: 0,
+            rng: ALLOC_SEED,
+            last: None,
+            epochs: 0,
+            stat_allocs: 0,
+            stat_alloc_fails: 0,
+            stat_alt_overrides: 0,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Ittage64Config {
+        &self.config
+    }
+
+    /// Number of completed useful-counter aging epochs.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Sum of all useful counters — the "usefulness mass" the aging
+    /// epochs keep bounded.
+    pub fn useful_mass(&self) -> u64 {
+        self.tables
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.useful as u64)
+            .sum()
+    }
+
+    /// Checks the incremental-fold invariants: every fold equals its
+    /// from-scratch recomputation and tracks exactly its table's history
+    /// window, and every stored tag fits its table's declared width.
+    /// Used by the property suite.
+    pub fn check_consistency(&self) -> bool {
+        let folds_ok = (0..NUM_TABLES).all(|i| {
+            self.idx_folds[i].folded() == self.idx_folds[i].recompute()
+                && self.tag_folds1[i].folded() == self.tag_folds1[i].recompute()
+                && self.tag_folds2[i].folded() == self.tag_folds2[i].recompute()
+                && self.idx_folds[i].len() <= HIST_EVENTS[i]
+        });
+        let tags_ok = (0..NUM_TABLES).all(|i| {
+            self.tables[i]
+                .iter()
+                .flatten()
+                .all(|e| (e.tag as u64) < (1u64 << TAG_BITS[i]))
+        });
+        folds_ok && tags_ok
+    }
+
+    // ibp-lint: allow(L007, "table index enumerates self.tables; sizes validated nonzero at construction")
+    fn index_of(&self, table: usize, pc: Addr) -> usize {
+        let folded = self.idx_folds[table].folded();
+        let salt = (table as u64 + 1).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        let mixed = (pc.raw() >> 2) ^ folded ^ (folded << 7) ^ salt;
+        (mixed % self.config.table_entries as u64) as usize
+    }
+
+    // ibp-lint: allow(L007, "table index enumerates self.tables")
+    fn tag_of(&self, table: usize, pc: Addr) -> u16 {
+        let f1 = self.tag_folds1[table].folded();
+        let f2 = self.tag_folds2[table].folded();
+        let mixed = (pc.raw() >> 2).wrapping_mul(0x9E37_79B9) ^ f1 ^ (f2 << 1);
+        (mixed & ((1u64 << TAG_BITS[table]) - 1)) as u16
+    }
+
+    // ibp-lint: allow(L007, "`% base.len()` with the base table validated nonempty")
+    fn base_index(&self, pc: Addr) -> usize {
+        ((pc.raw() >> 2) % self.config.base_entries as u64) as usize
+    }
+
+    /// Full ITTAGE lookup: longest tag hit provides, next hit (or base)
+    /// is the alternate, and a weak provider may defer to the alternate
+    /// under the `USE_ALT_ON_NA` arbitration counter.
+    // ibp-lint: allow(L007, "indices come from index_of/base_index, already reduced mod the table size")
+    fn lookup(&self, pc: Addr) -> Lookup {
+        let mut provider = None;
+        let mut provider_pred = None;
+        let mut provider_weak = false;
+        let mut alt_pred = None;
+        let mut alt_found = false;
+        for t in (0..NUM_TABLES).rev() {
+            let idx = self.index_of(t, pc);
+            if let Some(e) = &self.tables[t][idx] {
+                if e.tag == self.tag_of(t, pc) {
+                    if provider.is_none() {
+                        provider = Some(t);
+                        provider_pred = Some(e.target);
+                        provider_weak = e.confidence.value() == 0;
+                    } else {
+                        alt_pred = Some(e.target);
+                        alt_found = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let base_pred = self.base[self.base_index(pc)].map(|b| b.target);
+        if !alt_found {
+            alt_pred = base_pred;
+        }
+        let prediction = match provider {
+            Some(_) => {
+                if provider_weak && self.use_alt_on_na.is_high_half() && alt_pred.is_some() {
+                    alt_pred
+                } else {
+                    provider_pred
+                }
+            }
+            None => base_pred,
+        };
+        Lookup {
+            pc,
+            provider,
+            provider_pred,
+            alt_pred,
+            prediction,
+            weak: provider_weak,
+        }
+    }
+
+    /// Allocate-on-mispredict: pick the starting table above the provider
+    /// with SplitMix64-weighted skip (P=1/2 next, 1/4 each for the two
+    /// after), claim the first non-useful slot scanning upward, and decay
+    /// the u-counters of every scanned candidate when all are useful.
+    // ibp-lint: allow(L007, "table ids enumerate self.tables; entries indexed via index_of")
+    fn allocate_above(&mut self, provider: Option<usize>, pc: Addr, actual: Addr) {
+        let next = provider.map(|p| p + 1).unwrap_or(0);
+        if next >= NUM_TABLES {
+            return;
+        }
+        let skip = match splitmix64(&mut self.rng) & 3 {
+            0 | 1 => 0,
+            2 => 1,
+            _ => 2,
+        };
+        let start = (next + skip).min(NUM_TABLES - 1);
+        for t in start..NUM_TABLES {
+            let idx = self.index_of(t, pc);
+            let tag = self.tag_of(t, pc);
+            match &self.tables[t][idx] {
+                Some(e) if e.useful > 0 => continue,
+                _ => {
+                    self.tables[t][idx] = Some(T64Entry {
+                        tag,
+                        target: actual,
+                        // Weak on arrival: the entry must prove itself
+                        // before the arbitration trusts it over the alt.
+                        confidence: Saturating2Bit::new(0),
+                        useful: 0,
+                    });
+                    self.stat_allocs += 1;
+                    return;
+                }
+            }
+        }
+        // Every candidate useful: pay the allocation failure forward by
+        // decaying their u-counters so the tables cannot wedge.
+        for t in start..NUM_TABLES {
+            let idx = self.index_of(t, pc);
+            if let Some(e) = &mut self.tables[t][idx] {
+                e.useful = e.useful.saturating_sub(1);
+            }
+        }
+        self.stat_alloc_fails += 1;
+    }
+
+    /// Advance the aging clock; on epoch boundaries halve every useful
+    /// counter (graceful aging — recent usefulness survives one epoch,
+    /// stale usefulness decays to zero in two).
+    fn age_tick(&mut self) {
+        self.tick += 1;
+        if self.tick >= self.config.aging_period {
+            self.tick = 0;
+            self.epochs += 1;
+            for table in self.tables.iter_mut() {
+                for e in table.iter_mut().flatten() {
+                    e.useful >>= 1;
+                }
+            }
+        }
+    }
+}
+
+/// Certification root: the ITTAGE-64 fetch path, registered with
+/// ibp-analyze's L007 (panic-free) and L008 (alloc-free) call-graph
+/// certifications so the hot path is mechanically proven clean even when
+/// no simulator root happens to reach it.
+pub fn ittage64_predict(p: &mut Ittage64, pc: Addr) -> Option<Addr> {
+    p.predict(pc)
+}
+
+/// Certification root: the ITTAGE-64 resolve path (see
+/// [`ittage64_predict`]).
+pub fn ittage64_update(p: &mut Ittage64, pc: Addr, actual: Addr) {
+    p.update(pc, actual)
+}
+
+impl IndirectPredictor for Ittage64 {
+    fn name(&self) -> String {
+        // ibp-lint: allow(L008, "name() runs once per run for reporting, not per event")
+        format!("ITTAGE64-{}KB", (self.config.budget_bits + 4096) / 8192)
+    }
+
+    fn predict(&mut self, pc: Addr) -> Option<Addr> {
+        let lk = self.lookup(pc);
+        if lk.provider.is_some() && lk.prediction != lk.provider_pred {
+            self.stat_alt_overrides += 1;
+        }
+        let prediction = lk.prediction;
+        self.last = Some(lk);
+        prediction
+    }
+
+    // ibp-lint: allow(L007, "provider/alt table ids were produced by this predictor's own lookup")
+    fn update(&mut self, pc: Addr, actual: Addr) {
+        let lk = match self.last.take() {
+            Some(lk) if lk.pc == pc => lk,
+            _ => self.lookup(pc),
+        };
+        let correct = lk.prediction == Some(actual);
+        let provider_correct = lk.provider_pred == Some(actual);
+        let alt_correct = lk.alt_pred == Some(actual);
+        if let Some(t) = lk.provider {
+            // Arbitration learning: when a weak provider and its alternate
+            // disagree, the global counter tracks which side resolves
+            // correctly.
+            if lk.weak && lk.provider_pred != lk.alt_pred {
+                if alt_correct {
+                    self.use_alt_on_na.increment();
+                } else if provider_correct {
+                    self.use_alt_on_na.decrement();
+                }
+            }
+            let idx = self.index_of(t, pc);
+            if let Some(e) = &mut self.tables[t][idx] {
+                if provider_correct {
+                    e.confidence.increment();
+                } else if e.confidence.value() == 0 {
+                    e.target = actual;
+                    e.confidence.set(1);
+                } else {
+                    e.confidence.decrement();
+                }
+                // Usefulness: the provider earns (or loses) its keep only
+                // where it actually differs from the alternate.
+                if lk.provider_pred != lk.alt_pred {
+                    if provider_correct {
+                        e.useful = (e.useful + 1).min(3);
+                    } else {
+                        e.useful = e.useful.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        // The base BTB is the fallback for every future allocation miss;
+        // keep it warm with 2-bit hysteresis on every resolve.
+        let bi = self.base_index(pc);
+        match &mut self.base[bi] {
+            Some(b) if b.target == actual => {
+                b.confidence.increment();
+            }
+            Some(b) => {
+                if b.confidence.value() == 0 {
+                    b.target = actual;
+                    b.confidence.set(1);
+                } else {
+                    b.confidence.decrement();
+                }
+            }
+            slot @ None => {
+                *slot = Some(BaseEntry {
+                    target: actual,
+                    confidence: Saturating2Bit::new(1),
+                });
+            }
+        }
+        // Allocate only when the provider itself was wrong — if the
+        // arbitration picked the wrong side of a correct provider, the
+        // tables already hold the answer.
+        if !correct && !provider_correct {
+            self.allocate_above(lk.provider, pc, actual);
+        }
+        self.age_tick();
+    }
+
+    fn observe(&mut self, event: &BranchEvent) {
+        if self.config.group.accepts(event) {
+            // Each branch contributes 4 target bits to every window.
+            let chunk = event.target().path_bits() & 0xF;
+            for f in self.idx_folds.iter_mut() {
+                // ibp-lint: allow(L008, "FoldedHistory::push writes a bounded ring, not Vec growth")
+                f.push(chunk);
+            }
+            for f in self.tag_folds1.iter_mut() {
+                // ibp-lint: allow(L008, "FoldedHistory::push writes a bounded ring, not Vec growth")
+                f.push(chunk);
+            }
+            for f in self.tag_folds2.iter_mut() {
+                // ibp-lint: allow(L008, "FoldedHistory::push writes a bounded ring, not Vec growth")
+                f.push(chunk);
+            }
+        }
+    }
+
+    fn cost(&self) -> HardwareCost {
+        // Config-derived declaration; report_storage() re-derives the
+        // same inventory from the live allocated state and bitreport
+        // audits the two against each other.
+        let c = &self.config;
+        let base = HardwareCost::table(c.base_entries as u64, BASE_ENTRY_BITS);
+        let tagged: HardwareCost = (0..NUM_TABLES)
+            .map(|i| HardwareCost::table(c.table_entries as u64, tagged_entry_bits(i)))
+            .sum();
+        base + tagged + HardwareCost::register(register_bits())
+    }
+
+    fn report_storage(&self) -> StorageReport {
+        let mut r = StorageReport::new();
+        let base_n = self.base.len() as u64;
+        r.table("base.targets", ComponentClass::Target, base_n, 64)
+            .table("base.conf", ComponentClass::Counter, base_n, 2)
+            .table("base.valid", ComponentClass::Metadata, base_n, 1);
+        for (i, table) in self.tables.iter().enumerate() {
+            let n = table.len() as u64;
+            let t = &format!("T{i}");
+            r.table(&format!("{t}.tags"), ComponentClass::Tag, n, TAG_BITS[i] as u64)
+                .table(&format!("{t}.targets"), ComponentClass::Target, n, 64)
+                .table(&format!("{t}.conf"), ComponentClass::Counter, n, 2)
+                .table(&format!("{t}.useful"), ComponentClass::Useful, n, 2)
+                .table(&format!("{t}.valid"), ComponentClass::Metadata, n, 1);
+        }
+        r.register(
+            "path_history",
+            ComponentClass::History,
+            (HIST_EVENTS[NUM_TABLES - 1] * 4) as u64,
+        );
+        for i in 0..NUM_TABLES {
+            r.register(
+                &format!("T{i}.csrs"),
+                ComponentClass::History,
+                (INDEX_FOLD_BITS + TAG_BITS[i] + (TAG_BITS[i] - 1)) as u64,
+            );
+        }
+        r.register("use_alt_on_na", ComponentClass::Counter, USE_ALT_BITS as u64)
+            .register("aging_tick", ComponentClass::Metadata, TICK_BITS)
+            .register("alloc_prng", ComponentClass::Metadata, PRNG_BITS);
+        r
+    }
+
+    fn reset(&mut self) {
+        self.base.iter_mut().for_each(|e| *e = None);
+        for t in self.tables.iter_mut() {
+            t.iter_mut().for_each(|e| *e = None);
+        }
+        for f in self
+            .idx_folds
+            .iter_mut()
+            .chain(self.tag_folds1.iter_mut())
+            .chain(self.tag_folds2.iter_mut())
+        {
+            f.clear();
+        }
+        self.use_alt_on_na = SaturatingCounter::new(USE_ALT_BITS, 8);
+        self.tick = 0;
+        self.rng = ALLOC_SEED;
+        self.last = None;
+        self.epochs = 0;
+        self.stat_allocs = 0;
+        self.stat_alloc_fails = 0;
+        self.stat_alt_overrides = 0;
+    }
+
+    fn report_metrics(&self, sink: &mut dyn FnMut(&str, u64)) {
+        sink("ittage64.allocs", self.stat_allocs);
+        sink("ittage64.alloc_fails", self.stat_alloc_fails);
+        sink("ittage64.alt_overrides", self.stat_alt_overrides);
+        sink("ittage64.aging_epochs", self.epochs);
+        sink("ittage64.useful_mass", self.useful_mass());
+        sink(
+            "ittage64.tagged_occupied",
+            self.tables
+                .iter()
+                .map(|t| t.iter().flatten().count() as u64)
+                .sum(),
+        );
+        sink(
+            "ittage64.base_occupied",
+            self.base.iter().flatten().count() as u64,
+        );
+        sink("ittage64.use_alt_on_na", self.use_alt_on_na.value() as u64);
+    }
+
+    fn resident_bytes(&self) -> usize {
+        // Fully private, like ITTAGE-lite: allocation scans and u-decay
+        // mutate on nearly every update, so COW overlays would converge
+        // to a full copy. Charge the dense tables plus the fold rings.
+        self.base.capacity() * std::mem::size_of::<Option<BaseEntry>>()
+            + self
+                .tables
+                .iter()
+                .map(|t| t.capacity() * std::mem::size_of::<Option<T64Entry>>())
+                .sum::<usize>()
+            + self
+                .idx_folds
+                .iter()
+                .chain(self.tag_folds1.iter())
+                .chain(self.tag_folds2.iter())
+                .map(|f| f.len() * std::mem::size_of::<u64>())
+                .sum::<usize>()
+    }
+
+    fn save_state(&self, out: &mut StateSink<'_>) {
+        let c = &self.config;
+        out.u64(c.budget_bits);
+        out.usize(c.base_entries);
+        out.usize(c.table_entries);
+        out.u64(c.aging_period as u64);
+        out.u64(group_code(c.group));
+        out.u64(self.rng);
+        out.u64(self.tick as u64);
+        out.u64(self.epochs);
+        out.u64(self.use_alt_on_na.value() as u64);
+        out.u64(self.stat_allocs);
+        out.u64(self.stat_alloc_fails);
+        out.u64(self.stat_alt_overrides);
+        // Base BTB: occupied slots in ascending index order (canonical).
+        let occupied = self.base.iter().filter(|e| e.is_some()).count();
+        out.usize(occupied);
+        for (idx, entry) in self.base.iter().enumerate() {
+            if let Some(b) = entry {
+                out.usize(idx);
+                out.u64(b.target.raw());
+                out.u8(b.confidence.value() as u8);
+            }
+        }
+        // Tagged tables, likewise sparse and ascending.
+        for table in &self.tables {
+            let occupied = table.iter().filter(|e| e.is_some()).count();
+            out.usize(occupied);
+            for (idx, entry) in table.iter().enumerate() {
+                if let Some(e) = entry {
+                    out.usize(idx);
+                    out.u64(e.tag as u64);
+                    out.u64(e.target.raw());
+                    out.u8(e.confidence.value() as u8);
+                    out.u8(e.useful);
+                }
+            }
+        }
+        for f in self
+            .idx_folds
+            .iter()
+            .chain(self.tag_folds1.iter())
+            .chain(self.tag_folds2.iter())
+        {
+            f.save_state(out);
+        }
+    }
+
+    // ibp-lint: allow(L007, "entry counts are validated against the component geometry before the loop")
+    fn load_state(&mut self, src: &mut StateSource<'_>) -> Result<(), PersistError> {
+        let c = self.config;
+        src.expect_u64(c.budget_bits, "ITTAGE64 budget bits")?;
+        src.expect_u64(c.base_entries as u64, "ITTAGE64 base entries")?;
+        src.expect_u64(c.table_entries as u64, "ITTAGE64 table entries")?;
+        src.expect_u64(c.aging_period as u64, "ITTAGE64 aging period")?;
+        src.expect_u64(group_code(c.group), "ITTAGE64 history group")?;
+        let rng = src.u64()?;
+        let tick = src.u64()?;
+        if tick >= c.aging_period as u64 {
+            return Err(PersistError::Corrupt("ITTAGE64 tick past aging period"));
+        }
+        let epochs = src.u64()?;
+        let use_alt = src.u64()?;
+        if use_alt > (1 << USE_ALT_BITS) - 1 {
+            return Err(PersistError::Corrupt("ITTAGE64 use-alt counter too wide"));
+        }
+        let stat_allocs = src.u64()?;
+        let stat_alloc_fails = src.u64()?;
+        let stat_alt_overrides = src.u64()?;
+        let mut base = vec![None; c.base_entries];
+        let n = src.usize()?;
+        let mut prev: Option<usize> = None;
+        for _ in 0..n {
+            let idx = src.usize()?;
+            if idx >= c.base_entries || prev.is_some_and(|p| idx <= p) {
+                return Err(PersistError::Corrupt("ITTAGE64 base slot out of order"));
+            }
+            prev = Some(idx);
+            let target = Addr::new(src.u64()?);
+            let conf = src.u8()?;
+            if conf > 3 {
+                return Err(PersistError::Corrupt("ITTAGE64 base confidence out of range"));
+            }
+            base[idx] = Some(BaseEntry {
+                target,
+                confidence: Saturating2Bit::new(conf as u32),
+            });
+        }
+        let mut tables = Vec::with_capacity(NUM_TABLES);
+        for t in 0..NUM_TABLES {
+            let tag_mask = (1u64 << TAG_BITS[t]) - 1;
+            let mut entries = vec![None; c.table_entries];
+            let n = src.usize()?;
+            let mut prev: Option<usize> = None;
+            for _ in 0..n {
+                let idx = src.usize()?;
+                if idx >= c.table_entries || prev.is_some_and(|p| idx <= p) {
+                    return Err(PersistError::Corrupt("ITTAGE64 tagged slot out of order"));
+                }
+                prev = Some(idx);
+                let tag = src.u64()?;
+                if tag > tag_mask {
+                    return Err(PersistError::Corrupt("ITTAGE64 tag too wide"));
+                }
+                let target = Addr::new(src.u64()?);
+                let conf = src.u8()?;
+                if conf > 3 {
+                    return Err(PersistError::Corrupt("ITTAGE64 confidence out of range"));
+                }
+                let useful = src.u8()?;
+                if useful > 3 {
+                    return Err(PersistError::Corrupt("ITTAGE64 useful counter out of range"));
+                }
+                entries[idx] = Some(T64Entry {
+                    tag: tag as u16,
+                    target,
+                    confidence: Saturating2Bit::new(conf as u32),
+                    useful,
+                });
+            }
+            tables.push(entries);
+        }
+        for f in self
+            .idx_folds
+            .iter_mut()
+            .chain(self.tag_folds1.iter_mut())
+            .chain(self.tag_folds2.iter_mut())
+        {
+            f.load_state(src)?;
+        }
+        self.base = base;
+        self.tables = tables;
+        self.rng = rng;
+        self.tick = tick as u32;
+        self.epochs = epochs;
+        self.use_alt_on_na.set(use_alt as u32);
+        self.stat_allocs = stat_allocs;
+        self.stat_alloc_fails = stat_alloc_fails;
+        self.stat_alt_overrides = stat_alt_overrides;
+        self.last = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut Ittage64, pc: Addr, target: Addr) -> bool {
+        let hit = p.predict(pc) == Some(target);
+        p.update(pc, target);
+        p.observe(&BranchEvent::indirect_jmp(pc, target));
+        hit
+    }
+
+    #[test]
+    fn presets_sit_just_under_their_budgets() {
+        for (kb, config) in [
+            (8u64, Ittage64Config::budget_8kb()),
+            (16, Ittage64Config::budget_16kb()),
+            (64, Ittage64Config::budget_64kb()),
+        ] {
+            let budget = kb * 8192;
+            let bits = config.storage_bits();
+            assert!(bits <= budget, "{kb}KB preset over budget: {bits}");
+            assert!(
+                bits * 100 >= budget * 99,
+                "{kb}KB preset wastes >1% of its budget: {bits} of {budget}"
+            );
+            let p = Ittage64::new(config);
+            assert_eq!(p.report_storage().total_bits(), bits);
+            assert_eq!(p.cost().bits(), bits);
+            assert_eq!(p.cost().entries(), config.total_entries() as u64);
+        }
+    }
+
+    #[test]
+    fn learns_monomorphic_branch() {
+        let mut p = Ittage64::new(Ittage64Config::budget_8kb());
+        let pc = Addr::new(0x40);
+        let t = Addr::new(0x904);
+        let mut misses = 0;
+        for i in 0..50 {
+            if !drive(&mut p, pc, t) && i > 0 {
+                misses += 1;
+            }
+        }
+        assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn learns_cyclic_pattern_through_tagged_tables() {
+        let mut p = Ittage64::new(Ittage64Config::budget_64kb());
+        let pc = Addr::new(0x100);
+        let targets = [Addr::new(0xA04), Addr::new(0xB08), Addr::new(0xC0C)];
+        let mut late_misses = 0;
+        for i in 0..900 {
+            let t = targets[i % 3];
+            if !drive(&mut p, pc, t) && i > 300 {
+                late_misses += 1;
+            }
+        }
+        assert!(late_misses < 20, "ITTAGE64 failed cycle: {late_misses}");
+    }
+
+    #[test]
+    fn learns_deep_history_pattern() {
+        // Period-17 token stream over 4 targets: needs long context, the
+        // upper geometric tables' home turf.
+        let seq = [0usize, 0, 1, 2, 1, 0, 2, 2, 1, 3, 0, 3, 1, 2, 3, 3, 0];
+        let targets = [
+            Addr::new(0xA04),
+            Addr::new(0xB08),
+            Addr::new(0xC0C),
+            Addr::new(0xD10),
+        ];
+        let mut p = Ittage64::new(Ittage64Config::budget_64kb());
+        let pc = Addr::new(0x200);
+        let mut late_misses = 0;
+        for i in 0..3400 {
+            let t = targets[seq[i % 17]];
+            if !drive(&mut p, pc, t) && i > 1700 {
+                late_misses += 1;
+            }
+        }
+        assert!(late_misses < 50, "ITTAGE64 failed period-17: {late_misses}");
+    }
+
+    #[test]
+    fn aging_epochs_halve_useful_mass() {
+        let config = Ittage64Config {
+            aging_period: 256,
+            ..Ittage64Config::budget_8kb()
+        };
+        let mut p = Ittage64::new(config);
+        // Build usefulness with competing polymorphic branches.
+        for i in 0..255u64 {
+            let pc = Addr::new(0x100 + (i % 13) * 4);
+            let t = Addr::new(0x1000 + ((i * 7) % 5) * 0x40 + 4);
+            drive(&mut p, pc, t);
+        }
+        assert_eq!(p.epochs(), 0);
+        let before = p.useful_mass();
+        let pc = Addr::new(0x100);
+        let t = Addr::new(0x1000 + 4);
+        drive(&mut p, pc, t); // crosses the 256-update boundary
+        assert_eq!(p.epochs(), 1);
+        // One more update may add at most one count after halving.
+        assert!(
+            p.useful_mass() <= before / 2 + 1,
+            "mass {} not halved from {before}",
+            p.useful_mass()
+        );
+    }
+
+    #[test]
+    fn folds_stay_consistent_under_load() {
+        let mut p = Ittage64::new(Ittage64Config::budget_16kb());
+        for i in 0..2000u64 {
+            let pc = Addr::new(0x100 + (i % 31) * 4);
+            let t = Addr::new(0x1000 + ((i * 13) % 11) * 0x40 + 4);
+            drive(&mut p, pc, t);
+        }
+        assert!(p.check_consistency());
+    }
+
+    #[test]
+    fn reset_restores_cold() {
+        let mut p = Ittage64::new(Ittage64Config::budget_8kb());
+        drive(&mut p, Addr::new(0x40), Addr::new(0x904));
+        p.reset();
+        assert_eq!(p.predict(Addr::new(0x40)), None);
+        assert_eq!(p.epochs(), 0);
+    }
+
+    #[test]
+    fn name_and_metrics() {
+        let p = Ittage64::new(Ittage64Config::budget_64kb());
+        assert_eq!(p.name(), "ITTAGE64-64KB");
+        let mut names = Vec::new();
+        p.report_metrics(&mut |n, _| names.push(n.to_string()));
+        assert!(names.contains(&"ittage64.allocs".to_string()));
+        assert!(names.contains(&"ittage64.useful_mass".to_string()));
+    }
+
+    #[test]
+    fn persist_round_trip_restores_behaviour() {
+        let mut p = Ittage64::new(Ittage64Config::budget_16kb());
+        for i in 0..1500u64 {
+            let pc = Addr::new(0x100 + (i % 9) * 4);
+            let t = Addr::new(0x1000 + ((i * 7) % 5) * 0x40 + 4);
+            drive(&mut p, pc, t);
+        }
+        let mut blob = Vec::new();
+        p.save_state(&mut ibp_hw::StateSink::new(&mut blob));
+        let mut q = Ittage64::new(Ittage64Config::budget_16kb());
+        q.load_state(&mut ibp_hw::StateSource::new(&blob)).unwrap();
+        // Continue both and demand identical predictions (incl. the
+        // restored allocation PRNG stream and aging tick).
+        for i in 0..1500u64 {
+            let pc = Addr::new(0x100 + (i % 9) * 4);
+            let t = Addr::new(0x1000 + ((i * 11) % 5) * 0x40 + 4);
+            assert_eq!(p.predict(pc), q.predict(pc), "diverged at step {i}");
+            p.update(pc, t);
+            q.update(pc, t);
+            let ev = BranchEvent::indirect_jmp(pc, t);
+            p.observe(&ev);
+            q.observe(&ev);
+        }
+        // Re-saving the restored instance must be byte-identical.
+        let mut blob2 = Vec::new();
+        let mut blob3 = Vec::new();
+        p.save_state(&mut ibp_hw::StateSink::new(&mut blob2));
+        q.save_state(&mut ibp_hw::StateSink::new(&mut blob3));
+        assert_eq!(blob2, blob3);
+        // Geometry guards: a different budget must refuse the blob.
+        let mut other = Ittage64::new(Ittage64Config::budget_8kb());
+        assert!(other
+            .load_state(&mut ibp_hw::StateSource::new(&blob))
+            .is_err());
+        assert!(p.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut p = Ittage64::new(Ittage64Config::budget_64kb());
+            let mut misses = 0;
+            for i in 0..2000u64 {
+                let pc = Addr::new(0x100 + (i % 7) * 4);
+                let t = Addr::new(0x1000 + ((i * i) % 5) * 0x40 + 4);
+                if !drive(&mut p, pc, t) {
+                    misses += 1;
+                }
+            }
+            misses
+        };
+        assert_eq!(run(), run());
+    }
+}

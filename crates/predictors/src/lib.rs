@@ -18,6 +18,9 @@
 //!   is why returns are excluded from indirect-prediction accounting;
 //! * [`oracle`] — idealized predictors (complete path history, frequency
 //!   voting) used for limit studies like the paper's photon analysis;
+//! * [`ittage::Ittage`] / [`ittage64::Ittage64`] — the TAGE-family
+//!   epilogue: a compact ITTAGE-lite, and the faithful ITTAGE sized to a
+//!   declared storage-bit budget (8/16/64KB presets);
 //! * [`conditional`] — bimodal/gshare conditional-branch substrate used by
 //!   workload validation.
 //!
@@ -32,6 +35,7 @@ pub mod entry;
 pub mod gap;
 pub mod history_group;
 pub mod ittage;
+pub mod ittage64;
 pub mod oracle;
 pub mod ras;
 pub mod target_cache;
@@ -43,6 +47,7 @@ pub use dual_path::{DualPath, DualPathConfig};
 pub use gap::{GApConfig, GApPredictor};
 pub use history_group::HistoryGroup;
 pub use ittage::{Ittage, IttageConfig};
+pub use ittage64::{Ittage64, Ittage64Config};
 pub use oracle::{FrequencyOracle, PathOracle};
 pub use ras::ReturnAddressStack;
 pub use target_cache::{TargetCache, TargetCacheConfig};

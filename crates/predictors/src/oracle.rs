@@ -13,6 +13,7 @@
 use crate::history_group::HistoryGroup;
 use crate::traits::IndirectPredictor;
 use ibp_exec::FastMap;
+use ibp_hw::bitspec::{ComponentClass, StorageReport};
 use ibp_hw::{HardwareCost, PersistError, StateSink, StateSource};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
@@ -155,6 +156,20 @@ impl IndirectPredictor for PathOracle {
         )
     }
 
+    fn report_storage(&self) -> StorageReport {
+        // Unbounded reference model: the inventory is the live footprint,
+        // not a hardware budget (bitreport marks oracles idealized).
+        let n = self.table.len() as u64;
+        let mut r = StorageReport::new();
+        r.table("contexts.targets", ComponentClass::Target, n, 64).table(
+            "contexts.keys",
+            ComponentClass::Metadata,
+            n,
+            64 + self.path.depth as u64 * 64,
+        );
+        r
+    }
+
     fn reset(&mut self) {
         self.table.clear();
         self.path.clear();
@@ -265,6 +280,20 @@ impl IndirectPredictor for FrequencyOracle {
             self.table.values().map(|m| m.len() as u64).sum(),
             64 + self.path.depth as u64 * 64 + 64 + 32,
         )
+    }
+
+    fn report_storage(&self) -> StorageReport {
+        let n: u64 = self.table.values().map(|m| m.len() as u64).sum();
+        let mut r = StorageReport::new();
+        r.table("contexts.targets", ComponentClass::Target, n, 64)
+            .table(
+                "contexts.keys",
+                ComponentClass::Metadata,
+                n,
+                64 + self.path.depth as u64 * 64,
+            )
+            .table("contexts.counts", ComponentClass::Counter, n, 32);
+        r
     }
 
     fn reset(&mut self) {

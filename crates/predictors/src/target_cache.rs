@@ -10,6 +10,7 @@
 use crate::entry::HysteresisEntry;
 use crate::history_group::HistoryGroup;
 use crate::traits::IndirectPredictor;
+use ibp_hw::bitspec::{ComponentClass, StorageReport};
 use ibp_hw::{
     DirectMapped, HardwareCost, PathHistory, Persist, PersistError, StateSink, StateSource,
 };
@@ -147,6 +148,21 @@ impl IndirectPredictor for TargetCache {
         let entry_bits = 64 + 1 + if self.config.hysteresis { 2 } else { 0 };
         HardwareCost::table(self.config.entries as u64, entry_bits)
             + HardwareCost::register(self.config.history_bits as u64)
+    }
+
+    fn report_storage(&self) -> StorageReport {
+        let n = self.table.len() as u64;
+        let mut r = StorageReport::new();
+        r.table("tc.targets", ComponentClass::Target, n, 64);
+        if self.config.hysteresis {
+            r.table("tc.conf", ComponentClass::Counter, n, 2);
+        }
+        r.table("tc.valid", ComponentClass::Metadata, n, 1).register(
+            "phr",
+            ComponentClass::History,
+            self.config.history_bits as u64,
+        );
+        r
     }
 
     fn reset(&mut self) {

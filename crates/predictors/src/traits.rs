@@ -1,5 +1,6 @@
 //! The common predictor contract.
 
+use ibp_hw::bitspec::StorageReport;
 use ibp_hw::{HardwareCost, PersistError, StateSink, StateSource};
 use ibp_isa::Addr;
 use ibp_trace::BranchEvent;
@@ -46,6 +47,20 @@ pub trait IndirectPredictor {
 
     /// The hardware cost of this configuration.
     fn cost(&self) -> HardwareCost;
+
+    /// The structured storage inventory of this *instance*, built from its
+    /// live allocated state (actual container lengths), component by
+    /// component — tags, targets, counters, useful bits, history
+    /// registers, metadata.
+    ///
+    /// This is the auditable counterpart of [`cost`](Self::cost): `cost`
+    /// states what the configuration *declares*, `report_storage` states
+    /// what was *allocated*. The `bitreport` bench gates the two against
+    /// each other (≤1% divergence). The default wraps `cost()` in a
+    /// single opaque legacy component; every zoo predictor overrides it.
+    fn report_storage(&self) -> StorageReport {
+        StorageReport::legacy(self.cost())
+    }
 
     /// Clears all dynamic state, returning the predictor to power-on.
     fn reset(&mut self);
@@ -116,6 +131,10 @@ impl<P: IndirectPredictor + ?Sized> IndirectPredictor for Box<P> {
 
     fn cost(&self) -> HardwareCost {
         (**self).cost()
+    }
+
+    fn report_storage(&self) -> StorageReport {
+        (**self).report_storage()
     }
 
     fn reset(&mut self) {

@@ -168,6 +168,40 @@ pub fn compare_grid_with(
     GridResult::from_parts(predictors, run_labels, cells)
 }
 
+/// [`compare_grid_with`] at an equal-bits budget: every kind is resized
+/// to the largest configuration whose realized storage cost fits
+/// `budget_bits` (see [`PredictorKind::entries_for_budget`]), so the
+/// figure compares predictors at the same declared bit budget instead of
+/// the same entry count. Kinds that cannot fit the budget even at the
+/// 64-entry floor are dropped from the grid.
+pub fn compare_grid_at_bits(
+    exec: &Executor,
+    kinds: &[PredictorKind],
+    runs: &[BenchmarkRun],
+    scale: f64,
+    budget_bits: u64,
+) -> GridResult {
+    let sized: Vec<(PredictorKind, usize)> = kinds
+        .iter()
+        .filter_map(|&k| k.entries_for_budget(budget_bits).map(|e| (k, e)))
+        .collect();
+    let predictors: Vec<String> = sized.iter().map(|(k, _)| k.label()).collect();
+    let run_labels: Vec<String> = runs.iter().map(|r| r.label()).collect();
+    let traces: Vec<Trace> = exec.map(runs, |_, run| generate_trace(run, scale));
+    let cells = exec.run(runs.len() * sized.len(), |i| {
+        let (run_idx, kind_idx) = (i / sized.len(), i % sized.len());
+        let (kind, entries) = sized[kind_idx];
+        let result: RunResult = kind.simulate_with_entries(entries, &traces[run_idx]);
+        GridCell {
+            run: run_labels[run_idx].clone(),
+            predictor: result.predictor().to_string(),
+            ratio: result.misprediction_ratio(),
+            predictions: result.predictions(),
+        }
+    });
+    GridResult::from_parts(predictors, run_labels, cells)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +262,46 @@ mod tests {
         assert_eq!(grid.ratio("r", "p"), Some(0.25));
         assert_eq!(grid.ratio("r", "q"), None);
         assert_eq!(grid.ratio("s", "p"), None);
+    }
+
+    #[test]
+    fn equal_bits_grid_sizes_by_storage_cost() {
+        let runs = &paper_suite()[..1];
+        let kinds = [
+            PredictorKind::Btb,
+            PredictorKind::TcPib,
+            PredictorKind::Ittage64(8),
+        ];
+        // 8KB of storage: every kind fits, and the entry-sized kinds
+        // must actually sit within the bit budget they were solved for.
+        let budget = 8 * 8 * 1024;
+        for kind in [PredictorKind::Btb, PredictorKind::TcPib] {
+            let entries = kind.entries_for_budget(budget).expect("fits");
+            let cost = kind.build_with_entries(entries).cost();
+            assert!(cost.bits() <= budget, "{kind:?}: {} > {budget}", cost.bits());
+            // One step larger must overshoot (maximality).
+            let bigger = kind.build_with_entries(entries + entries / 8 + 64).cost();
+            assert!(bigger.bits() > budget, "{kind:?} not maximal");
+        }
+        let grid = compare_grid_at_bits(&Executor::new(1), &kinds, runs, 0.01, budget);
+        assert_eq!(grid.predictors().len(), 3);
+        assert_eq!(grid.cells().len(), 3);
+        // A budget below the 64-entry floor drops the entry-sized kinds
+        // and the (8KB-declared) ITTAGE.
+        let tiny = compare_grid_at_bits(&Executor::new(1), &kinds, runs, 0.01, 1024);
+        assert!(tiny.predictors().is_empty());
+    }
+
+    #[test]
+    fn entries_for_budget_is_monotone() {
+        for kind in [PredictorKind::Btb2b, PredictorKind::PpmHyb] {
+            let mut prev = 0usize;
+            for budget in [1u64 << 14, 1 << 16, 1 << 18, 1 << 20] {
+                let entries = kind.entries_for_budget(budget).expect("fits");
+                assert!(entries >= prev, "{kind:?}: shrank at {budget}");
+                prev = entries;
+            }
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod snapshot;
 pub mod stepper;
 pub mod zoo;
 
-pub use compare::{compare_grid, compare_grid_with, GridResult};
+pub use compare::{compare_grid, compare_grid_at_bits, compare_grid_with, GridResult};
 pub use ibp_ppm::TableEncoding;
 pub use ibp_exec::Executor;
 pub use delay::DelayedPredictor;

@@ -11,8 +11,8 @@ use ibp_metrics::{MetricsSnapshot, RecordingProbe};
 use ibp_ppm::{PpmHybrid, PpmPib, SelectorKind, StackConfig, TableEncoding};
 use ibp_predictors::{
     Btb, Btb2b, Cascade, CascadeConfig, DualPath, DualPathConfig, GApConfig, GApPredictor,
-    HistoryGroup, IndirectPredictor, Ittage, IttageConfig, PathOracle, TargetCache,
-    TargetCacheConfig,
+    HistoryGroup, IndirectPredictor, Ittage, Ittage64, Ittage64Config, IttageConfig, PathOracle,
+    TargetCache, TargetCacheConfig,
 };
 use ibp_trace::{BranchEvent, Trace};
 
@@ -143,6 +143,19 @@ macro_rules! dispatch_kind {
                 };
                 $body
             }
+            PredictorKind::Ittage64(kb) => {
+                // Sized by storage-bit budget, not entry count: the solver
+                // fills `kb` kilobytes of state, so `$entries` is ignored
+                // (the kind names its own budget).
+                let _ = $entries;
+                let $make = || {
+                    Ittage64::new(Ittage64Config::for_budget(
+                        u64::from(kb) * 8 * 1024,
+                        HistoryGroup::AllIndirect,
+                    ))
+                };
+                $body
+            }
         }
     }};
 }
@@ -176,6 +189,10 @@ pub enum PredictorKind {
     OraclePib(u8),
     /// ITTAGE-lite, the modern descendant (epilogue; not in the paper).
     IttageLite,
+    /// Faithful ITTAGE at the given kilobyte budget (8, 16, or 64). The
+    /// storage-bit solver sizes the tables; the entry budget passed to
+    /// `build_with_entries` is ignored.
+    Ittage64(u8),
 }
 
 impl PredictorKind {
@@ -379,11 +396,14 @@ impl PredictorKind {
             PredictorKind::PpmHybBiased,
             PredictorKind::OraclePib(8),
             PredictorKind::IttageLite,
+            PredictorKind::Ittage64(8),
+            PredictorKind::Ittage64(16),
+            PredictorKind::Ittage64(64),
         ]
     }
 
     /// The stable single-byte code identifying this kind on the
-    /// `ibp-serve` wire (the handshake's predictor field). Codes `0..=10`
+    /// `ibp-serve` wire (the handshake's predictor field). Codes `0..=13`
     /// name the fixed kinds; `OraclePib(depth)` sets the high bit and
     /// carries the depth in the low seven bits (depths above 127 are
     /// masked — far past any meaningful path length).
@@ -403,6 +423,12 @@ impl PredictorKind {
             PredictorKind::PpmPib => 8,
             PredictorKind::PpmHybBiased => 9,
             PredictorKind::IttageLite => 10,
+            // The three preset budgets get fixed codes; any other budget
+            // collapses to the nearest preset at or above it (the wire
+            // only speaks presets).
+            PredictorKind::Ittage64(kb) if kb <= 8 => 11,
+            PredictorKind::Ittage64(kb) if kb <= 16 => 12,
+            PredictorKind::Ittage64(_) => 13,
             PredictorKind::OraclePib(depth) => 0x80 | (depth & 0x7F),
         }
     }
@@ -422,6 +448,9 @@ impl PredictorKind {
             8 => Some(PredictorKind::PpmPib),
             9 => Some(PredictorKind::PpmHybBiased),
             10 => Some(PredictorKind::IttageLite),
+            11 => Some(PredictorKind::Ittage64(8)),
+            12 => Some(PredictorKind::Ittage64(16)),
+            13 => Some(PredictorKind::Ittage64(64)),
             c if c & 0x80 != 0 && c & 0x7F != 0 => Some(PredictorKind::OraclePib(c & 0x7F)),
             _ => None,
         }
@@ -442,6 +471,7 @@ impl PredictorKind {
             PredictorKind::PpmPib => "ppm-pib".to_string(),
             PredictorKind::PpmHybBiased => "ppm-hyb-biased".to_string(),
             PredictorKind::IttageLite => "ittage".to_string(),
+            PredictorKind::Ittage64(kb) => format!("ittage64-{kb}k"),
             PredictorKind::OraclePib(depth) => format!("oracle-pib:{depth}"),
         }
     }
@@ -469,8 +499,40 @@ impl PredictorKind {
             "ppm-pib" => Some(PredictorKind::PpmPib),
             "ppm-hyb-biased" => Some(PredictorKind::PpmHybBiased),
             "ittage" => Some(PredictorKind::IttageLite),
+            "ittage64-8k" => Some(PredictorKind::Ittage64(8)),
+            "ittage64-16k" => Some(PredictorKind::Ittage64(16)),
+            // Bare "ittage64" means the flagship configuration.
+            "ittage64" | "ittage64-64k" => Some(PredictorKind::Ittage64(64)),
             _ => None,
         }
+    }
+
+    /// The largest entry budget whose realized storage cost fits
+    /// `budget_bits` — the equal-bits counterpart of
+    /// [`PredictorKind::build_with_entries`]'s equal-entries sizing.
+    ///
+    /// Resolved by bisecting [`ibp_hw::solve_entries`] over the kind's
+    /// own [`IndirectPredictor::cost`], so the answer reflects the real
+    /// configuration (tag widths, selector tables, history registers)
+    /// rather than a per-entry approximation. `None` when even the
+    /// 64-entry floor overshoots the budget.
+    ///
+    /// `Ittage64` sizes itself from its declared kilobyte budget and
+    /// ignores the entry knob, so it fits iff its own budget fits.
+    /// `OraclePib` is idealized (its cost grows with the trace) and
+    /// reports a build-time cost of zero, so it fits any budget.
+    pub fn entries_for_budget(self, budget_bits: u64) -> Option<usize> {
+        if let PredictorKind::Ittage64(kb) = self {
+            return (u64::from(kb) * 8 * 1024 <= budget_bits).then_some(64);
+        }
+        // Probe at multiples of 64 so every constructor invariant holds
+        // (set-associative components need ways to divide entries). The
+        // quantized cost stays monotone, so the bisection is still valid;
+        // the answer is then snapped to the same grid.
+        ibp_hw::solve_entries(budget_bits, 64, MAX_BUILD_ENTRIES as u64, |n| {
+            self.build_with_entries((n - n % 64) as usize).cost().bits()
+        })
+        .map(|n| (n - n % 64) as usize)
     }
 
     fn ppm_stack(entries: usize, encoding: TableEncoding) -> StackConfig {
@@ -513,6 +575,9 @@ mod tests {
             PredictorKind::PpmHybBiased,
             PredictorKind::OraclePib(8),
             PredictorKind::IttageLite,
+            PredictorKind::Ittage64(8),
+            PredictorKind::Ittage64(16),
+            PredictorKind::Ittage64(64),
         ];
         for kind in kinds {
             let p = kind.build();
@@ -582,9 +647,12 @@ mod tests {
         assert_eq!(PredictorKind::Btb.wire_code(), 0);
         assert_eq!(PredictorKind::PpmHyb.wire_code(), 7);
         assert_eq!(PredictorKind::IttageLite.wire_code(), 10);
+        assert_eq!(PredictorKind::Ittage64(8).wire_code(), 11);
+        assert_eq!(PredictorKind::Ittage64(16).wire_code(), 12);
+        assert_eq!(PredictorKind::Ittage64(64).wire_code(), 13);
         assert_eq!(PredictorKind::OraclePib(8).wire_code(), 0x88);
         // Unassigned codes decode to nothing.
-        for bad in [11u8, 42, 0x7F, 0x80] {
+        for bad in [14u8, 42, 0x7F, 0x80] {
             assert_eq!(PredictorKind::from_wire_code(bad), None, "code {bad:#x}");
         }
     }
@@ -610,7 +678,7 @@ mod tests {
     #[test]
     fn serve_lineup_covers_every_kind_once() {
         let lineup = PredictorKind::serve_lineup();
-        assert_eq!(lineup.len(), 12);
+        assert_eq!(lineup.len(), 15);
         let codes: std::collections::BTreeSet<u8> =
             lineup.iter().map(|k| k.wire_code()).collect();
         assert_eq!(codes.len(), lineup.len(), "wire codes must be unique");
@@ -667,6 +735,7 @@ mod tests {
             PredictorKind::PpmHybBiased,
             PredictorKind::OraclePib(4),
             PredictorKind::IttageLite,
+            PredictorKind::Ittage64(8),
         ];
         for kind in kinds {
             for entries in [512, 2048] {

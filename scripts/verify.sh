@@ -74,6 +74,22 @@ cargo run -q --release --offline -p ibp-bench --bin membench -- \
 cargo run -q --release --offline -p ibp-bench --bin membench -- \
   --check results/BENCH_memory.json
 
+echo "== storage-bit audit (bitreport) + 1% divergence gate =="
+# Two independent derivations of every zoo predictor's storage
+# footprint — config-declared cost() vs the allocated-state
+# report_storage() audit — must agree within 1%, declared bit budgets
+# must be honored (filled to ≥99%, never exceeded), and the report must
+# be byte-identical to the committed copy (it is integer-only and
+# config-derived, so any drift means a predictor's storage changed).
+IBP_BENCH_DIR="$bench_dir" \
+  cargo run -q --release --offline -p ibp-bench --bin bitreport > /dev/null
+cargo run -q --release --offline -p ibp-bench --bin bitreport -- \
+  --check "$bench_dir/storage_bits.json"
+cmp "$bench_dir/storage_bits.json" results/storage_bits.json \
+  || { echo "verify: storage-bit report drifted from committed copy"; exit 1; }
+cargo run -q --release --offline -p ibp-bench --bin bitreport -- \
+  --check results/storage_bits.json
+
 echo "== phase-sampling property + differential suites =="
 # The estimator's two correctness walls, run by name (DESIGN.md §13):
 # byte-identical sampled runs across executor pool sizes and repeats,
